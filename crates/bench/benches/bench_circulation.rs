@@ -1,0 +1,25 @@
+//! Flow-network solver performance (the hydraulic feasibility check).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2p_hydraulics::Circulation;
+use h2p_units::LitersPerHour;
+use std::hint::black_box;
+
+fn bench_circulation(c: &mut Criterion) {
+    for n in [10usize, 40, 160] {
+        c.bench_function(&format!("circulation/solve_{n}_branches"), |b| {
+            let circ = Circulation::uniform(n).unwrap();
+            b.iter(|| black_box(&circ).solve())
+        });
+    }
+    c.bench_function("circulation/regulate_40_branches", |b| {
+        b.iter_batched(
+            || Circulation::uniform(40).unwrap(),
+            |mut circ| circ.regulate_to(LitersPerHour::new(60.0)).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_circulation);
+criterion_main!(benches);

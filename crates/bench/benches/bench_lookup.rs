@@ -1,0 +1,48 @@
+//! Lookup-space query performance: trilinear interpolation and the
+//! Step 2/3 safety-band slice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2p_server::{LookupSpace, ServerModel};
+use h2p_units::{Celsius, DegC, LitersPerHour, Utilization};
+use std::hint::black_box;
+
+fn bench_lookup(c: &mut Criterion) {
+    let space = LookupSpace::paper_grid(&ServerModel::paper_default()).unwrap();
+    let u = Utilization::new(0.37).unwrap();
+
+    c.bench_function("lookup/cpu_temperature_interp", |b| {
+        b.iter(|| {
+            space
+                .cpu_temperature(
+                    black_box(u),
+                    black_box(LitersPerHour::new(73.0)),
+                    black_box(Celsius::new(47.2)),
+                )
+                .unwrap()
+        })
+    });
+
+    c.bench_function("lookup/outlet_temperature_interp", |b| {
+        b.iter(|| {
+            space
+                .outlet_temperature(
+                    black_box(u),
+                    black_box(LitersPerHour::new(73.0)),
+                    black_box(Celsius::new(47.2)),
+                )
+                .unwrap()
+        })
+    });
+
+    c.bench_function("lookup/safe_settings_slice", |b| {
+        b.iter(|| space.safe_settings(black_box(u), Celsius::new(62.0), DegC::new(1.0)))
+    });
+
+    c.bench_function("lookup/build_paper_grid", |b| {
+        let model = ServerModel::paper_default();
+        b.iter(|| LookupSpace::paper_grid(black_box(&model)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Cooling-setting optimizer latency (the per-interval control cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2p_cooling::CoolingOptimizer;
+use h2p_server::{LookupSpace, ServerModel};
+use h2p_units::Utilization;
+use std::hint::black_box;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let space = LookupSpace::paper_grid(&ServerModel::paper_default()).unwrap();
+    let optimizer = CoolingOptimizer::paper_default(&space);
+
+    for (label, u) in [("low_load", 0.15), ("mid_load", 0.5), ("high_load", 0.95)] {
+        let util = Utilization::new(u).unwrap();
+        c.bench_function(&format!("optimizer/{label}"), |b| {
+            b.iter(|| optimizer.optimize(black_box(util)).unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Order-statistics quadrature cost (the Sec. V-A design study's inner
+//! loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2p_stats::{order_stats, Normal};
+use std::hint::black_box;
+
+fn bench_order_stats(c: &mut Criterion) {
+    let dist = Normal::new(55.0, 4.0).unwrap();
+    for n in [10usize, 100, 1000] {
+        c.bench_function(&format!("order_stats/expected_max_n{n}"), |b| {
+            b.iter(|| order_stats::expected_max(black_box(dist), black_box(n)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_order_stats);
+criterion_main!(benches);

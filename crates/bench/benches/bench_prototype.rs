@@ -1,0 +1,20 @@
+//! Virtual-prototype campaign performance (the Sec. IV reproductions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2p_core::prototype;
+use std::hint::black_box;
+
+fn bench_prototype(c: &mut Criterion) {
+    c.bench_function("prototype/fig3_transient_50min", |b| {
+        b.iter(prototype::fig3_teg_conductance)
+    });
+    c.bench_function("prototype/fig9_outlet_campaign", |b| {
+        let utils: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        let flows = [20.0, 50.0, 100.0, 150.0, 200.0, 250.0];
+        let inlets = [30.0, 35.0, 40.0, 45.0];
+        b.iter(|| prototype::fig9_outlet_campaign(black_box(&utils), &flows, &inlets))
+    });
+}
+
+criterion_group!(benches, bench_prototype);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! End-to-end simulation throughput: one circulation-interval of the
+//! Fig. 14 engine, and a small full run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2p_core::simulation::Simulator;
+use h2p_sched::{LoadBalance, Original};
+use h2p_workload::{TraceGenerator, TraceKind};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let sim = Simulator::paper_default().unwrap();
+    let cluster = TraceGenerator::paper(TraceKind::Drastic, 1)
+        .with_servers(40)
+        .with_steps(12)
+        .generate();
+
+    c.bench_function("simulation/40srv_12steps_original", |b| {
+        b.iter(|| sim.run(black_box(&cluster), &Original).unwrap())
+    });
+
+    c.bench_function("simulation/40srv_12steps_loadbalance", |b| {
+        b.iter(|| sim.run(black_box(&cluster), &LoadBalance).unwrap())
+    });
+
+    let big = TraceGenerator::paper(TraceKind::Common, 1)
+        .with_servers(200)
+        .with_steps(24)
+        .generate();
+    c.bench_function("simulation/200srv_24steps_loadbalance", |b| {
+        b.iter(|| sim.run(black_box(&big), &LoadBalance).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Thermal-network solver performance: steady-state solve and transient
+//! stepping of the Fig. 3 prototype network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2p_thermal::network::ThermalNetwork;
+use h2p_units::{Celsius, Seconds, Watts};
+use std::hint::black_box;
+
+fn prototype_network() -> ThermalNetwork {
+    let mut net = ThermalNetwork::new();
+    let die0 = net.add_capacitive("die0", 150.0, Celsius::new(30.0));
+    let plate0 = net.add_capacitive("plate0", 400.0, Celsius::new(30.0));
+    let die1 = net.add_capacitive("die1", 150.0, Celsius::new(30.0));
+    let plate1 = net.add_capacitive("plate1", 400.0, Celsius::new(30.0));
+    let coolant = net.add_boundary("coolant", Celsius::new(30.0));
+    net.connect_resistance(die0, plate0, 1.45);
+    net.connect_resistance(plate0, coolant, 0.2);
+    net.connect_resistance(die1, plate1, 0.15);
+    net.connect_resistance(plate1, coolant, 0.2);
+    net.set_heat_input(die0, Watts::new(26.0));
+    net.set_heat_input(die1, Watts::new(26.0));
+    net
+}
+
+fn bench_thermal(c: &mut Criterion) {
+    c.bench_function("thermal/steady_state_5node", |b| {
+        let net = prototype_network();
+        b.iter(|| black_box(&net).steady_state().unwrap())
+    });
+
+    c.bench_function("thermal/transient_60s_5node", |b| {
+        b.iter_batched(
+            prototype_network,
+            |mut net| net.step(Seconds::new(60.0)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_thermal);
+criterion_main!(benches);

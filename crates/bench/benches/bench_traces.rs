@@ -1,0 +1,20 @@
+//! Synthetic-trace generation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2p_workload::{TraceGenerator, TraceKind};
+use std::hint::black_box;
+
+fn bench_traces(c: &mut Criterion) {
+    for kind in TraceKind::all() {
+        c.bench_function(&format!("traces/generate_100srv_{kind}"), |b| {
+            b.iter(|| {
+                TraceGenerator::paper(black_box(kind), 42)
+                    .with_servers(100)
+                    .generate()
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_traces);
+criterion_main!(benches);

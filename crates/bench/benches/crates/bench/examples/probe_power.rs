@@ -1,0 +1,12 @@
+use h2p_cooling::CoolingOptimizer;
+use h2p_server::{LookupSpace, ServerModel};
+use h2p_units::Utilization;
+fn main() {
+    let space = LookupSpace::paper_grid(&ServerModel::paper_default()).unwrap();
+    let opt = CoolingOptimizer::paper_default(&space);
+    for i in 0..=20 {
+        let u = Utilization::new(i as f64 / 20.0).unwrap();
+        let b = opt.optimize(u).unwrap();
+        println!("u={:.2} teg={:.3} inlet={:.0} flow={:.0}", u.value(), b.teg_power.value(), b.setting.inlet.value(), b.setting.flow.value());
+    }
+}

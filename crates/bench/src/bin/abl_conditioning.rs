@@ -1,0 +1,47 @@
+//! Ablation — power conditioning: how much of Eq. 7's available power
+//! survives the MPPT + boost front-end across the operating range.
+
+use h2p_bench::{emit_json, print_table};
+use h2p_teg::converter::{BoostConverter, MpptTracker};
+use h2p_teg::TegModule;
+use h2p_units::DegC;
+
+fn main() {
+    let module = TegModule::paper_module();
+    let converter = BoostConverter::typical_harvester();
+    println!("Ablation — conditioning losses (12-TEG module, 90 % boost stage)\n");
+    let mut rows = Vec::new();
+    for dt in [2.0, 5.0, 10.0, 20.0, 30.0, 40.0] {
+        let d = DegC::new(dt);
+        let ideal = module.max_power(d);
+        let mut tracker = MpptTracker::new(&module).expect("valid module");
+        let tracked = tracker.settle(&module, d, 300).expect("positive load");
+        let v_in = module.open_circuit_voltage(d) * 0.5;
+        let delivered = converter.output(tracked, v_in);
+        let kept = if ideal.value() > 0.0 {
+            delivered.value() / ideal.value() * 100.0
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            format!("{dt:.0}"),
+            format!("{:.3}", ideal.value()),
+            format!("{:.3}", tracked.value()),
+            format!("{:.3}", delivered.value()),
+            format!("{kept:.1}"),
+        ]);
+        emit_json(&serde_json::json!({
+            "experiment": "abl_conditioning",
+            "dt_c": dt,
+            "ideal_w": ideal.value(),
+            "delivered_w": delivered.value(),
+            "kept_pct": kept,
+        }));
+    }
+    print_table(
+        &["ΔT °C", "Eq.7 W", "MPPT W", "delivered W", "kept %"],
+        &rows,
+    );
+    println!("\nthe paper reports available (matched-load) power; a real front-end keeps");
+    println!("~88-90 % of it above the boost stage's start-up voltage");
+}

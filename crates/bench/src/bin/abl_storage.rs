@@ -1,0 +1,61 @@
+//! Ablation — energy buffering (paper Sec. VI-B). TEG output is
+//! anti-correlated with demand, so serving a steady per-server load
+//! (e.g. LED lighting at the mean harvest level) directly wastes the
+//! off-peak surplus. A hybrid super-capacitor + battery buffer recovers
+//! most of it; this experiment quantifies the delivered fraction.
+
+use h2p_bench::{emit_json, print_table, run_paper_traces};
+use h2p_storage::HybridBuffer;
+use h2p_units::Joules;
+
+fn main() {
+    println!("Ablation — serving a constant demand from TEG output, with and without buffering\n");
+    let runs = run_paper_traces(0.1);
+    let mut rows = Vec::new();
+    for run in runs.iter().filter(|r| r.policy == "TEG_Original") {
+        let interval = run.result.interval();
+        let demand = run.result.average_teg_power(); // steady draw at the mean
+        let mut direct = Joules::zero();
+        let mut buffered = Joules::zero();
+        let mut offered = Joules::zero();
+        let mut buffer = HybridBuffer::paper_default();
+        for step in run.result.steps() {
+            let gen = step.teg_power_per_server;
+            offered += gen.energy_over(interval);
+            // Direct use: whatever exceeds the demand is wasted.
+            direct += gen.min(demand).energy_over(interval);
+            // Buffered: serve demand from generation first, buffer the
+            // surplus, discharge on deficit.
+            let surplus = gen - demand;
+            if surplus.value() >= 0.0 {
+                let _ = buffer.offer(surplus, interval);
+                buffered += demand.energy_over(interval);
+            } else {
+                let needed = -surplus;
+                let drawn = buffer.demand(needed, interval);
+                buffered += gen.energy_over(interval) + drawn;
+            }
+        }
+        let direct_frac = direct / offered;
+        let buffered_frac = buffered / offered;
+        rows.push(vec![
+            run.kind.name().to_string(),
+            format!("{:.3}", demand.value()),
+            format!("{:.1}", direct_frac * 100.0),
+            format!("{:.1}", buffered_frac * 100.0),
+        ]);
+        emit_json(&serde_json::json!({
+            "experiment": "abl_storage",
+            "trace": run.kind.name(),
+            "demand_w": demand.value(),
+            "direct_use_pct": direct_frac * 100.0,
+            "buffered_use_pct": buffered_frac * 100.0,
+        }));
+    }
+    print_table(
+        &["trace", "demand W", "direct use %", "buffered use %"],
+        &rows,
+    );
+    println!("\nthe buffer closes most of the gap between harvested and usable energy,");
+    println!("at the cost of its round-trip losses (SC ~95 %, battery ~85 %)");
+}

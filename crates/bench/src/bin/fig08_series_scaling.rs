@@ -1,0 +1,48 @@
+//! Fig. 8 — (a) open-circuit voltage and (b) maximum output power versus
+//! coolant ΔT for different series counts (flow fixed at 200 L/H).
+
+use h2p_bench::{emit_json, print_table};
+use h2p_core::prototype::fig8_series_campaign;
+
+fn main() {
+    let counts = [1usize, 3, 6, 9, 12];
+    let dts: Vec<f64> = (0..=25).step_by(5).map(|i| i as f64).collect();
+    let points = fig8_series_campaign(&counts, &dts);
+    let at = |n: usize, dt: f64| {
+        points
+            .iter()
+            .find(|p| p.count == n && (p.delta_t.value() - dt).abs() < 1e-9)
+            .expect("campaign covers the grid")
+    };
+
+    println!("Fig. 8a — V_oc (V) vs ΔT for n TEGs in series\n");
+    let header = ["ΔT °C", "n=1", "n=3", "n=6", "n=9", "n=12"];
+    let volt_rows: Vec<Vec<String>> = dts
+        .iter()
+        .map(|&dt| {
+            let mut row = vec![format!("{dt:.0}")];
+            row.extend(counts.iter().map(|&n| format!("{:.3}", at(n, dt).voltage.value())));
+            row
+        })
+        .collect();
+    print_table(&header, &volt_rows);
+
+    println!("\nFig. 8b — P_max (W) vs ΔT for n TEGs in series\n");
+    let pow_rows: Vec<Vec<String>> = dts
+        .iter()
+        .map(|&dt| {
+            let mut row = vec![format!("{dt:.0}")];
+            row.extend(counts.iter().map(|&n| format!("{:.4}", at(n, dt).power.value())));
+            row
+        })
+        .collect();
+    print_table(&header, &pow_rows);
+
+    let p12 = at(12, 25.0).power.value();
+    println!("\n12 TEGs at ΔT = 25 °C: {p12:.3} W (paper: \"higher than 1.8 W\")");
+    emit_json(&serde_json::json!({
+        "experiment": "fig08",
+        "p_max_12teg_dt25_w": p12,
+        "v_oc_12teg_dt25_v": at(12, 25.0).voltage.value(),
+    }));
+}

@@ -1,0 +1,64 @@
+//! Fig. 9 — temperature difference between outlet and inlet water:
+//! (a) versus utilization and flow (averaged over inlets),
+//! (b) versus utilization and inlet temperature (flow 20 L/H).
+
+use h2p_bench::{emit_json, print_table};
+use h2p_core::prototype::fig9_outlet_campaign;
+
+fn main() {
+    let utils: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let flows = [20.0, 50.0, 100.0, 150.0, 200.0, 250.0];
+    let inlets = [30.0, 35.0, 40.0, 45.0];
+    let points = fig9_outlet_campaign(&utils, &flows, &inlets);
+
+    let mean_delta = |u: f64, f: f64| {
+        let vals: Vec<f64> = points
+            .iter()
+            .filter(|p| {
+                (p.utilization.value() - u).abs() < 1e-9 && p.flow.value() == f
+            })
+            .map(|p| p.delta_out_in.value())
+            .collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+
+    println!("Fig. 9a — ΔT_out−in (°C) vs utilization and flow (mean over 4 inlets)\n");
+    let mut rows = Vec::new();
+    for &u in &utils {
+        let mut row = vec![format!("{:.0}", u * 100.0)];
+        row.extend(flows.iter().map(|&f| format!("{:.2}", mean_delta(u, f))));
+        rows.push(row);
+    }
+    print_table(
+        &["util%", "20", "50", "100", "150", "200", "250 L/H"],
+        &rows,
+    );
+
+    println!("\nFig. 9b — ΔT_out−in (°C) vs utilization and inlet (flow 20 L/H)\n");
+    let delta_at = |u: f64, t: f64| {
+        points
+            .iter()
+            .find(|p| {
+                (p.utilization.value() - u).abs() < 1e-9
+                    && p.flow.value() == 20.0
+                    && p.inlet.value() == t
+            })
+            .expect("grid point")
+            .delta_out_in
+            .value()
+    };
+    let mut rows_b = Vec::new();
+    for &u in &utils {
+        let mut row = vec![format!("{:.0}", u * 100.0)];
+        row.extend(inlets.iter().map(|&t| format!("{:.2}", delta_at(u, t))));
+        rows_b.push(row);
+    }
+    print_table(&["util%", "30 °C", "35 °C", "40 °C", "45 °C"], &rows_b);
+    println!("\npaper: ΔT_out−in fluctuates within ~1-3.5 °C, driven mainly by utilization");
+
+    emit_json(&serde_json::json!({
+        "experiment": "fig09",
+        "delta_full_load_20lph_45c": delta_at(1.0, 45.0),
+        "delta_idle_20lph_45c": delta_at(0.0, 45.0),
+    }));
+}

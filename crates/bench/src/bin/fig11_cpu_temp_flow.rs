@@ -1,0 +1,55 @@
+//! Fig. 11 — CPU temperature versus coolant temperature at several flow
+//! rates (utilization 100 %); reports the fitted slopes k.
+
+use h2p_bench::{emit_json, print_table};
+use h2p_core::prototype::fig11_cpu_temperature_campaign;
+use h2p_stats::fit::linear_fit;
+
+fn main() {
+    let flows = [20.0, 50.0, 100.0, 150.0, 200.0, 250.0];
+    let coolants: Vec<f64> = (20..=50).step_by(5).map(|v| v as f64).collect();
+    let points = fig11_cpu_temperature_campaign(&flows, &coolants);
+
+    println!("Fig. 11 — T_CPU (°C) vs coolant temperature per flow (u = 100 %)\n");
+    let mut rows = Vec::new();
+    for &c in &coolants {
+        let mut row = vec![format!("{c:.0}")];
+        for &f in &flows {
+            let t = points
+                .iter()
+                .find(|p| p.flow.value() == f && p.coolant.value() == c)
+                .expect("campaign covers the grid")
+                .cpu_temperature
+                .value();
+            row.push(format!("{t:.1}"));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &["coolant °C", "20", "50", "100", "150", "200", "250 L/H"],
+        &rows,
+    );
+
+    println!("\nfitted slopes k = dT_CPU/dT_coolant (paper: k ∈ [1, 1.3], larger at lower flow):");
+    let mut slopes = serde_json::Map::new();
+    for &f in &flows {
+        let xs: Vec<f64> = points
+            .iter()
+            .filter(|p| p.flow.value() == f)
+            .map(|p| p.coolant.value())
+            .collect();
+        let ys: Vec<f64> = points
+            .iter()
+            .filter(|p| p.flow.value() == f)
+            .map(|p| p.cpu_temperature.value())
+            .collect();
+        let (k, _) = linear_fit(&xs, &ys).expect("fit over a valid grid");
+        println!("  {f:>3.0} L/H: k = {k:.3}");
+        slopes.insert(format!("{f:.0}"), serde_json::json!(k));
+    }
+
+    emit_json(&serde_json::json!({
+        "experiment": "fig11",
+        "slopes": slopes,
+    }));
+}

@@ -1,0 +1,67 @@
+//! Fig. 13 — the safety-band regions A_max (slice at U_max) versus A_avg
+//! (slice at U_avg) at T_safe = 62 °C, and the settings the optimizer
+//! picks from each.
+
+use h2p_bench::{emit_json, print_table};
+use h2p_cooling::CoolingOptimizer;
+use h2p_server::{LookupSpace, ServerModel};
+use h2p_units::{Celsius, DegC, Utilization};
+
+fn main() {
+    let space = LookupSpace::paper_grid(&ServerModel::paper_default()).expect("grid builds");
+    let t_safe = Celsius::new(62.0);
+    let tol = DegC::new(1.0);
+    let optimizer = CoolingOptimizer::paper_default(&space);
+
+    // The paper's illustration: a circulation whose loads give
+    // U_max = 0.9 and U_avg = 0.25.
+    let u_max = Utilization::new(0.9).expect("in range");
+    let u_avg = Utilization::new(0.25).expect("in range");
+
+    println!("Fig. 13 — settings with T_CPU ∈ [61, 63] °C (T_safe = 62 °C)\n");
+    let mut rows = Vec::new();
+    let mut summary = serde_json::Map::new();
+    for (label, u) in [("A_max (u=90%)", u_max), ("A_avg (u=25%)", u_avg)] {
+        let region = space.safe_settings(u, t_safe, tol);
+        let hottest_inlet = region
+            .iter()
+            .map(|s| s.inlet.value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let chosen = optimizer.optimize(u).expect("feasible");
+        rows.push(vec![
+            label.to_string(),
+            region.len().to_string(),
+            format!("{hottest_inlet:.0}"),
+            format!("{:.0}", chosen.setting.inlet.value()),
+            format!("{:.0}", chosen.setting.flow.value()),
+            format!("{:.2}", chosen.teg_power.value()),
+        ]);
+        summary.insert(
+            label.to_string(),
+            serde_json::json!({
+                "region_size": region.len(),
+                "hottest_inlet_c": hottest_inlet,
+                "chosen_inlet_c": chosen.setting.inlet.value(),
+                "chosen_flow_lph": chosen.setting.flow.value(),
+                "teg_power_w": chosen.teg_power.value(),
+            }),
+        );
+    }
+    print_table(
+        &[
+            "region",
+            "settings",
+            "max inlet °C",
+            "chosen inlet °C",
+            "chosen flow",
+            "P_TEG W",
+        ],
+        &rows,
+    );
+    println!("\npaper: \"T_warm_in of the points in A_avg are generally higher than those in A_max\"");
+
+    emit_json(&serde_json::json!({
+        "experiment": "fig13",
+        "regions": summary,
+    }));
+}

@@ -1,0 +1,85 @@
+//! Fig. 14 — electricity generation under the three workload classes and
+//! two scheduling policies. The headline evaluation of the paper.
+//!
+//! Runs at full paper scale (1,313 / 1,000 / 1,000 servers). Pass
+//! `--scale 0.1` for a quick run.
+
+use h2p_bench::{emit_json, print_table, run_paper_traces};
+
+fn scale_arg() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+fn main() {
+    let scale = scale_arg();
+    println!("Fig. 14 — per-CPU TEG generation (scale = {scale})\n");
+    let runs = run_paper_traces(scale);
+
+    // Paper-reported averages for reference.
+    let paper: &[(&str, &str, f64, f64)] = &[
+        ("drastic", "TEG_Original", 3.725, 4.210),
+        ("irregular", "TEG_Original", 3.772, 3.935),
+        ("common", "TEG_Original", 3.586, 4.035),
+        ("drastic", "TEG_LoadBalance", 4.349, 4.595),
+        ("irregular", "TEG_LoadBalance", 4.203, 4.554),
+        ("common", "TEG_LoadBalance", 3.979, 4.082),
+    ];
+
+    let mut rows = Vec::new();
+    let mut originals = Vec::new();
+    let mut balanced = Vec::new();
+    for run in &runs {
+        let avg = run.result.average_teg_power().value();
+        let peak = run.result.peak_teg_power().value();
+        let (paper_avg, paper_peak) = paper
+            .iter()
+            .find(|(k, p, _, _)| *k == run.kind.name() && *p == run.policy)
+            .map(|(_, _, a, p)| (*a, *p))
+            .expect("all six combinations tabulated");
+        if run.policy == "TEG_Original" {
+            originals.push(avg);
+        } else {
+            balanced.push(avg);
+        }
+        rows.push(vec![
+            run.kind.name().to_string(),
+            run.policy.to_string(),
+            format!("{avg:.3}"),
+            format!("{paper_avg:.3}"),
+            format!("{peak:.3}"),
+            format!("{paper_peak:.3}"),
+        ]);
+        emit_json(&serde_json::json!({
+            "experiment": "fig14",
+            "trace": run.kind.name(),
+            "policy": run.policy,
+            "avg_w": avg,
+            "peak_w": peak,
+            "paper_avg_w": paper_avg,
+            "paper_peak_w": paper_peak,
+        }));
+    }
+    print_table(
+        &["trace", "policy", "avg W", "paper avg W", "peak W", "paper peak W"],
+        &rows,
+    );
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let orig_mean = mean(&originals);
+    let lb_mean = mean(&balanced);
+    let improvement = (lb_mean / orig_mean - 1.0) * 100.0;
+    println!("\naverages: TEG_Original {orig_mean:.3} W (paper 3.694 W), TEG_LoadBalance {lb_mean:.3} W (paper 4.177 W)");
+    println!("load balancing improvement: {improvement:.2} % (paper ~13.08 %)");
+
+    emit_json(&serde_json::json!({
+        "experiment": "fig14_summary",
+        "original_mean_w": orig_mean,
+        "loadbalance_mean_w": lb_mean,
+        "improvement_pct": improvement,
+    }));
+}

@@ -1,0 +1,70 @@
+//! Fig. 15 — power reusing efficiency (PRE, Eq. 19) of TEG output versus
+//! CPU power under the three workloads and two policies.
+//!
+//! Pass `--scale 0.1` for a quick run.
+
+use h2p_bench::{emit_json, print_table, run_paper_traces};
+
+fn scale_arg() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+fn main() {
+    let scale = scale_arg();
+    println!("Fig. 15 — power reusing efficiency (scale = {scale})\n");
+    let runs = run_paper_traces(scale);
+
+    let paper: &[(&str, &str, f64)] = &[
+        ("drastic", "TEG_Original", 12.0),
+        ("irregular", "TEG_Original", 13.8),
+        ("common", "TEG_Original", 11.9),
+        ("drastic", "TEG_LoadBalance", 13.7),
+        ("irregular", "TEG_LoadBalance", 16.2),
+        ("common", "TEG_LoadBalance", 12.8),
+    ];
+
+    let mut rows = Vec::new();
+    let mut lb_pres = Vec::new();
+    for run in &runs {
+        let pre = run.result.pre() * 100.0;
+        let paper_pre = paper
+            .iter()
+            .find(|(k, p, _)| *k == run.kind.name() && *p == run.policy)
+            .map(|(_, _, v)| *v)
+            .expect("all six combinations tabulated");
+        if run.policy == "TEG_LoadBalance" {
+            lb_pres.push(pre);
+        }
+        rows.push(vec![
+            run.kind.name().to_string(),
+            run.policy.to_string(),
+            format!("{:.2}", run.result.average_teg_power().value()),
+            format!("{:.1}", run.result.average_cpu_power().value()),
+            format!("{pre:.1}"),
+            format!("{paper_pre:.1}"),
+        ]);
+        emit_json(&serde_json::json!({
+            "experiment": "fig15",
+            "trace": run.kind.name(),
+            "policy": run.policy,
+            "pre_pct": pre,
+            "paper_pre_pct": paper_pre,
+        }));
+    }
+    print_table(
+        &["trace", "policy", "TEG W", "CPU W", "PRE %", "paper PRE %"],
+        &rows,
+    );
+
+    let avg = lb_pres.iter().sum::<f64>() / lb_pres.len() as f64;
+    println!("\nTEG_LoadBalance average PRE: {avg:.2} % (paper: 14.23 % average, 12.8-16.2 % range)");
+    emit_json(&serde_json::json!({
+        "experiment": "fig15_summary",
+        "loadbalance_avg_pre_pct": avg,
+    }));
+}

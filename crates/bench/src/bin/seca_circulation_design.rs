@@ -1,0 +1,65 @@
+//! Sec. V-A — water-circulation design study: total cost (chiller energy
+//! + chiller capital, Eq. 12) versus servers per circulation.
+
+use h2p_bench::{emit_json, print_table};
+use h2p_core::circulation::CirculationDesign;
+
+fn main() {
+    let design = CirculationDesign::paper_default().expect("paper constants are valid");
+    let candidates: Vec<usize> = vec![1, 2, 4, 5, 8, 10, 20, 25, 40, 50, 100, 125, 200, 250, 500, 1000];
+
+    println!("Sec. V-A — circulation design (1,000 servers, T ~ N(55, 4²) °C, T_safe = 62 °C)\n");
+    let points = design.sweep(&candidates);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.servers_per_circulation.to_string(),
+                p.circulations.to_string(),
+                format!("{:.2}", p.expected_hottest.value()),
+                format!("{:.2}", p.expected_depression.value()),
+                format!("{:.0}", p.chiller_energy.to_kilowatt_hours().value()),
+                format!("{:.0}", p.energy_cost.value()),
+                format!("{:.0}", p.capital_cost.value()),
+                format!("{:.0}", p.total_cost.value()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "n/circ",
+            "circs",
+            "E[T_max] °C",
+            "E[ΔT] °C",
+            "energy kWh",
+            "energy $",
+            "capital $",
+            "total $",
+        ],
+        &rows,
+    );
+
+    let best = design.optimal(&candidates);
+    println!(
+        "\noptimal circulation size: {} servers ({} circulations), total ${:.0} over 5 years",
+        best.servers_per_circulation,
+        best.circulations,
+        best.total_cost.value()
+    );
+    println!("paper: the Eq. 12 trade-off \"can give some suggestions on the design and");
+    println!("construction of the future warm water-cooled datacenters\"");
+
+    for p in &points {
+        emit_json(&serde_json::json!({
+            "experiment": "seca",
+            "servers_per_circulation": p.servers_per_circulation,
+            "expected_hottest_c": p.expected_hottest.value(),
+            "total_cost_usd": p.total_cost.value(),
+        }));
+    }
+    emit_json(&serde_json::json!({
+        "experiment": "seca_summary",
+        "optimal_n": best.servers_per_circulation,
+        "optimal_cost_usd": best.total_cost.value(),
+    }));
+}

@@ -1,0 +1,85 @@
+//! Table I + Sec. V-D — total cost of ownership with and without H2P,
+//! break-even point, and annual savings for a 100,000-CPU cluster.
+
+use h2p_bench::{emit_json, print_table};
+use h2p_tco::TcoAnalysis;
+use h2p_units::Watts;
+
+fn main() {
+    let tco = TcoAnalysis::paper_default();
+    let policies = [
+        ("TEG_Original", Watts::new(3.694)),
+        ("TEG_LoadBalance", Watts::new(4.177)),
+    ];
+
+    println!("Table I — TCO parameters ($/(server × month))\n");
+    let p = tco.params();
+    print_table(
+        &["parameter", "value"],
+        &[
+            vec!["DCInfraCapEx".into(), format!("{:.2}", p.dc_infra_capex.value())],
+            vec!["ServCapEx".into(), format!("{:.2}", p.server_capex.value())],
+            vec!["DCInfraOpEx".into(), format!("{:.2}", p.dc_infra_opex.value())],
+            vec!["ServOpEx".into(), format!("{:.2}", p.server_opex.value())],
+            vec![
+                "TEGCapEx".into(),
+                format!("{:.2}", tco.teg_capex_per_server_month().value()),
+            ],
+            vec![
+                "TEGRev (Original)".into(),
+                format!("{:.2}", tco.teg_revenue_per_server_month(policies[0].1).value()),
+            ],
+            vec![
+                "TEGRev (LoadBalance)".into(),
+                format!("{:.2}", tco.teg_revenue_per_server_month(policies[1].1).value()),
+            ],
+        ],
+    );
+
+    println!(
+        "\nTCO without H2P: {:.2} $/(server × month)\n",
+        tco.tco_without().value()
+    );
+
+    let mut rows = Vec::new();
+    for (name, power) in policies {
+        let with = tco.tco_with(power);
+        let reduction = tco.reduction(power) * 100.0;
+        let be = tco.break_even(power).to_days();
+        let savings = tco.annual_savings(power);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", power.value()),
+            format!("{:.2}", with.value()),
+            format!("{reduction:.2}"),
+            format!("{be:.0}"),
+            format!("{:.0}", savings.value()),
+        ]);
+        emit_json(&serde_json::json!({
+            "experiment": "table1",
+            "policy": name,
+            "avg_power_w": power.value(),
+            "tco_with_usd": with.value(),
+            "reduction_pct": reduction,
+            "break_even_days": be,
+            "annual_savings_usd": savings.value(),
+        }));
+    }
+    print_table(
+        &[
+            "policy",
+            "avg W",
+            "TCO w/ H2P",
+            "reduction %",
+            "break-even d",
+            "savings $/yr",
+        ],
+        &rows,
+    );
+    println!("\npaper: reductions 0.49 % / 0.57 %; break-even 920 days; savings $350k-$410k/yr");
+    println!(
+        "daily generation at 4.177 W: {:.1} kWh (paper: 10,024.8 kWh), ${:.1}/day",
+        tco.daily_generation_kwh(Watts::new(4.177)),
+        tco.daily_revenue(Watts::new(4.177)).value()
+    );
+}

@@ -1,0 +1,174 @@
+//! Vapor-compression chiller (paper Eq. 10).
+
+use crate::CoolingError;
+use h2p_units::{DegC, Joules, LitersPerHour, Seconds, Watts, WATER_DENSITY_KG_PER_L, WATER_SPECIFIC_HEAT};
+
+/// A chiller characterized by its coefficient of performance.
+///
+/// The paper models chiller energy as
+/// `E = C_water · ΔT · n · f · t · ρ / COP` (Eq. 10): the heat that must
+/// be removed to depress the supply temperature of the circulation's
+/// total flow `n·f` by `ΔT` over time `t`, divided by the COP.
+///
+/// ```
+/// use h2p_cooling::Chiller;
+/// use h2p_units::{DegC, LitersPerHour, Seconds};
+///
+/// let chiller = Chiller::paper_default(); // COP = 3.6
+/// let e = chiller.energy_for_supply_depression(
+///     DegC::new(5.0),
+///     LitersPerHour::new(50.0 * 40.0), // 40 servers at 50 L/H
+///     Seconds::hours(1.0),
+/// );
+/// assert!(e.value() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chiller {
+    cop: f64,
+}
+
+impl Chiller {
+    /// Creates a chiller with the given COP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoolingError::NonPositiveParameter`] if `cop` is not
+    /// strictly positive.
+    pub fn new(cop: f64) -> Result<Self, CoolingError> {
+        if !(cop > 0.0) {
+            return Err(CoolingError::NonPositiveParameter {
+                name: "cop",
+                value: cop,
+            });
+        }
+        Ok(Chiller { cop })
+    }
+
+    /// The paper's assumed chiller: COP = 3.6 (following \[24\]).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Chiller { cop: 3.6 }
+    }
+
+    /// The coefficient of performance.
+    #[must_use]
+    pub fn cop(&self) -> f64 {
+        self.cop
+    }
+
+    /// Electrical power drawn to remove `heat` continuously.
+    #[must_use]
+    pub fn power_to_remove(&self, heat: Watts) -> Watts {
+        Watts::new(heat.value().max(0.0) / self.cop)
+    }
+
+    /// Eq. 10: electrical energy to depress the supply temperature of
+    /// `total_flow` by `depression` over `duration`.
+    ///
+    /// A non-positive depression costs nothing (the cooling tower covers
+    /// the load without the chiller).
+    #[must_use]
+    pub fn energy_for_supply_depression(
+        &self,
+        depression: DegC,
+        total_flow: LitersPerHour,
+        duration: Seconds,
+    ) -> Joules {
+        if depression.value() <= 0.0 || total_flow.value() <= 0.0 || duration.value() <= 0.0 {
+            return Joules::zero();
+        }
+        let mass_kg =
+            total_flow.value() * WATER_DENSITY_KG_PER_L * duration.value() / 3600.0;
+        let heat = WATER_SPECIFIC_HEAT * depression.value() * mass_kg;
+        Joules::new(heat / self.cop)
+    }
+}
+
+impl Default for Chiller {
+    fn default() -> Self {
+        Chiller::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq10_hand_computation() {
+        // 1000 L over an hour depressed by 1 degC:
+        // heat = 4200 J/(kg degC) * 1 degC * 1000 kg = 4.2e6 J;
+        // at COP 3.6 the chiller draws 4.2e6/3.6 J.
+        let chiller = Chiller::paper_default();
+        let e = chiller.energy_for_supply_depression(
+            DegC::new(1.0),
+            LitersPerHour::new(1000.0),
+            Seconds::hours(1.0),
+        );
+        assert!((e.value() - 4.2e6 / 3.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scales_linearly_in_all_factors() {
+        let c = Chiller::paper_default();
+        let base = c.energy_for_supply_depression(
+            DegC::new(2.0),
+            LitersPerHour::new(100.0),
+            Seconds::hours(1.0),
+        );
+        let double_dt = c.energy_for_supply_depression(
+            DegC::new(4.0),
+            LitersPerHour::new(100.0),
+            Seconds::hours(1.0),
+        );
+        let double_flow = c.energy_for_supply_depression(
+            DegC::new(2.0),
+            LitersPerHour::new(200.0),
+            Seconds::hours(1.0),
+        );
+        let double_time = c.energy_for_supply_depression(
+            DegC::new(2.0),
+            LitersPerHour::new(100.0),
+            Seconds::hours(2.0),
+        );
+        for e in [double_dt, double_flow, double_time] {
+            assert!((e.value() - 2.0 * base.value()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_depression_no_energy() {
+        let c = Chiller::paper_default();
+        assert_eq!(
+            c.energy_for_supply_depression(
+                DegC::new(0.0),
+                LitersPerHour::new(100.0),
+                Seconds::hours(1.0)
+            ),
+            Joules::zero()
+        );
+        assert_eq!(
+            c.energy_for_supply_depression(
+                DegC::new(-3.0),
+                LitersPerHour::new(100.0),
+                Seconds::hours(1.0)
+            ),
+            Joules::zero()
+        );
+    }
+
+    #[test]
+    fn higher_cop_cheaper() {
+        let heat = Watts::new(1000.0);
+        let weak = Chiller::new(2.0).unwrap();
+        let strong = Chiller::new(6.0).unwrap();
+        assert!(weak.power_to_remove(heat) > strong.power_to_remove(heat));
+        assert!((strong.power_to_remove(heat).value() - 1000.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Chiller::new(0.0).is_err());
+        assert!(Chiller::new(-1.0).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! TEC hot-spot controller — the hybrid cooling substrate (paper
+//! Sec. II-B and VI-C1, building on Jiang et al. \[24\]).
+//!
+//! Warm-water cooling is only viable because sudden hot spots can be
+//! absorbed by a per-CPU thermoelectric cooler while the (slow) chilled
+//! loop catches up. The controller here answers the question the hybrid
+//! architecture poses every interval: *given the die temperature a
+//! cooling setting produces, how much TEC drive (if any) keeps the die
+//! at the safety target, and what does that electricity cost?*
+
+use h2p_teg::tec::Tec;
+use h2p_units::{Amperes, Celsius, DegC, Utilization, Watts};
+
+/// Outcome of a TEC intervention decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TecAction {
+    /// Drive current commanded (zero when no intervention is needed).
+    pub current: Amperes,
+    /// Electrical power drawn by the TEC.
+    pub input_power: Watts,
+    /// Heat pumped off the die.
+    pub pumped: Watts,
+    /// Whether the target is met (false = TEC saturated, hot spot
+    /// persists and the chilled loop must step in).
+    pub target_met: bool,
+}
+
+impl TecAction {
+    /// The no-op action.
+    #[must_use]
+    pub fn idle() -> Self {
+        TecAction {
+            current: Amperes::zero(),
+            input_power: Watts::zero(),
+            pumped: Watts::zero(),
+            target_met: true,
+        }
+    }
+}
+
+/// Per-CPU TEC hot-spot controller.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HotSpotController {
+    tec: Tec,
+}
+
+impl HotSpotController {
+    /// Creates a controller around a TEC device.
+    #[must_use]
+    pub fn new(tec: Tec) -> Self {
+        HotSpotController { tec }
+    }
+
+    /// The TEC device.
+    #[must_use]
+    pub fn tec(&self) -> &Tec {
+        &self.tec
+    }
+
+    /// Decides the TEC drive for a die currently at `die` that must be
+    /// brought to `target`, given the die-to-coolant coupling
+    /// `coupling_k_per_w` (K/W) of the present cooling setting and the
+    /// coolant temperature `coolant` at the TEC's hot side.
+    ///
+    /// The required extra heat extraction is
+    /// `ΔQ = (T_die − T_target)/coupling`; the controller commands the
+    /// minimum current that pumps it, or saturates at the optimal
+    /// current if the demand is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coupling_k_per_w` is not strictly positive.
+    #[must_use]
+    pub fn act(
+        &self,
+        die: Celsius,
+        target: Celsius,
+        coolant: Celsius,
+        coupling_k_per_w: f64,
+    ) -> TecAction {
+        assert!(coupling_k_per_w > 0.0, "coupling must be positive");
+        if die <= target {
+            return TecAction::idle();
+        }
+        let demand = Watts::new((die - target).value() / coupling_k_per_w);
+        // Cold side of the TEC sits on the die (at target once settled),
+        // hot side on the coolant plate.
+        let hot_side = coolant.max(target);
+        match self.tec.current_for_demand(demand, target, hot_side) {
+            Some(current) => {
+                let dt = hot_side - target;
+                TecAction {
+                    current,
+                    input_power: self.tec.input_power(current, dt.max(DegC::zero())),
+                    pumped: demand,
+                    target_met: true,
+                }
+            }
+            None => {
+                let current = self.tec.optimal_current(target);
+                let pumped = self.tec.cooling_power(current, target, hot_side);
+                let dt = hot_side - target;
+                TecAction {
+                    current,
+                    input_power: self.tec.input_power(current, dt.max(DegC::zero())),
+                    pumped: pumped.max(Watts::zero()),
+                    target_met: false,
+                }
+            }
+        }
+    }
+
+    /// Convenience: whether a sudden utilization spike from a warm-water
+    /// operating point can be fully absorbed by the TEC (the cooling-lag
+    /// scenario of Sec. II-B).
+    #[must_use]
+    pub fn absorbs_spike(
+        &self,
+        die_after_spike: Celsius,
+        target: Celsius,
+        coolant: Celsius,
+        coupling_k_per_w: f64,
+        _spike: Utilization,
+    ) -> bool {
+        self.act(die_after_spike, target, coolant, coupling_k_per_w)
+            .target_met
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> HotSpotController {
+        HotSpotController::default()
+    }
+
+    #[test]
+    fn no_action_below_target() {
+        let a = controller().act(
+            Celsius::new(55.0),
+            Celsius::new(62.0),
+            Celsius::new(48.0),
+            0.3,
+        );
+        assert_eq!(a, TecAction::idle());
+    }
+
+    #[test]
+    fn moderate_overshoot_handled() {
+        // Die 4 degC over target with 0.3 K/W coupling: needs ~13 W of
+        // pumping, well inside a TEC1-12706's envelope.
+        let a = controller().act(
+            Celsius::new(66.0),
+            Celsius::new(62.0),
+            Celsius::new(50.0),
+            0.3,
+        );
+        assert!(a.target_met);
+        assert!(a.current.value() > 0.0);
+        assert!((a.pumped.value() - 4.0 / 0.3).abs() < 1e-9);
+        assert!(a.input_power.value() > 0.0);
+    }
+
+    #[test]
+    fn extreme_overshoot_saturates() {
+        // 30 degC over target at tight coupling: demand ~100 W exceeds
+        // the TEC's capability; it saturates and reports failure.
+        let a = controller().act(
+            Celsius::new(92.0),
+            Celsius::new(62.0),
+            Celsius::new(50.0),
+            0.3,
+        );
+        assert!(!a.target_met);
+        assert!(a.pumped.value() > 0.0, "still pumps what it can");
+    }
+
+    #[test]
+    fn bigger_overshoot_costs_more_power() {
+        let c = controller();
+        let small = c.act(Celsius::new(63.0), Celsius::new(62.0), Celsius::new(50.0), 0.3);
+        let large = c.act(Celsius::new(66.0), Celsius::new(62.0), Celsius::new(50.0), 0.3);
+        assert!(large.input_power > small.input_power);
+    }
+
+    #[test]
+    fn spike_absorption_narrative() {
+        // Sec. II-B scenario: warm water, sudden spike. Die would reach
+        // ~67 degC; TEC absorbs it without waiting minutes for cold water.
+        let ok = controller().absorbs_spike(
+            Celsius::new(67.0),
+            Celsius::new(62.0),
+            Celsius::new(50.0),
+            0.3,
+            Utilization::FULL,
+        );
+        assert!(ok);
+    }
+}

@@ -1,0 +1,276 @@
+//! Whole-plant cooling-energy accounting.
+//!
+//! Combines the tower, chiller and facility-loop pumping into one
+//! energy statement per control interval, so the simulator can report
+//! cooling power, partial PUE and ERE alongside TEG harvest. This is
+//! the machinery behind the paper's motivating claims — "raising the
+//! temperature of facility water from 7-10 °C to 18-20 °C \[saves\] as
+//! much as 40 %" of cooling energy (Sec. I) — and behind the ERE metric
+//! of Sec. II-C.
+
+use crate::chiller::Chiller;
+use crate::tower::CoolingTower;
+use crate::CoolingError;
+use h2p_units::{Celsius, LitersPerHour, Watts, WATER_SPECIFIC_HEAT};
+
+/// The instantaneous load the plant must serve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlantLoad {
+    /// Heat arriving from the IT equipment (all server branches).
+    pub heat: Watts,
+    /// The supply (inlet) temperature the controller demands.
+    pub supply_setpoint: Celsius,
+    /// Total TCS loop flow (for the chiller's flow-through term).
+    pub total_flow: LitersPerHour,
+}
+
+/// Electrical power drawn by each plant component.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlantPower {
+    /// Tower fans and spray pumps.
+    pub tower: Watts,
+    /// Chiller compressor (zero whenever the tower floor is above the
+    /// set-point — the warm-water regime).
+    pub chiller: Watts,
+    /// Facility-loop circulation pumps.
+    pub fws_pumps: Watts,
+}
+
+impl PlantPower {
+    /// Total plant electrical power.
+    #[must_use]
+    pub fn total(&self) -> Watts {
+        self.tower + self.chiller + self.fws_pumps
+    }
+}
+
+/// A cooling plant: tower + chiller + facility pumping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoolingPlant {
+    tower: CoolingTower,
+    chiller: Chiller,
+    /// FWS pumping power per watt of heat moved.
+    fws_overhead_per_watt: f64,
+    /// Ambient wet-bulb temperature (drives the tower floor).
+    wet_bulb: Celsius,
+}
+
+impl CoolingPlant {
+    /// Creates a plant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoolingError::NonPositiveParameter`] if the FWS
+    /// overhead is negative.
+    pub fn new(
+        tower: CoolingTower,
+        chiller: Chiller,
+        fws_overhead_per_watt: f64,
+        wet_bulb: Celsius,
+    ) -> Result<Self, CoolingError> {
+        if fws_overhead_per_watt < 0.0 {
+            return Err(CoolingError::NonPositiveParameter {
+                name: "fws_overhead_per_watt",
+                value: fws_overhead_per_watt,
+            });
+        }
+        Ok(CoolingPlant {
+            tower,
+            chiller,
+            fws_overhead_per_watt,
+            wet_bulb,
+        })
+    }
+
+    /// A representative plant: paper tower and chiller, 2 % FWS pumping
+    /// overhead, 24 °C ambient wet bulb (a warm climate, where the
+    /// chiller question actually bites).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        CoolingPlant {
+            tower: CoolingTower::paper_default(),
+            chiller: Chiller::paper_default(),
+            fws_overhead_per_watt: 0.02,
+            wet_bulb: Celsius::new(24.0),
+        }
+    }
+
+    /// Overrides the ambient wet bulb (climate sweeps).
+    #[must_use]
+    pub fn with_wet_bulb(mut self, wet_bulb: Celsius) -> Self {
+        self.wet_bulb = wet_bulb;
+        self
+    }
+
+    /// The ambient wet-bulb temperature.
+    #[must_use]
+    pub fn wet_bulb(&self) -> Celsius {
+        self.wet_bulb
+    }
+
+    /// Whether the chiller must run for a given supply set-point.
+    #[must_use]
+    pub fn chiller_required(&self, supply_setpoint: Celsius) -> bool {
+        !self.tower.covers(supply_setpoint, self.wet_bulb)
+    }
+
+    /// Electrical power to serve a load.
+    ///
+    /// The tower always rejects the full heat (plus the chiller's own
+    /// compressor heat when it runs); the chiller runs only when the
+    /// set-point is below the tower floor, and then must continuously
+    /// depress the full loop flow by the shortfall.
+    #[must_use]
+    pub fn power(&self, load: PlantLoad) -> PlantPower {
+        let depression = self
+            .tower
+            .chiller_depression(load.supply_setpoint, self.wet_bulb);
+        let chiller = if depression.value() > 0.0 && load.total_flow.value() > 0.0 {
+            let heat_rate = load.total_flow.mass_flow().value()
+                * WATER_SPECIFIC_HEAT
+                * depression.value();
+            self.chiller.power_to_remove(Watts::new(heat_rate))
+        } else {
+            Watts::zero()
+        };
+        let rejected = load.heat + chiller; // compressor heat is rejected too
+        PlantPower {
+            tower: self.tower.overhead_power(rejected),
+            chiller,
+            fws_pumps: Watts::new(load.heat.value().max(0.0) * self.fws_overhead_per_watt),
+        }
+    }
+
+    /// The fractional cooling-energy saving of running at `warm`
+    /// supply instead of `cold`, for the same heat and flow — the
+    /// paper's Sec. I motivation quantified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cold-supply plant draws no power (cannot happen
+    /// for positive heat).
+    #[must_use]
+    pub fn warm_water_saving(
+        &self,
+        heat: Watts,
+        total_flow: LitersPerHour,
+        cold: Celsius,
+        warm: Celsius,
+    ) -> f64 {
+        let at = |supply: Celsius| {
+            self.power(PlantLoad {
+                heat,
+                supply_setpoint: supply,
+                total_flow,
+            })
+            .total()
+        };
+        let cold_power = at(cold);
+        assert!(cold_power.value() > 0.0, "cold-supply plant must draw power");
+        1.0 - at(warm) / cold_power
+    }
+}
+
+impl Default for CoolingPlant {
+    fn default() -> Self {
+        CoolingPlant::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(heat_w: f64, supply: f64, flow: f64) -> PlantLoad {
+        PlantLoad {
+            heat: Watts::new(heat_w),
+            supply_setpoint: Celsius::new(supply),
+            total_flow: LitersPerHour::new(flow),
+        }
+    }
+
+    #[test]
+    fn warm_water_runs_chiller_free() {
+        let plant = CoolingPlant::paper_default();
+        assert!(!plant.chiller_required(Celsius::new(45.0)));
+        let p = plant.power(load(40_000.0, 50.0, 2_000.0));
+        assert_eq!(p.chiller, Watts::zero());
+        assert!(p.tower.value() > 0.0);
+        assert!(p.fws_pumps.value() > 0.0);
+        // Chiller-free cooling overhead stays a few percent of IT.
+        assert!(p.total().value() < 0.05 * 40_000.0);
+    }
+
+    #[test]
+    fn cold_water_pays_the_chiller() {
+        let plant = CoolingPlant::paper_default();
+        assert!(plant.chiller_required(Celsius::new(8.0)));
+        let p = plant.power(load(40_000.0, 8.0, 2_000.0));
+        assert!(p.chiller.value() > 0.0);
+        assert!(p.total() > plant.power(load(40_000.0, 50.0, 2_000.0)).total());
+    }
+
+    #[test]
+    fn paper_motivation_saving_band() {
+        // Sec. I: raising supply from 7-10 degC to 18-20 degC saves
+        // ~40 % of cooling energy. Our plant model must land in that
+        // decade for a realistic load.
+        let plant = CoolingPlant::paper_default();
+        let saving = plant.warm_water_saving(
+            Watts::new(40_000.0),
+            LitersPerHour::new(2_000.0),
+            Celsius::new(8.0),
+            Celsius::new(19.0),
+        );
+        assert!((0.25..=0.75).contains(&saving), "saving = {saving}");
+        // Going all the way to the H2P regime (50 degC) eliminates the
+        // chiller entirely: bigger saving still.
+        let warm = plant.warm_water_saving(
+            Watts::new(40_000.0),
+            LitersPerHour::new(2_000.0),
+            Celsius::new(8.0),
+            Celsius::new(50.0),
+        );
+        assert!(warm > saving);
+    }
+
+    #[test]
+    fn compressor_heat_reaches_the_tower() {
+        let plant = CoolingPlant::paper_default();
+        let cold = plant.power(load(40_000.0, 8.0, 2_000.0));
+        let warm = plant.power(load(40_000.0, 50.0, 2_000.0));
+        // The tower rejects more when the chiller also dumps its
+        // compressor heat.
+        assert!(cold.tower > warm.tower);
+    }
+
+    #[test]
+    fn cooler_climate_needs_less_chiller() {
+        let mild = CoolingPlant::paper_default().with_wet_bulb(Celsius::new(10.0));
+        let hot = CoolingPlant::paper_default().with_wet_bulb(Celsius::new(28.0));
+        let l = load(40_000.0, 18.0, 2_000.0);
+        assert!(mild.power(l).chiller < hot.power(l).chiller);
+        // At 10 degC wet bulb an 18 degC set-point is tower-coverable...
+        assert!(!mild.chiller_required(Celsius::new(18.0)));
+        // ...but not in the hot climate.
+        assert!(hot.chiller_required(Celsius::new(18.0)));
+    }
+
+    #[test]
+    fn zero_heat_zero_power_except_chiller_depression() {
+        let plant = CoolingPlant::paper_default();
+        let p = plant.power(load(0.0, 50.0, 0.0));
+        assert_eq!(p.total(), Watts::zero());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CoolingPlant::new(
+            CoolingTower::paper_default(),
+            Chiller::paper_default(),
+            -0.01,
+            Celsius::new(24.0)
+        )
+        .is_err());
+    }
+}

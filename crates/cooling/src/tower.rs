@@ -1,0 +1,146 @@
+//! Evaporative cooling tower (approach-temperature model).
+//!
+//! "In FWS, heat is removed mainly by the cooling tower via evaporation.
+//! If the ambient air temperature is high, chillers need to further cool
+//! the facility water" (paper Sec. II-A). A tower can cool water down to
+//! the ambient wet-bulb temperature plus an *approach*; anything colder
+//! requires the chiller. Warm-water operation keeps the supply
+//! set-point far above that limit, which is exactly why H2P's setting
+//! optimizer can usually run chiller-free.
+
+use crate::CoolingError;
+use h2p_units::{Celsius, DegC, Watts};
+
+/// An evaporative cooling tower.
+///
+/// ```
+/// use h2p_cooling::CoolingTower;
+/// use h2p_units::{Celsius, DegC};
+///
+/// let tower = CoolingTower::paper_default();
+/// let floor = tower.coldest_supply(Celsius::new(24.0));
+/// assert_eq!(floor, Celsius::new(29.0)); // wet bulb + 5 degC approach
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoolingTower {
+    approach: DegC,
+    /// Fan + spray-pump electrical power per watt of heat rejected.
+    overhead_per_watt: f64,
+}
+
+impl CoolingTower {
+    /// Creates a tower with the given approach temperature and
+    /// electrical overhead per watt of heat rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoolingError::NonPositiveParameter`] if the approach is
+    /// not strictly positive or the overhead is negative.
+    pub fn new(approach: DegC, overhead_per_watt: f64) -> Result<Self, CoolingError> {
+        if !(approach.value() > 0.0) {
+            return Err(CoolingError::NonPositiveParameter {
+                name: "approach",
+                value: approach.value(),
+            });
+        }
+        if overhead_per_watt < 0.0 {
+            return Err(CoolingError::NonPositiveParameter {
+                name: "overhead_per_watt",
+                value: overhead_per_watt,
+            });
+        }
+        Ok(CoolingTower {
+            approach,
+            overhead_per_watt,
+        })
+    }
+
+    /// A representative mid-size tower: 5 °C approach, 1 % electrical
+    /// overhead (fans and spray pumps) per watt rejected.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        CoolingTower {
+            approach: DegC::new(5.0),
+            overhead_per_watt: 0.01,
+        }
+    }
+
+    /// The coldest supply temperature achievable at an ambient wet-bulb
+    /// temperature.
+    #[must_use]
+    pub fn coldest_supply(&self, wet_bulb: Celsius) -> Celsius {
+        wet_bulb + self.approach
+    }
+
+    /// Whether the tower alone can hold the supply set-point (no chiller
+    /// needed).
+    #[must_use]
+    pub fn covers(&self, set_point: Celsius, wet_bulb: Celsius) -> bool {
+        set_point >= self.coldest_supply(wet_bulb)
+    }
+
+    /// Electrical power to reject `heat` through the tower.
+    #[must_use]
+    pub fn overhead_power(&self, heat: Watts) -> Watts {
+        Watts::new(heat.value().max(0.0) * self.overhead_per_watt)
+    }
+
+    /// How much the chiller must depress the tower's supply to reach a
+    /// set-point below the tower floor (zero when the tower covers it).
+    #[must_use]
+    pub fn chiller_depression(&self, set_point: Celsius, wet_bulb: Celsius) -> DegC {
+        let floor = self.coldest_supply(wet_bulb);
+        if set_point >= floor {
+            DegC::zero()
+        } else {
+            floor - set_point
+        }
+    }
+}
+
+impl Default for CoolingTower {
+    fn default() -> Self {
+        CoolingTower::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_water_needs_no_chiller() {
+        // The H2P regime: a 45-55 degC supply is far above the tower
+        // floor at any plausible wet bulb.
+        let tower = CoolingTower::paper_default();
+        for wb in [10.0, 18.0, 24.0, 28.0] {
+            assert!(tower.covers(Celsius::new(45.0), Celsius::new(wb)));
+            assert_eq!(
+                tower.chiller_depression(Celsius::new(45.0), Celsius::new(wb)),
+                DegC::zero()
+            );
+        }
+    }
+
+    #[test]
+    fn cold_water_needs_chiller() {
+        // Traditional 7-10 degC supply is below the tower floor.
+        let tower = CoolingTower::paper_default();
+        let depression = tower.chiller_depression(Celsius::new(8.0), Celsius::new(24.0));
+        assert_eq!(depression, DegC::new(21.0));
+        assert!(!tower.covers(Celsius::new(8.0), Celsius::new(24.0)));
+    }
+
+    #[test]
+    fn overhead_scales_with_heat() {
+        let tower = CoolingTower::paper_default();
+        assert_eq!(tower.overhead_power(Watts::new(1000.0)), Watts::new(10.0));
+        assert_eq!(tower.overhead_power(Watts::new(-5.0)), Watts::zero());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CoolingTower::new(DegC::new(0.0), 0.01).is_err());
+        assert!(CoolingTower::new(DegC::new(5.0), -0.1).is_err());
+    }
+}

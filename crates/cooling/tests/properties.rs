@@ -1,0 +1,108 @@
+//! Property-based tests of the cooling models.
+
+use h2p_cooling::hybrid::HotSpotController;
+use h2p_cooling::{Chiller, CoolingPlant, CoolingTower, PlantLoad};
+use h2p_units::{Celsius, DegC, LitersPerHour, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn plant_power_non_negative_and_monotone_in_heat(
+        h1 in 0.0..200_000.0f64,
+        h2 in 0.0..200_000.0f64,
+        supply in 5.0..60.0f64,
+        flow in 100.0..50_000.0f64,
+    ) {
+        let plant = CoolingPlant::paper_default();
+        let (lo, hi) = if h1 <= h2 { (h1, h2) } else { (h2, h1) };
+        let at = |heat: f64| {
+            plant.power(PlantLoad {
+                heat: Watts::new(heat),
+                supply_setpoint: Celsius::new(supply),
+                total_flow: LitersPerHour::new(flow),
+            })
+        };
+        let p_lo = at(lo);
+        let p_hi = at(hi);
+        prop_assert!(p_lo.total().value() >= 0.0);
+        prop_assert!(p_hi.total() >= p_lo.total());
+        prop_assert!(p_hi.tower >= p_lo.tower);
+    }
+
+    #[test]
+    fn chiller_runs_iff_below_tower_floor(
+        supply in 0.0..60.0f64,
+        wet_bulb in 5.0..30.0f64,
+        heat in 1.0..100_000.0f64,
+    ) {
+        let plant = CoolingPlant::paper_default().with_wet_bulb(Celsius::new(wet_bulb));
+        let p = plant.power(PlantLoad {
+            heat: Watts::new(heat),
+            supply_setpoint: Celsius::new(supply),
+            total_flow: LitersPerHour::new(5_000.0),
+        });
+        let needs_chiller = plant.chiller_required(Celsius::new(supply));
+        prop_assert_eq!(p.chiller.value() > 0.0, needs_chiller);
+    }
+
+    #[test]
+    fn tower_floor_and_depression_consistent(
+        setpoint in 0.0..60.0f64,
+        wet_bulb in 0.0..35.0f64,
+    ) {
+        let tower = CoolingTower::paper_default();
+        let sp = Celsius::new(setpoint);
+        let wb = Celsius::new(wet_bulb);
+        let depression = tower.chiller_depression(sp, wb);
+        prop_assert!(depression.value() >= 0.0);
+        // Depressing the tower floor by the reported amount reaches the
+        // set-point exactly (when the tower cannot cover it).
+        if !tower.covers(sp, wb) {
+            let reached = tower.coldest_supply(wb) - depression;
+            prop_assert!((reached - sp).value().abs() < 1e-9);
+        } else {
+            prop_assert_eq!(depression, DegC::zero());
+        }
+    }
+
+    #[test]
+    fn chiller_energy_inverse_in_cop(
+        cop1 in 1.0..8.0f64,
+        cop2 in 1.0..8.0f64,
+        heat in 1.0..100_000.0f64,
+    ) {
+        let a = Chiller::new(cop1).unwrap().power_to_remove(Watts::new(heat));
+        let b = Chiller::new(cop2).unwrap().power_to_remove(Watts::new(heat));
+        // power * cop == heat for both.
+        prop_assert!((a.value() * cop1 - heat).abs() < 1e-6 * heat);
+        prop_assert!((b.value() * cop2 - heat).abs() < 1e-6 * heat);
+    }
+
+    #[test]
+    fn tec_controller_sound(
+        die in 40.0..90.0f64,
+        target in 40.0..80.0f64,
+        coolant in 30.0..60.0f64,
+        coupling in 0.05..1.0f64,
+    ) {
+        let c = HotSpotController::default();
+        let action = c.act(
+            Celsius::new(die),
+            Celsius::new(target),
+            Celsius::new(coolant),
+            coupling,
+        );
+        prop_assert!(action.input_power.value() >= 0.0);
+        prop_assert!(action.pumped.value() >= 0.0);
+        prop_assert!(action.current.value() >= 0.0);
+        if die <= target {
+            prop_assert!(action.target_met);
+            prop_assert_eq!(action.input_power, Watts::zero());
+        }
+        if action.target_met && die > target {
+            // Met targets pump exactly the demanded overshoot.
+            let demand = (die - target) / coupling;
+            prop_assert!((action.pumped.value() - demand).abs() < 1e-6 * demand.max(1.0));
+        }
+    }
+}

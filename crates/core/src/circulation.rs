@@ -1,0 +1,257 @@
+//! Water-circulation design study (paper Sec. V-A, Eqs. 9-18).
+//!
+//! How many servers should share one water circulation? Each
+//! circulation's inlet temperature is capped by its hottest CPU, whose
+//! expected temperature grows with the circulation size through the
+//! order statistics of the per-CPU temperature distribution
+//! `T_i ~ N(μ, σ²)`. Larger circulations therefore need more chiller
+//! energy (Eqs. 9-11) but fewer chillers; the design point minimizes the
+//! total of energy and capital (Eq. 12).
+
+use crate::H2pError;
+use h2p_cooling::Chiller;
+use h2p_stats::{order_stats, Normal};
+use h2p_units::{Celsius, DegC, Dollars, Joules, LitersPerHour, Seconds};
+
+/// One evaluated circulation size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// Servers per circulation.
+    pub servers_per_circulation: usize,
+    /// Number of circulations (⌈total/n⌉).
+    pub circulations: usize,
+    /// Expected hottest CPU temperature in a circulation (Eq. 17).
+    pub expected_hottest: Celsius,
+    /// Expected chiller supply depression `E(ΔT_i)` (Eq. 18).
+    pub expected_depression: DegC,
+    /// Chiller electrical energy over the horizon, all circulations
+    /// (Eqs. 10-11).
+    pub chiller_energy: Joules,
+    /// Electricity cost of that energy.
+    pub energy_cost: Dollars,
+    /// Chiller capital across circulations.
+    pub capital_cost: Dollars,
+    /// The Eq. 12 objective: energy + capital.
+    pub total_cost: Dollars,
+}
+
+/// Parameters of the Sec. V-A study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CirculationDesign {
+    /// Cluster size (the paper's homogeneous 1,000-server datacenter).
+    pub total_servers: usize,
+    /// Distribution of per-CPU temperatures at the warm-water operating
+    /// point (Eq. 13).
+    pub temperature: Normal,
+    /// The CPU safety temperature (Sec. V-A: e.g. 80 % of the maximum
+    /// operating temperature).
+    pub t_safe: Celsius,
+    /// The die-versus-coolant slope `k ∈ [1, 1.3]` (Fig. 11).
+    pub coolant_slope: f64,
+    /// Constant per-server flow (the paper's example: 50 L/H).
+    pub flow_per_server: LitersPerHour,
+    /// The chiller model (COP 3.6).
+    pub chiller: Chiller,
+    /// Electricity price per kWh.
+    pub electricity_price_per_kwh: Dollars,
+    /// Amortized purchase cost of one circulation's chiller.
+    pub chiller_unit_cost: Dollars,
+    /// Planning horizon the energy is integrated over.
+    pub horizon: Seconds,
+}
+
+impl CirculationDesign {
+    /// The paper's study parameters: 1,000 servers, CPU temperatures
+    /// `N(55, 4²) °C` at the warm-water operating point,
+    /// `T_safe = 62 °C`, k = 1.2, 50 L/H per server, COP 3.6,
+    /// 13 ¢/kWh, $3,000 per chiller, 5-year horizon.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants; the `Result` mirrors
+    /// [`Normal::new`] for customized parameters.
+    pub fn paper_default() -> Result<Self, H2pError> {
+        Ok(CirculationDesign {
+            total_servers: 1000,
+            temperature: Normal::new(55.0, 4.0).map_err(|_| {
+                H2pError::NonPositiveParameter {
+                    name: "temperature std dev",
+                    value: 4.0,
+                }
+            })?,
+            t_safe: Celsius::new(62.0),
+            coolant_slope: 1.2,
+            flow_per_server: LitersPerHour::new(50.0),
+            chiller: Chiller::paper_default(),
+            electricity_price_per_kwh: Dollars::from_cents(13.0),
+            chiller_unit_cost: Dollars::new(3000.0),
+            horizon: Seconds::days(5.0 * 365.0),
+        })
+    }
+
+    /// Expected hottest CPU among `n` servers (Eq. 17).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn expected_hottest(&self, n: usize) -> Celsius {
+        Celsius::new(order_stats::expected_max(self.temperature, n))
+    }
+
+    /// Expected supply depression `E(ΔT_i) = (E(T_max) − T_safe)/k`
+    /// (Eq. 18), clamped at zero when even the hottest CPU stays safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn expected_depression(&self, n: usize) -> DegC {
+        let overshoot = self.expected_hottest(n) - self.t_safe;
+        DegC::new((overshoot.value() / self.coolant_slope).max(0.0))
+    }
+
+    /// Evaluates one circulation size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > total_servers`.
+    #[must_use]
+    pub fn evaluate(&self, n: usize) -> DesignPoint {
+        assert!(
+            n > 0 && n <= self.total_servers,
+            "circulation size {n} out of range"
+        );
+        let circulations = self.total_servers.div_ceil(n);
+        let depression = self.expected_depression(n);
+        let per_circulation = self.chiller.energy_for_supply_depression(
+            depression,
+            self.flow_per_server * n as f64,
+            self.horizon,
+        );
+        let chiller_energy = per_circulation * circulations as f64;
+        let energy_cost = self.electricity_price_per_kwh
+            * chiller_energy.to_kilowatt_hours().value();
+        let capital_cost = self.chiller_unit_cost * circulations as f64;
+        DesignPoint {
+            servers_per_circulation: n,
+            circulations,
+            expected_hottest: self.expected_hottest(n),
+            expected_depression: depression,
+            chiller_energy,
+            energy_cost,
+            capital_cost,
+            total_cost: energy_cost + capital_cost,
+        }
+    }
+
+    /// Evaluates a set of candidate sizes.
+    ///
+    /// # Panics
+    ///
+    /// As for [`evaluate`](Self::evaluate).
+    #[must_use]
+    pub fn sweep(&self, candidates: &[usize]) -> Vec<DesignPoint> {
+        candidates.iter().map(|&n| self.evaluate(n)).collect()
+    }
+
+    /// The cost-minimizing size among candidates (Eq. 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or any candidate is out of range.
+    #[must_use]
+    pub fn optimal(&self, candidates: &[usize]) -> DesignPoint {
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        self.sweep(candidates)
+            .into_iter()
+            .min_by(|a, b| a.total_cost.cmp(&b.total_cost))
+            .expect("non-empty by assertion")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design() -> CirculationDesign {
+        CirculationDesign::paper_default().unwrap()
+    }
+
+    #[test]
+    fn hottest_grows_with_circulation_size() {
+        let d = design();
+        let mut prev = Celsius::new(0.0);
+        for n in [1, 5, 20, 80, 320, 1000] {
+            let h = d.expected_hottest(n);
+            assert!(h > prev);
+            prev = h;
+        }
+        // n = 1 is just the mean.
+        assert!((d.expected_hottest(1).value() - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_circulations_need_no_chiller() {
+        // With mu = 55, sigma = 4 and T_safe = 62, E(T_max) stays below
+        // the target for small n: zero depression, zero energy.
+        let d = design();
+        let p = d.evaluate(5);
+        assert_eq!(p.expected_depression, DegC::zero());
+        assert_eq!(p.chiller_energy, Joules::zero());
+        assert_eq!(p.energy_cost, Dollars::zero());
+        assert!(p.capital_cost.value() > 0.0);
+    }
+
+    #[test]
+    fn large_circulations_pay_energy() {
+        let d = design();
+        let p = d.evaluate(500);
+        assert!(p.expected_depression.value() > 1.0);
+        assert!(p.energy_cost.value() > 0.0);
+    }
+
+    #[test]
+    fn energy_grows_and_capital_shrinks_with_n() {
+        let d = design();
+        let a = d.evaluate(50);
+        let b = d.evaluate(200);
+        assert!(b.energy_cost >= a.energy_cost);
+        assert!(b.capital_cost < a.capital_cost);
+    }
+
+    #[test]
+    fn optimum_is_interior() {
+        // The Eq. 12 trade-off must produce an optimum strictly between
+        // the extremes (per-server chillers vs one giant loop).
+        let d = design();
+        let candidates: Vec<usize> = vec![1, 2, 4, 8, 10, 20, 25, 40, 50, 100, 200, 500, 1000];
+        let best = d.optimal(&candidates);
+        assert!(
+            best.servers_per_circulation > 1 && best.servers_per_circulation < 1000,
+            "optimum at boundary: {}",
+            best.servers_per_circulation
+        );
+        // And it really is cheaper than both extremes.
+        assert!(best.total_cost < d.evaluate(1).total_cost);
+        assert!(best.total_cost < d.evaluate(1000).total_cost);
+    }
+
+    #[test]
+    fn circulation_count_rounds_up() {
+        let d = design();
+        assert_eq!(d.evaluate(300).circulations, 4);
+        assert_eq!(d.evaluate(1000).circulations, 1);
+        assert_eq!(d.evaluate(1).circulations, 1000);
+    }
+
+    #[test]
+    fn depression_uses_slope() {
+        // Doubling k halves the required depression.
+        let mut d = design();
+        let n = 500;
+        let base = d.expected_depression(n).value();
+        d.coolant_slope = 2.4;
+        assert!((d.expected_depression(n).value() - base / 2.0).abs() < 1e-9);
+    }
+}

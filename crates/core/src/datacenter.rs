@@ -1,0 +1,195 @@
+//! High-level datacenter facade: the one-stop API a deployment study
+//! would use.
+//!
+//! [`Datacenter`] bundles the trace-driven simulator, the TCO layer and
+//! a hydraulic feasibility check (every cooling setting the optimizer
+//! may choose must be deliverable by the CDU's flow network), and emits
+//! a single [`AnnualReport`] per workload.
+
+use crate::simulation::{SimulationConfig, SimulationResult, Simulator};
+use crate::H2pError;
+use h2p_hydraulics::Circulation;
+use h2p_sched::SchedulingPolicy;
+use h2p_server::ServerModel;
+use h2p_tco::TcoAnalysis;
+use h2p_units::{Dollars, LitersPerHour, Watts};
+use h2p_workload::ClusterTrace;
+
+/// The consolidated outcome of one workload under one policy, scaled to
+/// a year of operation.
+#[derive(Debug, Clone)]
+pub struct AnnualReport {
+    /// The underlying simulation result (series included).
+    pub result: SimulationResult,
+    /// Average per-CPU TEG output.
+    pub average_generation: Watts,
+    /// Power reusing efficiency (Eq. 19).
+    pub pre: f64,
+    /// Partial PUE (CPU + cooling + pumps over CPU).
+    pub partial_pue: f64,
+    /// Partial ERE (reuse subtracted).
+    pub partial_ere: f64,
+    /// Fractional TCO reduction (Eq. 22) at the fleet scale.
+    pub tco_reduction: f64,
+    /// Days to pay back the TEG fleet.
+    pub break_even_days: f64,
+    /// Net fleet savings per year.
+    pub annual_savings: Dollars,
+}
+
+/// A fully-assembled H2P datacenter.
+#[derive(Debug, Clone)]
+pub struct Datacenter {
+    simulator: Simulator,
+    tco: TcoAnalysis,
+}
+
+impl Datacenter {
+    /// Assembles a datacenter from a server model, simulation
+    /// configuration and TCO analysis, verifying on entry that every
+    /// flow the optimizer's lookup grid offers is hydraulically
+    /// deliverable by a CDU circulation of the configured size.
+    ///
+    /// # Errors
+    ///
+    /// * [`H2pError::NonPositiveParameter`] if the flow network cannot
+    ///   deliver the grid's maximum per-branch flow.
+    /// * Propagates lookup-space construction failures.
+    pub fn new(
+        model: &ServerModel,
+        config: SimulationConfig,
+        tco: TcoAnalysis,
+    ) -> Result<Self, H2pError> {
+        let servers = config.servers_per_circulation;
+        let simulator = Simulator::new(model, config)?;
+        // Hydraulic feasibility: the CDU circulation must reach the
+        // largest flow on the lookup grid at every branch.
+        let max_flow = simulator
+            .lookup_space()
+            .flow_axis()
+            .last()
+            .copied()
+            .unwrap_or(0.0);
+        let mut circulation =
+            Circulation::uniform(servers).map_err(|_| H2pError::NonPositiveParameter {
+                name: "servers_per_circulation",
+                value: servers as f64,
+            })?;
+        circulation
+            .regulate_to(LitersPerHour::new(max_flow))
+            .map_err(|_| H2pError::NonPositiveParameter {
+                name: "maximum grid flow beyond CDU pump capability",
+                value: max_flow,
+            })?;
+        Ok(Datacenter { simulator, tco })
+    }
+
+    /// The paper's datacenter: calibrated servers, paper configuration,
+    /// Table I economics at 100,000 CPUs.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new) (never fails for the paper constants).
+    pub fn paper_default() -> Result<Self, H2pError> {
+        Datacenter::new(
+            &ServerModel::paper_default(),
+            SimulationConfig::paper_default(),
+            TcoAnalysis::paper_default(),
+        )
+    }
+
+    /// The underlying simulator.
+    #[must_use]
+    pub fn simulator(&self) -> &Simulator {
+        &self.simulator
+    }
+
+    /// The TCO analysis.
+    #[must_use]
+    pub fn tco(&self) -> &TcoAnalysis {
+        &self.tco
+    }
+
+    /// Runs a workload under a policy and consolidates the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn evaluate(
+        &self,
+        cluster: &ClusterTrace,
+        policy: &dyn SchedulingPolicy,
+    ) -> Result<AnnualReport, H2pError> {
+        let result = self.simulator.run(cluster, policy)?;
+        let average_generation = result.average_teg_power();
+        Ok(AnnualReport {
+            average_generation,
+            pre: result.pre(),
+            partial_pue: result.partial_pue(),
+            partial_ere: result.partial_ere(),
+            tco_reduction: self.tco.reduction(average_generation),
+            break_even_days: self.tco.break_even(average_generation).to_days(),
+            annual_savings: self.tco.annual_savings(average_generation),
+            result,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2p_sched::{LoadBalance, Original};
+    use h2p_workload::{TraceGenerator, TraceKind};
+
+    fn cluster() -> ClusterTrace {
+        TraceGenerator::paper(TraceKind::Common, 9)
+            .with_servers(40)
+            .with_steps(24)
+            .generate()
+    }
+
+    #[test]
+    fn paper_datacenter_is_hydraulically_feasible() {
+        assert!(Datacenter::paper_default().is_ok());
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let dc = Datacenter::paper_default().unwrap();
+        let report = dc.evaluate(&cluster(), &LoadBalance).unwrap();
+        assert!(report.average_generation.value() > 2.0);
+        assert!(report.pre > 0.0 && report.pre < 1.0);
+        assert!(report.partial_ere < report.partial_pue);
+        assert!(report.tco_reduction > 0.0);
+        assert!(report.break_even_days.is_finite());
+        assert!(report.annual_savings.value() > 0.0);
+        assert_eq!(report.result.total_violations(), 0);
+    }
+
+    #[test]
+    fn balancing_improves_every_headline() {
+        let dc = Datacenter::paper_default().unwrap();
+        let c = cluster();
+        let orig = dc.evaluate(&c, &Original).unwrap();
+        let lb = dc.evaluate(&c, &LoadBalance).unwrap();
+        assert!(lb.average_generation >= orig.average_generation);
+        assert!(lb.pre >= orig.pre);
+        assert!(lb.tco_reduction >= orig.tco_reduction);
+        assert!(lb.break_even_days <= orig.break_even_days);
+        assert!(lb.partial_ere <= orig.partial_ere);
+    }
+
+    #[test]
+    fn oversized_circulation_rejected() {
+        // A single CDU circulator cannot push the grid's 250 L/H through
+        // 3,000 parallel branches.
+        let mut cfg = SimulationConfig::paper_default();
+        cfg.servers_per_circulation = 3000;
+        let err = Datacenter::new(
+            &ServerModel::paper_default(),
+            cfg,
+            TcoAnalysis::paper_default(),
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Facility water system (FWS) coupling — closing the Fig. 1 loop.
+//!
+//! The simulator's optimizer picks a TCS supply set-point and assumes
+//! the plant can hold it. This module checks that assumption from the
+//! other side: the CDU's liquid-to-liquid heat exchanger can only cool
+//! the TCS return down toward the *facility* water temperature, which
+//! the tower in turn can only cool toward the ambient wet bulb. The
+//! warm-water regime makes the chain trivially feasible (its set-points
+//! are far above the FWS temperature); traditional chilled set-points
+//! are exactly where it breaks — which is why the chiller exists.
+
+use crate::H2pError;
+use h2p_cooling::CoolingTower;
+use h2p_thermal::{CounterflowExchanger, Stream};
+use h2p_units::{Celsius, DegC, KgPerSecond, LitersPerHour, Watts};
+
+/// One CDU's view of the facility loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FacilityLoop {
+    /// The CDU's liquid-to-liquid exchanger.
+    exchanger: CounterflowExchanger,
+    /// FWS-side flow through this CDU.
+    fws_flow: KgPerSecond,
+    /// The tower serving the FWS.
+    tower: CoolingTower,
+    /// Ambient wet-bulb temperature.
+    wet_bulb: Celsius,
+}
+
+impl FacilityLoop {
+    /// Creates a facility loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`H2pError::NonPositiveParameter`] if the FWS flow is
+    /// not strictly positive.
+    pub fn new(
+        exchanger: CounterflowExchanger,
+        fws_flow: LitersPerHour,
+        tower: CoolingTower,
+        wet_bulb: Celsius,
+    ) -> Result<Self, H2pError> {
+        if !(fws_flow.value() > 0.0) {
+            return Err(H2pError::NonPositiveParameter {
+                name: "fws_flow",
+                value: fws_flow.value(),
+            });
+        }
+        Ok(FacilityLoop {
+            exchanger,
+            fws_flow: fws_flow.mass_flow(),
+            tower,
+            wet_bulb,
+        })
+    }
+
+    /// A CDU serving a 40-server circulation: UA sized at 600 W/K,
+    /// 4,000 L/H of facility water, paper tower, 24 °C wet bulb.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        FacilityLoop {
+            exchanger: CounterflowExchanger::new(600.0).expect("positive UA"),
+            fws_flow: LitersPerHour::new(4000.0).mass_flow(),
+            tower: CoolingTower::paper_default(),
+            wet_bulb: Celsius::new(24.0),
+        }
+    }
+
+    /// The facility supply temperature the tower can deliver
+    /// (chiller-free).
+    #[must_use]
+    pub fn fws_supply(&self) -> Celsius {
+        self.tower.coldest_supply(self.wet_bulb)
+    }
+
+    /// The TCS supply temperature this CDU achieves chiller-free for a
+    /// given TCS return stream: run the return through the exchanger
+    /// against tower-temperature facility water.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`H2pError::NonPositiveParameter`] for a non-positive
+    /// TCS flow.
+    pub fn achievable_tcs_supply(
+        &self,
+        tcs_return: Celsius,
+        tcs_flow: LitersPerHour,
+    ) -> Result<Celsius, H2pError> {
+        if !(tcs_flow.value() > 0.0) {
+            return Err(H2pError::NonPositiveParameter {
+                name: "tcs_flow",
+                value: tcs_flow.value(),
+            });
+        }
+        let hot = Stream::new(tcs_flow.mass_flow(), tcs_return)
+            .map_err(|_| H2pError::NonPositiveParameter {
+                name: "tcs_flow",
+                value: tcs_flow.value(),
+            })?;
+        let cold = Stream::new(self.fws_flow, self.fws_supply())
+            .expect("fws flow validated at construction");
+        Ok(self.exchanger.exchange(hot, cold).hot_outlet)
+    }
+
+    /// Whether a set-point is reachable chiller-free for a given return
+    /// condition (with a small control margin).
+    ///
+    /// # Errors
+    ///
+    /// As for [`achievable_tcs_supply`](Self::achievable_tcs_supply).
+    pub fn holds_setpoint(
+        &self,
+        setpoint: Celsius,
+        tcs_return: Celsius,
+        tcs_flow: LitersPerHour,
+    ) -> Result<bool, H2pError> {
+        let achieved = self.achievable_tcs_supply(tcs_return, tcs_flow)?;
+        Ok(achieved <= setpoint + DegC::new(0.1))
+    }
+
+    /// Heat this CDU moves into the facility loop for a TCS return
+    /// stream (what the tower must ultimately reject).
+    ///
+    /// # Errors
+    ///
+    /// As for [`achievable_tcs_supply`](Self::achievable_tcs_supply).
+    pub fn heat_to_fws(
+        &self,
+        tcs_return: Celsius,
+        tcs_flow: LitersPerHour,
+    ) -> Result<Watts, H2pError> {
+        if !(tcs_flow.value() > 0.0) {
+            return Err(H2pError::NonPositiveParameter {
+                name: "tcs_flow",
+                value: tcs_flow.value(),
+            });
+        }
+        let hot = Stream::new(tcs_flow.mass_flow(), tcs_return)
+            .map_err(|_| H2pError::NonPositiveParameter {
+                name: "tcs_flow",
+                value: tcs_flow.value(),
+            })?;
+        let cold = Stream::new(self.fws_flow, self.fws_supply())
+            .expect("fws flow validated at construction");
+        Ok(self.exchanger.exchange(hot, cold).heat_transferred)
+    }
+}
+
+impl Default for FacilityLoop {
+    fn default() -> Self {
+        FacilityLoop::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_loop() -> FacilityLoop {
+        FacilityLoop::paper_default()
+    }
+
+    #[test]
+    fn warm_water_setpoints_are_reachable() {
+        // The whole H2P operating band (48-58 °C supply) sits far above
+        // the 29 °C facility floor: the CDU holds it without a chiller.
+        let fl = paper_loop();
+        let tcs_flow = LitersPerHour::new(40.0 * 60.0); // 40 branches
+        for setpoint in [48.0, 52.0, 56.0, 58.0] {
+            let tcs_return = Celsius::new(setpoint + 1.5);
+            assert!(
+                fl.holds_setpoint(Celsius::new(setpoint), tcs_return, tcs_flow)
+                    .unwrap(),
+                "setpoint {setpoint}"
+            );
+        }
+    }
+
+    #[test]
+    fn chilled_setpoints_are_not_reachable_chiller_free() {
+        // Traditional 8-18 °C supply is below what the exchanger can
+        // reach against 29 °C facility water.
+        let fl = paper_loop();
+        let tcs_flow = LitersPerHour::new(40.0 * 60.0);
+        for setpoint in [8.0, 12.0, 18.0, 25.0] {
+            assert!(
+                !fl.holds_setpoint(Celsius::new(setpoint), Celsius::new(setpoint + 2.0), tcs_flow)
+                    .unwrap(),
+                "setpoint {setpoint}"
+            );
+        }
+    }
+
+    #[test]
+    fn achieved_supply_bracketed() {
+        let fl = paper_loop();
+        let achieved = fl
+            .achievable_tcs_supply(Celsius::new(54.0), LitersPerHour::new(2400.0))
+            .unwrap();
+        // Between the facility floor and the return temperature.
+        assert!(achieved > fl.fws_supply());
+        assert!(achieved < Celsius::new(54.0));
+    }
+
+    #[test]
+    fn heat_transfer_scales_with_return_temperature() {
+        let fl = paper_loop();
+        let flow = LitersPerHour::new(2400.0);
+        let q_warm = fl.heat_to_fws(Celsius::new(50.0), flow).unwrap();
+        let q_hot = fl.heat_to_fws(Celsius::new(58.0), flow).unwrap();
+        assert!(q_hot > q_warm);
+        assert!(q_warm.value() > 0.0);
+    }
+
+    #[test]
+    fn heat_balance_matches_cluster_load() {
+        // A 40-server circulation at ~30 W each puts ~1.2 kW into the
+        // loop; the return runs ~0.43 °C over the supply at 2,400 L/H.
+        // The CDU must move at least that heat at steady state.
+        let fl = paper_loop();
+        let flow = LitersPerHour::new(2400.0);
+        let supply = Celsius::new(52.0);
+        let heat = Watts::new(1200.0);
+        let rise = flow.mass_flow().temperature_rise(heat);
+        let q = fl.heat_to_fws(supply + rise, flow).unwrap();
+        assert!(q >= heat, "CDU moves {q}, needs {heat}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FacilityLoop::new(
+            CounterflowExchanger::new(600.0).unwrap(),
+            LitersPerHour::new(0.0),
+            CoolingTower::paper_default(),
+            Celsius::new(24.0),
+        )
+        .is_err());
+        let fl = paper_loop();
+        assert!(fl
+            .achievable_tcs_supply(Celsius::new(50.0), LitersPerHour::new(0.0))
+            .is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Heat to Power (H2P): thermal energy harvesting and recycling for warm
+//! water-cooled datacenters.
+//!
+//! This crate assembles the substrates (`h2p-thermal`, `h2p-teg`,
+//! `h2p-server`, `h2p-workload`, `h2p-cooling`, `h2p-sched`, …) into the
+//! paper's system:
+//!
+//! * [`prototype`] — the *virtual prototype*: reproductions of every
+//!   measurement campaign of Sec. IV (Figs. 3, 7, 8, 9, 10, 11) run
+//!   against the simulated hardware;
+//! * [`simulation`] — the trace-driven evaluation engine of Sec. V-C
+//!   (Figs. 14, 15): circulations of servers, per-interval cooling
+//!   optimization, scheduling policies, TEG generation accounting;
+//! * [`circulation`] — the analytical water-circulation design study of
+//!   Sec. V-A (order statistics → chiller energy → cost versus servers
+//!   per circulation);
+//! * [`metrics`] — PRE (Eq. 19), ERE and series summaries;
+//! * [`datacenter`] — the one-stop facade: simulator + TCO + hydraulic
+//!   feasibility, consolidated into an annual report;
+//! * [`facility`] — the FWS/CDU coupling of Fig. 1: which TCS
+//!   set-points the exchanger can hold chiller-free.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use h2p_core::simulation::Simulator;
+//! use h2p_sched::LoadBalance;
+//! use h2p_workload::{TraceGenerator, TraceKind};
+//!
+//! let cluster = TraceGenerator::paper(TraceKind::Common, 1)
+//!     .with_servers(40)
+//!     .with_steps(24)
+//!     .generate();
+//! let sim = Simulator::paper_default()?;
+//! let result = sim.run(&cluster, &LoadBalance)?;
+//! assert!(result.average_teg_power().value() > 2.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)` is used as a deliberate NaN-rejecting validation idiom
+// throughout (NaN fails the guard, unlike `x <= 0.0`).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod circulation;
+pub mod datacenter;
+pub mod facility;
+pub mod metrics;
+pub mod prototype;
+pub mod simulation;
+
+use core::fmt;
+
+/// Errors from the H2P system layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum H2pError {
+    /// A parameter that must be strictly positive was not.
+    NonPositiveParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Building or querying the lookup space failed.
+    Server(h2p_server::ServerError),
+    /// The cooling optimizer found no feasible setting.
+    NoFeasibleSetting {
+        /// The control utilization that could not be served.
+        control_utilization: f64,
+    },
+}
+
+impl fmt::Display for H2pError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            H2pError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter {name} must be positive, got {value}")
+            }
+            H2pError::Server(e) => write!(f, "server model error: {e}"),
+            H2pError::NoFeasibleSetting {
+                control_utilization,
+            } => write!(
+                f,
+                "no feasible cooling setting at control utilization {control_utilization}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for H2pError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            H2pError::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<h2p_server::ServerError> for H2pError {
+    fn from(e: h2p_server::ServerError) -> Self {
+        H2pError::Server(e)
+    }
+}

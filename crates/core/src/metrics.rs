@@ -1,0 +1,106 @@
+//! Energy-reuse metrics: PRE (paper Eq. 19) and ERE (Sec. II-C).
+
+use h2p_units::Watts;
+
+/// Power reusing efficiency (paper Eq. 19):
+/// `PRE = TEG generation / CPU power consumption`.
+///
+/// Returns 0 when no CPU power is drawn.
+///
+/// ```
+/// use h2p_core::metrics::pre;
+/// use h2p_units::Watts;
+/// let v = pre(Watts::new(4.177), Watts::new(29.4));
+/// assert!((v - 0.142).abs() < 0.01); // the paper's 14.23 % average
+/// ```
+#[must_use]
+pub fn pre(teg_generation: Watts, cpu_power: Watts) -> f64 {
+    if cpu_power.value() <= 0.0 {
+        0.0
+    } else {
+        (teg_generation.value() / cpu_power.value()).max(0.0)
+    }
+}
+
+/// Inputs of the Green Grid energy-reuse-effectiveness metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// IT equipment power.
+    pub it: Watts,
+    /// Cooling plant power.
+    pub cooling: Watts,
+    /// Power-delivery losses (UPS, distribution).
+    pub power: Watts,
+    /// Lighting power.
+    pub lighting: Watts,
+    /// Power recovered for reuse (TEG harvest in H2P).
+    pub reuse: Watts,
+}
+
+impl EnergyBreakdown {
+    /// Energy reuse effectiveness (Sec. II-C):
+    /// `ERE = (E_IT + E_Cooling + E_Power + E_Lighting − E_Reuse) / E_IT`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if IT power is not strictly positive.
+    #[must_use]
+    pub fn ere(&self) -> f64 {
+        assert!(self.it.value() > 0.0, "IT power must be positive");
+        (self.it + self.cooling + self.power + self.lighting - self.reuse).value()
+            / self.it.value()
+    }
+
+    /// Power usage effectiveness (reuse ignored):
+    /// `PUE = (E_IT + E_Cooling + E_Power + E_Lighting) / E_IT`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if IT power is not strictly positive.
+    #[must_use]
+    pub fn pue(&self) -> f64 {
+        assert!(self.it.value() > 0.0, "IT power must be positive");
+        (self.it + self.cooling + self.power + self.lighting).value() / self.it.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pre_matches_paper_numbers() {
+        // TEG_LoadBalance: 4.177 W at ~29.4 W mean CPU power → ~14.2 %.
+        let v = pre(Watts::new(4.177), Watts::new(29.4));
+        assert!((v - 0.1421).abs() < 1e-3);
+        // Zero CPU power degenerates to 0.
+        assert_eq!(pre(Watts::new(1.0), Watts::zero()), 0.0);
+    }
+
+    #[test]
+    fn ere_below_pue_when_reusing() {
+        let b = EnergyBreakdown {
+            it: Watts::from_kilowatts(100.0),
+            cooling: Watts::from_kilowatts(20.0),
+            power: Watts::from_kilowatts(8.0),
+            lighting: Watts::from_kilowatts(1.0),
+            reuse: Watts::from_kilowatts(5.0),
+        };
+        assert!(b.ere() < b.pue());
+        assert!((b.pue() - 1.29).abs() < 1e-12);
+        assert!((b.ere() - 1.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ere_can_drop_below_one() {
+        // The Green Grid point: enough reuse pushes ERE under 1.
+        let b = EnergyBreakdown {
+            it: Watts::from_kilowatts(100.0),
+            cooling: Watts::from_kilowatts(5.0),
+            power: Watts::from_kilowatts(3.0),
+            lighting: Watts::from_kilowatts(1.0),
+            reuse: Watts::from_kilowatts(15.0),
+        };
+        assert!(b.ere() < 1.0);
+    }
+}

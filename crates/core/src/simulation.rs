@@ -1,0 +1,507 @@
+//! Trace-driven datacenter simulation (paper Sec. V-C, Figs. 14-15).
+//!
+//! The engine divides the cluster into water circulations of
+//! `servers_per_circulation` servers (the paper's CDU granularity —
+//! "servers in one or several racks are controlled by one CDU and share
+//! the same water circulation"). Every control interval, for every
+//! circulation:
+//!
+//! 1. the scheduling policy rearranges the interval's loads and names
+//!    the control utilization (`U_max` or `U_avg`, Step 1);
+//! 2. the cooling optimizer picks `{f, T_warm_in}` from the lookup
+//!    space (Steps 2-3);
+//! 3. every server's coolant outlet and TEG output follow from its own
+//!    (post-scheduling) load under the shared setting.
+
+use crate::H2pError;
+use h2p_cooling::{CoolingOptimizer, CoolingPlant, PlantLoad};
+use h2p_hydraulics::{ColdSource, Pump};
+use h2p_sched::SchedulingPolicy;
+use h2p_server::{CpuPowerModel, LookupSpace, ServerModel};
+use h2p_teg::TegModule;
+use h2p_units::{Celsius, DegC, Joules, Seconds, Utilization, Watts};
+use h2p_workload::ClusterTrace;
+use std::collections::HashMap;
+
+/// Configuration of the simulated H2P datacenter.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Servers sharing one CDU/water circulation.
+    pub servers_per_circulation: usize,
+    /// CPU safety target (the controller's `T_safe`).
+    pub t_safe: Celsius,
+    /// Half-width of the safety band used in Step 2.
+    pub tolerance: DegC,
+    /// Cold-water source for the TEG cold loop.
+    pub cold_source: ColdSource,
+    /// TEGs per CPU.
+    pub module: TegModule,
+    /// Per-branch pump model.
+    pub pump: Pump,
+    /// The cooling plant (tower + chiller + FWS pumping) used for the
+    /// PUE/ERE accounting.
+    pub plant: CoolingPlant,
+}
+
+impl SimulationConfig {
+    /// The paper's evaluation configuration: 40-server circulations
+    /// (a rack pair per CDU), `T_safe = 62 °C ± 1 °C`, constant 20 °C
+    /// cold water, 12 TEGs per CPU, prototype pump.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        SimulationConfig {
+            servers_per_circulation: 40,
+            t_safe: Celsius::new(62.0),
+            tolerance: DegC::new(1.0),
+            cold_source: ColdSource::paper_default(),
+            module: TegModule::paper_module(),
+            pump: Pump::paper_tcs_pump(),
+            plant: CoolingPlant::paper_default(),
+        }
+    }
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig::paper_default()
+    }
+}
+
+/// Aggregates for one control interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    /// Simulated time at the start of the interval.
+    pub time: Seconds,
+    /// Mean per-server TEG output over the interval.
+    pub teg_power_per_server: Watts,
+    /// Mean per-server CPU power (Eq. 20) over the interval.
+    pub cpu_power_per_server: Watts,
+    /// Mean per-server pump power.
+    pub pump_power_per_server: Watts,
+    /// Mean per-server cooling-plant power (tower + chiller + FWS
+    /// pumps).
+    pub cooling_power_per_server: Watts,
+    /// Mean chosen inlet temperature across circulations.
+    pub mean_inlet: Celsius,
+    /// Mean coolant outlet temperature across servers.
+    pub mean_outlet: Celsius,
+    /// Cluster-mean utilization after scheduling.
+    pub mean_utilization: Utilization,
+    /// Cluster-peak utilization after scheduling.
+    pub peak_utilization: Utilization,
+    /// Servers whose predicted die exceeded the CPU maximum operating
+    /// temperature this interval (should stay zero).
+    pub thermal_violations: usize,
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    policy: &'static str,
+    interval: Seconds,
+    servers: usize,
+    steps: Vec<StepRecord>,
+}
+
+impl SimulationResult {
+    /// The policy that produced this run.
+    #[must_use]
+    pub fn policy(&self) -> &'static str {
+        self.policy
+    }
+
+    /// The control interval.
+    #[must_use]
+    pub fn interval(&self) -> Seconds {
+        self.interval
+    }
+
+    /// Number of simulated servers.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Per-interval records (the Fig. 14 series).
+    #[must_use]
+    pub fn steps(&self) -> &[StepRecord] {
+        &self.steps
+    }
+
+    /// Time-average per-server TEG output (the headline Fig. 14 number).
+    #[must_use]
+    pub fn average_teg_power(&self) -> Watts {
+        let total: f64 = self.steps.iter().map(|s| s.teg_power_per_server.value()).sum();
+        Watts::new(total / self.steps.len().max(1) as f64)
+    }
+
+    /// Peak per-server TEG output over the run.
+    #[must_use]
+    pub fn peak_teg_power(&self) -> Watts {
+        self.steps
+            .iter()
+            .map(|s| s.teg_power_per_server)
+            .fold(Watts::zero(), Watts::max)
+    }
+
+    /// Time-average per-server CPU power.
+    #[must_use]
+    pub fn average_cpu_power(&self) -> Watts {
+        let total: f64 = self.steps.iter().map(|s| s.cpu_power_per_server.value()).sum();
+        Watts::new(total / self.steps.len().max(1) as f64)
+    }
+
+    /// Time-average per-server cooling-plant power.
+    #[must_use]
+    pub fn average_cooling_power(&self) -> Watts {
+        let total: f64 = self
+            .steps
+            .iter()
+            .map(|s| s.cooling_power_per_server.value())
+            .sum();
+        Watts::new(total / self.steps.len().max(1) as f64)
+    }
+
+    /// Partial PUE over CPU + cooling + TCS pumps (lighting and power
+    /// delivery excluded): `(IT + cooling + pumps) / IT`. Warm-water
+    /// operation keeps this close to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty run (no CPU power drawn).
+    #[must_use]
+    pub fn partial_pue(&self) -> f64 {
+        let it = self.average_cpu_power().value();
+        assert!(it > 0.0, "no IT power recorded");
+        let pumps: f64 = self
+            .steps
+            .iter()
+            .map(|s| s.pump_power_per_server.value())
+            .sum::<f64>()
+            / self.steps.len().max(1) as f64;
+        (it + self.average_cooling_power().value() + pumps) / it
+    }
+
+    /// Partial ERE (Sec. II-C): the partial PUE numerator minus the TEG
+    /// harvest, over IT power. H2P pushes this below the partial PUE.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty run (no CPU power drawn).
+    #[must_use]
+    pub fn partial_ere(&self) -> f64 {
+        self.partial_pue() - self.pre()
+    }
+
+    /// Power reusing efficiency over the run (paper Eq. 19, Fig. 15).
+    #[must_use]
+    pub fn pre(&self) -> f64 {
+        crate::metrics::pre(self.average_teg_power(), self.average_cpu_power())
+    }
+
+    /// Total electrical energy harvested by all TEGs over the run.
+    #[must_use]
+    pub fn total_harvested(&self) -> Joules {
+        self.steps
+            .iter()
+            .map(|s| (s.teg_power_per_server * self.servers as f64).energy_over(self.interval))
+            .sum()
+    }
+
+    /// Total thermal violations over the run (must be zero for a sound
+    /// controller).
+    #[must_use]
+    pub fn total_violations(&self) -> usize {
+        self.steps.iter().map(|s| s.thermal_violations).sum()
+    }
+}
+
+/// The trace-driven H2P simulator.
+///
+/// Building a simulator runs the measurement campaign that fits the
+/// lookup space (once); individual [`run`](Simulator::run)s then share
+/// it.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimulationConfig,
+    space: LookupSpace,
+    power_model: CpuPowerModel,
+    max_operating: Celsius,
+}
+
+impl Simulator {
+    /// Creates a simulator for a server model and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup-space construction failures.
+    pub fn new(model: &ServerModel, config: SimulationConfig) -> Result<Self, H2pError> {
+        let space = LookupSpace::paper_grid(model)?;
+        Ok(Simulator {
+            config,
+            space,
+            power_model: *model.power_model(),
+            max_operating: model.spec().max_operating,
+        })
+    }
+
+    /// The paper's simulator: calibrated server model and paper
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup-space construction failures.
+    pub fn paper_default() -> Result<Self, H2pError> {
+        Simulator::new(&ServerModel::paper_default(), SimulationConfig::paper_default())
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The fitted lookup space.
+    #[must_use]
+    pub fn lookup_space(&self) -> &LookupSpace {
+        &self.space
+    }
+
+    /// Runs a policy over a cluster trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`H2pError::NoFeasibleSetting`] if the optimizer cannot
+    /// serve some interval (cannot happen on the paper grid) and
+    /// propagates lookup errors.
+    pub fn run(
+        &self,
+        cluster: &ClusterTrace,
+        policy: &dyn SchedulingPolicy,
+    ) -> Result<SimulationResult, H2pError> {
+        let servers = cluster.servers();
+        let circ_size = self.config.servers_per_circulation.min(servers).max(1);
+        let interval = cluster.interval();
+        let mut steps = Vec::with_capacity(cluster.steps());
+        // The optimizer is deterministic in the control utilization;
+        // cache on a quantized key to avoid re-searching identical
+        // planes (large win: U_avg repeats heavily).
+        let mut cache: HashMap<u32, h2p_cooling::OptimizedSetting> = HashMap::new();
+
+        for step in 0..cluster.steps() {
+            let time = Seconds::new(interval.value() * step as f64);
+            let cold = self.config.cold_source.temperature(time);
+            let optimizer = CoolingOptimizer::new(
+                &self.space,
+                self.config.module,
+                self.config.pump,
+                self.config.t_safe,
+                self.config.tolerance,
+                cold,
+            )
+            .expect("tolerance validated in config");
+
+            let loads = cluster.utilizations_at(step);
+            let mut teg_sum = 0.0;
+            let mut cpu_sum = 0.0;
+            let mut pump_sum = 0.0;
+            let mut flow_sum = 0.0;
+            let mut inlet_sum = 0.0;
+            let mut outlet_sum = 0.0;
+            let mut util_sum = 0.0;
+            let mut peak = Utilization::IDLE;
+            let mut violations = 0usize;
+            let mut circulations = 0usize;
+
+            for chunk in loads.chunks(circ_size) {
+                circulations += 1;
+                let scheduled = policy.schedule(chunk);
+                let u_ctrl = policy.control_utilization(chunk);
+                let key = (u_ctrl.value() * 10_000.0).round() as u32
+                    ^ ((cold.value() * 16.0).round() as u32) << 16;
+                let chosen = match cache.get(&key) {
+                    Some(c) => *c,
+                    None => {
+                        let c = optimizer.optimize(u_ctrl).ok_or(
+                            H2pError::NoFeasibleSetting {
+                                control_utilization: u_ctrl.value(),
+                            },
+                        )?;
+                        cache.insert(key, c);
+                        c
+                    }
+                };
+                for &u in &scheduled {
+                    let outlet =
+                        self.space
+                            .outlet_temperature(u, chosen.setting.flow, chosen.setting.inlet)?;
+                    let die =
+                        self.space
+                            .cpu_temperature(u, chosen.setting.flow, chosen.setting.inlet)?;
+                    if die > self.max_operating {
+                        violations += 1;
+                    }
+                    teg_sum += self.config.module.max_power(outlet - cold).value();
+                    cpu_sum += self.power_model.base_power(u).value();
+                    outlet_sum += outlet.value();
+                    util_sum += u.value();
+                    peak = peak.max(u);
+                }
+                pump_sum += chosen.pump_power.value() * scheduled.len() as f64;
+                flow_sum += chosen.setting.flow.value() * scheduled.len() as f64;
+                inlet_sum += chosen.setting.inlet.value();
+            }
+
+            let n = servers as f64;
+            let plant_power = self.config.plant.power(PlantLoad {
+                heat: Watts::new(cpu_sum),
+                supply_setpoint: Celsius::new(inlet_sum / circulations as f64),
+                total_flow: h2p_units::LitersPerHour::new(flow_sum),
+            });
+            steps.push(StepRecord {
+                time,
+                teg_power_per_server: Watts::new(teg_sum / n),
+                cpu_power_per_server: Watts::new(cpu_sum / n),
+                pump_power_per_server: Watts::new(pump_sum / n),
+                cooling_power_per_server: plant_power.total() / n,
+                mean_inlet: Celsius::new(inlet_sum / circulations as f64),
+                mean_outlet: Celsius::new(outlet_sum / n),
+                mean_utilization: Utilization::saturating(util_sum / n),
+                peak_utilization: peak,
+                thermal_violations: violations,
+            });
+        }
+
+        Ok(SimulationResult {
+            policy: policy.name(),
+            interval,
+            servers,
+            steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2p_sched::{LoadBalance, Original};
+    use h2p_workload::{TraceGenerator, TraceKind};
+
+    fn small_cluster(kind: TraceKind) -> ClusterTrace {
+        TraceGenerator::paper(kind, 7)
+            .with_servers(80)
+            .with_steps(36)
+            .generate()
+    }
+
+    #[test]
+    fn load_balance_beats_original() {
+        let sim = Simulator::paper_default().unwrap();
+        let cluster = small_cluster(TraceKind::Drastic);
+        let orig = sim.run(&cluster, &Original).unwrap();
+        let lb = sim.run(&cluster, &LoadBalance).unwrap();
+        assert!(
+            lb.average_teg_power() > orig.average_teg_power(),
+            "lb {} vs orig {}",
+            lb.average_teg_power(),
+            orig.average_teg_power()
+        );
+    }
+
+    #[test]
+    fn generation_in_paper_band() {
+        // Per-CPU averages must land in the paper's 3-5 W decade.
+        let sim = Simulator::paper_default().unwrap();
+        let cluster = small_cluster(TraceKind::Common);
+        let lb = sim.run(&cluster, &LoadBalance).unwrap();
+        let avg = lb.average_teg_power().value();
+        assert!((3.0..=5.5).contains(&avg), "avg = {avg}");
+    }
+
+    #[test]
+    fn pre_in_paper_band() {
+        let sim = Simulator::paper_default().unwrap();
+        let cluster = small_cluster(TraceKind::Common);
+        let lb = sim.run(&cluster, &LoadBalance).unwrap();
+        let pre = lb.pre();
+        assert!((0.08..=0.22).contains(&pre), "pre = {pre}");
+    }
+
+    #[test]
+    fn no_thermal_violations() {
+        let sim = Simulator::paper_default().unwrap();
+        for kind in TraceKind::all() {
+            let cluster = small_cluster(kind);
+            for policy in [&Original as &dyn h2p_sched::SchedulingPolicy, &LoadBalance] {
+                let r = sim.run(&cluster, policy).unwrap();
+                assert_eq!(r.total_violations(), 0, "{kind}/{}", r.policy());
+            }
+        }
+    }
+
+    #[test]
+    fn result_accounting_consistent() {
+        let sim = Simulator::paper_default().unwrap();
+        let cluster = small_cluster(TraceKind::Irregular);
+        let r = sim.run(&cluster, &LoadBalance).unwrap();
+        assert_eq!(r.steps().len(), 36);
+        assert_eq!(r.servers(), 80);
+        assert_eq!(r.policy(), "TEG_LoadBalance");
+        assert!(r.peak_teg_power() >= r.average_teg_power());
+        // total harvested == avg power × servers × duration.
+        let expect = r.average_teg_power().value() * 80.0 * r.interval().value() * 36.0;
+        assert!((r.total_harvested().value() - expect).abs() < expect * 1e-9);
+    }
+
+    #[test]
+    fn generation_anticorrelates_with_utilization() {
+        // Fig. 14a's visual: high-utilization intervals generate less.
+        let sim = Simulator::paper_default().unwrap();
+        let cluster = small_cluster(TraceKind::Drastic);
+        let r = sim.run(&cluster, &Original).unwrap();
+        let util: Vec<f64> = r
+            .steps()
+            .iter()
+            .map(|s| s.peak_utilization.value())
+            .collect();
+        let teg: Vec<f64> = r
+            .steps()
+            .iter()
+            .map(|s| s.teg_power_per_server.value())
+            .collect();
+        let corr = h2p_stats::descriptive::correlation(&util, &teg).unwrap();
+        assert!(corr < -0.3, "correlation = {corr}");
+    }
+
+    #[test]
+    fn warm_water_pue_near_one_and_ere_below_it() {
+        let sim = Simulator::paper_default().unwrap();
+        let cluster = small_cluster(TraceKind::Common);
+        let r = sim.run(&cluster, &LoadBalance).unwrap();
+        let pue = r.partial_pue();
+        // Chiller-free warm-water operation: cooling + pumps stay a few
+        // percent of IT.
+        assert!((1.0..=1.15).contains(&pue), "partial PUE = {pue}");
+        let ere = r.partial_ere();
+        assert!(ere < pue, "reuse must push ERE below PUE");
+        assert!(ere > 0.5, "sanity: ere = {ere}");
+        assert!(r.average_cooling_power().value() > 0.0);
+    }
+
+    #[test]
+    fn smaller_circulations_help_original() {
+        // With fewer servers per circulation the hottest-server cap is
+        // less binding for the unbalanced policy.
+        let cluster = small_cluster(TraceKind::Drastic);
+        let model = ServerModel::paper_default();
+        let mut cfg_small = SimulationConfig::paper_default();
+        cfg_small.servers_per_circulation = 10;
+        let mut cfg_large = SimulationConfig::paper_default();
+        cfg_large.servers_per_circulation = 80;
+        let small = Simulator::new(&model, cfg_small).unwrap();
+        let large = Simulator::new(&model, cfg_large).unwrap();
+        let p_small = small.run(&cluster, &Original).unwrap().average_teg_power();
+        let p_large = large.run(&cluster, &Original).unwrap().average_teg_power();
+        assert!(p_small > p_large, "small {p_small} vs large {p_large}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Water-circulation substrate: pumps, branches, stream mixing and cold
+//! sources.
+//!
+//! The paper's cooling plant (Fig. 1) is two liquid loops — the
+//! technology cooling system (TCS) that washes the servers and the
+//! facility water system (FWS) that rejects heat — joined by the CDU's
+//! heat exchanger, plus H2P's third, *cold* loop fed by a natural water
+//! source (Sec. III-C). This crate provides the hydraulic pieces those
+//! loops are assembled from:
+//!
+//! * [`Branch`] — a per-server coolant branch: advection energy balance
+//!   `T_out = T_in + P/(ṁ·c_p)`;
+//! * [`mix`] — enthalpy-weighted merging of parallel branch outlets;
+//! * [`Pump`] — centrifugal pump electrical power via the affinity laws;
+//! * [`cold_source`] — models of the natural cold-water source (constant
+//!   lake water, seasonal variation);
+//! * [`circulation`] — a flow-network solver: parallel trim-valved
+//!   branches on a centralized variable-speed pump, solved at the
+//!   intersection of the pump and demand curves.
+//!
+//! # Examples
+//!
+//! ```
+//! use h2p_hydraulics::Branch;
+//! use h2p_units::{Celsius, LitersPerHour, Watts};
+//!
+//! let branch = Branch::new(LitersPerHour::new(20.0))?;
+//! let out = branch.outlet(Celsius::new(45.0), Watts::new(60.0));
+//! assert!(out > Celsius::new(45.0) && out < Celsius::new(48.5));
+//! # Ok::<(), h2p_hydraulics::HydraulicsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)` is used as a deliberate NaN-rejecting validation idiom
+// throughout (NaN fails the guard, unlike `x <= 0.0`).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod circulation;
+pub mod cold_source;
+mod pump;
+
+pub use circulation::{BranchCircuit, Circulation, OperatingFlow, PumpCurve};
+pub use cold_source::ColdSource;
+pub use pump::Pump;
+
+use core::fmt;
+use h2p_units::{Celsius, KgPerSecond, LitersPerHour, Watts};
+
+/// Errors from the hydraulics substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HydraulicsError {
+    /// A parameter that must be strictly positive was not.
+    NonPositiveParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Mixing requires at least one stream.
+    NoStreams,
+}
+
+impl fmt::Display for HydraulicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HydraulicsError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter {name} must be positive, got {value}")
+            }
+            HydraulicsError::NoStreams => write!(f, "cannot mix zero streams"),
+        }
+    }
+}
+
+impl std::error::Error for HydraulicsError {}
+
+/// A coolant branch with a fixed volumetric flow — one server's share of
+/// a circulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Branch {
+    flow: LitersPerHour,
+}
+
+impl Branch {
+    /// Creates a branch with the given flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HydraulicsError::NonPositiveParameter`] if the flow is
+    /// not strictly positive.
+    pub fn new(flow: LitersPerHour) -> Result<Self, HydraulicsError> {
+        if !(flow.value() > 0.0) {
+            return Err(HydraulicsError::NonPositiveParameter {
+                name: "flow",
+                value: flow.value(),
+            });
+        }
+        Ok(Branch { flow })
+    }
+
+    /// The branch flow.
+    #[must_use]
+    pub fn flow(&self) -> LitersPerHour {
+        self.flow
+    }
+
+    /// The branch mass flow.
+    #[must_use]
+    pub fn mass_flow(&self) -> KgPerSecond {
+        self.flow.mass_flow()
+    }
+
+    /// Outlet temperature after the branch absorbs `power`:
+    /// `T_out = T_in + P/(ṁ·c_p)` (the paper's Eq. 8 with
+    /// `ΔT_out−in = P/(ṁ·c_p)`).
+    #[must_use]
+    pub fn outlet(&self, inlet: Celsius, power: Watts) -> Celsius {
+        inlet + self.mass_flow().temperature_rise(power)
+    }
+
+    /// Heat absorbed when the branch warms from `inlet` to `outlet`.
+    #[must_use]
+    pub fn absorbed(&self, inlet: Celsius, outlet: Celsius) -> Watts {
+        self.mass_flow().heat_rate(outlet - inlet)
+    }
+}
+
+/// Enthalpy-weighted mixing of parallel streams `(mass flow, temperature)`
+/// into a single return stream.
+///
+/// # Errors
+///
+/// Returns [`HydraulicsError::NoStreams`] if `streams` is empty and
+/// [`HydraulicsError::NonPositiveParameter`] if any mass flow is not
+/// strictly positive.
+pub fn mix(streams: &[(KgPerSecond, Celsius)]) -> Result<(KgPerSecond, Celsius), HydraulicsError> {
+    if streams.is_empty() {
+        return Err(HydraulicsError::NoStreams);
+    }
+    let mut total_flow = 0.0;
+    let mut weighted = 0.0;
+    for &(m, t) in streams {
+        if !(m.value() > 0.0) {
+            return Err(HydraulicsError::NonPositiveParameter {
+                name: "mass_flow",
+                value: m.value(),
+            });
+        }
+        total_flow += m.value();
+        weighted += m.value() * t.value();
+    }
+    Ok((
+        KgPerSecond::new(total_flow),
+        Celsius::new(weighted / total_flow),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outlet_rises_with_power() {
+        let b = Branch::new(LitersPerHour::new(20.0)).unwrap();
+        let t0 = b.outlet(Celsius::new(45.0), Watts::zero());
+        let t1 = b.outlet(Celsius::new(45.0), Watts::new(40.0));
+        let t2 = b.outlet(Celsius::new(45.0), Watts::new(80.0));
+        assert_eq!(t0, Celsius::new(45.0));
+        assert!(t1 > t0 && t2 > t1);
+        // Linearity.
+        assert!(((t2 - t0).value() - 2.0 * (t1 - t0).value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorbed_inverts_outlet() {
+        let b = Branch::new(LitersPerHour::new(50.0)).unwrap();
+        let inlet = Celsius::new(42.0);
+        let out = b.outlet(inlet, Watts::new(65.0));
+        assert!((b.absorbed(inlet, out).value() - 65.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_delta_band() {
+        // Fig. 9: 1-3.5 °C outlet-inlet difference at 20 L/H across the
+        // utilization range (25-80 W CPU power).
+        let b = Branch::new(LitersPerHour::new(20.0)).unwrap();
+        let lo = b.outlet(Celsius::new(45.0), Watts::new(25.0)) - Celsius::new(45.0);
+        let hi = b.outlet(Celsius::new(45.0), Watts::new(80.0)) - Celsius::new(45.0);
+        assert!(lo.value() > 0.9 && hi.value() < 3.6, "lo {lo}, hi {hi}");
+    }
+
+    #[test]
+    fn mixing_preserves_energy() {
+        let streams = [
+            (LitersPerHour::new(20.0).mass_flow(), Celsius::new(48.0)),
+            (LitersPerHour::new(40.0).mass_flow(), Celsius::new(45.0)),
+            (LitersPerHour::new(20.0).mass_flow(), Celsius::new(51.0)),
+        ];
+        let (m, t) = mix(&streams).unwrap();
+        assert!((m.value() - LitersPerHour::new(80.0).mass_flow().value()).abs() < 1e-12);
+        let enthalpy_in: f64 = streams.iter().map(|(m, t)| m.value() * t.value()).sum();
+        assert!((m.value() * t.value() - enthalpy_in).abs() < 1e-9);
+        // Mixed temperature bracketed by the extremes.
+        assert!(t > Celsius::new(45.0) && t < Celsius::new(51.0));
+    }
+
+    #[test]
+    fn mixing_equal_streams_is_identity() {
+        let s = (LitersPerHour::new(30.0).mass_flow(), Celsius::new(44.0));
+        let (_, t) = mix(&[s, s]).unwrap();
+        assert!((t.value() - 44.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_input_validation() {
+        assert_eq!(mix(&[]), Err(HydraulicsError::NoStreams));
+        assert!(mix(&[(KgPerSecond::new(0.0), Celsius::new(20.0))]).is_err());
+    }
+
+    #[test]
+    fn branch_validation() {
+        assert!(Branch::new(LitersPerHour::new(0.0)).is_err());
+        assert!(Branch::new(LitersPerHour::new(-5.0)).is_err());
+    }
+}

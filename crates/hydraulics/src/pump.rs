@@ -1,0 +1,176 @@
+//! Variable-speed pump model (affinity laws).
+//!
+//! The paper's prototype uses variable-speed pumps in both loops and
+//! notes (Sec. IV-B1) that raising the flow rate "means more power
+//! consumption of the pump" — a cost the cooling-setting optimizer must
+//! weigh against the slight generation gain. A centrifugal pump under
+//! the affinity laws draws power proportional to the cube of flow.
+
+use crate::HydraulicsError;
+use h2p_units::{LitersPerHour, Watts};
+
+/// A variable-speed centrifugal pump.
+///
+/// ```
+/// use h2p_hydraulics::Pump;
+/// use h2p_units::{LitersPerHour, Watts};
+///
+/// let pump = Pump::new(LitersPerHour::new(250.0), Watts::new(15.0))?;
+/// // Halving the flow costs an eighth of the power.
+/// let p = pump.power(LitersPerHour::new(125.0))?;
+/// assert!((p.value() - 15.0 / 8.0).abs() < 1e-9);
+/// # Ok::<(), h2p_hydraulics::HydraulicsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pump {
+    rated_flow: LitersPerHour,
+    rated_power: Watts,
+    /// Affinity exponent (3 for ideal centrifugal pumps).
+    exponent: f64,
+    /// Fixed electronics/idle draw added on top of the hydraulic power.
+    idle_power: Watts,
+}
+
+impl Pump {
+    /// Creates a pump from its rated operating point with the ideal
+    /// cubic affinity exponent and no idle draw.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HydraulicsError::NonPositiveParameter`] if the rated
+    /// flow or power is not strictly positive.
+    pub fn new(rated_flow: LitersPerHour, rated_power: Watts) -> Result<Self, HydraulicsError> {
+        Self::with_characteristics(rated_flow, rated_power, 3.0, Watts::zero())
+    }
+
+    /// Creates a pump with an explicit affinity exponent and idle draw.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HydraulicsError::NonPositiveParameter`] if the rated
+    /// flow, rated power or exponent is not strictly positive, or the
+    /// idle power is negative.
+    pub fn with_characteristics(
+        rated_flow: LitersPerHour,
+        rated_power: Watts,
+        exponent: f64,
+        idle_power: Watts,
+    ) -> Result<Self, HydraulicsError> {
+        for (name, value) in [
+            ("rated_flow", rated_flow.value()),
+            ("rated_power", rated_power.value()),
+            ("exponent", exponent),
+        ] {
+            if !(value > 0.0) {
+                return Err(HydraulicsError::NonPositiveParameter { name, value });
+            }
+        }
+        if idle_power.value() < 0.0 {
+            return Err(HydraulicsError::NonPositiveParameter {
+                name: "idle_power",
+                value: idle_power.value(),
+            });
+        }
+        Ok(Pump {
+            rated_flow,
+            rated_power,
+            exponent,
+            idle_power,
+        })
+    }
+
+    /// The prototype's TCS loop pump: 15 W at 250 L/H with a 0.5 W
+    /// controller draw.
+    #[must_use]
+    pub fn paper_tcs_pump() -> Self {
+        Pump::with_characteristics(
+            LitersPerHour::new(250.0),
+            Watts::new(15.0),
+            3.0,
+            Watts::new(0.5),
+        )
+        .expect("constants are valid")
+    }
+
+    /// Rated flow.
+    #[must_use]
+    pub fn rated_flow(&self) -> LitersPerHour {
+        self.rated_flow
+    }
+
+    /// Rated electrical power at rated flow (excluding idle draw).
+    #[must_use]
+    pub fn rated_power(&self) -> Watts {
+        self.rated_power
+    }
+
+    /// Electrical power drawn to sustain `flow`:
+    /// `P = P_idle + P_rated·(f/f_rated)^exponent`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HydraulicsError::NonPositiveParameter`] if `flow` is
+    /// negative (zero flow is allowed and draws only the idle power).
+    pub fn power(&self, flow: LitersPerHour) -> Result<Watts, HydraulicsError> {
+        if flow.value() < 0.0 {
+            return Err(HydraulicsError::NonPositiveParameter {
+                name: "flow",
+                value: flow.value(),
+            });
+        }
+        let ratio = flow.value() / self.rated_flow.value();
+        Ok(self.idle_power + self.rated_power * ratio.powf(self.exponent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubic_affinity_law() {
+        let pump = Pump::new(LitersPerHour::new(200.0), Watts::new(10.0)).unwrap();
+        let cases = [(200.0, 10.0), (100.0, 1.25), (400.0, 80.0), (0.0, 0.0)];
+        for (flow, want) in cases {
+            let p = pump.power(LitersPerHour::new(flow)).unwrap();
+            assert!((p.value() - want).abs() < 1e-9, "flow = {flow}");
+        }
+    }
+
+    #[test]
+    fn idle_power_floors_consumption() {
+        let pump = Pump::paper_tcs_pump();
+        let p0 = pump.power(LitersPerHour::new(0.0)).unwrap();
+        assert_eq!(p0, Watts::new(0.5));
+        let p_low = pump.power(LitersPerHour::new(20.0)).unwrap();
+        assert!(p_low > p0);
+        // 20 L/H costs almost nothing hydraulic: (20/250)^3 * 15 ≈ 7.7 mW.
+        assert!(p_low.value() < 0.6);
+    }
+
+    #[test]
+    fn power_monotone_in_flow() {
+        let pump = Pump::paper_tcs_pump();
+        let mut prev = Watts::zero();
+        for f in [10.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0] {
+            let p = pump.power(LitersPerHour::new(f)).unwrap();
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Pump::new(LitersPerHour::new(0.0), Watts::new(1.0)).is_err());
+        assert!(Pump::new(LitersPerHour::new(1.0), Watts::new(0.0)).is_err());
+        let pump = Pump::paper_tcs_pump();
+        assert!(pump.power(LitersPerHour::new(-1.0)).is_err());
+        assert!(Pump::with_characteristics(
+            LitersPerHour::new(1.0),
+            Watts::new(1.0),
+            3.0,
+            Watts::new(-0.1)
+        )
+        .is_err());
+    }
+}

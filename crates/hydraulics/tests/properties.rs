@@ -1,0 +1,89 @@
+//! Property-based tests of the hydraulic substrate.
+
+use h2p_hydraulics::{mix, Branch, Circulation, ColdSource, Pump};
+use h2p_units::{Celsius, LitersPerHour, Seconds, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn branch_outlet_linear_in_power(
+        flow in 5.0..400.0f64,
+        inlet in 10.0..60.0f64,
+        p in 0.0..200.0f64,
+    ) {
+        let b = Branch::new(LitersPerHour::new(flow)).unwrap();
+        let t0 = b.outlet(Celsius::new(inlet), Watts::zero());
+        let t1 = b.outlet(Celsius::new(inlet), Watts::new(p));
+        let t2 = b.outlet(Celsius::new(inlet), Watts::new(2.0 * p));
+        prop_assert!((t0.value() - inlet).abs() < 1e-12);
+        let d1 = (t1 - t0).value();
+        let d2 = (t2 - t0).value();
+        prop_assert!((d2 - 2.0 * d1).abs() < 1e-9 * d2.abs().max(1.0));
+        // Round trip through absorbed().
+        prop_assert!((b.absorbed(Celsius::new(inlet), t1).value() - p).abs() < 1e-6 * p.max(1.0));
+    }
+
+    #[test]
+    fn mixing_bracketed_and_conservative(
+        temps in proptest::collection::vec(10.0..70.0f64, 1..20),
+        flows in proptest::collection::vec(1.0..200.0f64, 1..20),
+    ) {
+        let n = temps.len().min(flows.len());
+        let streams: Vec<_> = (0..n)
+            .map(|i| (LitersPerHour::new(flows[i]).mass_flow(), Celsius::new(temps[i])))
+            .collect();
+        let (m, t) = mix(&streams).unwrap();
+        let lo = temps[..n].iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = temps[..n].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(t.value() >= lo - 1e-9 && t.value() <= hi + 1e-9);
+        // Enthalpy conservation.
+        let enthalpy_in: f64 = streams.iter().map(|(m, t)| m.value() * t.value()).sum();
+        prop_assert!((m.value() * t.value() - enthalpy_in).abs() < 1e-9 * enthalpy_in.abs().max(1.0));
+    }
+
+    #[test]
+    fn pump_power_superlinear(flow in 1.0..250.0f64, k in 1.1..3.0f64) {
+        let pump = Pump::new(LitersPerHour::new(250.0), Watts::new(15.0)).unwrap();
+        let p1 = pump.power(LitersPerHour::new(flow)).unwrap();
+        let p2 = pump.power(LitersPerHour::new(flow * k)).unwrap();
+        // Cubic law: scaling flow by k scales power by k^3 > k.
+        prop_assert!(p2.value() > k * p1.value() - 1e-12);
+    }
+
+    #[test]
+    fn circulation_flows_positive_and_consistent(n in 1usize..80) {
+        let op = Circulation::uniform(n).unwrap().solve();
+        prop_assert_eq!(op.branch_flows.len(), n);
+        let sum: f64 = op.branch_flows.iter().map(|f| f.value()).sum();
+        prop_assert!((sum - op.total_flow.value()).abs() < 1e-6 * sum.max(1.0));
+        for f in &op.branch_flows {
+            prop_assert!(f.value() > 0.0);
+        }
+        prop_assert!(op.head.value() >= 0.0);
+        prop_assert!(op.pump_power.value() >= 0.0);
+    }
+
+    #[test]
+    fn valve_trim_is_monotone(position in 0.05..1.0f64) {
+        let mut circ = Circulation::uniform(5).unwrap();
+        let open = circ.solve().branch_flows[0];
+        circ.branch_mut(0).set_valve(position).unwrap();
+        let trimmed = circ.solve().branch_flows[0];
+        prop_assert!(trimmed <= open + LitersPerHour::new(1e-9));
+    }
+
+    #[test]
+    fn regulation_hits_feasible_targets(target in 20.0..120.0f64) {
+        let mut circ = Circulation::uniform(40).unwrap();
+        let op = circ.regulate_to(LitersPerHour::new(target)).unwrap();
+        let mean = op.total_flow.value() / 40.0;
+        prop_assert!((mean - target).abs() < 0.01 * target, "mean {mean} target {target}");
+    }
+
+    #[test]
+    fn seasonal_source_bounded_by_amplitude(day in 0.0..3650.0f64) {
+        let s = ColdSource::qiandao_lake();
+        let t = s.temperature(Seconds::days(day)).value();
+        prop_assert!((15.0..=20.0).contains(&t));
+    }
+}

@@ -1,0 +1,182 @@
+//! The powersave frequency governor (paper Fig. 10).
+//!
+//! The prototype runs the CPU with the Linux `powersave` governor. The
+//! paper observes that clock frequency climbs quickly with load but
+//! "starts to increase slower [beyond 50 % utilization] and finally
+//! settles down at about 2.5 GHz". This module reproduces that
+//! piecewise-linear saturation for the E5-2650 V3 (1.2 GHz minimum,
+//! 2.3 GHz base clock).
+
+use crate::ServerError;
+use h2p_units::{Gigahertz, Utilization};
+
+/// A powersave-style frequency governor: fast linear ramp to the knee,
+/// slow ramp to the cap afterwards.
+///
+/// ```
+/// use h2p_server::PowersaveGovernor;
+/// use h2p_units::Utilization;
+///
+/// let gov = PowersaveGovernor::paper_default();
+/// let half = gov.frequency(Utilization::new(0.5)?);
+/// let full = gov.frequency(Utilization::FULL);
+/// assert!(half.value() > 2.2 && half.value() < 2.4);
+/// assert!((full.value() - 2.5).abs() < 1e-12);
+/// # Ok::<(), h2p_units::UtilizationRangeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowersaveGovernor {
+    /// Frequency at zero load.
+    min: Gigahertz,
+    /// Frequency reached at the knee utilization.
+    knee_frequency: Gigahertz,
+    /// Frequency approached at full load.
+    cap: Gigahertz,
+    /// Utilization at which the ramp slows (0.5 in Fig. 10).
+    knee_utilization: Utilization,
+}
+
+impl PowersaveGovernor {
+    /// Creates a governor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::NonPositiveParameter`] unless
+    /// `0 < min ≤ knee_frequency ≤ cap` and the knee utilization is
+    /// strictly between 0 and 1.
+    pub fn new(
+        min: Gigahertz,
+        knee_frequency: Gigahertz,
+        cap: Gigahertz,
+        knee_utilization: Utilization,
+    ) -> Result<Self, ServerError> {
+        if !(min.value() > 0.0) {
+            return Err(ServerError::NonPositiveParameter {
+                name: "min",
+                value: min.value(),
+            });
+        }
+        if knee_frequency < min || cap < knee_frequency {
+            return Err(ServerError::NonPositiveParameter {
+                name: "frequency ordering (min <= knee <= cap)",
+                value: knee_frequency.value(),
+            });
+        }
+        let ku = knee_utilization.value();
+        if !(ku > 0.0 && ku < 1.0) {
+            return Err(ServerError::NonPositiveParameter {
+                name: "knee_utilization",
+                value: ku,
+            });
+        }
+        Ok(PowersaveGovernor {
+            min,
+            knee_frequency,
+            cap,
+            knee_utilization,
+        })
+    }
+
+    /// Fig. 10's governor for the E5-2650 V3: 1.2 GHz idle, 2.3 GHz at
+    /// the 50 % knee, settling at 2.5 GHz.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        PowersaveGovernor {
+            min: Gigahertz::new(1.2),
+            knee_frequency: Gigahertz::new(2.3),
+            cap: Gigahertz::new(2.5),
+            knee_utilization: Utilization::new(0.5).expect("constant in range"),
+        }
+    }
+
+    /// Steady-state clock frequency at a utilization.
+    #[must_use]
+    pub fn frequency(&self, u: Utilization) -> Gigahertz {
+        let ku = self.knee_utilization.value();
+        let x = u.value();
+        if x <= ku {
+            self.min + (self.knee_frequency - self.min) * (x / ku)
+        } else {
+            self.knee_frequency + (self.cap - self.knee_frequency) * ((x - ku) / (1.0 - ku))
+        }
+    }
+
+    /// The frequency cap (the "settles down at about 2.5 GHz" value).
+    #[must_use]
+    pub fn cap(&self) -> Gigahertz {
+        self.cap
+    }
+}
+
+impl Default for PowersaveGovernor {
+    fn default() -> Self {
+        PowersaveGovernor::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gov() -> PowersaveGovernor {
+        PowersaveGovernor::paper_default()
+    }
+
+    fn u(x: f64) -> Utilization {
+        Utilization::new(x).unwrap()
+    }
+
+    #[test]
+    fn endpoints() {
+        assert_eq!(gov().frequency(Utilization::IDLE), Gigahertz::new(1.2));
+        assert_eq!(gov().frequency(Utilization::FULL), Gigahertz::new(2.5));
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let g = gov();
+        let mut prev = Gigahertz::zero();
+        for i in 0..=100 {
+            let f = g.frequency(u(i as f64 / 100.0));
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn ramp_slows_past_knee() {
+        // Fig. 10: the pre-knee slope must exceed the post-knee slope.
+        let g = gov();
+        let pre = (g.frequency(u(0.4)) - g.frequency(u(0.3))).value();
+        let post = (g.frequency(u(0.8)) - g.frequency(u(0.7))).value();
+        assert!(pre > 2.0 * post, "pre {pre} post {post}");
+    }
+
+    #[test]
+    fn knee_continuity() {
+        let g = gov();
+        let below = g.frequency(u(0.499_999));
+        let above = g.frequency(u(0.500_001));
+        assert!((below - above).value().abs() < 1e-4);
+    }
+
+    #[test]
+    fn validation() {
+        // cap below knee frequency rejected.
+        assert!(PowersaveGovernor::new(
+            Gigahertz::new(1.2),
+            Gigahertz::new(2.3),
+            Gigahertz::new(2.0),
+            u(0.5)
+        )
+        .is_err());
+        // degenerate knee utilization rejected.
+        assert!(PowersaveGovernor::new(
+            Gigahertz::new(1.2),
+            Gigahertz::new(2.3),
+            Gigahertz::new(2.5),
+            Utilization::IDLE
+        )
+        .is_err());
+    }
+}

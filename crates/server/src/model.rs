@@ -1,0 +1,411 @@
+//! Coupled steady-state server model (Figs. 9-11).
+//!
+//! For a cooling setting `(u, f, T_in)` the die temperature, package
+//! power and coolant outlet temperature are mutually coupled:
+//!
+//! * the die sits above the local coolant temperature by `P·R(f)`
+//!   (cold-plate conduction/convection),
+//! * the coolant warms along the plate by `P/(ṁ·c_p)` (we take the die
+//!   to see the mid-plate temperature, `T_in + ΔT/2`),
+//! * the package power grows with die temperature through leakage,
+//!   `P = P₀(u) + γ·(T_die − T_ref)`.
+//!
+//! The three relations are linear, so the fixed point has the closed
+//! form implemented in [`ServerModel::operating_point`]:
+//!
+//! ```text
+//! S = R(f) + m/2,  m = 1/(ṁ·c_p)
+//! P = (P₀(u) + γ·(T_in − T_ref)) / (1 − γ·S)
+//! T_die = T_in + P·S,   T_out = T_in + P·m
+//! ```
+//!
+//! The `1/(1 − γ·S)` amplification is exactly the paper's k slope of
+//! Fig. 11 — steeper at low flow, k → 1 at high flow.
+
+use crate::governor::PowersaveGovernor;
+use crate::power::CpuPowerModel;
+use crate::ServerError;
+use h2p_thermal::ColdPlate;
+use h2p_units::{Celsius, DegC, Gigahertz, LitersPerHour, Utilization, Watts};
+
+/// Static properties of the modelled CPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuSpec {
+    /// Maximum operating temperature (78.9 °C for the E5-2650 V3).
+    pub max_operating: Celsius,
+    /// Thermal design power.
+    pub tdp: Watts,
+}
+
+impl CpuSpec {
+    /// The Intel Xeon E5-2650 V3.
+    #[must_use]
+    pub fn e5_2650_v3() -> Self {
+        CpuSpec {
+            max_operating: Celsius::new(78.9),
+            tdp: Watts::new(105.0),
+        }
+    }
+}
+
+impl Default for CpuSpec {
+    fn default() -> Self {
+        CpuSpec::e5_2650_v3()
+    }
+}
+
+/// The resolved steady state of a server under a cooling setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Die temperature.
+    pub cpu_temperature: Celsius,
+    /// Package power (dynamic + leakage).
+    pub cpu_power: Watts,
+    /// Coolant outlet temperature (= the TEG module's warm inlet,
+    /// paper Eq. 8).
+    pub outlet: Celsius,
+    /// Outlet-minus-inlet coolant difference (Fig. 9's ΔT_out−in).
+    pub delta_out_in: DegC,
+    /// Clock frequency under the powersave governor.
+    pub frequency: Gigahertz,
+    /// Whether the die exceeds the CPU's maximum operating temperature.
+    pub over_limit: bool,
+}
+
+/// A complete water-cooled server model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServerModel {
+    power: CpuPowerModel,
+    plate: ColdPlate,
+    governor: PowersaveGovernor,
+    spec: CpuSpec,
+}
+
+impl ServerModel {
+    /// Creates a server model from its parts.
+    #[must_use]
+    pub fn new(
+        power: CpuPowerModel,
+        plate: ColdPlate,
+        governor: PowersaveGovernor,
+        spec: CpuSpec,
+    ) -> Self {
+        ServerModel {
+            power,
+            plate,
+            governor,
+            spec,
+        }
+    }
+
+    /// The calibrated prototype server: E5-2650 V3, paper power fit,
+    /// paper cold plate, powersave governor.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ServerModel {
+            power: CpuPowerModel::paper_e5_2650_v3(),
+            plate: ColdPlate::paper_default(),
+            governor: PowersaveGovernor::paper_default(),
+            spec: CpuSpec::e5_2650_v3(),
+        }
+    }
+
+    /// The CPU specification.
+    #[must_use]
+    pub fn spec(&self) -> &CpuSpec {
+        &self.spec
+    }
+
+    /// The power model.
+    #[must_use]
+    pub fn power_model(&self) -> &CpuPowerModel {
+        &self.power
+    }
+
+    /// The cold plate.
+    #[must_use]
+    pub fn cold_plate(&self) -> &ColdPlate {
+        &self.plate
+    }
+
+    /// Solves the coupled steady state for `(u, f, T_in)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServerError::NonPositiveParameter`] for a non-positive flow.
+    /// * [`ServerError::ThermalRunaway`] if the leakage loop gain
+    ///   `γ·(R + m/2)` reaches 1 (cannot happen for the calibrated
+    ///   parameters, but custom models are validated).
+    pub fn operating_point(
+        &self,
+        u: Utilization,
+        flow: LitersPerHour,
+        inlet: Celsius,
+    ) -> Result<OperatingPoint, ServerError> {
+        let resistance = self
+            .plate
+            .resistance(flow)
+            .map_err(|_| ServerError::NonPositiveParameter {
+                name: "flow",
+                value: flow.value(),
+            })?;
+        let m = 1.0 / flow.mass_flow().capacity_rate();
+        let coupling = resistance + 0.5 * m;
+        let gamma = self.power.leakage_per_kelvin();
+        let loop_gain = gamma * coupling;
+        if loop_gain >= 1.0 {
+            return Err(ServerError::ThermalRunaway { loop_gain });
+        }
+        let p0 = self.power.base_power(u).value();
+        let t_ref = self.power.leakage_reference().value();
+        let p = ((p0 + gamma * (inlet.value() - t_ref)) / (1.0 - loop_gain))
+            .max(self.power.minimum_power().value());
+        let die = inlet + DegC::new(p * coupling);
+        let outlet = inlet + DegC::new(p * m);
+        Ok(OperatingPoint {
+            cpu_temperature: die,
+            cpu_power: Watts::new(p),
+            outlet,
+            delta_out_in: outlet - inlet,
+            frequency: self.governor.frequency(u),
+            over_limit: die > self.spec.max_operating,
+        })
+    }
+
+    /// The Fig. 11 slope `k = dT_die/dT_in = 1/(1 − γ·(R(f) + m/2))` at
+    /// a flow rate.
+    ///
+    /// # Errors
+    ///
+    /// As for [`operating_point`](Self::operating_point).
+    pub fn coolant_slope(&self, flow: LitersPerHour) -> Result<f64, ServerError> {
+        let a = self.operating_point(Utilization::FULL, flow, Celsius::new(30.0))?;
+        let b = self.operating_point(Utilization::FULL, flow, Celsius::new(40.0))?;
+        Ok((b.cpu_temperature - a.cpu_temperature).value() / 10.0)
+    }
+
+    /// The warmest inlet temperature keeping the die at or below
+    /// `t_safe` for a given load and flow, found by bisection (the
+    /// quantity the cooling controller pushes toward its ceiling).
+    ///
+    /// # Errors
+    ///
+    /// As for [`operating_point`](Self::operating_point).
+    pub fn max_safe_inlet(
+        &self,
+        u: Utilization,
+        flow: LitersPerHour,
+        t_safe: Celsius,
+    ) -> Result<Celsius, ServerError> {
+        let mut lo = 5.0_f64;
+        let mut hi = t_safe.value(); // die is always >= inlet
+        let die_at = |inlet: f64| -> Result<f64, ServerError> {
+            Ok(self
+                .operating_point(u, flow, Celsius::new(inlet))?
+                .cpu_temperature
+                .value())
+        };
+        if die_at(lo)? > t_safe.value() {
+            // Even very cold water cannot hold t_safe; report the floor.
+            return Ok(Celsius::new(lo));
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if die_at(mid)? <= t_safe.value() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(Celsius::new(lo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> ServerModel {
+        ServerModel::paper_default()
+    }
+
+    fn u(x: f64) -> Utilization {
+        Utilization::new(x).unwrap()
+    }
+
+    #[test]
+    fn warm_water_is_safe_at_full_load() {
+        // Paper Sec. II-B: 40-45 °C water keeps a 100 %-loaded E5-2650 V3
+        // below its 78.9 °C limit.
+        let s = server();
+        for inlet in [40.0, 42.5, 45.0] {
+            let op = s
+                .operating_point(Utilization::FULL, LitersPerHour::new(20.0), Celsius::new(inlet))
+                .unwrap();
+            assert!(!op.over_limit, "inlet {inlet}: die {}", op.cpu_temperature);
+        }
+    }
+
+    #[test]
+    fn hot_water_at_high_load_exceeds_limit() {
+        // Paper Sec. II-B: above 50 °C water and >70 % utilization the
+        // CPU exceeds its maximum operating temperature.
+        let s = server();
+        let op = s
+            .operating_point(Utilization::FULL, LitersPerHour::new(20.0), Celsius::new(52.0))
+            .unwrap();
+        assert!(op.over_limit, "die {}", op.cpu_temperature);
+    }
+
+    #[test]
+    fn fig11_slope_band() {
+        // k in [1, 1.3], larger at lower flow.
+        let s = server();
+        let k20 = s.coolant_slope(LitersPerHour::new(20.0)).unwrap();
+        let k250 = s.coolant_slope(LitersPerHour::new(250.0)).unwrap();
+        assert!(k20 > k250, "slope must grow as flow shrinks");
+        assert!((1.0..=1.35).contains(&k20), "k20 = {k20}");
+        assert!((1.0..=1.15).contains(&k250), "k250 = {k250}");
+    }
+
+    #[test]
+    fn fig11_linear_in_coolant_temperature() {
+        let s = server();
+        let f = LitersPerHour::new(100.0);
+        let t = |inlet: f64| {
+            s.operating_point(Utilization::FULL, f, Celsius::new(inlet))
+                .unwrap()
+                .cpu_temperature
+                .value()
+        };
+        let d1 = t(35.0) - t(30.0);
+        let d2 = t(45.0) - t(40.0);
+        assert!((d1 - d2).abs() < 1e-9, "linearity violated");
+    }
+
+    #[test]
+    fn fig9_outlet_delta_band() {
+        // ΔT_out−in at 20 L/H across loads: ~0.4 °C idle to ~3.7 °C full —
+        // matching the paper's 1-3.5 °C band over its measured loads.
+        let s = server();
+        let f = LitersPerHour::new(20.0);
+        let d = |x: f64| {
+            s.operating_point(u(x), f, Celsius::new(45.0))
+                .unwrap()
+                .delta_out_in
+                .value()
+        };
+        assert!(d(0.0) > 0.15 && d(0.0) < 1.0, "d(0) = {}", d(0.0));
+        assert!(d(0.2) > 0.8 && d(0.2) < 1.6, "d(0.2) = {}", d(0.2));
+        assert!(d(1.0) > 3.0 && d(1.0) < 4.0);
+        // Monotone in utilization.
+        assert!(d(0.6) > d(0.3));
+    }
+
+    #[test]
+    fn fig9_outlet_delta_insensitive_to_inlet() {
+        // Paper: inlet temperature has little effect on ΔT_out−in (only
+        // the weak leakage coupling).
+        let s = server();
+        let f = LitersPerHour::new(20.0);
+        let d30 = s
+            .operating_point(u(0.5), f, Celsius::new(30.0))
+            .unwrap()
+            .delta_out_in
+            .value();
+        let d45 = s
+            .operating_point(u(0.5), f, Celsius::new(45.0))
+            .unwrap()
+            .delta_out_in
+            .value();
+        assert!((d45 - d30).abs() < 0.6, "d30 {d30} d45 {d45}");
+    }
+
+    #[test]
+    fn outlet_delta_shrinks_with_flow() {
+        let s = server();
+        let d = |f: f64| {
+            s.operating_point(u(0.5), LitersPerHour::new(f), Celsius::new(45.0))
+                .unwrap()
+                .delta_out_in
+                .value()
+        };
+        assert!(d(20.0) > d(50.0));
+        assert!(d(50.0) > d(200.0));
+    }
+
+    #[test]
+    fn die_above_outlet_above_inlet() {
+        let s = server();
+        let op = s
+            .operating_point(u(0.4), LitersPerHour::new(50.0), Celsius::new(42.0))
+            .unwrap();
+        assert!(op.cpu_temperature > op.outlet);
+        assert!(op.outlet > Celsius::new(42.0));
+    }
+
+    #[test]
+    fn max_safe_inlet_is_tight() {
+        let s = server();
+        let f = LitersPerHour::new(60.0);
+        let t_safe = Celsius::new(62.0);
+        let inlet = s.max_safe_inlet(u(0.3), f, t_safe).unwrap();
+        let op = s.operating_point(u(0.3), f, inlet).unwrap();
+        assert!(op.cpu_temperature <= t_safe + DegC::new(1e-6));
+        // 0.5 °C warmer water breaks the cap.
+        let op_hot = s
+            .operating_point(u(0.3), f, inlet + DegC::new(0.5))
+            .unwrap();
+        assert!(op_hot.cpu_temperature > t_safe);
+    }
+
+    #[test]
+    fn max_safe_inlet_decreases_with_load() {
+        let s = server();
+        let f = LitersPerHour::new(60.0);
+        let t_safe = Celsius::new(62.0);
+        let lo = s.max_safe_inlet(u(0.1), f, t_safe).unwrap();
+        let hi = s.max_safe_inlet(u(0.9), f, t_safe).unwrap();
+        assert!(lo > hi);
+    }
+
+    #[test]
+    fn low_utilization_admits_warm_inlet() {
+        // The H2P operating point: at ~10-20 % load the safe inlet is in
+        // the low 50s °C, yielding outlet ≈ 54-57 °C and ΔT ≈ 34-37 °C
+        // over a 20 °C cold source — the regime that generates ≈ 4.2 W
+        // from 12 TEGs (Fig. 14).
+        let s = server();
+        let inlet = s
+            .max_safe_inlet(u(0.15), LitersPerHour::new(60.0), Celsius::new(62.0))
+            .unwrap();
+        assert!(
+            inlet.value() > 50.0 && inlet.value() < 60.0,
+            "inlet = {inlet}"
+        );
+    }
+
+    #[test]
+    fn frequency_reported() {
+        let s = server();
+        let op = s
+            .operating_point(Utilization::FULL, LitersPerHour::new(20.0), Celsius::new(40.0))
+            .unwrap();
+        assert!((op.frequency.value() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runaway_guard_triggers_for_pathological_model() {
+        let power = CpuPowerModel::new(109.71, 1.17, -7.83, 10.0, Celsius::new(60.0)).unwrap();
+        let s = ServerModel::new(
+            power,
+            ColdPlate::paper_default(),
+            PowersaveGovernor::paper_default(),
+            CpuSpec::e5_2650_v3(),
+        );
+        let err = s
+            .operating_point(Utilization::FULL, LitersPerHour::new(20.0), Celsius::new(40.0))
+            .unwrap_err();
+        assert!(matches!(err, ServerError::ThermalRunaway { .. }));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the server models.
+
+use h2p_server::{LookupSpace, ServerModel, ThrottleController};
+use h2p_units::{Celsius, DegC, LitersPerHour, Utilization};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn model() -> &'static ServerModel {
+    static MODEL: OnceLock<ServerModel> = OnceLock::new();
+    MODEL.get_or_init(ServerModel::paper_default)
+}
+
+fn space() -> &'static LookupSpace {
+    static SPACE: OnceLock<LookupSpace> = OnceLock::new();
+    SPACE.get_or_init(|| LookupSpace::paper_grid(model()).expect("paper grid builds"))
+}
+
+proptest! {
+    #[test]
+    fn die_monotone_in_inlet(
+        u in 0.0..=1.0f64,
+        flow in 15.0..300.0f64,
+        t1 in 15.0..60.0f64,
+        t2 in 15.0..60.0f64,
+    ) {
+        let uu = Utilization::new(u).unwrap();
+        let f = LitersPerHour::new(flow);
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let a = model().operating_point(uu, f, Celsius::new(lo)).unwrap();
+        let b = model().operating_point(uu, f, Celsius::new(hi)).unwrap();
+        prop_assert!(b.cpu_temperature >= a.cpu_temperature - DegC::new(1e-9));
+        prop_assert!(b.outlet >= a.outlet - DegC::new(1e-9));
+    }
+
+    #[test]
+    fn die_monotone_in_flow_at_load(
+        u in 0.2..=1.0f64,
+        f1 in 15.0..300.0f64,
+        f2 in 15.0..300.0f64,
+        inlet in 20.0..55.0f64,
+    ) {
+        // More flow can only cool the die (at fixed inlet and load).
+        let uu = Utilization::new(u).unwrap();
+        let t = Celsius::new(inlet);
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let slow = model().operating_point(uu, LitersPerHour::new(lo), t).unwrap();
+        let fast = model().operating_point(uu, LitersPerHour::new(hi), t).unwrap();
+        prop_assert!(fast.cpu_temperature <= slow.cpu_temperature + DegC::new(1e-9));
+    }
+
+    #[test]
+    fn lookup_monotone_along_inlet_axis(
+        u in 0.01..0.99f64,
+        flow in 25.0..245.0f64,
+        t1 in 21.0..59.0f64,
+        t2 in 21.0..59.0f64,
+    ) {
+        let uu = Utilization::new(u).unwrap();
+        let f = LitersPerHour::new(flow);
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let a = space().cpu_temperature(uu, f, Celsius::new(lo)).unwrap();
+        let b = space().cpu_temperature(uu, f, Celsius::new(hi)).unwrap();
+        prop_assert!(b >= a - DegC::new(1e-6));
+    }
+
+    #[test]
+    fn max_safe_inlet_is_safe_and_monotone(
+        u in 0.0..=1.0f64,
+        flow in 20.0..250.0f64,
+        t_safe in 55.0..75.0f64,
+    ) {
+        let uu = Utilization::new(u).unwrap();
+        let f = LitersPerHour::new(flow);
+        let ts = Celsius::new(t_safe);
+        let inlet = model().max_safe_inlet(uu, f, ts).unwrap();
+        let op = model().operating_point(uu, f, inlet).unwrap();
+        prop_assert!(op.cpu_temperature <= ts + DegC::new(1e-4));
+        // A laxer target admits at least as warm an inlet.
+        let lax = model().max_safe_inlet(uu, f, ts + DegC::new(3.0)).unwrap();
+        prop_assert!(lax >= inlet - DegC::new(1e-6));
+    }
+
+    #[test]
+    fn throttle_admits_no_more_than_requested_and_is_safe(
+        requested in 0.0..=1.0f64,
+        flow in 20.0..250.0f64,
+        inlet in 30.0..60.0f64,
+    ) {
+        let controller = ThrottleController::at_max_operating();
+        let req = Utilization::new(requested).unwrap();
+        let f = LitersPerHour::new(flow);
+        let t = Celsius::new(inlet);
+        let d = controller.throttle(model(), req, f, t).unwrap();
+        prop_assert!(d.admitted <= req);
+        prop_assert!((0.0..=1.0).contains(&d.performance_loss));
+        let op = model().operating_point(d.admitted, f, t).unwrap();
+        // Whatever was admitted respects the hard limit, unless even
+        // idle exceeds it (impossible for these input ranges).
+        prop_assert!(
+            op.cpu_temperature <= controller.limit() + DegC::new(1e-4)
+                || d.admitted == Utilization::IDLE
+        );
+        prop_assert_eq!(d.throttled, d.admitted < req);
+    }
+
+    #[test]
+    fn frequency_monotone(u1 in 0.0..=1.0f64, u2 in 0.0..=1.0f64) {
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        let f = LitersPerHour::new(50.0);
+        let t = Celsius::new(40.0);
+        let a = model().operating_point(Utilization::new(lo).unwrap(), f, t).unwrap();
+        let b = model().operating_point(Utilization::new(hi).unwrap(), f, t).unwrap();
+        prop_assert!(b.frequency >= a.frequency);
+        prop_assert!(b.cpu_power >= a.cpu_power);
+    }
+}

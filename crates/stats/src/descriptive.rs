@@ -1,0 +1,151 @@
+//! Descriptive statistics over sample slices.
+//!
+//! Used for trace characterization (verifying that the synthetic
+//! "Drastic" trace really is more volatile than "Common") and for
+//! summarizing simulation output series.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+#[must_use]
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+}
+
+/// Population variance. Returns `None` for an empty slice.
+#[must_use]
+pub fn variance(samples: &[f64]) -> Option<f64> {
+    let m = mean(samples)?;
+    Some(samples.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / samples.len() as f64)
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+#[must_use]
+pub fn std_dev(samples: &[f64]) -> Option<f64> {
+    variance(samples).map(f64::sqrt)
+}
+
+/// Minimum. Returns `None` for an empty slice; NaN-free inputs assumed
+/// (uses `total_cmp`).
+#[must_use]
+pub fn min(samples: &[f64]) -> Option<f64> {
+    samples.iter().copied().min_by(f64::total_cmp)
+}
+
+/// Maximum. Returns `None` for an empty slice.
+#[must_use]
+pub fn max(samples: &[f64]) -> Option<f64> {
+    samples.iter().copied().max_by(f64::total_cmp)
+}
+
+/// Linear-interpolated percentile (`p ∈ \[0, 100\]`). Returns `None` for an
+/// empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `\[0, 100\]`.
+#[must_use]
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Pearson correlation coefficient of two equal-length series. Returns
+/// `None` if the series are empty, have different lengths, or either is
+/// constant.
+#[must_use]
+pub fn correlation(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.is_empty() {
+        return None;
+    }
+    let mx = mean(x)?;
+    let my = mean(y)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxy += (xi - mx) * (yi - my);
+        sxx += (xi - mx) * (xi - mx);
+        syy += (yi - my) * (yi - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        None
+    } else {
+        Some(sxy / (sxx * syy).sqrt())
+    }
+}
+
+/// Mean absolute first difference — the "volatility" measure used to
+/// distinguish the paper's *Drastic* trace from *Common*. Returns `None`
+/// for fewer than 2 samples.
+#[must_use]
+pub fn mean_abs_diff(samples: &[f64]) -> Option<f64> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let total: f64 = samples.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
+    Some(total / (samples.len() - 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slices_yield_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[]), None);
+        assert_eq!(std_dev(&[]), None);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(mean_abs_diff(&[1.0]), None);
+    }
+
+    #[test]
+    fn basic_moments() {
+        let s = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&s), Some(5.0));
+        assert_eq!(variance(&s), Some(4.0));
+        assert_eq!(std_dev(&s), Some(2.0));
+        assert_eq!(min(&s), Some(2.0));
+        assert_eq!(max(&s), Some(9.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), Some(1.0));
+        assert_eq!(percentile(&s, 100.0), Some(4.0));
+        assert_eq!(percentile(&s, 50.0), Some(2.5));
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_up = [2.0, 4.0, 6.0, 8.0];
+        let y_down = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&x, &y_up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((correlation(&x, &y_down).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(correlation(&x, &[1.0, 1.0, 1.0, 1.0]), None);
+        assert_eq!(correlation(&x, &[1.0]), None);
+    }
+
+    #[test]
+    fn volatility_orders_series() {
+        let smooth = [0.3, 0.31, 0.32, 0.31, 0.3];
+        let drastic = [0.1, 0.9, 0.2, 0.8, 0.1];
+        assert!(mean_abs_diff(&drastic).unwrap() > mean_abs_diff(&smooth).unwrap());
+    }
+}

@@ -1,0 +1,239 @@
+//! Error function and inverse normal CDF.
+//!
+//! `std` does not ship `erf`, so we implement it here near machine
+//! precision: a Maclaurin series for small arguments and the classical
+//! continued-fraction expansion of `erfc` (evaluated by the modified
+//! Lentz algorithm) for large ones. The inverse uses Peter Acklam's
+//! rational approximation followed by one step of Halley refinement.
+
+/// Crossover between the series and the continued-fraction branches.
+const ERF_SERIES_CUTOFF: f64 = 2.0;
+
+/// The error function `erf(x) = 2/√π ∫₀ˣ e^(−t²) dt`.
+///
+/// Accurate to roughly machine precision over the whole real line.
+///
+/// ```
+/// use h2p_stats::erf;
+/// assert!((erf(0.0)).abs() < 1e-15);
+/// assert!((erf(1.0) - 0.8427007929497149).abs() < 1e-13);
+/// assert!((erf(-1.0) + 0.8427007929497149).abs() < 1e-13);
+/// ```
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    let z = x.abs();
+    let val = if z < ERF_SERIES_CUTOFF {
+        erf_series(z)
+    } else {
+        1.0 - erfc_cf(z)
+    };
+    if x < 0.0 {
+        -val
+    } else {
+        val
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Accurate in the tails where `1 − erf(x)` would cancel.
+#[must_use]
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let tail = if z < ERF_SERIES_CUTOFF {
+        1.0 - erf_series(z)
+    } else {
+        erfc_cf(z)
+    };
+    if x < 0.0 {
+        2.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Maclaurin series `erf(z) = 2/√π Σ (−1)ⁿ z^{2n+1}/(n!(2n+1))`, `z ≥ 0`
+/// and small.
+fn erf_series(z: f64) -> f64 {
+    if z == 0.0 {
+        return 0.0;
+    }
+    let z2 = z * z;
+    let mut term = z; // z^(2n+1) * (-1)^n / n!
+    let mut sum = z; // running Σ term / (2n+1), n = 0 term folded in
+    let mut n = 1.0;
+    loop {
+        term *= -z2 / n;
+        let delta = term / (2.0 * n + 1.0);
+        sum += delta;
+        if delta.abs() < 1e-17 * sum.abs().max(1e-300) {
+            break;
+        }
+        n += 1.0;
+        debug_assert!(n < 200.0, "erf series failed to converge");
+    }
+    core::f64::consts::FRAC_2_SQRT_PI * sum
+}
+
+/// Continued fraction for `erfc(z)`, `z ≥ 2`, via modified Lentz:
+/// `erfc(z) = e^{−z²}/√π · 1/(z + 1/2/(z + 2/2/(z + …)))`.
+fn erfc_cf(z: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    const EPS: f64 = 1e-16;
+    // Continued fraction K = z + (1/2)/(z + 1/(z + (3/2)/(z + ...))),
+    // i.e. b_j = z and a_j = j/2; then erfc(z) = e^{−z²}/√π · 1/K.
+    let mut f = z;
+    let mut c = z;
+    let mut d = 0.0;
+    for j in 1..200 {
+        let a = j as f64 / 2.0;
+        d = z + a * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = z + a / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-z * z).exp() / core::f64::consts::PI.sqrt() / f
+}
+
+/// Inverse of the standard normal CDF (the probit function).
+///
+/// `inverse_normal_cdf(Φ(x)) == x` to ~1e-9 over `p ∈ (0, 1)`.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+#[must_use]
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1), got {p}");
+
+    // Acklam's rational approximation.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step against the accurate erfc-based CDF.
+    let e = standard_cdf(x) - p;
+    let u = e * (2.0 * core::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Standard normal CDF `Φ(x)` via [`erfc`].
+#[must_use]
+pub(crate) fn standard_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / core::f64::consts::SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from Abramowitz & Stegun tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.520_499_877_8),
+            (1.0, 0.842_700_792_9),
+            (1.5, 0.966_105_146_4),
+            (2.0, 0.995_322_265_0),
+            (3.0, 0.999_977_909_5),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x})");
+            assert!((erf(-x) + want).abs() < 2e-7, "erf(-{x})");
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for i in -40..=40 {
+            let x = i as f64 * 0.1;
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erfc_tail_positive_and_decreasing() {
+        let mut prev = erfc(2.0);
+        for i in 21..60 {
+            let v = erfc(i as f64 * 0.1);
+            assert!(v > 0.0);
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn probit_inverts_cdf() {
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let x = inverse_normal_cdf(p);
+            assert!((standard_cdf(x) - p).abs() < 1e-8, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn probit_known_quantiles() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((inverse_normal_cdf(0.025) + 1.959_963_985).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in")]
+    fn probit_rejects_zero() {
+        let _ = inverse_normal_cdf(0.0);
+    }
+}

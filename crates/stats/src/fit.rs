@@ -1,0 +1,271 @@
+//! Least-squares model fitting.
+//!
+//! The paper turns prototype measurements into three empirical models:
+//!
+//! * per-TEG voltage, linear in ΔT (Eq. 3: `v = 0.0448·ΔT − 0.0051`),
+//! * per-TEG max power, quadratic in ΔT (Eq. 6),
+//! * CPU power, a shifted logarithm of utilization (Eq. 20:
+//!   `P = 109.71·ln(u + 1.17) − 7.83`).
+//!
+//! The reproduction re-derives those coefficients by running the same
+//! "measurement campaigns" on the simulated prototype and fitting with
+//! the routines here.
+
+use crate::linalg::solve;
+use crate::StatsError;
+
+/// A fitted polynomial `y = c₀ + c₁·x + … + c_d·x^d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coefficients: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from low-to-high-order coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficients` is empty.
+    #[must_use]
+    pub fn new(coefficients: Vec<f64>) -> Self {
+        assert!(!coefficients.is_empty(), "need at least one coefficient");
+        Polynomial { coefficients }
+    }
+
+    /// Coefficients, low order first.
+    #[must_use]
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Polynomial degree.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.coefficients.len() - 1
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's method).
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coefficients
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * x + c)
+    }
+}
+
+impl core::fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for (i, c) in self.coefficients.iter().enumerate() {
+            if i == 0 {
+                write!(f, "{c:.6}")?;
+            } else {
+                write!(f, " {} {:.6}·x^{i}", if *c < 0.0 { "-" } else { "+" }, c.abs())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fits a degree-`degree` polynomial to `(x, y)` by least squares
+/// (normal equations; fine for the low degrees used here).
+///
+/// # Errors
+///
+/// * [`StatsError::BadInputLength`] if the slices differ in length or
+///   have fewer than `degree + 1` points.
+/// * [`StatsError::SingularSystem`] if the design matrix is rank
+///   deficient (e.g. all `x` identical).
+pub fn polyfit(x: &[f64], y: &[f64], degree: usize) -> Result<Polynomial, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::BadInputLength {
+            expected: "x and y of equal length",
+            actual: y.len(),
+        });
+    }
+    let terms = degree + 1;
+    if x.len() < terms {
+        return Err(StatsError::BadInputLength {
+            expected: "at least degree + 1 samples",
+            actual: x.len(),
+        });
+    }
+    // Normal equations: (VᵀV) c = Vᵀ y with Vandermonde V.
+    let mut ata = vec![vec![0.0; terms]; terms];
+    let mut atb = vec![0.0; terms];
+    for (&xi, &yi) in x.iter().zip(y) {
+        let mut powers = vec![1.0; 2 * terms - 1];
+        for p in 1..2 * terms - 1 {
+            powers[p] = powers[p - 1] * xi;
+        }
+        for r in 0..terms {
+            for c in 0..terms {
+                ata[r][c] += powers[r + c];
+            }
+            atb[r] += powers[r] * yi;
+        }
+    }
+    let coeffs = solve(ata, atb)?;
+    Ok(Polynomial::new(coeffs))
+}
+
+/// Fits the straight line `y = a·x + b`, returning `(a, b)`.
+///
+/// # Errors
+///
+/// Propagates [`polyfit`] errors.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<(f64, f64), StatsError> {
+    let p = polyfit(x, y, 1)?;
+    Ok((p.coefficients()[1], p.coefficients()[0]))
+}
+
+/// Fits the paper's Eq. 20 shape `y = a·ln(x + shift) + b` with a fixed
+/// shift, returning `(a, b)`. With the shift fixed the model is linear in
+/// `(a, b)`, so ordinary least squares applies after transforming `x`.
+///
+/// # Errors
+///
+/// Propagates [`linear_fit`] errors; additionally rejects inputs where
+/// `x + shift <= 0` for any sample.
+pub fn log_shifted_fit(x: &[f64], y: &[f64], shift: f64) -> Result<(f64, f64), StatsError> {
+    if x.iter().any(|&xi| xi + shift <= 0.0) {
+        return Err(StatsError::NonPositiveParameter {
+            name: "x + shift",
+            value: shift,
+        });
+    }
+    let lx: Vec<f64> = x.iter().map(|&xi| (xi + shift).ln()).collect();
+    linear_fit(&lx, y)
+}
+
+/// Root-mean-square error of a model over samples.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn rmse<F: Fn(f64) -> f64>(model: F, x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    assert!(!x.is_empty(), "need at least one sample");
+    let sq: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&xi, &yi)| {
+            let e = model(xi) - yi;
+            e * e
+        })
+        .sum();
+    (sq / x.len() as f64).sqrt()
+}
+
+/// Coefficient of determination R² of a model over samples.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than 2 points.
+#[must_use]
+pub fn r_squared<F: Fn(f64) -> f64>(model: F, x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    assert!(x.len() >= 2, "need at least two samples");
+    let mean = y.iter().sum::<f64>() / y.len() as f64;
+    let ss_tot: f64 = y.iter().map(|&yi| (yi - mean) * (yi - mean)).sum();
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&xi, &yi)| {
+            let e = yi - model(xi);
+            e * e
+        })
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polyfit_recovers_exact_polynomial() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 0.25 * v * v - 1.5 * v + 2.0).collect();
+        let p = polyfit(&x, &y, 2).unwrap();
+        assert!((p.coefficients()[0] - 2.0).abs() < 1e-9);
+        assert!((p.coefficients()[1] + 1.5).abs() < 1e-9);
+        assert!((p.coefficients()[2] - 0.25).abs() < 1e-9);
+        assert!(rmse(|v| p.eval(v), &x, &y) < 1e-9);
+        assert!(r_squared(|v| p.eval(v), &x, &y) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_paper_teg_voltage() {
+        // Generate samples from the paper's Eq. 3 and recover it.
+        let dt: Vec<f64> = (0..26).map(|i| i as f64).collect();
+        let v: Vec<f64> = dt.iter().map(|&d| 0.0448 * d - 0.0051).collect();
+        let (a, b) = linear_fit(&dt, &v).unwrap();
+        assert!((a - 0.0448).abs() < 1e-10);
+        assert!((b + 0.0051).abs() < 1e-10);
+    }
+
+    #[test]
+    fn log_shifted_fit_paper_cpu_power() {
+        // Paper Eq. 20 with u in [0, 1], shift 1.17.
+        let u: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        let p: Vec<f64> = u.iter().map(|&v| 109.71 * (v + 1.17).ln() - 7.83).collect();
+        let (a, b) = log_shifted_fit(&u, &p, 1.17).unwrap();
+        assert!((a - 109.71).abs() < 1e-8);
+        assert!((b + 7.83).abs() < 1e-8);
+    }
+
+    #[test]
+    fn log_shifted_fit_rejects_nonpositive_argument() {
+        assert!(log_shifted_fit(&[0.0, 1.0], &[0.0, 1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn polyfit_input_validation() {
+        assert!(matches!(
+            polyfit(&[1.0], &[1.0, 2.0], 1),
+            Err(StatsError::BadInputLength { .. })
+        ));
+        assert!(matches!(
+            polyfit(&[1.0, 2.0], &[1.0, 2.0], 2),
+            Err(StatsError::BadInputLength { .. })
+        ));
+        // All x identical -> singular.
+        assert!(matches!(
+            polyfit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0], 1),
+            Err(StatsError::SingularSystem)
+        ));
+    }
+
+    #[test]
+    fn fit_with_noise_is_close() {
+        // Deterministic pseudo-noise; coefficients recovered approximately.
+        let x: Vec<f64> = (0..200).map(|i| i as f64 * 0.1).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 3.0 * v + 1.0 + 0.01 * ((i * 2654435761) % 97) as f64 / 97.0)
+            .collect();
+        let (a, b) = linear_fit(&x, &y).unwrap();
+        assert!((a - 3.0).abs() < 1e-3);
+        assert!((b - 1.0).abs() < 2e-2);
+    }
+
+    #[test]
+    fn polynomial_display_and_eval() {
+        let p = Polynomial::new(vec![1.0, -2.0, 0.5]);
+        assert_eq!(p.degree(), 2);
+        assert!((p.eval(2.0) - (1.0 - 4.0 + 2.0)).abs() < 1e-12);
+        let s = p.to_string();
+        assert!(s.contains("x^1") && s.contains("x^2"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Numeric substrate for the H2P reproduction.
+//!
+//! The paper's water-circulation design study (Sec. V-A) relies on the
+//! order statistics of normally distributed CPU temperatures (Eqs. 13-18),
+//! and its empirical models (Eqs. 3, 6, 20) are least-squares fits to
+//! prototype measurements. Rather than pulling in a numerics stack, this
+//! crate implements exactly the pieces the reproduction needs:
+//!
+//! * [`erf`]/[`erfc`] and an inverse normal CDF,
+//! * the [`Normal`] distribution (pdf/cdf/quantile),
+//! * expected extreme order statistics of iid normal samples
+//!   ([`order_stats`]),
+//! * composite/adaptive Simpson quadrature ([`quadrature`]),
+//! * dense least-squares polynomial and shifted-log fitting ([`fit`]),
+//! * descriptive statistics ([`descriptive`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use h2p_stats::{Normal, order_stats};
+//!
+//! let n = Normal::new(55.0, 4.0)?;
+//! // Expected hottest CPU among 40 servers sharing a circulation.
+//! let hottest = order_stats::expected_max(n, 40);
+//! assert!(hottest > 55.0 && hottest < 55.0 + 4.0 * 3.0);
+//! # Ok::<(), h2p_stats::StatsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)` is used as a deliberate NaN-rejecting validation idiom
+// throughout (NaN fails the guard, unlike `x <= 0.0`).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod descriptive;
+mod erf;
+pub mod fit;
+mod linalg;
+mod normal;
+pub mod order_stats;
+pub mod quadrature;
+
+pub use erf::{erf, erfc, inverse_normal_cdf};
+pub use normal::Normal;
+
+use core::fmt;
+
+/// Errors produced by the statistics substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A scale/shape parameter that must be strictly positive was not.
+    NonPositiveParameter {
+        /// Human-readable name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Input slices had mismatched or insufficient length.
+    BadInputLength {
+        /// What was expected of the input.
+        expected: &'static str,
+        /// The actual length received.
+        actual: usize,
+    },
+    /// A linear system was singular (collinear fit inputs).
+    SingularSystem,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter {name} must be positive, got {value}")
+            }
+            StatsError::BadInputLength { expected, actual } => {
+                write!(f, "bad input length: expected {expected}, got {actual}")
+            }
+            StatsError::SingularSystem => write!(f, "linear system is singular"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}

@@ -1,0 +1,165 @@
+//! The normal distribution (paper Eqs. 13-14).
+
+use crate::erf::{inverse_normal_cdf, standard_cdf};
+use crate::StatsError;
+
+/// A normal (Gaussian) distribution `N(μ, σ²)`.
+///
+/// The paper models the per-CPU temperature inside a water circulation as
+/// `T_i ~ N(μ, σ²)` (Sec. V-A, Eq. 13) and derives the distribution of the
+/// circulation's *hottest* CPU from it; see [`crate::order_stats`].
+///
+/// ```
+/// use h2p_stats::Normal;
+/// let n = Normal::new(0.0, 1.0)?;
+/// assert!((n.cdf(0.0) - 0.5).abs() < 1e-12);
+/// assert!((n.pdf(0.0) - 0.3989422804).abs() < 1e-9);
+/// # Ok::<(), h2p_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NonPositiveParameter`] if `std_dev <= 0` or
+    /// either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, StatsError> {
+        if !std_dev.is_finite() || std_dev <= 0.0 {
+            return Err(StatsError::NonPositiveParameter {
+                name: "std_dev",
+                value: std_dev,
+            });
+        }
+        if !mean.is_finite() {
+            return Err(StatsError::NonPositiveParameter {
+                name: "mean",
+                value: mean,
+            });
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    #[must_use]
+    pub fn standard() -> Self {
+        Normal {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+    }
+
+    /// The mean μ.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation σ.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// The variance σ².
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.std_dev * self.std_dev
+    }
+
+    /// Probability density function (paper Eq. 13).
+    #[must_use]
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        (-0.5 * z * z).exp() / (self.std_dev * (2.0 * core::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function (paper Eq. 14).
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        standard_cdf((x - self.mean) / self.std_dev)
+    }
+
+    /// Quantile function (inverse CDF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not strictly inside `(0, 1)`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mean + self.std_dev * inverse_normal_cdf(p)
+    }
+
+    /// The standardized z-score of `x`.
+    #[must_use]
+    pub fn z_score(&self, x: f64) -> f64 {
+        (x - self.mean) / self.std_dev
+    }
+}
+
+impl Default for Normal {
+    fn default() -> Self {
+        Normal::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let n = Normal::new(3.0, 2.0).unwrap();
+        let integral = crate::quadrature::simpson(|x| n.pdf(x), -17.0, 23.0, 2000);
+        assert!((integral - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cdf_properties() {
+        let n = Normal::new(10.0, 5.0).unwrap();
+        assert!((n.cdf(10.0) - 0.5).abs() < 1e-12);
+        assert!(n.cdf(-30.0) < 1e-12);
+        assert!(n.cdf(50.0) > 1.0 - 1e-12);
+        // Monotone.
+        assert!(n.cdf(12.0) > n.cdf(8.0));
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let n = Normal::new(-2.0, 0.7).unwrap();
+        for i in 1..20 {
+            let p = i as f64 / 20.0;
+            assert!((n.cdf(n.quantile(p)) - p).abs() < 1e-8, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn z_score_standardizes() {
+        let n = Normal::new(60.0, 4.0).unwrap();
+        assert!((n.z_score(68.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_relation() {
+        // N(mu, sigma).cdf(x) == N(0,1).cdf((x-mu)/sigma)
+        let n = Normal::new(55.0, 3.0).unwrap();
+        let s = Normal::standard();
+        for x in [48.0, 55.0, 61.0] {
+            assert!((n.cdf(x) - s.cdf((x - 55.0) / 3.0)).abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Extreme order statistics of iid normal samples (paper Eqs. 15-18).
+//!
+//! In a water circulation shared by `n` servers, the inlet temperature is
+//! capped by the *hottest* CPU. With per-CPU temperatures
+//! `T_i ~ N(μ, σ²)`, the paper derives the distribution of the maximum
+//! `T_(n)` — CDF `Fⁿ(x)` (Eq. 15), pdf `n·Fⁿ⁻¹(x)·f(x)` (Eq. 16) — and
+//! takes its expectation (Eq. 17) to size the chiller set-point margin
+//! (Eq. 18). This module evaluates those quantities by quadrature.
+
+use crate::normal::Normal;
+use crate::quadrature::simpson;
+
+/// Number of standard deviations to extend the truncated integration
+/// window beyond the asymptotic location of the maximum.
+const TAIL_SIGMAS: f64 = 10.0;
+
+/// Default panel count for the expectation quadrature.
+const PANELS: usize = 4000;
+
+/// CDF of the maximum of `n` iid samples: `F_{T_(n)}(x) = Fⁿ(x)`
+/// (paper Eq. 15).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn max_cdf(dist: Normal, n: usize, x: f64) -> f64 {
+    assert!(n > 0, "sample count must be positive");
+    dist.cdf(x).powi(n as i32)
+}
+
+/// Pdf of the maximum of `n` iid samples:
+/// `f_{T_(n)}(x) = n·F(x)^{n-1}·f(x)` (paper Eq. 16).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn max_pdf(dist: Normal, n: usize, x: f64) -> f64 {
+    assert!(n > 0, "sample count must be positive");
+    n as f64 * dist.cdf(x).powi(n as i32 - 1) * dist.pdf(x)
+}
+
+/// Expected value of the maximum of `n` iid samples, `E[T_(n)]`
+/// (paper Eq. 17), evaluated by composite Simpson quadrature on a
+/// truncated window.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// ```
+/// use h2p_stats::{Normal, order_stats::expected_max};
+/// let n = Normal::new(0.0, 1.0)?;
+/// // E[max of 2 standard normals] = 1/sqrt(pi).
+/// let e2 = expected_max(n, 2);
+/// assert!((e2 - 0.5641895835).abs() < 1e-6);
+/// # Ok::<(), h2p_stats::StatsError>(())
+/// ```
+#[must_use]
+pub fn expected_max(dist: Normal, n: usize) -> f64 {
+    assert!(n > 0, "sample count must be positive");
+    if n == 1 {
+        return dist.mean();
+    }
+    let lo = dist.mean() - TAIL_SIGMAS * dist.std_dev();
+    let hi = dist.mean() + (TAIL_SIGMAS + (2.0 * (n as f64).ln()).sqrt()) * dist.std_dev();
+    simpson(|x| x * max_pdf(dist, n, x), lo, hi, PANELS)
+}
+
+/// Standard deviation of the maximum of `n` iid samples, by quadrature.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn max_std_dev(dist: Normal, n: usize) -> f64 {
+    assert!(n > 0, "sample count must be positive");
+    let mean = expected_max(dist, n);
+    let lo = dist.mean() - TAIL_SIGMAS * dist.std_dev();
+    let hi = dist.mean() + (TAIL_SIGMAS + (2.0 * (n as f64).ln()).sqrt()) * dist.std_dev();
+    let var = simpson(
+        |x| (x - mean) * (x - mean) * max_pdf(dist, n, x),
+        lo,
+        hi,
+        PANELS,
+    );
+    var.max(0.0).sqrt()
+}
+
+/// Quantile of the maximum: the `x` with `Fⁿ(x) = p`, i.e.
+/// `x = F⁻¹(p^{1/n})`. Useful for sizing against a tail-risk target
+/// instead of the expectation.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `p ∉ (0, 1)`.
+#[must_use]
+pub fn max_quantile(dist: Normal, n: usize, p: f64) -> f64 {
+    assert!(n > 0, "sample count must be positive");
+    dist.quantile(p.powf(1.0 / n as f64))
+}
+
+/// The classical upper bound `E[T_(n)] ≤ μ + σ·√(2 ln n)`.
+///
+/// Used by property tests and as a cheap conservative estimate.
+#[must_use]
+pub fn expected_max_upper_bound(dist: Normal, n: usize) -> f64 {
+    if n <= 1 {
+        dist.mean()
+    } else {
+        dist.mean() + dist.std_dev() * (2.0 * (n as f64).ln()).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn std_normal() -> Normal {
+        Normal::standard()
+    }
+
+    #[test]
+    fn n1_reduces_to_mean() {
+        let d = Normal::new(55.0, 4.0).unwrap();
+        assert_eq!(expected_max(d, 1), 55.0);
+        assert!((max_cdf(d, 1, 55.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_small_n_values() {
+        // Closed forms: E[max of 2] = 1/sqrt(pi); E[max of 3] = 3/(2 sqrt(pi)).
+        let sp = core::f64::consts::PI.sqrt();
+        assert!((expected_max(std_normal(), 2) - 1.0 / sp).abs() < 1e-6);
+        assert!((expected_max(std_normal(), 3) - 1.5 / sp).abs() < 1e-6);
+    }
+
+    #[test]
+    fn increasing_in_n() {
+        let d = Normal::new(60.0, 3.0).unwrap();
+        let mut prev = expected_max(d, 1);
+        for n in [2, 4, 8, 16, 32, 64, 128, 256] {
+            let e = expected_max(d, n);
+            assert!(e > prev, "E[max] must increase with n (n = {n})");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn below_upper_bound() {
+        let d = Normal::new(60.0, 3.0).unwrap();
+        for n in [2, 10, 50, 200, 1000] {
+            assert!(expected_max(d, n) <= expected_max_upper_bound(d, n) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn location_scale_equivariance() {
+        // E[max of N(mu, sigma)] = mu + sigma * E[max of N(0,1)].
+        let base = expected_max(std_normal(), 25);
+        let d = Normal::new(58.0, 2.5).unwrap();
+        assert!((expected_max(d, 25) - (58.0 + 2.5 * base)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_pdf_integrates_to_one() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let v = simpson(|x| max_pdf(d, 20, x), -15.0, 25.0, 4000);
+        assert!((v - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn quantile_inverts_max_cdf() {
+        let d = Normal::new(55.0, 4.0).unwrap();
+        for p in [0.1, 0.5, 0.9, 0.99] {
+            let x = max_quantile(d, 40, p);
+            assert!((max_cdf(d, 40, x) - p).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn std_dev_shrinks_with_n() {
+        let d = std_normal();
+        // The max concentrates: sd decreases for large n.
+        assert!(max_std_dev(d, 1000) < max_std_dev(d, 10));
+        assert!((max_std_dev(d, 1) - 1.0).abs() < 1e-6);
+    }
+}

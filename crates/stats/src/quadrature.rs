@@ -1,0 +1,148 @@
+//! Numerical integration.
+//!
+//! The expectation integrals of the circulation-design study (paper
+//! Eq. 17) have smooth, rapidly decaying integrands, for which composite
+//! Simpson on a truncated interval is accurate and fast. An adaptive
+//! variant is provided for integrands with localized features.
+
+/// Composite Simpson's rule over `[a, b]` with `n` panels (`n` is rounded
+/// up to the next even number).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `a > b`.
+///
+/// ```
+/// use h2p_stats::quadrature::simpson;
+/// let integral = simpson(|x| x * x, 0.0, 1.0, 64);
+/// assert!((integral - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n > 0, "panel count must be positive");
+    assert!(a <= b, "integration bounds inverted");
+    if a == b {
+        return 0.0;
+    }
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut sum = f(a) + f(b);
+    for i in 1..n {
+        let x = a + h * i as f64;
+        sum += f(x) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    sum * h / 3.0
+}
+
+/// Adaptive Simpson integration to absolute tolerance `tol`.
+///
+/// # Panics
+///
+/// Panics if `tol <= 0` or `a > b`.
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(tol > 0.0, "tolerance must be positive");
+    assert!(a <= b, "integration bounds inverted");
+    if a == b {
+        return 0.0;
+    }
+    let m = 0.5 * (a + b);
+    let fa = f(a);
+    let fb = f(b);
+    let fm = f(m);
+    let whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+    adaptive_step(&f, a, b, fa, fm, fb, whole, tol, 50)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive_step<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+    let right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        adaptive_step(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1)
+            + adaptive_step(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1)
+    }
+}
+
+/// Trapezoid rule over tabulated, not-necessarily-uniform samples
+/// `(x, y)`. Used to integrate measured/simulated time series (e.g.
+/// turning a generated-power series into energy).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than 2 points, or
+/// if `x` is not strictly increasing.
+#[must_use]
+pub fn trapezoid_tabulated(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    assert!(x.len() >= 2, "need at least two samples");
+    let mut acc = 0.0;
+    for i in 1..x.len() {
+        let dx = x[i] - x[i - 1];
+        assert!(dx > 0.0, "x must be strictly increasing");
+        acc += 0.5 * dx * (y[i] + y[i - 1]);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simpson_exact_for_cubics() {
+        // Simpson is exact for polynomials up to degree 3.
+        let integral = simpson(|x| 2.0 * x * x * x - x + 1.0, -1.0, 2.0, 2);
+        let exact = 0.5 * (16.0 - 1.0) - (2.0 - 0.5) + 3.0;
+        assert!((integral - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_handles_odd_n_and_empty_interval() {
+        let a = simpson(|x| x.sin(), 0.0, core::f64::consts::PI, 101);
+        assert!((a - 2.0).abs() < 1e-6);
+        assert_eq!(simpson(|x| x, 3.0, 3.0, 10), 0.0);
+    }
+
+    #[test]
+    fn adaptive_matches_smooth_integral() {
+        let v = adaptive_simpson(|x| (-x * x).exp(), -6.0, 6.0, 1e-10);
+        assert!((v - core::f64::consts::PI.sqrt()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn adaptive_peaked_integrand() {
+        // Narrow Gaussian bump the fixed grid would need many panels for.
+        let v = adaptive_simpson(|x| (-(x * 100.0).powi(2)).exp(), -1.0, 1.0, 1e-12);
+        assert!((v - core::f64::consts::PI.sqrt() / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trapezoid_linear_exact() {
+        let x = [0.0, 1.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        assert!((trapezoid_tabulated(&x, &y) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn trapezoid_rejects_unsorted() {
+        let _ = trapezoid_tabulated(&[0.0, 0.0], &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the numeric substrate.
+
+use h2p_stats::{erf, erfc, fit, inverse_normal_cdf, order_stats, quadrature, Normal};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn erf_is_odd_and_bounded(x in -6.0..6.0f64) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-14);
+        prop_assert!(erf(x).abs() <= 1.0);
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erf_is_monotone(a in -6.0..6.0f64, b in -6.0..6.0f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(erf(lo) <= erf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn probit_roundtrip(p in 1e-6..0.999_999f64) {
+        let x = inverse_normal_cdf(p);
+        let back = Normal::standard().cdf(x);
+        prop_assert!((back - p).abs() < 1e-7, "p {p}, back {back}");
+    }
+
+    #[test]
+    fn normal_cdf_monotone_and_bounded(
+        mu in -100.0..100.0f64,
+        sigma in 0.01..50.0f64,
+        a in -500.0..500.0f64,
+        b in -500.0..500.0f64,
+    ) {
+        let n = Normal::new(mu, sigma).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(n.cdf(lo) <= n.cdf(hi) + 1e-15);
+        prop_assert!((0.0..=1.0).contains(&n.cdf(a)));
+        prop_assert!(n.pdf(a) >= 0.0);
+    }
+
+    #[test]
+    fn simpson_exact_on_cubics(
+        c0 in -5.0..5.0f64,
+        c1 in -5.0..5.0f64,
+        c2 in -5.0..5.0f64,
+        c3 in -5.0..5.0f64,
+        a in -5.0..0.0f64,
+        b in 0.0..5.0f64,
+    ) {
+        let f = |x: f64| c0 + c1 * x + c2 * x * x + c3 * x * x * x;
+        let integral = quadrature::simpson(f, a, b, 16);
+        let antider = |x: f64| c0 * x + c1 * x * x / 2.0 + c2 * x * x * x / 3.0 + c3 * x.powi(4) / 4.0;
+        let exact = antider(b) - antider(a);
+        prop_assert!((integral - exact).abs() < 1e-8 * exact.abs().max(1.0));
+    }
+
+    #[test]
+    fn adaptive_matches_fixed_grid(a in -3.0..0.0f64, b in 0.0..3.0f64) {
+        let f = |x: f64| (x * 1.3).sin() + 0.2 * x;
+        let fixed = quadrature::simpson(f, a, b, 4000);
+        let adaptive = quadrature::adaptive_simpson(f, a, b, 1e-10);
+        prop_assert!((fixed - adaptive).abs() < 1e-7);
+    }
+
+    #[test]
+    fn polyfit_recovers_random_quadratics(
+        c0 in -10.0..10.0f64,
+        c1 in -10.0..10.0f64,
+        c2 in -10.0..10.0f64,
+    ) {
+        let xs: Vec<f64> = (0..25).map(|i| i as f64 * 0.4 - 5.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| c0 + c1 * x + c2 * x * x).collect();
+        let p = fit::polyfit(&xs, &ys, 2).unwrap();
+        prop_assert!((p.coefficients()[0] - c0).abs() < 1e-6);
+        prop_assert!((p.coefficients()[1] - c1).abs() < 1e-6);
+        prop_assert!((p.coefficients()[2] - c2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_fit_residual_orthogonality(
+        slope in -10.0..10.0f64,
+        intercept in -10.0..10.0f64,
+        noise_scale in 0.0..1.0f64,
+    ) {
+        // Least squares: residuals sum to ~0 for any fit with intercept.
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.25).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| slope * x + intercept + noise_scale * ((i * 37 % 11) as f64 - 5.0))
+            .collect();
+        let (a, b) = fit::linear_fit(&xs, &ys).unwrap();
+        let residual_sum: f64 = xs.iter().zip(&ys).map(|(&x, &y)| y - (a * x + b)).sum();
+        prop_assert!(residual_sum.abs() < 1e-6 * ys.len() as f64);
+    }
+
+    #[test]
+    fn expected_max_monotone_in_n(
+        mu in -50.0..80.0f64,
+        sigma in 0.1..10.0f64,
+        n in 1usize..200,
+    ) {
+        let d = Normal::new(mu, sigma).unwrap();
+        let a = order_stats::expected_max(d, n);
+        let b = order_stats::expected_max(d, n + 1);
+        prop_assert!(b >= a - 1e-6, "n {n}: {a} vs {b}");
+    }
+
+    #[test]
+    fn max_cdf_dominates_base_cdf(
+        x in -10.0..10.0f64,
+        n in 2usize..100,
+    ) {
+        // P(max <= x) = F^n(x) <= F(x).
+        let d = Normal::standard();
+        prop_assert!(order_stats::max_cdf(d, n, x) <= d.cdf(x) + 1e-15);
+    }
+
+    #[test]
+    fn max_quantile_consistent(p in 0.01..0.99f64, n in 1usize..100) {
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let x = order_stats::max_quantile(d, n, p);
+        prop_assert!((order_stats::max_cdf(d, n, x) - p).abs() < 1e-7);
+    }
+}

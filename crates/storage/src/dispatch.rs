@@ -1,0 +1,210 @@
+//! Buffer dispatch over generation/demand series.
+//!
+//! The Sec. VI-B problem in schedulable form: given a TEG generation
+//! series (high at night, low at peak — anti-correlated with demand)
+//! and a demand series, run the hybrid buffer greedily (charge on
+//! surplus, discharge on deficit) and account for what was served,
+//! buffered, wasted and unmet.
+
+use crate::{HybridBuffer, StorageError};
+use h2p_units::{Joules, Seconds, Watts};
+
+/// Outcome of dispatching a buffer across a series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchPlan {
+    /// Power actually delivered to the load, per step.
+    pub served: Vec<Watts>,
+    /// Portion of `served` that came out of the buffer, per step.
+    pub from_buffer: Vec<Watts>,
+    /// Generation that could be neither used nor stored.
+    pub spilled: Joules,
+    /// Demand that could not be met.
+    pub unmet: Joules,
+    /// Total demand over the horizon.
+    pub total_demand: Joules,
+    /// Total generation over the horizon.
+    pub total_generation: Joules,
+}
+
+impl DispatchPlan {
+    /// Fraction of demand served, in `\[0, 1\]`.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.total_demand.value() <= 0.0 {
+            1.0
+        } else {
+            1.0 - (self.unmet / self.total_demand).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Fraction of generation that reached the load (directly or via
+    /// the buffer), in `\[0, 1\]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.total_generation.value() <= 0.0 {
+            return 0.0;
+        }
+        ((self.total_generation - self.spilled) / self.total_generation).clamp(0.0, 1.0)
+    }
+}
+
+/// Greedy dispatch: serve demand from generation first, buffer any
+/// surplus, discharge the buffer on deficit.
+///
+/// # Errors
+///
+/// Returns [`StorageError::BadParameter`] if the series lengths differ,
+/// are empty, or the interval is not strictly positive.
+pub fn greedy_dispatch(
+    buffer: &mut HybridBuffer,
+    generation: &[Watts],
+    demand: &[Watts],
+    interval: Seconds,
+) -> Result<DispatchPlan, StorageError> {
+    if generation.len() != demand.len() || generation.is_empty() {
+        return Err(StorageError::BadParameter {
+            name: "series length",
+            value: generation.len() as f64,
+        });
+    }
+    if !(interval.value() > 0.0) {
+        return Err(StorageError::BadParameter {
+            name: "interval",
+            value: interval.value(),
+        });
+    }
+    let mut served = Vec::with_capacity(demand.len());
+    let mut from_buffer = Vec::with_capacity(demand.len());
+    let mut spilled = Joules::zero();
+    let mut unmet = Joules::zero();
+    let mut total_demand = Joules::zero();
+    let mut total_generation = Joules::zero();
+    for (&gen, &need) in generation.iter().zip(demand) {
+        total_demand += need.energy_over(interval);
+        total_generation += gen.energy_over(interval);
+        let direct = gen.min(need);
+        let surplus = gen - direct;
+        let deficit = need - direct;
+        let mut step_served = direct;
+        let mut step_buffer = Watts::zero();
+        if surplus.value() > 0.0 {
+            let stored = buffer.offer(surplus, interval);
+            spilled += surplus.energy_over(interval) - stored;
+        } else if deficit.value() > 0.0 {
+            let drawn = buffer.demand(deficit, interval);
+            step_buffer = drawn.average_power(interval);
+            step_served += step_buffer;
+            unmet += deficit.energy_over(interval) - drawn;
+        }
+        served.push(step_served);
+        from_buffer.push(step_buffer);
+    }
+    Ok(DispatchPlan {
+        served,
+        from_buffer,
+        spilled,
+        unmet,
+        total_demand,
+        total_generation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn watts(values: &[f64]) -> Vec<Watts> {
+        values.iter().map(|&v| Watts::new(v)).collect()
+    }
+
+    #[test]
+    fn constant_match_needs_no_buffer() {
+        let mut buffer = HybridBuffer::paper_default();
+        let gen = watts(&[4.0; 10]);
+        let demand = watts(&[4.0; 10]);
+        let plan = greedy_dispatch(&mut buffer, &gen, &demand, Seconds::minutes(5.0)).unwrap();
+        assert_eq!(plan.coverage(), 1.0);
+        assert_eq!(plan.unmet, Joules::zero());
+        assert_eq!(plan.spilled, Joules::zero());
+        assert!(plan.from_buffer.iter().all(|w| w.value() == 0.0));
+    }
+
+    #[test]
+    fn anti_correlated_series_time_shift() {
+        // Generate at night (first half), demand at day (second half):
+        // without a buffer coverage would be 0 in the second half; with
+        // it, most energy time-shifts (modulo round-trip losses).
+        let mut buffer = HybridBuffer::paper_default();
+        let gen = watts(&[[6.0; 6].as_slice(), [0.0; 6].as_slice()].concat());
+        let demand = watts(&[[0.0; 6].as_slice(), [5.0; 6].as_slice()].concat());
+        let plan = greedy_dispatch(&mut buffer, &gen, &demand, Seconds::hours(1.0)).unwrap();
+        assert!(plan.coverage() > 0.9, "coverage {}", plan.coverage());
+        assert!(plan.from_buffer[6].value() > 0.0);
+        // Round-trip losses: the 6 Wh of nominal surplus leaves less
+        // than 6 Wh sitting in the buffer afterwards.
+        assert!(buffer.stored() < Joules::new(6.0 * 3600.0));
+    }
+
+    #[test]
+    fn oversupply_spills_once_full() {
+        let mut buffer = HybridBuffer::paper_default();
+        // Far more generation than the buffer + demand can absorb.
+        let gen = watts(&[200.0; 24]);
+        let demand = watts(&[1.0; 24]);
+        let plan = greedy_dispatch(&mut buffer, &gen, &demand, Seconds::hours(1.0)).unwrap();
+        assert_eq!(plan.coverage(), 1.0);
+        assert!(plan.spilled.value() > 0.5 * plan.total_generation.value());
+        assert!(plan.utilization() < 0.5);
+    }
+
+    #[test]
+    fn starvation_reports_unmet() {
+        let mut buffer = HybridBuffer::paper_default();
+        let gen = watts(&[0.0; 8]);
+        let demand = watts(&[10.0; 8]);
+        let plan = greedy_dispatch(&mut buffer, &gen, &demand, Seconds::hours(1.0)).unwrap();
+        assert_eq!(plan.coverage(), 0.0);
+        assert!((plan.unmet.value() - plan.total_demand.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_accounting_closes() {
+        let mut buffer = HybridBuffer::paper_default();
+        let gen = watts(&[5.0, 8.0, 2.0, 0.0, 6.0, 1.0]);
+        let demand = watts(&[3.0, 3.0, 3.0, 3.0, 3.0, 3.0]);
+        let dt = Seconds::hours(1.0);
+        let plan = greedy_dispatch(&mut buffer, &gen, &demand, dt).unwrap();
+        // generation = served_from_generation + stored(+losses) + spilled.
+        // Check the weaker, exact closure: served <= demand and
+        // generation - spilled >= served - from_buffer (direct part).
+        let served_total: f64 = plan.served.iter().map(|w| w.value() * dt.value()).sum();
+        assert!(served_total <= plan.total_demand.value() + 1e-9);
+        let direct_total: f64 = plan
+            .served
+            .iter()
+            .zip(&plan.from_buffer)
+            .map(|(s, b)| (s.value() - b.value()) * dt.value())
+            .sum();
+        assert!(direct_total <= plan.total_generation.value() - plan.spilled.value() + 1e-6);
+    }
+
+    #[test]
+    fn validation() {
+        let mut buffer = HybridBuffer::paper_default();
+        assert!(greedy_dispatch(&mut buffer, &[], &[], Seconds::hours(1.0)).is_err());
+        assert!(greedy_dispatch(
+            &mut buffer,
+            &watts(&[1.0]),
+            &watts(&[1.0, 2.0]),
+            Seconds::hours(1.0)
+        )
+        .is_err());
+        assert!(greedy_dispatch(
+            &mut buffer,
+            &watts(&[1.0]),
+            &watts(&[1.0]),
+            Seconds::new(0.0)
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,391 @@
+//! Electricity storage and reuse applications for TEG output (paper
+//! Sec. VI-B/VI-C).
+//!
+//! TEG generation is anti-correlated with demand (high load → cold
+//! inlet → little harvest), so H2P buffers the output. The paper points
+//! at hybrid energy buffers \[31\]: super-capacitors (90-95 % efficient,
+//! expensive per joule) paired with batteries (cheaper, less efficient).
+//! This crate provides:
+//!
+//! * [`EnergyBuffer`] — a single storage element with round-trip
+//!   efficiency and power limits;
+//! * [`HybridBuffer`] — the SC-first charge/discharge policy over a
+//!   super-capacitor and a battery;
+//! * [`leds_powered`] — the Sec. VI-C2 lighting application (how many
+//!   LEDs a CPU's TEG module can light);
+//! * [`dispatch`] — greedy buffer dispatch over generation/demand
+//!   series with coverage and spill accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use h2p_storage::HybridBuffer;
+//! use h2p_units::{Seconds, Watts};
+//!
+//! let mut buffer = HybridBuffer::paper_default();
+//! // A low-load night interval: 4 W surplus for an hour.
+//! let stored = buffer.offer(Watts::new(4.0), Seconds::hours(1.0));
+//! assert!(stored.value() > 0.0);
+//! // Peak hours: draw the energy back.
+//! let delivered = buffer.demand(Watts::new(2.0), Seconds::hours(1.0));
+//! assert!(delivered.value() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)` is used as a deliberate NaN-rejecting validation idiom
+// throughout (NaN fails the guard, unlike `x <= 0.0`).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod dispatch;
+
+use core::fmt;
+use h2p_units::{Joules, Seconds, Watts};
+
+/// Errors from the storage models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// A parameter that must be strictly positive was not, or an
+    /// efficiency left `(0, 1]`.
+    BadParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::BadParameter { name, value } => {
+                write!(f, "parameter {name} invalid: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// One storage element (battery or super-capacitor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBuffer {
+    capacity: Joules,
+    stored: Joules,
+    /// One-way charge efficiency in `(0, 1]`.
+    charge_efficiency: f64,
+    /// One-way discharge efficiency in `(0, 1]`.
+    discharge_efficiency: f64,
+    /// Maximum charge/discharge power.
+    max_power: Watts,
+}
+
+impl EnergyBuffer {
+    /// Creates an empty buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::BadParameter`] for a non-positive
+    /// capacity or power, or an efficiency outside `(0, 1]`.
+    pub fn new(
+        capacity: Joules,
+        charge_efficiency: f64,
+        discharge_efficiency: f64,
+        max_power: Watts,
+    ) -> Result<Self, StorageError> {
+        if !(capacity.value() > 0.0) {
+            return Err(StorageError::BadParameter {
+                name: "capacity",
+                value: capacity.value(),
+            });
+        }
+        if !(max_power.value() > 0.0) {
+            return Err(StorageError::BadParameter {
+                name: "max_power",
+                value: max_power.value(),
+            });
+        }
+        for (name, value) in [
+            ("charge_efficiency", charge_efficiency),
+            ("discharge_efficiency", discharge_efficiency),
+        ] {
+            if !(value > 0.0 && value <= 1.0) {
+                return Err(StorageError::BadParameter { name, value });
+            }
+        }
+        Ok(EnergyBuffer {
+            capacity,
+            stored: Joules::zero(),
+            charge_efficiency,
+            discharge_efficiency,
+            max_power,
+        })
+    }
+
+    /// A per-CPU super-capacitor bank: 5 Wh, ~97 % each way (≈ 95 %
+    /// round trip), 50 W.
+    #[must_use]
+    pub fn super_capacitor() -> Self {
+        EnergyBuffer::new(
+            Joules::new(5.0 * 3600.0),
+            0.97,
+            0.97,
+            Watts::new(50.0),
+        )
+        .expect("constants are valid")
+    }
+
+    /// A small per-rack battery share: 100 Wh, ~92 % each way (≈ 85 %
+    /// round trip), 20 W.
+    #[must_use]
+    pub fn battery() -> Self {
+        EnergyBuffer::new(
+            Joules::new(100.0 * 3600.0),
+            0.92,
+            0.92,
+            Watts::new(20.0),
+        )
+        .expect("constants are valid")
+    }
+
+    /// Usable capacity.
+    #[must_use]
+    pub fn capacity(&self) -> Joules {
+        self.capacity
+    }
+
+    /// Currently stored energy.
+    #[must_use]
+    pub fn stored(&self) -> Joules {
+        self.stored
+    }
+
+    /// State of charge in `\[0, 1\]`.
+    #[must_use]
+    pub fn state_of_charge(&self) -> f64 {
+        self.stored.value() / self.capacity.value()
+    }
+
+    /// Round-trip efficiency.
+    #[must_use]
+    pub fn round_trip_efficiency(&self) -> f64 {
+        self.charge_efficiency * self.discharge_efficiency
+    }
+
+    /// Offers surplus power for `dt`; returns the energy actually
+    /// *absorbed from the source* (before charge losses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative.
+    pub fn offer(&mut self, surplus: Watts, dt: Seconds) -> Joules {
+        assert!(dt.value() >= 0.0, "dt must be non-negative");
+        if surplus.value() <= 0.0 || dt.value() == 0.0 {
+            return Joules::zero();
+        }
+        let power = surplus.min(self.max_power);
+        let incoming = power.energy_over(dt);
+        let headroom = self.capacity - self.stored;
+        let storable_incoming = Joules::new(headroom.value() / self.charge_efficiency);
+        let accepted = incoming.min(storable_incoming);
+        self.stored += Joules::new(accepted.value() * self.charge_efficiency);
+        accepted
+    }
+
+    /// Demands power for `dt`; returns the energy actually delivered
+    /// (after discharge losses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative.
+    pub fn demand(&mut self, need: Watts, dt: Seconds) -> Joules {
+        assert!(dt.value() >= 0.0, "dt must be non-negative");
+        if need.value() <= 0.0 || dt.value() == 0.0 {
+            return Joules::zero();
+        }
+        let power = need.min(self.max_power);
+        let wanted = power.energy_over(dt);
+        let deliverable = Joules::new(self.stored.value() * self.discharge_efficiency);
+        let delivered = wanted.min(deliverable);
+        self.stored -= Joules::new(delivered.value() / self.discharge_efficiency);
+        self.stored = self.stored.max(Joules::zero());
+        delivered
+    }
+}
+
+/// A hybrid buffer: super-capacitor absorbs/serves first (fast, nearly
+/// lossless), battery takes the remainder (deep storage) — the policy
+/// of HEB \[31\] scaled down to TEG outputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridBuffer {
+    super_capacitor: EnergyBuffer,
+    battery: EnergyBuffer,
+}
+
+impl HybridBuffer {
+    /// Creates a hybrid buffer from its two elements.
+    #[must_use]
+    pub fn new(super_capacitor: EnergyBuffer, battery: EnergyBuffer) -> Self {
+        HybridBuffer {
+            super_capacitor,
+            battery,
+        }
+    }
+
+    /// The default per-CPU configuration.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        HybridBuffer {
+            super_capacitor: EnergyBuffer::super_capacitor(),
+            battery: EnergyBuffer::battery(),
+        }
+    }
+
+    /// The super-capacitor element.
+    #[must_use]
+    pub fn super_capacitor(&self) -> &EnergyBuffer {
+        &self.super_capacitor
+    }
+
+    /// The battery element.
+    #[must_use]
+    pub fn battery(&self) -> &EnergyBuffer {
+        &self.battery
+    }
+
+    /// Total stored energy.
+    #[must_use]
+    pub fn stored(&self) -> Joules {
+        self.super_capacitor.stored() + self.battery.stored()
+    }
+
+    /// Offers surplus power: SC first, battery for the remainder.
+    /// Returns the energy absorbed from the source.
+    pub fn offer(&mut self, surplus: Watts, dt: Seconds) -> Joules {
+        let taken_sc = self.super_capacitor.offer(surplus, dt);
+        let leftover_power =
+            Watts::new((surplus.energy_over(dt) - taken_sc).value() / dt.value().max(1e-12));
+        let taken_batt = self.battery.offer(leftover_power, dt);
+        taken_sc + taken_batt
+    }
+
+    /// Demands power: SC first, battery for the remainder. Returns the
+    /// energy delivered.
+    pub fn demand(&mut self, need: Watts, dt: Seconds) -> Joules {
+        let from_sc = self.super_capacitor.demand(need, dt);
+        let remaining =
+            Watts::new((need.energy_over(dt) - from_sc).value() / dt.value().max(1e-12));
+        let from_batt = self.battery.demand(remaining, dt);
+        from_sc + from_batt
+    }
+}
+
+impl Default for HybridBuffer {
+    fn default() -> Self {
+        HybridBuffer::paper_default()
+    }
+}
+
+/// How many LEDs of a given unit power a TEG output can light
+/// (Sec. VI-C2: an ordinary LED draws 0.05 W; high-power parts 1-2 W).
+///
+/// # Panics
+///
+/// Panics if `led` is not strictly positive.
+#[must_use]
+pub fn leds_powered(teg_output: Watts, led: Watts) -> usize {
+    assert!(led.value() > 0.0, "LED power must be positive");
+    (teg_output.value().max(0.0) / led.value()).floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_discharge_roundtrip_loses_expected_energy() {
+        let mut b = EnergyBuffer::battery();
+        let offered = b.offer(Watts::new(10.0), Seconds::hours(1.0));
+        assert!((offered.value() - 36_000.0).abs() < 1e-9);
+        // Drain completely.
+        let delivered = b.demand(Watts::new(20.0), Seconds::hours(10.0));
+        let rt = delivered.value() / offered.value();
+        assert!((rt - b.round_trip_efficiency()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_limits_absorption() {
+        let mut sc = EnergyBuffer::super_capacitor();
+        // Offer far more than 5 Wh.
+        let taken = sc.offer(Watts::new(50.0), Seconds::hours(10.0));
+        assert!(sc.state_of_charge() > 0.999);
+        // Accepted energy ≈ capacity / charge_eff.
+        assert!((taken.value() - 5.0 * 3600.0 / 0.97).abs() < 1.0);
+        // Nothing more fits.
+        assert_eq!(sc.offer(Watts::new(1.0), Seconds::hours(1.0)), Joules::zero());
+    }
+
+    #[test]
+    fn power_limit_caps_rate() {
+        let mut b = EnergyBuffer::battery(); // 20 W cap
+        let taken = b.offer(Watts::new(100.0), Seconds::hours(1.0));
+        assert!((taken.value() - 20.0 * 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_buffer_delivers_nothing() {
+        let mut b = EnergyBuffer::battery();
+        assert_eq!(b.demand(Watts::new(5.0), Seconds::hours(1.0)), Joules::zero());
+    }
+
+    #[test]
+    fn hybrid_prefers_super_capacitor() {
+        let mut h = HybridBuffer::paper_default();
+        h.offer(Watts::new(4.0), Seconds::hours(1.0));
+        // 4 W for an hour fits entirely in the SC (5 Wh).
+        assert!(h.super_capacitor().stored().value() > 0.0);
+        assert_eq!(h.battery().stored(), Joules::zero());
+        // Overflow spills into the battery.
+        h.offer(Watts::new(10.0), Seconds::hours(1.0));
+        assert!(h.battery().stored().value() > 0.0);
+    }
+
+    #[test]
+    fn hybrid_drains_super_capacitor_first() {
+        let mut h = HybridBuffer::paper_default();
+        h.offer(Watts::new(10.0), Seconds::hours(2.0));
+        let sc_before = h.super_capacitor().stored();
+        let batt_before = h.battery().stored();
+        h.demand(Watts::new(1.0), Seconds::hours(1.0));
+        assert!(h.super_capacitor().stored() < sc_before);
+        assert_eq!(h.battery().stored(), batt_before);
+    }
+
+    #[test]
+    fn hybrid_conserves_energy() {
+        let mut h = HybridBuffer::paper_default();
+        let offered = h.offer(Watts::new(30.0), Seconds::hours(1.0));
+        let stored = h.stored();
+        // Stored <= offered (charge losses), within efficiency bounds.
+        assert!(stored <= offered);
+        assert!(stored.value() >= offered.value() * 0.9);
+    }
+
+    #[test]
+    fn led_budget() {
+        // Sec. VI-C2: ~3 W powers 60 ordinary 0.05 W LEDs or 3 one-watt
+        // parts.
+        assert_eq!(leds_powered(Watts::new(3.0), Watts::new(0.05)), 60);
+        assert_eq!(leds_powered(Watts::new(3.0), Watts::new(1.0)), 3);
+        assert_eq!(leds_powered(Watts::zero(), Watts::new(0.05)), 0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(EnergyBuffer::new(Joules::zero(), 0.9, 0.9, Watts::new(1.0)).is_err());
+        assert!(EnergyBuffer::new(Joules::new(1.0), 1.1, 0.9, Watts::new(1.0)).is_err());
+        assert!(EnergyBuffer::new(Joules::new(1.0), 0.9, 0.0, Watts::new(1.0)).is_err());
+        assert!(EnergyBuffer::new(Joules::new(1.0), 0.9, 0.9, Watts::zero()).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests of the energy-buffer models.
+
+use h2p_storage::{EnergyBuffer, HybridBuffer};
+use h2p_units::{Joules, Seconds, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn single_buffer_respects_capacity_and_conservation(
+        offers in proptest::collection::vec(0.0..100.0f64, 1..30),
+        demands in proptest::collection::vec(0.0..100.0f64, 1..30),
+    ) {
+        let mut b = EnergyBuffer::super_capacitor();
+        let dt = Seconds::minutes(5.0);
+        let mut absorbed = Joules::zero();
+        for &o in &offers {
+            absorbed += b.offer(Watts::new(o), dt);
+            prop_assert!(b.stored() <= b.capacity() + Joules::new(1e-9));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&b.state_of_charge()));
+        }
+        let mut delivered = Joules::zero();
+        for &d in &demands {
+            delivered += b.demand(Watts::new(d), dt);
+            prop_assert!(b.stored().value() >= -1e-9);
+        }
+        // Cannot deliver more than round-trip efficiency allows.
+        prop_assert!(delivered.value() <= absorbed.value() * b.round_trip_efficiency() + 1e-6);
+    }
+
+    #[test]
+    fn hybrid_buffer_never_creates_energy(
+        events in proptest::collection::vec((-50.0..50.0f64,), 1..60),
+    ) {
+        let mut h = HybridBuffer::paper_default();
+        let dt = Seconds::minutes(5.0);
+        let mut absorbed = Joules::zero();
+        let mut delivered = Joules::zero();
+        for &(e,) in &events {
+            if e >= 0.0 {
+                absorbed += h.offer(Watts::new(e), dt);
+            } else {
+                delivered += h.demand(Watts::new(-e), dt);
+            }
+            // Delivered so far can never exceed absorbed so far.
+            prop_assert!(delivered.value() <= absorbed.value() + 1e-6);
+            prop_assert!(h.stored().value() >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_power_events_are_noops(offer_first in proptest::bool::ANY) {
+        let mut h = HybridBuffer::paper_default();
+        let dt = Seconds::minutes(5.0);
+        if offer_first {
+            h.offer(Watts::new(10.0), dt);
+        }
+        let before = h.stored();
+        prop_assert_eq!(h.offer(Watts::zero(), dt), Joules::zero());
+        prop_assert_eq!(h.demand(Watts::zero(), dt), Joules::zero());
+        prop_assert_eq!(h.stored(), before);
+    }
+
+    #[test]
+    fn drain_refill_cycles_stay_bounded(cycles in 1usize..20) {
+        let mut h = HybridBuffer::paper_default();
+        let dt = Seconds::hours(1.0);
+        for _ in 0..cycles {
+            h.offer(Watts::new(60.0), dt);
+            h.demand(Watts::new(60.0), dt);
+        }
+        let cap = h.super_capacitor().capacity() + h.battery().capacity();
+        prop_assert!(h.stored() <= cap);
+    }
+}

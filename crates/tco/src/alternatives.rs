@@ -1,0 +1,222 @@
+//! Waste-heat reuse alternatives (paper Sec. II-C).
+//!
+//! The paper motivates TEG harvesting against **district heating**: heat
+//! sold to a district heating system (DHS) earns more per joule than
+//! Bi₂Te₃ conversion ever will, but it needs expensive piping, a
+//! heating-season market and a high-latitude climate — "heat is not
+//! always in great demand from season to season, from district to
+//! district". This module quantifies that trade so the crossover can be
+//! swept (see the `abl_district_heating` experiment).
+
+use crate::TcoError;
+use h2p_units::{Dollars, Watts};
+
+/// Economic model of selling datacenter heat to a district heating
+/// system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistrictHeating {
+    /// Price paid per thermal kWh delivered (typically 2-5 ¢).
+    pub heat_price_per_kwh: Dollars,
+    /// One-time piping/integration CapEx, amortized per server.
+    pub piping_capex_per_server: Dollars,
+    /// Amortization horizon for the piping, years.
+    pub amortization_years: f64,
+    /// Months per year the district actually demands heat.
+    pub demand_months: f64,
+    /// Fraction of server heat that survives capture and transport.
+    pub delivery_efficiency: f64,
+}
+
+impl DistrictHeating {
+    /// A northern-Europe deployment with a mature DHS market:
+    /// 6 ¢/kWh_th, $80/server piping over 20 years, 8 heating months,
+    /// 90 % delivery (warm water needs no upgrading — the W5 regime the
+    /// paper cites from ASHRAE).
+    #[must_use]
+    pub fn northern_europe() -> Self {
+        DistrictHeating {
+            heat_price_per_kwh: Dollars::from_cents(6.0),
+            piping_capex_per_server: Dollars::new(80.0),
+            amortization_years: 20.0,
+            demand_months: 8.0,
+            delivery_efficiency: 0.9,
+        }
+    }
+
+    /// A low-latitude deployment (the paper's Singapore example):
+    /// same machinery, but demand barely exists.
+    #[must_use]
+    pub fn tropics() -> Self {
+        DistrictHeating {
+            demand_months: 1.0,
+            ..DistrictHeating::northern_europe()
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TcoError::NonPositiveParameter`] for a non-positive
+    /// price, CapEx horizon, or a delivery efficiency/demand outside
+    /// range.
+    pub fn validate(&self) -> Result<(), TcoError> {
+        for (name, value) in [
+            ("heat_price_per_kwh", self.heat_price_per_kwh.value()),
+            ("amortization_years", self.amortization_years),
+        ] {
+            if !(value > 0.0) {
+                return Err(TcoError::NonPositiveParameter { name, value });
+            }
+        }
+        if !(0.0..=12.0).contains(&self.demand_months) {
+            return Err(TcoError::NonPositiveParameter {
+                name: "demand_months",
+                value: self.demand_months,
+            });
+        }
+        if !(self.delivery_efficiency > 0.0 && self.delivery_efficiency <= 1.0) {
+            return Err(TcoError::NonPositiveParameter {
+                name: "delivery_efficiency",
+                value: self.delivery_efficiency,
+            });
+        }
+        if self.piping_capex_per_server.value() < 0.0 {
+            return Err(TcoError::NonPositiveParameter {
+                name: "piping_capex_per_server",
+                value: self.piping_capex_per_server.value(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Gross heat revenue per server per year, given the mean thermal
+    /// power each server rejects into the coolant.
+    #[must_use]
+    pub fn annual_heat_revenue(&self, server_heat: Watts) -> Dollars {
+        let kwh_per_demand_hour = server_heat.value() * self.delivery_efficiency / 1000.0;
+        let demand_hours = self.demand_months * 30.0 * 24.0;
+        self.heat_price_per_kwh * (kwh_per_demand_hour * demand_hours)
+    }
+
+    /// Net benefit per server per year (revenue minus amortized piping).
+    #[must_use]
+    pub fn annual_net(&self, server_heat: Watts) -> Dollars {
+        self.annual_heat_revenue(server_heat)
+            - self.piping_capex_per_server / self.amortization_years
+    }
+}
+
+/// Outcome of comparing the two reuse paths for one deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReuseComparison {
+    /// H2P's net benefit per server per year.
+    pub teg_net: Dollars,
+    /// District heating's net benefit per server per year.
+    pub dhs_net: Dollars,
+}
+
+impl ReuseComparison {
+    /// Whether the TEG path wins.
+    #[must_use]
+    pub fn teg_wins(&self) -> bool {
+        self.teg_net > self.dhs_net
+    }
+}
+
+/// Compares H2P (electricity at `electricity_price`/kWh from
+/// `teg_power`, amortized TEG CapEx of `teg_capex_per_year`) against a
+/// district-heating deployment receiving `server_heat` thermal watts.
+#[must_use]
+pub fn compare(
+    dhs: &DistrictHeating,
+    teg_power: Watts,
+    teg_capex_per_year: Dollars,
+    electricity_price: Dollars,
+    server_heat: Watts,
+) -> ReuseComparison {
+    let teg_revenue =
+        electricity_price * (teg_power.value() * 24.0 * 365.0 / 1000.0);
+    ReuseComparison {
+        teg_net: teg_revenue - teg_capex_per_year,
+        dhs_net: dhs.annual_net(server_heat),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's operating point: ~4.2 W electric from ~30 W of heat.
+    fn comparison(dhs: &DistrictHeating) -> ReuseComparison {
+        compare(
+            dhs,
+            Watts::new(4.177),
+            Dollars::new(0.48), // 12 x $1 over 25 years
+            Dollars::from_cents(13.0),
+            Watts::new(30.0),
+        )
+    }
+
+    #[test]
+    fn district_heating_wins_in_the_north() {
+        // With an 8-month heating season and piping already amortized
+        // over 15 years, selling heat beats 5 %-efficient conversion —
+        // exactly why the paper does not pitch H2P against mature DHS
+        // markets.
+        let c = comparison(&DistrictHeating::northern_europe());
+        assert!(!c.teg_wins(), "teg {} vs dhs {}", c.teg_net, c.dhs_net);
+        assert!(c.dhs_net.value() > 0.0);
+    }
+
+    #[test]
+    fn teg_wins_in_the_tropics() {
+        // One demand-month per year cannot amortize the piping: the
+        // paper's Singapore argument.
+        let c = comparison(&DistrictHeating::tropics());
+        assert!(c.teg_wins(), "teg {} vs dhs {}", c.teg_net, c.dhs_net);
+        assert!(c.dhs_net.value() < 0.0, "piping is a net loss");
+    }
+
+    #[test]
+    fn crossover_in_demand_months_exists() {
+        let mut dhs = DistrictHeating::northern_europe();
+        let mut last_winner_teg = true;
+        let mut flipped = false;
+        for months in 1..=12 {
+            dhs.demand_months = months as f64;
+            let wins = comparison(&dhs).teg_wins();
+            if last_winner_teg && !wins {
+                flipped = true;
+            }
+            last_winner_teg = wins;
+        }
+        assert!(flipped, "there must be a demand-month crossover");
+    }
+
+    #[test]
+    fn revenue_scales_with_heat_and_season() {
+        let dhs = DistrictHeating::northern_europe();
+        let base = dhs.annual_heat_revenue(Watts::new(30.0));
+        assert!(dhs.annual_heat_revenue(Watts::new(60.0)) > base * 1.9);
+        let short = DistrictHeating {
+            demand_months: 4.0,
+            ..dhs
+        };
+        assert!((short.annual_heat_revenue(Watts::new(30.0)) / base - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        let mut dhs = DistrictHeating::northern_europe();
+        assert!(dhs.validate().is_ok());
+        dhs.demand_months = 13.0;
+        assert!(dhs.validate().is_err());
+        dhs = DistrictHeating::northern_europe();
+        dhs.delivery_efficiency = 0.0;
+        assert!(dhs.validate().is_err());
+        dhs = DistrictHeating::northern_europe();
+        dhs.heat_price_per_kwh = Dollars::zero();
+        assert!(dhs.validate().is_err());
+    }
+}

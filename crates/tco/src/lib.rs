@@ -1,0 +1,327 @@
+//! Total-cost-of-ownership analysis for H2P datacenters (paper Sec. V-D,
+//! Table I).
+//!
+//! The paper amortizes every cost to dollars per server per month:
+//! datacenter infrastructure and server CapEx/OpEx from Kontorinis et
+//! al. \[27\], TEG CapEx from the $1 device price over a conservative
+//! 25-year lifespan, and TEG revenue from the average generated power at
+//! 13 ¢/kWh \[16\]. H2P then reduces TCO by Eq. 22:
+//! `TCO_H2P = TCO_noTEG + TEGCapEx − TEGRev`.
+//!
+//! # Examples
+//!
+//! ```
+//! use h2p_tco::TcoAnalysis;
+//! use h2p_units::Watts;
+//!
+//! let tco = TcoAnalysis::paper_default();
+//! // The paper's TEG_LoadBalance average of 4.177 W per CPU.
+//! let reduction = tco.reduction(Watts::new(4.177));
+//! assert!((reduction - 0.0057).abs() < 0.0005); // "up to 0.57 %"
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)` is used as a deliberate NaN-rejecting validation idiom
+// throughout (NaN fails the guard, unlike `x <= 0.0`).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod alternatives;
+pub mod sensitivity;
+
+use core::fmt;
+use h2p_units::{Dollars, Seconds, Watts};
+
+/// Errors from the TCO analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TcoError {
+    /// A parameter that must be strictly positive was not.
+    NonPositiveParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for TcoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcoError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter {name} must be positive, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TcoError {}
+
+/// Hours in the paper's accounting month (30 days).
+const HOURS_PER_MONTH: f64 = 24.0 * 30.0;
+
+/// Table I parameters, all in dollars per server per month except where
+/// noted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcoParameters {
+    /// Datacenter infrastructure CapEx \[27\].
+    pub dc_infra_capex: Dollars,
+    /// Server CapEx \[27\].
+    pub server_capex: Dollars,
+    /// Datacenter infrastructure OpEx \[27\].
+    pub dc_infra_opex: Dollars,
+    /// Server OpEx \[27\].
+    pub server_opex: Dollars,
+    /// Electricity price per kWh \[16\].
+    pub electricity_per_kwh: Dollars,
+    /// TEGs installed per server.
+    pub tegs_per_server: usize,
+    /// Purchase price of one TEG.
+    pub teg_unit_cost: Dollars,
+    /// Conservative TEG service life in years.
+    pub teg_lifespan_years: f64,
+}
+
+impl TcoParameters {
+    /// Table I verbatim.
+    #[must_use]
+    pub fn paper_table1() -> Self {
+        TcoParameters {
+            dc_infra_capex: Dollars::new(21.26),
+            server_capex: Dollars::new(31.25),
+            dc_infra_opex: Dollars::new(7.63),
+            server_opex: Dollars::new(1.56),
+            electricity_per_kwh: Dollars::from_cents(13.0),
+            tegs_per_server: 12,
+            teg_unit_cost: Dollars::new(1.0),
+            teg_lifespan_years: 25.0,
+        }
+    }
+}
+
+impl Default for TcoParameters {
+    fn default() -> Self {
+        TcoParameters::paper_table1()
+    }
+}
+
+/// The Sec. V-D analysis over a cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcoAnalysis {
+    params: TcoParameters,
+    servers: usize,
+}
+
+impl TcoAnalysis {
+    /// Creates an analysis for a cluster of `servers` CPUs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TcoError::NonPositiveParameter`] if `servers` is zero
+    /// or a parameter is non-positive.
+    pub fn new(params: TcoParameters, servers: usize) -> Result<Self, TcoError> {
+        for (name, value) in [
+            ("servers", servers as f64),
+            ("tegs_per_server", params.tegs_per_server as f64),
+            ("teg_unit_cost", params.teg_unit_cost.value()),
+            ("teg_lifespan_years", params.teg_lifespan_years),
+            ("electricity_per_kwh", params.electricity_per_kwh.value()),
+        ] {
+            if !(value > 0.0) {
+                return Err(TcoError::NonPositiveParameter { name, value });
+            }
+        }
+        Ok(TcoAnalysis { params, servers })
+    }
+
+    /// The paper's cluster: Table I parameters, 100,000 CPUs.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        TcoAnalysis {
+            params: TcoParameters::paper_table1(),
+            servers: 100_000,
+        }
+    }
+
+    /// The parameters in use.
+    #[must_use]
+    pub fn params(&self) -> &TcoParameters {
+        &self.params
+    }
+
+    /// Cluster size.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// TEG CapEx amortized to one server-month (Table I's 0.04).
+    #[must_use]
+    pub fn teg_capex_per_server_month(&self) -> Dollars {
+        self.params.teg_unit_cost * self.params.tegs_per_server as f64
+            / (self.params.teg_lifespan_years * 12.0)
+    }
+
+    /// TEG revenue per server-month from an average generated power.
+    #[must_use]
+    pub fn teg_revenue_per_server_month(&self, average_power: Watts) -> Dollars {
+        let kwh = average_power.value() * HOURS_PER_MONTH / 1000.0;
+        self.params.electricity_per_kwh * kwh
+    }
+
+    /// Baseline TCO per server-month without H2P (Eq. 21).
+    #[must_use]
+    pub fn tco_without(&self) -> Dollars {
+        self.params.dc_infra_capex
+            + self.params.server_capex
+            + self.params.dc_infra_opex
+            + self.params.server_opex
+    }
+
+    /// TCO per server-month with H2P at an average generated power
+    /// (Eq. 22).
+    #[must_use]
+    pub fn tco_with(&self, average_power: Watts) -> Dollars {
+        self.tco_without() + self.teg_capex_per_server_month()
+            - self.teg_revenue_per_server_month(average_power)
+    }
+
+    /// Fractional TCO reduction from H2P.
+    #[must_use]
+    pub fn reduction(&self, average_power: Watts) -> f64 {
+        self.tco_with(average_power).savings_vs(self.tco_without())
+    }
+
+    /// Up-front purchase price of the whole TEG fleet.
+    #[must_use]
+    pub fn fleet_purchase(&self) -> Dollars {
+        self.params.teg_unit_cost * (self.params.tegs_per_server * self.servers) as f64
+    }
+
+    /// Cluster-wide harvested energy per day, in kWh.
+    #[must_use]
+    pub fn daily_generation_kwh(&self, average_power: Watts) -> f64 {
+        average_power.value() * self.servers as f64 * 24.0 / 1000.0
+    }
+
+    /// Cluster-wide revenue per day.
+    #[must_use]
+    pub fn daily_revenue(&self, average_power: Watts) -> Dollars {
+        self.params.electricity_per_kwh * self.daily_generation_kwh(average_power)
+    }
+
+    /// Days until revenue pays back the fleet purchase (Sec. V-D's
+    /// break-even point). Returns infinity for zero generation.
+    #[must_use]
+    pub fn break_even(&self, average_power: Watts) -> Seconds {
+        let daily = self.daily_revenue(average_power).value();
+        if daily <= 0.0 {
+            return Seconds::new(f64::INFINITY);
+        }
+        Seconds::days(self.fleet_purchase().value() / daily)
+    }
+
+    /// Net savings per year across the cluster (revenue minus amortized
+    /// TEG CapEx).
+    #[must_use]
+    pub fn annual_savings(&self, average_power: Watts) -> Dollars {
+        (self.teg_revenue_per_server_month(average_power) - self.teg_capex_per_server_month())
+            * 12.0
+            * self.servers as f64
+    }
+}
+
+impl Default for TcoAnalysis {
+    fn default() -> Self {
+        TcoAnalysis::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's published per-policy averages.
+    const ORIGINAL_W: f64 = 3.694;
+    const LOAD_BALANCE_W: f64 = 4.177;
+
+    fn tco() -> TcoAnalysis {
+        TcoAnalysis::paper_default()
+    }
+
+    #[test]
+    fn table1_teg_capex() {
+        // 12 x $1 over 25 years = $0.04 /(server x month).
+        assert!((tco().teg_capex_per_server_month().value() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_teg_revenue() {
+        // 0.34 and 0.39 $/(server x month) for the two policies.
+        let orig = tco().teg_revenue_per_server_month(Watts::new(ORIGINAL_W));
+        let lb = tco().teg_revenue_per_server_month(Watts::new(LOAD_BALANCE_W));
+        assert!((orig.value() - 0.34).abs() < 0.01, "orig = {orig}");
+        assert!((lb.value() - 0.39).abs() < 0.01, "lb = {lb}");
+    }
+
+    #[test]
+    fn baseline_tco() {
+        // 21.26 + 31.25 + 7.63 + 1.56 = 61.70.
+        assert!((tco().tco_without().value() - 61.70).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_reductions() {
+        // 0.49 % and 0.57 %.
+        let r_orig = tco().reduction(Watts::new(ORIGINAL_W));
+        let r_lb = tco().reduction(Watts::new(LOAD_BALANCE_W));
+        assert!((r_orig - 0.0049).abs() < 5e-4, "orig = {r_orig}");
+        assert!((r_lb - 0.0057).abs() < 5e-4, "lb = {r_lb}");
+        assert!(r_lb > r_orig);
+    }
+
+    #[test]
+    fn paper_daily_generation_and_break_even() {
+        // 10,024.8 kWh/day, $1,303.2/day, break-even ~920 days.
+        let t = tco();
+        let kwh = t.daily_generation_kwh(Watts::new(LOAD_BALANCE_W));
+        assert!((kwh - 10_024.8).abs() < 0.1, "kwh = {kwh}");
+        let rev = t.daily_revenue(Watts::new(LOAD_BALANCE_W));
+        assert!((rev.value() - 1303.2).abs() < 0.2, "rev = {rev}");
+        let be = t.break_even(Watts::new(LOAD_BALANCE_W)).to_days();
+        assert!((be - 920.0).abs() < 2.0, "break-even = {be}");
+    }
+
+    #[test]
+    fn paper_annual_savings_band() {
+        // "$350,000 ~ $410,000 for a year" (rounding-sensitive; we allow
+        // the exact-arithmetic band).
+        let t = tco();
+        let orig = t.annual_savings(Watts::new(ORIGINAL_W)).value();
+        let lb = t.annual_savings(Watts::new(LOAD_BALANCE_W)).value();
+        assert!((330_000.0..=380_000.0).contains(&orig), "orig = {orig}");
+        assert!((390_000.0..=440_000.0).contains(&lb), "lb = {lb}");
+    }
+
+    #[test]
+    fn zero_generation_never_pays_back() {
+        let t = tco();
+        assert!(t.break_even(Watts::zero()).value().is_infinite());
+        // And H2P with zero generation is a (small) net loss.
+        assert!(t.reduction(Watts::zero()) < 0.0);
+    }
+
+    #[test]
+    fn reduction_monotone_in_power() {
+        let t = tco();
+        assert!(t.reduction(Watts::new(5.0)) > t.reduction(Watts::new(4.0)));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(TcoAnalysis::new(TcoParameters::paper_table1(), 0).is_err());
+        let mut p = TcoParameters::paper_table1();
+        p.teg_lifespan_years = 0.0;
+        assert!(TcoAnalysis::new(p, 10).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Sensitivity analysis of the TCO result.
+//!
+//! The paper's headline 0.57 % reduction rests on three externalities:
+//! the electricity price (13 ¢/kWh from \[16\]), the $1 TEG unit price,
+//! and the assumed 25-year amortization. These sweeps quantify how the
+//! conclusion moves when they do.
+
+use crate::{TcoAnalysis, TcoError, TcoParameters};
+use h2p_units::{Dollars, Watts};
+
+/// One row of a sensitivity sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensitivityPoint {
+    /// The swept parameter's value.
+    pub parameter: f64,
+    /// Fractional TCO reduction at that value.
+    pub reduction: f64,
+    /// Break-even in days (infinite when revenue is zero).
+    pub break_even_days: f64,
+    /// Net annual savings across the cluster.
+    pub annual_savings: Dollars,
+}
+
+fn evaluate(params: TcoParameters, servers: usize, power: Watts, swept: f64) -> Result<SensitivityPoint, TcoError> {
+    let tco = TcoAnalysis::new(params, servers)?;
+    Ok(SensitivityPoint {
+        parameter: swept,
+        reduction: tco.reduction(power),
+        break_even_days: tco.break_even(power).to_days(),
+        annual_savings: tco.annual_savings(power),
+    })
+}
+
+/// Sweeps the electricity price (per kWh, dollars).
+///
+/// # Errors
+///
+/// Propagates [`TcoAnalysis::new`] validation failures (e.g. a zero
+/// price in the sweep).
+pub fn electricity_price_sweep(
+    base: &TcoAnalysis,
+    power: Watts,
+    prices: &[f64],
+) -> Result<Vec<SensitivityPoint>, TcoError> {
+    prices
+        .iter()
+        .map(|&price| {
+            let mut params = *base.params();
+            params.electricity_per_kwh = Dollars::new(price);
+            evaluate(params, base.servers(), power, price)
+        })
+        .collect()
+}
+
+/// Sweeps the TEG unit cost (dollars per device).
+///
+/// # Errors
+///
+/// Propagates [`TcoAnalysis::new`] validation failures.
+pub fn teg_cost_sweep(
+    base: &TcoAnalysis,
+    power: Watts,
+    costs: &[f64],
+) -> Result<Vec<SensitivityPoint>, TcoError> {
+    costs
+        .iter()
+        .map(|&cost| {
+            let mut params = *base.params();
+            params.teg_unit_cost = Dollars::new(cost);
+            evaluate(params, base.servers(), power, cost)
+        })
+        .collect()
+}
+
+/// Sweeps the amortization lifespan (years).
+///
+/// # Errors
+///
+/// Propagates [`TcoAnalysis::new`] validation failures.
+pub fn lifespan_sweep(
+    base: &TcoAnalysis,
+    power: Watts,
+    lifespans: &[f64],
+) -> Result<Vec<SensitivityPoint>, TcoError> {
+    lifespans
+        .iter()
+        .map(|&years| {
+            let mut params = *base.params();
+            params.teg_lifespan_years = years;
+            evaluate(params, base.servers(), power, years)
+        })
+        .collect()
+}
+
+/// The electricity price at which H2P exactly breaks even on a
+/// per-server-month basis (revenue equals amortized CapEx); below it,
+/// installing TEGs is a net loss.
+#[must_use]
+pub fn break_even_electricity_price(base: &TcoAnalysis, power: Watts) -> Dollars {
+    if power.value() <= 0.0 {
+        return Dollars::new(f64::INFINITY);
+    }
+    let capex = base.teg_capex_per_server_month();
+    let kwh_per_month = power.value() * 24.0 * 30.0 / 1000.0;
+    Dollars::new(capex.value() / kwh_per_month)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lb_power() -> Watts {
+        Watts::new(4.177)
+    }
+
+    fn base() -> TcoAnalysis {
+        TcoAnalysis::paper_default()
+    }
+
+    #[test]
+    fn price_sweep_monotone() {
+        let points =
+            electricity_price_sweep(&base(), lb_power(), &[0.05, 0.10, 0.13, 0.20, 0.30]).unwrap();
+        for pair in points.windows(2) {
+            assert!(pair[1].reduction > pair[0].reduction);
+            assert!(pair[1].break_even_days < pair[0].break_even_days);
+        }
+        // The paper's 13 ¢ point reproduces the headline.
+        let at13 = points.iter().find(|p| p.parameter == 0.13).unwrap();
+        assert!((at13.reduction - 0.0057).abs() < 3e-4);
+    }
+
+    #[test]
+    fn teg_cost_sweep_monotone() {
+        let points = teg_cost_sweep(&base(), lb_power(), &[0.5, 1.0, 2.0, 5.0]).unwrap();
+        for pair in points.windows(2) {
+            assert!(pair[1].reduction < pair[0].reduction);
+            assert!(pair[1].break_even_days > pair[0].break_even_days);
+        }
+        // At $5/device the 920-day story stretches past a decade.
+        assert!(points.last().unwrap().break_even_days > 3650.0);
+    }
+
+    #[test]
+    fn lifespan_only_moves_amortization() {
+        let points = lifespan_sweep(&base(), lb_power(), &[5.0, 25.0, 34.0]).unwrap();
+        // Longer amortization -> lower monthly CapEx -> higher reduction.
+        assert!(points[2].reduction > points[0].reduction);
+        // Break-even is amortization-independent (cash-flow based).
+        assert!((points[0].break_even_days - points[2].break_even_days).abs() < 1e-9);
+    }
+
+    #[test]
+    fn break_even_price_matches_sweep_zero_crossing() {
+        let price = break_even_electricity_price(&base(), lb_power());
+        // Revenue at that price equals CapEx: net savings ~ 0.
+        let points = electricity_price_sweep(&base(), lb_power(), &[price.value()]).unwrap();
+        assert!(points[0].annual_savings.abs() < Dollars::new(1.0));
+        // The paper's 13 ¢ sits an order of magnitude above it.
+        assert!(price.value() < 0.02, "price = {price}");
+    }
+
+    #[test]
+    fn zero_power_never_breaks_even() {
+        assert!(break_even_electricity_price(&base(), Watts::zero())
+            .value()
+            .is_infinite());
+    }
+}

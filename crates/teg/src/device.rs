@@ -1,0 +1,242 @@
+//! Single-TEG empirical model (paper Sec. III-A and IV-B).
+
+use crate::TegError;
+use h2p_units::{DegC, Ohms, Volts, Watts};
+
+/// Physical and electrical specification of one TEG device.
+///
+/// The defaults ([`TegSpec::sp1848_27145`]) are the paper's measured
+/// constants for the SP 1848-27145:
+///
+/// * open-circuit voltage `v = 0.0448·ΔT − 0.0051` (Eq. 3), where ΔT is
+///   the warm-coolant-to-cold-coolant temperature difference — the
+///   module's internal plate/contact resistances are folded into the
+///   empirical slope;
+/// * internal resistance 2 Ω;
+/// * fitted maximum output power
+///   `P = 0.0003·ΔT² − 0.0003·ΔT + 0.0011` (Eq. 6);
+/// * device thermal resistance ≈ 1.45 K/W (Bi₂Te₃, 40 mm × 40 mm ×
+///   3.5 mm; λ ≈ 1.5 W/(m·K)) — the "almost adiabatic" property of
+///   Fig. 3;
+/// * unit cost $1, lifespan ≥ 25 years (Sec. III-A, V-D).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TegSpec {
+    /// Voltage slope versus coolant ΔT, V/°C (Eq. 3 first coefficient).
+    pub voltage_slope: f64,
+    /// Voltage intercept, V (Eq. 3 second coefficient; slightly
+    /// negative).
+    pub voltage_intercept: f64,
+    /// Internal electrical resistance.
+    pub internal_resistance: Ohms,
+    /// Fitted power polynomial `[c0, c1, c2]`:
+    /// `P = c0 + c1·ΔT + c2·ΔT²` (Eq. 6, low order first).
+    pub power_fit: [f64; 3],
+    /// Thermal resistance through the device, K/W.
+    pub thermal_resistance: f64,
+    /// Unit purchase cost in dollars.
+    pub unit_cost_dollars: f64,
+    /// Conservative service lifespan in years.
+    pub lifespan_years: f64,
+    /// Edge length of the (square) device in centimetres.
+    pub edge_cm: f64,
+}
+
+impl TegSpec {
+    /// The paper's SP 1848-27145 module.
+    #[must_use]
+    pub fn sp1848_27145() -> Self {
+        TegSpec {
+            voltage_slope: 0.0448,
+            voltage_intercept: -0.0051,
+            internal_resistance: Ohms::new(2.0),
+            power_fit: [0.0011, -0.0003, 0.0003],
+            thermal_resistance: 1.45,
+            unit_cost_dollars: 1.0,
+            lifespan_years: 25.0,
+            edge_cm: 4.0,
+        }
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TegError::NonPositiveParameter`] if the slope,
+    /// resistance, thermal resistance, cost, lifespan or edge is not
+    /// strictly positive.
+    pub fn validate(&self) -> Result<(), TegError> {
+        for (name, value) in [
+            ("voltage_slope", self.voltage_slope),
+            ("internal_resistance", self.internal_resistance.value()),
+            ("thermal_resistance", self.thermal_resistance),
+            ("unit_cost_dollars", self.unit_cost_dollars),
+            ("lifespan_years", self.lifespan_years),
+            ("edge_cm", self.edge_cm),
+        ] {
+            if !(value > 0.0) {
+                return Err(TegError::NonPositiveParameter { name, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for TegSpec {
+    fn default() -> Self {
+        TegSpec::sp1848_27145()
+    }
+}
+
+/// One thermoelectric generator.
+///
+/// ```
+/// use h2p_teg::TegDevice;
+/// use h2p_units::DegC;
+///
+/// let teg = TegDevice::sp1848_27145();
+/// let v = teg.open_circuit_voltage(DegC::new(25.0));
+/// assert!((v.value() - (0.0448 * 25.0 - 0.0051)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TegDevice {
+    spec: TegSpec,
+}
+
+impl TegDevice {
+    /// Creates a device from a validated specification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TegSpec::validate`] failures.
+    pub fn new(spec: TegSpec) -> Result<Self, TegError> {
+        spec.validate()?;
+        Ok(TegDevice { spec })
+    }
+
+    /// The paper's SP 1848-27145 device.
+    #[must_use]
+    pub fn sp1848_27145() -> Self {
+        TegDevice {
+            spec: TegSpec::sp1848_27145(),
+        }
+    }
+
+    /// The device specification.
+    #[must_use]
+    pub fn spec(&self) -> &TegSpec {
+        &self.spec
+    }
+
+    /// Open-circuit voltage at a coolant temperature difference (Eq. 3),
+    /// clamped at zero — a non-positive ΔT generates nothing.
+    #[must_use]
+    pub fn open_circuit_voltage(&self, dt: DegC) -> Volts {
+        let v = self.spec.voltage_slope * dt.value() + self.spec.voltage_intercept;
+        Volts::new(v.max(0.0))
+    }
+
+    /// Maximum output power from the voltage model under a matched load
+    /// (Eq. 5): `P = (v/2)²/R = v²/(4R)`.
+    #[must_use]
+    pub fn max_power_from_voltage(&self, dt: DegC) -> Watts {
+        let v = self.open_circuit_voltage(dt);
+        (v * 0.5).power_into(self.spec.internal_resistance)
+    }
+
+    /// Maximum output power from the paper's direct quadratic fit
+    /// (Eq. 6), clamped at zero for non-positive ΔT.
+    ///
+    /// The fit and the voltage-derived value (Eq. 5) agree to within the
+    /// measurement scatter of the prototype; the trace-driven evaluation
+    /// (Fig. 14) uses this fit, so it is the default elsewhere.
+    #[must_use]
+    pub fn max_power(&self, dt: DegC) -> Watts {
+        if dt.value() <= 0.0 {
+            return Watts::zero();
+        }
+        let [c0, c1, c2] = self.spec.power_fit;
+        let d = dt.value();
+        Watts::new((c0 + c1 * d + c2 * d * d).max(0.0))
+    }
+
+    /// Thermal conductance through the device, W/K — how (badly) a TEG
+    /// conducts heat when placed in the cooling path, as in the Fig. 3
+    /// experiment.
+    #[must_use]
+    pub fn thermal_conductance(&self) -> f64 {
+        1.0 / self.spec.thermal_resistance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_voltage_points() {
+        let teg = TegDevice::sp1848_27145();
+        // Eq. 3 evaluated at a few ΔT.
+        for dt in [5.0, 10.0, 15.0, 20.0, 25.0] {
+            let v = teg.open_circuit_voltage(DegC::new(dt)).value();
+            assert!((v - (0.0448 * dt - 0.0051)).abs() < 1e-12, "dt = {dt}");
+        }
+    }
+
+    #[test]
+    fn voltage_clamped_at_zero() {
+        let teg = TegDevice::sp1848_27145();
+        assert_eq!(teg.open_circuit_voltage(DegC::new(0.0)), Volts::zero());
+        assert_eq!(teg.open_circuit_voltage(DegC::new(-10.0)), Volts::zero());
+        // Tiny positive ΔT below the intercept crossover also clamps.
+        assert_eq!(teg.open_circuit_voltage(DegC::new(0.1)), Volts::zero());
+    }
+
+    #[test]
+    fn power_fit_matches_paper_curve() {
+        let teg = TegDevice::sp1848_27145();
+        // Eq. 6 at ΔT = 25: 0.0003*625 - 0.0003*25 + 0.0011 = 0.181.
+        let p = teg.max_power(DegC::new(25.0)).value();
+        assert!((p - 0.1811).abs() < 1e-4, "p = {p}");
+    }
+
+    #[test]
+    fn fit_and_voltage_model_agree_roughly() {
+        // The two routes to P_max must agree within measurement scatter
+        // (the paper fitted them independently).
+        let teg = TegDevice::sp1848_27145();
+        for dt in [10.0, 15.0, 20.0, 25.0] {
+            let fit = teg.max_power(DegC::new(dt)).value();
+            let volt = teg.max_power_from_voltage(DegC::new(dt)).value();
+            let rel = (fit - volt).abs() / fit;
+            assert!(rel < 0.35, "dt = {dt}: fit {fit} vs voltage {volt}");
+        }
+    }
+
+    #[test]
+    fn power_monotone_in_dt() {
+        let teg = TegDevice::sp1848_27145();
+        let mut prev = -1.0;
+        for i in 1..=40 {
+            let p = teg.max_power(DegC::new(i as f64)).value();
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn teg_is_nearly_adiabatic() {
+        // Thermal resistance must dwarf a cold plate's (~0.3 K/W at
+        // 20 L/H): that is why Fig. 3's die-mounted TEG overheats CPU0.
+        let teg = TegDevice::sp1848_27145();
+        assert!(teg.spec().thermal_resistance > 1.0);
+        assert!(teg.thermal_conductance() < 1.0);
+    }
+
+    #[test]
+    fn spec_validation() {
+        let mut spec = TegSpec::sp1848_27145();
+        spec.internal_resistance = Ohms::new(0.0);
+        assert!(TegDevice::new(spec).is_err());
+        assert!(TegDevice::new(TegSpec::sp1848_27145()).is_ok());
+    }
+}

@@ -1,0 +1,83 @@
+//! Thermoelectric device models: generators (TEG) and coolers (TEC).
+//!
+//! The heart of H2P is the SP 1848-27145 thermoelectric generator — a
+//! 4 cm × 4 cm Bi₂Te₃ module that produces a voltage proportional to the
+//! temperature difference across it (the Seebeck effect, paper Eq. 1).
+//! This crate provides:
+//!
+//! * [`TegSpec`]/[`TegDevice`] — the empirical single-device model the
+//!   paper calibrates on its prototype (Eqs. 3, 5, 6), plus the device's
+//!   *thermal* behaviour (TEGs are nearly adiabatic — the property that
+//!   rules out die-mounting, Fig. 3);
+//! * [`TegModule`] — `n` devices electrically in series (Eqs. 4, 7) with
+//!   load matching;
+//! * [`physics`] — a first-principles Seebeck/ZT model used for
+//!   cross-checks and ablations;
+//! * [`converter`] — the harvesting front-end: perturb-and-observe MPPT
+//!   plus a boost stage, quantifying conditioning losses;
+//! * [`reliability`] — fleet output decay under device failures (the
+//!   series-wiring caveat to the paper's 25-year amortization);
+//! * [`tec`] — a Peltier-cooler model, the substrate for the hybrid
+//!   warm-water cooling architecture H2P builds upon (Jiang et al.,
+//!   ISCA'19 \[24\]).
+//!
+//! # Examples
+//!
+//! ```
+//! use h2p_teg::TegModule;
+//! use h2p_units::DegC;
+//!
+//! // The paper's module: 12 TEGs in series on one CPU outlet.
+//! let module = TegModule::paper_module();
+//! let p = module.max_power(DegC::new(25.0));
+//! // Fig. 8b: 12 TEGs at ΔT = 25 °C produce ≈ 2.1 W (fit) — the text
+//! // rounds to "higher than 1.8 W".
+//! assert!(p.value() > 1.8 && p.value() < 2.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)` is used as a deliberate NaN-rejecting validation idiom
+// throughout (NaN fails the guard, unlike `x <= 0.0`).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod converter;
+mod device;
+mod module;
+pub mod physics;
+pub mod reliability;
+pub mod tec;
+
+pub use converter::{BoostConverter, MpptTracker};
+pub use device::{TegDevice, TegSpec};
+pub use module::TegModule;
+
+use core::fmt;
+
+/// Errors from the thermoelectric device models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TegError {
+    /// A parameter that must be strictly positive was not.
+    NonPositiveParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A module must contain at least one device.
+    EmptyModule,
+}
+
+impl fmt::Display for TegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TegError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter {name} must be positive, got {value}")
+            }
+            TegError::EmptyModule => write!(f, "module must contain at least one TEG"),
+        }
+    }
+}
+
+impl std::error::Error for TegError {}

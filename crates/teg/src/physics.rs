@@ -1,0 +1,230 @@
+//! First-principles Seebeck/ZT model of a thermoelectric generator.
+//!
+//! The empirical model of [`crate::TegDevice`] is what the paper's
+//! evaluation uses; this module provides the physics underneath it, for
+//! cross-validation and for ablations that change the material (the
+//! paper's Sec. VI-D discusses Heusler alloys with ZT ≈ 6 versus
+//! Bi₂Te₃'s ZT ≈ 1).
+
+use crate::TegError;
+use h2p_units::{Celsius, DegC, Ohms, Volts, Watts};
+
+/// Physical TEG parameters.
+///
+/// ```
+/// use h2p_teg::physics::PhysicalTeg;
+/// use h2p_units::{Celsius, DegC};
+///
+/// let teg = PhysicalTeg::bi2te3();
+/// // Conversion efficiency of Bi2Te3 near room temperature is ~4-5 %
+/// // of Carnot-limited heat flow at moderate ΔT.
+/// let eff = teg.conversion_efficiency(Celsius::new(54.0), Celsius::new(20.0));
+/// assert!(eff > 0.01 && eff < 0.08);
+/// # let _ = DegC::new(0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhysicalTeg {
+    /// Effective module Seebeck coefficient, V/K (α per couple × number
+    /// of couples).
+    seebeck: f64,
+    /// Internal electrical resistance.
+    resistance: Ohms,
+    /// Module thermal conductance, W/K.
+    thermal_conductance: f64,
+}
+
+impl PhysicalTeg {
+    /// Creates a physical TEG model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TegError::NonPositiveParameter`] if any parameter is
+    /// not strictly positive.
+    pub fn new(seebeck: f64, resistance: Ohms, thermal_conductance: f64) -> Result<Self, TegError> {
+        for (name, value) in [
+            ("seebeck", seebeck),
+            ("resistance", resistance.value()),
+            ("thermal_conductance", thermal_conductance),
+        ] {
+            if !(value > 0.0) {
+                return Err(TegError::NonPositiveParameter { name, value });
+            }
+        }
+        Ok(PhysicalTeg {
+            seebeck,
+            resistance,
+            thermal_conductance,
+        })
+    }
+
+    /// The SP 1848-27145's physics: Bi₂Te₃, 127 couples at ~210 µV/K
+    /// per couple gives a device Seebeck of ≈ 0.0267 V/K (half the
+    /// empirical coolant-ΔT slope of 0.0448 V/°C folds in the
+    /// plate-to-junction temperature drop not modelled here, so the
+    /// *device* coefficient is calibrated to ~0.045 V/K across the
+    /// junctions with roughly 60 % of the coolant ΔT reaching them),
+    /// R = 2 Ω, K ≈ 0.69 W/K.
+    #[must_use]
+    pub fn bi2te3() -> Self {
+        PhysicalTeg {
+            seebeck: 0.045,
+            resistance: Ohms::new(2.0),
+            thermal_conductance: 0.69,
+        }
+    }
+
+    /// A hypothetical high-ZT thin-film Heusler-alloy device
+    /// (Sec. VI-D, \[20\]): same geometry, three-fold Seebeck coefficient
+    /// and half the thermal conductance.
+    #[must_use]
+    pub fn heusler_projection() -> Self {
+        PhysicalTeg {
+            seebeck: 0.135,
+            resistance: Ohms::new(2.0),
+            thermal_conductance: 0.35,
+        }
+    }
+
+    /// The module Seebeck coefficient in V/K.
+    #[must_use]
+    pub fn seebeck(&self) -> f64 {
+        self.seebeck
+    }
+
+    /// Internal resistance.
+    #[must_use]
+    pub fn resistance(&self) -> Ohms {
+        self.resistance
+    }
+
+    /// Thermal conductance in W/K.
+    #[must_use]
+    pub fn thermal_conductance(&self) -> f64 {
+        self.thermal_conductance
+    }
+
+    /// Dimensionless figure of merit
+    /// `ZT̄ = α²·T̄ / (K·R)` at mean absolute temperature `T̄`.
+    #[must_use]
+    pub fn zt(&self, mean_temperature: Celsius) -> f64 {
+        let t = mean_temperature.to_kelvin().value();
+        self.seebeck * self.seebeck * t / (self.thermal_conductance * self.resistance.value())
+    }
+
+    /// Open-circuit voltage for a junction temperature difference.
+    #[must_use]
+    pub fn open_circuit_voltage(&self, junction_dt: DegC) -> Volts {
+        Volts::new(self.seebeck * junction_dt.value().max(0.0))
+    }
+
+    /// Electrical output power at matched load for a junction ΔT.
+    #[must_use]
+    pub fn matched_power(&self, junction_dt: DegC) -> Watts {
+        let v = self.open_circuit_voltage(junction_dt);
+        Watts::new(v.value() * v.value() / (4.0 * self.resistance.value()))
+    }
+
+    /// Heat conducted through the device at a junction ΔT (the flow the
+    /// electrical output is skimmed from).
+    #[must_use]
+    pub fn heat_through(&self, junction_dt: DegC) -> Watts {
+        Watts::new(self.thermal_conductance * junction_dt.value().max(0.0))
+    }
+
+    /// Thermodynamic conversion efficiency at matched load between hot
+    /// and cold junction temperatures:
+    /// `η = η_C · (√(1+ZT̄) − 1) / (√(1+ZT̄) + T_c/T_h)`.
+    #[must_use]
+    pub fn conversion_efficiency(&self, hot: Celsius, cold: Celsius) -> f64 {
+        let th = hot.to_kelvin().value();
+        let tc = cold.to_kelvin().value();
+        if th <= tc {
+            return 0.0;
+        }
+        let carnot = 1.0 - tc / th;
+        let mean = Celsius::new((hot.value() + cold.value()) / 2.0);
+        let m = (1.0 + self.zt(mean)).sqrt();
+        carnot * (m - 1.0) / (m + tc / th)
+    }
+}
+
+impl Default for PhysicalTeg {
+    fn default() -> Self {
+        PhysicalTeg::bi2te3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bi2te3_zt_near_unity() {
+        // Paper Sec. VI-D: ZT of Bi2Te3 is around 1 at 300-330 K.
+        let teg = PhysicalTeg::bi2te3();
+        let zt = teg.zt(Celsius::new(37.0));
+        assert!((0.3..=1.5).contains(&zt), "zt = {zt}");
+    }
+
+    #[test]
+    fn heusler_beats_bi2te3() {
+        let a = PhysicalTeg::bi2te3();
+        let b = PhysicalTeg::heusler_projection();
+        let hot = Celsius::new(54.0);
+        let cold = Celsius::new(20.0);
+        assert!(b.zt(Celsius::new(37.0)) > a.zt(Celsius::new(37.0)));
+        assert!(b.conversion_efficiency(hot, cold) > a.conversion_efficiency(hot, cold));
+    }
+
+    #[test]
+    fn efficiency_below_carnot() {
+        let teg = PhysicalTeg::bi2te3();
+        let hot = Celsius::new(60.0);
+        let cold = Celsius::new(20.0);
+        let carnot = 1.0 - cold.to_kelvin().value() / hot.to_kelvin().value();
+        let eff = teg.conversion_efficiency(hot, cold);
+        assert!(eff > 0.0 && eff < carnot);
+    }
+
+    #[test]
+    fn efficiency_zero_without_gradient() {
+        let teg = PhysicalTeg::bi2te3();
+        assert_eq!(
+            teg.conversion_efficiency(Celsius::new(20.0), Celsius::new(20.0)),
+            0.0
+        );
+        assert_eq!(
+            teg.conversion_efficiency(Celsius::new(10.0), Celsius::new(20.0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn matched_power_quadratic_in_dt() {
+        let teg = PhysicalTeg::bi2te3();
+        let p1 = teg.matched_power(DegC::new(10.0)).value();
+        let p2 = teg.matched_power(DegC::new(20.0)).value();
+        assert!((p2 / p1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn physical_power_within_factor_of_empirical() {
+        // With ~60 % of the coolant ΔT reaching the junctions, the
+        // physical model should land in the same decade as Eq. 6.
+        let phys = PhysicalTeg::bi2te3();
+        let emp = crate::TegDevice::sp1848_27145();
+        let coolant_dt = 25.0;
+        let junction_dt = DegC::new(0.6 * coolant_dt);
+        let p_phys = phys.matched_power(junction_dt).value();
+        let p_emp = emp.max_power(DegC::new(coolant_dt)).value();
+        let ratio = p_phys / p_emp;
+        assert!((0.2..=5.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PhysicalTeg::new(0.0, Ohms::new(2.0), 0.7).is_err());
+        assert!(PhysicalTeg::new(0.05, Ohms::new(-1.0), 0.7).is_err());
+        assert!(PhysicalTeg::new(0.05, Ohms::new(2.0), 0.0).is_err());
+    }
+}

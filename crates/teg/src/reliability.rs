@@ -1,0 +1,219 @@
+//! Fleet reliability of TEG modules.
+//!
+//! The paper leans on the device's longevity — "no moving parts and no
+//! working fluids … a long lifespan of no less than 28~34 years" — and
+//! amortizes CapEx over 25 years (Sec. V-D). That argument has a
+//! wiring-topology caveat: the 12 devices on a CPU are *electrically in
+//! series*, so a single open-circuit failure kills the whole module
+//! unless each device carries a bypass diode. This module quantifies
+//! the difference over the fleet and feeds the reliability ablation.
+//!
+//! Failures are modelled as independent exponentials (constant hazard),
+//! the standard assumption for solid-state parts in their useful-life
+//! region.
+
+use crate::TegError;
+
+/// How a module tolerates a device failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WiringTopology {
+    /// Plain series chain: one open device kills the module.
+    Series,
+    /// Series with a bypass diode per device: a failed device drops out
+    /// and the remaining `n−1` keep producing (at proportionally lower
+    /// voltage/power).
+    SeriesWithBypass,
+}
+
+/// Reliability model of one module's population of devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModuleReliability {
+    /// Devices per module.
+    devices: usize,
+    /// Per-device mean time to failure, years.
+    device_mttf_years: f64,
+    /// Wiring topology.
+    topology: WiringTopology,
+}
+
+impl ModuleReliability {
+    /// Creates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TegError::NonPositiveParameter`] if `devices == 0` or
+    /// the MTTF is not strictly positive, and [`TegError::EmptyModule`]
+    /// for zero devices.
+    pub fn new(
+        devices: usize,
+        device_mttf_years: f64,
+        topology: WiringTopology,
+    ) -> Result<Self, TegError> {
+        if devices == 0 {
+            return Err(TegError::EmptyModule);
+        }
+        if !(device_mttf_years > 0.0) {
+            return Err(TegError::NonPositiveParameter {
+                name: "device_mttf_years",
+                value: device_mttf_years,
+            });
+        }
+        Ok(ModuleReliability {
+            devices,
+            device_mttf_years,
+            topology,
+        })
+    }
+
+    /// The paper's module: 12 devices, 30-year device MTTF (midpoint of
+    /// the quoted 28-34-year lifespan), bypass diodes fitted.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ModuleReliability {
+            devices: 12,
+            device_mttf_years: 30.0,
+            topology: WiringTopology::SeriesWithBypass,
+        }
+    }
+
+    /// The same module without bypass diodes.
+    #[must_use]
+    pub fn paper_plain_series() -> Self {
+        ModuleReliability {
+            topology: WiringTopology::Series,
+            ..ModuleReliability::paper_default()
+        }
+    }
+
+    /// Probability that one *device* still works after `years`.
+    #[must_use]
+    pub fn device_survival(&self, years: f64) -> f64 {
+        (-(years.max(0.0)) / self.device_mttf_years).exp()
+    }
+
+    /// Expected fraction of the module's rated output still produced
+    /// after `years`.
+    ///
+    /// * Plain series: the module produces iff *all* devices survive —
+    ///   `s(t)ⁿ`.
+    /// * With bypass: output scales with the surviving count —
+    ///   expectation `s(t)` (linearity of Eq. 7 in the series count).
+    #[must_use]
+    pub fn expected_output_fraction(&self, years: f64) -> f64 {
+        let s = self.device_survival(years);
+        match self.topology {
+            WiringTopology::Series => s.powi(self.devices as i32),
+            WiringTopology::SeriesWithBypass => s,
+        }
+    }
+
+    /// Expected fraction of rated *energy* produced over a horizon
+    /// (time-integral of the output fraction, by closed form).
+    #[must_use]
+    pub fn expected_energy_fraction(&self, horizon_years: f64) -> f64 {
+        if horizon_years <= 0.0 {
+            return 0.0;
+        }
+        let tau = match self.topology {
+            WiringTopology::Series => self.device_mttf_years / self.devices as f64,
+            WiringTopology::SeriesWithBypass => self.device_mttf_years,
+        };
+        tau * (1.0 - (-horizon_years / tau).exp()) / horizon_years
+    }
+
+    /// Effective break-even stretch factor: how much longer the paper's
+    /// 920-day payback takes once expected output decay is priced in.
+    /// (Over ~2.5 years the decay is small with bypass, catastrophic
+    /// without.)
+    #[must_use]
+    pub fn break_even_stretch(&self, nominal_days: f64) -> f64 {
+        // Find t such that integral of output over [0, t] equals the
+        // nominal energy target (nominal_days at rated output), by
+        // bisection in days.
+        let target_years = nominal_days / 365.0;
+        let produced = |years: f64| self.expected_energy_fraction(years) * years;
+        if produced(200.0) < target_years {
+            return f64::INFINITY;
+        }
+        let mut lo = target_years;
+        let mut hi = 200.0;
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if produced(mid) >= target_years {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi * 365.0 / nominal_days
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_decays_from_one() {
+        let m = ModuleReliability::paper_default();
+        assert!((m.device_survival(0.0) - 1.0).abs() < 1e-12);
+        assert!(m.device_survival(30.0) < m.device_survival(10.0));
+        // At the MTTF, survival is 1/e.
+        assert!((m.device_survival(30.0) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bypass_dominates_plain_series() {
+        let bypass = ModuleReliability::paper_default();
+        let series = ModuleReliability::paper_plain_series();
+        for years in [1.0, 2.5, 5.0, 10.0, 25.0] {
+            assert!(
+                bypass.expected_output_fraction(years)
+                    > series.expected_output_fraction(years),
+                "years = {years}"
+            );
+        }
+    }
+
+    #[test]
+    fn series_module_mttf_divides_by_n() {
+        // A 12-device series chain with 30-year devices has a 2.5-year
+        // module MTTF: at 2.5 years its expected output is 1/e.
+        let series = ModuleReliability::paper_plain_series();
+        let at_mttf = series.expected_output_fraction(30.0 / 12.0);
+        assert!((at_mttf - (-1.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_fraction_limits() {
+        let m = ModuleReliability::paper_default();
+        // Short horizon: nearly rated.
+        assert!(m.expected_energy_fraction(0.1) > 0.99);
+        // Long horizon: bounded by tau/T.
+        let f100 = m.expected_energy_fraction(100.0);
+        assert!((f100 - 30.0 / 100.0).abs() < 0.02);
+        assert_eq!(m.expected_energy_fraction(0.0), 0.0);
+    }
+
+    #[test]
+    fn break_even_stretch_small_with_bypass_catastrophic_without() {
+        let bypass = ModuleReliability::paper_default();
+        let series = ModuleReliability::paper_plain_series();
+        let stretch_bypass = bypass.break_even_stretch(920.0);
+        let stretch_series = series.break_even_stretch(920.0);
+        // With bypass the 920-day payback stretches only a few percent.
+        assert!(
+            (1.0..1.10).contains(&stretch_bypass),
+            "bypass stretch {stretch_bypass}"
+        );
+        // Plain series more than doubles it (module MTTF 2.5 years is
+        // right at the payback horizon).
+        assert!(stretch_series > 1.5, "series stretch {stretch_series}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ModuleReliability::new(0, 30.0, WiringTopology::Series).is_err());
+        assert!(ModuleReliability::new(12, 0.0, WiringTopology::Series).is_err());
+    }
+}

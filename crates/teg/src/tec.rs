@@ -1,0 +1,262 @@
+//! Thermoelectric cooler (Peltier) model.
+//!
+//! H2P targets the *hybrid* warm-water-cooled datacenter of Jiang et al.
+//! (ISCA'19, the paper's reference \[24\]), in which a TEC on each CPU
+//! provides fast, fine-grained spot cooling so the facility water can run
+//! warm. The paper also notes (Sec. VI-C1) that TEGs can power the TECs.
+//! This module provides the standard single-stage TEC model used by the
+//! hybrid-cooling controller in `h2p-cooling`.
+
+use crate::TegError;
+use h2p_units::{Amperes, Celsius, DegC, Ohms, Watts};
+
+/// A single-stage thermoelectric cooler.
+///
+/// Standard device equations (all temperatures absolute):
+///
+/// * cooling capacity `Q_c = α·I·T_c − ½·I²·R − K·ΔT`
+/// * electrical input `P = α·I·ΔT + I²·R`
+/// * COP `= Q_c / P`
+///
+/// ```
+/// use h2p_teg::tec::Tec;
+/// use h2p_units::{Amperes, Celsius};
+///
+/// let tec = Tec::tec1_12706();
+/// let q = tec.cooling_power(Amperes::new(3.0), Celsius::new(45.0), Celsius::new(50.0));
+/// assert!(q.value() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tec {
+    /// Module Seebeck coefficient, V/K.
+    seebeck: f64,
+    /// Module electrical resistance.
+    resistance: Ohms,
+    /// Module thermal conductance, W/K.
+    thermal_conductance: f64,
+    /// Manufacturer maximum drive current.
+    max_current: Amperes,
+}
+
+impl Tec {
+    /// Creates a TEC model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TegError::NonPositiveParameter`] if any parameter is
+    /// not strictly positive.
+    pub fn new(
+        seebeck: f64,
+        resistance: Ohms,
+        thermal_conductance: f64,
+        max_current: Amperes,
+    ) -> Result<Self, TegError> {
+        for (name, value) in [
+            ("seebeck", seebeck),
+            ("resistance", resistance.value()),
+            ("thermal_conductance", thermal_conductance),
+            ("max_current", max_current.value()),
+        ] {
+            if !(value > 0.0) {
+                return Err(TegError::NonPositiveParameter { name, value });
+            }
+        }
+        Ok(Tec {
+            seebeck,
+            resistance,
+            thermal_conductance,
+            max_current,
+        })
+    }
+
+    /// The ubiquitous TEC1-12706 (127 couples, 6 A): α ≈ 0.0508 V/K,
+    /// R ≈ 1.98 Ω, K ≈ 0.66 W/K.
+    #[must_use]
+    pub fn tec1_12706() -> Self {
+        Tec {
+            seebeck: 0.0508,
+            resistance: Ohms::new(1.98),
+            thermal_conductance: 0.66,
+            max_current: Amperes::new(6.0),
+        }
+    }
+
+    /// Manufacturer maximum drive current.
+    #[must_use]
+    pub fn max_current(&self) -> Amperes {
+        self.max_current
+    }
+
+    /// Heat pumped from the cold side at drive current `i`, cold-side
+    /// temperature `cold` and hot-side temperature `hot`. May be
+    /// negative if conduction back-flow beats the Peltier term.
+    #[must_use]
+    pub fn cooling_power(&self, i: Amperes, cold: Celsius, hot: Celsius) -> Watts {
+        let tc = cold.to_kelvin().value();
+        let dt = (hot - cold).value();
+        let amps = i.value();
+        Watts::new(
+            self.seebeck * amps * tc
+                - 0.5 * amps * amps * self.resistance.value()
+                - self.thermal_conductance * dt,
+        )
+    }
+
+    /// Electrical power drawn at drive current `i` across a hot-cold
+    /// temperature difference.
+    #[must_use]
+    pub fn input_power(&self, i: Amperes, dt: DegC) -> Watts {
+        let amps = i.value();
+        Watts::new(self.seebeck * amps * dt.value() + amps * amps * self.resistance.value())
+    }
+
+    /// Coefficient of performance `Q_c / P_in`. Returns 0 when no power
+    /// is drawn or no heat is pumped.
+    #[must_use]
+    pub fn cop(&self, i: Amperes, cold: Celsius, hot: Celsius) -> f64 {
+        let q = self.cooling_power(i, cold, hot).value();
+        let p = self.input_power(i, hot - cold).value();
+        if p <= 0.0 || q <= 0.0 {
+            0.0
+        } else {
+            q / p
+        }
+    }
+
+    /// Drive current that maximizes cooling at a cold-side temperature:
+    /// `I_opt = α·T_c / R`, clamped to the device maximum.
+    #[must_use]
+    pub fn optimal_current(&self, cold: Celsius) -> Amperes {
+        let i = self.seebeck * cold.to_kelvin().value() / self.resistance.value();
+        Amperes::new(i.min(self.max_current.value()))
+    }
+
+    /// Maximum heat this device can pump with both sides at `cold`
+    /// temperature (ΔT = 0), at the optimal current.
+    #[must_use]
+    pub fn max_cooling(&self, cold: Celsius) -> Watts {
+        self.cooling_power(self.optimal_current(cold), cold, cold)
+    }
+
+    /// Minimum drive current that pumps `demand` watts from the cold
+    /// side, found by bisection. Returns `None` if the demand exceeds
+    /// the device capability at `max_current`.
+    #[must_use]
+    pub fn current_for_demand(&self, demand: Watts, cold: Celsius, hot: Celsius) -> Option<Amperes> {
+        if demand.value() <= 0.0 {
+            return Some(Amperes::zero());
+        }
+        let opt = self.optimal_current(cold);
+        if self.cooling_power(opt, cold, hot) < demand {
+            return None;
+        }
+        // Q_c is increasing in I on [0, I_opt]; bisect there.
+        let mut lo = 0.0;
+        let mut hi = opt.value();
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.cooling_power(Amperes::new(mid), cold, hot) >= demand {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(Amperes::new(hi))
+    }
+}
+
+impl Default for Tec {
+    fn default() -> Self {
+        Tec::tec1_12706()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pumps_heat_at_moderate_current() {
+        let tec = Tec::tec1_12706();
+        let q = tec.cooling_power(Amperes::new(3.0), Celsius::new(45.0), Celsius::new(50.0));
+        assert!(q.value() > 10.0, "q = {q}");
+    }
+
+    #[test]
+    fn conduction_backflow_can_win() {
+        // Large ΔT, tiny current: the module conducts heat backwards.
+        let tec = Tec::tec1_12706();
+        let q = tec.cooling_power(Amperes::new(0.1), Celsius::new(20.0), Celsius::new(70.0));
+        assert!(q.value() < 0.0);
+    }
+
+    #[test]
+    fn optimal_current_maximizes_cooling() {
+        let tec = Tec::tec1_12706();
+        let cold = Celsius::new(40.0);
+        let hot = Celsius::new(45.0);
+        let i_opt = tec.optimal_current(cold);
+        let q_opt = tec.cooling_power(i_opt, cold, hot);
+        for di in [-1.0, -0.5, 0.5] {
+            let i = Amperes::new((i_opt.value() + di).max(0.0));
+            if i.value() > tec.max_current().value() {
+                continue;
+            }
+            assert!(tec.cooling_power(i, cold, hot) <= q_opt + Watts::new(1e-9));
+        }
+    }
+
+    #[test]
+    fn optimal_current_respects_max() {
+        let tec = Tec::tec1_12706();
+        // alpha*T/R at 313 K is ~8 A > 6 A max: clamped.
+        assert_eq!(tec.optimal_current(Celsius::new(40.0)), tec.max_current());
+    }
+
+    #[test]
+    fn cop_decreases_with_dt() {
+        let tec = Tec::tec1_12706();
+        let i = Amperes::new(2.0);
+        let cold = Celsius::new(45.0);
+        let cop_small = tec.cop(i, cold, Celsius::new(47.0));
+        let cop_large = tec.cop(i, cold, Celsius::new(60.0));
+        assert!(cop_small > cop_large);
+        assert!(cop_small > 1.0, "TECs at small ΔT have COP > 1");
+    }
+
+    #[test]
+    fn current_for_demand_meets_demand_minimally() {
+        let tec = Tec::tec1_12706();
+        let cold = Celsius::new(45.0);
+        let hot = Celsius::new(48.0);
+        let demand = Watts::new(20.0);
+        let i = tec.current_for_demand(demand, cold, hot).unwrap();
+        let q = tec.cooling_power(i, cold, hot);
+        assert!(q >= demand - Watts::new(1e-6));
+        // Minimality: 5 % less current misses the demand.
+        let q_less = tec.cooling_power(i * 0.95, cold, hot);
+        assert!(q_less < demand);
+    }
+
+    #[test]
+    fn impossible_demand_returns_none() {
+        let tec = Tec::tec1_12706();
+        assert!(tec
+            .current_for_demand(Watts::new(500.0), Celsius::new(45.0), Celsius::new(50.0))
+            .is_none());
+    }
+
+    #[test]
+    fn zero_demand_needs_no_current() {
+        let tec = Tec::tec1_12706();
+        assert_eq!(
+            tec.current_for_demand(Watts::zero(), Celsius::new(45.0), Celsius::new(50.0)),
+            Some(Amperes::zero())
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Tec::new(0.0, Ohms::new(2.0), 0.66, Amperes::new(6.0)).is_err());
+    }
+}

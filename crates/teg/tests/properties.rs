@@ -1,0 +1,111 @@
+//! Property-based tests of the thermoelectric device models.
+
+use h2p_teg::physics::PhysicalTeg;
+use h2p_teg::tec::Tec;
+use h2p_teg::{BoostConverter, TegDevice, TegModule};
+use h2p_units::{Amperes, Celsius, DegC, Volts, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn module_scaling_exactly_linear(n in 1usize..64, dt in 0.0..60.0f64) {
+        let device = TegDevice::sp1848_27145();
+        let module = TegModule::new(device, n).unwrap();
+        let d = DegC::new(dt);
+        let v1 = device.open_circuit_voltage(d).value();
+        let p1 = device.max_power(d).value();
+        prop_assert!((module.open_circuit_voltage(d).value() - n as f64 * v1).abs() < 1e-9);
+        prop_assert!((module.max_power(d).value() - n as f64 * p1).abs() < 1e-9);
+        prop_assert!((module.internal_resistance().value() - n as f64 * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outputs_never_negative(dt in -50.0..80.0f64) {
+        let module = TegModule::paper_module();
+        let d = DegC::new(dt);
+        prop_assert!(module.open_circuit_voltage(d).value() >= 0.0);
+        prop_assert!(module.max_power(d).value() >= 0.0);
+        prop_assert!(module.heat_leak(d).value() >= 0.0);
+    }
+
+    #[test]
+    fn load_sweep_is_unimodal_at_matched_point(
+        dt in 5.0..50.0f64,
+        f1 in 0.1..0.9f64,
+        f2 in 1.1..10.0f64,
+    ) {
+        // Power increases toward the matched load from both sides.
+        let module = TegModule::paper_module();
+        let d = DegC::new(dt);
+        let r = module.optimal_load();
+        let at = |factor: f64| module.power_into_load(d, r * factor).unwrap();
+        prop_assert!(at(f1) <= at((f1 + 1.0) / 2.0) + Watts::new(1e-12));
+        prop_assert!(at(f2) <= at((f2 + 1.0) / 2.0) + Watts::new(1e-12));
+    }
+
+    #[test]
+    fn physics_efficiency_below_carnot(
+        hot in 25.0..95.0f64,
+        cold in 0.0..24.0f64,
+    ) {
+        for teg in [PhysicalTeg::bi2te3(), PhysicalTeg::heusler_projection()] {
+            let h = Celsius::new(hot);
+            let c = Celsius::new(cold);
+            let eff = teg.conversion_efficiency(h, c);
+            let carnot = 1.0 - c.to_kelvin().value() / h.to_kelvin().value();
+            prop_assert!(eff >= 0.0 && eff < carnot);
+        }
+    }
+
+    #[test]
+    fn tec_cooling_concave_in_current(
+        cold in 20.0..60.0f64,
+        hot_extra in 0.0..20.0f64,
+    ) {
+        // Q_c(I) is a downward parabola: the midpoint beats the average
+        // of the endpoints.
+        let tec = Tec::tec1_12706();
+        let c = Celsius::new(cold);
+        let h = Celsius::new(cold + hot_extra);
+        let q = |i: f64| tec.cooling_power(Amperes::new(i), c, h).value();
+        let (a, b) = (0.5, 5.5);
+        prop_assert!(q((a + b) / 2.0) >= (q(a) + q(b)) / 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn tec_demand_current_is_minimal_and_sufficient(
+        demand in 1.0..40.0f64,
+        cold in 30.0..60.0f64,
+        dt in 0.0..10.0f64,
+    ) {
+        let tec = Tec::tec1_12706();
+        let c = Celsius::new(cold);
+        let h = Celsius::new(cold + dt);
+        if let Some(i) = tec.current_for_demand(Watts::new(demand), c, h) {
+            prop_assert!(tec.cooling_power(i, c, h).value() >= demand - 1e-4);
+            let less = Amperes::new((i.value() * 0.97).max(0.0));
+            prop_assert!(tec.cooling_power(less, c, h).value() < demand + 1e-4);
+        }
+    }
+
+    #[test]
+    fn converter_output_bounded_by_input(
+        dt in 0.0..60.0f64,
+        eff in 0.1..1.0f64,
+    ) {
+        let module = TegModule::paper_module();
+        let conv = BoostConverter::new(eff, Volts::new(0.5)).unwrap();
+        let out = conv.harvest(&module, DegC::new(dt));
+        prop_assert!(out <= module.max_power(DegC::new(dt)));
+        prop_assert!(out.value() >= 0.0);
+    }
+
+    #[test]
+    fn heat_leak_dwarfs_electrical_output(dt in 5.0..50.0f64) {
+        // Thermodynamic sanity: a ZT~1 device converts only a small
+        // fraction of the heat flowing through it.
+        let module = TegModule::paper_module();
+        let d = DegC::new(dt);
+        prop_assert!(module.heat_leak(d) > module.max_power(d) * 2.0);
+    }
+}

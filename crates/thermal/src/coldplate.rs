@@ -1,0 +1,204 @@
+//! Flow-dependent cold-plate thermal resistance.
+//!
+//! The prototype presses a 4 cm × 4 cm cold plate onto the CPU; coolant
+//! flowing through the plate carries heat away. The die-to-coolant
+//! resistance splits into a flow-independent conduction part (die, paste,
+//! plate metal) and a convective part that shrinks with flow roughly as
+//! `f^(-0.8)` (Dittus-Boelter turbulent forced convection). This is the
+//! physics behind Fig. 11: at low flow the convective term dominates and
+//! the CPU runs hotter, with diminishing returns past ~250 L/H — exactly
+//! the saturation the paper observes.
+
+use crate::ThermalError;
+use h2p_units::{Celsius, DegC, LitersPerHour, Watts};
+
+/// Cold-plate model mapping flow rate to die-to-coolant thermal
+/// resistance.
+///
+/// ```
+/// use h2p_thermal::ColdPlate;
+/// use h2p_units::LitersPerHour;
+///
+/// let plate = ColdPlate::paper_default();
+/// let r_slow = plate.resistance(LitersPerHour::new(20.0))?;
+/// let r_fast = plate.resistance(LitersPerHour::new(250.0))?;
+/// assert!(r_slow > r_fast);
+/// # Ok::<(), h2p_thermal::ThermalError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColdPlate {
+    /// Flow-independent conduction resistance (K/W).
+    base_resistance: f64,
+    /// Convective resistance at the reference flow (K/W).
+    conv_resistance_at_ref: f64,
+    /// Reference flow for the convective term.
+    reference_flow: LitersPerHour,
+    /// Flow exponent (0.8 for turbulent forced convection).
+    exponent: f64,
+}
+
+impl ColdPlate {
+    /// Creates a cold plate from its resistance decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::NonPositiveParameter`] if any parameter is
+    /// not strictly positive.
+    pub fn new(
+        base_resistance: f64,
+        conv_resistance_at_ref: f64,
+        reference_flow: LitersPerHour,
+        exponent: f64,
+    ) -> Result<Self, ThermalError> {
+        for (name, value) in [
+            ("base_resistance", base_resistance),
+            ("conv_resistance_at_ref", conv_resistance_at_ref),
+            ("reference_flow", reference_flow.value()),
+            ("exponent", exponent),
+        ] {
+            if !(value > 0.0) {
+                return Err(ThermalError::NonPositiveParameter { name, value });
+            }
+        }
+        Ok(ColdPlate {
+            base_resistance,
+            conv_resistance_at_ref,
+            reference_flow,
+            exponent,
+        })
+    }
+
+    /// The cold plate calibrated against the paper's prototype
+    /// (Fig. 11): R(20 L/H) ≈ 0.31 K/W, R(250 L/H) ≈ 0.125 K/W, which —
+    /// combined with the leakage feedback in the server model — spans the
+    /// observed T_CPU-vs-coolant slopes k ∈ [1, 1.3].
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ColdPlate::new(0.11, 0.20, LitersPerHour::new(20.0), 0.8)
+            .expect("paper constants are valid")
+    }
+
+    /// Die-to-coolant resistance at a given flow (K/W):
+    /// `R(f) = R_base + R_conv · (f_ref / f)^exponent`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::NonPositiveParameter`] if `flow` is not
+    /// strictly positive.
+    pub fn resistance(&self, flow: LitersPerHour) -> Result<f64, ThermalError> {
+        if !(flow.value() > 0.0) {
+            return Err(ThermalError::NonPositiveParameter {
+                name: "flow",
+                value: flow.value(),
+            });
+        }
+        let ratio = self.reference_flow.value() / flow.value();
+        Ok(self.base_resistance + self.conv_resistance_at_ref * ratio.powf(self.exponent))
+    }
+
+    /// Equivalent conductance (W/K) at a given flow, for wiring the plate
+    /// into a [`crate::ThermalNetwork`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`resistance`](Self::resistance).
+    pub fn conductance(&self, flow: LitersPerHour) -> Result<f64, ThermalError> {
+        Ok(1.0 / self.resistance(flow)?)
+    }
+
+    /// Steady-state die temperature when dissipating `power` into coolant
+    /// at `coolant_temperature` through this plate.
+    ///
+    /// # Errors
+    ///
+    /// As for [`resistance`](Self::resistance).
+    pub fn die_temperature(
+        &self,
+        power: Watts,
+        coolant_temperature: Celsius,
+        flow: LitersPerHour,
+    ) -> Result<Celsius, ThermalError> {
+        let r = self.resistance(flow)?;
+        Ok(coolant_temperature + DegC::new(power.value() * r))
+    }
+}
+
+impl Default for ColdPlate {
+    fn default() -> Self {
+        ColdPlate::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistance_decreases_with_flow() {
+        let plate = ColdPlate::paper_default();
+        let mut prev = f64::INFINITY;
+        for f in [10.0, 20.0, 50.0, 100.0, 200.0, 400.0] {
+            let r = plate.resistance(LitersPerHour::new(f)).unwrap();
+            assert!(r < prev, "R must shrink with flow (f = {f})");
+            assert!(r > plate.base_resistance);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn diminishing_returns_at_high_flow() {
+        // Paper: above ~250 L/H flow has little effect. The marginal
+        // improvement from 250->500 must be far smaller than 20->40.
+        let plate = ColdPlate::paper_default();
+        let r = |f: f64| plate.resistance(LitersPerHour::new(f)).unwrap();
+        let low_gain = r(20.0) - r(40.0);
+        let high_gain = r(250.0) - r(500.0);
+        assert!(high_gain < low_gain / 5.0);
+    }
+
+    #[test]
+    fn reference_flow_identity() {
+        let plate =
+            ColdPlate::new(0.1, 0.2, LitersPerHour::new(50.0), 0.8).unwrap();
+        assert!((plate.resistance(LitersPerHour::new(50.0)).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn die_temperature_linear_in_power() {
+        let plate = ColdPlate::paper_default();
+        let coolant = Celsius::new(45.0);
+        let f = LitersPerHour::new(20.0);
+        let t1 = plate.die_temperature(Watts::new(40.0), coolant, f).unwrap();
+        let t2 = plate.die_temperature(Watts::new(80.0), coolant, f).unwrap();
+        let r = plate.resistance(f).unwrap();
+        assert!(((t2 - t1).value() - 40.0 * r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(ColdPlate::new(0.0, 0.1, LitersPerHour::new(20.0), 0.8).is_err());
+        assert!(ColdPlate::new(0.1, -0.1, LitersPerHour::new(20.0), 0.8).is_err());
+        let plate = ColdPlate::paper_default();
+        assert!(plate.resistance(LitersPerHour::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn conductance_is_reciprocal() {
+        let plate = ColdPlate::paper_default();
+        let f = LitersPerHour::new(100.0);
+        let r = plate.resistance(f).unwrap();
+        let g = plate.conductance(f).unwrap();
+        assert!((r * g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_calibration_band() {
+        // The calibrated plate must give ~0.31 K/W at 20 L/H and
+        // ~0.12 K/W at 250 L/H (die-to-coolant for the E5-2650 V3 loop).
+        let plate = ColdPlate::paper_default();
+        let r20 = plate.resistance(LitersPerHour::new(20.0)).unwrap();
+        let r250 = plate.resistance(LitersPerHour::new(250.0)).unwrap();
+        assert!((0.28..=0.34).contains(&r20), "r20 = {r20}");
+        assert!((0.10..=0.15).contains(&r250), "r250 = {r250}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Counterflow liquid-liquid heat exchanger (effectiveness-NTU method).
+//!
+//! In the paper's architecture (Fig. 1) the coolant distribution unit
+//! (CDU) separates the technology cooling system (TCS) from the facility
+//! water system (FWS) with a liquid-to-liquid heat exchanger; the warm
+//! TCS coolant also rejects heat to the FWS *after* flowing through the
+//! TEG modules. The effectiveness-NTU method computes the transferred
+//! heat for given inlet conditions without iterating on outlet
+//! temperatures.
+
+use crate::ThermalError;
+use h2p_units::{Celsius, KgPerSecond, Watts};
+
+/// One side of a heat exchanger: a liquid stream with a mass flow and an
+/// inlet temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stream {
+    /// Mass flow of the stream.
+    pub mass_flow: KgPerSecond,
+    /// Inlet temperature of the stream.
+    pub inlet: Celsius,
+}
+
+impl Stream {
+    /// Creates a stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::NonPositiveParameter`] if the mass flow is
+    /// not strictly positive.
+    pub fn new(mass_flow: KgPerSecond, inlet: Celsius) -> Result<Self, ThermalError> {
+        if !(mass_flow.value() > 0.0) {
+            return Err(ThermalError::NonPositiveParameter {
+                name: "mass_flow",
+                value: mass_flow.value(),
+            });
+        }
+        Ok(Stream { mass_flow, inlet })
+    }
+}
+
+/// Result of passing two streams through an exchanger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExchangerOutcome {
+    /// Heat moved from the hot to the cold stream (non-negative).
+    pub heat_transferred: Watts,
+    /// Hot-side outlet temperature.
+    pub hot_outlet: Celsius,
+    /// Cold-side outlet temperature.
+    pub cold_outlet: Celsius,
+    /// Effectiveness ε ∈ \[0, 1\] actually achieved.
+    pub effectiveness: f64,
+}
+
+/// A counterflow heat exchanger characterized by its UA product (W/K).
+///
+/// ```
+/// use h2p_thermal::{CounterflowExchanger, Stream};
+/// use h2p_units::{Celsius, LitersPerHour};
+///
+/// let hx = CounterflowExchanger::new(500.0)?;
+/// let hot = Stream::new(LitersPerHour::new(200.0).mass_flow(), Celsius::new(50.0))?;
+/// let cold = Stream::new(LitersPerHour::new(400.0).mass_flow(), Celsius::new(20.0))?;
+/// let out = hx.exchange(hot, cold);
+/// assert!(out.hot_outlet < Celsius::new(50.0));
+/// assert!(out.cold_outlet > Celsius::new(20.0));
+/// # Ok::<(), h2p_thermal::ThermalError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterflowExchanger {
+    ua: f64,
+}
+
+impl CounterflowExchanger {
+    /// Creates an exchanger with overall conductance `ua` (W/K).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::NonPositiveParameter`] if `ua` is not
+    /// strictly positive.
+    pub fn new(ua: f64) -> Result<Self, ThermalError> {
+        if !(ua > 0.0) {
+            return Err(ThermalError::NonPositiveParameter {
+                name: "ua",
+                value: ua,
+            });
+        }
+        Ok(CounterflowExchanger { ua })
+    }
+
+    /// The UA product in W/K.
+    #[must_use]
+    pub fn ua(&self) -> f64 {
+        self.ua
+    }
+
+    /// Effectiveness of a counterflow exchanger with capacity-rate ratio
+    /// `cr = Cmin/Cmax` and `ntu = UA/Cmin`.
+    #[must_use]
+    pub fn effectiveness(ntu: f64, cr: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&cr));
+        if (cr - 1.0).abs() < 1e-12 {
+            ntu / (1.0 + ntu)
+        } else {
+            let e = (-ntu * (1.0 - cr)).exp();
+            (1.0 - e) / (1.0 - cr * e)
+        }
+    }
+
+    /// Computes the exchange between a hot and a cold stream. If the
+    /// "hot" stream is actually colder than the "cold" one, heat flows
+    /// the other way (negative `heat_transferred` is never produced —
+    /// the streams are relabeled internally and outlets stay physical).
+    #[must_use]
+    pub fn exchange(&self, hot: Stream, cold: Stream) -> ExchangerOutcome {
+        let (hot, cold, flipped) = if hot.inlet >= cold.inlet {
+            (hot, cold, false)
+        } else {
+            (cold, hot, true)
+        };
+        let c_hot = hot.mass_flow.capacity_rate();
+        let c_cold = cold.mass_flow.capacity_rate();
+        let c_min = c_hot.min(c_cold);
+        let c_max = c_hot.max(c_cold);
+        let ntu = self.ua / c_min;
+        let eff = Self::effectiveness(ntu, c_min / c_max);
+        let q_max = c_min * (hot.inlet - cold.inlet).value();
+        let q = eff * q_max;
+        let hot_outlet = hot.inlet - h2p_units::DegC::new(q / c_hot);
+        let cold_outlet = cold.inlet + h2p_units::DegC::new(q / c_cold);
+        if flipped {
+            ExchangerOutcome {
+                heat_transferred: Watts::new(q),
+                hot_outlet: cold_outlet,
+                cold_outlet: hot_outlet,
+                effectiveness: eff,
+            }
+        } else {
+            ExchangerOutcome {
+                heat_transferred: Watts::new(q),
+                hot_outlet,
+                cold_outlet,
+                effectiveness: eff,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2p_units::LitersPerHour;
+
+    fn stream(flow_lph: f64, inlet: f64) -> Stream {
+        Stream::new(
+            LitersPerHour::new(flow_lph).mass_flow(),
+            Celsius::new(inlet),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn energy_balance_holds() {
+        let hx = CounterflowExchanger::new(300.0).unwrap();
+        let hot = stream(150.0, 52.0);
+        let cold = stream(300.0, 20.0);
+        let out = hx.exchange(hot, cold);
+        let q_hot = hot.mass_flow.capacity_rate() * (hot.inlet - out.hot_outlet).value();
+        let q_cold = cold.mass_flow.capacity_rate() * (out.cold_outlet - cold.inlet).value();
+        assert!((q_hot - out.heat_transferred.value()).abs() < 1e-9);
+        assert!((q_cold - out.heat_transferred.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outlets_bracketed_by_inlets() {
+        let hx = CounterflowExchanger::new(800.0).unwrap();
+        let out = hx.exchange(stream(100.0, 50.0), stream(100.0, 20.0));
+        assert!(out.hot_outlet.value() > 20.0 && out.hot_outlet.value() < 50.0);
+        assert!(out.cold_outlet.value() > 20.0 && out.cold_outlet.value() < 50.0);
+        assert!(out.effectiveness > 0.0 && out.effectiveness < 1.0);
+    }
+
+    #[test]
+    fn effectiveness_increases_with_ua() {
+        let hot = stream(100.0, 50.0);
+        let cold = stream(100.0, 20.0);
+        let mut prev = 0.0;
+        for ua in [50.0, 100.0, 200.0, 400.0, 800.0] {
+            let out = CounterflowExchanger::new(ua).unwrap().exchange(hot, cold);
+            assert!(out.effectiveness > prev);
+            prev = out.effectiveness;
+        }
+    }
+
+    #[test]
+    fn balanced_counterflow_formula() {
+        // cr == 1: eps = NTU / (1 + NTU).
+        let eff = CounterflowExchanger::effectiveness(2.0, 1.0);
+        assert!((eff - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_ua_approaches_max_heat() {
+        let hx = CounterflowExchanger::new(1e9).unwrap();
+        let hot = stream(100.0, 50.0);
+        let cold = stream(200.0, 20.0);
+        let out = hx.exchange(hot, cold);
+        // Cmin is hot side; hot outlet approaches cold inlet.
+        assert!((out.hot_outlet.value() - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reversed_labels_still_physical() {
+        let hx = CounterflowExchanger::new(300.0).unwrap();
+        // "hot" is actually the colder stream.
+        let out = hx.exchange(stream(100.0, 20.0), stream(100.0, 50.0));
+        assert!(out.heat_transferred.value() > 0.0);
+        // The stream labelled hot warms up, the one labelled cold cools.
+        assert!(out.hot_outlet.value() > 20.0);
+        assert!(out.cold_outlet.value() < 50.0);
+    }
+
+    #[test]
+    fn zero_temperature_difference_transfers_nothing() {
+        let hx = CounterflowExchanger::new(300.0).unwrap();
+        let out = hx.exchange(stream(100.0, 30.0), stream(100.0, 30.0));
+        assert!(out.heat_transferred.value().abs() < 1e-12);
+        assert_eq!(out.hot_outlet, Celsius::new(30.0));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(CounterflowExchanger::new(0.0).is_err());
+        assert!(Stream::new(KgPerSecond::new(0.0), Celsius::new(20.0)).is_err());
+    }
+}

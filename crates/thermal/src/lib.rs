@@ -1,0 +1,103 @@
+//! Lumped-parameter thermal simulation substrate.
+//!
+//! The paper's measurements (Sec. IV) were taken on a physical prototype:
+//! a CPU pressed by a cold plate, coolant loops, TEG modules sandwiched
+//! between warm and cold plates. This crate provides the simulation
+//! substrate that stands in for that hardware:
+//!
+//! * [`network`] — general RC thermal networks (capacitive nodes,
+//!   conductive edges, fixed-temperature boundaries, heat sources) with a
+//!   stability-aware explicit transient solver and a steady-state solver.
+//!   Used for the Fig. 3 transient experiment (TEG between die and cold
+//!   plate) and for the virtual prototype.
+//! * [`coldplate`] — flow-dependent convective resistance of a cold
+//!   plate, the `R(f)` behind Fig. 11's flow sensitivity.
+//! * [`heat_exchanger`] — counterflow liquid-liquid heat exchanger
+//!   (effectiveness-NTU), the CDU between the TCS and FWS loops (Fig. 1);
+//! * [`materials`] — material data and slab geometry, from which the
+//!   lumped resistances/capacities used elsewhere are derived.
+//!
+//! # Examples
+//!
+//! Steady state of a die heated at 80 W through a 0.25 K/W path to 45 °C
+//! coolant:
+//!
+//! ```
+//! use h2p_thermal::network::ThermalNetwork;
+//! use h2p_units::{Celsius, Watts};
+//!
+//! let mut net = ThermalNetwork::new();
+//! let die = net.add_capacitive("die", 150.0, Celsius::new(45.0));
+//! let coolant = net.add_boundary("coolant", Celsius::new(45.0));
+//! net.connect(die, coolant, 4.0); // 4 W/K == 0.25 K/W
+//! net.set_heat_input(die, Watts::new(80.0));
+//! let t = net.steady_state()?;
+//! assert!((t.temperature(die).value() - 65.0).abs() < 1e-9);
+//! # Ok::<(), h2p_thermal::ThermalError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)` is used as a deliberate NaN-rejecting validation idiom
+// throughout (NaN fails the guard, unlike `x <= 0.0`).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod coldplate;
+pub mod heat_exchanger;
+pub mod materials;
+pub mod network;
+
+pub use coldplate::ColdPlate;
+pub use heat_exchanger::{CounterflowExchanger, ExchangerOutcome, Stream};
+pub use materials::{Material, Slab};
+pub use network::{NodeId, SteadyState, ThermalNetwork};
+
+use core::fmt;
+
+/// Errors from the thermal substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// A parameter that must be strictly positive was not.
+    NonPositiveParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A node id referenced a different network or was out of range.
+    UnknownNode {
+        /// The raw index.
+        index: usize,
+    },
+    /// The steady-state system is singular: some capacitive node has no
+    /// conductive path to any boundary.
+    Floating {
+        /// Label of (one of) the floating node(s), if identifiable.
+        label: String,
+    },
+    /// An edge would connect a node to itself.
+    SelfLoop {
+        /// The raw index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter {name} must be positive, got {value}")
+            }
+            ThermalError::UnknownNode { index } => write!(f, "unknown node index {index}"),
+            ThermalError::Floating { label } => {
+                write!(f, "node {label} has no path to a thermal boundary")
+            }
+            ThermalError::SelfLoop { index } => {
+                write!(f, "edge would connect node {index} to itself")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {}

@@ -1,0 +1,130 @@
+//! Property-based tests of the thermal substrate: energy conservation,
+//! physical orderings and exchanger bounds under randomized inputs.
+
+use h2p_thermal::network::ThermalNetwork;
+use h2p_thermal::{ColdPlate, CounterflowExchanger, Stream};
+use h2p_units::{Celsius, LitersPerHour, Seconds, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn chain_steady_state_orders_temperatures(
+        power in 1.0..200.0f64,
+        r1 in 0.01..2.0f64,
+        r2 in 0.01..2.0f64,
+        coolant in 10.0..60.0f64,
+    ) {
+        // die -R1- plate -R2- coolant with heat at the die: temperatures
+        // must decrease along the heat-flow path, with exact superposition.
+        let mut net = ThermalNetwork::new();
+        let die = net.add_capacitive("die", 100.0, Celsius::new(coolant));
+        let plate = net.add_capacitive("plate", 300.0, Celsius::new(coolant));
+        let sink = net.add_boundary("sink", Celsius::new(coolant));
+        net.connect_resistance(die, plate, r1);
+        net.connect_resistance(plate, sink, r2);
+        net.set_heat_input(die, Watts::new(power));
+        let ss = net.steady_state().unwrap();
+        let t_die = ss.temperature(die).value();
+        let t_plate = ss.temperature(plate).value();
+        prop_assert!(t_die >= t_plate && t_plate >= coolant - 1e-9);
+        prop_assert!((t_die - (coolant + power * (r1 + r2))).abs() < 1e-6);
+        prop_assert!((t_plate - (coolant + power * r2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transient_ledger_balances_for_random_networks(
+        p1 in 0.0..150.0f64,
+        p2 in 0.0..150.0f64,
+        g1 in 0.1..20.0f64,
+        g2 in 0.1..20.0f64,
+        g3 in 0.1..20.0f64,
+        dt in 0.1..60.0f64,
+    ) {
+        let mut net = ThermalNetwork::new();
+        let a = net.add_capacitive("a", 50.0, Celsius::new(30.0));
+        let b = net.add_capacitive("b", 120.0, Celsius::new(25.0));
+        let sink = net.add_boundary("sink", Celsius::new(20.0));
+        net.connect(a, b, g1);
+        net.connect(b, sink, g2);
+        net.connect(a, sink, g3);
+        net.set_heat_input(a, Watts::new(p1));
+        net.set_heat_input(b, Watts::new(p2));
+        let report = net.step(Seconds::new(dt));
+        let residual = report.source_input - report.boundary_outflow - report.stored_delta;
+        let scale = report.source_input.value().abs().max(report.stored_delta.value().abs()).max(1.0);
+        prop_assert!(residual.value().abs() < 1e-6 * scale, "residual {residual:?}");
+    }
+
+    #[test]
+    fn transient_approaches_steady_state(
+        power in 1.0..120.0f64,
+        g in 0.5..10.0f64,
+    ) {
+        let mut net = ThermalNetwork::new();
+        let die = net.add_capacitive("die", 40.0, Celsius::new(20.0));
+        let sink = net.add_boundary("sink", Celsius::new(20.0));
+        net.connect(die, sink, g);
+        net.set_heat_input(die, Watts::new(power));
+        let target = net.steady_state().unwrap().temperature(die);
+        // Run 30 time constants.
+        let tau = 40.0 / g;
+        for _ in 0..300 {
+            net.step(Seconds::new(tau / 10.0));
+        }
+        prop_assert!((net.temperature(die) - target).value().abs() < 0.01 * (target.value() - 20.0).abs().max(0.1));
+    }
+
+    #[test]
+    fn exchanger_conserves_and_brackets(
+        hot_flow in 10.0..500.0f64,
+        cold_flow in 10.0..500.0f64,
+        hot_in in 30.0..80.0f64,
+        cold_in in 5.0..29.0f64,
+        ua in 10.0..2000.0f64,
+    ) {
+        let hx = CounterflowExchanger::new(ua).unwrap();
+        let hot = Stream::new(LitersPerHour::new(hot_flow).mass_flow(), Celsius::new(hot_in)).unwrap();
+        let cold = Stream::new(LitersPerHour::new(cold_flow).mass_flow(), Celsius::new(cold_in)).unwrap();
+        let out = hx.exchange(hot, cold);
+        // First law.
+        let q_hot = hot.mass_flow.capacity_rate() * (hot.inlet - out.hot_outlet).value();
+        let q_cold = cold.mass_flow.capacity_rate() * (out.cold_outlet - cold.inlet).value();
+        prop_assert!((q_hot - q_cold).abs() < 1e-6 * q_hot.abs().max(1.0));
+        // Second law: outlets bracketed by inlets, effectiveness in [0, 1].
+        prop_assert!(out.hot_outlet.value() <= hot_in + 1e-9);
+        prop_assert!(out.hot_outlet.value() >= cold_in - 1e-9);
+        prop_assert!(out.cold_outlet.value() >= cold_in - 1e-9);
+        prop_assert!(out.cold_outlet.value() <= hot_in + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&out.effectiveness));
+        prop_assert!(out.heat_transferred.value() >= 0.0);
+    }
+
+    #[test]
+    fn cold_plate_resistance_monotone_in_flow(
+        a in 5.0..500.0f64,
+        b in 5.0..500.0f64,
+    ) {
+        let plate = ColdPlate::paper_default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let r_lo = plate.resistance(LitersPerHour::new(lo)).unwrap();
+        let r_hi = plate.resistance(LitersPerHour::new(hi)).unwrap();
+        prop_assert!(r_lo >= r_hi - 1e-12);
+    }
+
+    #[test]
+    fn die_temperature_monotone_in_power(
+        p1 in 0.0..100.0f64,
+        p2 in 0.0..100.0f64,
+        flow in 10.0..300.0f64,
+        coolant in 20.0..60.0f64,
+    ) {
+        let plate = ColdPlate::paper_default();
+        let f = LitersPerHour::new(flow);
+        let c = Celsius::new(coolant);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let t_lo = plate.die_temperature(Watts::new(lo), c, f).unwrap();
+        let t_hi = plate.die_temperature(Watts::new(hi), c, f).unwrap();
+        prop_assert!(t_lo <= t_hi);
+        prop_assert!(t_lo >= c);
+    }
+}

@@ -1,0 +1,154 @@
+//! Electrical quantities (voltage, current, resistance) and CPU clock
+//! frequency.
+//!
+//! The TEG model works in terms of open-circuit voltage, internal
+//! resistance and matched-load power; Ohm's law and the power relations
+//! are provided as typed operators so formulas read like the physics:
+//!
+//! ```
+//! use h2p_units::{Volts, Ohms};
+//! let v_oc = Volts::new(1.2);
+//! let r = Ohms::new(2.0);
+//! // Max power transfer: half the voltage across a matched load.
+//! let p = (v_oc * 0.5).power_into(r);
+//! assert!((p.value() - 0.18).abs() < 1e-12);
+//! ```
+
+use crate::energy::Watts;
+
+/// Electric potential in volts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Volts(pub(crate) f64);
+
+unit_base!(Volts, "V", "Creates a potential in volts.");
+unit_linear!(Volts);
+
+/// Electric current in amperes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Amperes(pub(crate) f64);
+
+unit_base!(Amperes, "A", "Creates a current in amperes.");
+unit_linear!(Amperes);
+
+/// Electrical resistance in ohms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ohms(pub(crate) f64);
+
+unit_base!(Ohms, "Ω", "Creates a resistance in ohms.");
+unit_linear!(Ohms);
+
+/// CPU clock frequency in gigahertz (used by the powersave-governor
+/// model of Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gigahertz(pub(crate) f64);
+
+unit_base!(Gigahertz, "GHz", "Creates a frequency in gigahertz.");
+unit_linear!(Gigahertz);
+
+impl Volts {
+    /// Current through a resistance at this potential (Ohm's law).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero or negative.
+    #[must_use]
+    pub fn current_through(self, r: Ohms) -> Amperes {
+        assert!(r.0 > 0.0, "resistance must be positive");
+        Amperes(self.0 / r.0)
+    }
+
+    /// Power dissipated in a resistance at this potential, `V²/R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero or negative.
+    #[must_use]
+    pub fn power_into(self, r: Ohms) -> Watts {
+        assert!(r.0 > 0.0, "resistance must be positive");
+        Watts(self.0 * self.0 / r.0)
+    }
+}
+
+impl Amperes {
+    /// Power delivered at a potential, `P = V·I`.
+    #[must_use]
+    pub fn power_at(self, v: Volts) -> Watts {
+        Watts(self.0 * v.0)
+    }
+
+    /// Voltage dropped across a resistance, `V = I·R`.
+    #[must_use]
+    pub fn voltage_across(self, r: Ohms) -> Volts {
+        Volts(self.0 * r.0)
+    }
+}
+
+impl core::ops::Mul<Amperes> for Volts {
+    type Output = Watts;
+    fn mul(self, rhs: Amperes) -> Watts {
+        rhs.power_at(self)
+    }
+}
+
+impl core::ops::Mul<Ohms> for Amperes {
+    type Output = Volts;
+    fn mul(self, rhs: Ohms) -> Volts {
+        self.voltage_across(rhs)
+    }
+}
+
+impl core::ops::Div<Ohms> for Volts {
+    type Output = Amperes;
+    fn div(self, rhs: Ohms) -> Amperes {
+        self.current_through(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_consistency() {
+        let v = Volts::new(6.0);
+        let r = Ohms::new(3.0);
+        let i = v / r;
+        assert_eq!(i, Amperes::new(2.0));
+        assert_eq!(i * r, v);
+        assert_eq!(v * i, Watts::new(12.0));
+    }
+
+    #[test]
+    fn power_into_matches_v2_over_r() {
+        let p = Volts::new(4.0).power_into(Ohms::new(8.0));
+        assert_eq!(p, Watts::new(2.0));
+    }
+
+    #[test]
+    fn matched_load_power_identity() {
+        // P_max = (V/2)^2 / R = V^2 / (4R): the paper's Eq. 5 with the
+        // module resistance equal to the load resistance.
+        let v = Volts::new(1.0);
+        let r = Ohms::new(2.0);
+        let half = v * 0.5;
+        let p = half.power_into(r);
+        assert!((p.value() - v.value() * v.value() / (4.0 * r.value())).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn zero_resistance_rejected() {
+        let _ = Volts::new(1.0).current_through(Ohms::new(0.0));
+    }
+
+    #[test]
+    fn series_resistance_adds() {
+        let total: Ohms = (0..12).map(|_| Ohms::new(2.0)).sum();
+        assert_eq!(total, Ohms::new(24.0));
+    }
+
+    #[test]
+    fn frequency_ordering() {
+        assert!(Gigahertz::new(2.5) > Gigahertz::new(1.2));
+    }
+}

@@ -1,0 +1,151 @@
+//! Power and energy quantities.
+
+use crate::time::Seconds;
+
+/// Power in watts.
+///
+/// ```
+/// use h2p_units::{Watts, Seconds};
+/// let e = Watts::new(4.177) * Seconds::hours(24.0);
+/// assert!((e.to_kilowatt_hours().value() - 0.1002).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Watts(pub(crate) f64);
+
+unit_base!(Watts, "W", "Creates a power in watts.");
+unit_linear!(Watts);
+
+/// Energy in joules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Joules(pub(crate) f64);
+
+unit_base!(Joules, "J", "Creates an energy in joules.");
+unit_linear!(Joules);
+
+/// Energy in kilowatt-hours — the billing unit used by the paper's
+/// TCO analysis (13 ¢/kWh).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KilowattHours(pub(crate) f64);
+
+unit_base!(KilowattHours, "kWh", "Creates an energy in kilowatt-hours.");
+unit_linear!(KilowattHours);
+
+/// Joules in one kilowatt-hour.
+const JOULES_PER_KWH: f64 = 3.6e6;
+
+impl Watts {
+    /// Creates a power from a kilowatt value.
+    #[must_use]
+    pub fn from_kilowatts(kw: f64) -> Self {
+        Watts(kw * 1e3)
+    }
+
+    /// This power expressed in kilowatts.
+    #[must_use]
+    pub fn to_kilowatts(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Energy delivered by this power over `dt`.
+    #[must_use]
+    pub fn energy_over(self, dt: Seconds) -> Joules {
+        Joules(self.0 * dt.value())
+    }
+}
+
+impl Joules {
+    /// Converts to kilowatt-hours.
+    #[must_use]
+    pub fn to_kilowatt_hours(self) -> KilowattHours {
+        KilowattHours(self.0 / JOULES_PER_KWH)
+    }
+
+    /// Average power if this energy is spread over `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is zero or negative.
+    #[must_use]
+    pub fn average_power(self, dt: Seconds) -> Watts {
+        assert!(dt.value() > 0.0, "duration must be positive");
+        Watts(self.0 / dt.value())
+    }
+}
+
+impl KilowattHours {
+    /// Converts to joules.
+    #[must_use]
+    pub fn to_joules(self) -> Joules {
+        Joules(self.0 * JOULES_PER_KWH)
+    }
+}
+
+impl From<KilowattHours> for Joules {
+    fn from(e: KilowattHours) -> Joules {
+        e.to_joules()
+    }
+}
+
+impl From<Joules> for KilowattHours {
+    fn from(e: Joules) -> KilowattHours {
+        e.to_kilowatt_hours()
+    }
+}
+
+impl core::ops::Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        self.energy_over(rhs)
+    }
+}
+
+impl core::ops::Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        self.average_power(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watt_second_is_joule() {
+        assert_eq!(Watts::new(5.0) * Seconds::new(3.0), Joules::new(15.0));
+    }
+
+    #[test]
+    fn kwh_joule_roundtrip() {
+        let e = KilowattHours::new(1.5);
+        assert!((e.to_joules().to_kilowatt_hours().value() - 1.5).abs() < 1e-12);
+        assert_eq!(KilowattHours::new(1.0).to_joules(), Joules::new(3.6e6));
+    }
+
+    #[test]
+    fn average_power_inverts_energy() {
+        let e = Watts::new(120.0) * Seconds::hours(2.0);
+        assert!((e.average_power(Seconds::hours(2.0)).value() - 120.0).abs() < 1e-9);
+        assert!(((e / Seconds::hours(2.0)).value() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kilowatt_conversions() {
+        assert_eq!(Watts::from_kilowatts(2.5), Watts::new(2500.0));
+        assert!((Watts::new(750.0).to_kilowatts() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_daily_generation() {
+        // Paper Sec. V-D: 4.177 W x 100,000 CPUs over 24 h = 10,024.8 kWh.
+        let per_cpu = Watts::new(4.177) * Seconds::hours(24.0);
+        let fleet = per_cpu.to_kilowatt_hours() * 100_000.0;
+        assert!((fleet.value() - 10_024.8).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn average_power_rejects_zero_duration() {
+        let _ = Joules::new(1.0).average_power(Seconds::new(0.0));
+    }
+}

@@ -1,0 +1,126 @@
+//! Coolant flow quantities and water properties.
+//!
+//! The paper works in litres per hour (L/H) throughout (20-250 L/H per
+//! branch). Heat-transport calculations need the mass flow `ṁ` and the
+//! specific heat of water; the advection relation
+//! `P = ṁ · c_p · ΔT` (the paper's Eq. 10 in rate form) is exposed as
+//! [`KgPerSecond::heat_rate`] and its inverse [`KgPerSecond::temperature_rise`].
+
+use crate::energy::Watts;
+use crate::temperature::DegC;
+
+/// Specific heat capacity of water, J/(kg·°C) — the paper's `C_water`.
+pub const WATER_SPECIFIC_HEAT: f64 = 4.2e3;
+
+/// Density of water in kg/L (the paper's `ρ`, expressed per litre).
+pub const WATER_DENSITY_KG_PER_L: f64 = 1.0;
+
+/// Volumetric coolant flow in litres per hour.
+///
+/// ```
+/// use h2p_units::LitersPerHour;
+/// let f = LitersPerHour::new(200.0);
+/// assert!((f.mass_flow().value() - 0.0556).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LitersPerHour(pub(crate) f64);
+
+unit_base!(LitersPerHour, "L/H", "Creates a volumetric flow in litres per hour.");
+unit_linear!(LitersPerHour);
+
+/// Mass flow in kilograms per second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KgPerSecond(pub(crate) f64);
+
+unit_base!(KgPerSecond, "kg/s", "Creates a mass flow in kilograms per second.");
+unit_linear!(KgPerSecond);
+
+impl LitersPerHour {
+    /// Mass flow of water at this volumetric flow.
+    #[must_use]
+    pub fn mass_flow(self) -> KgPerSecond {
+        KgPerSecond(self.0 * WATER_DENSITY_KG_PER_L / 3600.0)
+    }
+}
+
+impl KgPerSecond {
+    /// Volumetric flow of water with this mass flow.
+    #[must_use]
+    pub fn to_liters_per_hour(self) -> LitersPerHour {
+        LitersPerHour(self.0 * 3600.0 / WATER_DENSITY_KG_PER_L)
+    }
+
+    /// Heat carried away when this stream of water warms by `dt`:
+    /// `P = ṁ · c_p · ΔT`.
+    #[must_use]
+    pub fn heat_rate(self, dt: DegC) -> Watts {
+        Watts(self.0 * WATER_SPECIFIC_HEAT * dt.value())
+    }
+
+    /// Temperature rise of this stream when absorbing `power`:
+    /// `ΔT = P / (ṁ · c_p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mass flow is zero or negative.
+    #[must_use]
+    pub fn temperature_rise(self, power: Watts) -> DegC {
+        assert!(self.0 > 0.0, "mass flow must be positive");
+        DegC(power.value() / (self.0 * WATER_SPECIFIC_HEAT))
+    }
+
+    /// Heat capacity rate `ṁ · c_p` in W/°C — the "C" of the
+    /// effectiveness-NTU heat-exchanger method.
+    #[must_use]
+    pub fn capacity_rate(self) -> f64 {
+        self.0 * WATER_SPECIFIC_HEAT
+    }
+}
+
+impl From<LitersPerHour> for KgPerSecond {
+    fn from(f: LitersPerHour) -> KgPerSecond {
+        f.mass_flow()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_mass_roundtrip() {
+        let f = LitersPerHour::new(123.4);
+        let back = f.mass_flow().to_liters_per_hour();
+        assert!((back.value() - 123.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heat_rate_inverts_temperature_rise() {
+        let m = LitersPerHour::new(20.0).mass_flow();
+        let p = Watts::new(80.0);
+        let dt = m.temperature_rise(p);
+        assert!((m.heat_rate(dt).value() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_outlet_delta_magnitude() {
+        // Fig. 9: at 20 L/H and ~80 W CPU power, ΔT_out-in ≈ 3.4 °C,
+        // inside the paper's observed 1-3.5 °C band.
+        let dt = LitersPerHour::new(20.0)
+            .mass_flow()
+            .temperature_rise(Watts::new(80.0));
+        assert!(dt.value() > 3.0 && dt.value() < 3.5, "got {dt}");
+    }
+
+    #[test]
+    fn capacity_rate_matches_definition() {
+        let m = KgPerSecond::new(0.01);
+        assert!((m.capacity_rate() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mass flow must be positive")]
+    fn zero_flow_rejected() {
+        let _ = KgPerSecond::new(0.0).temperature_rise(Watts::new(1.0));
+    }
+}

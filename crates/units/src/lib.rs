@@ -1,0 +1,54 @@
+//! Typed physical quantities for the H2P datacenter simulator.
+//!
+//! Every physical value that crosses a module boundary in the H2P workspace
+//! is wrapped in a newtype from this crate, so that a coolant temperature can
+//! never be confused with a temperature *difference*, a flow rate with a mass
+//! flow, or a watt with a watt-hour. All wrappers are thin `f64` newtypes
+//! ([`Copy`], zero-cost) with the arithmetic that is physically meaningful
+//! for the quantity and nothing more.
+//!
+//! # Examples
+//!
+//! ```
+//! use h2p_units::{Celsius, DegC, Watts, LitersPerHour, Seconds};
+//!
+//! let inlet = Celsius::new(45.0);
+//! let outlet = inlet + DegC::new(2.5);
+//! assert_eq!(outlet, Celsius::new(47.5));
+//!
+//! // Energy balance: heating 20 L/H of water by 2.5 degC absorbs ~58 W.
+//! let flow = LitersPerHour::new(20.0);
+//! let power = flow.mass_flow().heat_rate(DegC::new(2.5));
+//! assert!((power.value() - 58.3).abs() < 0.1);
+//!
+//! let energy = Watts::new(100.0) * Seconds::hours(1.0);
+//! assert!((energy.to_kilowatt_hours().value() - 0.1).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)` is used as a deliberate NaN-rejecting validation idiom
+// throughout (NaN fails the guard, unlike `x <= 0.0`).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+#[macro_use]
+mod macros;
+
+mod electrical;
+mod energy;
+mod flow;
+mod money;
+mod temperature;
+mod time;
+mod utilization;
+
+mod pressure;
+
+pub use electrical::{Amperes, Gigahertz, Ohms, Volts};
+pub use energy::{Joules, KilowattHours, Watts};
+pub use flow::{KgPerSecond, LitersPerHour, WATER_DENSITY_KG_PER_L, WATER_SPECIFIC_HEAT};
+pub use pressure::Pascals;
+pub use money::Dollars;
+pub use temperature::{Celsius, DegC, Kelvin};
+pub use time::Seconds;
+pub use utilization::{Utilization, UtilizationRangeError};

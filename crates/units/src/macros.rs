@@ -1,0 +1,182 @@
+//! Internal macros generating the boilerplate shared by all unit newtypes.
+
+/// Implements the common surface of a `f64` unit newtype: constructor,
+/// accessor, `Display` with a unit suffix, and ordering helpers.
+///
+/// Ordering is total: the constructors of the quantity types reject NaN via
+/// `debug_assert!`, and comparisons fall back to `f64::total_cmp` so that the
+/// types can implement `Ord` and be used as keys.
+macro_rules! unit_base {
+    ($ty:ident, $unit:literal, $doc_new:literal) => {
+        impl $ty {
+            #[doc = $doc_new]
+            ///
+            /// # Panics
+            ///
+            /// Debug builds panic if `value` is NaN.
+            #[must_use]
+            pub fn new(value: f64) -> Self {
+                debug_assert!(!value.is_nan(), concat!(stringify!($ty), " cannot be NaN"));
+                Self(value)
+            }
+
+            /// Returns the raw numeric value.
+            #[must_use]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the zero value of this quantity.
+            #[must_use]
+            pub fn zero() -> Self {
+                Self(0.0)
+            }
+
+            /// Returns the absolute value of this quantity.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps `self` into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "clamp bounds inverted");
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+        }
+
+        impl core::fmt::Display for $ty {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+
+        impl Eq for $ty {}
+
+        impl PartialOrd for $ty {
+            fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl Ord for $ty {
+            fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        impl From<$ty> for f64 {
+            fn from(v: $ty) -> f64 {
+                v.0
+            }
+        }
+    };
+}
+
+/// Adds linear-space arithmetic (`+`, `-`, scaling by `f64`, `Sum`,
+/// `Neg`) to a unit newtype. Only quantities for which addition is
+/// physically meaningful get this.
+macro_rules! unit_linear {
+    ($ty:ident) => {
+        impl core::ops::Add for $ty {
+            type Output = $ty;
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $ty {
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $ty {
+            type Output = $ty;
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $ty {
+            fn sub_assign(&mut self, rhs: $ty) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $ty {
+            type Output = $ty;
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$ty> for f64 {
+            type Output = $ty;
+            fn mul(self, rhs: $ty) -> $ty {
+                $ty(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $ty {
+            type Output = $ty;
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div<$ty> for $ty {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: $ty) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::ops::Neg for $ty {
+            type Output = $ty;
+            fn neg(self) -> $ty {
+                $ty(-self.0)
+            }
+        }
+
+        impl core::iter::Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                $ty(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $ty> for $ty {
+            fn sum<I: Iterator<Item = &'a $ty>>(iter: I) -> $ty {
+                $ty(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl Default for $ty {
+            fn default() -> Self {
+                Self(0.0)
+            }
+        }
+    };
+}

@@ -1,0 +1,57 @@
+//! Monetary amounts for the TCO analysis.
+
+/// A monetary amount in US dollars.
+///
+/// ```
+/// use h2p_units::Dollars;
+/// let monthly = Dollars::new(21.26) + Dollars::new(31.25);
+/// assert!((monthly.value() - 52.51).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dollars(pub(crate) f64);
+
+unit_base!(Dollars, "$", "Creates an amount in US dollars.");
+unit_linear!(Dollars);
+
+impl Dollars {
+    /// Creates an amount from US cents.
+    #[must_use]
+    pub fn from_cents(cents: f64) -> Self {
+        Dollars(cents / 100.0)
+    }
+
+    /// Fractional change of `self` relative to a baseline:
+    /// `(baseline - self) / baseline`. Positive means `self` is cheaper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` is zero.
+    #[must_use]
+    pub fn savings_vs(self, baseline: Dollars) -> f64 {
+        assert!(baseline.0 != 0.0, "baseline must be non-zero");
+        (baseline.0 - self.0) / baseline.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cents_conversion() {
+        assert_eq!(Dollars::from_cents(13.0), Dollars::new(0.13));
+    }
+
+    #[test]
+    fn savings_fraction() {
+        // 61.35 vs 61.70 $/server/month ≈ 0.57 % (paper Sec. V-D).
+        let s = Dollars::new(61.35).savings_vs(Dollars::new(61.70));
+        assert!((s - 0.00567).abs() < 1e-4);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let total = Dollars::new(10.0) * 3.0 - Dollars::new(5.0);
+        assert_eq!(total, Dollars::new(25.0));
+    }
+}

@@ -1,0 +1,70 @@
+//! Hydraulic pressure.
+
+use crate::energy::Watts;
+use crate::flow::LitersPerHour;
+
+/// Pressure (or pressure difference) in pascals.
+///
+/// The hydraulic power moved by a pump is `P = Δp · Q̇` with the
+/// volumetric flow in m³/s; [`Pascals::hydraulic_power`] does the unit
+/// bookkeeping from the L/H flows the rest of the workspace uses.
+///
+/// ```
+/// use h2p_units::{LitersPerHour, Pascals};
+/// // 20 kPa across 360 L/H = 0.0001 m³/s → 2 W of hydraulic power.
+/// let p = Pascals::new(20_000.0).hydraulic_power(LitersPerHour::new(360.0));
+/// assert!((p.value() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pascals(pub(crate) f64);
+
+unit_base!(Pascals, "Pa", "Creates a pressure in pascals.");
+unit_linear!(Pascals);
+
+impl Pascals {
+    /// Creates a pressure from kilopascals.
+    #[must_use]
+    pub fn from_kilopascals(kpa: f64) -> Self {
+        Pascals(kpa * 1e3)
+    }
+
+    /// This pressure in kilopascals.
+    #[must_use]
+    pub fn to_kilopascals(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Hydraulic power when this pressure difference drives `flow`.
+    #[must_use]
+    pub fn hydraulic_power(self, flow: LitersPerHour) -> Watts {
+        let m3_per_s = flow.value() * 1e-3 / 3600.0;
+        Watts::new(self.0 * m3_per_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kilopascal_roundtrip() {
+        let p = Pascals::from_kilopascals(35.5);
+        assert_eq!(p, Pascals::new(35_500.0));
+        assert!((p.to_kilopascals() - 35.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hydraulic_power_scales_in_both_factors() {
+        let base = Pascals::new(10_000.0).hydraulic_power(LitersPerHour::new(100.0));
+        let double_p = Pascals::new(20_000.0).hydraulic_power(LitersPerHour::new(100.0));
+        let double_q = Pascals::new(10_000.0).hydraulic_power(LitersPerHour::new(200.0));
+        assert!((double_p.value() - 2.0 * base.value()).abs() < 1e-12);
+        assert!((double_q.value() - 2.0 * base.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let dp = Pascals::new(5_000.0) + Pascals::new(2_500.0) * 2.0;
+        assert_eq!(dp, Pascals::new(10_000.0));
+    }
+}

@@ -1,0 +1,216 @@
+//! Absolute temperatures and temperature differences.
+//!
+//! [`Celsius`] is an *absolute* temperature on the Celsius scale;
+//! [`DegC`] is a temperature *difference* (identical to a Kelvin
+//! difference). Subtracting two [`Celsius`] values yields a [`DegC`];
+//! adding a [`DegC`] to a [`Celsius`] shifts the absolute temperature.
+//! Two absolute temperatures cannot be added — that operation has no
+//! physical meaning and does not compile.
+
+/// An absolute temperature in degrees Celsius.
+///
+/// ```
+/// use h2p_units::{Celsius, DegC};
+/// let warm = Celsius::new(45.0);
+/// let cold = Celsius::new(20.0);
+/// assert_eq!(warm - cold, DegC::new(25.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Celsius(pub(crate) f64);
+
+unit_base!(Celsius, "°C", "Creates an absolute temperature in degrees Celsius.");
+
+/// A temperature difference in degrees Celsius (equivalently, kelvins).
+///
+/// ```
+/// use h2p_units::DegC;
+/// let a = DegC::new(2.0) + DegC::new(1.5);
+/// assert_eq!(a, DegC::new(3.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegC(pub(crate) f64);
+
+unit_base!(DegC, "ΔC", "Creates a temperature difference in degrees Celsius.");
+unit_linear!(DegC);
+
+/// An absolute thermodynamic temperature in kelvins.
+///
+/// ```
+/// use h2p_units::{Celsius, Kelvin};
+/// assert_eq!(Celsius::new(0.0).to_kelvin(), Kelvin::new(273.15));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Kelvin(pub(crate) f64);
+
+unit_base!(Kelvin, "K", "Creates an absolute temperature in kelvins.");
+
+/// Offset between the Celsius and Kelvin scales.
+const KELVIN_OFFSET: f64 = 273.15;
+
+impl Celsius {
+    /// Converts to an absolute temperature in kelvins.
+    #[must_use]
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin(self.0 + KELVIN_OFFSET)
+    }
+
+    /// Difference above another absolute temperature, i.e. `self - other`.
+    #[must_use]
+    pub fn above(self, other: Celsius) -> DegC {
+        DegC(self.0 - other.0)
+    }
+
+    /// Linear interpolation between `self` and `other` at parameter `t`
+    /// (`t = 0` gives `self`, `t = 1` gives `other`).
+    #[must_use]
+    pub fn lerp(self, other: Celsius, t: f64) -> Celsius {
+        Celsius(self.0 + (other.0 - self.0) * t)
+    }
+}
+
+impl Kelvin {
+    /// Converts to degrees Celsius.
+    #[must_use]
+    pub fn to_celsius(self) -> Celsius {
+        Celsius(self.0 - KELVIN_OFFSET)
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    fn from(k: Kelvin) -> Celsius {
+        k.to_celsius()
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    fn from(c: Celsius) -> Kelvin {
+        c.to_kelvin()
+    }
+}
+
+impl core::ops::Sub for Celsius {
+    type Output = DegC;
+    fn sub(self, rhs: Celsius) -> DegC {
+        DegC(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Add<DegC> for Celsius {
+    type Output = Celsius;
+    fn add(self, rhs: DegC) -> Celsius {
+        Celsius(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign<DegC> for Celsius {
+    fn add_assign(&mut self, rhs: DegC) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::ops::Sub<DegC> for Celsius {
+    type Output = Celsius;
+    fn sub(self, rhs: DegC) -> Celsius {
+        Celsius(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::SubAssign<DegC> for Celsius {
+    fn sub_assign(&mut self, rhs: DegC) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl core::ops::Sub for Kelvin {
+    type Output = DegC;
+    fn sub(self, rhs: Kelvin) -> DegC {
+        DegC(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Add<DegC> for Kelvin {
+    type Output = Kelvin;
+    fn add(self, rhs: DegC) -> Kelvin {
+        Kelvin(self.0 + rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_roundtrip() {
+        let c = Celsius::new(42.5);
+        assert!((c.to_kelvin().to_celsius().value() - 42.5).abs() < 1e-12);
+        assert_eq!(Celsius::new(0.0).to_kelvin(), Kelvin::new(273.15));
+    }
+
+    #[test]
+    fn subtraction_gives_delta() {
+        let d = Celsius::new(54.0) - Celsius::new(20.0);
+        assert_eq!(d, DegC::new(34.0));
+        // Kelvin and Celsius differences agree.
+        let dk = Celsius::new(54.0).to_kelvin() - Celsius::new(20.0).to_kelvin();
+        assert!((dk.value() - d.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_shifts_absolute() {
+        let mut t = Celsius::new(45.0);
+        t += DegC::new(3.5);
+        assert_eq!(t, Celsius::new(48.5));
+        t -= DegC::new(0.5);
+        assert_eq!(t, Celsius::new(48.0));
+        assert_eq!(t - DegC::new(8.0), Celsius::new(40.0));
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let d = DegC::new(2.0) * 3.0 - DegC::new(1.0);
+        assert_eq!(d, DegC::new(5.0));
+        assert_eq!(-d, DegC::new(-5.0));
+        assert_eq!(d / DegC::new(2.5), 2.0);
+        let sum: DegC = [DegC::new(1.0), DegC::new(2.0)].into_iter().sum();
+        assert_eq!(sum, DegC::new(3.0));
+    }
+
+    #[test]
+    fn above_matches_sub() {
+        assert_eq!(
+            Celsius::new(50.0).above(Celsius::new(20.0)),
+            Celsius::new(50.0) - Celsius::new(20.0)
+        );
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Celsius::new(20.0);
+        let b = Celsius::new(40.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Celsius::new(30.0));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [Celsius::new(3.0), Celsius::new(-1.0), Celsius::new(2.0)];
+        v.sort();
+        assert_eq!(v[0], Celsius::new(-1.0));
+        assert_eq!(v[2], Celsius::new(3.0));
+    }
+
+    #[test]
+    fn display_formats_with_unit() {
+        assert_eq!(format!("{:.1}", Celsius::new(45.25)), "45.2 °C");
+        assert_eq!(format!("{}", DegC::new(2.0)), "2 ΔC");
+    }
+
+    #[test]
+    fn clamp_and_minmax() {
+        let t = Celsius::new(90.0).clamp(Celsius::new(0.0), Celsius::new(78.9));
+        assert_eq!(t, Celsius::new(78.9));
+        assert_eq!(Celsius::new(1.0).max(Celsius::new(2.0)), Celsius::new(2.0));
+        assert_eq!(Celsius::new(1.0).min(Celsius::new(2.0)), Celsius::new(1.0));
+    }
+}

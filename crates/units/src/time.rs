@@ -1,0 +1,76 @@
+//! Simulation time.
+
+/// A duration in seconds.
+///
+/// The simulator steps in wall-clock-agnostic simulated time, so a plain
+/// `f64` seconds newtype (with convenience constructors for the minutes-
+/// and hours-scale intervals the paper uses) is sufficient and keeps
+/// arithmetic with [`crate::Watts`] exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Seconds(pub(crate) f64);
+
+unit_base!(Seconds, "s", "Creates a duration in seconds.");
+unit_linear!(Seconds);
+
+impl Seconds {
+    /// Creates a duration from minutes.
+    #[must_use]
+    pub fn minutes(m: f64) -> Self {
+        Seconds(m * 60.0)
+    }
+
+    /// Creates a duration from hours.
+    #[must_use]
+    pub fn hours(h: f64) -> Self {
+        Seconds(h * 3600.0)
+    }
+
+    /// Creates a duration from days.
+    #[must_use]
+    pub fn days(d: f64) -> Self {
+        Seconds(d * 86_400.0)
+    }
+
+    /// This duration in minutes.
+    #[must_use]
+    pub fn to_minutes(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    /// This duration in hours.
+    #[must_use]
+    pub fn to_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// This duration in days.
+    #[must_use]
+    pub fn to_days(self) -> f64 {
+        self.0 / 86_400.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Seconds::minutes(5.0), Seconds::new(300.0));
+        assert_eq!(Seconds::hours(2.0), Seconds::new(7200.0));
+        assert_eq!(Seconds::days(1.0), Seconds::hours(24.0));
+    }
+
+    #[test]
+    fn accessors_invert_constructors() {
+        assert!((Seconds::minutes(7.5).to_minutes() - 7.5).abs() < 1e-12);
+        assert!((Seconds::hours(7.5).to_hours() - 7.5).abs() < 1e-12);
+        assert!((Seconds::days(7.5).to_days() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_arithmetic() {
+        let total: Seconds = std::iter::repeat_n(Seconds::minutes(5.0), 12).sum();
+        assert_eq!(total, Seconds::hours(1.0));
+    }
+}

@@ -1,0 +1,216 @@
+//! CPU utilization as a validated fraction.
+
+use core::fmt;
+
+/// Error returned when constructing a [`Utilization`] outside `\[0, 1\]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationRangeError {
+    value: f64,
+}
+
+impl UtilizationRangeError {
+    /// The offending raw value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl fmt::Display for UtilizationRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "utilization {} is outside [0, 1]", self.value)
+    }
+}
+
+impl std::error::Error for UtilizationRangeError {}
+
+/// CPU utilization as a fraction in `\[0, 1\]`.
+///
+/// The paper's Eq. 20 (`P_CPU = 109.71·ln(u + 1.17) − 7.83`) and the
+/// lookup space of Fig. 12 are parameterized by this value. The invariant
+/// `0 ≤ u ≤ 1` is enforced at construction, so downstream physics never
+/// sees a nonsensical load.
+///
+/// ```
+/// use h2p_units::Utilization;
+/// let u = Utilization::new(0.35)?;
+/// assert_eq!(u.as_percent(), 35.0);
+/// assert_eq!(Utilization::from_percent(120.0), Err(
+///     Utilization::new(1.2).unwrap_err()));
+/// # Ok::<(), h2p_units::UtilizationRangeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Utilization(f64);
+
+impl Utilization {
+    /// A fully idle CPU.
+    pub const IDLE: Utilization = Utilization(0.0);
+    /// A fully loaded CPU.
+    pub const FULL: Utilization = Utilization(1.0);
+
+    /// Creates a utilization from a fraction in `\[0, 1\]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtilizationRangeError`] if `fraction` is NaN or outside
+    /// `\[0, 1\]`.
+    pub fn new(fraction: f64) -> Result<Self, UtilizationRangeError> {
+        if fraction.is_nan() || !(0.0..=1.0).contains(&fraction) {
+            Err(UtilizationRangeError { value: fraction })
+        } else {
+            Ok(Utilization(fraction))
+        }
+    }
+
+    /// Creates a utilization from a percentage in `\[0, 100\]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtilizationRangeError`] if out of range.
+    pub fn from_percent(percent: f64) -> Result<Self, UtilizationRangeError> {
+        Self::new(percent / 100.0)
+    }
+
+    /// Creates a utilization, clamping out-of-range (non-NaN) input into
+    /// `\[0, 1\]`. Useful for noisy synthetic traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is NaN.
+    #[must_use]
+    pub fn saturating(fraction: f64) -> Self {
+        assert!(!fraction.is_nan(), "utilization cannot be NaN");
+        Utilization(fraction.clamp(0.0, 1.0))
+    }
+
+    /// The utilization as a fraction in `\[0, 1\]`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The utilization as a percentage in `\[0, 100\]`.
+    #[must_use]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Returns the larger of two utilizations.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Utilization(self.0.max(other.0))
+    }
+
+    /// Mean of a slice of utilizations — the `U_avg` of the paper's
+    /// load-balancing policy (Sec. V-B2). Returns [`Utilization::IDLE`]
+    /// for an empty slice.
+    #[must_use]
+    pub fn mean_of(values: &[Utilization]) -> Utilization {
+        if values.is_empty() {
+            return Utilization::IDLE;
+        }
+        let sum: f64 = values.iter().map(|u| u.0).sum();
+        Utilization(sum / values.len() as f64)
+    }
+
+    /// Maximum of a slice — the `U_max` of the paper's baseline policy.
+    /// Returns [`Utilization::IDLE`] for an empty slice.
+    #[must_use]
+    pub fn max_of(values: &[Utilization]) -> Utilization {
+        values
+            .iter()
+            .copied()
+            .fold(Utilization::IDLE, Utilization::max)
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}%", prec, self.as_percent())
+        } else {
+            write!(f, "{}%", self.as_percent())
+        }
+    }
+}
+
+impl Eq for Utilization {}
+
+impl PartialOrd for Utilization {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Utilization {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<Utilization> for f64 {
+    fn from(u: Utilization) -> f64 {
+        u.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_range() {
+        assert!(Utilization::new(0.0).is_ok());
+        assert!(Utilization::new(1.0).is_ok());
+        assert!(Utilization::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Utilization::new(-0.01).is_err());
+        assert!(Utilization::new(1.01).is_err());
+        assert!(Utilization::new(f64::NAN).is_err());
+        let err = Utilization::new(2.0).unwrap_err();
+        assert_eq!(err.value(), 2.0);
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn percent_roundtrip() {
+        let u = Utilization::from_percent(37.5).unwrap();
+        assert!((u.as_percent() - 37.5).abs() < 1e-12);
+        assert!((u.value() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Utilization::saturating(-3.0), Utilization::IDLE);
+        assert_eq!(Utilization::saturating(42.0), Utilization::FULL);
+        assert_eq!(Utilization::saturating(0.25), Utilization::new(0.25).unwrap());
+    }
+
+    #[test]
+    fn mean_and_max_of_slices() {
+        let us: Vec<_> = [0.1, 0.5, 0.9]
+            .iter()
+            .map(|&v| Utilization::new(v).unwrap())
+            .collect();
+        assert!((Utilization::mean_of(&us).value() - 0.5).abs() < 1e-12);
+        assert_eq!(Utilization::max_of(&us), Utilization::new(0.9).unwrap());
+        assert_eq!(Utilization::mean_of(&[]), Utilization::IDLE);
+        assert_eq!(Utilization::max_of(&[]), Utilization::IDLE);
+    }
+
+    #[test]
+    fn display_percent() {
+        assert_eq!(format!("{:.1}", Utilization::new(0.345).unwrap()), "34.5%");
+    }
+
+    #[test]
+    fn ordering_sorts() {
+        let mut v = [Utilization::new(0.9).unwrap(),
+            Utilization::new(0.1).unwrap()];
+        v.sort();
+        assert_eq!(v[0].value(), 0.1);
+    }
+}

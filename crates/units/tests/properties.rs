@@ -1,0 +1,107 @@
+//! Property-based tests of the unit algebra.
+
+use h2p_units::*;
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e6..1e6f64
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1e-3..1e6f64
+}
+
+proptest! {
+    #[test]
+    fn temperature_group_laws(a in finite(), d in finite(), e in finite()) {
+        let t = Celsius::new(a);
+        // (t + d) − t == d
+        let dd = (t + DegC::new(d)) - t;
+        prop_assert!((dd.value() - d).abs() <= 1e-9 * d.abs().max(1.0));
+        // Delta addition is associative within fp tolerance.
+        let lhs = t + (DegC::new(d) + DegC::new(e));
+        let rhs = (t + DegC::new(d)) + DegC::new(e);
+        prop_assert!((lhs - rhs).value().abs() <= 1e-9 * (d.abs() + e.abs()).max(1.0));
+    }
+
+    #[test]
+    fn kelvin_celsius_isomorphism(a in finite(), b in finite()) {
+        let (ca, cb) = (Celsius::new(a), Celsius::new(b));
+        // Differences agree across scales.
+        let dc = ca - cb;
+        let dk = ca.to_kelvin() - cb.to_kelvin();
+        prop_assert!((dc.value() - dk.value()).abs() < 1e-9 * a.abs().max(1.0));
+        // Round trip.
+        prop_assert!((ca.to_kelvin().to_celsius().value() - a).abs() < 1e-9 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn energy_power_time_consistency(p in positive(), h in 1e-3..1e4f64) {
+        let e = Watts::new(p) * Seconds::hours(h);
+        let back = e.average_power(Seconds::hours(h));
+        prop_assert!((back.value() - p).abs() < 1e-9 * p);
+        // kWh conversion round trip.
+        let kwh = e.to_kilowatt_hours();
+        prop_assert!((kwh.to_joules().value() - e.value()).abs() < 1e-6 * e.value().max(1.0));
+    }
+
+    #[test]
+    fn flow_mass_heat_consistency(f in positive(), dt in 1e-3..100.0f64) {
+        let m = LitersPerHour::new(f).mass_flow();
+        let q = m.heat_rate(DegC::new(dt));
+        let back = m.temperature_rise(q);
+        prop_assert!((back.value() - dt).abs() < 1e-9 * dt);
+        prop_assert!((m.to_liters_per_hour().value() - f).abs() < 1e-9 * f);
+    }
+
+    #[test]
+    fn ohms_law_closure(v in positive(), r in positive()) {
+        let volts = Volts::new(v);
+        let ohms = Ohms::new(r);
+        let i = volts / ohms;
+        prop_assert!(((i * ohms).value() - v).abs() < 1e-9 * v);
+        let p = volts * i;
+        prop_assert!((p.value() - v * v / r).abs() < 1e-6 * p.value().max(1e-12));
+    }
+
+    #[test]
+    fn utilization_saturating_always_valid(x in -10.0..10.0f64) {
+        let u = Utilization::saturating(x);
+        prop_assert!((0.0..=1.0).contains(&u.value()));
+        if (0.0..=1.0).contains(&x) {
+            prop_assert!((u.value() - x).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn utilization_aggregates_bracketed(xs in proptest::collection::vec(0.0..=1.0f64, 1..50)) {
+        let us: Vec<Utilization> = xs.iter().map(|&x| Utilization::saturating(x)).collect();
+        let mean = Utilization::mean_of(&us);
+        let max = Utilization::max_of(&us);
+        prop_assert!(mean <= max);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert!(mean.value() >= lo - 1e-12);
+    }
+
+    #[test]
+    fn hydraulic_power_bilinear(dp in positive(), q in positive(), k in 0.1..10.0f64) {
+        let base = Pascals::new(dp).hydraulic_power(LitersPerHour::new(q));
+        let scaled = Pascals::new(dp * k).hydraulic_power(LitersPerHour::new(q));
+        prop_assert!((scaled.value() - k * base.value()).abs() < 1e-6 * scaled.value().max(1e-12));
+    }
+
+    #[test]
+    fn clamp_is_idempotent_and_bounded(x in finite(), a in finite(), b in finite()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let c = Watts::new(x).clamp(Watts::new(lo), Watts::new(hi));
+        prop_assert!(c.value() >= lo && c.value() <= hi);
+        prop_assert_eq!(c.clamp(Watts::new(lo), Watts::new(hi)), c);
+    }
+
+    #[test]
+    fn dollars_savings_antisymmetry(a in positive(), b in positive()) {
+        // savings_vs(b) positive iff a < b.
+        let s = Dollars::new(a).savings_vs(Dollars::new(b));
+        prop_assert_eq!(s > 0.0, a < b);
+    }
+}

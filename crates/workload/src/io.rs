@@ -1,0 +1,115 @@
+//! Trace persistence.
+//!
+//! Clusters serialize to a compact JSON document (interval + per-server
+//! sample arrays), so generated workloads can be archived and replayed
+//! across experiment runs, or real traces (converted offline from the
+//! Google/Alibaba archives) can be loaded in place of the synthetic
+//! generators.
+
+use crate::trace::ClusterTrace;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceIoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed trace document.
+    Format(serde_json::Error),
+}
+
+impl core::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::Format(e) => write!(f, "trace document malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Format(e)
+    }
+}
+
+/// Writes a cluster trace to a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on filesystem or serialization failure.
+pub fn save_cluster(cluster: &ClusterTrace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    let file = File::create(path)?;
+    serde_json::to_writer(BufWriter::new(file), cluster)?;
+    Ok(())
+}
+
+/// Reads a cluster trace from a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on filesystem failure or a malformed
+/// document (including documents violating the trace invariants —
+/// lengths, intervals and sample ranges are re-validated on entry).
+pub fn load_cluster(path: impl AsRef<Path>) -> Result<ClusterTrace, TraceIoError> {
+    let file = File::open(path)?;
+    let cluster: ClusterTrace = serde_json::from_reader(BufReader::new(file))?;
+    Ok(cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceGenerator, TraceKind};
+
+    #[test]
+    fn save_load_roundtrip() {
+        let cluster = TraceGenerator::paper(TraceKind::Common, 5)
+            .with_servers(10)
+            .with_steps(12)
+            .generate();
+        let dir = std::env::temp_dir().join("h2p_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+        save_cluster(&cluster, &path).unwrap();
+        let back = load_cluster(&path).unwrap();
+        assert_eq!(back, cluster);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let err = load_cluster("/nonexistent/h2p/trace.json").unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)));
+        assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn malformed_document_reports_format_error() {
+        let dir = std::env::temp_dir().join("h2p_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        let err = load_cluster(&path).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)));
+        std::fs::remove_file(&path).ok();
+    }
+}

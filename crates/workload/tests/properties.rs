@@ -1,0 +1,96 @@
+//! Property-based tests of the trace substrate.
+
+use h2p_units::Seconds;
+use h2p_workload::{ClusterTrace, Trace, TraceGenerator, TraceKind};
+use proptest::prelude::*;
+
+fn kind() -> impl Strategy<Value = TraceKind> {
+    prop_oneof![
+        Just(TraceKind::Drastic),
+        Just(TraceKind::Irregular),
+        Just(TraceKind::Common),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_samples_always_valid(k in kind(), seed in 0u64..1000, servers in 1usize..30) {
+        let cluster = TraceGenerator::paper(k, seed)
+            .with_servers(servers)
+            .with_steps(40)
+            .generate();
+        prop_assert_eq!(cluster.servers(), servers);
+        prop_assert_eq!(cluster.steps(), 40);
+        for t in cluster.iter() {
+            for &s in t.samples() {
+                prop_assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(k in kind(), seed in 0u64..1000) {
+        let make = || {
+            TraceGenerator::paper(k, seed)
+                .with_servers(5)
+                .with_steps(20)
+                .generate()
+        };
+        prop_assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn serde_roundtrip_for_random_traces(
+        samples in proptest::collection::vec(0.0..=1.0f64, 1..100),
+        minutes in 1.0..30.0f64,
+    ) {
+        let t = Trace::new(Seconds::minutes(minutes), samples).unwrap();
+        let cluster = ClusterTrace::new(vec![t]).unwrap();
+        let json = serde_json::to_string(&cluster).unwrap();
+        let back: ClusterTrace = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, cluster);
+    }
+
+    #[test]
+    fn invalid_documents_rejected_on_load(bad in 1.01..10.0f64) {
+        // A hand-crafted document with an out-of-range sample must fail
+        // validation even though it is syntactically valid JSON.
+        let doc = format!(
+            r#"{{"traces":[{{"interval_seconds":300.0,"samples":[0.5,{bad}]}}]}}"#
+        );
+        let parsed: Result<ClusterTrace, _> = serde_json::from_str(&doc);
+        prop_assert!(parsed.is_err());
+    }
+
+    #[test]
+    fn statistics_bracketed(k in kind(), seed in 0u64..200) {
+        let cluster = TraceGenerator::paper(k, seed)
+            .with_servers(10)
+            .with_steps(50)
+            .generate();
+        for t in cluster.iter() {
+            prop_assert!(t.mean() <= t.peak());
+            prop_assert!(t.volatility() >= 0.0);
+        }
+        let means = cluster.mean_series();
+        let maxes = cluster.max_series();
+        for (m, x) in means.iter().zip(&maxes) {
+            prop_assert!(m <= x);
+        }
+    }
+
+    #[test]
+    fn take_servers_is_a_prefix(k in kind(), n in 1usize..10) {
+        let cluster = TraceGenerator::paper(k, 7)
+            .with_servers(10)
+            .with_steps(20)
+            .generate();
+        let sub = cluster.take_servers(n);
+        prop_assert_eq!(sub.servers(), n);
+        for i in 0..n {
+            prop_assert_eq!(sub.trace(i), cluster.trace(i));
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Designing the water circulations of a new warm water-cooled
+//! datacenter (paper Sec. V-A): how many servers should share a chiller
+//! and pump?
+//!
+//! ```sh
+//! cargo run --release --example circulation_design
+//! ```
+
+use h2p::prelude::*;
+use h2p::stats::Normal;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut design = CirculationDesign::paper_default()?;
+    println!("circulation design for a 1,000-server warm water-cooled datacenter");
+    println!(
+        "CPU temperatures ~ N({}, {}²) °C, T_safe = {}\n",
+        design.temperature.mean(),
+        design.temperature.std_dev(),
+        design.t_safe
+    );
+
+    let candidates: Vec<usize> = vec![1, 5, 10, 20, 25, 40, 50, 100, 200, 500, 1000];
+    println!(
+        "{:>7} {:>7} {:>12} {:>9} {:>11} {:>11} {:>11}",
+        "n/circ", "circs", "E[T_max] °C", "E[ΔT] °C", "energy $", "capital $", "total $"
+    );
+    for p in design.sweep(&candidates) {
+        println!(
+            "{:>7} {:>7} {:>12.2} {:>9.2} {:>11.0} {:>11.0} {:>11.0}",
+            p.servers_per_circulation,
+            p.circulations,
+            p.expected_hottest.value(),
+            p.expected_depression.value(),
+            p.energy_cost.value(),
+            p.capital_cost.value(),
+            p.total_cost.value()
+        );
+    }
+    let best = design.optimal(&candidates);
+    println!(
+        "\n→ build circulations of {} servers ({} CDUs/chillers), ${:.0} total over 5 years",
+        best.servers_per_circulation,
+        best.circulations,
+        best.total_cost.value()
+    );
+
+    // Sensitivity: a hotter, more spread-out fleet pushes the optimum
+    // toward smaller circulations.
+    design.temperature = Normal::new(57.0, 6.0)?;
+    let stressed = design.optimal(&candidates);
+    println!(
+        "with N(57, 6²) °C temperatures the optimum moves to {} servers per circulation",
+        stressed.servers_per_circulation
+    );
+    Ok(())
+}

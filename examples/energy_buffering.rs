@@ -1,0 +1,66 @@
+//! Buffering TEG output with a hybrid super-capacitor + battery store
+//! and spending it on datacenter lighting (paper Sec. VI-B and VI-C2).
+//!
+//! ```sh
+//! cargo run --release --example energy_buffering
+//! ```
+
+use h2p::prelude::*;
+use h2p::storage::leds_powered;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A day of the irregular workload on one 40-server circulation.
+    let cluster = TraceGenerator::paper(TraceKind::Irregular, 11)
+        .with_servers(40)
+        .generate();
+    let sim = Simulator::paper_default()?;
+    let run = sim.run(&cluster, &LoadBalance)?;
+    let interval = run.interval();
+    let demand = run.average_teg_power(); // steady draw at the mean
+
+    println!(
+        "per-CPU TEG output: avg {:.2} W, serving a constant {:.2} W lighting load",
+        run.average_teg_power().value(),
+        demand.value()
+    );
+
+    let mut buffer = HybridBuffer::paper_default();
+    let mut served = Joules::zero();
+    let mut wanted = Joules::zero();
+    let mut unbuffered_served = Joules::zero();
+    for step in run.steps() {
+        let gen = step.teg_power_per_server;
+        wanted += demand.energy_over(interval);
+        unbuffered_served += gen.min(demand).energy_over(interval);
+        let surplus = gen - demand;
+        if surplus.value() >= 0.0 {
+            buffer.offer(surplus, interval);
+            served += demand.energy_over(interval);
+        } else {
+            served += gen.energy_over(interval) + buffer.demand(-surplus, interval);
+        }
+    }
+    println!(
+        "\ndemand coverage: {:.1} % unbuffered → {:.1} % with the hybrid buffer",
+        unbuffered_served / wanted * 100.0,
+        served / wanted * 100.0
+    );
+    println!(
+        "buffer state at end of day: SC {:.0} %, battery {:.0} % full",
+        buffer.super_capacitor().state_of_charge() * 100.0,
+        buffer.battery().state_of_charge() * 100.0
+    );
+
+    // What does ~4 W per CPU buy in lighting?
+    let per_cpu = run.average_teg_power();
+    println!(
+        "\nlighting budget per CPU: {} ordinary 0.05 W LEDs or {} one-watt LEDs",
+        leds_powered(per_cpu, Watts::new(0.05)),
+        leds_powered(per_cpu, Watts::new(1.0))
+    );
+    println!(
+        "a 40-server rack pair lights {} ordinary LEDs from waste heat alone",
+        leds_powered(per_cpu * 40.0, Watts::new(0.05))
+    );
+    Ok(())
+}

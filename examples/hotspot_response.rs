@@ -1,0 +1,79 @@
+//! Hot-spot response in the hybrid warm-water architecture: a sudden
+//! utilization spike arrives while the loop is running warm, and the
+//! per-CPU TEC absorbs it until the cooling setting catches up
+//! (paper Sec. II-B and VI-C1).
+//!
+//! ```sh
+//! cargo run --release --example hotspot_response
+//! ```
+
+use h2p::cooling::hybrid::HotSpotController;
+use h2p::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = ServerModel::paper_default();
+    let controller = HotSpotController::default();
+    let t_safe = Celsius::new(62.0);
+    let flow = LitersPerHour::new(60.0);
+
+    // The circulation idles at 15 % load; the optimizer has pushed the
+    // inlet near its ceiling for maximum harvesting.
+    let calm = Utilization::new(0.15)?;
+    let warm_inlet = server.max_safe_inlet(calm, flow, t_safe)?;
+    let op_calm = server.operating_point(calm, flow, warm_inlet)?;
+    println!(
+        "steady state: inlet {:.1}, die {:.1}, outlet {:.1} — TEGs harvesting {:.2} W",
+        warm_inlet,
+        op_calm.cpu_temperature,
+        op_calm.outlet,
+        TegModule::paper_module()
+            .max_power(op_calm.outlet - Celsius::new(20.0))
+            .value()
+    );
+
+    // A spike to 85 % load lands before the chilled loop can react
+    // (the chiller needs minutes; the spike needs seconds).
+    let spike = Utilization::new(0.85)?;
+    let op_spike = server.operating_point(spike, flow, warm_inlet)?;
+    println!(
+        "\nspike to {:.0}: die would reach {:.1} (limit {:.1}, T_safe {:.1})",
+        spike,
+        op_spike.cpu_temperature,
+        server.spec().max_operating,
+        t_safe
+    );
+
+    // The TEC steps in, pumping the overshoot off the die immediately.
+    let coupling = server.cold_plate().resistance(flow)?;
+    let action = controller.act(op_spike.cpu_temperature, t_safe, op_spike.outlet, coupling);
+    if action.target_met {
+        println!(
+            "TEC absorbs it: {:.1} A drive, pumping {:.1} W at {:.1} W input (COP {:.2})",
+            action.current.value(),
+            action.pumped.value(),
+            action.input_power.value(),
+            action.pumped.value() / action.input_power.value().max(1e-9)
+        );
+    } else {
+        println!(
+            "TEC saturates at {:.1} W pumped — the chilled loop must also react",
+            action.pumped.value()
+        );
+    }
+
+    // Meanwhile the next 5-minute control interval re-optimizes the
+    // cooling setting for the new load.
+    let space = LookupSpace::paper_grid(&server)?;
+    let optimizer = CoolingOptimizer::paper_default(&space);
+    let new_setting = optimizer.optimize(spike).expect("paper grid is feasible");
+    println!(
+        "\nnext interval: optimizer drops inlet to {:.1} at {:.0} (die {:.1}), TEGs fall to {:.2} W",
+        new_setting.setting.inlet,
+        new_setting.setting.flow,
+        new_setting.cpu_temperature,
+        new_setting.teg_power.value()
+    );
+    println!("\nthis is the paper's core trade: warm water maximizes harvest, the TEC");
+    println!("buys the seconds the chilled loop needs when load jumps.");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: simulate one hour of a small H2P cluster and print how
+//! much electricity the TEGs harvest.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use h2p::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A workload: 40 servers of the Google-like "Common" class, one
+    //    hour at the paper's 5-minute control interval.
+    let cluster = TraceGenerator::paper(TraceKind::Common, 42)
+        .with_servers(40)
+        .with_steps(12)
+        .generate();
+    println!(
+        "cluster: {} servers × {} intervals, mean utilization {:.1}",
+        cluster.servers(),
+        cluster.steps(),
+        cluster.overall_mean()
+    );
+
+    // 2. The H2P datacenter: calibrated Xeon E5-2650 V3 servers, 12 TEGs
+    //    per CPU at the coolant outlet, 20 °C natural cold water.
+    let sim = Simulator::paper_default()?;
+
+    // 3. Run both of the paper's policies.
+    for policy in [&Original as &dyn SchedulingPolicy, &LoadBalance] {
+        let result = sim.run(&cluster, policy)?;
+        println!(
+            "\n{}: avg {:.3} W/CPU, peak {:.3} W/CPU, PRE {:.1} %",
+            result.policy(),
+            result.average_teg_power().value(),
+            result.peak_teg_power().value(),
+            result.pre() * 100.0
+        );
+        let harvested = result.total_harvested().to_kilowatt_hours();
+        println!(
+            "  harvested {:.4} kWh across the cluster in {} minutes",
+            harvested.value(),
+            result.interval().to_minutes() * result.steps().len() as f64
+        );
+    }
+
+    // 4. What is that worth at datacenter scale?
+    let tco = TcoAnalysis::paper_default();
+    let lb = sim.run(&cluster, &LoadBalance)?;
+    println!(
+        "\nat 100,000 CPUs: ${:.0}/day revenue, TCO −{:.2} %, break-even {:.0} days",
+        tco.daily_revenue(lb.average_teg_power()).value(),
+        tco.reduction(lb.average_teg_power()) * 100.0,
+        tco.break_even(lb.average_teg_power()).to_days()
+    );
+    Ok(())
+}

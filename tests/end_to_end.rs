@@ -1,0 +1,151 @@
+//! End-to-end integration tests: trace generation → scheduling →
+//! cooling optimization → TEG accounting → metrics → TCO, exercised
+//! through the `h2p` facade exactly as a downstream user would.
+
+use h2p::prelude::*;
+
+fn small_cluster(kind: TraceKind, servers: usize, steps: usize) -> ClusterTrace {
+    TraceGenerator::paper(kind, 1234)
+        .with_servers(servers)
+        .with_steps(steps)
+        .generate()
+}
+
+#[test]
+fn full_pipeline_produces_consistent_report() {
+    let cluster = small_cluster(TraceKind::Irregular, 80, 48);
+    let sim = Simulator::paper_default().expect("simulator builds");
+    let result = sim.run(&cluster, &LoadBalance).expect("run succeeds");
+
+    assert_eq!(result.steps().len(), 48);
+    assert_eq!(result.servers(), 80);
+    assert_eq!(result.total_violations(), 0);
+
+    // Metrics consistency.
+    let avg = result.average_teg_power();
+    assert!(result.peak_teg_power() >= avg);
+    let pre = result.pre();
+    assert!(pre > 0.0 && pre < 1.0);
+    assert!(
+        (pre - avg.value() / result.average_cpu_power().value()).abs() < 1e-12,
+        "PRE must equal the power ratio"
+    );
+
+    // Feed the result into the TCO layer.
+    let tco = TcoAnalysis::paper_default();
+    let reduction = tco.reduction(avg);
+    assert!(reduction > 0.0 && reduction < 0.02, "reduction = {reduction}");
+    assert!(tco.break_even(avg).to_days() > 300.0);
+}
+
+#[test]
+fn policies_agree_on_cpu_power_but_not_generation() {
+    // Load balancing moves work around; it must not change total load
+    // (and hence Eq. 20's cluster power) materially, only generation.
+    let cluster = small_cluster(TraceKind::Drastic, 80, 36);
+    let sim = Simulator::paper_default().expect("simulator builds");
+    let orig = sim.run(&cluster, &Original).expect("run succeeds");
+    let lb = sim.run(&cluster, &LoadBalance).expect("run succeeds");
+
+    let cpu_rel = (orig.average_cpu_power().value() - lb.average_cpu_power().value()).abs()
+        / orig.average_cpu_power().value();
+    assert!(cpu_rel < 0.05, "CPU power diverged by {cpu_rel}");
+    assert!(lb.average_teg_power() > orig.average_teg_power());
+}
+
+#[test]
+fn bounded_migration_sits_between_policies() {
+    let cluster = small_cluster(TraceKind::Drastic, 80, 36);
+    let sim = Simulator::paper_default().expect("simulator builds");
+    let orig = sim
+        .run(&cluster, &Original)
+        .expect("run succeeds")
+        .average_teg_power();
+    let lb = sim
+        .run(&cluster, &LoadBalance)
+        .expect("run succeeds")
+        .average_teg_power();
+    let bounded = sim
+        .run(&cluster, &BoundedMigration::new(0.05))
+        .expect("run succeeds")
+        .average_teg_power();
+    assert!(
+        bounded >= orig - Watts::new(0.05) && bounded <= lb + Watts::new(0.05),
+        "orig {orig}, bounded {bounded}, lb {lb}"
+    );
+}
+
+#[test]
+fn seasonal_cold_source_modulates_generation() {
+    use h2p::core::simulation::{SimulationConfig, Simulator};
+    use h2p::hydraulics::ColdSource;
+
+    let cluster = small_cluster(TraceKind::Common, 40, 24);
+    let model = ServerModel::paper_default();
+
+    let run_at = |cold: f64| {
+        let mut cfg = SimulationConfig::paper_default();
+        cfg.cold_source = ColdSource::Constant(Celsius::new(cold));
+        Simulator::new(&model, cfg)
+            .expect("builds")
+            .run(&cluster, &LoadBalance)
+            .expect("runs")
+            .average_teg_power()
+    };
+    let cold = run_at(15.0);
+    let warm = run_at(25.0);
+    assert!(cold > warm, "colder source must out-generate: {cold} vs {warm}");
+}
+
+#[test]
+fn harvested_energy_feeds_storage_sensibly() {
+    let cluster = small_cluster(TraceKind::Common, 40, 48);
+    let sim = Simulator::paper_default().expect("simulator builds");
+    let run = sim.run(&cluster, &LoadBalance).expect("run succeeds");
+
+    let mut buffer = HybridBuffer::paper_default();
+    let interval = run.interval();
+    let mut offered = Joules::zero();
+    for step in run.steps() {
+        offered += buffer.offer(step.teg_power_per_server, interval);
+    }
+    assert!(offered.value() > 0.0);
+    // Stored energy never exceeds what was offered.
+    assert!(buffer.stored() <= offered);
+    // And discharging returns a sane fraction.
+    let back = buffer.demand(Watts::new(100.0), Seconds::hours(10.0));
+    assert!(back.value() > 0.85 * buffer.stored().value() || back.value() > 0.0);
+}
+
+#[test]
+fn circulation_design_consistent_with_simulator_sizing() {
+    // The design study's optimum must be a size the simulator accepts.
+    let design = CirculationDesign::paper_default().expect("valid constants");
+    let best = design.optimal(&[5, 10, 20, 25, 40, 50, 100]);
+    let cluster = small_cluster(TraceKind::Common, best.servers_per_circulation, 12);
+    let mut cfg = h2p::core::simulation::SimulationConfig::paper_default();
+    cfg.servers_per_circulation = best.servers_per_circulation;
+    let sim = h2p::core::simulation::Simulator::new(&ServerModel::paper_default(), cfg)
+        .expect("builds");
+    let r = sim.run(&cluster, &LoadBalance).expect("runs");
+    assert_eq!(r.total_violations(), 0);
+}
+
+#[test]
+fn ere_improves_with_h2p_reuse() {
+    use h2p::core::metrics::EnergyBreakdown;
+
+    let cluster = small_cluster(TraceKind::Common, 40, 24);
+    let sim = Simulator::paper_default().expect("simulator builds");
+    let run = sim.run(&cluster, &LoadBalance).expect("run succeeds");
+
+    let it = run.average_cpu_power() * run.servers() as f64;
+    let breakdown = EnergyBreakdown {
+        it,
+        cooling: it * 0.2,
+        power: it * 0.08,
+        lighting: it * 0.01,
+        reuse: run.average_teg_power() * run.servers() as f64,
+    };
+    assert!(breakdown.ere() < breakdown.pue());
+}

@@ -1,0 +1,147 @@
+//! Integration tests of the extension subsystems working together:
+//! the escalation ladder (setting → TEC → throttle), power
+//! conditioning, buffer dispatch over simulated series, facility
+//! coupling and reliability-adjusted economics.
+
+use h2p::cooling::hybrid::HotSpotController;
+use h2p::core::facility::FacilityLoop;
+use h2p::prelude::*;
+use h2p::teg::converter::{BoostConverter, MpptTracker};
+use h2p::teg::reliability::ModuleReliability;
+
+#[test]
+fn escalation_ladder_always_ends_safe() {
+    // For a sweep of sudden loads arriving at the warm operating point:
+    // 1. if the new die temperature is safe, nothing to do;
+    // 2. else if the TEC can pump the overshoot, it does;
+    // 3. else the throttle cuts load until the hard limit holds.
+    let server = ServerModel::paper_default();
+    let tec = HotSpotController::default();
+    let throttle = ThrottleController::at_max_operating();
+    let t_safe = Celsius::new(62.0);
+    let flow = LitersPerHour::new(60.0);
+    let inlet = server
+        .max_safe_inlet(Utilization::new(0.15).unwrap(), flow, t_safe)
+        .unwrap();
+    let coupling = server.cold_plate().resistance(flow).unwrap();
+
+    for spike in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let u = Utilization::new(spike).unwrap();
+        let op = server.operating_point(u, flow, inlet).unwrap();
+        if op.cpu_temperature <= t_safe {
+            continue; // rung 1
+        }
+        let action = tec.act(op.cpu_temperature, t_safe, op.outlet, coupling);
+        if action.target_met {
+            continue; // rung 2
+        }
+        // rung 3: throttle to the hard envelope.
+        let decision = throttle.throttle(&server, u, flow, inlet).unwrap();
+        let final_op = server
+            .operating_point(decision.admitted, flow, inlet)
+            .unwrap();
+        assert!(
+            final_op.cpu_temperature <= throttle.limit() + DegC::new(1e-6),
+            "spike {spike}: ladder failed at {}",
+            final_op.cpu_temperature
+        );
+    }
+}
+
+#[test]
+fn conditioned_harvest_close_to_reported() {
+    // Chain the simulator's reported available power through MPPT + boost:
+    // the delivered power stays within the conditioning budget (~90 %).
+    let cluster = TraceGenerator::paper(TraceKind::Common, 77)
+        .with_servers(40)
+        .with_steps(12)
+        .generate();
+    let sim = Simulator::paper_default().unwrap();
+    let run = sim.run(&cluster, &LoadBalance).unwrap();
+    let module = TegModule::paper_module();
+    let converter = BoostConverter::typical_harvester();
+    // Reconstruct the mean ΔT from the reported mean outlet.
+    let mean_outlet: f64 = run
+        .steps()
+        .iter()
+        .map(|s| s.mean_outlet.value())
+        .sum::<f64>()
+        / run.steps().len() as f64;
+    let dt = DegC::new(mean_outlet - 20.0);
+    let mut tracker = MpptTracker::new(&module).unwrap();
+    let tracked = tracker.settle(&module, dt, 300).unwrap();
+    let v_in = module.open_circuit_voltage(dt) * 0.5;
+    let delivered = converter.output(tracked, v_in);
+    let available = module.max_power(dt);
+    assert!(delivered.value() > 0.85 * available.value());
+    assert!(delivered <= available);
+    // And the reconstructed available power matches the simulator's
+    // reported average within the utilization spread.
+    assert!((available.value() - run.average_teg_power().value()).abs() < 0.7);
+}
+
+#[test]
+fn dispatch_over_simulated_series_covers_steady_lighting() {
+    use h2p::storage::dispatch::greedy_dispatch;
+
+    let cluster = TraceGenerator::paper(TraceKind::Drastic, 5)
+        .with_servers(80)
+        .generate();
+    let sim = Simulator::paper_default().unwrap();
+    let run = sim.run(&cluster, &Original).unwrap();
+    let generation: Vec<Watts> = run.steps().iter().map(|s| s.teg_power_per_server).collect();
+    // A steady lighting load at 90 % of the mean harvest.
+    let demand_level = run.average_teg_power() * 0.9;
+    let demand = vec![demand_level; generation.len()];
+    let mut buffer = HybridBuffer::paper_default();
+    let plan = greedy_dispatch(&mut buffer, &generation, &demand, run.interval()).unwrap();
+    assert!(plan.coverage() > 0.97, "coverage {}", plan.coverage());
+    assert!(plan.utilization() > 0.9, "utilization {}", plan.utilization());
+}
+
+#[test]
+fn simulator_setpoints_are_facility_feasible() {
+    // Every inlet set-point the optimizer chose during a run must be
+    // holdable by the CDU against tower-cooled facility water.
+    let cluster = TraceGenerator::paper(TraceKind::Irregular, 13)
+        .with_servers(40)
+        .with_steps(48)
+        .generate();
+    let sim = Simulator::paper_default().unwrap();
+    let run = sim.run(&cluster, &LoadBalance).unwrap();
+    let facility = FacilityLoop::paper_default();
+    for step in run.steps() {
+        let tcs_flow = LitersPerHour::new(40.0 * 60.0);
+        let feasible = facility
+            .holds_setpoint(step.mean_inlet, step.mean_outlet.max(step.mean_inlet), tcs_flow)
+            .unwrap();
+        assert!(feasible, "setpoint {} infeasible", step.mean_inlet);
+    }
+}
+
+#[test]
+fn reliability_adjusted_economics_still_close() {
+    // Price the expected output decay into the paper's headline: with
+    // bypass wiring the 920-day payback moves by under 5 %.
+    let tco = TcoAnalysis::paper_default();
+    let nominal = tco.break_even(Watts::new(4.177)).to_days();
+    let stretch = ModuleReliability::paper_default().break_even_stretch(nominal);
+    assert!(stretch < 1.05, "stretch {stretch}");
+    let adjusted = nominal * stretch;
+    assert!((900.0..=1000.0).contains(&adjusted), "adjusted {adjusted}");
+}
+
+#[test]
+fn consolidation_hurts_h2p_end_to_end() {
+    let cluster = TraceGenerator::paper(TraceKind::Common, 21)
+        .with_servers(80)
+        .with_steps(24)
+        .generate();
+    let dc = Datacenter::paper_default().unwrap();
+    let packed = dc.evaluate(&cluster, &Consolidate).unwrap();
+    let spread = dc.evaluate(&cluster, &Original).unwrap();
+    let balanced = dc.evaluate(&cluster, &LoadBalance).unwrap();
+    assert!(packed.average_generation < spread.average_generation);
+    assert!(spread.average_generation < balanced.average_generation);
+    assert!(packed.tco_reduction < balanced.tco_reduction);
+}

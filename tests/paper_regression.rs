@@ -1,0 +1,143 @@
+//! Paper-number regression bands: every headline quantity of the paper
+//! must reproduce within a documented tolerance at reduced scale (the
+//! full-scale numbers are recorded in EXPERIMENTS.md).
+//!
+//! Tolerances are deliberately loose enough to survive generator
+//! re-seeding but tight enough that a calibration regression (wrong
+//! coefficient, broken optimizer) trips them.
+
+use h2p_bench::run_paper_traces;
+use h2p_tco::TcoAnalysis;
+use h2p_units::Watts;
+
+/// Runs once at 10 % of paper scale (131/100/100 servers).
+fn runs() -> Vec<h2p_bench::TraceRunSummary> {
+    run_paper_traces(0.1)
+}
+
+#[test]
+fn fig14_policy_averages_in_band() {
+    let runs = runs();
+    let mean = |policy: &str| {
+        let vals: Vec<f64> = runs
+            .iter()
+            .filter(|r| r.policy == policy)
+            .map(|r| r.result.average_teg_power().value())
+            .collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    let orig = mean("TEG_Original");
+    let lb = mean("TEG_LoadBalance");
+    // Paper: 3.694 W and 4.177 W. Accept ±12 %.
+    assert!((3.25..=4.14).contains(&orig), "original mean {orig}");
+    assert!((3.68..=4.68).contains(&lb), "loadbalance mean {lb}");
+    // Paper improvement: 13.08 %. Accept 8-22 %.
+    let improvement = lb / orig - 1.0;
+    assert!(
+        (0.08..=0.22).contains(&improvement),
+        "improvement {improvement}"
+    );
+}
+
+#[test]
+fn fig14_per_trace_orderings_match_paper() {
+    let runs = runs();
+    let get = |kind: &str, policy: &str| {
+        runs.iter()
+            .find(|r| r.kind.name() == kind && r.policy == policy)
+            .expect("all six runs present")
+            .result
+            .average_teg_power()
+            .value()
+    };
+    // LoadBalance ordering: drastic > irregular > common (paper
+    // 4.349 > 4.203 > 3.979).
+    assert!(get("drastic", "TEG_LoadBalance") > get("irregular", "TEG_LoadBalance"));
+    assert!(get("irregular", "TEG_LoadBalance") > get("common", "TEG_LoadBalance"));
+    // Common is the weakest class under both policies (paper: 3.586 and
+    // 3.979 are the per-policy minima).
+    for policy in ["TEG_Original", "TEG_LoadBalance"] {
+        assert!(get("common", policy) <= get("drastic", policy));
+        assert!(get("common", policy) <= get("irregular", policy));
+    }
+    // Load balancing wins on every trace.
+    for kind in ["drastic", "irregular", "common"] {
+        assert!(get(kind, "TEG_LoadBalance") > get(kind, "TEG_Original"));
+    }
+}
+
+#[test]
+fn fig15_pre_band() {
+    let runs = runs();
+    for r in &runs {
+        let pre = r.result.pre();
+        // Paper band 11.9-16.2 %; our calibration sits at 8-15 %
+        // (documented divergence: the paper's Fig. 14 and Fig. 15 are
+        // mutually over-constrained — see EXPERIMENTS.md).
+        assert!(
+            (0.07..=0.20).contains(&pre),
+            "{}/{}: PRE {pre}",
+            r.kind.name(),
+            r.policy
+        );
+    }
+    // Balancing improves PRE on every trace (the Fig. 15 ordering).
+    for kind in ["drastic", "irregular", "common"] {
+        let get = |policy: &str| {
+            runs.iter()
+                .find(|r| r.kind.name() == kind && r.policy == policy)
+                .expect("present")
+                .result
+                .pre()
+        };
+        assert!(get("TEG_LoadBalance") > get("TEG_Original"), "{kind}");
+    }
+}
+
+#[test]
+fn no_thermal_violations_at_scale() {
+    for r in runs() {
+        assert_eq!(
+            r.result.total_violations(),
+            0,
+            "{}/{}",
+            r.kind.name(),
+            r.policy
+        );
+    }
+}
+
+#[test]
+fn tco_headlines_from_simulated_averages() {
+    let runs = runs();
+    let tco = TcoAnalysis::paper_default();
+    let lb_mean: f64 = {
+        let vals: Vec<f64> = runs
+            .iter()
+            .filter(|r| r.policy == "TEG_LoadBalance")
+            .map(|r| r.result.average_teg_power().value())
+            .collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    let reduction = tco.reduction(Watts::new(lb_mean));
+    // Paper: up to 0.57 %. Accept 0.4-0.8 %.
+    assert!(
+        (0.004..=0.008).contains(&reduction),
+        "reduction {reduction}"
+    );
+    let be = tco.break_even(Watts::new(lb_mean)).to_days();
+    // Paper: 920 days. Accept 700-1100.
+    assert!((700.0..=1100.0).contains(&be), "break-even {be}");
+}
+
+#[test]
+fn exact_paper_numbers_from_published_averages() {
+    // Independent of our simulation: plugging the paper's own published
+    // averages into the TCO layer must reproduce its Sec. V-D numbers
+    // exactly.
+    let tco = TcoAnalysis::paper_default();
+    assert!((tco.reduction(Watts::new(4.177)) - 0.0057).abs() < 3e-4);
+    assert!((tco.reduction(Watts::new(3.694)) - 0.0049).abs() < 3e-4);
+    assert!((tco.break_even(Watts::new(4.177)).to_days() - 920.0).abs() < 2.0);
+    assert!((tco.daily_generation_kwh(Watts::new(4.177)) - 10_024.8).abs() < 0.1);
+}

@@ -1,0 +1,204 @@
+//! Cross-crate property-based tests (proptest): invariants that must
+//! hold for arbitrary inputs, not just the calibrated operating points.
+
+use h2p::prelude::*;
+use h2p::server::LookupSpace;
+use h2p::stats::{order_stats, Normal};
+use proptest::prelude::*;
+
+fn utilization() -> impl Strategy<Value = Utilization> {
+    (0.0..=1.0f64).prop_map(|v| Utilization::new(v).expect("in range"))
+}
+
+fn loads(max_len: usize) -> impl Strategy<Value = Vec<Utilization>> {
+    proptest::collection::vec(utilization(), 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scheduling_conserves_total_load(ls in loads(64), step in 0.0..=1.0f64) {
+        let total: f64 = ls.iter().map(|u| u.value()).sum();
+        for policy in [
+            &Original as &dyn SchedulingPolicy,
+            &LoadBalance,
+            &BoundedMigration::new(step),
+        ] {
+            let out = policy.schedule(&ls);
+            let new_total: f64 = out.iter().map(|u| u.value()).sum();
+            prop_assert!((new_total - total).abs() < 1e-6, "{}", policy.name());
+            for u in &out {
+                prop_assert!((0.0..=1.0).contains(&u.value()));
+            }
+        }
+    }
+
+    #[test]
+    fn scheduling_never_raises_the_peak(ls in loads(64)) {
+        let peak = Utilization::max_of(&ls);
+        for policy in [&Original as &dyn SchedulingPolicy, &LoadBalance] {
+            let out = policy.schedule(&ls);
+            prop_assert!(Utilization::max_of(&out) <= peak);
+        }
+        let out = BoundedMigration::new(0.2).schedule(&ls);
+        prop_assert!(Utilization::max_of(&out) <= peak);
+    }
+
+    #[test]
+    fn control_plane_ordering(ls in loads(64)) {
+        // U_avg <= U_max always: balancing can only admit warmer water.
+        let avg = LoadBalance.control_utilization(&ls);
+        let max = Original.control_utilization(&ls);
+        prop_assert!(avg <= max);
+    }
+
+    #[test]
+    fn teg_power_monotone_in_dt(a in 0.0..60.0f64, b in 0.0..60.0f64) {
+        let module = TegModule::paper_module();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            module.max_power(DegC::new(lo)) <= module.max_power(DegC::new(hi))
+        );
+    }
+
+    #[test]
+    fn teg_matched_load_is_global_optimum(dt in 1.0..50.0f64, factor in 0.05..20.0f64) {
+        let module = TegModule::paper_module();
+        let matched = module
+            .power_into_load(DegC::new(dt), module.optimal_load())
+            .expect("positive load");
+        let other = module
+            .power_into_load(DegC::new(dt), module.optimal_load() * factor)
+            .expect("positive load");
+        prop_assert!(other <= matched + Watts::new(1e-12));
+    }
+
+    #[test]
+    fn operating_point_physical_ordering(
+        u in utilization(),
+        flow in 10.0..400.0f64,
+        inlet in 15.0..60.0f64,
+    ) {
+        let server = ServerModel::paper_default();
+        let op = server
+            .operating_point(u, LitersPerHour::new(flow), Celsius::new(inlet))
+            .expect("stable for calibrated model");
+        // Die >= outlet >= inlet: heat flows downhill.
+        prop_assert!(op.cpu_temperature >= op.outlet - DegC::new(1e-9));
+        prop_assert!(op.outlet.value() >= inlet - 1e-9);
+        prop_assert!(op.cpu_power.value() > 0.0);
+    }
+
+    #[test]
+    fn operating_point_monotone_in_utilization(
+        flow in 10.0..400.0f64,
+        inlet in 15.0..60.0f64,
+        a in 0.0..=1.0f64,
+        b in 0.0..=1.0f64,
+    ) {
+        let server = ServerModel::paper_default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let t = |x: f64| {
+            server
+                .operating_point(
+                    Utilization::new(x).expect("in range"),
+                    LitersPerHour::new(flow),
+                    Celsius::new(inlet),
+                )
+                .expect("stable")
+                .cpu_temperature
+        };
+        prop_assert!(t(lo) <= t(hi) + DegC::new(1e-9));
+    }
+
+    #[test]
+    fn lookup_interpolation_brackets_model(
+        u in 0.01..0.99f64,
+        flow in 21.0..249.0f64,
+        inlet in 21.0..59.0f64,
+    ) {
+        // Trilinear interpolation of a smooth monotone field stays close
+        // to the model everywhere on the grid interior.
+        let model = ServerModel::paper_default();
+        let space = LookupSpace::paper_grid(&model).expect("builds");
+        let uu = Utilization::new(u).expect("in range");
+        let approx = space
+            .cpu_temperature(uu, LitersPerHour::new(flow), Celsius::new(inlet))
+            .expect("inside grid")
+            .value();
+        let exact = model
+            .operating_point(uu, LitersPerHour::new(flow), Celsius::new(inlet))
+            .expect("stable")
+            .cpu_temperature
+            .value();
+        prop_assert!((approx - exact).abs() < 1.0, "{approx} vs {exact}");
+    }
+
+    #[test]
+    fn expected_max_bounds(mu in -50.0..80.0f64, sigma in 0.1..10.0f64, n in 1usize..500) {
+        let dist = Normal::new(mu, sigma).expect("valid");
+        let e = order_stats::expected_max(dist, n);
+        prop_assert!(e >= mu - 1e-6);
+        prop_assert!(e <= order_stats::expected_max_upper_bound(dist, n) + 1e-6);
+    }
+
+    #[test]
+    fn buffer_never_creates_energy(
+        offers in proptest::collection::vec(0.0..50.0f64, 1..20),
+    ) {
+        let mut buffer = HybridBuffer::paper_default();
+        let dt = Seconds::minutes(5.0);
+        let mut offered = Joules::zero();
+        for o in offers {
+            offered += buffer.offer(Watts::new(o), dt);
+        }
+        let mut recovered = Joules::zero();
+        for _ in 0..200 {
+            recovered += buffer.demand(Watts::new(70.0), dt);
+        }
+        prop_assert!(recovered <= offered + Joules::new(1e-9));
+        prop_assert!(buffer.stored().value() < 1.0, "buffer should be drained");
+    }
+
+    #[test]
+    fn chiller_energy_non_negative_and_linear(
+        depression in -5.0..20.0f64,
+        flow in 1.0..10_000.0f64,
+        hours in 0.1..100.0f64,
+    ) {
+        let chiller = Chiller::paper_default();
+        let e = chiller.energy_for_supply_depression(
+            DegC::new(depression),
+            LitersPerHour::new(flow),
+            Seconds::hours(hours),
+        );
+        prop_assert!(e.value() >= 0.0);
+        if depression > 0.0 {
+            let doubled = chiller.energy_for_supply_depression(
+                DegC::new(depression * 2.0),
+                LitersPerHour::new(flow),
+                Seconds::hours(hours),
+            );
+            prop_assert!((doubled.value() - 2.0 * e.value()).abs() < 1e-6 * doubled.value().max(1.0));
+        }
+    }
+}
+
+proptest! {
+    // The optimizer search is heavier; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn optimizer_never_violates_safety(u in utilization()) {
+        let space = LookupSpace::paper_grid(&ServerModel::paper_default()).expect("builds");
+        let optimizer = CoolingOptimizer::paper_default(&space);
+        let best = optimizer.optimize(u).expect("paper grid is feasible");
+        prop_assert!(
+            best.cpu_temperature <= optimizer.t_safe() + DegC::new(1.0 + 1e-9),
+            "u = {u}: die {}",
+            best.cpu_temperature
+        );
+        prop_assert!(best.teg_power.value() >= 0.0);
+    }
+}
