@@ -1,5 +1,15 @@
 //! Flow-network solver performance (the hydraulic feasibility check).
 
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use h2p_hydraulics::Circulation;
 use h2p_units::LitersPerHour;

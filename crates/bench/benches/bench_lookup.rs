@@ -1,6 +1,16 @@
 //! Lookup-space query performance: trilinear interpolation and the
 //! Step 2/3 safety-band slice.
 
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use h2p_server::{LookupSpace, ServerModel};
 use h2p_units::{Celsius, DegC, LitersPerHour, Utilization};

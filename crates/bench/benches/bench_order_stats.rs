@@ -1,6 +1,16 @@
 //! Order-statistics quadrature cost (the Sec. V-A design study's inner
 //! loop).
 
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use h2p_stats::{order_stats, Normal};
 use std::hint::black_box;

@@ -1,5 +1,15 @@
 //! Virtual-prototype campaign performance (the Sec. IV reproductions).
 
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use h2p_core::prototype;
 use std::hint::black_box;
@@ -12,7 +22,9 @@ fn bench_prototype(c: &mut Criterion) {
         let utils: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
         let flows = [20.0, 50.0, 100.0, 150.0, 200.0, 250.0];
         let inlets = [30.0, 35.0, 40.0, 45.0];
-        b.iter(|| prototype::fig9_outlet_campaign(black_box(&utils), &flows, &inlets))
+        b.iter(|| {
+            prototype::fig9_outlet_campaign(black_box(&utils), &flows, &inlets).expect("valid grid")
+        })
     });
 }
 

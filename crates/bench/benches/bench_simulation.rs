@@ -1,6 +1,16 @@
 //! End-to-end simulation throughput: one circulation-interval of the
 //! Fig. 14 engine, and a small full run.
 
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use h2p_core::simulation::Simulator;
 use h2p_sched::{LoadBalance, Original};

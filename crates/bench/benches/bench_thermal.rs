@@ -1,6 +1,16 @@
 //! Thermal-network solver performance: steady-state solve and transient
 //! stepping of the Fig. 3 prototype network.
 
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use h2p_thermal::network::ThermalNetwork;
 use h2p_units::{Celsius, Seconds, Watts};

@@ -1,5 +1,15 @@
 //! Synthetic-trace generation throughput.
 
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use h2p_workload::{TraceGenerator, TraceKind};
 use std::hint::black_box;

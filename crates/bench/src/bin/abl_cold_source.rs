@@ -2,6 +2,16 @@
 //! natural water (Sec. III-C); this sweep shows how generation scales if
 //! the source runs colder (deep lake) or warmer (summer river).
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table, EXPERIMENT_SEED};
 use h2p_core::simulation::{SimulationConfig, Simulator};
 use h2p_hydraulics::ColdSource;

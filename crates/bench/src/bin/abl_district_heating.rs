@@ -1,6 +1,16 @@
 //! Ablation — H2P versus district heating (paper Sec. II-C): net annual
 //! benefit per server as the heating season shortens.
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table};
 use h2p_tco::alternatives::{compare, DistrictHeating};
 use h2p_units::{Dollars, Watts};
@@ -18,7 +28,13 @@ fn main() {
             demand_months: months,
             ..DistrictHeating::northern_europe()
         };
-        let c = compare(&dhs, teg_power, teg_capex_per_year, electricity, server_heat);
+        let c = compare(
+            &dhs,
+            teg_power,
+            teg_capex_per_year,
+            electricity,
+            server_heat,
+        );
         rows.push(vec![
             format!("{months:.0}"),
             format!("{:.2}", c.teg_net.value()),

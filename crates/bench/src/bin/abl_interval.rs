@@ -6,6 +6,16 @@
 //! linger too cold after a spike passes) against safety margin
 //! (settings linger too warm when a spike arrives).
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table, EXPERIMENT_SEED};
 use h2p_cooling::CoolingOptimizer;
 use h2p_sched::{Original, SchedulingPolicy};

@@ -2,6 +2,16 @@
 //! proportionality packing) vs Original vs budget-capped migration vs
 //! perfect balancing, on the same traces.
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table, EXPERIMENT_SEED};
 use h2p_core::simulation::Simulator;
 use h2p_sched::{BoundedMigration, Consolidate, LoadBalance, Original, SchedulingPolicy};

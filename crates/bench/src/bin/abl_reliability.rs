@@ -1,6 +1,16 @@
 //! Ablation — module wiring and fleet-output decay (the reliability
 //! caveat to Sec. V-D's 25-year amortization).
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table};
 use h2p_teg::reliability::ModuleReliability;
 

@@ -4,6 +4,16 @@
 //! off-peak surplus. A hybrid super-capacitor + battery buffer recovers
 //! most of it; this experiment quantifies the delivered fraction.
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table, run_paper_traces};
 use h2p_storage::HybridBuffer;
 use h2p_units::Joules;

@@ -1,6 +1,16 @@
 //! Fig. 3 — "TEG can hardly conduct heat": transient of a two-CPU server
 //! where CPU0 has a TEG sandwiched between die and cold plate.
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table};
 use h2p_core::prototype::fig3_teg_conductance;
 

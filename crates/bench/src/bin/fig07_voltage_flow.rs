@@ -1,6 +1,16 @@
 //! Fig. 7 — open-circuit voltage of 6 series TEGs versus coolant ΔT at
 //! several flow rates.
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table};
 use h2p_core::prototype::fig7_voltage_campaign;
 
@@ -23,7 +33,10 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table(&["ΔT °C", "100 L/H", "150 L/H", "200 L/H", "250 L/H"], &rows);
+    print_table(
+        &["ΔT °C", "100 L/H", "150 L/H", "200 L/H", "250 L/H"],
+        &rows,
+    );
     println!("\npaper: voltage increases linearly with ΔT; larger flow → slightly higher voltage");
 
     let v25_200 = points

@@ -1,13 +1,23 @@
 //! Fig. 8 — (a) open-circuit voltage and (b) maximum output power versus
 //! coolant ΔT for different series counts (flow fixed at 200 L/H).
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table};
 use h2p_core::prototype::fig8_series_campaign;
 
 fn main() {
     let counts = [1usize, 3, 6, 9, 12];
     let dts: Vec<f64> = (0..=25).step_by(5).map(|i| i as f64).collect();
-    let points = fig8_series_campaign(&counts, &dts);
+    let points = fig8_series_campaign(&counts, &dts).expect("paper grid is valid");
     let at = |n: usize, dt: f64| {
         points
             .iter()
@@ -21,7 +31,11 @@ fn main() {
         .iter()
         .map(|&dt| {
             let mut row = vec![format!("{dt:.0}")];
-            row.extend(counts.iter().map(|&n| format!("{:.3}", at(n, dt).voltage.value())));
+            row.extend(
+                counts
+                    .iter()
+                    .map(|&n| format!("{:.3}", at(n, dt).voltage.value())),
+            );
             row
         })
         .collect();
@@ -32,7 +46,11 @@ fn main() {
         .iter()
         .map(|&dt| {
             let mut row = vec![format!("{dt:.0}")];
-            row.extend(counts.iter().map(|&n| format!("{:.4}", at(n, dt).power.value())));
+            row.extend(
+                counts
+                    .iter()
+                    .map(|&n| format!("{:.4}", at(n, dt).power.value())),
+            );
             row
         })
         .collect();

@@ -2,6 +2,16 @@
 //! (a) versus utilization and flow (averaged over inlets),
 //! (b) versus utilization and inlet temperature (flow 20 L/H).
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table};
 use h2p_core::prototype::fig9_outlet_campaign;
 
@@ -9,14 +19,12 @@ fn main() {
     let utils: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
     let flows = [20.0, 50.0, 100.0, 150.0, 200.0, 250.0];
     let inlets = [30.0, 35.0, 40.0, 45.0];
-    let points = fig9_outlet_campaign(&utils, &flows, &inlets);
+    let points = fig9_outlet_campaign(&utils, &flows, &inlets).expect("paper grid is valid");
 
     let mean_delta = |u: f64, f: f64| {
         let vals: Vec<f64> = points
             .iter()
-            .filter(|p| {
-                (p.utilization.value() - u).abs() < 1e-9 && p.flow.value() == f
-            })
+            .filter(|p| (p.utilization.value() - u).abs() < 1e-9 && p.flow.value() == f)
             .map(|p| p.delta_out_in.value())
             .collect();
         vals.iter().sum::<f64>() / vals.len() as f64

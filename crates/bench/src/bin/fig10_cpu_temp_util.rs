@@ -1,13 +1,23 @@
 //! Fig. 10 — CPU temperature and frequency versus utilization at several
 //! coolant temperatures (powersave governor, flow 20 L/H).
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table};
 use h2p_core::prototype::fig10_cpu_temperature_campaign;
 
 fn main() {
     let utils: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
     let coolants = [30.0, 35.0, 40.0, 45.0];
-    let points = fig10_cpu_temperature_campaign(&utils, &coolants);
+    let points = fig10_cpu_temperature_campaign(&utils, &coolants).expect("paper grid is valid");
     let at = |u: f64, c: f64| {
         points
             .iter()
@@ -19,7 +29,11 @@ fn main() {
     let mut rows = Vec::new();
     for &u in &utils {
         let mut row = vec![format!("{:.0}", u * 100.0)];
-        row.extend(coolants.iter().map(|&c| format!("{:.1}", at(u, c).cpu_temperature.value())));
+        row.extend(
+            coolants
+                .iter()
+                .map(|&c| format!("{:.1}", at(u, c).cpu_temperature.value())),
+        );
         row.push(format!("{:.2}", at(u, coolants[0]).frequency.value()));
         rows.push(row);
     }

@@ -1,6 +1,16 @@
 //! Fig. 11 — CPU temperature versus coolant temperature at several flow
 //! rates (utilization 100 %); reports the fitted slopes k.
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table};
 use h2p_core::prototype::fig11_cpu_temperature_campaign;
 use h2p_stats::fit::linear_fit;
@@ -8,7 +18,7 @@ use h2p_stats::fit::linear_fit;
 fn main() {
     let flows = [20.0, 50.0, 100.0, 150.0, 200.0, 250.0];
     let coolants: Vec<f64> = (20..=50).step_by(5).map(|v| v as f64).collect();
-    let points = fig11_cpu_temperature_campaign(&flows, &coolants);
+    let points = fig11_cpu_temperature_campaign(&flows, &coolants).expect("paper grid is valid");
 
     println!("Fig. 11 — T_CPU (°C) vs coolant temperature per flow (u = 100 %)\n");
     let mut rows = Vec::new();

@@ -4,6 +4,16 @@
 //! Runs at full paper scale (1,313 / 1,000 / 1,000 servers). Pass
 //! `--scale 0.1` for a quick run.
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table, run_paper_traces};
 
 fn scale_arg() -> f64 {
@@ -65,7 +75,14 @@ fn main() {
         }));
     }
     print_table(
-        &["trace", "policy", "avg W", "paper avg W", "peak W", "paper peak W"],
+        &[
+            "trace",
+            "policy",
+            "avg W",
+            "paper avg W",
+            "peak W",
+            "paper peak W",
+        ],
         &rows,
     );
 

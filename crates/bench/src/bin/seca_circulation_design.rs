@@ -1,12 +1,24 @@
 //! Sec. V-A — water-circulation design study: total cost (chiller energy
 //! + chiller capital, Eq. 12) versus servers per circulation.
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table};
 use h2p_core::circulation::CirculationDesign;
 
 fn main() {
     let design = CirculationDesign::paper_default().expect("paper constants are valid");
-    let candidates: Vec<usize> = vec![1, 2, 4, 5, 8, 10, 20, 25, 40, 50, 100, 125, 200, 250, 500, 1000];
+    let candidates: Vec<usize> = vec![
+        1, 2, 4, 5, 8, 10, 20, 25, 40, 50, 100, 125, 200, 250, 500, 1000,
+    ];
 
     println!("Sec. V-A — circulation design (1,000 servers, T ~ N(55, 4²) °C, T_safe = 62 °C)\n");
     let points = design.sweep(&candidates);

@@ -1,6 +1,16 @@
 //! Sensitivity of the TCO headline to its externalities: electricity
 //! price, TEG unit cost and amortization lifespan.
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table};
 use h2p_tco::sensitivity::{
     break_even_electricity_price, electricity_price_sweep, lifespan_sweep, teg_cost_sweep,
@@ -30,7 +40,10 @@ fn main() {
                 ]
             })
             .collect();
-    print_table(&["$/kWh", "TCO red. %", "break-even d", "savings $/yr"], &rows);
+    print_table(
+        &["$/kWh", "TCO red. %", "break-even d", "savings $/yr"],
+        &rows,
+    );
 
     println!("\nSensitivity — TEG unit cost ($)\n");
     let rows: Vec<Vec<String>> = teg_cost_sweep(&tco, power, &[0.5, 1.0, 2.0, 5.0])
@@ -60,6 +73,9 @@ fn main() {
     print_table(&["years", "TCO red. %"], &rows);
 
     let floor = break_even_electricity_price(&tco, power);
-    println!("\nH2P is a net win above {:.4} $/kWh — an order of magnitude", floor.value());
+    println!(
+        "\nH2P is a net win above {:.4} $/kWh — an order of magnitude",
+        floor.value()
+    );
     println!("below the paper's 13 ¢/kWh assumption, so the sign of the result is robust");
 }

@@ -1,6 +1,16 @@
 //! Table I + Sec. V-D — total cost of ownership with and without H2P,
 //! break-even point, and annual savings for a 100,000-CPU cluster.
 
+// Experiment harness: exact comparisons against the constants that
+// built the sample grid are intentional, as are small-int casts.
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use h2p_bench::{emit_json, print_table};
 use h2p_tco::TcoAnalysis;
 use h2p_units::Watts;
@@ -17,9 +27,15 @@ fn main() {
     print_table(
         &["parameter", "value"],
         &[
-            vec!["DCInfraCapEx".into(), format!("{:.2}", p.dc_infra_capex.value())],
+            vec![
+                "DCInfraCapEx".into(),
+                format!("{:.2}", p.dc_infra_capex.value()),
+            ],
             vec!["ServCapEx".into(), format!("{:.2}", p.server_capex.value())],
-            vec!["DCInfraOpEx".into(), format!("{:.2}", p.dc_infra_opex.value())],
+            vec![
+                "DCInfraOpEx".into(),
+                format!("{:.2}", p.dc_infra_opex.value()),
+            ],
             vec!["ServOpEx".into(), format!("{:.2}", p.server_opex.value())],
             vec![
                 "TEGCapEx".into(),
@@ -27,11 +43,17 @@ fn main() {
             ],
             vec![
                 "TEGRev (Original)".into(),
-                format!("{:.2}", tco.teg_revenue_per_server_month(policies[0].1).value()),
+                format!(
+                    "{:.2}",
+                    tco.teg_revenue_per_server_month(policies[0].1).value()
+                ),
             ],
             vec![
                 "TEGRev (LoadBalance)".into(),
-                format!("{:.2}", tco.teg_revenue_per_server_month(policies[1].1).value()),
+                format!(
+                    "{:.2}",
+                    tco.teg_revenue_per_server_month(policies[1].1).value()
+                ),
             ],
         ],
     );
@@ -79,7 +101,7 @@ fn main() {
     println!("\npaper: reductions 0.49 % / 0.57 %; break-even 920 days; savings $350k-$410k/yr");
     println!(
         "daily generation at 4.177 W: {:.1} kWh (paper: 10,024.8 kWh), ${:.1}/day",
-        tco.daily_generation_kwh(Watts::new(4.177)),
+        tco.daily_generation(Watts::new(4.177)).value(),
         tco.daily_revenue(Watts::new(4.177)).value()
     );
 }

@@ -6,6 +6,21 @@
 //! plus (behind `--json`) machine-readable rows for EXPERIMENTS.md
 //! bookkeeping.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Test code opts back into panicking asserts/unwraps (see [workspace.lints]).
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::float_cmp,
+        clippy::cast_lossless,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
+
 use h2p_core::simulation::{SimulationResult, Simulator};
 use h2p_sched::{LoadBalance, Original, SchedulingPolicy};
 use h2p_workload::{TraceGenerator, TraceKind};
@@ -76,14 +91,23 @@ pub struct TraceRunSummary {
 #[must_use]
 pub fn run_paper_traces(scale: f64) -> Vec<TraceRunSummary> {
     assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    // h2p-lint: allow(L2): paper constants build a valid simulator
     let sim = Simulator::paper_default().expect("paper simulator builds");
     let mut out = Vec::new();
     for kind in TraceKind::all() {
+        // scale is in (0, 1], so the scaled server count stays a
+        // small non-negative integer.
+        #[allow(
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss,
+            clippy::cast_precision_loss
+        )]
         let servers = ((kind.paper_servers() as f64 * scale).round() as usize).max(1);
         let cluster = TraceGenerator::paper(kind, EXPERIMENT_SEED)
             .with_servers(servers)
             .generate();
         for policy in [&Original as &dyn SchedulingPolicy, &LoadBalance] {
+            // h2p-lint: allow(L2): paper cluster stays on the feasible grid
             let result = sim.run(&cluster, policy).expect("paper grid is feasible");
             out.push(TraceRunSummary {
                 kind,

@@ -1,7 +1,9 @@
 //! Vapor-compression chiller (paper Eq. 10).
 
 use crate::CoolingError;
-use h2p_units::{DegC, Joules, LitersPerHour, Seconds, Watts, WATER_DENSITY_KG_PER_L, WATER_SPECIFIC_HEAT};
+use h2p_units::{
+    DegC, Joules, LitersPerHour, Seconds, Watts, WATER_DENSITY_KG_PER_L, WATER_SPECIFIC_HEAT,
+};
 
 /// A chiller characterized by its coefficient of performance.
 ///
@@ -77,8 +79,7 @@ impl Chiller {
         if depression.value() <= 0.0 || total_flow.value() <= 0.0 || duration.value() <= 0.0 {
             return Joules::zero();
         }
-        let mass_kg =
-            total_flow.value() * WATER_DENSITY_KG_PER_L * duration.value() / 3600.0;
+        let mass_kg = total_flow.value() * WATER_DENSITY_KG_PER_L * duration.value() / 3600.0;
         let heat = WATER_SPECIFIC_HEAT * depression.value() * mass_kg;
         Joules::new(heat / self.cop)
     }

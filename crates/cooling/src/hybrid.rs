@@ -179,8 +179,18 @@ mod tests {
     #[test]
     fn bigger_overshoot_costs_more_power() {
         let c = controller();
-        let small = c.act(Celsius::new(63.0), Celsius::new(62.0), Celsius::new(50.0), 0.3);
-        let large = c.act(Celsius::new(66.0), Celsius::new(62.0), Celsius::new(50.0), 0.3);
+        let small = c.act(
+            Celsius::new(63.0),
+            Celsius::new(62.0),
+            Celsius::new(50.0),
+            0.3,
+        );
+        let large = c.act(
+            Celsius::new(66.0),
+            Celsius::new(62.0),
+            Celsius::new(50.0),
+            0.3,
+        );
         assert!(large.input_power > small.input_power);
     }
 

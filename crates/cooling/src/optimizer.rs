@@ -142,7 +142,12 @@ impl<'a> CoolingOptimizer<'a> {
     }
 
     /// Scores one candidate setting at the control utilization.
-    fn score(&self, u: Utilization, setting: CoolingSetting, in_band: bool) -> Option<OptimizedSetting> {
+    fn score(
+        &self,
+        u: Utilization,
+        setting: CoolingSetting,
+        in_band: bool,
+    ) -> Option<OptimizedSetting> {
         let outlet = self
             .space
             .outlet_temperature(u, setting.flow, setting.inlet)
@@ -295,9 +300,7 @@ mod tests {
             .unwrap()
             .teg_power;
         let doubled = CoolingOptimizer::paper_default(&space)
-            .with_module(
-                h2p_teg::TegModule::new(h2p_teg::TegDevice::sp1848_27145(), 24).unwrap(),
-            )
+            .with_module(h2p_teg::TegModule::new(h2p_teg::TegDevice::sp1848_27145(), 24).unwrap())
             .optimize(u(0.2))
             .unwrap()
             .teg_power;

@@ -126,9 +126,8 @@ impl CoolingPlant {
             .tower
             .chiller_depression(load.supply_setpoint, self.wet_bulb);
         let chiller = if depression.value() > 0.0 && load.total_flow.value() > 0.0 {
-            let heat_rate = load.total_flow.mass_flow().value()
-                * WATER_SPECIFIC_HEAT
-                * depression.value();
+            let heat_rate =
+                load.total_flow.mass_flow().value() * WATER_SPECIFIC_HEAT * depression.value();
             self.chiller.power_to_remove(Watts::new(heat_rate))
         } else {
             Watts::zero()
@@ -166,7 +165,10 @@ impl CoolingPlant {
             .total()
         };
         let cold_power = at(cold);
-        assert!(cold_power.value() > 0.0, "cold-supply plant must draw power");
+        assert!(
+            cold_power.value() > 0.0,
+            "cold-supply plant must draw power"
+        );
         1.0 - at(warm) / cold_power
     }
 }

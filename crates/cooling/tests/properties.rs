@@ -1,5 +1,15 @@
 //! Property-based tests of the cooling models.
 
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
 use h2p_cooling::hybrid::HotSpotController;
 use h2p_cooling::{Chiller, CoolingPlant, CoolingTower, PlantLoad};
 use h2p_units::{Celsius, DegC, LitersPerHour, Watts};

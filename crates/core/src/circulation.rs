@@ -73,11 +73,9 @@ impl CirculationDesign {
     pub fn paper_default() -> Result<Self, H2pError> {
         Ok(CirculationDesign {
             total_servers: 1000,
-            temperature: Normal::new(55.0, 4.0).map_err(|_| {
-                H2pError::NonPositiveParameter {
-                    name: "temperature std dev",
-                    value: 4.0,
-                }
+            temperature: Normal::new(55.0, 4.0).map_err(|_| H2pError::NonPositiveParameter {
+                name: "temperature std dev",
+                value: 4.0,
             })?,
             t_safe: Celsius::new(62.0),
             coolant_slope: 1.2,
@@ -130,8 +128,8 @@ impl CirculationDesign {
             self.horizon,
         );
         let chiller_energy = per_circulation * circulations as f64;
-        let energy_cost = self.electricity_price_per_kwh
-            * chiller_energy.to_kilowatt_hours().value();
+        let energy_cost =
+            self.electricity_price_per_kwh * chiller_energy.to_kilowatt_hours().value();
         let capital_cost = self.chiller_unit_cost * circulations as f64;
         DesignPoint {
             servers_per_circulation: n,
@@ -166,6 +164,7 @@ impl CirculationDesign {
         self.sweep(candidates)
             .into_iter()
             .min_by(|a, b| a.total_cost.cmp(&b.total_cost))
+            // h2p-lint: allow(L2): guarded by the is_empty assert above
             .expect("non-empty by assertion")
     }
 }

@@ -59,6 +59,7 @@ impl FacilityLoop {
     #[must_use]
     pub fn paper_default() -> Self {
         FacilityLoop {
+            // h2p-lint: allow(L2): 600.0 is a positive constant
             exchanger: CounterflowExchanger::new(600.0).expect("positive UA"),
             fws_flow: LitersPerHour::new(4000.0).mass_flow(),
             tower: CoolingTower::paper_default(),
@@ -92,12 +93,14 @@ impl FacilityLoop {
                 value: tcs_flow.value(),
             });
         }
-        let hot = Stream::new(tcs_flow.mass_flow(), tcs_return)
-            .map_err(|_| H2pError::NonPositiveParameter {
+        let hot = Stream::new(tcs_flow.mass_flow(), tcs_return).map_err(|_| {
+            H2pError::NonPositiveParameter {
                 name: "tcs_flow",
                 value: tcs_flow.value(),
-            })?;
+            }
+        })?;
         let cold = Stream::new(self.fws_flow, self.fws_supply())
+            // h2p-lint: allow(L2): fws flow validated by the constructor
             .expect("fws flow validated at construction");
         Ok(self.exchanger.exchange(hot, cold).hot_outlet)
     }
@@ -135,12 +138,14 @@ impl FacilityLoop {
                 value: tcs_flow.value(),
             });
         }
-        let hot = Stream::new(tcs_flow.mass_flow(), tcs_return)
-            .map_err(|_| H2pError::NonPositiveParameter {
+        let hot = Stream::new(tcs_flow.mass_flow(), tcs_return).map_err(|_| {
+            H2pError::NonPositiveParameter {
                 name: "tcs_flow",
                 value: tcs_flow.value(),
-            })?;
+            }
+        })?;
         let cold = Stream::new(self.fws_flow, self.fws_supply())
+            // h2p-lint: allow(L2): fws flow validated by the constructor
             .expect("fws flow validated at construction");
         Ok(self.exchanger.exchange(hot, cold).heat_transferred)
     }
@@ -184,8 +189,12 @@ mod tests {
         let tcs_flow = LitersPerHour::new(40.0 * 60.0);
         for setpoint in [8.0, 12.0, 18.0, 25.0] {
             assert!(
-                !fl.holds_setpoint(Celsius::new(setpoint), Celsius::new(setpoint + 2.0), tcs_flow)
-                    .unwrap(),
+                !fl.holds_setpoint(
+                    Celsius::new(setpoint),
+                    Celsius::new(setpoint + 2.0),
+                    tcs_flow
+                )
+                .unwrap(),
                 "setpoint {setpoint}"
             );
         }

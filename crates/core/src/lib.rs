@@ -42,6 +42,18 @@
 // `!(x > 0.0)` is used as a deliberate NaN-rejecting validation idiom
 // throughout (NaN fails the guard, unlike `x <= 0.0`).
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Test code opts back into panicking asserts/unwraps (see [workspace.lints]).
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::float_cmp,
+        clippy::cast_lossless,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
 
 pub mod circulation;
 pub mod datacenter;
@@ -65,6 +77,14 @@ pub enum H2pError {
     },
     /// Building or querying the lookup space failed.
     Server(h2p_server::ServerError),
+    /// A TEG device or module was misconfigured.
+    Teg(h2p_teg::TegError),
+    /// A cooling component was misconfigured.
+    Cooling(h2p_cooling::CoolingError),
+    /// A utilization outside `[0, 1]` was supplied.
+    Utilization(h2p_units::UtilizationRangeError),
+    /// A statistical fit over campaign data failed.
+    Stats(h2p_stats::StatsError),
     /// The cooling optimizer found no feasible setting.
     NoFeasibleSetting {
         /// The control utilization that could not be served.
@@ -79,6 +99,10 @@ impl fmt::Display for H2pError {
                 write!(f, "parameter {name} must be positive, got {value}")
             }
             H2pError::Server(e) => write!(f, "server model error: {e}"),
+            H2pError::Teg(e) => write!(f, "TEG model error: {e}"),
+            H2pError::Cooling(e) => write!(f, "cooling model error: {e}"),
+            H2pError::Utilization(e) => write!(f, "utilization error: {e}"),
+            H2pError::Stats(e) => write!(f, "statistics error: {e}"),
             H2pError::NoFeasibleSetting {
                 control_utilization,
             } => write!(
@@ -93,6 +117,10 @@ impl std::error::Error for H2pError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             H2pError::Server(e) => Some(e),
+            H2pError::Teg(e) => Some(e),
+            H2pError::Cooling(e) => Some(e),
+            H2pError::Utilization(e) => Some(e),
+            H2pError::Stats(e) => Some(e),
             _ => None,
         }
     }
@@ -101,5 +129,29 @@ impl std::error::Error for H2pError {
 impl From<h2p_server::ServerError> for H2pError {
     fn from(e: h2p_server::ServerError) -> Self {
         H2pError::Server(e)
+    }
+}
+
+impl From<h2p_teg::TegError> for H2pError {
+    fn from(e: h2p_teg::TegError) -> Self {
+        H2pError::Teg(e)
+    }
+}
+
+impl From<h2p_cooling::CoolingError> for H2pError {
+    fn from(e: h2p_cooling::CoolingError) -> Self {
+        H2pError::Cooling(e)
+    }
+}
+
+impl From<h2p_units::UtilizationRangeError> for H2pError {
+    fn from(e: h2p_units::UtilizationRangeError) -> Self {
+        H2pError::Utilization(e)
+    }
+}
+
+impl From<h2p_stats::StatsError> for H2pError {
+    fn from(e: h2p_stats::StatsError) -> Self {
+        H2pError::Stats(e)
     }
 }

@@ -47,8 +47,7 @@ impl EnergyBreakdown {
     #[must_use]
     pub fn ere(&self) -> f64 {
         assert!(self.it.value() > 0.0, "IT power must be positive");
-        (self.it + self.cooling + self.power + self.lighting - self.reuse).value()
-            / self.it.value()
+        (self.it + self.cooling + self.power + self.lighting - self.reuse).value() / self.it.value()
     }
 
     /// Power usage effectiveness (reuse ignored):

@@ -5,6 +5,7 @@
 //! empirical section. The experiment binaries in `h2p-bench` print these
 //! rows; the tests here pin the qualitative shape.
 
+use crate::H2pError;
 use h2p_server::ServerModel;
 use h2p_teg::{physics::PhysicalTeg, TegDevice, TegModule};
 use h2p_thermal::network::ThermalNetwork;
@@ -46,6 +47,8 @@ pub fn fig3_teg_conductance() -> Vec<Fig3Sample> {
     let r_conv = model
         .cold_plate()
         .resistance(flow)
+        // h2p-lint: allow(L2): the 100 L/H campaign flow is a positive
+        // constant, so the resistance model cannot reject it.
         .expect("flow is valid");
 
     let mut net = ThermalNetwork::new();
@@ -74,6 +77,8 @@ pub fn fig3_teg_conductance() -> Vec<Fig3Sample> {
         let p = model.power_model().base_power(u);
         net.set_heat_input(die0, p);
         net.set_heat_input(die1, p);
+        // 12.5 min at 30 s sampling: exactly 25 steps.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let steps = (phase_minutes * 60.0 / sample_every.value()) as usize;
         for _ in 0..steps {
             net.step(sample_every);
@@ -151,15 +156,17 @@ pub struct SeriesPoint {
 /// Reproduces Fig. 8: voltage and matched-load power versus ΔT for
 /// several series counts at the fixed 200 L/H measurement flow.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any count is zero.
-#[must_use]
-pub fn fig8_series_campaign(counts: &[usize], delta_ts: &[f64]) -> Vec<SeriesPoint> {
+/// Returns [`H2pError::Teg`] if any count is zero.
+pub fn fig8_series_campaign(
+    counts: &[usize],
+    delta_ts: &[f64],
+) -> Result<Vec<SeriesPoint>, H2pError> {
     let device = TegDevice::sp1848_27145();
     let mut out = Vec::new();
     for &n in counts {
-        let module = TegModule::new(device, n).expect("counts must be positive");
+        let module = TegModule::new(device, n)?;
         for &dt in delta_ts {
             let d = DegC::new(dt);
             out.push(SeriesPoint {
@@ -170,7 +177,7 @@ pub fn fig8_series_campaign(counts: &[usize], delta_ts: &[f64]) -> Vec<SeriesPoi
             });
         }
     }
-    out
+    Ok(out)
 }
 
 /// One sample of the Fig. 9 outlet-ΔT campaign.
@@ -188,25 +195,23 @@ pub struct OutletPoint {
 
 /// Reproduces Fig. 9: ΔT_out−in over utilization × flow × inlet.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a utilization is outside `\[0, 1\]` or a flow is not
-/// strictly positive.
-#[must_use]
+/// Returns [`H2pError::Utilization`] for a utilization outside
+/// `\[0, 1\]` and [`H2pError::Server`] for an operating point the
+/// server model rejects (e.g. a non-positive flow).
 pub fn fig9_outlet_campaign(
     utilizations: &[f64],
     flows: &[f64],
     inlets: &[f64],
-) -> Vec<OutletPoint> {
+) -> Result<Vec<OutletPoint>, H2pError> {
     let model = ServerModel::paper_default();
     let mut out = Vec::new();
     for &uu in utilizations {
-        let u = Utilization::new(uu).expect("utilization in range");
+        let u = Utilization::new(uu)?;
         for &f in flows {
             for &t in inlets {
-                let op = model
-                    .operating_point(u, LitersPerHour::new(f), Celsius::new(t))
-                    .expect("paper grid point is valid");
+                let op = model.operating_point(u, LitersPerHour::new(f), Celsius::new(t))?;
                 out.push(OutletPoint {
                     utilization: u,
                     flow: LitersPerHour::new(f),
@@ -216,7 +221,7 @@ pub fn fig9_outlet_campaign(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// One sample of the Fig. 10/11 CPU-temperature campaigns.
@@ -237,21 +242,26 @@ pub struct CpuTempPoint {
 /// Reproduces Fig. 10: die temperature and frequency versus utilization
 /// at several coolant temperatures (flow fixed at 20 L/H).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a utilization is outside `\[0, 1\]`.
-#[must_use]
+/// As for [`fig9_outlet_campaign`].
 pub fn fig10_cpu_temperature_campaign(
     utilizations: &[f64],
     coolants: &[f64],
-) -> Vec<CpuTempPoint> {
+) -> Result<Vec<CpuTempPoint>, H2pError> {
     sample_cpu_temperature(utilizations, &[20.0], coolants)
 }
 
 /// Reproduces Fig. 11: die temperature versus coolant temperature at
 /// several flows (utilization fixed at 100 %).
-#[must_use]
-pub fn fig11_cpu_temperature_campaign(flows: &[f64], coolants: &[f64]) -> Vec<CpuTempPoint> {
+///
+/// # Errors
+///
+/// As for [`fig9_outlet_campaign`].
+pub fn fig11_cpu_temperature_campaign(
+    flows: &[f64],
+    coolants: &[f64],
+) -> Result<Vec<CpuTempPoint>, H2pError> {
     sample_cpu_temperature(&[1.0], flows, coolants)
 }
 
@@ -259,16 +269,14 @@ fn sample_cpu_temperature(
     utilizations: &[f64],
     flows: &[f64],
     coolants: &[f64],
-) -> Vec<CpuTempPoint> {
+) -> Result<Vec<CpuTempPoint>, H2pError> {
     let model = ServerModel::paper_default();
     let mut out = Vec::new();
     for &uu in utilizations {
-        let u = Utilization::new(uu).expect("utilization in range");
+        let u = Utilization::new(uu)?;
         for &f in flows {
             for &t in coolants {
-                let op = model
-                    .operating_point(u, LitersPerHour::new(f), Celsius::new(t))
-                    .expect("paper grid point is valid");
+                let op = model.operating_point(u, LitersPerHour::new(f), Celsius::new(t))?;
                 out.push(CpuTempPoint {
                     utilization: u,
                     flow: LitersPerHour::new(f),
@@ -279,7 +287,7 @@ fn sample_cpu_temperature(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -290,8 +298,14 @@ mod tests {
     fn fig3_cpu0_approaches_limit_cpu1_stays_cool() {
         let samples = fig3_teg_conductance();
         assert_eq!(samples.len(), 100); // 50 min at 30 s
-        let peak0 = samples.iter().map(|s| s.cpu0).fold(Celsius::new(0.0), Celsius::max);
-        let peak1 = samples.iter().map(|s| s.cpu1).fold(Celsius::new(0.0), Celsius::max);
+        let peak0 = samples
+            .iter()
+            .map(|s| s.cpu0)
+            .fold(Celsius::new(0.0), Celsius::max);
+        let peak1 = samples
+            .iter()
+            .map(|s| s.cpu1)
+            .fold(Celsius::new(0.0), Celsius::max);
         // CPU0 nears (but here stays just under) the 78.9 degC limit at
         // only 20 % load; CPU1 stays tens of degrees cooler.
         assert!(peak0.value() > 65.0, "peak0 = {peak0}");
@@ -312,7 +326,10 @@ mod tests {
     fn fig3_final_phase_cools_down() {
         let samples = fig3_teg_conductance();
         let last = samples.last().unwrap();
-        let peak = samples.iter().map(|s| s.cpu0).fold(Celsius::new(0.0), Celsius::max);
+        let peak = samples
+            .iter()
+            .map(|s| s.cpu0)
+            .fold(Celsius::new(0.0), Celsius::max);
         assert!(last.cpu0 < peak - DegC::new(5.0), "no cooldown at the end");
     }
 
@@ -339,10 +356,7 @@ mod tests {
             }
         }
         // Linearity in ΔT at fixed flow (R^2 of a linear fit ~ 1).
-        let at200: Vec<&VoltagePoint> = points
-            .iter()
-            .filter(|p| p.flow.value() == 200.0)
-            .collect();
+        let at200: Vec<&VoltagePoint> = points.iter().filter(|p| p.flow.value() == 200.0).collect();
         let x: Vec<f64> = at200.iter().map(|p| p.delta_t.value()).collect();
         let y: Vec<f64> = at200.iter().map(|p| p.voltage.value()).collect();
         let (a, b) = h2p_stats::fit::linear_fit(&x, &y).unwrap();
@@ -366,7 +380,7 @@ mod tests {
     fn fig8_scaling_laws() {
         let counts = [1usize, 3, 6, 9, 12];
         let dts: Vec<f64> = (1..=25).map(|i| i as f64).collect();
-        let points = fig8_series_campaign(&counts, &dts);
+        let points = fig8_series_campaign(&counts, &dts).unwrap();
         let at = |n: usize, dt: f64| {
             *points
                 .iter()
@@ -387,7 +401,7 @@ mod tests {
     #[test]
     fn fig10_temperature_and_frequency_shapes() {
         let us: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-        let points = fig10_cpu_temperature_campaign(&us, &[30.0, 35.0, 40.0, 45.0]);
+        let points = fig10_cpu_temperature_campaign(&us, &[30.0, 35.0, 40.0, 45.0]).unwrap();
         // Die temperature rises with both utilization and coolant temp.
         let at = |u: f64, c: f64| {
             points
@@ -414,7 +428,7 @@ mod tests {
     fn fig11_slopes_within_band() {
         let flows = [20.0, 50.0, 100.0, 150.0, 200.0, 250.0];
         let coolants: Vec<f64> = (20..=50).step_by(5).map(|v| v as f64).collect();
-        let points = fig11_cpu_temperature_campaign(&flows, &coolants);
+        let points = fig11_cpu_temperature_campaign(&flows, &coolants).unwrap();
         let mut prev_slope = f64::INFINITY;
         for &f in &flows {
             let xs: Vec<f64> = points
@@ -458,7 +472,9 @@ impl CalibratedCoefficient {
     /// Relative error of the refit against the paper value.
     #[must_use]
     pub fn relative_error(&self) -> f64 {
-        if self.paper == 0.0 {
+        // NaN-safe zero test: a NaN paper value takes the absolute
+        // (not relative) branch instead of dividing to NaN silently.
+        if !(self.paper.abs() > 0.0) {
             self.fitted.abs()
         } else {
             ((self.fitted - self.paper) / self.paper).abs()
@@ -474,16 +490,20 @@ impl CalibratedCoefficient {
 /// Covered: Eq. 3 (per-TEG voltage slope/intercept at 200 L/H), Eq. 6
 /// (power quadratic), Eq. 20 (CPU power log fit), and the Fig. 11
 /// slope-band endpoints.
-#[must_use]
-pub fn calibration_report() -> Vec<CalibratedCoefficient> {
+///
+/// # Errors
+///
+/// Returns [`H2pError::Stats`] if a fit degenerates — which would
+/// itself be a calibration failure worth surfacing.
+pub fn calibration_report() -> Result<Vec<CalibratedCoefficient>, H2pError> {
     let mut out = Vec::new();
 
     // Eq. 3 from the Fig. 7 campaign at the 200 L/H calibration flow.
-    let dts: Vec<f64> = (2..=25).map(|i| i as f64).collect();
+    let dts: Vec<f64> = (2..=25).map(f64::from).collect();
     let points = fig7_voltage_campaign(&[200.0], &dts);
     let xs: Vec<f64> = points.iter().map(|p| p.delta_t.value()).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.voltage.value() / 6.0).collect();
-    let (slope, intercept) = h2p_stats::fit::linear_fit(&xs, &ys).expect("well-posed fit");
+    let (slope, intercept) = h2p_stats::fit::linear_fit(&xs, &ys)?;
     out.push(CalibratedCoefficient {
         name: "Eq.3 voltage slope (V/°C)",
         fitted: slope,
@@ -496,10 +516,10 @@ pub fn calibration_report() -> Vec<CalibratedCoefficient> {
     });
 
     // Eq. 6 from the Fig. 8 campaign (single device).
-    let series = fig8_series_campaign(&[1], &dts);
+    let series = fig8_series_campaign(&[1], &dts)?;
     let xs: Vec<f64> = series.iter().map(|p| p.delta_t.value()).collect();
     let ys: Vec<f64> = series.iter().map(|p| p.power.value()).collect();
-    let poly = h2p_stats::fit::polyfit(&xs, &ys, 2).expect("well-posed fit");
+    let poly = h2p_stats::fit::polyfit(&xs, &ys, 2)?;
     for (i, (name, paper)) in [
         ("Eq.6 power c0 (W)", 0.0011),
         ("Eq.6 power c1 (W/°C)", -0.0003),
@@ -517,17 +537,12 @@ pub fn calibration_report() -> Vec<CalibratedCoefficient> {
 
     // Eq. 20 from a CPU-power campaign at the measurement conditions.
     let model = ServerModel::paper_default();
-    let us: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
-    let ps: Vec<f64> = us
-        .iter()
-        .map(|&u| {
-            model
-                .power_model()
-                .base_power(Utilization::new(u).expect("in range"))
-                .value()
-        })
-        .collect();
-    let (a, b) = h2p_stats::fit::log_shifted_fit(&us, &ps, 1.17).expect("well-posed fit");
+    let us: Vec<f64> = (0..=20).map(|i| f64::from(i) / 20.0).collect();
+    let mut ps = Vec::with_capacity(us.len());
+    for &u in &us {
+        ps.push(model.power_model().base_power(Utilization::new(u)?).value());
+    }
+    let (a, b) = h2p_stats::fit::log_shifted_fit(&us, &ps, 1.17)?;
     out.push(CalibratedCoefficient {
         name: "Eq.20 log coefficient (W)",
         fitted: a,
@@ -540,22 +555,22 @@ pub fn calibration_report() -> Vec<CalibratedCoefficient> {
     });
 
     // Fig. 11 slope-band endpoints.
-    let coolants: Vec<f64> = (20..=50).step_by(5).map(|v| v as f64).collect();
+    let coolants: Vec<f64> = (20..=50).step_by(5).map(f64::from).collect();
     for (flow, name, paper) in [
         (20.0, "Fig.11 slope k at 20 L/H", 1.3),
         (250.0, "Fig.11 slope k at 250 L/H", 1.0),
     ] {
-        let pts = fig11_cpu_temperature_campaign(&[flow], &coolants);
+        let pts = fig11_cpu_temperature_campaign(&[flow], &coolants)?;
         let xs: Vec<f64> = pts.iter().map(|p| p.coolant.value()).collect();
         let ys: Vec<f64> = pts.iter().map(|p| p.cpu_temperature.value()).collect();
-        let (k, _) = h2p_stats::fit::linear_fit(&xs, &ys).expect("well-posed fit");
+        let (k, _) = h2p_stats::fit::linear_fit(&xs, &ys)?;
         out.push(CalibratedCoefficient {
             name,
             fitted: k,
             paper,
         });
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -564,7 +579,7 @@ mod calibration_tests {
 
     #[test]
     fn all_coefficients_reproduce_within_tolerance() {
-        for c in calibration_report() {
+        for c in calibration_report().unwrap() {
             // Published empirical constants reproduce within 12 % (the
             // slope-band endpoints are ranges, not point values).
             assert!(
@@ -579,7 +594,8 @@ mod calibration_tests {
 
     #[test]
     fn report_covers_every_published_fit() {
-        let names: Vec<&str> = calibration_report().iter().map(|c| c.name).collect();
+        let report = calibration_report().unwrap();
+        let names: Vec<&str> = report.iter().map(|c| c.name).collect();
         assert_eq!(names.len(), 9);
         assert!(names.iter().any(|n| n.contains("Eq.3")));
         assert!(names.iter().any(|n| n.contains("Eq.6")));

@@ -131,7 +131,11 @@ impl SimulationResult {
     /// Time-average per-server TEG output (the headline Fig. 14 number).
     #[must_use]
     pub fn average_teg_power(&self) -> Watts {
-        let total: f64 = self.steps.iter().map(|s| s.teg_power_per_server.value()).sum();
+        let total: f64 = self
+            .steps
+            .iter()
+            .map(|s| s.teg_power_per_server.value())
+            .sum();
         Watts::new(total / self.steps.len().max(1) as f64)
     }
 
@@ -147,7 +151,11 @@ impl SimulationResult {
     /// Time-average per-server CPU power.
     #[must_use]
     pub fn average_cpu_power(&self) -> Watts {
-        let total: f64 = self.steps.iter().map(|s| s.cpu_power_per_server.value()).sum();
+        let total: f64 = self
+            .steps
+            .iter()
+            .map(|s| s.cpu_power_per_server.value())
+            .sum();
         Watts::new(total / self.steps.len().max(1) as f64)
     }
 
@@ -252,7 +260,10 @@ impl Simulator {
     ///
     /// Propagates lookup-space construction failures.
     pub fn paper_default() -> Result<Self, H2pError> {
-        Simulator::new(&ServerModel::paper_default(), SimulationConfig::paper_default())
+        Simulator::new(
+            &ServerModel::paper_default(),
+            SimulationConfig::paper_default(),
+        )
     }
 
     /// The configuration.
@@ -298,8 +309,7 @@ impl Simulator {
                 self.config.t_safe,
                 self.config.tolerance,
                 cold,
-            )
-            .expect("tolerance validated in config");
+            )?;
 
             let loads = cluster.utilizations_at(step);
             let mut teg_sum = 0.0;
@@ -317,24 +327,29 @@ impl Simulator {
                 circulations += 1;
                 let scheduled = policy.schedule(chunk);
                 let u_ctrl = policy.control_utilization(chunk);
+                // Quantized cache key: both operands are bounded,
+                // non-negative paper quantities.
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 let key = (u_ctrl.value() * 10_000.0).round() as u32
                     ^ ((cold.value() * 16.0).round() as u32) << 16;
                 let chosen = match cache.get(&key) {
                     Some(c) => *c,
                     None => {
-                        let c = optimizer.optimize(u_ctrl).ok_or(
-                            H2pError::NoFeasibleSetting {
+                        let c = optimizer
+                            .optimize(u_ctrl)
+                            .ok_or(H2pError::NoFeasibleSetting {
                                 control_utilization: u_ctrl.value(),
-                            },
-                        )?;
+                            })?;
                         cache.insert(key, c);
                         c
                     }
                 };
                 for &u in &scheduled {
-                    let outlet =
-                        self.space
-                            .outlet_temperature(u, chosen.setting.flow, chosen.setting.inlet)?;
+                    let outlet = self.space.outlet_temperature(
+                        u,
+                        chosen.setting.flow,
+                        chosen.setting.inlet,
+                    )?;
                     let die =
                         self.space
                             .cpu_temperature(u, chosen.setting.flow, chosen.setting.inlet)?;

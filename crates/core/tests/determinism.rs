@@ -2,6 +2,16 @@
 //! engine: identical inputs must give identical outputs, and results
 //! must be invariant to how the work is presented.
 
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
 use h2p_core::simulation::{SimulationConfig, Simulator};
 use h2p_sched::{LoadBalance, Original};
 use h2p_server::ServerModel;
@@ -85,8 +95,18 @@ fn circulation_partition_is_deterministic_under_server_order() {
     let permuted = h2p_workload::ClusterTrace::new(reordered).unwrap();
     let run = sim.run(&permuted, &LoadBalance).unwrap();
     for (a, b) in base.steps().iter().zip(run.steps()) {
-        assert!((a.teg_power_per_server - b.teg_power_per_server).value().abs() < 1e-9);
-        assert!((a.cpu_power_per_server - b.cpu_power_per_server).value().abs() < 1e-9);
+        assert!(
+            (a.teg_power_per_server - b.teg_power_per_server)
+                .value()
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (a.cpu_power_per_server - b.cpu_power_per_server)
+                .value()
+                .abs()
+                < 1e-9
+        );
     }
 }
 
@@ -98,10 +118,13 @@ fn simulator_reuse_does_not_leak_state() {
     let sim = Simulator::paper_default().unwrap();
     let _ = sim.run(&a, &Original).unwrap();
     let after = sim.run(&b, &Original).unwrap();
-    let fresh = Simulator::new(&ServerModel::paper_default(), SimulationConfig::paper_default())
-        .unwrap()
-        .run(&b, &Original)
-        .unwrap();
+    let fresh = Simulator::new(
+        &ServerModel::paper_default(),
+        SimulationConfig::paper_default(),
+    )
+    .unwrap()
+    .run(&b, &Original)
+    .unwrap();
     for (x, y) in after.steps().iter().zip(fresh.steps()) {
         assert_eq!(x, y);
     }

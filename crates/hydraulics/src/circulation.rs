@@ -36,10 +36,7 @@ impl BranchCircuit {
                 value: k_open,
             });
         }
-        Ok(BranchCircuit {
-            k_open,
-            valve: 1.0,
-        })
+        Ok(BranchCircuit { k_open, valve: 1.0 })
     }
 
     /// A typical server branch: 4 mm microchannel cold plate plus hose,
@@ -145,6 +142,7 @@ impl PumpCurve {
             LitersPerHour::new(15_000.0),
             0.45,
         )
+        // h2p-lint: allow(L2): hard-coded positive constants
         .expect("constants are valid")
     }
 
@@ -192,6 +190,39 @@ pub struct OperatingFlow {
     pub branch_flows: Vec<LitersPerHour>,
     /// Electrical power drawn by the pump.
     pub pump_power: Watts,
+}
+
+#[cfg(feature = "sanitize")]
+impl OperatingFlow {
+    /// Physics sanitizer (the `sanitize` feature): a solved operating
+    /// point must be physical — finite, non-negative head, flows and
+    /// pump power. A violation means the bisection diverged or the
+    /// network was built from corrupted inputs, and panics in debug
+    /// builds rather than feeding garbage into the thermal layer.
+    fn sanitize(&self) {
+        let head = self.head.value();
+        debug_assert!(
+            head.is_finite() && head >= 0.0,
+            "sanitize: solve produced head {head} Pa (finite, >= 0 expected)"
+        );
+        let total = self.total_flow.value();
+        debug_assert!(
+            total.is_finite() && total >= 0.0,
+            "sanitize: solve produced total flow {total} L/h (finite, >= 0 expected)"
+        );
+        for (i, f) in self.branch_flows.iter().enumerate() {
+            let f = f.value();
+            debug_assert!(
+                f.is_finite() && f >= 0.0,
+                "sanitize: solve produced branch {i} flow {f} L/h (finite, >= 0 expected)"
+            );
+        }
+        let pump = self.pump_power.value();
+        debug_assert!(
+            pump.is_finite() && pump >= 0.0,
+            "sanitize: solve produced pump power {pump} W (finite, >= 0 expected)"
+        );
+    }
 }
 
 /// A water circulation: parallel branches fed by one pump.
@@ -255,10 +286,7 @@ impl Circulation {
 
     /// Total demand flow at a given head.
     fn demand_at(&self, head: Pascals) -> f64 {
-        self.branches
-            .iter()
-            .map(|b| b.flow_at(head).value())
-            .sum()
+        self.branches.iter().map(|b| b.flow_at(head).value()).sum()
     }
 
     /// Solves the operating point: the head where pump supply equals
@@ -287,12 +315,15 @@ impl Circulation {
             self.branches.iter().map(|b| b.flow_at(head)).collect();
         let total = LitersPerHour::new(branch_flows.iter().map(|f| f.value()).sum());
         let hydraulic = head.hydraulic_power(total);
-        OperatingFlow {
+        let op = OperatingFlow {
             head,
             total_flow: total,
             branch_flows,
             pump_power: hydraulic / self.pump.efficiency,
-        }
+        };
+        #[cfg(feature = "sanitize")]
+        op.sanitize();
+        op
     }
 
     /// Sets the pump speed so the *mean* branch flow hits `target`,
@@ -311,6 +342,7 @@ impl Circulation {
         }
         self.pump.set_speed(1.0)?;
         let full = self.solve();
+        // h2p-lint: allow(L3): branch count -> f64, exact below 2^53
         if full.total_flow.value() / self.len() as f64 + 1e-9 < target.value() {
             return Err(HydraulicsError::NonPositiveParameter {
                 name: "target flow beyond pump capability",
@@ -322,6 +354,7 @@ impl Circulation {
         for _ in 0..60 {
             let mid = 0.5 * (lo + hi);
             self.pump.set_speed(mid)?;
+            // h2p-lint: allow(L3): branch count -> f64, exact below 2^53
             let mean = self.solve().total_flow.value() / self.len() as f64;
             if mean >= target.value() {
                 hi = mid;

@@ -89,6 +89,7 @@ impl Pump {
             3.0,
             Watts::new(0.5),
         )
+        // h2p-lint: allow(L2): hard-coded positive constants
         .expect("constants are valid")
     }
 

@@ -1,0 +1,13 @@
+//! L1 fixture: quantity-named values crossing `pub fn` boundaries as
+//! raw floats instead of `h2p-units` newtypes.
+
+/// Takes a temperature as a bare `f64` — L1 must fire on the parameter.
+pub fn set_inlet_temp(inlet_temp_c: f64) -> Celsius {
+    Celsius::new(inlet_temp_c)
+}
+
+/// Quantity-named API returning a bare `f64` — L1 must fire on the
+/// return type.
+pub fn water_flow(&self) -> f64 {
+    self.flow
+}

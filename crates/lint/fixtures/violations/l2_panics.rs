@@ -1,0 +1,16 @@
+//! L2 fixture: panic paths in non-test library code.
+
+/// Unwraps on the hot path — L2 must fire.
+pub fn lookup(table: &Table, key: usize) -> Entry {
+    table.get(key).unwrap()
+}
+
+/// Expects on the hot path — L2 must fire.
+pub fn first(rows: &[Entry]) -> &Entry {
+    rows.first().expect("rows is never empty")
+}
+
+/// Explicit panic — L2 must fire.
+pub fn reject() -> ! {
+    panic!("unreachable configuration")
+}

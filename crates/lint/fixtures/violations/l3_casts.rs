@@ -1,0 +1,12 @@
+//! L3 fixture: numeric `as` casts in a physics crate.
+
+/// Truncating cast — L3 must fire.
+pub fn substeps(span: Seconds, h: Seconds) -> usize {
+    (span.value() / h.value()).ceil() as usize
+}
+
+/// Widening cast without an allow comment — L3 must still fire (the
+/// waiver is explicit, never inferred).
+pub fn sample_count_weight(n: usize) -> Weight {
+    Weight::new(n as f64)
+}

@@ -1,0 +1,8 @@
+//! L4 fixture: a crate root without `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+
+/// Harmless code; the violation is the missing crate attribute.
+pub fn answer() -> u8 {
+    42
+}

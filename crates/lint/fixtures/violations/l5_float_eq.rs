@@ -1,0 +1,11 @@
+//! L5 fixture: NaN-unsafe float-literal equality in a physics crate.
+
+/// `== 0.0` silently misclassifies NaN — L5 must fire.
+pub fn is_idle(load: Utilization) -> bool {
+    load.value() == 0.0
+}
+
+/// `!=` against a literal — L5 must fire.
+pub fn off_nominal(ratio: Ratio) -> bool {
+    1.0 != ratio.value()
+}

@@ -1,0 +1,315 @@
+//! `h2p-lint` — the workspace's domain-invariant lint pass.
+//!
+//! The H2P design contract says every physical value crossing a module
+//! boundary is wrapped in an `h2p-units` newtype, library code never
+//! panics on the paper-model hot paths, and NaN can never leak into
+//! the thermal/TEG solvers. This crate machine-checks that contract
+//! with five rules (run `cargo run -p h2p-lint`, or see
+//! `DESIGN.md` §"Static analysis & invariants"):
+//!
+//! * **L1** — no raw `f64`/`f32` under quantity-like names
+//!   (`*temp*`, `*celsius*`, `*watts*`, `*flow*`, `*pressure*`,
+//!   `*kwh*`, `*usd*`) in `pub fn` signatures of library crates.
+//!   `h2p-units` itself is exempt: it *is* the newtype boundary.
+//! * **L2** — no `unwrap()` / `expect()` / `panic!` in non-test
+//!   library code (benches, binaries, examples and `#[cfg(test)]`
+//!   regions exempt).
+//! * **L3** — no numeric `as` casts in the physics crates
+//!   (`units`, `thermal`, `hydraulics`, `teg`, `cooling`).
+//! * **L4** — every crate's `lib.rs` carries
+//!   `#![forbid(unsafe_code)]`.
+//! * **L5** — no `==`/`!=` comparisons against float literals in
+//!   physics crates (NaN-unsafe; use tolerances or the `!(x > 0.0)`
+//!   rejection idiom).
+//!
+//! Any finding can be waived in place with a reasoned allow comment,
+//! either trailing the line or on the line directly above:
+//!
+//! ```text
+//! let n = samples.len() as f64; // h2p-lint: allow(L3): exact for n < 2^53
+//! ```
+//!
+//! The pass runs offline with no dependencies: a hand-rolled lexical
+//! scanner (comments/strings stripped, `#[cfg(test)]` regions tracked)
+//! feeds line-anchored rules. That trades full syntactic precision for
+//! zero-dependency reproducibility; the companion clippy deny-set in
+//! `[workspace.lints]` covers the type-aware versions of these checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Test code opts back into panicking asserts/unwraps (see [workspace.lints]).
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::float_cmp,
+        clippy::cast_lossless,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
+
+pub mod rules;
+pub mod scanner;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The rule identifiers, stable for allow-lists and CI output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// Raw float under a quantity name in a `pub fn` signature.
+    L1,
+    /// Panic path (`unwrap`/`expect`/`panic!`) in library code.
+    L2,
+    /// Numeric `as` cast in a physics crate.
+    L3,
+    /// Missing `#![forbid(unsafe_code)]` in a crate root.
+    L4,
+    /// Float-literal `==`/`!=` comparison in a physics crate.
+    L5,
+}
+
+impl RuleId {
+    /// Parses `"L1"` .. `"L5"`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "L1" => Some(RuleId::L1),
+            "L2" => Some(RuleId::L2),
+            "L3" => Some(RuleId::L3),
+            "L4" => Some(RuleId::L4),
+            "L5" => Some(RuleId::L5),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RuleId::L1 => "L1",
+            RuleId::L2 => "L2",
+            RuleId::L3 => "L3",
+            RuleId::L4 => "L4",
+            RuleId::L5 => "L5",
+        })
+    }
+}
+
+/// One lint finding, `rule file:line: message`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// The offending file.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{}: {}",
+            self.rule,
+            self.file.display(),
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// How the rules apply to one source file.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Library code: L1/L2 candidate (false for bins, benches,
+    /// examples, integration tests).
+    pub library: bool,
+    /// Physics crate: L3/L5 apply.
+    pub physics: bool,
+    /// L1 applies (false inside `h2p-units`, which is the boundary).
+    pub l1_applies: bool,
+}
+
+/// Crates whose numeric code carries the paper's physical models.
+pub const PHYSICS_CRATES: &[&str] = &["units", "thermal", "hydraulics", "teg", "cooling"];
+
+/// Errors from the lint pass itself (I/O, layout discovery).
+#[derive(Debug)]
+pub enum LintError {
+    /// A file or directory could not be read.
+    Io(PathBuf, std::io::Error),
+    /// The workspace root could not be located.
+    NoWorkspaceRoot(PathBuf),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io(path, e) => write!(f, "cannot read {}: {e}", path.display()),
+            LintError::NoWorkspaceRoot(start) => write!(
+                f,
+                "no workspace root (Cargo.toml with [workspace]) above {}",
+                start.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+///
+/// # Errors
+///
+/// [`LintError::NoWorkspaceRoot`] if none is found.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, LintError> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| LintError::Io(manifest.clone(), e))?;
+            if text.contains("[workspace]") {
+                return Ok(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    Err(LintError::NoWorkspaceRoot(start.to_path_buf()))
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+/// Classifies a path inside one crate directory.
+fn classify(rel: &Path, crate_name: &str) -> FileClass {
+    let mut components = rel.components().map(|c| c.as_os_str().to_string_lossy());
+    let top = components.next().unwrap_or_default().to_string();
+    let second = components.next().unwrap_or_default().to_string();
+    let library = top == "src" && second != "bin" && second != "main.rs";
+    FileClass {
+        library,
+        physics: library && PHYSICS_CRATES.contains(&crate_name),
+        l1_applies: crate_name != "units",
+    }
+}
+
+/// Lints the whole workspace rooted at `root`. Scope: the root `src/`
+/// library plus every `crates/*` member. `vendor/` (offline stubs of
+/// external crates) and `crates/lint/fixtures/` (deliberate
+/// violations for the lint's own tests) are out of scope.
+///
+/// # Errors
+///
+/// [`LintError`] on unreadable files or a missing workspace layout.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    let mut diagnostics = Vec::new();
+
+    // Crate roots: (dir, crate_name, has_lib).
+    let mut crate_dirs: Vec<(PathBuf, String)> = vec![(root.to_path_buf(), "h2p".to_string())];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries =
+            std::fs::read_dir(&crates_dir).map_err(|e| LintError::Io(crates_dir.clone(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| LintError::Io(crates_dir.clone(), e))?;
+            let path = entry.path();
+            if path.is_dir() {
+                let name = entry.file_name().to_string_lossy().to_string();
+                crate_dirs.push((path, name));
+            }
+        }
+    }
+    crate_dirs.sort();
+
+    for (crate_dir, crate_name) in &crate_dirs {
+        // L4 on the crate root.
+        let lib_rs = crate_dir.join("src").join("lib.rs");
+        if lib_rs.is_file() {
+            let source =
+                std::fs::read_to_string(&lib_rs).map_err(|e| LintError::Io(lib_rs.clone(), e))?;
+            if !rules::l4_forbids_unsafe(&source) {
+                diagnostics.push(Diagnostic {
+                    rule: RuleId::L4,
+                    file: lib_rs.strip_prefix(root).unwrap_or(&lib_rs).to_path_buf(),
+                    line: 1,
+                    message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+                });
+            }
+        }
+
+        // Line rules over src/ only (tests/, benches/, examples/ are
+        // exempt by charter).
+        let src_dir = crate_dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        for file in files {
+            if file.components().any(|c| c.as_os_str() == "fixtures") {
+                continue;
+            }
+            let rel = file.strip_prefix(crate_dir).unwrap_or(&file);
+            let class = classify(rel, crate_name);
+            let source =
+                std::fs::read_to_string(&file).map_err(|e| LintError::Io(file.clone(), e))?;
+            let scanned = scanner::scan(&source);
+            let rel_to_root = file.strip_prefix(root).unwrap_or(&file);
+            rules::check_file(rel_to_root, &scanned, &class, &mut diagnostics);
+        }
+    }
+    Ok(diagnostics)
+}
+
+/// Lints a loose directory of `.rs` files as if each were non-test
+/// library code of a physics crate — every rule armed. Used by the
+/// fixture tests and by `--fixtures` on the CLI.
+///
+/// # Errors
+///
+/// [`LintError`] on unreadable files.
+pub fn lint_fixture_dir(dir: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    let mut files = Vec::new();
+    collect_rs_files(dir, &mut files)?;
+    let class = FileClass {
+        library: true,
+        physics: true,
+        l1_applies: true,
+    };
+    let mut diagnostics = Vec::new();
+    for file in files {
+        let source = std::fs::read_to_string(&file).map_err(|e| LintError::Io(file.clone(), e))?;
+        let scanned = scanner::scan(&source);
+        rules::check_file(&file, &scanned, &class, &mut diagnostics);
+        if file.file_name().is_some_and(|n| n == "lib.rs") && !rules::l4_forbids_unsafe(&source) {
+            diagnostics.push(Diagnostic {
+                rule: RuleId::L4,
+                file: file.clone(),
+                line: 1,
+                message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+    Ok(diagnostics)
+}

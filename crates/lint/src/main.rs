@@ -1,0 +1,77 @@
+//! CLI for the H2P domain-invariant lint pass.
+//!
+//! ```text
+//! cargo run -p h2p-lint                 # lint the workspace, exit 1 on findings
+//! cargo run -p h2p-lint -- --root DIR   # lint a different checkout
+//! cargo run -p h2p-lint -- --fixtures DIR  # arm all rules over a bare dir
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut fixtures: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" if i + 1 < args.len() => {
+                root = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--fixtures" if i + 1 < args.len() => {
+                fixtures = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "h2p-lint: H2P domain-invariant checks (L1-L5)\n\
+                     usage: h2p-lint [--root DIR | --fixtures DIR]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("h2p-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let result = if let Some(dir) = fixtures {
+        h2p_lint::lint_fixture_dir(&dir)
+    } else {
+        let start = match root {
+            Some(r) => Ok(r),
+            None => {
+                std::env::current_dir().map_err(|e| h2p_lint::LintError::Io(PathBuf::from("."), e))
+            }
+        };
+        start.and_then(|s| {
+            let ws = h2p_lint::find_workspace_root(&s)?;
+            h2p_lint::lint_workspace(&ws)
+        })
+    };
+
+    match result {
+        Err(e) => {
+            eprintln!("h2p-lint: error: {e}");
+            ExitCode::from(2)
+        }
+        Ok(diagnostics) if diagnostics.is_empty() => {
+            println!("h2p-lint: clean (rules L1-L5)");
+            ExitCode::SUCCESS
+        }
+        Ok(diagnostics) => {
+            for d in &diagnostics {
+                println!("{d}");
+            }
+            println!(
+                "h2p-lint: {} violation(s) — see DESIGN.md \
+                 \"Static analysis & invariants\" for rule docs and allow syntax",
+                diagnostics.len()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

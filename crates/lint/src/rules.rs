@@ -1,0 +1,510 @@
+//! The five H2P domain-invariant rules.
+//!
+//! Each rule takes the stripped view of one file (see
+//! [`crate::scanner`]) plus its [`FileClass`] and appends
+//! [`Diagnostic`]s. Rules fire only where their scope applies:
+//!
+//! | rule | scope | invariant |
+//! |------|-------|-----------|
+//! | L1 | library code (except `h2p-units` itself) | physical quantities cross `pub fn` boundaries as newtypes, not raw `f64`/`f32` |
+//! | L2 | non-test library code | no `unwrap` / `expect` / `panic!` |
+//! | L3 | physics crates | no numeric `as` casts (use `From`/`TryFrom` or allow-list) |
+//! | L4 | every crate's `lib.rs` | `#![forbid(unsafe_code)]` present |
+//! | L5 | physics crates | no `==`/`!=` against float literals |
+
+use crate::scanner::ScannedFile;
+use crate::{Diagnostic, FileClass, RuleId};
+use std::path::Path;
+
+/// Names that mark a parameter or function as carrying a physical
+/// quantity (the glob set from the lint charter).
+const QUANTITY_MARKERS: &[&str] = &["temp", "celsius", "watts", "flow", "pressure", "kwh", "usd"];
+
+/// Numeric primitive types an `as` cast can target.
+const NUMERIC_TYPES: &[&str] = &[
+    "f64", "f32", "usize", "isize", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Whether `needle` occurs in `haystack` as a whole word.
+fn word_match(haystack: &str, needle: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = haystack[from..].find(needle) {
+        let at = from + rel;
+        let before_ok =
+            at == 0 || !is_ident_char(haystack[..at].chars().next_back().unwrap_or(' '));
+        let after = at + needle.len();
+        let after_ok = after >= haystack.len()
+            || !is_ident_char(haystack[after..].chars().next().unwrap_or(' '));
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + needle.len();
+    }
+    None
+}
+
+fn quantity_named(ident: &str) -> bool {
+    let lower = ident.to_lowercase();
+    QUANTITY_MARKERS.iter().any(|m| lower.contains(m))
+}
+
+/// Runs every line-anchored rule over one file.
+pub fn check_file(
+    path: &Path,
+    scanned: &ScannedFile,
+    class: &FileClass,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut emit = |rule: RuleId, line: usize, message: String| {
+        let allowed = scanned
+            .allows
+            .get(&line)
+            .is_some_and(|rules| rules.contains(&rule));
+        if !allowed {
+            out.push(Diagnostic {
+                rule,
+                file: path.to_path_buf(),
+                line,
+                message,
+            });
+        }
+    };
+
+    if class.library {
+        for finding in l2_no_panics(scanned) {
+            emit(RuleId::L2, finding.0, finding.1);
+        }
+        if class.l1_applies {
+            for finding in l1_raw_quantity_signatures(scanned) {
+                emit(RuleId::L1, finding.0, finding.1);
+            }
+        }
+    }
+    if class.physics {
+        for finding in l3_numeric_casts(scanned) {
+            emit(RuleId::L3, finding.0, finding.1);
+        }
+        for finding in l5_float_literal_eq(scanned) {
+            emit(RuleId::L5, finding.0, finding.1);
+        }
+    }
+}
+
+/// L4: `lib.rs` must forbid unsafe code. Checked per crate root, not
+/// per line, so it lives outside [`check_file`].
+#[must_use]
+pub fn l4_forbids_unsafe(lib_rs_source: &str) -> bool {
+    lib_rs_source
+        .lines()
+        .any(|l| l.replace(' ', "").starts_with("#![forbid(unsafe_code)]"))
+}
+
+type Finding = (usize, String);
+
+/// L2: `unwrap()` / `expect(` / `panic!` / `unimplemented!` / `todo!`
+/// outside test regions.
+fn l2_no_panics(scanned: &ScannedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if scanned.test_region[idx] {
+            continue;
+        }
+        // `debug_assert!` is fine (stripped in release); `assert!` is a
+        // documented contract and clippy's missing_panics_doc covers
+        // it, so L2 focuses on the paper-model hot paths' silent
+        // aborts.
+        for (needle, label) in [
+            (".unwrap()", "`unwrap()`"),
+            (".expect(", "`expect()`"),
+            ("panic!(", "`panic!`"),
+            ("unimplemented!(", "`unimplemented!`"),
+            ("todo!(", "`todo!`"),
+        ] {
+            if let Some(at) = line.find(needle) {
+                // `debug_assert!`'s internal panic and idents like
+                // `no_panic!` must not match `panic!(`.
+                if needle == "panic!(" {
+                    let before = line[..at].chars().next_back();
+                    if before.is_some_and(is_ident_char) {
+                        continue;
+                    }
+                }
+                findings.push((
+                    idx + 1,
+                    format!(
+                        "{label} in library code: return the crate's typed error \
+                         (or justify with `// h2p-lint: allow(L2): <reason>`)"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// L1: raw `f64`/`f32` crossing `pub fn` boundaries under a
+/// quantity-like name.
+fn l1_raw_quantity_signatures(scanned: &ScannedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut idx = 0;
+    while idx < scanned.lines.len() {
+        if scanned.test_region[idx] {
+            idx += 1;
+            continue;
+        }
+        let line = &scanned.lines[idx];
+        let Some(fn_at) = find_pub_fn(line) else {
+            idx += 1;
+            continue;
+        };
+        // Join lines until the signature terminates.
+        let mut signature = line[fn_at..].to_string();
+        let mut end = idx;
+        while !signature.contains('{') && !signature.contains(';') && end + 1 < scanned.lines.len()
+        {
+            end += 1;
+            signature.push(' ');
+            signature.push_str(&scanned.lines[end]);
+        }
+        let sig_line = idx + 1;
+        for finding in check_signature(&signature, sig_line) {
+            findings.push(finding);
+        }
+        idx = end + 1;
+    }
+    findings
+}
+
+/// Position right after `pub ` / `pub(...) ` if the line declares a
+/// public function.
+fn find_pub_fn(line: &str) -> Option<usize> {
+    let pub_at = word_match(line, "pub")?;
+    let rest = &line[pub_at + 3..];
+    let rest_trim = rest.trim_start();
+    let skipped = rest.len() - rest_trim.len();
+    let after_vis = if rest_trim.starts_with('(') {
+        let close = rest_trim.find(')')?;
+        rest_trim[close + 1..].trim_start()
+    } else {
+        rest_trim
+    };
+    if after_vis.starts_with("fn ") {
+        // Offset only used to slice the signature's tail; recompute
+        // conservatively from the `fn` keyword.
+        let fn_rel = line[pub_at..].find("fn ")?;
+        let _ = skipped;
+        Some(pub_at + fn_rel)
+    } else {
+        None
+    }
+}
+
+/// Splits `args` on commas at angle/paren/bracket depth zero.
+fn split_top_level(args: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, c) in args.char_indices() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(&args[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&args[start..]);
+    parts
+}
+
+/// Whether a type text is a bare raw float (`f64`, `f32`, `&f64`, ...).
+fn is_raw_float_type(ty: &str) -> bool {
+    let t = ty
+        .trim()
+        .trim_start_matches('&')
+        .trim_start_matches("mut ")
+        .trim();
+    t == "f64" || t == "f32"
+}
+
+fn check_signature(signature: &str, line: usize) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // `fn name(params) -> ret`
+    let Some(open) = signature.find('(') else {
+        return findings;
+    };
+    let name = signature["fn ".len()..open]
+        .trim()
+        .trim_end_matches(|c: char| !is_ident_char(c))
+        .to_string();
+    let name = name.split('<').next().unwrap_or("").trim().to_string();
+
+    // Find the matching close paren of the parameter list.
+    let mut depth = 0i32;
+    let mut close = open;
+    for (i, c) in signature[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = open + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let params = &signature[open + 1..close];
+    for param in split_top_level(params) {
+        let Some((pname, ptype)) = param.split_once(':') else {
+            continue; // self, _ or malformed
+        };
+        let pname = pname.trim().trim_start_matches("mut ").trim();
+        if quantity_named(pname) && is_raw_float_type(ptype) {
+            findings.push((
+                line,
+                format!(
+                    "pub fn `{name}` takes quantity-named parameter `{pname}` as raw \
+                     `{}` — use an `h2p-units` newtype",
+                    ptype.trim()
+                ),
+            ));
+        }
+    }
+
+    // Return type: the function name carries the quantity.
+    if let Some(arrow) = signature.find("->") {
+        let ret_end = signature.find(['{', ';']).unwrap_or(signature.len());
+        if ret_end > arrow + 2 {
+            let ret = signature[arrow + 2..ret_end].trim();
+            let ret = ret.split("where").next().unwrap_or(ret).trim();
+            if quantity_named(&name) && is_raw_float_type(ret) {
+                findings.push((
+                    line,
+                    format!(
+                        "pub fn `{name}` returns raw `{ret}` for a quantity-named \
+                         API — use an `h2p-units` newtype"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// L3: `expr as <numeric>` casts.
+fn l3_numeric_casts(scanned: &ScannedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if scanned.test_region[idx] {
+            continue;
+        }
+        let mut search_from = 0;
+        while let Some(rel) = line[search_from..].find(" as ") {
+            let at = search_from + rel;
+            let after = line[at + 4..].trim_start();
+            let target: String = after.chars().take_while(|&c| is_ident_char(c)).collect();
+            search_from = at + 4;
+            if !NUMERIC_TYPES.contains(&target.as_str()) {
+                continue;
+            }
+            // `as` must follow an expression, not `use x as y`.
+            let before = line[..at].trim_end();
+            if before.ends_with("use") || before.is_empty() {
+                continue;
+            }
+            findings.push((
+                idx + 1,
+                format!(
+                    "numeric `as {target}` cast in physics crate — use `From`/`TryFrom` \
+                     conversions (or justify with `// h2p-lint: allow(L3): <reason>`)"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// L5: `==` / `!=` against a float literal.
+fn l5_float_literal_eq(scanned: &ScannedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if scanned.test_region[idx] {
+            continue;
+        }
+        for op in ["==", "!="] {
+            let mut from = 0;
+            while let Some(rel) = line[from..].find(op) {
+                let at = from + rel;
+                from = at + op.len();
+                // Skip `<=`, `>=`, `!=` handled directly; ensure not
+                // part of `===`-like or `<=`/`>=` sequences.
+                if op == "==" {
+                    let prev = line[..at].chars().next_back();
+                    if matches!(prev, Some('<' | '>' | '!' | '=')) {
+                        continue;
+                    }
+                }
+                let rhs = line[at + op.len()..].trim_start();
+                let lhs = line[..at].trim_end();
+                if is_float_literal_start(rhs) || is_float_literal_end(lhs) {
+                    findings.push((
+                        idx + 1,
+                        format!(
+                            "float-literal `{op}` comparison is NaN-unsafe — compare \
+                             with a tolerance or use the `!(x > 0.0)` rejection idiom \
+                             (or justify with `// h2p-lint: allow(L5): <reason>`)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Whether text begins with a float literal like `0.0`, `-1.5e3`, `1.`.
+fn is_float_literal_start(text: &str) -> bool {
+    let t = text.strip_prefix('-').unwrap_or(text);
+    let mut chars = t.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    let mut seen_dot = false;
+    for c in chars {
+        match c {
+            '0'..='9' | '_' => {}
+            '.' => {
+                seen_dot = true;
+                break;
+            }
+            _ => return false,
+        }
+    }
+    seen_dot
+}
+
+/// Whether text ends with a float literal.
+fn is_float_literal_end(text: &str) -> bool {
+    let mut rev: Vec<char> = text.chars().rev().collect();
+    // Allow a f64/f32 suffix.
+    for suffix in ["f64", "f32"] {
+        if let Some(stripped) = text.strip_suffix(suffix) {
+            rev = stripped.chars().rev().collect();
+            break;
+        }
+    }
+    let mut seen_digit = false;
+    let mut seen_dot_at = None;
+    for (i, &c) in rev.iter().enumerate() {
+        match c {
+            '0'..='9' | '_' => seen_digit = true,
+            '.' => {
+                seen_dot_at = Some(i);
+                break;
+            }
+            _ => break,
+        }
+    }
+    let Some(dot) = seen_dot_at else {
+        return false;
+    };
+    // Distinguish the literal `1.5` from the tuple-field access
+    // `self.0`: a literal has a digit (or nothing) before the dot.
+    match rev.get(dot + 1) {
+        None => false, // a bare `.5` never appears as a literal here
+        Some(c) => seen_digit && c.is_ascii_digit(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+    use crate::FileClass;
+    use std::path::PathBuf;
+
+    fn run(source: &str, class: &FileClass) -> Vec<Diagnostic> {
+        let scanned = scan(source);
+        let mut out = Vec::new();
+        check_file(&PathBuf::from("test.rs"), &scanned, class, &mut out);
+        out
+    }
+
+    fn physics_lib() -> FileClass {
+        FileClass {
+            library: true,
+            physics: true,
+            l1_applies: true,
+        }
+    }
+
+    #[test]
+    fn l1_flags_raw_quantity_params_and_returns() {
+        let src = "pub fn set_inlet_temp(inlet_temp_c: f64) {}\n\
+                   pub fn water_flow(&self) -> f64 { self.flow }\n\
+                   pub fn count(&self) -> usize { 0 }\n\
+                   pub fn inlet(&self) -> Celsius { self.t }\n";
+        let diags = run(src, &physics_lib());
+        let l1: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::L1).collect();
+        assert_eq!(l1.len(), 2, "{l1:?}");
+        assert_eq!(l1[0].line, 1);
+        assert_eq!(l1[1].line, 2);
+    }
+
+    #[test]
+    fn l2_exempts_tests_and_allows() {
+        let src = "fn a() { x.unwrap(); }\n\
+                   fn b() { y.expect(\"ok\"); } // h2p-lint: allow(L2): infallible\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { z.unwrap(); panic!(\"no\"); }\n}\n";
+        let diags = run(src, &physics_lib());
+        let l2: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::L2).collect();
+        assert_eq!(l2.len(), 1, "{l2:?}");
+        assert_eq!(l2[0].line, 1);
+    }
+
+    #[test]
+    fn l2_does_not_flag_debug_assert() {
+        let diags = run("fn a() { debug_assert!(x > 0.0); }\n", &physics_lib());
+        assert!(diags.iter().all(|d| d.rule != RuleId::L2), "{diags:?}");
+    }
+
+    #[test]
+    fn l3_flags_numeric_casts_only_in_physics() {
+        let src = "fn a(n: usize) -> f64 { n as f64 }\n";
+        assert_eq!(run(src, &physics_lib()).len(), 1);
+        let non_physics = FileClass {
+            library: true,
+            physics: false,
+            l1_applies: true,
+        };
+        assert!(run(src, &non_physics).is_empty());
+    }
+
+    #[test]
+    fn l5_flags_float_literal_comparisons() {
+        let src = "fn a(x: f64) -> bool { x == 0.0 }\n\
+                   fn b(x: f64) -> bool { 1.5 != x }\n\
+                   fn c(x: f64) -> bool { !(x > 0.0) }\n\
+                   fn d(n: usize) -> bool { n == 0 }\n";
+        let diags = run(src, &physics_lib());
+        let l5: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::L5).collect();
+        assert_eq!(l5.len(), 2, "{l5:?}");
+    }
+
+    #[test]
+    fn l4_detects_forbid_attribute() {
+        assert!(l4_forbids_unsafe("//! docs\n#![forbid(unsafe_code)]\n"));
+        assert!(!l4_forbids_unsafe("//! docs\n#![warn(missing_docs)]\n"));
+    }
+}

@@ -1,0 +1,387 @@
+//! Lexical preprocessing of Rust sources.
+//!
+//! The lint pass runs in an offline sandbox with no `syn`, so rules
+//! operate on a *stripped* view of each file: comment and string
+//! contents are blanked (preserving line structure and delimiters) and
+//! a few structural facts are recovered — `#[cfg(test)]` regions via
+//! brace tracking, and `h2p-lint: allow(...)` directives from the
+//! comments before they are blanked. This is deliberately simpler than
+//! a full parse; the rules it feeds are line-anchored pattern checks
+//! for which token-accurate text is sufficient.
+
+use crate::RuleId;
+use std::collections::HashMap;
+
+/// One preprocessed source file.
+pub struct ScannedFile {
+    /// Per-line stripped text (comments/strings blanked, delimiters kept).
+    pub lines: Vec<String>,
+    /// 1-based lines inside `#[cfg(test)]` items.
+    pub test_region: Vec<bool>,
+    /// 1-based line -> rules allow-listed for that line.
+    pub allows: HashMap<usize, Vec<RuleId>>,
+}
+
+/// Lexer state that survives line boundaries.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Inside `/* ... */`, tracking nesting depth.
+    BlockComment(u32),
+    /// Inside a `"..."` string.
+    Str,
+    /// Inside a raw string with `hashes` trailing `#` marks.
+    RawStr {
+        hashes: u8,
+    },
+}
+
+/// Strips one line, returning the stripped text, any comment text
+/// encountered, and the updated carry-over mode.
+fn strip_line(line: &str, mode: Mode) -> (String, String, Mode) {
+    let mut out = String::with_capacity(line.len());
+    let mut comments = String::new();
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    let mut mode = mode;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match mode {
+            Mode::BlockComment(depth) => {
+                comments.push(c);
+                if c == '*' && next == Some('/') {
+                    comments.push('/');
+                    i += 2;
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    comments.push('*');
+                    i += 2;
+                    mode = Mode::BlockComment(depth + 1);
+                    continue;
+                }
+                i += 1;
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    i += 2; // escape: skip escaped char (may end the line)
+                    out.push(' ');
+                    out.push(' ');
+                    continue;
+                }
+                if c == '"' {
+                    out.push('"');
+                    mode = Mode::Code;
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            Mode::RawStr { hashes } => {
+                if c == '"' {
+                    let needed = hashes as usize;
+                    let tail: String = bytes[i + 1..].iter().take(needed).collect();
+                    if tail.chars().filter(|&h| h == '#').count() == needed {
+                        out.push('"');
+                        for _ in 0..needed {
+                            out.push('#');
+                        }
+                        i += 1 + needed;
+                        mode = Mode::Code;
+                        continue;
+                    }
+                }
+                out.push(' ');
+                i += 1;
+            }
+            Mode::Code => {
+                match c {
+                    '/' if next == Some('/') => {
+                        // Line comment: capture for directives, drop
+                        // from code view.
+                        comments.push_str(&bytes[i..].iter().collect::<String>());
+                        i = bytes.len();
+                    }
+                    '/' if next == Some('*') => {
+                        comments.push_str("/*");
+                        i += 2;
+                        mode = Mode::BlockComment(1);
+                    }
+                    '"' => {
+                        out.push('"');
+                        i += 1;
+                        mode = Mode::Str;
+                    }
+                    'r' | 'b' if starts_raw_string(&bytes, i) => {
+                        let (prefix_len, hashes) = raw_string_shape(&bytes, i);
+                        for _ in 0..prefix_len {
+                            out.push(' ');
+                        }
+                        out.push('"');
+                        i += prefix_len + 1;
+                        mode = Mode::RawStr { hashes };
+                    }
+                    'b' if next == Some('"') => {
+                        out.push(' ');
+                        out.push('"');
+                        i += 2;
+                        mode = Mode::Str;
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime. A literal closes
+                        // with a quote after one (possibly escaped)
+                        // character; a lifetime does not.
+                        if let Some(advance) = char_literal_len(&bytes, i) {
+                            out.push('\'');
+                            for _ in 1..advance {
+                                out.push(' ');
+                            }
+                            i += advance;
+                        } else {
+                            out.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    (out, comments, mode)
+}
+
+/// Whether position `i` starts `r"`, `r#"`, `br"`, `br#"`, ...
+fn starts_raw_string(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+/// Length of the `r##` prefix (before the quote) and its hash count.
+fn raw_string_shape(bytes: &[char], i: usize) -> (usize, u8) {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0u8;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (j - i, hashes)
+}
+
+/// If a char literal starts at `i`, its total length; `None` for
+/// lifetimes.
+fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        '\\' => {
+            // Escaped: find the closing quote within a few chars
+            // (\n, \u{..} and friends).
+            let mut j = i + 2;
+            while j < bytes.len() && j - i < 12 {
+                if bytes[j] == '\'' {
+                    return Some(j - i + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => (bytes.get(i + 2) == Some(&'\'')).then_some(3),
+    }
+}
+
+/// Parses `h2p-lint: allow(L1)` / `allow(L2, L5)` out of comment text.
+fn parse_allow_directive(comment: &str) -> Vec<RuleId> {
+    let Some(at) = comment.find("h2p-lint:") else {
+        return Vec::new();
+    };
+    let rest = &comment[at + "h2p-lint:".len()..];
+    let Some(open) = rest.find("allow(") else {
+        return Vec::new();
+    };
+    let args = &rest[open + "allow(".len()..];
+    let Some(close) = args.find(')') else {
+        return Vec::new();
+    };
+    args[..close]
+        .split(',')
+        .filter_map(|s| RuleId::parse(s.trim()))
+        .collect()
+}
+
+/// Preprocesses a whole file.
+#[must_use]
+pub fn scan(source: &str) -> ScannedFile {
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut lines = Vec::with_capacity(raw_lines.len());
+    let mut allows: HashMap<usize, Vec<RuleId>> = HashMap::new();
+    let mut mode = Mode::Code;
+    let mut pending_allow: Vec<RuleId> = Vec::new();
+
+    for (idx, raw) in raw_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let (stripped, comments, next_mode) = strip_line(raw, mode);
+        mode = next_mode;
+
+        let directive = parse_allow_directive(&comments);
+        let code_is_blank = stripped.trim().is_empty();
+        if !directive.is_empty() {
+            if code_is_blank {
+                // Standalone comment: applies to the next code line.
+                pending_allow = directive;
+            } else {
+                allows.entry(lineno).or_default().extend(directive);
+            }
+        } else if !code_is_blank && !pending_allow.is_empty() {
+            // Attribute-only lines (e.g. a clippy `#[allow(...)]`
+            // stacked under the h2p-lint comment) cannot themselves
+            // violate a rule; carry the pending allow through to the
+            // code line beneath them.
+            let trimmed = stripped.trim();
+            if !(trimmed.starts_with("#[") && trimmed.ends_with(']')) {
+                allows.entry(lineno).or_default().append(&mut pending_allow);
+            }
+        }
+        lines.push(stripped);
+    }
+
+    let test_region = mark_test_regions(&lines);
+    ScannedFile {
+        lines,
+        test_region,
+        allows,
+    }
+}
+
+/// Marks lines covered by `#[cfg(test)]` items (modules or functions)
+/// by tracking brace depth from the attribute's opening brace to its
+/// matching close.
+fn mark_test_regions(lines: &[String]) -> Vec<bool> {
+    let mut region = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // Depth at which each active test region opened.
+    let mut open_regions: Vec<i64> = Vec::new();
+    let mut armed = false;
+
+    for (idx, line) in lines.iter().enumerate() {
+        if !open_regions.is_empty() {
+            region[idx] = true;
+        }
+        if line.contains("#[cfg(test)]") || line.contains("#[cfg(all(test") {
+            armed = true;
+            region[idx] = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if armed {
+                        open_regions.push(depth);
+                        armed = false;
+                        region[idx] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if open_regions.last() == Some(&depth) {
+                        open_regions.pop();
+                        region[idx] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if armed {
+            // Attribute line(s) before the item body opens.
+            region[idx] = true;
+        }
+    }
+    region
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_blanked() {
+        let s = scan("let x = \"a } b { unwrap()\"; // trailing unwrap()\nlet y = 2;");
+        assert!(!s.lines[0].contains("unwrap"));
+        assert!(s.lines[0].contains("let x ="));
+        assert_eq!(s.lines[1], "let y = 2;");
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let s = scan("a /* one\ntwo unwrap()\nthree */ b");
+        assert!(s.lines[1].trim().is_empty());
+        assert!(s.lines[2].contains('b'));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = '}'; let d = '\\n'; }");
+        // The brace inside the char literal must not unbalance depth.
+        let opens = s.lines[0].matches('{').count();
+        let closes = s.lines[0].matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn raw_strings_blanked() {
+        let s = scan("let x = r#\"panic!(\"boom\")\"#; let y = 1;");
+        assert!(!s.lines[0].contains("panic"));
+        assert!(s.lines[0].contains("let y = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_region_tracked() {
+        let src = "fn real() {\n    body();\n}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let s = scan(src);
+        assert!(!s.test_region[0]);
+        assert!(!s.test_region[1]);
+        assert!(s.test_region[3]);
+        assert!(s.test_region[4]);
+        assert!(s.test_region[5]);
+        assert!(s.test_region[6]);
+        assert!(!s.test_region[7]);
+    }
+
+    #[test]
+    fn allow_directives_same_line_and_preceding() {
+        let src = "let a = x.unwrap(); // h2p-lint: allow(L2): infallible\n// h2p-lint: allow(L3, L5): calibration table\nlet b = y as u32;\nlet c = z;\n";
+        let s = scan(src);
+        assert_eq!(s.allows.get(&1), Some(&vec![RuleId::L2]));
+        assert_eq!(s.allows.get(&3), Some(&vec![RuleId::L3, RuleId::L5]));
+        assert_eq!(s.allows.get(&4), None);
+    }
+
+    #[test]
+    fn allow_directive_skips_attribute_lines() {
+        let src = "// h2p-lint: allow(L3): small count\n#[allow(clippy::cast_possible_truncation)]\nlet n = x as usize;\n";
+        let s = scan(src);
+        assert_eq!(s.allows.get(&2), None);
+        assert_eq!(s.allows.get(&3), Some(&vec![RuleId::L3]));
+    }
+}

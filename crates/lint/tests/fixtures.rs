@@ -1,0 +1,94 @@
+//! Fixture tests: every rule fires on its deliberate violation, the
+//! clean fixture is accepted, and the real workspace is lint-clean.
+
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use h2p_lint::{find_workspace_root, lint_fixture_dir, lint_workspace, RuleId};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// Rules firing on one fixture file, by file-name substring.
+fn rules_for(file_hint: &str) -> Vec<RuleId> {
+    let diags = lint_fixture_dir(&fixtures_dir().join("violations")).unwrap();
+    diags
+        .iter()
+        .filter(|d| d.file.to_string_lossy().contains(file_hint))
+        .map(|d| d.rule)
+        .collect()
+}
+
+#[test]
+fn l1_fires_on_raw_quantity_fixture() {
+    let rules = rules_for("l1_raw_quantity");
+    assert_eq!(rules, vec![RuleId::L1, RuleId::L1], "{rules:?}");
+}
+
+#[test]
+fn l2_fires_on_panic_fixture() {
+    let rules = rules_for("l2_panics");
+    assert_eq!(rules, vec![RuleId::L2; 3], "{rules:?}");
+}
+
+#[test]
+fn l3_fires_on_cast_fixture() {
+    let rules = rules_for("l3_casts");
+    assert_eq!(rules, vec![RuleId::L3, RuleId::L3], "{rules:?}");
+}
+
+#[test]
+fn l4_fires_on_missing_forbid_fixture() {
+    let rules = rules_for("l4_missing_forbid");
+    assert_eq!(rules, vec![RuleId::L4], "{rules:?}");
+}
+
+#[test]
+fn l5_fires_on_float_eq_fixture() {
+    let rules = rules_for("l5_float_eq");
+    assert_eq!(rules, vec![RuleId::L5, RuleId::L5], "{rules:?}");
+}
+
+#[test]
+fn diagnostics_carry_file_and_line() {
+    let diags = lint_fixture_dir(&fixtures_dir().join("violations")).unwrap();
+    for d in &diags {
+        assert!(d.line >= 1, "{d}");
+        let text = d.to_string();
+        assert!(text.contains(&format!("{}:", d.file.display())), "{text}");
+    }
+}
+
+#[test]
+fn clean_fixture_is_accepted() {
+    let diags = lint_fixture_dir(&fixtures_dir().join("clean")).unwrap();
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+    let diags = lint_workspace(&root).unwrap();
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn cli_exits_nonzero_on_violations_and_zero_on_clean() {
+    let bin = env!("CARGO_BIN_EXE_h2p-lint");
+    let bad = Command::new(bin)
+        .args(["--fixtures"])
+        .arg(fixtures_dir().join("violations"))
+        .output()
+        .expect("run h2p-lint on violations");
+    assert_eq!(bad.status.code(), Some(1), "{bad:?}");
+
+    let good = Command::new(bin)
+        .args(["--fixtures"])
+        .arg(fixtures_dir().join("clean"))
+        .output()
+        .expect("run h2p-lint on clean fixtures");
+    assert_eq!(good.status.code(), Some(0), "{good:?}");
+}

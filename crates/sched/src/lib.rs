@@ -33,6 +33,18 @@
 // `!(x > 0.0)` is used as a deliberate NaN-rejecting validation idiom
 // throughout (NaN fails the guard, unlike `x <= 0.0`).
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Test code opts back into panicking asserts/unwraps (see [workspace.lints]).
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::float_cmp,
+        clippy::cast_lossless,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
 
 use h2p_units::Utilization;
 
@@ -301,12 +313,8 @@ mod tests {
     #[test]
     fn consolidate_control_ordering_vs_balance() {
         let ls = loads(&[0.2, 0.4, 0.3]);
-        assert!(
-            Consolidate.control_utilization(&ls) >= Original.control_utilization(&ls)
-        );
-        assert!(
-            Original.control_utilization(&ls) >= LoadBalance.control_utilization(&ls)
-        );
+        assert!(Consolidate.control_utilization(&ls) >= Original.control_utilization(&ls));
+        assert!(Original.control_utilization(&ls) >= LoadBalance.control_utilization(&ls));
     }
 
     #[test]

@@ -85,6 +85,7 @@ impl PowersaveGovernor {
             min: Gigahertz::new(1.2),
             knee_frequency: Gigahertz::new(2.3),
             cap: Gigahertz::new(2.5),
+            // h2p-lint: allow(L2): 0.5 is inside [0, 1]
             knee_utilization: Utilization::new(0.5).expect("constant in range"),
         }
     }

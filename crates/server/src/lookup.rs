@@ -85,6 +85,7 @@ impl LookupSpace {
                 return Err(ServerError::BadGridAxis { axis: name });
             }
         }
+        // h2p-lint: allow(L2): axis length >= 2 checked above
         if u_axis[0] < 0.0 || *u_axis.last().expect("non-empty") > 1.0 {
             return Err(ServerError::BadGridAxis { axis: "u" });
         }
@@ -92,14 +93,11 @@ impl LookupSpace {
         let mut cpu_temp = Vec::with_capacity(nu * nf * nt);
         let mut outlet = Vec::with_capacity(nu * nf * nt);
         for &u in &u_axis {
+            // h2p-lint: allow(L2): u-axis range-checked above
             let util = Utilization::new(u).expect("validated above");
             for &f in &f_axis {
                 for &t in &t_axis {
-                    let op = model.operating_point(
-                        util,
-                        LitersPerHour::new(f),
-                        Celsius::new(t),
-                    )?;
+                    let op = model.operating_point(util, LitersPerHour::new(f), Celsius::new(t))?;
                     cpu_temp.push(op.cpu_temperature.value());
                     outlet.push(op.outlet.value());
                 }
@@ -121,9 +119,9 @@ impl LookupSpace {
     ///
     /// Propagates [`build`](Self::build) failures.
     pub fn paper_grid(model: &ServerModel) -> Result<Self, ServerError> {
-        let u_axis: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
-        let f_axis: Vec<f64> = (0..=23).map(|i| 20.0 + 10.0 * i as f64).collect();
-        let t_axis: Vec<f64> = (0..=20).map(|i| 20.0 + 2.0 * i as f64).collect();
+        let u_axis: Vec<f64> = (0..=20).map(|i| f64::from(i) / 20.0).collect();
+        let f_axis: Vec<f64> = (0..=23).map(|i| 20.0 + 10.0 * f64::from(i)).collect();
+        let t_axis: Vec<f64> = (0..=20).map(|i| 20.0 + 2.0 * f64::from(i)).collect();
         Self::build(model, u_axis, f_axis, t_axis)
     }
 
@@ -184,7 +182,7 @@ impl LookupSpace {
     /// Finds the bracketing interval `[i, i+1]` of `x` on `axis`.
     fn bracket(axis: &[f64], x: f64, name: &'static str) -> Result<(usize, f64), ServerError> {
         let lo = axis[0];
-        let hi = *axis.last().expect("validated non-empty");
+        let hi = *axis.last().expect("validated non-empty"); // h2p-lint: allow(L2): axes validated at build
         if x < lo - 1e-9 || x > hi + 1e-9 {
             return Err(ServerError::OutOfGrid {
                 axis: name,
@@ -233,7 +231,12 @@ impl LookupSpace {
         flow: LitersPerHour,
         inlet: Celsius,
     ) -> Result<Celsius, ServerError> {
-        Ok(Celsius::new(self.interpolate(&self.cpu_temp, u, flow, inlet)?))
+        Ok(Celsius::new(self.interpolate(
+            &self.cpu_temp,
+            u,
+            flow,
+            inlet,
+        )?))
     }
 
     /// Interpolated coolant outlet temperature at `(u, f, T_in)`.
@@ -247,7 +250,12 @@ impl LookupSpace {
         flow: LitersPerHour,
         inlet: Celsius,
     ) -> Result<Celsius, ServerError> {
-        Ok(Celsius::new(self.interpolate(&self.outlet, u, flow, inlet)?))
+        Ok(Celsius::new(self.interpolate(
+            &self.outlet,
+            u,
+            flow,
+            inlet,
+        )?))
     }
 
     /// The paper's Step 2 + intersection of Step 3 (Sec. V-B1): slice
@@ -413,12 +421,7 @@ mod tests {
             Err(ServerError::BadGridAxis { axis: "u" })
         ));
         assert!(matches!(
-            LookupSpace::build(
-                &model,
-                vec![0.0, 1.0],
-                vec![30.0, 20.0],
-                vec![20.0, 30.0]
-            ),
+            LookupSpace::build(&model, vec![0.0, 1.0], vec![30.0, 20.0], vec![20.0, 30.0]),
             Err(ServerError::BadGridAxis { axis: "f" })
         ));
         assert!(matches!(

@@ -142,13 +142,13 @@ impl ServerModel {
         flow: LitersPerHour,
         inlet: Celsius,
     ) -> Result<OperatingPoint, ServerError> {
-        let resistance = self
-            .plate
-            .resistance(flow)
-            .map_err(|_| ServerError::NonPositiveParameter {
-                name: "flow",
-                value: flow.value(),
-            })?;
+        let resistance =
+            self.plate
+                .resistance(flow)
+                .map_err(|_| ServerError::NonPositiveParameter {
+                    name: "flow",
+                    value: flow.value(),
+                })?;
         let m = 1.0 / flow.mass_flow().capacity_rate();
         let coupling = resistance + 0.5 * m;
         let gamma = self.power.leakage_per_kelvin();
@@ -240,7 +240,11 @@ mod tests {
         let s = server();
         for inlet in [40.0, 42.5, 45.0] {
             let op = s
-                .operating_point(Utilization::FULL, LitersPerHour::new(20.0), Celsius::new(inlet))
+                .operating_point(
+                    Utilization::FULL,
+                    LitersPerHour::new(20.0),
+                    Celsius::new(inlet),
+                )
                 .unwrap();
             assert!(!op.over_limit, "inlet {inlet}: die {}", op.cpu_temperature);
         }
@@ -252,7 +256,11 @@ mod tests {
         // CPU exceeds its maximum operating temperature.
         let s = server();
         let op = s
-            .operating_point(Utilization::FULL, LitersPerHour::new(20.0), Celsius::new(52.0))
+            .operating_point(
+                Utilization::FULL,
+                LitersPerHour::new(20.0),
+                Celsius::new(52.0),
+            )
             .unwrap();
         assert!(op.over_limit, "die {}", op.cpu_temperature);
     }
@@ -389,7 +397,11 @@ mod tests {
     fn frequency_reported() {
         let s = server();
         let op = s
-            .operating_point(Utilization::FULL, LitersPerHour::new(20.0), Celsius::new(40.0))
+            .operating_point(
+                Utilization::FULL,
+                LitersPerHour::new(20.0),
+                Celsius::new(40.0),
+            )
             .unwrap();
         assert!((op.frequency.value() - 2.5).abs() < 1e-9);
     }
@@ -404,7 +416,11 @@ mod tests {
             CpuSpec::e5_2650_v3(),
         );
         let err = s
-            .operating_point(Utilization::FULL, LitersPerHour::new(20.0), Celsius::new(40.0))
+            .operating_point(
+                Utilization::FULL,
+                LitersPerHour::new(20.0),
+                Celsius::new(40.0),
+            )
             .unwrap_err();
         assert!(matches!(err, ServerError::ThermalRunaway { .. }));
     }

@@ -144,7 +144,12 @@ mod tests {
         // 45 °C water: full load stays under 78.9 °C (Sec. II-B).
         let c = ThrottleController::at_max_operating();
         let d = c
-            .throttle(&model(), Utilization::FULL, LitersPerHour::new(20.0), Celsius::new(45.0))
+            .throttle(
+                &model(),
+                Utilization::FULL,
+                LitersPerHour::new(20.0),
+                Celsius::new(45.0),
+            )
             .unwrap();
         assert!(!d.throttled);
         assert_eq!(d.admitted, Utilization::FULL);
@@ -205,7 +210,12 @@ mod tests {
         // A limit below what even an idle die reaches.
         let c = ThrottleController::new(Celsius::new(30.0));
         let d = c
-            .throttle(&model(), u(0.5), LitersPerHour::new(20.0), Celsius::new(45.0))
+            .throttle(
+                &model(),
+                u(0.5),
+                LitersPerHour::new(20.0),
+                Celsius::new(45.0),
+            )
             .unwrap();
         assert_eq!(d.admitted, Utilization::IDLE);
         assert!(d.throttled);

@@ -55,7 +55,10 @@ pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
     let mut sorted: Vec<f64> = samples.to_vec();
     sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    // rank is in [0, len-1], so floor/ceil fit usize exactly.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let lo = rank.floor() as usize;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
     Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)

@@ -86,7 +86,7 @@ fn erfc_cf(z: f64) -> f64 {
     let mut c = z;
     let mut d = 0.0;
     for j in 1..200 {
-        let a = j as f64 / 2.0;
+        let a = f64::from(j) / 2.0;
         d = z + a * d;
         if d.abs() < TINY {
             d = TINY;

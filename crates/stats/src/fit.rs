@@ -60,7 +60,12 @@ impl core::fmt::Display for Polynomial {
             if i == 0 {
                 write!(f, "{c:.6}")?;
             } else {
-                write!(f, " {} {:.6}·x^{i}", if *c < 0.0 { "-" } else { "+" }, c.abs())?;
+                write!(
+                    f,
+                    " {} {:.6}·x^{i}",
+                    if *c < 0.0 { "-" } else { "+" },
+                    c.abs()
+                )?;
             }
         }
         Ok(())

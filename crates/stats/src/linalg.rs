@@ -13,6 +13,7 @@ pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, S
         // Partial pivot.
         let pivot = (col..n)
             .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            // h2p-lint: allow(L2): col..n is non-empty for col < n
             .expect("non-empty range");
         if a[pivot][col].abs() < 1e-12 {
             return Err(StatsError::SingularSystem);

@@ -24,6 +24,8 @@ const PANELS: usize = 4000;
 ///
 /// Panics if `n == 0`.
 #[must_use]
+// Sample counts are far below i32::MAX in every H2P design sweep.
+#[allow(clippy::cast_possible_truncation)]
 pub fn max_cdf(dist: Normal, n: usize, x: f64) -> f64 {
     assert!(n > 0, "sample count must be positive");
     dist.cdf(x).powi(n as i32)
@@ -36,6 +38,8 @@ pub fn max_cdf(dist: Normal, n: usize, x: f64) -> f64 {
 ///
 /// Panics if `n == 0`.
 #[must_use]
+// Sample counts are far below i32::MAX in every H2P design sweep.
+#[allow(clippy::cast_possible_truncation)]
 pub fn max_pdf(dist: Normal, n: usize, x: f64) -> f64 {
     assert!(n > 0, "sample count must be positive");
     n as f64 * dist.cdf(x).powi(n as i32 - 1) * dist.pdf(x)

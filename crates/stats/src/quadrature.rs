@@ -20,7 +20,8 @@
 pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
     assert!(n > 0, "panel count must be positive");
     assert!(a <= b, "integration bounds inverted");
-    if a == b {
+    // NaN-safe degenerate-interval test (L5 idiom).
+    if !((b - a).abs() > 0.0) {
         return 0.0;
     }
     let n = if n.is_multiple_of(2) { n } else { n + 1 };
@@ -41,7 +42,8 @@ pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
 pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
     assert!(tol > 0.0, "tolerance must be positive");
     assert!(a <= b, "integration bounds inverted");
-    if a == b {
+    // NaN-safe degenerate-interval test (L5 idiom).
+    if !((b - a).abs() > 0.0) {
         return 0.0;
     }
     let m = 0.5 * (a + b);

@@ -1,5 +1,15 @@
 //! Property-based tests of the numeric substrate.
 
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
 use h2p_stats::{erf, erfc, fit, inverse_normal_cdf, order_stats, quadrature, Normal};
 use proptest::prelude::*;
 

@@ -36,6 +36,18 @@
 // `!(x > 0.0)` is used as a deliberate NaN-rejecting validation idiom
 // throughout (NaN fails the guard, unlike `x <= 0.0`).
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Test code opts back into panicking asserts/unwraps (see [workspace.lints]).
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::float_cmp,
+        clippy::cast_lossless,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
 
 pub mod dispatch;
 
@@ -127,26 +139,18 @@ impl EnergyBuffer {
     /// round trip), 50 W.
     #[must_use]
     pub fn super_capacitor() -> Self {
-        EnergyBuffer::new(
-            Joules::new(5.0 * 3600.0),
-            0.97,
-            0.97,
-            Watts::new(50.0),
-        )
-        .expect("constants are valid")
+        EnergyBuffer::new(Joules::new(5.0 * 3600.0), 0.97, 0.97, Watts::new(50.0))
+            // h2p-lint: allow(L2): hard-coded valid constants
+            .expect("constants are valid")
     }
 
     /// A small per-rack battery share: 100 Wh, ~92 % each way (≈ 85 %
     /// round trip), 20 W.
     #[must_use]
     pub fn battery() -> Self {
-        EnergyBuffer::new(
-            Joules::new(100.0 * 3600.0),
-            0.92,
-            0.92,
-            Watts::new(20.0),
-        )
-        .expect("constants are valid")
+        EnergyBuffer::new(Joules::new(100.0 * 3600.0), 0.92, 0.92, Watts::new(20.0))
+            // h2p-lint: allow(L2): hard-coded valid constants
+            .expect("constants are valid")
     }
 
     /// Usable capacity.
@@ -296,7 +300,10 @@ impl Default for HybridBuffer {
 #[must_use]
 pub fn leds_powered(teg_output: Watts, led: Watts) -> usize {
     assert!(led.value() > 0.0, "LED power must be positive");
-    (teg_output.value().max(0.0) / led.value()).floor() as usize
+    // Non-negative and floored, so the usize conversion is exact.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let n = (teg_output.value().max(0.0) / led.value()).floor() as usize;
+    n
 }
 
 #[cfg(test)]
@@ -323,7 +330,10 @@ mod tests {
         // Accepted energy ≈ capacity / charge_eff.
         assert!((taken.value() - 5.0 * 3600.0 / 0.97).abs() < 1.0);
         // Nothing more fits.
-        assert_eq!(sc.offer(Watts::new(1.0), Seconds::hours(1.0)), Joules::zero());
+        assert_eq!(
+            sc.offer(Watts::new(1.0), Seconds::hours(1.0)),
+            Joules::zero()
+        );
     }
 
     #[test]
@@ -336,7 +346,10 @@ mod tests {
     #[test]
     fn empty_buffer_delivers_nothing() {
         let mut b = EnergyBuffer::battery();
-        assert_eq!(b.demand(Watts::new(5.0), Seconds::hours(1.0)), Joules::zero());
+        assert_eq!(
+            b.demand(Watts::new(5.0), Seconds::hours(1.0)),
+            Joules::zero()
+        );
     }
 
     #[test]

@@ -135,8 +135,7 @@ pub fn compare(
     electricity_price: Dollars,
     server_heat: Watts,
 ) -> ReuseComparison {
-    let teg_revenue =
-        electricity_price * (teg_power.value() * 24.0 * 365.0 / 1000.0);
+    let teg_revenue = electricity_price * (teg_power.value() * 24.0 * 365.0 / 1000.0);
     ReuseComparison {
         teg_net: teg_revenue - teg_capex_per_year,
         dhs_net: dhs.annual_net(server_heat),

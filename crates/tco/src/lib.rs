@@ -25,12 +25,24 @@
 // `!(x > 0.0)` is used as a deliberate NaN-rejecting validation idiom
 // throughout (NaN fails the guard, unlike `x <= 0.0`).
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Test code opts back into panicking asserts/unwraps (see [workspace.lints]).
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::float_cmp,
+        clippy::cast_lossless,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
 
 pub mod alternatives;
 pub mod sensitivity;
 
 use core::fmt;
-use h2p_units::{Dollars, Seconds, Watts};
+use h2p_units::{Dollars, KilowattHours, Seconds, Watts};
 
 /// Errors from the TCO analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,16 +210,16 @@ impl TcoAnalysis {
         self.params.teg_unit_cost * (self.params.tegs_per_server * self.servers) as f64
     }
 
-    /// Cluster-wide harvested energy per day, in kWh.
+    /// Cluster-wide harvested energy per day.
     #[must_use]
-    pub fn daily_generation_kwh(&self, average_power: Watts) -> f64 {
-        average_power.value() * self.servers as f64 * 24.0 / 1000.0
+    pub fn daily_generation(&self, average_power: Watts) -> KilowattHours {
+        KilowattHours::new(average_power.value() * self.servers as f64 * 24.0 / 1000.0)
     }
 
     /// Cluster-wide revenue per day.
     #[must_use]
     pub fn daily_revenue(&self, average_power: Watts) -> Dollars {
-        self.params.electricity_per_kwh * self.daily_generation_kwh(average_power)
+        self.params.electricity_per_kwh * self.daily_generation(average_power).value()
     }
 
     /// Days until revenue pays back the fleet purchase (Sec. V-D's
@@ -284,7 +296,7 @@ mod tests {
     fn paper_daily_generation_and_break_even() {
         // 10,024.8 kWh/day, $1,303.2/day, break-even ~920 days.
         let t = tco();
-        let kwh = t.daily_generation_kwh(Watts::new(LOAD_BALANCE_W));
+        let kwh = t.daily_generation(Watts::new(LOAD_BALANCE_W)).value();
         assert!((kwh - 10_024.8).abs() < 0.1, "kwh = {kwh}");
         let rev = t.daily_revenue(Watts::new(LOAD_BALANCE_W));
         assert!((rev.value() - 1303.2).abs() < 0.2, "rev = {rev}");

@@ -21,7 +21,12 @@ pub struct SensitivityPoint {
     pub annual_savings: Dollars,
 }
 
-fn evaluate(params: TcoParameters, servers: usize, power: Watts, swept: f64) -> Result<SensitivityPoint, TcoError> {
+fn evaluate(
+    params: TcoParameters,
+    servers: usize,
+    power: Watts,
+    swept: f64,
+) -> Result<SensitivityPoint, TcoError> {
     let tco = TcoAnalysis::new(params, servers)?;
     Ok(SensitivityPoint {
         parameter: swept,

@@ -74,13 +74,25 @@ impl TegModule {
     /// Open-circuit voltage of the chain (Eq. 4: `V_oc_n = n·v`).
     #[must_use]
     pub fn open_circuit_voltage(&self, dt: DegC) -> Volts {
-        self.device.open_circuit_voltage(dt) * self.count as f64
+        // h2p-lint: allow(L3): device count -> f64, exact
+        let v = self.device.open_circuit_voltage(dt) * self.count as f64;
+        // Physics sanitizer (the `sanitize` feature): the Seebeck
+        // voltage must be finite, and sign-consistent with ΔT — the
+        // device clamps reverse-biased operation to zero, so a negative
+        // or non-zero-at-non-positive-ΔT voltage means a corrupted fit.
+        #[cfg(feature = "sanitize")]
+        debug_assert!(
+            v.value().is_finite() && v.value() >= 0.0 && (dt.value() > 0.0 || !(v.value() > 0.0)),
+            "sanitize: open_circuit_voltage({dt}) produced {v} \
+             (finite, >= 0, zero at non-positive dT expected)"
+        );
+        v
     }
 
     /// Total internal resistance (`n·R_TEG`).
     #[must_use]
     pub fn internal_resistance(&self) -> Ohms {
-        self.device.spec().internal_resistance * self.count as f64
+        self.device.spec().internal_resistance * self.count as f64 // h2p-lint: allow(L3): device count -> f64, exact
     }
 
     /// The load resistance that maximizes output power (equal to the
@@ -93,7 +105,17 @@ impl TegModule {
     /// Maximum output power at matched load (Eq. 7: `n × P_max_1`).
     #[must_use]
     pub fn max_power(&self, dt: DegC) -> Watts {
-        self.device.max_power(dt) * self.count as f64
+        // h2p-lint: allow(L3): device count -> f64, exact
+        let p = self.device.max_power(dt) * self.count as f64;
+        // Physics sanitizer (the `sanitize` feature): a TEG is a
+        // generator — matched-load power is finite and non-negative for
+        // any ΔT (reverse bias is clamped at the device layer).
+        #[cfg(feature = "sanitize")]
+        debug_assert!(
+            p.value().is_finite() && p.value() >= 0.0,
+            "sanitize: max_power({dt}) produced {p} (finite, >= 0 expected)"
+        );
+        p
     }
 
     /// Output power into an arbitrary load resistance:
@@ -113,14 +135,13 @@ impl TegModule {
         let v = self.open_circuit_voltage(dt);
         let total = self.internal_resistance() + load;
         let current = v / total;
-        Ok(Watts::new(
-            current.value() * current.value() * load.value(),
-        ))
+        Ok(Watts::new(current.value() * current.value() * load.value()))
     }
 
     /// Purchase cost of the whole module.
     #[must_use]
     pub fn purchase_cost(&self) -> Dollars {
+        // h2p-lint: allow(L3): device count -> f64, exact
         Dollars::new(self.device.spec().unit_cost_dollars * self.count as f64)
     }
 
@@ -128,7 +149,7 @@ impl TegModule {
     /// warm and cold plates (devices are thermally in parallel), W/K.
     #[must_use]
     pub fn thermal_conductance(&self) -> f64 {
-        self.device.thermal_conductance() * self.count as f64
+        self.device.thermal_conductance() * self.count as f64 // h2p-lint: allow(L3): device count -> f64, exact
     }
 
     /// Heat leaking from the warm to the cold loop through the module
@@ -212,7 +233,10 @@ mod tests {
 
     #[test]
     fn cost_of_paper_module() {
-        assert_eq!(TegModule::paper_module().purchase_cost(), Dollars::new(12.0));
+        assert_eq!(
+            TegModule::paper_module().purchase_cost(),
+            Dollars::new(12.0)
+        );
     }
 
     #[test]

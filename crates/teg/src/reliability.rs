@@ -102,6 +102,8 @@ impl ModuleReliability {
     pub fn expected_output_fraction(&self, years: f64) -> f64 {
         let s = self.device_survival(years);
         match self.topology {
+            // h2p-lint: allow(L3): series length is a small device count
+            #[allow(clippy::cast_possible_truncation)]
             WiringTopology::Series => s.powi(self.devices as i32),
             WiringTopology::SeriesWithBypass => s,
         }
@@ -115,6 +117,7 @@ impl ModuleReliability {
             return 0.0;
         }
         let tau = match self.topology {
+            // h2p-lint: allow(L3): device count -> f64, exact
             WiringTopology::Series => self.device_mttf_years / self.devices as f64,
             WiringTopology::SeriesWithBypass => self.device_mttf_years,
         };
@@ -168,8 +171,7 @@ mod tests {
         let series = ModuleReliability::paper_plain_series();
         for years in [1.0, 2.5, 5.0, 10.0, 25.0] {
             assert!(
-                bypass.expected_output_fraction(years)
-                    > series.expected_output_fraction(years),
+                bypass.expected_output_fraction(years) > series.expected_output_fraction(years),
                 "years = {years}"
             );
         }

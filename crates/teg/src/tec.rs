@@ -142,7 +142,12 @@ impl Tec {
     /// side, found by bisection. Returns `None` if the demand exceeds
     /// the device capability at `max_current`.
     #[must_use]
-    pub fn current_for_demand(&self, demand: Watts, cold: Celsius, hot: Celsius) -> Option<Amperes> {
+    pub fn current_for_demand(
+        &self,
+        demand: Watts,
+        cold: Celsius,
+        hot: Celsius,
+    ) -> Option<Amperes> {
         if demand.value() <= 0.0 {
             return Some(Amperes::zero());
         }

@@ -75,6 +75,7 @@ impl ColdPlate {
     #[must_use]
     pub fn paper_default() -> Self {
         ColdPlate::new(0.11, 0.20, LitersPerHour::new(20.0), 0.8)
+            // h2p-lint: allow(L2): hard-coded positive constants
             .expect("paper constants are valid")
     }
 
@@ -158,8 +159,7 @@ mod tests {
 
     #[test]
     fn reference_flow_identity() {
-        let plate =
-            ColdPlate::new(0.1, 0.2, LitersPerHour::new(50.0), 0.8).unwrap();
+        let plate = ColdPlate::new(0.1, 0.2, LitersPerHour::new(50.0), 0.8).unwrap();
         assert!((plate.resistance(LitersPerHour::new(50.0)).unwrap() - 0.3).abs() < 1e-12);
     }
 

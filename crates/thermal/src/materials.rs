@@ -142,11 +142,7 @@ impl Slab {
         depth_cm: f64,
         thickness_cm: f64,
     ) -> Result<Self, ThermalError> {
-        Slab::new(
-            material,
-            width_cm * depth_cm * 1e-4,
-            thickness_cm * 1e-2,
-        )
+        Slab::new(material, width_cm * depth_cm * 1e-4, thickness_cm * 1e-2)
     }
 
     /// The material.
@@ -196,7 +192,11 @@ mod tests {
     fn copper_plate_capacity_scale() {
         // A 4 cm x 24 cm x 1 cm copper cold plate: C = rho*V*c ≈ 331 J/K.
         let plate = Slab::from_cm(Material::copper(), 4.0, 24.0, 1.0).unwrap();
-        assert!((plate.capacity() - 331.0).abs() < 5.0, "{}", plate.capacity());
+        assert!(
+            (plate.capacity() - 331.0).abs() < 5.0,
+            "{}",
+            plate.capacity()
+        );
     }
 
     #[test]

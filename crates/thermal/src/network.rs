@@ -145,7 +145,10 @@ impl ThermalNetwork {
             conductance_w_per_k > 0.0,
             "conductance must be positive, got {conductance_w_per_k}"
         );
-        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "unknown node");
+        assert!(
+            a.0 < self.nodes.len() && b.0 < self.nodes.len(),
+            "unknown node"
+        );
         assert_ne!(a, b, "self loops are not allowed");
         self.nodes[a.0].edges.push((b.0, conductance_w_per_k));
         self.nodes[b.0].edges.push((a.0, conductance_w_per_k));
@@ -249,12 +252,15 @@ impl ThermalNetwork {
     /// Panics if `dt` is negative.
     pub fn step(&mut self, dt: Seconds) -> StepReport {
         assert!(dt.value() >= 0.0, "dt must be non-negative");
-        if dt.value() == 0.0 || self.nodes.is_empty() {
+        // NaN-safe zero/invalid rejection: NaN fails the `>` guard.
+        if !(dt.value() > 0.0) || self.nodes.is_empty() {
             return StepReport::default();
         }
         let max_h = self.stable_substep().unwrap_or(dt.value());
+        // h2p-lint: allow(L3): ceil().max(1.0) of a finite positive ratio
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let substeps = (dt.value() / max_h).ceil().max(1.0) as usize;
-        let h = dt.value() / substeps as f64;
+        let h = dt.value() / substeps as f64; // h2p-lint: allow(L3): substep count -> f64, exact
 
         let mut report = StepReport {
             substeps,
@@ -270,8 +276,7 @@ impl ThermalNetwork {
                     // Each undirected edge is stored twice; accumulate
                     // inflow from the neighbour only, so both directions
                     // are covered exactly once per node.
-                    flux[i] += g * (self.nodes[j].temperature.value()
-                        - node.temperature.value());
+                    flux[i] += g * (self.nodes[j].temperature.value() - node.temperature.value());
                 }
             }
             for (i, node) in self.nodes.iter_mut().enumerate() {
@@ -296,7 +301,28 @@ impl ThermalNetwork {
                 }
             }
         }
+        #[cfg(feature = "sanitize")]
+        self.sanitize_temperatures("step");
         report
+    }
+
+    /// Physics sanitizer (the `sanitize` feature): every temperature a
+    /// solver produces must be finite and inside the plausible coolant
+    /// envelope of a warm water-cooled datacenter, [-50, 150] °C. A
+    /// violation means a diverged integration or corrupted input, and
+    /// panics in debug builds rather than letting NaN propagate into
+    /// the TEG and TCO layers.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_temperatures(&self, solver: &str) {
+        for node in &self.nodes {
+            let t = node.temperature.value();
+            debug_assert!(
+                t.is_finite() && (-50.0..=150.0).contains(&t),
+                "sanitize: {solver} left node `{}` at {t} degC (finite, \
+                 [-50, 150] expected)",
+                node.label
+            );
+        }
     }
 
     /// Solves for the steady-state temperatures (all `dT/dt = 0`) without
@@ -351,6 +377,16 @@ impl ThermalNetwork {
         for (row, &i) in unknowns.iter().enumerate() {
             temperatures[i] = Celsius::new(solution[row]);
         }
+        #[cfg(feature = "sanitize")]
+        for (i, t) in temperatures.iter().enumerate() {
+            let t = t.value();
+            debug_assert!(
+                t.is_finite() && (-50.0..=150.0).contains(&t),
+                "sanitize: steady_state left node `{}` at {t} degC (finite, \
+                 [-50, 150] expected)",
+                self.nodes[i].label
+            );
+        }
         Ok(SteadyState { temperatures })
     }
 
@@ -376,6 +412,7 @@ fn gauss_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, usize>
     for col in 0..n {
         let pivot = (col..n)
             .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            // h2p-lint: allow(L2): col..n is non-empty for col < n
             .expect("non-empty range");
         if a[pivot][col].abs() < 1e-12 {
             return Err(col);
@@ -385,7 +422,9 @@ fn gauss_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, usize>
         let pivot_row = a[col][col..].to_vec();
         for row in col + 1..n {
             let factor = a[row][col] / a[col][col];
-            if factor == 0.0 {
+            if !(factor.abs() > 0.0) {
+                // Exact zero: nothing to eliminate. (A NaN factor also
+                // lands here; the row is already poisoned either way.)
                 continue;
             }
             for (ark, &pk) in a[row][col..].iter_mut().zip(&pivot_row) {
@@ -462,8 +501,7 @@ mod tests {
         let (mut net, die, _) = simple_die();
         net.set_heat_input(die, Watts::new(80.0));
         let report = net.step(Seconds::new(10.0));
-        let residual =
-            report.source_input - report.boundary_outflow - report.stored_delta;
+        let residual = report.source_input - report.boundary_outflow - report.stored_delta;
         assert!(
             residual.value().abs() < 1e-9 * report.source_input.value().max(1.0),
             "ledger residual {residual:?}"

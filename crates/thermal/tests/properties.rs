@@ -1,6 +1,16 @@
 //! Property-based tests of the thermal substrate: energy conservation,
 //! physical orderings and exchanger bounds under randomized inputs.
 
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
 use h2p_thermal::network::ThermalNetwork;
 use h2p_thermal::{ColdPlate, CounterflowExchanger, Stream};
 use h2p_units::{Celsius, LitersPerHour, Seconds, Watts};
@@ -8,11 +18,14 @@ use proptest::prelude::*;
 
 proptest! {
     #[test]
+    // Input ranges are chosen so every reachable temperature stays
+    // inside the physics sanitizer's [-50, 150] degC envelope (worst
+    // case here: coolant + power * (r1 + r2) = 50 + 120 * 0.8 = 146).
     fn chain_steady_state_orders_temperatures(
-        power in 1.0..200.0f64,
-        r1 in 0.01..2.0f64,
-        r2 in 0.01..2.0f64,
-        coolant in 10.0..60.0f64,
+        power in 1.0..120.0f64,
+        r1 in 0.01..0.4f64,
+        r2 in 0.01..0.4f64,
+        coolant in 10.0..50.0f64,
     ) {
         // die -R1- plate -R2- coolant with heat at the die: temperatures
         // must decrease along the heat-flow path, with exact superposition.
@@ -38,7 +51,9 @@ proptest! {
         g1 in 0.1..20.0f64,
         g2 in 0.1..20.0f64,
         g3 in 0.1..20.0f64,
-        dt in 0.1..60.0f64,
+        // dt bounded so a single adiabatic-worst-case step stays inside
+        // the sanitizer envelope: 30 + 150 W * 20 s / 50 J/K = 90 degC.
+        dt in 0.1..20.0f64,
     ) {
         let mut net = ThermalNetwork::new();
         let a = net.add_capacitive("a", 50.0, Celsius::new(30.0));
@@ -56,9 +71,11 @@ proptest! {
     }
 
     #[test]
+    // g >= 1 keeps the steady state (20 + power / g <= 140 degC) inside
+    // the sanitizer envelope.
     fn transient_approaches_steady_state(
         power in 1.0..120.0f64,
-        g in 0.5..10.0f64,
+        g in 1.0..10.0f64,
     ) {
         let mut net = ThermalNetwork::new();
         let die = net.add_capacitive("die", 40.0, Celsius::new(20.0));

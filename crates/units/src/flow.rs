@@ -25,14 +25,22 @@ pub const WATER_DENSITY_KG_PER_L: f64 = 1.0;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LitersPerHour(pub(crate) f64);
 
-unit_base!(LitersPerHour, "L/H", "Creates a volumetric flow in litres per hour.");
+unit_base!(
+    LitersPerHour,
+    "L/H",
+    "Creates a volumetric flow in litres per hour."
+);
 unit_linear!(LitersPerHour);
 
 /// Mass flow in kilograms per second.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KgPerSecond(pub(crate) f64);
 
-unit_base!(KgPerSecond, "kg/s", "Creates a mass flow in kilograms per second.");
+unit_base!(
+    KgPerSecond,
+    "kg/s",
+    "Creates a mass flow in kilograms per second."
+);
 unit_linear!(KgPerSecond);
 
 impl LitersPerHour {

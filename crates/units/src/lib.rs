@@ -30,6 +30,18 @@
 // `!(x > 0.0)` is used as a deliberate NaN-rejecting validation idiom
 // throughout (NaN fails the guard, unlike `x <= 0.0`).
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Test code opts back into panicking asserts/unwraps (see [workspace.lints]).
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::float_cmp,
+        clippy::cast_lossless,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
 
 #[macro_use]
 mod macros;
@@ -47,8 +59,8 @@ mod pressure;
 pub use electrical::{Amperes, Gigahertz, Ohms, Volts};
 pub use energy::{Joules, KilowattHours, Watts};
 pub use flow::{KgPerSecond, LitersPerHour, WATER_DENSITY_KG_PER_L, WATER_SPECIFIC_HEAT};
-pub use pressure::Pascals;
 pub use money::Dollars;
+pub use pressure::Pascals;
 pub use temperature::{Celsius, DegC, Kelvin};
 pub use time::Seconds;
 pub use utilization::{Utilization, UtilizationRangeError};

@@ -28,7 +28,8 @@ impl Dollars {
     /// Panics if `baseline` is zero.
     #[must_use]
     pub fn savings_vs(self, baseline: Dollars) -> f64 {
-        assert!(baseline.0 != 0.0, "baseline must be non-zero");
+        // NaN-safe: a NaN baseline fails the `>` guard and panics too.
+        assert!(baseline.0.abs() > 0.0, "baseline must be non-zero");
         (baseline.0 - self.0) / baseline.0
     }
 }

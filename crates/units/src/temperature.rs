@@ -18,7 +18,11 @@
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Celsius(pub(crate) f64);
 
-unit_base!(Celsius, "°C", "Creates an absolute temperature in degrees Celsius.");
+unit_base!(
+    Celsius,
+    "°C",
+    "Creates an absolute temperature in degrees Celsius."
+);
 
 /// A temperature difference in degrees Celsius (equivalently, kelvins).
 ///
@@ -30,7 +34,11 @@ unit_base!(Celsius, "°C", "Creates an absolute temperature in degrees Celsius."
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DegC(pub(crate) f64);
 
-unit_base!(DegC, "ΔC", "Creates a temperature difference in degrees Celsius.");
+unit_base!(
+    DegC,
+    "ΔC",
+    "Creates a temperature difference in degrees Celsius."
+);
 unit_linear!(DegC);
 
 /// An absolute thermodynamic temperature in kelvins.

@@ -110,6 +110,7 @@ impl Utilization {
             return Utilization::IDLE;
         }
         let sum: f64 = values.iter().map(|u| u.0).sum();
+        // h2p-lint: allow(L3): sample count -> f64, exact below 2^53
         Utilization(sum / values.len() as f64)
     }
 
@@ -186,7 +187,10 @@ mod tests {
     fn saturating_clamps() {
         assert_eq!(Utilization::saturating(-3.0), Utilization::IDLE);
         assert_eq!(Utilization::saturating(42.0), Utilization::FULL);
-        assert_eq!(Utilization::saturating(0.25), Utilization::new(0.25).unwrap());
+        assert_eq!(
+            Utilization::saturating(0.25),
+            Utilization::new(0.25).unwrap()
+        );
     }
 
     #[test]
@@ -208,8 +212,10 @@ mod tests {
 
     #[test]
     fn ordering_sorts() {
-        let mut v = [Utilization::new(0.9).unwrap(),
-            Utilization::new(0.1).unwrap()];
+        let mut v = [
+            Utilization::new(0.9).unwrap(),
+            Utilization::new(0.1).unwrap(),
+        ];
         v.sort();
         assert_eq!(v[0].value(), 0.1);
     }

@@ -1,0 +1,100 @@
+//! The NaN edge of the unit layer: H2P validates with the
+//! NaN-rejecting idiom `!(x > 0.0)` (and friends) instead of
+//! `x <= 0.0`, so NaN, `-0.0` and infinities must all land on the
+//! *rejecting* side of every guard. These tests pin that behaviour.
+
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+// Comparing literal NaN — and spelling out the `!(x > 0.0)` rejection
+// idiom — is this file's entire point.
+#![allow(invalid_nan_comparisons, clippy::neg_cmp_op_on_partial_ord)]
+
+use h2p_units::{Dollars, KgPerSecond, LitersPerHour, Utilization, Watts};
+
+// --- the idiom itself -------------------------------------------------
+
+#[test]
+fn rejection_idiom_truth_table() {
+    // `!(x > 0.0)` rejects NaN, -0.0, 0.0 and negatives; accepts
+    // positives and +inf. `x <= 0.0` would silently *accept* NaN.
+    let reject = |x: f64| !(x > 0.0);
+    assert!(reject(f64::NAN));
+    assert!(reject(-0.0));
+    assert!(reject(0.0));
+    assert!(reject(f64::NEG_INFINITY));
+    assert!(!reject(1e-300));
+    assert!(!reject(f64::INFINITY));
+    // The comparison the idiom replaces gets NaN wrong: `x <= 0.0` is
+    // false for NaN, so an `if x <= 0.0 { reject }` guard lets NaN
+    // through.
+    let accepts = |x: f64| !(x <= 0.0);
+    assert!(accepts(f64::NAN), "<= misclassifies NaN as acceptable");
+}
+
+// --- Utilization: the only range-erroring constructor ------------------
+
+#[test]
+fn utilization_rejects_nan_and_infinities() {
+    assert!(Utilization::new(f64::NAN).is_err());
+    assert!(Utilization::new(f64::INFINITY).is_err());
+    assert!(Utilization::new(f64::NEG_INFINITY).is_err());
+}
+
+#[test]
+fn utilization_accepts_signed_zero() {
+    // -0.0 is inside [0, 1] (IEEE: -0.0 == 0.0) and must not error.
+    let u = Utilization::new(-0.0).unwrap();
+    assert_eq!(u.value(), 0.0);
+    assert!(Utilization::new(0.0).is_ok());
+    assert!(Utilization::new(1.0).is_ok());
+}
+
+#[test]
+#[should_panic(expected = "NaN")]
+fn utilization_saturating_panics_on_nan() {
+    let _ = Utilization::saturating(f64::NAN);
+}
+
+#[test]
+fn utilization_saturating_clamps_infinities() {
+    assert_eq!(Utilization::saturating(f64::INFINITY).value(), 1.0);
+    assert_eq!(Utilization::saturating(f64::NEG_INFINITY).value(), 0.0);
+    assert_eq!(Utilization::saturating(-0.0).value(), 0.0);
+}
+
+// --- guards on derived quantities --------------------------------------
+
+#[test]
+#[should_panic(expected = "mass flow must be positive")]
+fn temperature_rise_panics_on_zero_flow() {
+    let _ = KgPerSecond::new(0.0).temperature_rise(Watts::new(100.0));
+}
+
+#[test]
+#[should_panic(expected = "mass flow must be positive")]
+fn temperature_rise_panics_on_negative_zero_flow() {
+    // -0.0 > 0.0 is false: the guard must reject it like 0.0.
+    let _ = KgPerSecond::new(-0.0).temperature_rise(Watts::new(100.0));
+}
+
+#[test]
+#[should_panic(expected = "baseline must be non-zero")]
+fn savings_vs_panics_on_zero_baseline() {
+    let _ = Dollars::new(10.0).savings_vs(Dollars::new(0.0));
+}
+
+#[test]
+#[should_panic(expected = "baseline must be non-zero")]
+fn savings_vs_panics_on_negative_zero_baseline() {
+    // |-0.0| > 0.0 is false: signed zero is still a zero baseline.
+    let _ = Dollars::new(10.0).savings_vs(Dollars::new(-0.0));
+}
+
+// --- debug-build NaN rejection at construction -------------------------
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "cannot be NaN")]
+fn quantity_constructors_reject_nan_in_debug() {
+    let _ = LitersPerHour::new(f64::NAN);
+}

@@ -186,6 +186,9 @@ impl TraceGenerator {
     #[must_use]
     pub fn paper(kind: TraceKind, seed: u64) -> Self {
         let interval = Seconds::minutes(PAPER_INTERVAL_MINUTES);
+        // Paper durations are hours at 5-minute sampling: a small,
+        // positive, finite step count.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let steps = (kind.paper_duration().value() / interval.value()).round() as usize;
         TraceGenerator {
             kind,
@@ -248,8 +251,7 @@ impl TraceGenerator {
             (0..self.steps)
                 .map(|step| {
                     level += -p.reversion * level + p.shared_sigma * gaussian(&mut rng);
-                    let day_angle =
-                        core::f64::consts::TAU * step as f64 / steps_per_day + phase;
+                    let day_angle = core::f64::consts::TAU * step as f64 / steps_per_day + phase;
                     level + p.shared_diurnal_amplitude * day_angle.sin()
                 })
                 .collect()
@@ -281,9 +283,11 @@ impl TraceGenerator {
                         (baseline + shared[step] + noise + burst_level).clamp(0.0, 1.0)
                     })
                     .collect();
+                // h2p-lint: allow(L2): samples clamped to [0, 1], interval validated
                 Trace::new(self.interval, samples).expect("generator output is valid")
             })
             .collect();
+        // h2p-lint: allow(L2): all traces share interval and length
         ClusterTrace::new(traces).expect("generator output is consistent")
     }
 }
@@ -368,10 +372,7 @@ mod tests {
             .with_servers(200)
             .generate();
         // Some servers spike high...
-        let spiking = cluster
-            .iter()
-            .filter(|t| t.peak().value() > 0.6)
-            .count();
+        let spiking = cluster.iter().filter(|t| t.peak().value() > 0.6).count();
         assert!(spiking > 10, "only {spiking} servers spiked");
         // ...but the cluster mean stays calm.
         assert!(cluster.overall_mean().value() < 0.40);
@@ -392,9 +393,7 @@ mod tests {
         // Paper Sec. I: "servers in datacenters are in low utilization
         // most of the time" — all classes average well under 50 %.
         for kind in TraceKind::all() {
-            let cluster = TraceGenerator::paper(kind, 11)
-                .with_servers(100)
-                .generate();
+            let cluster = TraceGenerator::paper(kind, 11).with_servers(100).generate();
             let m = cluster.overall_mean().value();
             assert!((0.10..=0.50).contains(&m), "{kind}: mean {m}");
         }
@@ -403,9 +402,7 @@ mod tests {
     #[test]
     fn samples_always_in_range() {
         for kind in TraceKind::all() {
-            let cluster = TraceGenerator::paper(kind, 3)
-                .with_servers(20)
-                .generate();
+            let cluster = TraceGenerator::paper(kind, 3).with_servers(20).generate();
             for t in cluster.iter() {
                 for &s in t.samples() {
                     assert!((0.0..=1.0).contains(&s));
@@ -419,9 +416,6 @@ mod tests {
         assert_eq!(TraceKind::Drastic.name(), "drastic");
         assert_eq!(TraceKind::Drastic.to_string(), "drastic");
         assert_eq!(TraceKind::all().len(), 3);
-        assert_eq!(
-            TraceKind::Irregular.paper_duration(),
-            Seconds::hours(24.0)
-        );
+        assert_eq!(TraceKind::Irregular.paper_duration(), Seconds::hours(24.0));
     }
 }

@@ -113,6 +113,7 @@ impl Trace {
     #[must_use]
     pub fn mean(&self) -> Utilization {
         Utilization::saturating(
+            // h2p-lint: allow(L2): constructor rejects empty traces
             h2p_stats::descriptive::mean(&self.samples).expect("non-empty by invariant"),
         )
     }
@@ -121,6 +122,7 @@ impl Trace {
     #[must_use]
     pub fn peak(&self) -> Utilization {
         Utilization::saturating(
+            // h2p-lint: allow(L2): constructor rejects empty traces
             h2p_stats::descriptive::max(&self.samples).expect("non-empty by invariant"),
         )
     }
@@ -166,7 +168,11 @@ impl ClusterTrace {
         let first = traces.first().ok_or(WorkloadError::EmptyTrace)?;
         let (len, interval) = (first.len(), first.interval_seconds);
         for (index, t) in traces.iter().enumerate().skip(1) {
-            if t.len() != len || t.interval_seconds != interval {
+            // Exact-representation check: intervals are copied, not
+            // recomputed, so bitwise equality is the right test.
+            #[allow(clippy::float_cmp)]
+            let mismatch = t.len() != len || t.interval_seconds != interval;
+            if mismatch {
                 return Err(WorkloadError::InconsistentCluster { index });
             }
         }
@@ -281,9 +287,11 @@ impl ClusterTrace {
                     })
                     .collect();
                 Trace::new(t.interval() * factor as f64, samples)
+                    // h2p-lint: allow(L2): aggregates of [0, 1] samples stay in range
                     .expect("windows of valid samples are valid")
             })
             .collect();
+        // h2p-lint: allow(L2): uniform downsampling keeps traces consistent
         ClusterTrace::new(traces).expect("downsampling preserves consistency")
     }
 
@@ -358,11 +366,8 @@ mod tests {
 
     #[test]
     fn series_extraction() {
-        let cluster = ClusterTrace::new(vec![
-            trace(vec![0.1, 0.8]),
-            trace(vec![0.3, 0.2]),
-        ])
-        .unwrap();
+        let cluster =
+            ClusterTrace::new(vec![trace(vec![0.1, 0.8]), trace(vec![0.3, 0.2])]).unwrap();
         let us = cluster.utilizations_at(0);
         assert_eq!(us.len(), 2);
         let means = cluster.mean_series();

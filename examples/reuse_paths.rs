@@ -25,12 +25,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let teg_capex_per_year = Dollars::new(12.0 / 25.0);
     let electricity = Dollars::from_cents(13.0);
-    println!("{:<22} {:>14} {:>14} {:>8}", "deployment", "TEG $/srv/yr", "DHS $/srv/yr", "winner");
+    println!(
+        "{:<22} {:>14} {:>14} {:>8}",
+        "deployment", "TEG $/srv/yr", "DHS $/srv/yr", "winner"
+    );
     for (name, dhs) in [
         ("northern Europe", DistrictHeating::northern_europe()),
         ("tropics (Singapore)", DistrictHeating::tropics()),
     ] {
-        let c = compare(&dhs, teg_power, teg_capex_per_year, electricity, server_heat);
+        let c = compare(
+            &dhs,
+            teg_power,
+            teg_capex_per_year,
+            electricity,
+            server_heat,
+        );
         println!(
             "{:<22} {:>14.2} {:>14.2} {:>8}",
             name,

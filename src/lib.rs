@@ -44,6 +44,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Test code opts back into panicking asserts/unwraps (see [workspace.lints]).
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::float_cmp,
+        clippy::cast_lossless,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
 
 pub use h2p_cooling as cooling;
 pub use h2p_core as core;
@@ -71,8 +83,8 @@ pub mod prelude {
     pub use h2p_tco::{TcoAnalysis, TcoParameters};
     pub use h2p_teg::{TegDevice, TegModule};
     pub use h2p_units::{
-        Celsius, DegC, Dollars, Joules, KilowattHours, LitersPerHour, Seconds, Utilization,
-        Volts, Watts,
+        Celsius, DegC, Dollars, Joules, KilowattHours, LitersPerHour, Seconds, Utilization, Volts,
+        Watts,
     };
     pub use h2p_workload::{ClusterTrace, Trace, TraceGenerator, TraceKind};
 }

@@ -2,6 +2,16 @@
 //! cooling optimization → TEG accounting → metrics → TCO, exercised
 //! through the `h2p` facade exactly as a downstream user would.
 
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
 use h2p::prelude::*;
 
 fn small_cluster(kind: TraceKind, servers: usize, steps: usize) -> ClusterTrace {
@@ -34,7 +44,10 @@ fn full_pipeline_produces_consistent_report() {
     // Feed the result into the TCO layer.
     let tco = TcoAnalysis::paper_default();
     let reduction = tco.reduction(avg);
-    assert!(reduction > 0.0 && reduction < 0.02, "reduction = {reduction}");
+    assert!(
+        reduction > 0.0 && reduction < 0.02,
+        "reduction = {reduction}"
+    );
     assert!(tco.break_even(avg).to_days() > 300.0);
 }
 
@@ -94,7 +107,10 @@ fn seasonal_cold_source_modulates_generation() {
     };
     let cold = run_at(15.0);
     let warm = run_at(25.0);
-    assert!(cold > warm, "colder source must out-generate: {cold} vs {warm}");
+    assert!(
+        cold > warm,
+        "colder source must out-generate: {cold} vs {warm}"
+    );
 }
 
 #[test]
@@ -125,8 +141,8 @@ fn circulation_design_consistent_with_simulator_sizing() {
     let cluster = small_cluster(TraceKind::Common, best.servers_per_circulation, 12);
     let mut cfg = h2p::core::simulation::SimulationConfig::paper_default();
     cfg.servers_per_circulation = best.servers_per_circulation;
-    let sim = h2p::core::simulation::Simulator::new(&ServerModel::paper_default(), cfg)
-        .expect("builds");
+    let sim =
+        h2p::core::simulation::Simulator::new(&ServerModel::paper_default(), cfg).expect("builds");
     let r = sim.run(&cluster, &LoadBalance).expect("runs");
     assert_eq!(r.total_violations(), 0);
 }

@@ -3,6 +3,16 @@
 //! conditioning, buffer dispatch over simulated series, facility
 //! coupling and reliability-adjusted economics.
 
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
 use h2p::cooling::hybrid::HotSpotController;
 use h2p::core::facility::FacilityLoop;
 use h2p::prelude::*;
@@ -96,7 +106,11 @@ fn dispatch_over_simulated_series_covers_steady_lighting() {
     let mut buffer = HybridBuffer::paper_default();
     let plan = greedy_dispatch(&mut buffer, &generation, &demand, run.interval()).unwrap();
     assert!(plan.coverage() > 0.97, "coverage {}", plan.coverage());
-    assert!(plan.utilization() > 0.9, "utilization {}", plan.utilization());
+    assert!(
+        plan.utilization() > 0.9,
+        "utilization {}",
+        plan.utilization()
+    );
 }
 
 #[test]
@@ -113,7 +127,11 @@ fn simulator_setpoints_are_facility_feasible() {
     for step in run.steps() {
         let tcs_flow = LitersPerHour::new(40.0 * 60.0);
         let feasible = facility
-            .holds_setpoint(step.mean_inlet, step.mean_outlet.max(step.mean_inlet), tcs_flow)
+            .holds_setpoint(
+                step.mean_inlet,
+                step.mean_outlet.max(step.mean_inlet),
+                tcs_flow,
+            )
             .unwrap();
         assert!(feasible, "setpoint {} infeasible", step.mean_inlet);
     }

@@ -6,6 +6,16 @@
 //! re-seeding but tight enough that a calibration regression (wrong
 //! coefficient, broken optimizer) trips them.
 
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
 use h2p_bench::run_paper_traces;
 use h2p_tco::TcoAnalysis;
 use h2p_units::Watts;
@@ -139,5 +149,5 @@ fn exact_paper_numbers_from_published_averages() {
     assert!((tco.reduction(Watts::new(4.177)) - 0.0057).abs() < 3e-4);
     assert!((tco.reduction(Watts::new(3.694)) - 0.0049).abs() < 3e-4);
     assert!((tco.break_even(Watts::new(4.177)).to_days() - 920.0).abs() < 2.0);
-    assert!((tco.daily_generation_kwh(Watts::new(4.177)) - 10_024.8).abs() < 0.1);
+    assert!((tco.daily_generation(Watts::new(4.177)).value() - 10_024.8).abs() < 0.1);
 }

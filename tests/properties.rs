@@ -1,6 +1,16 @@
 //! Cross-crate property-based tests (proptest): invariants that must
 //! hold for arbitrary inputs, not just the calibrated operating points.
 
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
 use h2p::prelude::*;
 use h2p::server::LookupSpace;
 use h2p::stats::{order_stats, Normal};

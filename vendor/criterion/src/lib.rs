@@ -1,0 +1,140 @@
+//! Offline stand-in for the subset of
+//! [`criterion`](https://docs.rs/criterion/0.8) this workspace uses.
+//!
+//! Implements a minimal timing harness — warmup, then a fixed sampling
+//! window with median-of-samples reporting — instead of criterion's
+//! statistical machinery. Good enough to compare hot-path changes in
+//! this sandbox; for publishable numbers, run the real criterion crate
+//! in a networked environment.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How batched setup output is sized (accepted for API compatibility;
+/// the stub re-runs setup per iteration regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Per-iteration input of unknown size.
+    PerIteration,
+}
+
+/// The benchmark harness handle passed to every bench function.
+pub struct Criterion {
+    warmup_iters: u32,
+    sample_count: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup_iters: 3,
+            sample_count: 15,
+        }
+    }
+}
+
+/// Timing context for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warmup_iters: u32,
+    sample_count: u32,
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            warmup_iters: self.warmup_iters,
+            sample_count: self.sample_count,
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+}
+
+impl Bencher {
+    /// Times repeated runs of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.warmup_iters {
+            std::hint::black_box(routine());
+        }
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.warmup_iters {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        let max = self.samples[self.samples.len() - 1];
+        println!("{id:<50} median {median:>12?}   [min {min:?}, max {max:?}]");
+    }
+}
+
+/// Groups bench functions under one runner entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for a set of groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("stub/iter", |b| b.iter(|| 1u64 + 1));
+        c.bench_function("stub/iter_batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,613 @@
+//! Offline stand-in for the subset of
+//! [`proptest`](https://docs.rs/proptest/1) this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! patches `proptest` to this pure-`std` implementation. It keeps the
+//! *property-testing contract* — each `#[test]` inside [`proptest!`]
+//! runs its body against `cases` independently sampled inputs, and
+//! `prop_assert!` failures report the failing case — but drops the
+//! heavy machinery:
+//!
+//! * **No shrinking.** A failing case reports its sampled inputs via
+//!   the assertion message; it is not minimized.
+//! * **Deterministic sampling.** Each test derives its RNG seed from
+//!   its own name, so failures reproduce across runs (like proptest
+//!   with a persisted regression seed). Edge values of ranges are
+//!   force-fed in the first cases rather than found by bias.
+//!
+//! Supported surface: range strategies over the primitive numeric
+//! types, [`Just`], `prop_map`, [`prop_oneof!`][crate::prop_oneof],
+//! `collection::vec`, `ProptestConfig::with_cases`, and the
+//! `prop_assert!` / `prop_assert_eq!` macros.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Strategies: samplable descriptions of input spaces.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A samplable input space. The stub's `Value` mirrors
+    /// `proptest::strategy::Strategy::Value`.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws the `index`-th sample of a test case. Low indices
+        /// visit deterministic edge values where the strategy has
+        /// natural edges (range endpoints); later indices are uniform.
+        fn sample(&self, rng: &mut TestRng, index: u32) -> Self::Value;
+
+        /// Maps sampled values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (needed by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng, index: u32) -> V {
+            (**self).sample(rng, index)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng, index: u32) -> S::Value {
+            (**self).sample(rng, index)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng, _index: u32) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng, index: u32) -> U {
+            (self.f)(self.inner.sample(rng, index))
+        }
+    }
+
+    /// `prop_oneof!` combinator: uniform choice between alternatives.
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union over `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng, index: u32) -> V {
+            // Early cases sweep the alternatives in order so every arm
+            // is exercised even with few cases.
+            let n = self.options.len();
+            let pick = if (index as usize) < n {
+                index as usize
+            } else {
+                rng.below(n)
+            };
+            self.options[pick].sample(rng, index)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng, index: u32) -> f64 {
+            match index {
+                // Edge cases first: the endpoints (upper nudged inside).
+                0 => self.start,
+                1 => prev_toward(self.end, self.start),
+                _ => {
+                    let v = self.start + (self.end - self.start) * rng.unit_f64();
+                    if v >= self.end {
+                        self.start
+                    } else {
+                        v
+                    }
+                }
+            }
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng, index: u32) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            match index {
+                0 => lo,
+                1 => hi,
+                _ => lo + (hi - lo) * rng.unit_f64(),
+            }
+        }
+    }
+
+    /// The largest `f64` strictly below `x` (toward `floor`), used to
+    /// keep exclusive upper endpoints exclusive.
+    fn prev_toward(x: f64, floor: f64) -> f64 {
+        let prev = if x == f64::INFINITY {
+            f64::MAX
+        } else if x == 0.0 {
+            // Largest value below zero: the negative subnormal closest
+            // to it. (`0.0f64.to_bits() - 1` would underflow.)
+            -f64::from_bits(1)
+        } else if x > 0.0 {
+            f64::from_bits(x.to_bits() - 1)
+        } else {
+            // Negative: bit patterns grow toward -infinity.
+            f64::from_bits(x.to_bits() + 1)
+        };
+        prev.max(floor)
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng, index: u32) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    match index {
+                        0 => self.start,
+                        1 => self.end - 1,
+                        _ => {
+                            let span = (self.end - self.start) as u64;
+                            self.start + (rng.next_u64() % span) as $t
+                        }
+                    }
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng, index: u32) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    match index {
+                        0 => lo,
+                        1 => hi,
+                        _ => {
+                            let span = (hi - lo) as u64 + 1;
+                            lo + (rng.next_u64() % span) as $t
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng, index: u32) -> Self::Value {
+                    ($(self.$idx.sample(rng, index),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing both booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform boolean (both values visited in the first two cases).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng, index: u32) -> bool {
+            match index {
+                0 => false,
+                1 => true,
+                _ => rng.next_u64() & 1 == 1,
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bound for [`vec`], mirroring `proptest`'s
+    /// `SizeRange`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of values drawn from `element`, with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng, index: u32) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = match index {
+                0 => self.size.lo,
+                1 => self.size.hi,
+                _ => self.size.lo + rng.below(span),
+            };
+            // Elements use uniform sampling (index 2+) so a short vec
+            // isn't all edge values.
+            (0..len)
+                .map(|_| self.element.sample(rng, 2 + index))
+                .collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The miniature test runner behind [`proptest!`][crate::proptest].
+
+    use std::fmt;
+
+    /// Per-run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed or rejected test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// A failure with a formatted reason.
+        #[must_use]
+        pub fn fail(reason: String) -> Self {
+            TestCaseError(reason)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic RNG (SplitMix64). Seeded from the test name so
+    /// each property sees its own stream but failures reproduce.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary byte string (the test's name).
+        #[must_use]
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        #[allow(clippy::cast_precision_loss)]
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64)
+        }
+
+        /// Uniform `usize` in `[0, n)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n` is zero.
+        #[allow(clippy::cast_possible_truncation)]
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn` runs `cases` times against
+/// freshly sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case_index in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strat), &mut rng, case_index,
+                        );
+                    )*
+                    let case_inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(concat!(stringify!($arg), " = "));
+                            s.push_str(&::std::format!("{:?}; ", $arg));
+                        )*
+                        s
+                    };
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        ::core::panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            case_index + 1, config.cases, e, case_inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts inside a [`proptest!`] body, failing the *case* (with its
+/// inputs) rather than aborting the process.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_hit_edges_then_sample_uniform() {
+        let mut rng = TestRng::from_name("edge");
+        let s = 0.0..=1.0f64;
+        assert_eq!(s.sample(&mut rng, 0), 0.0);
+        assert_eq!(s.sample(&mut rng, 1), 1.0);
+        for i in 2..100 {
+            let v = s.sample(&mut rng, i);
+            assert!((0.0..=1.0).contains(&v));
+        }
+        let e = 5u64..10;
+        assert_eq!(e.sample(&mut rng, 0), 5);
+        assert_eq!(e.sample(&mut rng, 1), 9);
+        for i in 2..100 {
+            assert!((5..10).contains(&e.sample(&mut rng, i)));
+        }
+    }
+
+    #[test]
+    fn exclusive_float_range_stays_exclusive() {
+        let mut rng = TestRng::from_name("excl");
+        let s = 0.0..1.0f64;
+        for i in 0..200 {
+            let v = s.sample(&mut rng, i);
+            assert!(v < 1.0, "sample {v} not below 1.0");
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_bounds() {
+        let mut rng = TestRng::from_name("vec");
+        let s = crate::collection::vec(0.0..1.0f64, 1..20);
+        for i in 0..100 {
+            let v = s.sample(&mut rng, i);
+            assert!((1..=19).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn oneof_sweeps_all_arms() {
+        let mut rng = TestRng::from_name("oneof");
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let first: Vec<u8> = (0..3).map(|i| s.sample(&mut rng, i)).collect();
+        assert_eq!(first, vec![1, 2, 3]);
+    }
+
+    // The macro itself, end-to-end.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_runs_cases(x in 0.0..=1.0f64, n in 1usize..10) {
+            prop_assert!((0.0..=1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert_eq!(n, n);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Offline stand-in for the subset of [`serde`](https://docs.rs/serde/1)
+//! this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! patches `serde` to this crate (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). Instead of serde's zero-copy visitor architecture it
+//! funnels everything through one self-describing [`Value`] tree — the
+//! H2P workspace only serializes small JSON trace documents, where the
+//! intermediate tree costs nothing measurable.
+//!
+//! Supported surface:
+//!
+//! * [`Serialize`] / [`Deserialize`] traits for the primitives and
+//!   containers the workspace stores (floats, integers, booleans,
+//!   strings, `Vec`, `Option`).
+//! * `#[derive(Serialize, Deserialize)]` on structs with named fields
+//!   (via the sibling `serde_derive` stub), including the
+//!   `#[serde(try_from = "Type")]` container attribute used for
+//!   validate-on-entry documents.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing data tree: the stub's entire data model.
+///
+/// Mirrors `serde_json::Value` (which the `serde_json` stub re-exports
+/// as exactly this type). Numbers are uniformly `f64`, like JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (always an `f64`, like JavaScript).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key, if this is an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+}
+
+fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON. Non-finite numbers render as `null` (JSON has no
+    /// NaN/infinity), matching `serde_json`'s lossy `Display`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) if n.is_finite() => write!(f, "{n}"),
+            Value::Number(_) => f.write_str("null"),
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, key)?;
+                    f.write_str(":")?;
+                    write!(f, "{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Deserialization error (also what derive-generated `try_from`
+/// conversions surface their validation failures as).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error carrying a custom message.
+    #[must_use]
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// This value as a data tree.
+    fn to_content(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses the data tree, validating invariants on the way in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] on shape or validation mismatch.
+    fn from_content(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Field lookup helper used by derive-generated code.
+///
+/// # Errors
+///
+/// Returns [`DeError`] if the field is absent or its value malformed.
+pub fn __field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    let value = obj
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{name}`")))?;
+    T::from_content(value).map_err(|e| DeError(format!("field `{name}`: {e}")))
+}
+
+macro_rules! impl_serde_via_f64 {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[allow(clippy::cast_lossless, clippy::cast_precision_loss)]
+            fn to_content(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            #[allow(
+                clippy::cast_possible_truncation,
+                clippy::cast_sign_loss,
+                clippy::cast_precision_loss,
+                clippy::float_cmp,
+                clippy::cast_lossless
+            )]
+            fn from_content(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| DeError("expected number".into()))?;
+                let cast = n as $t;
+                // Round-trip check rejects fractions and out-of-range
+                // values for integer targets (exact for floats).
+                if cast as f64 == n {
+                    Ok(cast)
+                } else {
+                    Err(DeError(format!(
+                        "number {n} out of range for {}",
+                        stringify!($t)
+                    )))
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_via_f64!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Value {
+        Value::Number(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|n| n as f32)
+            .ok_or_else(|| DeError("expected number".into()))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError("expected boolean".into())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError("expected string".into()))
+    }
+}
+
+impl Serialize for &str {
+    fn to_content(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError("expected array".into()))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_content(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Value {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::Number(1.5)),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".to_string(), Value::String("x\"y".to_string())),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1.5,"b":[true,null],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn integer_roundtrip_rejects_fractions() {
+        assert_eq!(u64::from_content(&Value::Number(3.0)), Ok(3));
+        assert!(u64::from_content(&Value::Number(3.5)).is_err());
+        assert!(u64::from_content(&Value::Number(-1.0)).is_err());
+        assert!(usize::from_content(&Value::String("3".into())).is_err());
+    }
+
+    #[test]
+    fn vec_and_option_roundtrip() {
+        let v = vec![0.25f64, 0.5].to_content();
+        assert_eq!(Vec::<f64>::from_content(&v), Ok(vec![0.25, 0.5]));
+        assert_eq!(Option::<f64>::from_content(&Value::Null), Ok(None));
+        assert_eq!(
+            Option::<f64>::from_content(&Value::Number(2.0)),
+            Ok(Some(2.0))
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Offline stub of serde's `#[derive(Serialize, Deserialize)]`.
+//!
+//! Implemented directly on `proc_macro` token streams (the sandbox has
+//! no `syn`/`quote`), which bounds the supported grammar:
+//!
+//! * structs with named fields, no generics;
+//! * the `#[serde(try_from = "Type")]` container attribute (documents
+//!   validated on entry — the pattern `h2p-workload` uses).
+//!
+//! Anything else produces a `compile_error!` pointing here. The
+//! generated code targets the `Value`-tree data model of the sibling
+//! `serde` stub, not real serde's visitor API.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the annotated struct.
+struct Input {
+    name: String,
+    fields: Vec<String>,
+    /// Payload of `#[serde(try_from = "...")]`, if present.
+    try_from: Option<String>,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Extracts `try_from = "Type"` from the tokens inside `#[serde(...)]`.
+fn parse_serde_attr(tokens: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(ident) = &tokens[i] {
+            if ident.to_string() == "try_from" {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (tokens.get(i + 1), tokens.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let raw = lit.to_string();
+                        return Some(raw.trim_matches('"').to_string());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Splits a named-field body on commas at angle-bracket depth zero and
+/// returns the field names.
+fn parse_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut current: Vec<&TokenTree> = Vec::new();
+    let mut chunks: Vec<Vec<&TokenTree>> = Vec::new();
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    for chunk in chunks {
+        // Skip field attributes and visibility, then expect `name :`.
+        let mut i = 0;
+        while i < chunk.len() {
+            match chunk[i] {
+                TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + bracket group
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1; // `pub(crate)` etc.
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match chunk.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "expected `:` after field `{name}` (named fields only)"
+                ))
+            }
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut try_from = None;
+    let mut i = 0;
+
+    // Outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = inner.first() {
+                        if id.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                                if let Some(t) = parse_serde_attr(&args) {
+                                    try_from = Some(t);
+                                }
+                            }
+                        }
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+            return Err("the offline serde_derive stub supports structs only".to_string());
+        }
+        other => return Err(format!("expected `struct`, found {other:?}")),
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+    i += 1;
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(
+                "the offline serde_derive stub supports non-generic structs only".to_string(),
+            );
+        }
+        other => return Err(format!("expected named-field body, found {other:?}")),
+    };
+
+    let fields = parse_fields(&body.into_iter().collect::<Vec<_>>())?;
+    Ok(Input {
+        name,
+        fields,
+        try_from,
+    })
+}
+
+/// Stub of serde's `Serialize` derive: emits every named field into a
+/// `Value::Object` in declaration order.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let entries: Vec<String> = parsed
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_content(&self.{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = parsed.name,
+        entries = entries.join(", ")
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Stub of serde's `Deserialize` derive.
+///
+/// Without attributes, rebuilds the struct field-by-field (missing
+/// fields error, unknown fields are ignored — serde's defaults). With
+/// `#[serde(try_from = "Doc")]`, deserializes `Doc` first and funnels
+/// through `TryFrom`, surfacing the conversion error's `Display`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = if let Some(proxy) = &parsed.try_from {
+        format!(
+            "let doc = <{proxy} as ::serde::Deserialize>::from_content(v)?;\n\
+             match <{name} as ::core::convert::TryFrom<{proxy}>>::try_from(doc) {{\n\
+                 ::core::result::Result::Ok(value) => ::core::result::Result::Ok(value),\n\
+                 ::core::result::Result::Err(e) => ::core::result::Result::Err(\n\
+                     ::serde::DeError::custom(::std::format!(\"{{e}}\"))),\n\
+             }}"
+        )
+    } else {
+        let fields: Vec<String> = parsed
+            .fields
+            .iter()
+            .map(|f| format!("{f}: ::serde::__field(obj, {f:?})?"))
+            .collect();
+        format!(
+            "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected JSON object\"))?;\n\
+             ::core::result::Result::Ok({name} {{ {fields} }})",
+            fields = fields.join(", ")
+        )
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,441 @@
+//! Offline stand-in for the subset of
+//! [`serde_json`](https://docs.rs/serde_json/1) this workspace uses:
+//! `to_string` / `from_str`, `to_writer` / `from_reader`, [`Value`],
+//! the [`json!`] macro, and an [`Error`] type that threads through
+//! `std::error::Error`.
+//!
+//! [`Value`] is a re-export of the `serde` stub's data-model tree, so
+//! serialization is `T -> Value -> text` and deserialization is the
+//! reverse. Floats print with Rust's `{}` formatting, which is already
+//! shortest-roundtrip (the `float_roundtrip` feature is a no-op).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::io::{Read, Write};
+
+pub use serde::Value;
+use serde::{DeError, Deserialize, Serialize};
+
+/// JSON (de)serialization error.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+    /// Byte offset of a syntax error, when known.
+    offset: Option<usize>,
+}
+
+impl Error {
+    fn syntax(message: impl Into<String>, offset: usize) -> Self {
+        Error {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    fn data(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+            offset: None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(at) => write!(f, "{} at byte {at}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::data(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::data(format!("i/o failure during JSON processing: {e}"))
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Infallible for tree-shaped data (kept fallible to mirror the real
+/// API).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_content().to_string())
+}
+
+/// Serializes `value` as compact JSON into `writer`.
+///
+/// # Errors
+///
+/// Returns [`Error`] if the writer fails.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    write!(writer, "{}", value.to_content())?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Parses a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or shape/validation mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = Parser::new(s).parse_document()?;
+    Ok(T::from_content(&value)?)
+}
+
+/// Reads and parses a value from `reader`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on read failure, malformed JSON, or
+/// shape/validation mismatch.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_content()
+}
+
+/// Insertion-ordered string-keyed map, mirroring `serde_json::Map`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if the
+    /// key was present.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(&mut slot.1, value));
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Serialize for Map {
+    fn to_content(&self) -> Value {
+        Value::Object(self.entries.clone())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(map: Map) -> Self {
+        Value::Object(map.entries)
+    }
+}
+
+/// Builds a [`Value`] literal; supports the object / array / scalar
+/// forms used across the workspace's experiment binaries.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $(( ::std::string::String::from($key), $crate::to_value(&$val) )),*
+        ])
+    };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Recursive-descent JSON parser over raw bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Value, Error> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(Error::syntax("trailing characters", self.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::syntax(
+                format!("expected `{}`", char::from(byte)),
+                self.pos,
+            ))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(Error::syntax(
+                format!("invalid literal (expected `{kw}`)"),
+                self.pos,
+            ))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.eat_keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(Error::syntax(
+                format!("unexpected character `{}`", char::from(c)),
+                self.pos,
+            )),
+            None => Err(Error::syntax("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::syntax("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::syntax("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::syntax("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::syntax("bad \\u escape", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::syntax("bad \\u escape", self.pos))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not reconstructed; the
+                            // workspace never emits them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::syntax(
+                                format!("unknown escape `\\{}`", char::from(other)),
+                                self.pos,
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::syntax("invalid UTF-8", self.pos))?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::syntax("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::syntax("invalid number", start))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error::syntax(format!("invalid number `{text}`"), start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = r#"{"traces":[{"interval_seconds":300.0,"samples":[0.5,0.25]}],"ok":true,"name":"a\"b"}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(
+            v.get("traces").unwrap().as_array().unwrap()[0]
+                .get("samples")
+                .unwrap()
+                .as_array()
+                .unwrap()[1]
+                .as_f64(),
+            Some(0.25)
+        );
+        let reprinted = to_string(&v).unwrap();
+        let reparsed: Value = from_str(&reprinted).unwrap();
+        assert_eq!(v, reparsed);
+    }
+
+    #[test]
+    fn syntax_errors_reported() {
+        assert!(from_str::<Value>("{not json").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("{\"a\":1}x").is_err());
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "experiment": "fig07",
+            "value": 1.5,
+            "count": 3usize,
+            "flag": true,
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"experiment":"fig07","value":1.5,"count":3,"flag":true}"#
+        );
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!([1.0, 2.0]).as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn float_formatting_roundtrips() {
+        for x in [0.1, 1.0 / 3.0, 1e-12, 123_456_789.123_456_78] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(x, back);
+        }
+    }
+}
