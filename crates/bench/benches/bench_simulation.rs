@@ -1,5 +1,18 @@
-//! End-to-end simulation throughput: one circulation-interval of the
-//! Fig. 14 engine, and a small full run.
+//! Sequential-versus-parallel wall-clock benchmark of the trace
+//! simulation engine (the tentpole measurement behind
+//! `BENCH_simulation.json`).
+//!
+//! Full mode simulates the paper-scale evaluation — 1,000 servers over
+//! a 24-hour trace at 5-minute control intervals (288 steps) — once on
+//! the spawn-free sequential path (`workers = 1`) and once across the
+//! worker pool, verifies the two runs are bit-identical, and writes the
+//! measured numbers to `BENCH_simulation.json` (override the location
+//! with `--out <path>`). `--smoke` shrinks the workload to 200 servers
+//! × 24 steps for CI.
+//!
+//! The speedup is reported, not asserted: it depends on the host's
+//! core count (also recorded), so single-core machines legitimately
+//! report ≈ 1×. Bit-identity *is* asserted — it must hold everywhere.
 
 // Test/bench code opts back into panicking unwraps (see [workspace.lints]).
 #![allow(
@@ -11,35 +24,88 @@
     clippy::cast_sign_loss
 )]
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use h2p_core::simulation::Simulator;
-use h2p_sched::{LoadBalance, Original};
+use h2p_sched::LoadBalance;
 use h2p_workload::{TraceGenerator, TraceKind};
-use std::hint::black_box;
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::time::Instant;
 
-fn bench_simulation(c: &mut Criterion) {
-    let sim = Simulator::paper_default().unwrap();
-    let cluster = TraceGenerator::paper(TraceKind::Drastic, 1)
-        .with_servers(40)
-        .with_steps(12)
-        .generate();
-
-    c.bench_function("simulation/40srv_12steps_original", |b| {
-        b.iter(|| sim.run(black_box(&cluster), &Original).unwrap())
-    });
-
-    c.bench_function("simulation/40srv_12steps_loadbalance", |b| {
-        b.iter(|| sim.run(black_box(&cluster), &LoadBalance).unwrap())
-    });
-
-    let big = TraceGenerator::paper(TraceKind::Common, 1)
-        .with_servers(200)
-        .with_steps(24)
-        .generate();
-    c.bench_function("simulation/200srv_24steps_loadbalance", |b| {
-        b.iter(|| sim.run(black_box(&big), &LoadBalance).unwrap())
-    });
+fn nz(n: usize) -> NonZeroUsize {
+    NonZeroUsize::new(n).unwrap()
 }
 
-criterion_group!(benches, bench_simulation);
-criterion_main!(benches);
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_simulation.json"));
+
+    let (servers, steps) = if smoke { (200, 24) } else { (1000, 288) };
+    let cluster = TraceGenerator::paper(TraceKind::Irregular, h2p_bench::EXPERIMENT_SEED)
+        .with_servers(servers)
+        .with_steps(steps)
+        .generate();
+
+    // One pristine simulator; each timed run clones it so both paths
+    // start from the same cold optimizer-setting cache.
+    let sim = Simulator::paper_default().unwrap();
+    let available = h2p_exec::worker_count().get();
+    let workers = available.max(4);
+
+    let t_seq = Instant::now();
+    let seq = sim
+        .clone()
+        .with_workers(nz(1))
+        .run(&cluster, &LoadBalance)
+        .unwrap();
+    let sequential_seconds = t_seq.elapsed().as_secs_f64();
+
+    let t_par = Instant::now();
+    let par = sim
+        .clone()
+        .with_workers(nz(workers))
+        .run(&cluster, &LoadBalance)
+        .unwrap();
+    let parallel_seconds = t_par.elapsed().as_secs_f64();
+
+    let bit_identical = seq.steps().len() == par.steps().len()
+        && seq.steps().iter().zip(par.steps()).all(|(a, b)| a == b);
+    let speedup = sequential_seconds / parallel_seconds;
+
+    let report = serde_json::json!({
+        "bench": "simulation",
+        "smoke": smoke,
+        "servers": servers,
+        "steps": steps,
+        "trace": "Irregular",
+        "policy": seq.policy(),
+        "sequential_seconds": sequential_seconds,
+        "parallel_seconds": parallel_seconds,
+        "workers": workers,
+        "available_parallelism": available,
+        "speedup": speedup,
+        "bit_identical": bit_identical,
+        "average_teg_power_w": seq.average_teg_power().value(),
+    });
+    std::fs::write(&out, format!("{report}\n")).unwrap();
+    let shown = out.canonicalize().unwrap_or(out);
+
+    println!(
+        "simulation bench ({servers} servers x {steps} steps, {}):",
+        seq.policy()
+    );
+    println!("  sequential (1 worker):   {sequential_seconds:.3} s");
+    println!("  parallel   ({workers} workers): {parallel_seconds:.3} s  ({speedup:.2}x, {available} cores available)");
+    println!("  bit-identical: {bit_identical}");
+    println!("  wrote {}", shown.display());
+
+    assert!(
+        bit_identical,
+        "parallel run diverged from the sequential run"
+    );
+}

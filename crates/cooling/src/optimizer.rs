@@ -45,6 +45,13 @@ pub struct OptimizedSetting {
 
 /// The Sec. V-B cooling-setting optimizer.
 ///
+/// The optimizer is a *pure function* of its construction parameters:
+/// [`optimize`](CoolingOptimizer::optimize) reads the lookup space and
+/// never mutates anything, so one optimizer can be built per distinct
+/// cold-source temperature and reused across every control interval and
+/// every worker thread of a simulation run (it is `Sync`; the
+/// compile-time assertion below keeps that guarantee from regressing).
+///
 /// See the [crate-level documentation](crate) for an example.
 #[derive(Debug, Clone)]
 pub struct CoolingOptimizer<'a> {
@@ -218,6 +225,15 @@ impl<'a> CoolingOptimizer<'a> {
         }
         best_safe.or(coolest)
     }
+}
+
+// Shared-reuse guarantee: the parallel simulation engine hands one
+// `&CoolingOptimizer` to every worker thread of a control interval.
+#[allow(dead_code)]
+fn _assert_optimizer_is_sync() {
+    fn is_sync<T: Sync>() {}
+    is_sync::<CoolingOptimizer<'static>>();
+    is_sync::<OptimizedSetting>();
 }
 
 #[cfg(test)]

@@ -125,8 +125,8 @@ impl Datacenter {
         Ok(AnnualReport {
             average_generation,
             pre: result.pre(),
-            partial_pue: result.partial_pue(),
-            partial_ere: result.partial_ere(),
+            partial_pue: result.partial_pue()?,
+            partial_ere: result.partial_ere()?,
             tco_reduction: self.tco.reduction(average_generation),
             break_even_days: self.tco.break_even(average_generation).to_days(),
             annual_savings: self.tco.annual_savings(average_generation),

@@ -90,6 +90,9 @@ pub enum H2pError {
         /// The control utilization that could not be served.
         control_utilization: f64,
     },
+    /// An aggregate (partial PUE/ERE) was requested over a simulation
+    /// run that recorded no IT power.
+    EmptyRun,
 }
 
 impl fmt::Display for H2pError {
@@ -108,6 +111,10 @@ impl fmt::Display for H2pError {
             } => write!(
                 f,
                 "no feasible cooling setting at control utilization {control_utilization}"
+            ),
+            H2pError::EmptyRun => write!(
+                f,
+                "simulation run recorded no IT power; partial PUE/ERE are undefined"
             ),
         }
     }

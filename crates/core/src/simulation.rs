@@ -12,16 +12,45 @@
 //!    space (Steps 2-3);
 //! 3. every server's coolant outlet and TEG output follow from its own
 //!    (post-scheduling) load under the shared setting.
+//!
+//! # Parallel execution & determinism
+//!
+//! Circulations within one control interval are independent, so the
+//! engine shards them across a scoped worker pool (`h2p-exec`) and
+//! merges the per-circulation partial aggregates **in circulation-index
+//! order**. Sequential (`workers = 1`) and parallel runs therefore
+//! produce bit-identical [`SimulationResult`]s: every partial is a pure
+//! function of its circulation's loads, and the merge order never
+//! depends on thread scheduling.
+//!
+//! Two hot-path reuses keep the engine fast without breaking that
+//! contract (see DESIGN.md §8 for the invariants):
+//!
+//! * **optimizer hoisting** — a [`CoolingOptimizer`] depends only on
+//!   the cold-source temperature, so one is constructed per *distinct*
+//!   cold value rather than once per step;
+//! * **exact-key setting cache** — optimizer choices are memoized under
+//!   the exact `(u_control, cold)` bit pattern, shared across
+//!   circulations, steps, threads and runs. Because
+//!   [`CoolingOptimizer::optimize`] is deterministic in those exact
+//!   inputs, a cache hit returns the same bits a fresh search would —
+//!   the cache is observationally transparent. (An earlier revision
+//!   quantized the cold temperature to 1/16 °C in a run-wide key, which
+//!   silently replayed settings optimized for one cold temperature at
+//!   another as the source drifted.)
 
 use crate::H2pError;
-use h2p_cooling::{CoolingOptimizer, CoolingPlant, PlantLoad};
+use h2p_cooling::{CoolingOptimizer, CoolingPlant, OptimizedSetting, PlantLoad};
 use h2p_hydraulics::{ColdSource, Pump};
 use h2p_sched::SchedulingPolicy;
 use h2p_server::{CpuPowerModel, LookupSpace, ServerModel};
 use h2p_teg::TegModule;
 use h2p_units::{Celsius, DegC, Joules, Seconds, Utilization, Watts};
 use h2p_workload::ClusterTrace;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::{PoisonError, RwLock};
 
 /// Configuration of the simulated H2P datacenter.
 #[derive(Debug, Clone)]
@@ -81,7 +110,10 @@ pub struct StepRecord {
     /// Mean per-server cooling-plant power (tower + chiller + FWS
     /// pumps).
     pub cooling_power_per_server: Watts,
-    /// Mean chosen inlet temperature across circulations.
+    /// Server-weighted mean of the chosen inlet temperatures: each
+    /// circulation's inlet counts once per server it cools, so a ragged
+    /// final circulation (cluster size not divisible by the circulation
+    /// size) contributes proportionally to its size.
     pub mean_inlet: Celsius,
     /// Mean coolant outlet temperature across servers.
     pub mean_outlet: Celsius,
@@ -174,31 +206,33 @@ impl SimulationResult {
     /// delivery excluded): `(IT + cooling + pumps) / IT`. Warm-water
     /// operation keeps this close to 1.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an empty run (no CPU power drawn).
-    #[must_use]
-    pub fn partial_pue(&self) -> f64 {
+    /// Returns [`H2pError::EmptyRun`] on a run that recorded no IT
+    /// power (an empty step list), where the ratio is undefined.
+    pub fn partial_pue(&self) -> Result<f64, H2pError> {
         let it = self.average_cpu_power().value();
-        assert!(it > 0.0, "no IT power recorded");
+        if !(it > 0.0) {
+            return Err(H2pError::EmptyRun);
+        }
         let pumps: f64 = self
             .steps
             .iter()
             .map(|s| s.pump_power_per_server.value())
             .sum::<f64>()
             / self.steps.len().max(1) as f64;
-        (it + self.average_cooling_power().value() + pumps) / it
+        Ok((it + self.average_cooling_power().value() + pumps) / it)
     }
 
     /// Partial ERE (Sec. II-C): the partial PUE numerator minus the TEG
     /// harvest, over IT power. H2P pushes this below the partial PUE.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an empty run (no CPU power drawn).
-    #[must_use]
-    pub fn partial_ere(&self) -> f64 {
-        self.partial_pue() - self.pre()
+    /// Returns [`H2pError::EmptyRun`] on a run that recorded no IT
+    /// power, where the ratio is undefined.
+    pub fn partial_ere(&self) -> Result<f64, H2pError> {
+        Ok(self.partial_pue()? - self.pre())
     }
 
     /// Power reusing efficiency over the run (paper Eq. 19, Fig. 15).
@@ -224,21 +258,105 @@ impl SimulationResult {
     }
 }
 
+/// Exact cache key for one optimizer decision: the raw bit patterns of
+/// the control utilization and the cold-source temperature. Two keys
+/// are equal only when both inputs are *bit-identical*, so a hit can
+/// never replay a setting optimized under different physics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SettingKey {
+    u_control: u64,
+    cold: u64,
+}
+
+impl SettingKey {
+    fn new(u_control: Utilization, cold: Celsius) -> Self {
+        SettingKey {
+            u_control: u_control.value().to_bits(),
+            cold: cold.value().to_bits(),
+        }
+    }
+}
+
+/// Shared memo of optimizer decisions, readable from every worker
+/// thread. Values are pure functions of their exact key, so concurrent
+/// insertion races are benign: whichever thread wins writes the same
+/// bits the loser would have.
+#[derive(Debug, Default)]
+struct SettingCache {
+    map: RwLock<HashMap<SettingKey, OptimizedSetting>>,
+}
+
+impl SettingCache {
+    fn get(&self, key: &SettingKey) -> Option<OptimizedSetting> {
+        self.map
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .copied()
+    }
+
+    fn insert(&self, key: SettingKey, setting: OptimizedSetting) {
+        self.map
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, setting);
+    }
+}
+
+impl Clone for SettingCache {
+    fn clone(&self) -> Self {
+        SettingCache {
+            map: RwLock::new(
+                self.map
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
+        }
+    }
+}
+
+/// Partial aggregates of one circulation over one control interval —
+/// the unit of work a worker thread produces. Summation happens within
+/// the circulation (server order), and partials merge in
+/// circulation-index order, so the grand totals are independent of how
+/// circulations were sharded across threads.
+#[derive(Debug, Clone, Copy)]
+struct CircPartial {
+    teg: f64,
+    cpu: f64,
+    pump: f64,
+    flow: f64,
+    /// Inlet temperature weighted by the circulation's server count
+    /// (the per-server weighting behind `StepRecord::mean_inlet`).
+    inlet_weighted: f64,
+    outlet: f64,
+    util: f64,
+    peak: Utilization,
+    violations: usize,
+}
+
 /// The trace-driven H2P simulator.
 ///
 /// Building a simulator runs the measurement campaign that fits the
 /// lookup space (once); individual [`run`](Simulator::run)s then share
-/// it.
+/// it, along with the optimizer-setting cache (see the
+/// [module docs](self) for the determinism contract).
 #[derive(Debug, Clone)]
 pub struct Simulator {
     config: SimulationConfig,
     space: LookupSpace,
     power_model: CpuPowerModel,
     max_operating: Celsius,
+    workers: NonZeroUsize,
+    cache: SettingCache,
 }
 
 impl Simulator {
     /// Creates a simulator for a server model and configuration.
+    ///
+    /// The worker count defaults to the machine's available parallelism
+    /// (see [`with_workers`](Self::with_workers)).
     ///
     /// # Errors
     ///
@@ -250,6 +368,8 @@ impl Simulator {
             space,
             power_model: *model.power_model(),
             max_operating: model.spec().max_operating,
+            workers: h2p_exec::worker_count(),
+            cache: SettingCache::default(),
         })
     }
 
@@ -264,6 +384,21 @@ impl Simulator {
             &ServerModel::paper_default(),
             SimulationConfig::paper_default(),
         )
+    }
+
+    /// Sets the number of worker threads that circulations are sharded
+    /// across (`1` forces the spawn-free sequential path). Results are
+    /// bit-identical for every worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: NonZeroUsize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The worker-thread count used by [`run`](Self::run).
+    #[must_use]
+    pub fn workers(&self) -> NonZeroUsize {
+        self.workers
     }
 
     /// The configuration.
@@ -290,28 +425,53 @@ impl Simulator {
         cluster: &ClusterTrace,
         policy: &dyn SchedulingPolicy,
     ) -> Result<SimulationResult, H2pError> {
+        self.run_inner(cluster, policy, self.workers, true)
+    }
+
+    /// The engine behind [`run`](Self::run), with the worker count and
+    /// the setting cache controllable (the cache-free path exists so
+    /// tests can assert the cache is observationally transparent).
+    fn run_inner(
+        &self,
+        cluster: &ClusterTrace,
+        policy: &dyn SchedulingPolicy,
+        workers: NonZeroUsize,
+        use_cache: bool,
+    ) -> Result<SimulationResult, H2pError> {
         let servers = cluster.servers();
         let circ_size = self.config.servers_per_circulation.min(servers).max(1);
+        let circ_chunk = NonZeroUsize::new(circ_size).unwrap_or(NonZeroUsize::MIN);
         let interval = cluster.interval();
         let mut steps = Vec::with_capacity(cluster.steps());
-        // The optimizer is deterministic in the control utilization;
-        // cache on a quantized key to avoid re-searching identical
-        // planes (large win: U_avg repeats heavily).
-        let mut cache: HashMap<u32, h2p_cooling::OptimizedSetting> = HashMap::new();
+        // The optimizer depends only on the cold-source temperature:
+        // construct one per distinct cold value over the whole run (a
+        // constant source gets exactly one), not one per step.
+        let mut optimizers: HashMap<u64, CoolingOptimizer<'_>> = HashMap::new();
 
         for step in 0..cluster.steps() {
             let time = Seconds::new(interval.value() * step as f64);
             let cold = self.config.cold_source.temperature(time);
-            let optimizer = CoolingOptimizer::new(
-                &self.space,
-                self.config.module,
-                self.config.pump,
-                self.config.t_safe,
-                self.config.tolerance,
-                cold,
-            )?;
+            let optimizer = match optimizers.entry(cold.value().to_bits()) {
+                Entry::Occupied(entry) => entry.into_mut(),
+                Entry::Vacant(entry) => entry.insert(CoolingOptimizer::new(
+                    &self.space,
+                    self.config.module,
+                    self.config.pump,
+                    self.config.t_safe,
+                    self.config.tolerance,
+                    cold,
+                )?),
+            };
 
             let loads = cluster.utilizations_at(step);
+            // Shard the independent circulations across the worker
+            // pool; partials come back in circulation-index order.
+            let partials = h2p_exec::try_par_chunks(workers, &loads, circ_chunk, |_, chunk| {
+                self.simulate_circulation(chunk, policy, optimizer, cold, use_cache)
+            })?;
+
+            // Deterministic merge: circulation-index order, independent
+            // of how the chunks were scheduled onto threads.
             let mut teg_sum = 0.0;
             let mut cpu_sum = 0.0;
             let mut pump_sum = 0.0;
@@ -321,56 +481,22 @@ impl Simulator {
             let mut util_sum = 0.0;
             let mut peak = Utilization::IDLE;
             let mut violations = 0usize;
-            let mut circulations = 0usize;
-
-            for chunk in loads.chunks(circ_size) {
-                circulations += 1;
-                let scheduled = policy.schedule(chunk);
-                let u_ctrl = policy.control_utilization(chunk);
-                // Quantized cache key: both operands are bounded,
-                // non-negative paper quantities.
-                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                let key = (u_ctrl.value() * 10_000.0).round() as u32
-                    ^ ((cold.value() * 16.0).round() as u32) << 16;
-                let chosen = match cache.get(&key) {
-                    Some(c) => *c,
-                    None => {
-                        let c = optimizer
-                            .optimize(u_ctrl)
-                            .ok_or(H2pError::NoFeasibleSetting {
-                                control_utilization: u_ctrl.value(),
-                            })?;
-                        cache.insert(key, c);
-                        c
-                    }
-                };
-                for &u in &scheduled {
-                    let outlet = self.space.outlet_temperature(
-                        u,
-                        chosen.setting.flow,
-                        chosen.setting.inlet,
-                    )?;
-                    let die =
-                        self.space
-                            .cpu_temperature(u, chosen.setting.flow, chosen.setting.inlet)?;
-                    if die > self.max_operating {
-                        violations += 1;
-                    }
-                    teg_sum += self.config.module.max_power(outlet - cold).value();
-                    cpu_sum += self.power_model.base_power(u).value();
-                    outlet_sum += outlet.value();
-                    util_sum += u.value();
-                    peak = peak.max(u);
-                }
-                pump_sum += chosen.pump_power.value() * scheduled.len() as f64;
-                flow_sum += chosen.setting.flow.value() * scheduled.len() as f64;
-                inlet_sum += chosen.setting.inlet.value();
+            for p in &partials {
+                teg_sum += p.teg;
+                cpu_sum += p.cpu;
+                pump_sum += p.pump;
+                flow_sum += p.flow;
+                inlet_sum += p.inlet_weighted;
+                outlet_sum += p.outlet;
+                util_sum += p.util;
+                peak = peak.max(p.peak);
+                violations += p.violations;
             }
 
             let n = servers as f64;
             let plant_power = self.config.plant.power(PlantLoad {
                 heat: Watts::new(cpu_sum),
-                supply_setpoint: Celsius::new(inlet_sum / circulations as f64),
+                supply_setpoint: Celsius::new(inlet_sum / n),
                 total_flow: h2p_units::LitersPerHour::new(flow_sum),
             });
             steps.push(StepRecord {
@@ -379,7 +505,7 @@ impl Simulator {
                 cpu_power_per_server: Watts::new(cpu_sum / n),
                 pump_power_per_server: Watts::new(pump_sum / n),
                 cooling_power_per_server: plant_power.total() / n,
-                mean_inlet: Celsius::new(inlet_sum / circulations as f64),
+                mean_inlet: Celsius::new(inlet_sum / n),
                 mean_outlet: Celsius::new(outlet_sum / n),
                 mean_utilization: Utilization::saturating(util_sum / n),
                 peak_utilization: peak,
@@ -393,6 +519,77 @@ impl Simulator {
             servers,
             steps,
         })
+    }
+
+    /// Simulates one circulation over one control interval: schedule,
+    /// pick the cooling setting, evaluate every server under it. Pure
+    /// in its inputs (the setting cache only memoizes a deterministic
+    /// search), so safe and deterministic from any worker thread.
+    fn simulate_circulation(
+        &self,
+        chunk: &[Utilization],
+        policy: &dyn SchedulingPolicy,
+        optimizer: &CoolingOptimizer<'_>,
+        cold: Celsius,
+        use_cache: bool,
+    ) -> Result<CircPartial, H2pError> {
+        let scheduled = policy.schedule(chunk);
+        let u_ctrl = policy.control_utilization(chunk);
+        let chosen = self.optimized_setting(optimizer, u_ctrl, cold, use_cache)?;
+        let mut partial = CircPartial {
+            teg: 0.0,
+            cpu: 0.0,
+            pump: chosen.pump_power.value() * scheduled.len() as f64,
+            flow: chosen.setting.flow.value() * scheduled.len() as f64,
+            inlet_weighted: chosen.setting.inlet.value() * scheduled.len() as f64,
+            outlet: 0.0,
+            util: 0.0,
+            peak: Utilization::IDLE,
+            violations: 0,
+        };
+        for &u in &scheduled {
+            let outlet =
+                self.space
+                    .outlet_temperature(u, chosen.setting.flow, chosen.setting.inlet)?;
+            let die = self
+                .space
+                .cpu_temperature(u, chosen.setting.flow, chosen.setting.inlet)?;
+            if die > self.max_operating {
+                partial.violations += 1;
+            }
+            partial.teg += self.config.module.max_power(outlet - cold).value();
+            partial.cpu += self.power_model.base_power(u).value();
+            partial.outlet += outlet.value();
+            partial.util += u.value();
+            partial.peak = partial.peak.max(u);
+        }
+        Ok(partial)
+    }
+
+    /// Resolves the cooling setting for a control utilization, through
+    /// the shared exact-key cache when enabled.
+    fn optimized_setting(
+        &self,
+        optimizer: &CoolingOptimizer<'_>,
+        u_ctrl: Utilization,
+        cold: Celsius,
+        use_cache: bool,
+    ) -> Result<OptimizedSetting, H2pError> {
+        let key = SettingKey::new(u_ctrl, cold);
+        if use_cache {
+            if let Some(hit) = self.cache.get(&key) {
+                return Ok(hit);
+            }
+        }
+        let chosen = optimizer
+            .optimize(u_ctrl)
+            .ok_or(H2pError::NoFeasibleSetting {
+                control_utilization: u_ctrl.value(),
+            })?;
+        if use_cache {
+            self.cache.insert(key, chosen);
+        }
+        Ok(chosen)
     }
 }
 
@@ -493,11 +690,11 @@ mod tests {
         let sim = Simulator::paper_default().unwrap();
         let cluster = small_cluster(TraceKind::Common);
         let r = sim.run(&cluster, &LoadBalance).unwrap();
-        let pue = r.partial_pue();
+        let pue = r.partial_pue().unwrap();
         // Chiller-free warm-water operation: cooling + pumps stay a few
         // percent of IT.
         assert!((1.0..=1.15).contains(&pue), "partial PUE = {pue}");
-        let ere = r.partial_ere();
+        let ere = r.partial_ere().unwrap();
         assert!(ere < pue, "reuse must push ERE below PUE");
         assert!(ere > 0.5, "sanity: ere = {ere}");
         assert!(r.average_cooling_power().value() > 0.0);
@@ -518,5 +715,129 @@ mod tests {
         let p_small = small.run(&cluster, &Original).unwrap().average_teg_power();
         let p_large = large.run(&cluster, &Original).unwrap().average_teg_power();
         assert!(p_small > p_large, "small {p_small} vs large {p_large}");
+    }
+
+    #[test]
+    fn setting_cache_is_transparent_under_a_drifting_cold_source() {
+        // Regression test for the stale-cache bug: the old run-wide key
+        // quantized the cold temperature to 1/16 °C, so as the source
+        // drifted, settings optimized at one cold temperature were
+        // silently replayed at another. With exact keys, a cached run
+        // must be bit-identical to a cache-free run.
+        let mut cfg = SimulationConfig::paper_default();
+        cfg.cold_source = ColdSource::Seasonal {
+            mean: Celsius::new(17.5),
+            amplitude: DegC::new(2.5),
+            period: Seconds::hours(6.0),
+        };
+        let sim = Simulator::new(&ServerModel::paper_default(), cfg).unwrap();
+        let cluster = small_cluster(TraceKind::Irregular);
+        let cached = sim.run(&cluster, &LoadBalance).unwrap();
+        let uncached = sim
+            .run_inner(&cluster, &LoadBalance, sim.workers, false)
+            .unwrap();
+        assert_eq!(cached.steps().len(), uncached.steps().len());
+        for (a, b) in cached.steps().iter().zip(uncached.steps()) {
+            assert_eq!(a, b);
+        }
+        // Sanity: the drifting source genuinely changes the physics
+        // relative to the constant-source run.
+        let constant = Simulator::paper_default()
+            .unwrap()
+            .run(&cluster, &LoadBalance)
+            .unwrap();
+        assert_ne!(cached.average_teg_power(), constant.average_teg_power());
+    }
+
+    #[test]
+    fn cache_survives_across_runs_without_leaking_state() {
+        // The cache is shared across runs on one simulator; hits must
+        // return exactly what a cold-cache simulator computes.
+        let sim = Simulator::paper_default().unwrap();
+        let cluster = small_cluster(TraceKind::Common);
+        let first = sim.run(&cluster, &LoadBalance).unwrap();
+        let warm = sim.run(&cluster, &LoadBalance).unwrap();
+        let cold_cache = Simulator::paper_default()
+            .unwrap()
+            .run(&cluster, &LoadBalance)
+            .unwrap();
+        for ((a, b), c) in first
+            .steps()
+            .iter()
+            .zip(warm.steps())
+            .zip(cold_cache.steps())
+        {
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+    }
+
+    #[test]
+    fn mean_inlet_is_server_weighted_on_ragged_clusters() {
+        // 90 servers ÷ 40 per circulation → chunks of 40, 40 and 10
+        // servers. The mean inlet must weight the 10-server tail by
+        // 10/90, not by a full 1/3 as the per-circulation mean did.
+        let sim = Simulator::paper_default().unwrap();
+        let cluster = TraceGenerator::paper(TraceKind::Drastic, 13)
+            .with_servers(90)
+            .with_steps(6)
+            .generate();
+        let r = sim.run(&cluster, &Original).unwrap();
+        let optimizer = CoolingOptimizer::new(
+            sim.lookup_space(),
+            sim.config().module,
+            sim.config().pump,
+            sim.config().t_safe,
+            sim.config().tolerance,
+            Celsius::new(20.0),
+        )
+        .unwrap();
+        let mut some_step_distinguishes = false;
+        for (step, rec) in r.steps().iter().enumerate() {
+            let loads = cluster.utilizations_at(step);
+            let mut weighted = 0.0;
+            let mut unweighted = 0.0;
+            let mut circulations = 0.0;
+            for chunk in loads.chunks(40) {
+                let u = Original.control_utilization(chunk);
+                let inlet = optimizer.optimize(u).unwrap().setting.inlet.value();
+                weighted += inlet * chunk.len() as f64;
+                unweighted += inlet;
+                circulations += 1.0;
+            }
+            let expect = weighted / 90.0;
+            assert!(
+                (rec.mean_inlet.value() - expect).abs() < 1e-12,
+                "step {step}: {} vs {expect}",
+                rec.mean_inlet
+            );
+            if (expect - unweighted / circulations).abs() > 1e-9 {
+                some_step_distinguishes = true;
+            }
+        }
+        assert!(
+            some_step_distinguishes,
+            "trace must exercise the ragged-weighting difference"
+        );
+    }
+
+    #[test]
+    fn partial_metrics_report_empty_runs_as_typed_errors() {
+        let empty = SimulationResult {
+            policy: "TEG_Original",
+            interval: Seconds::minutes(5.0),
+            servers: 0,
+            steps: Vec::new(),
+        };
+        assert!(matches!(empty.partial_pue(), Err(H2pError::EmptyRun)));
+        assert!(matches!(empty.partial_ere(), Err(H2pError::EmptyRun)));
+    }
+
+    #[test]
+    fn worker_count_is_configurable_and_visible() {
+        let sim = Simulator::paper_default().unwrap();
+        assert!(sim.workers().get() >= 1);
+        let forced = sim.with_workers(NonZeroUsize::new(3).unwrap());
+        assert_eq!(forced.workers().get(), 3);
     }
 }

@@ -1,0 +1,195 @@
+//! Equivalence tests for the parallel simulation engine: sharding the
+//! circulations of a control interval across worker threads must be
+//! invisible in the results (bit-identical to the sequential path), and
+//! the engine's chunked, cached aggregation must match a naive
+//! reference built from the public substrate APIs.
+
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
+use h2p_cooling::{CoolingOptimizer, PlantLoad};
+use h2p_core::simulation::{SimulationConfig, Simulator};
+use h2p_sched::{LoadBalance, Original, SchedulingPolicy};
+use h2p_server::ServerModel;
+use h2p_units::{Celsius, LitersPerHour, Seconds, Utilization, Watts};
+use h2p_workload::{ClusterTrace, Trace, TraceGenerator, TraceKind};
+use proptest::prelude::*;
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+fn nz(n: usize) -> NonZeroUsize {
+    NonZeroUsize::new(n).unwrap()
+}
+
+/// 90 servers over 40-server circulations: two full circulations plus a
+/// ragged 10-server tail, the shape most likely to expose merge-order
+/// or weighting divergence between the sequential and parallel paths.
+fn ragged_cluster(kind: TraceKind) -> ClusterTrace {
+    TraceGenerator::paper(kind, 31)
+        .with_servers(90)
+        .with_steps(12)
+        .generate()
+}
+
+#[test]
+fn parallel_runs_are_bit_identical_to_sequential() {
+    let sim = Simulator::paper_default().unwrap();
+    for kind in TraceKind::all() {
+        let cluster = ragged_cluster(kind);
+        for policy in [&Original as &dyn SchedulingPolicy, &LoadBalance] {
+            let seq = sim
+                .clone()
+                .with_workers(nz(1))
+                .run(&cluster, policy)
+                .unwrap();
+            for workers in [2usize, 4, 7] {
+                let par = sim
+                    .clone()
+                    .with_workers(nz(workers))
+                    .run(&cluster, policy)
+                    .unwrap();
+                assert_eq!(seq.steps().len(), par.steps().len());
+                for (a, b) in seq.steps().iter().zip(par.steps()) {
+                    assert_eq!(a, b, "{kind}/{}/{workers} workers", seq.policy());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn worker_counts_beyond_circulation_count_are_harmless() {
+    // More workers than circulations (and than CPUs): excess lanes idle,
+    // results unchanged.
+    let sim = Simulator::paper_default().unwrap();
+    let cluster = ragged_cluster(TraceKind::Common);
+    let seq = sim
+        .clone()
+        .with_workers(nz(1))
+        .run(&cluster, &LoadBalance)
+        .unwrap();
+    let flooded = sim
+        .with_workers(nz(64))
+        .run(&cluster, &LoadBalance)
+        .unwrap();
+    for (a, b) in seq.steps().iter().zip(flooded.steps()) {
+        assert_eq!(a, b);
+    }
+}
+
+/// A simulator with 7-server circulations shared across proptest cases
+/// (the lookup-space fit dominates construction cost).
+fn small_sim() -> &'static Simulator {
+    static SIM: OnceLock<Simulator> = OnceLock::new();
+    SIM.get_or_init(|| {
+        let mut cfg = SimulationConfig::paper_default();
+        cfg.servers_per_circulation = 7;
+        Simulator::new(&ServerModel::paper_default(), cfg).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // `Simulator::run` must agree with a naive reference that walks the
+    // public substrate APIs directly — per circulation: schedule, pick
+    // the optimizer's setting, evaluate each server — with no worker
+    // pool, no setting cache and no partial-sum merge.
+    #[test]
+    fn engine_matches_naive_unchunked_reference(
+        xs in proptest::collection::vec(0.0f64..=1.0, 4..=48),
+        servers in 1usize..=16,
+    ) {
+        let steps = (xs.len() / servers).clamp(1, 4);
+        let interval = Seconds::minutes(5.0);
+        let traces: Vec<Trace> = (0..servers)
+            .map(|s| {
+                let samples: Vec<f64> = (0..steps)
+                    .map(|t| xs[(s * steps + t) % xs.len()])
+                    .collect();
+                Trace::new(interval, samples).unwrap()
+            })
+            .collect();
+        let cluster = ClusterTrace::new(traces).unwrap();
+
+        let sim = small_sim();
+        let model = ServerModel::paper_default();
+        let run = sim.run(&cluster, &LoadBalance).unwrap();
+        prop_assert_eq!(run.steps().len(), steps);
+
+        let n = servers as f64;
+        for (step, rec) in run.steps().iter().enumerate() {
+            let time = Seconds::new(interval.value() * step as f64);
+            let cold = sim.config().cold_source.temperature(time);
+            let optimizer = CoolingOptimizer::new(
+                sim.lookup_space(),
+                sim.config().module,
+                sim.config().pump,
+                sim.config().t_safe,
+                sim.config().tolerance,
+                cold,
+            )
+            .unwrap();
+
+            let loads = cluster.utilizations_at(step);
+            let mut teg = 0.0;
+            let mut cpu = 0.0;
+            let mut pump = 0.0;
+            let mut flow = 0.0;
+            let mut inlet = 0.0;
+            let mut outlet = 0.0;
+            let mut util = 0.0;
+            let mut peak = Utilization::IDLE;
+            let mut violations = 0usize;
+            for chunk in loads.chunks(7) {
+                let u_ctrl = LoadBalance.control_utilization(chunk);
+                let chosen = optimizer.optimize(u_ctrl).unwrap();
+                pump += chosen.pump_power.value() * chunk.len() as f64;
+                flow += chosen.setting.flow.value() * chunk.len() as f64;
+                inlet += chosen.setting.inlet.value() * chunk.len() as f64;
+                for &u in &LoadBalance.schedule(chunk) {
+                    let out = sim
+                        .lookup_space()
+                        .outlet_temperature(u, chosen.setting.flow, chosen.setting.inlet)
+                        .unwrap();
+                    let die = sim
+                        .lookup_space()
+                        .cpu_temperature(u, chosen.setting.flow, chosen.setting.inlet)
+                        .unwrap();
+                    if die > model.spec().max_operating {
+                        violations += 1;
+                    }
+                    teg += sim.config().module.max_power(out - cold).value();
+                    cpu += model.power_model().base_power(u).value();
+                    outlet += out.value();
+                    util += u.value();
+                    peak = peak.max(u);
+                }
+            }
+            let plant = sim.config().plant.power(PlantLoad {
+                heat: Watts::new(cpu),
+                supply_setpoint: Celsius::new(inlet / n),
+                total_flow: LitersPerHour::new(flow),
+            });
+
+            prop_assert!((rec.teg_power_per_server.value() - teg / n).abs() < 1e-9);
+            prop_assert!((rec.cpu_power_per_server.value() - cpu / n).abs() < 1e-9);
+            prop_assert!((rec.pump_power_per_server.value() - pump / n).abs() < 1e-9);
+            prop_assert!(
+                (rec.cooling_power_per_server.value() - plant.total().value() / n).abs() < 1e-9
+            );
+            prop_assert!((rec.mean_inlet.value() - inlet / n).abs() < 1e-9);
+            prop_assert!((rec.mean_outlet.value() - outlet / n).abs() < 1e-9);
+            prop_assert!((rec.mean_utilization.value() - util / n).abs() < 1e-9);
+            prop_assert_eq!(rec.peak_utilization, peak);
+            prop_assert_eq!(rec.thermal_violations, violations);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Scoped worker-pool execution primitives.
+//!
+//! The simulation engine's unit of parallelism is the *water
+//! circulation*: within one control interval every circulation is
+//! independent (servers interact only through their own CDU), so the
+//! engine shards circulations across a pool of scoped threads and
+//! merges the per-circulation partial aggregates in circulation-index
+//! order. This crate provides that pool as a small reusable primitive
+//! built on [`std::thread::scope`] — the workspace builds fully
+//! offline, so no rayon.
+//!
+//! # Determinism contract
+//!
+//! [`par_map`], [`try_par_map`] and [`try_par_chunks`] return results
+//! in **input order**, and every element is produced by one call of the
+//! supplied function on that element alone. For a deterministic
+//! function the output is therefore bit-identical for every worker
+//! count, including the spawn-free sequential path taken when one
+//! worker (or one item) is requested. [`try_par_map`] and
+//! [`try_par_chunks`] report the error of the **lowest-indexed**
+//! failing element, again independent of thread scheduling.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::num::NonZeroUsize;
+//!
+//! let workers = h2p_exec::worker_count();
+//! let squares = h2p_exec::par_map(workers, &[1, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! let sums: Result<Vec<i64>, &str> = h2p_exec::try_par_chunks(
+//!     workers,
+//!     &[1i64, 2, 3, 4, 5],
+//!     NonZeroUsize::new(2).expect("non-zero"),
+//!     |_, chunk| Ok(chunk.iter().sum()),
+//! );
+//! assert_eq!(sums, Ok(vec![3, 7, 5]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Test code opts back into panicking asserts/unwraps (see [workspace.lints]).
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::float_cmp,
+        clippy::cast_lossless,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
+
+use std::num::NonZeroUsize;
+
+/// An uninhabited error type (stable stand-in for `!`), used to run the
+/// fallible machinery infallibly in [`par_map`].
+enum Never {}
+
+/// Worker count for CPU-bound sharding: the machine's available
+/// parallelism, or 1 if it cannot be queried.
+#[must_use]
+pub fn worker_count() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+}
+
+/// Maps `f` over `items` on up to `workers` scoped threads and returns
+/// the results in input order.
+///
+/// `f` receives each item's index alongside the item. Work is split
+/// into contiguous runs, one per worker; when a single worker (or at
+/// most one item) is requested the call runs inline without spawning.
+pub fn par_map<T, R, F>(workers: NonZeroUsize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    match try_par_map(workers, items, |i, t| Ok::<R, Never>(f(i, t))) {
+        Ok(out) => out,
+        Err(never) => match never {},
+    }
+}
+
+/// Fallible [`par_map`]: maps `f` over `items` in parallel, returning
+/// the in-order results, or the error of the lowest-indexed failing
+/// element.
+///
+/// All items are evaluated (workers do not observe each other's
+/// failures); only the error selection is short-circuited, which keeps
+/// the result independent of thread scheduling.
+///
+/// # Errors
+///
+/// Returns the first error by item index, if any call of `f` fails.
+pub fn try_par_map<T, R, E, F>(workers: NonZeroUsize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let n = items.len();
+    let lanes = workers.get().min(n);
+    if lanes <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let run = n.div_ceil(lanes);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(run)
+            .enumerate()
+            .map(|(lane, part)| {
+                scope.spawn(move || {
+                    part.iter()
+                        .enumerate()
+                        .map(|(j, t)| f(lane * run + j, t))
+                        .collect::<Vec<Result<R, E>>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            match handle.join() {
+                Ok(results) => {
+                    for r in results {
+                        out.push(r?);
+                    }
+                }
+                // A worker panicking means `f` panicked; re-raise on the
+                // caller's thread rather than inventing an error value.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        Ok(out)
+    })
+}
+
+/// Shards `items.chunks(chunk_size)` across the worker pool: `f` is
+/// called once per chunk with the chunk's index and slice, and the
+/// per-chunk results come back in chunk order (the deterministic-merge
+/// building block of the simulation engine).
+///
+/// # Errors
+///
+/// Returns the first error by chunk index, if any call of `f` fails.
+pub fn try_par_chunks<T, R, E, F>(
+    workers: NonZeroUsize,
+    items: &[T],
+    chunk_size: NonZeroUsize,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &[T]) -> Result<R, E> + Sync,
+{
+    let chunks: Vec<&[T]> = items.chunks(chunk_size.get()).collect();
+    try_par_map(workers, &chunks, |i, chunk| f(i, chunk))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nz(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count().get() >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_every_worker_count() {
+        let items: Vec<usize> = (0..103).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for workers in [1, 2, 3, 4, 7, 16, 200] {
+            let got = par_map(nz(workers), &items, |i, &x| {
+                assert_eq!(i, x, "index must match item position");
+                x * 3 + 1
+            });
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(par_map(nz(4), &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(nz(4), &[9], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn try_par_map_reports_lowest_indexed_error() {
+        let items: Vec<usize> = (0..50).collect();
+        for workers in [1, 2, 5, 8] {
+            let r: Result<Vec<usize>, usize> =
+                try_par_map(
+                    nz(workers),
+                    &items,
+                    |i, &x| {
+                        if x % 7 == 3 {
+                            Err(i)
+                        } else {
+                            Ok(x)
+                        }
+                    },
+                );
+            assert_eq!(r, Err(3), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_ok_matches_sequential() {
+        let items: Vec<f64> = (0..37).map(|i| f64::from(i) * 0.1).collect();
+        let seq: Result<Vec<f64>, ()> = try_par_map(nz(1), &items, |_, &x| Ok(x.sin()));
+        let par: Result<Vec<f64>, ()> = try_par_map(nz(6), &items, |_, &x| Ok(x.sin()));
+        // Bit-identical: same pure function per element, order-preserving
+        // merge.
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn try_par_chunks_covers_ragged_tail() {
+        let items: Vec<u32> = (1..=10).collect();
+        let sums: Result<Vec<(usize, u32)>, ()> =
+            try_par_chunks(nz(4), &items, nz(4), |i, chunk| {
+                Ok((i, chunk.iter().sum::<u32>()))
+            });
+        // Chunks [1..4], [5..8], [9, 10] — the ragged tail keeps its own
+        // index and its own (smaller) extent.
+        assert_eq!(sums, Ok(vec![(0, 10), (1, 26), (2, 19)]));
+    }
+
+    #[test]
+    fn try_par_chunks_error_is_deterministic() {
+        let items: Vec<u32> = (0..97).collect();
+        for workers in [1, 3, 9] {
+            let r: Result<Vec<u32>, usize> = try_par_chunks(nz(workers), &items, nz(10), |i, _| {
+                if i >= 4 {
+                    Err(i)
+                } else {
+                    Ok(0)
+                }
+            });
+            assert_eq!(r, Err(4), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        let _ = par_map(nz(4), &items, |_, &x| {
+            assert!(x < 6, "boom");
+            x
+        });
+    }
+}

@@ -51,7 +51,14 @@ use h2p_units::Utilization;
 /// A workload-scheduling policy: how per-server loads are rearranged
 /// each control interval, and which utilization plane the cooling
 /// optimizer slices at (the paper's Step 1).
-pub trait SchedulingPolicy {
+///
+/// `Sync` is a supertrait: the simulation engine shards the independent
+/// water circulations of one control interval across a scoped worker
+/// pool (`h2p-exec`), and every worker consults the same policy
+/// concurrently. Policies must therefore be safe to call from several
+/// threads at once — in practice they are pure functions of their
+/// input slice, and all provided policies are stateless.
+pub trait SchedulingPolicy: Sync {
     /// Human-readable policy name (used in experiment output).
     fn name(&self) -> &'static str;
 

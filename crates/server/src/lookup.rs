@@ -41,6 +41,12 @@ pub struct SpacePoint {
 
 /// The fitted continuous lookup space over `(u, f, T_in)`.
 ///
+/// The space is immutable once built: every query method takes `&self`
+/// and only reads the fitted sample arrays, so a single space is safely
+/// shared by concurrent readers (`Sync` — asserted at compile time
+/// below). The parallel simulation engine relies on this to let every
+/// worker thread interpolate against one shared space without copies.
+///
 /// ```
 /// use h2p_server::{LookupSpace, ServerModel};
 /// use h2p_units::{Celsius, LitersPerHour, Utilization};
@@ -286,6 +292,14 @@ impl LookupSpace {
         }
         out
     }
+}
+
+// Shared-read guarantee: the parallel simulation engine interpolates
+// against one `&LookupSpace` from every worker thread.
+#[allow(dead_code)]
+fn _assert_lookup_space_is_sync() {
+    fn is_sync<T: Sync>() {}
+    is_sync::<LookupSpace>();
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 
 use crate::trace::ClusterTrace;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 
 /// Errors from trace I/O.
@@ -55,10 +55,14 @@ impl From<serde_json::Error> for TraceIoError {
 ///
 /// # Errors
 ///
-/// Returns [`TraceIoError`] on filesystem or serialization failure.
+/// Returns [`TraceIoError`] on filesystem or serialization failure,
+/// including failures surfaced when the buffered writer is flushed
+/// (dropping a `BufWriter` swallows write errors, so the flush is
+/// explicit).
 pub fn save_cluster(cluster: &ClusterTrace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
-    let file = File::create(path)?;
-    serde_json::to_writer(BufWriter::new(file), cluster)?;
+    let mut writer = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(&mut writer, cluster)?;
+    writer.flush()?;
     Ok(())
 }
 

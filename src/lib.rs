@@ -11,6 +11,7 @@
 //! |---|---|---|
 //! | [`units`] | `h2p-units` | typed physical quantities |
 //! | [`stats`] | `h2p-stats` | distributions, order statistics, fitting |
+//! | [`exec`] | `h2p-exec` | scoped worker-pool execution primitives |
 //! | [`thermal`] | `h2p-thermal` | RC networks, cold plates, heat exchangers |
 //! | [`hydraulics`] | `h2p-hydraulics` | branches, pumps, cold sources |
 //! | [`teg`] | `h2p-teg` | TEG/TEC device models |
@@ -59,6 +60,7 @@
 
 pub use h2p_cooling as cooling;
 pub use h2p_core as core;
+pub use h2p_exec as exec;
 pub use h2p_hydraulics as hydraulics;
 pub use h2p_sched as sched;
 pub use h2p_server as server;
