@@ -1,0 +1,772 @@
+//! The fault-injected simulation engine: [`Simulator::run_with_faults`].
+//!
+//! Runs a [`FaultPlan`] through the trace engine with **per-circulation
+//! fault isolation** (a faulted circulation degrades — it never aborts
+//! the run) and **layered attribution**. Every faulted
+//! circulation-step is evaluated in four layers:
+//!
+//! | layer | what changes | harvest |
+//! |-------|--------------|---------|
+//! | **H** | nothing (the healthy world)                          | `teg_H` |
+//! | **S** | the *setting* follows the corrupted sensor reading   | `teg_S` |
+//! | **P** | plus the pump derate/outage (clamped flow, throttle) | `teg_P` |
+//! | **F** | plus TEG open-circuit failures (the actual output)   | `teg_F` |
+//!
+//! The per-class deltas `H−S` (sensor), `S−P` (pump) and `P−F` (TEG)
+//! telescope to `H−F`, so the [`FaultLedger`]'s per-class attribution
+//! reconciles with the total healthy-vs-faulted harvest delta to
+//! floating-point round-off (the acceptance bound is 1e-9 relative).
+//!
+//! # Degradation semantics
+//!
+//! * **Sensor faults** corrupt only the *decision* input: the optimizer
+//!   sees the corrupted cold-source reading, the physics keeps the true
+//!   one. Die-temperature predictions are independent of the cold
+//!   source, so a setting optimized under a wrong-but-plausible reading
+//!   is still thermally safe — it just harvests less. An *implausible*
+//!   reading (outside the plan's plausibility band, or any reading the
+//!   optimizer cannot serve) forces the **clamped fallback setting**:
+//!   maximum flow at the coolest grid inlet, the most conservative
+//!   point of the paper grid.
+//! * **Pump faults** scale the achieved flow (outage → the grid's
+//!   minimum, standing in for residual/thermosiphon flow, at zero pump
+//!   power). Reduced flow means hotter dies, so the engine re-derives
+//!   the largest safe utilization on the *interpolated lookup space*
+//!   ([`ThrottleController::max_safe_utilization_in_space`]) and
+//!   throttles each server to it — the same space the engine predicts
+//!   temperatures from, so an admitted load can never register as a
+//!   phantom violation.
+//! * **TEG faults** derate each failed server's harvest through the
+//!   plan's [`ModuleReliability`] wiring topology (series → zero,
+//!   bypass → proportional). Electrical only; no thermal feedback.
+//! * If even the degraded evaluation fails, the circulation is
+//!   **isolated offline** for that step (zero contribution) and the
+//!   whole healthy harvest is attributed to the leading active fault
+//!   class. The run continues.
+//!
+//! # Determinism
+//!
+//! All fault effects are pure functions of `(plan, circulation, step)`,
+//! evaluation stays sharded by circulation exactly as in the plan-free
+//! engine, and partials merge in circulation-index order — so runs are
+//! bit-identical across worker counts, and a zero-fault plan reproduces
+//! the plan-free engine bit-for-bit (both paths share
+//! `Simulator::fold_step` and `Simulator::simulate_circulation`).
+
+use crate::simulation::{CircPartial, SimulationResult, Simulator};
+use crate::H2pError;
+use h2p_cooling::CoolingOptimizer;
+use h2p_faults::{
+    ActiveFaults, CompiledFaults, FaultLedger, FaultPlan, StepAttribution, StepPowers,
+};
+use h2p_sched::SchedulingPolicy;
+use h2p_server::ThrottleController;
+use h2p_units::{Celsius, LitersPerHour, Seconds, Utilization, Watts};
+use h2p_workload::ClusterTrace;
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+
+/// Result of a fault-injected run: the degraded-world series plus the
+/// degradation account.
+#[derive(Debug, Clone)]
+pub struct FaultedRun {
+    /// The run as actually simulated (faults applied).
+    pub result: SimulationResult,
+    /// Healthy-vs-faulted accounting: per-class harvest attribution,
+    /// PUE/ERE deltas, degradation counters.
+    pub ledger: FaultLedger,
+}
+
+/// One circulation's contribution to a fault-injected interval.
+struct FaultedPartial {
+    /// The world as simulated (faults applied) — feeds the result.
+    faulted: CircPartial,
+    /// The counterfactual healthy world — feeds the ledger.
+    healthy: CircPartial,
+    /// Telescoping per-class harvest deltas, watts.
+    attr_sensor: f64,
+    attr_pump: f64,
+    attr_teg: f64,
+    /// Server-steps throttled by the pump-fault path.
+    throttled: u64,
+    /// Whether the clamped fallback setting was forced.
+    fallback: bool,
+    /// Whether the circulation was isolated offline this step.
+    offline: bool,
+    /// Whether any fault was active this circulation-step.
+    faulted_active: bool,
+}
+
+impl FaultedPartial {
+    fn healthy_passthrough(partial: CircPartial) -> Self {
+        FaultedPartial {
+            faulted: partial,
+            healthy: partial,
+            attr_sensor: 0.0,
+            attr_pump: 0.0,
+            attr_teg: 0.0,
+            throttled: 0,
+            fallback: false,
+            offline: false,
+            faulted_active: false,
+        }
+    }
+}
+
+/// The cooling setting one degraded layer runs under.
+#[derive(Clone, Copy)]
+struct LayerSetting {
+    flow: LitersPerHour,
+    inlet: Celsius,
+    /// Per-server pump power share at this flow.
+    pump_per_server: f64,
+}
+
+impl Simulator {
+    /// Runs a policy over a cluster trace with a fault plan injected.
+    ///
+    /// A zero-fault plan ([`FaultPlan::none`]) produces a result
+    /// bit-identical to [`run`](Simulator::run); any plan produces
+    /// bit-identical results across worker counts (see the
+    /// [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`run`](Simulator::run) from the
+    /// healthy evaluation path. Failures on *degraded* paths never
+    /// error: the affected circulation is isolated offline for the
+    /// step instead.
+    pub fn run_with_faults(
+        &self,
+        cluster: &ClusterTrace,
+        policy: &dyn SchedulingPolicy,
+        plan: &FaultPlan,
+    ) -> Result<FaultedRun, H2pError> {
+        let servers = cluster.servers();
+        let circ_size = self.config.servers_per_circulation.min(servers).max(1);
+        let circ_chunk = NonZeroUsize::new(circ_size).unwrap_or(NonZeroUsize::MIN);
+        let interval = cluster.interval();
+        let compiled = plan.compile(servers, circ_size, cluster.steps());
+        let mut ledger = FaultLedger::new(interval);
+        let mut steps = Vec::with_capacity(cluster.steps());
+        // True-cold optimizers, hoisted per distinct cold value exactly
+        // as in the plan-free engine.
+        let mut optimizers: HashMap<u64, CoolingOptimizer<'_>> = HashMap::new();
+        // Optimizers for *corrupted* (sensed) cold values. `None`
+        // records that construction failed for that reading — such
+        // circulations take the clamped fallback instead.
+        let mut sensed_optimizers: HashMap<u64, Option<CoolingOptimizer<'_>>> = HashMap::new();
+        let n_circs = servers.div_ceil(circ_size);
+
+        for step in 0..cluster.steps() {
+            let time = Seconds::new(interval.value() * step as f64);
+            let cold = self.config.cold_source.temperature(time);
+            let cold_bits = cold.value().to_bits();
+            if let std::collections::hash_map::Entry::Vacant(entry) = optimizers.entry(cold_bits) {
+                entry.insert(self.new_optimizer(cold)?);
+            }
+            // Pre-resolve every corrupted reading this step needs, so
+            // the parallel shards only *read* the optimizer maps.
+            // Sensed readings are pure functions of (plan, circ, step),
+            // so this sequential scan cannot perturb determinism.
+            for circ in 0..n_circs {
+                if let Some(active) = compiled.active_at(circ, step) {
+                    if let Some(sensor) = active.sensor {
+                        let sensed = sensor.corrupt(cold);
+                        if compiled.is_plausible(sensed) {
+                            sensed_optimizers
+                                .entry(sensed.value().to_bits())
+                                .or_insert_with(|| self.new_optimizer(sensed).ok());
+                        }
+                    }
+                }
+            }
+            let optimizer = &optimizers[&cold_bits];
+            let sensed_opts = &sensed_optimizers;
+
+            let loads = cluster.utilizations_at(step);
+            let partials =
+                h2p_exec::try_par_chunks(self.workers, &loads, circ_chunk, |circ, chunk| {
+                    self.simulate_circulation_faulted(
+                        circ,
+                        step,
+                        chunk,
+                        policy,
+                        optimizer,
+                        sensed_opts,
+                        cold,
+                        &compiled,
+                    )
+                })?;
+
+            // Deterministic merge, circulation-index order. The faulted
+            // world goes through the same fold as the plan-free engine;
+            // the healthy counterfactual feeds the ledger.
+            let faulted_rec = self.fold_step(time, servers, partials.iter().map(|p| p.faulted));
+            let healthy_rec = self.fold_step(time, servers, partials.iter().map(|p| p.healthy));
+            let n = servers as f64;
+            let totals = |r: &crate::simulation::StepRecord| StepPowers {
+                teg: Watts::new(r.teg_power_per_server.value() * n),
+                it: Watts::new(r.cpu_power_per_server.value() * n),
+                pump: Watts::new(r.pump_power_per_server.value() * n),
+                plant: Watts::new(r.cooling_power_per_server.value() * n),
+            };
+            ledger.record_step(totals(&healthy_rec), totals(&faulted_rec));
+            let mut attr = StepAttribution::zero();
+            let mut attr_sensor = 0.0;
+            let mut attr_pump = 0.0;
+            let mut attr_teg = 0.0;
+            for p in &partials {
+                attr_sensor += p.attr_sensor;
+                attr_pump += p.attr_pump;
+                attr_teg += p.attr_teg;
+                ledger.note_throttled(p.throttled);
+                if p.fallback {
+                    ledger.note_fallback();
+                }
+                if p.offline {
+                    ledger.note_offline();
+                }
+                if p.faulted_active {
+                    ledger.note_faulted_circulation();
+                }
+            }
+            attr.sensor = Watts::new(attr_sensor);
+            attr.pump = Watts::new(attr_pump);
+            attr.teg = Watts::new(attr_teg);
+            ledger.record_attribution(attr);
+
+            steps.push(faulted_rec);
+        }
+
+        Ok(FaultedRun {
+            result: SimulationResult::from_parts(policy.name(), interval, servers, steps),
+            ledger,
+        })
+    }
+
+    fn new_optimizer(&self, cold: Celsius) -> Result<CoolingOptimizer<'_>, H2pError> {
+        Ok(CoolingOptimizer::new(
+            &self.space,
+            self.config.module,
+            self.config.pump,
+            self.config.t_safe,
+            self.config.tolerance,
+            cold,
+        )?)
+    }
+
+    /// The clamped fallback setting for implausible sensor readings:
+    /// maximum flow at the coolest grid inlet — the most conservative
+    /// corner of the paper grid, safe for any load.
+    fn fallback_setting(&self) -> LayerSetting {
+        let flow = self
+            .space
+            .flow_axis()
+            .last()
+            .copied()
+            .unwrap_or(LitersPerHour::new(250.0).value());
+        let inlet = self
+            .space
+            .inlet_axis()
+            .first()
+            .copied()
+            .unwrap_or(Celsius::new(20.0).value());
+        let flow = LitersPerHour::new(flow);
+        let pump_per_server = self
+            .config
+            .pump
+            .power(flow)
+            .map(Watts::value)
+            .unwrap_or(0.0);
+        LayerSetting {
+            flow,
+            inlet: Celsius::new(inlet),
+            pump_per_server,
+        }
+    }
+
+    /// One circulation-step under faults: healthy layer first (the
+    /// counterfactual), then the degraded layers. Pure in its inputs,
+    /// like `simulate_circulation`.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_circulation_faulted(
+        &self,
+        circ: usize,
+        step: usize,
+        chunk: &[Utilization],
+        policy: &dyn SchedulingPolicy,
+        optimizer: &CoolingOptimizer<'_>,
+        sensed_opts: &HashMap<u64, Option<CoolingOptimizer<'_>>>,
+        cold: Celsius,
+        compiled: &CompiledFaults,
+    ) -> Result<FaultedPartial, H2pError> {
+        // Layer H — exactly the plan-free computation (shared code, so
+        // a zero-fault plan is bit-identical by construction).
+        let healthy = self.simulate_circulation(chunk, policy, optimizer, cold, true)?;
+        let Some(active) = compiled.active_at(circ, step) else {
+            return Ok(FaultedPartial::healthy_passthrough(healthy));
+        };
+
+        let scheduled = policy.schedule(chunk);
+        let u_ctrl = policy.control_utilization(chunk);
+
+        // Layer S — the setting the controller actually picks, seeing
+        // the (possibly corrupted) cold reading.
+        let mut fallback = false;
+        let setting_s: LayerSetting = if let Some(sensor) = active.sensor {
+            let sensed = sensor.corrupt(cold);
+            let served = if compiled.is_plausible(sensed) {
+                sensed_opts
+                    .get(&sensed.value().to_bits())
+                    .and_then(Option::as_ref)
+                    .and_then(|opt| self.optimized_setting(opt, u_ctrl, sensed, true).ok())
+            } else {
+                None
+            };
+            match served {
+                Some(chosen) => LayerSetting {
+                    flow: chosen.setting.flow,
+                    inlet: chosen.setting.inlet,
+                    pump_per_server: chosen.pump_power.value(),
+                },
+                None => {
+                    fallback = true;
+                    self.fallback_setting()
+                }
+            }
+        } else {
+            let chosen = self.optimized_setting(optimizer, u_ctrl, cold, true)?;
+            LayerSetting {
+                flow: chosen.setting.flow,
+                inlet: chosen.setting.inlet,
+                pump_per_server: chosen.pump_power.value(),
+            }
+        };
+
+        match self.degraded_layers(&scheduled, setting_s, &active, cold, compiled) {
+            Ok(mut degraded) => {
+                degraded.healthy = healthy;
+                degraded.attr_sensor = healthy.teg - degraded.attr_sensor;
+                degraded.fallback = fallback;
+                Ok(degraded)
+            }
+            Err(_) => {
+                // Isolation: the degraded path could not be evaluated.
+                // The circulation goes offline for this step; the whole
+                // healthy harvest is attributed to the leading fault.
+                let mut attr = (0.0, 0.0, 0.0);
+                if active.sensor.is_some() {
+                    attr.0 = healthy.teg;
+                } else if active.pump_out || active.pump_factor < 1.0 {
+                    attr.1 = healthy.teg;
+                } else {
+                    attr.2 = healthy.teg;
+                }
+                Ok(FaultedPartial {
+                    faulted: CircPartial::offline(),
+                    healthy,
+                    attr_sensor: attr.0,
+                    attr_pump: attr.1,
+                    attr_teg: attr.2,
+                    throttled: 0,
+                    fallback,
+                    offline: true,
+                    faulted_active: true,
+                })
+            }
+        }
+    }
+
+    /// Layers S, P and F for one circulation-step. Returns a partially
+    /// filled [`FaultedPartial`]: `attr_sensor` holds `teg_S` (the
+    /// caller turns it into `teg_H − teg_S`), and `healthy` is not yet
+    /// set.
+    fn degraded_layers(
+        &self,
+        scheduled: &[Utilization],
+        setting_s: LayerSetting,
+        active: &ActiveFaults,
+        cold: Celsius,
+        compiled: &CompiledFaults,
+    ) -> Result<FaultedPartial, H2pError> {
+        // Layer S harvest: the corrupted setting, true physics.
+        let mut teg_s = 0.0;
+        for &u in scheduled {
+            let outlet = self
+                .space
+                .outlet_temperature(u, setting_s.flow, setting_s.inlet)?;
+            teg_s += self.config.module.max_power(outlet - cold).value();
+        }
+
+        // Layer P geometry: derated flow clamped onto the grid, pump
+        // power at the *achieved* flow (zero on outage).
+        let pump_active = active.pump_out || active.pump_factor < 1.0;
+        let (flow_p, pump_per_server) = if active.pump_out {
+            (self.grid_min_flow(), 0.0)
+        } else if active.pump_factor < 1.0 {
+            let derated = LitersPerHour::new(
+                (setting_s.flow.value() * active.pump_factor).max(self.grid_min_flow().value()),
+            );
+            let per_server = self.config.pump.power(derated)?.value();
+            (derated, per_server)
+        } else {
+            (setting_s.flow, setting_s.pump_per_server)
+        };
+
+        // Reduced flow can push dies past the envelope: re-derive the
+        // safe cap on the interpolated space and throttle to it. The
+        // healthy-flow path skips this — the optimizer's setting is
+        // safe by construction, and computing the cap would burn time
+        // without changing anything.
+        let cap = if pump_active {
+            ThrottleController::new(self.max_operating).max_safe_utilization_in_space(
+                &self.space,
+                flow_p,
+                setting_s.inlet,
+            )?
+        } else {
+            Utilization::FULL
+        };
+
+        // Layers P and F in one pass over the servers.
+        let mut partial = CircPartial {
+            teg: 0.0,
+            cpu: 0.0,
+            pump: pump_per_server * scheduled.len() as f64,
+            flow: flow_p.value() * scheduled.len() as f64,
+            inlet_weighted: setting_s.inlet.value() * scheduled.len() as f64,
+            outlet: 0.0,
+            util: 0.0,
+            peak: Utilization::IDLE,
+            violations: 0,
+        };
+        let mut teg_p = 0.0;
+        let mut throttled = 0u64;
+        let wiring = compiled.module_wiring();
+        for (offset, &u) in scheduled.iter().enumerate() {
+            let u_run = if u > cap {
+                throttled += 1;
+                cap
+            } else {
+                u
+            };
+            let outlet = self
+                .space
+                .outlet_temperature(u_run, flow_p, setting_s.inlet)?;
+            let die = self.space.cpu_temperature(u_run, flow_p, setting_s.inlet)?;
+            if die > self.max_operating {
+                partial.violations += 1;
+            }
+            let teg_i = self.config.module.max_power(outlet - cold).value();
+            teg_p += teg_i;
+            partial.teg += teg_i * active.teg_fraction(offset, wiring);
+            partial.cpu += self.power_model.base_power(u_run).value();
+            partial.outlet += outlet.value();
+            partial.util += u_run.value();
+            partial.peak = partial.peak.max(u_run);
+        }
+
+        Ok(FaultedPartial {
+            faulted: partial,
+            healthy: CircPartial::offline(), // overwritten by the caller
+            attr_sensor: teg_s,              // caller: teg_H − teg_S
+            attr_pump: teg_s - teg_p,
+            attr_teg: teg_p - partial.teg,
+            throttled,
+            fallback: false, // caller sets
+            offline: false,
+            faulted_active: true,
+        })
+    }
+
+    fn grid_min_flow(&self) -> LitersPerHour {
+        LitersPerHour::new(
+            self.space
+                .flow_axis()
+                .first()
+                .copied()
+                .unwrap_or(LitersPerHour::new(20.0).value()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2p_faults::{FaultClass, FaultEvent, FaultKind};
+    use h2p_sched::LoadBalance;
+    use h2p_units::DegC;
+    use h2p_workload::{TraceGenerator, TraceKind};
+
+    fn cluster() -> ClusterTrace {
+        TraceGenerator::paper(TraceKind::Common, 11)
+            .with_servers(80)
+            .with_steps(24)
+            .generate()
+    }
+
+    fn sim() -> Simulator {
+        Simulator::paper_default().unwrap()
+    }
+
+    fn assert_bit_identical(
+        a: &crate::simulation::SimulationResult,
+        b: &crate::simulation::SimulationResult,
+    ) {
+        assert_eq!(a.steps().len(), b.steps().len());
+        for (x, y) in a.steps().iter().zip(b.steps()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_plan_free_run() {
+        let sim = sim();
+        let cluster = cluster();
+        let plain = sim.run(&cluster, &LoadBalance).unwrap();
+        let faulted = sim
+            .run_with_faults(&cluster, &LoadBalance, &FaultPlan::none())
+            .unwrap();
+        assert_bit_identical(&plain, &faulted.result);
+        assert_eq!(faulted.ledger.harvest_delta().value(), 0.0);
+        assert_eq!(faulted.ledger.reconciliation_error(), 0.0);
+        assert_eq!(faulted.ledger.faulted_circulation_steps(), 0);
+        // Healthy and faulted worlds agree exactly.
+        assert_eq!(
+            faulted.ledger.healthy_harvest(),
+            faulted.ledger.faulted_harvest()
+        );
+    }
+
+    #[test]
+    fn teg_failures_derate_harvest_and_attribute_to_teg_class() {
+        let sim = sim();
+        let cluster = cluster();
+        // Kill 6 of 12 devices on servers 0-9 (circulation 0), bypass
+        // wiring -> those modules produce half power.
+        let events = (0..10)
+            .map(|s| {
+                FaultEvent::permanent(
+                    FaultKind::TegOpenCircuit {
+                        server: s,
+                        failed_devices: 6,
+                    },
+                    0,
+                )
+            })
+            .collect();
+        let plan = FaultPlan::from_events(events, 1).unwrap();
+        let run = sim.run_with_faults(&cluster, &LoadBalance, &plan).unwrap();
+        let ledger = &run.ledger;
+        assert!(ledger.harvest_delta().value() > 0.0);
+        // All loss on the TEG class; sensor/pump deltas are exactly 0.
+        assert_eq!(ledger.class_harvest_delta(FaultClass::Sensor).value(), 0.0);
+        assert_eq!(ledger.class_harvest_delta(FaultClass::Pump).value(), 0.0);
+        assert!(ledger.reconciliation_error() < 1e-9);
+        // Electrical-only fault: IT power unchanged, so the delta is
+        // exactly the healthy harvest of 10 half-derated modules.
+        let healthy = sim.run(&cluster, &LoadBalance).unwrap();
+        let expect = healthy.total_harvested().value();
+        let got = ledger.healthy_harvest().value();
+        assert!((got - expect).abs() <= expect.abs() * 1e-9);
+    }
+
+    #[test]
+    fn pump_outage_degrades_one_circulation_without_aborting() {
+        let sim = sim();
+        let cluster = cluster();
+        let plan = FaultPlan::from_events(
+            vec![FaultEvent::windowed(
+                FaultKind::PumpOutage { circulation: 1 },
+                6,
+                18,
+            )],
+            2,
+        )
+        .unwrap();
+        let run = sim.run_with_faults(&cluster, &LoadBalance, &plan).unwrap();
+        let ledger = &run.ledger;
+        assert_eq!(ledger.faulted_circulation_steps(), 12);
+        assert_eq!(ledger.offline_circulation_steps(), 0, "degrade, not abort");
+        // The pump class carries the delta (outage changes flow and
+        // therefore outlets; sensors and TEGs are untouched).
+        assert_eq!(ledger.class_harvest_delta(FaultClass::Sensor).value(), 0.0);
+        assert_eq!(ledger.class_harvest_delta(FaultClass::Teg).value(), 0.0);
+        assert!(ledger.reconciliation_error() < 1e-9);
+        // Pump energy drops during the outage window.
+        assert!(
+            ledger.faulted_harvest().value() != ledger.healthy_harvest().value()
+                || ledger.harvest_delta().value() == 0.0
+        );
+        let healthy = sim.run(&cluster, &LoadBalance).unwrap();
+        let pump_healthy: f64 = healthy
+            .steps()
+            .iter()
+            .map(|s| s.pump_power_per_server.value())
+            .sum();
+        let pump_faulted: f64 = run
+            .result
+            .steps()
+            .iter()
+            .map(|s| s.pump_power_per_server.value())
+            .sum();
+        assert!(pump_faulted < pump_healthy, "outage must cut pump power");
+    }
+
+    #[test]
+    fn implausible_stuck_sensor_forces_fallback() {
+        let sim = sim();
+        let cluster = cluster();
+        let plan = FaultPlan::from_events(
+            vec![FaultEvent::windowed(
+                FaultKind::SensorStuck {
+                    circulation: 0,
+                    reading: Celsius::new(99.0), // outside [0, 45]
+                },
+                0,
+                24,
+            )],
+            3,
+        )
+        .unwrap();
+        let run = sim.run_with_faults(&cluster, &LoadBalance, &plan).unwrap();
+        let ledger = &run.ledger;
+        assert_eq!(ledger.fallback_steps(), 24);
+        assert_eq!(ledger.class_harvest_delta(FaultClass::Pump).value(), 0.0);
+        assert_eq!(ledger.class_harvest_delta(FaultClass::Teg).value(), 0.0);
+        assert!(ledger.reconciliation_error() < 1e-9);
+        // The fallback (max flow, coolest inlet) is thermally safe.
+        assert_eq!(run.result.total_violations(), 0);
+        // Max-flow fallback draws more pump power than the optimum.
+        let healthy = sim.run(&cluster, &LoadBalance).unwrap();
+        let pump_healthy: f64 = healthy
+            .steps()
+            .iter()
+            .map(|s| s.pump_power_per_server.value())
+            .sum();
+        let pump_faulted: f64 = run
+            .result
+            .steps()
+            .iter()
+            .map(|s| s.pump_power_per_server.value())
+            .sum();
+        assert!(pump_faulted > pump_healthy);
+    }
+
+    #[test]
+    fn plausible_stuck_sensor_shifts_setting_but_stays_safe() {
+        let sim = sim();
+        let cluster = cluster();
+        let plan = FaultPlan::from_events(
+            vec![FaultEvent::windowed(
+                FaultKind::SensorStuck {
+                    circulation: 0,
+                    reading: Celsius::new(35.0), // plausible, but 15 °C off
+                },
+                0,
+                24,
+            )],
+            4,
+        )
+        .unwrap();
+        let run = sim.run_with_faults(&cluster, &LoadBalance, &plan).unwrap();
+        assert_eq!(
+            run.ledger.fallback_steps(),
+            0,
+            "plausible reading is served"
+        );
+        // Die temperatures are cold-independent, so no violations even
+        // under a corrupted decision.
+        assert_eq!(run.result.total_violations(), 0);
+        assert!(run.ledger.reconciliation_error() < 1e-9);
+        assert_eq!(
+            run.ledger.class_harvest_delta(FaultClass::Pump).value(),
+            0.0
+        );
+        assert_eq!(run.ledger.class_harvest_delta(FaultClass::Teg).value(), 0.0);
+    }
+
+    #[test]
+    fn noisy_sensor_is_deterministic_across_repeat_runs() {
+        let sim = sim();
+        let cluster = cluster();
+        let plan = FaultPlan::from_events(
+            vec![FaultEvent::windowed(
+                FaultKind::SensorNoise {
+                    circulation: 1,
+                    sigma: DegC::new(4.0),
+                },
+                0,
+                24,
+            )],
+            99,
+        )
+        .unwrap();
+        let a = sim.run_with_faults(&cluster, &LoadBalance, &plan).unwrap();
+        let b = sim.run_with_faults(&cluster, &LoadBalance, &plan).unwrap();
+        assert_bit_identical(&a.result, &b.result);
+        assert_eq!(a.ledger, b.ledger);
+        assert!(a.ledger.reconciliation_error() < 1e-9);
+    }
+
+    #[test]
+    fn combined_fault_classes_reconcile_and_attribute_separately() {
+        let sim = sim();
+        let cluster = cluster();
+        let plan = FaultPlan::from_events(
+            vec![
+                FaultEvent::permanent(
+                    FaultKind::TegOpenCircuit {
+                        server: 45,
+                        failed_devices: 12,
+                    },
+                    0,
+                ),
+                FaultEvent::windowed(
+                    FaultKind::PumpDegraded {
+                        circulation: 1,
+                        derate: 0.4,
+                    },
+                    4,
+                    20,
+                ),
+                FaultEvent::windowed(
+                    FaultKind::SensorStuck {
+                        circulation: 0,
+                        // Implausible -> clamped fallback (max flow, min
+                        // inlet), which shifts outlets and thus harvest.
+                        reading: Celsius::new(99.0),
+                    },
+                    0,
+                    12,
+                ),
+            ],
+            17,
+        )
+        .unwrap();
+        let run = sim.run_with_faults(&cluster, &LoadBalance, &plan).unwrap();
+        let ledger = &run.ledger;
+        assert!(ledger.reconciliation_error() < 1e-9);
+        // Every class carries a non-zero share.
+        for class in FaultClass::ALL {
+            assert!(
+                ledger.class_harvest_delta(class).value().abs() > 0.0,
+                "{} delta must be non-zero",
+                class.label()
+            );
+        }
+        // Ledger delta agrees with an independently computed healthy
+        // run to the acceptance bound.
+        let healthy = sim.run(&cluster, &LoadBalance).unwrap();
+        let independent = healthy.total_harvested().value() - run.result.total_harvested().value();
+        let ledger_delta = ledger.harvest_delta().value();
+        let scale = independent.abs().max(ledger_delta.abs()).max(1e-30);
+        assert!(
+            (independent - ledger_delta).abs() / scale < 1e-9,
+            "ledger {ledger_delta} vs independent {independent}"
+        );
+        // ERE worsens under faults (less harvest).
+        assert!(ledger.ere_delta() > 0.0);
+    }
+}

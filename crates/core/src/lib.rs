@@ -58,6 +58,7 @@
 pub mod circulation;
 pub mod datacenter;
 pub mod facility;
+pub mod faulted;
 pub mod metrics;
 pub mod prototype;
 pub mod simulation;
@@ -79,6 +80,8 @@ pub enum H2pError {
     Server(h2p_server::ServerError),
     /// A TEG device or module was misconfigured.
     Teg(h2p_teg::TegError),
+    /// A hydraulic component (pump, circulation) was misconfigured.
+    Hydraulics(h2p_hydraulics::HydraulicsError),
     /// A cooling component was misconfigured.
     Cooling(h2p_cooling::CoolingError),
     /// A utilization outside `[0, 1]` was supplied.
@@ -103,6 +106,7 @@ impl fmt::Display for H2pError {
             }
             H2pError::Server(e) => write!(f, "server model error: {e}"),
             H2pError::Teg(e) => write!(f, "TEG model error: {e}"),
+            H2pError::Hydraulics(e) => write!(f, "hydraulics model error: {e}"),
             H2pError::Cooling(e) => write!(f, "cooling model error: {e}"),
             H2pError::Utilization(e) => write!(f, "utilization error: {e}"),
             H2pError::Stats(e) => write!(f, "statistics error: {e}"),
@@ -125,6 +129,7 @@ impl std::error::Error for H2pError {
         match self {
             H2pError::Server(e) => Some(e),
             H2pError::Teg(e) => Some(e),
+            H2pError::Hydraulics(e) => Some(e),
             H2pError::Cooling(e) => Some(e),
             H2pError::Utilization(e) => Some(e),
             H2pError::Stats(e) => Some(e),
@@ -142,6 +147,12 @@ impl From<h2p_server::ServerError> for H2pError {
 impl From<h2p_teg::TegError> for H2pError {
     fn from(e: h2p_teg::TegError) -> Self {
         H2pError::Teg(e)
+    }
+}
+
+impl From<h2p_hydraulics::HydraulicsError> for H2pError {
+    fn from(e: h2p_hydraulics::HydraulicsError) -> Self {
+        H2pError::Hydraulics(e)
     }
 }
 

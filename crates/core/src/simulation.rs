@@ -136,6 +136,22 @@ pub struct SimulationResult {
 }
 
 impl SimulationResult {
+    /// Assembles a result from pre-merged step records (used by the
+    /// fault-injected engine in [`crate::faulted`]).
+    pub(crate) fn from_parts(
+        policy: &'static str,
+        interval: Seconds,
+        servers: usize,
+        steps: Vec<StepRecord>,
+    ) -> Self {
+        SimulationResult {
+            policy,
+            interval,
+            servers,
+            steps,
+        }
+    }
+
     /// The policy that produced this run.
     #[must_use]
     pub fn policy(&self) -> &'static str {
@@ -322,18 +338,36 @@ impl Clone for SettingCache {
 /// circulation-index order, so the grand totals are independent of how
 /// circulations were sharded across threads.
 #[derive(Debug, Clone, Copy)]
-struct CircPartial {
-    teg: f64,
-    cpu: f64,
-    pump: f64,
-    flow: f64,
+pub(crate) struct CircPartial {
+    pub(crate) teg: f64,
+    pub(crate) cpu: f64,
+    pub(crate) pump: f64,
+    pub(crate) flow: f64,
     /// Inlet temperature weighted by the circulation's server count
     /// (the per-server weighting behind `StepRecord::mean_inlet`).
-    inlet_weighted: f64,
-    outlet: f64,
-    util: f64,
-    peak: Utilization,
-    violations: usize,
+    pub(crate) inlet_weighted: f64,
+    pub(crate) outlet: f64,
+    pub(crate) util: f64,
+    pub(crate) peak: Utilization,
+    pub(crate) violations: usize,
+}
+
+impl CircPartial {
+    /// The all-zero partial an *isolated* (offline) circulation
+    /// contributes: no load, no harvest, no flow.
+    pub(crate) fn offline() -> Self {
+        CircPartial {
+            teg: 0.0,
+            cpu: 0.0,
+            pump: 0.0,
+            flow: 0.0,
+            inlet_weighted: 0.0,
+            outlet: 0.0,
+            util: 0.0,
+            peak: Utilization::IDLE,
+            violations: 0,
+        }
+    }
 }
 
 /// The trace-driven H2P simulator.
@@ -344,11 +378,11 @@ struct CircPartial {
 /// [module docs](self) for the determinism contract).
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    config: SimulationConfig,
-    space: LookupSpace,
-    power_model: CpuPowerModel,
-    max_operating: Celsius,
-    workers: NonZeroUsize,
+    pub(crate) config: SimulationConfig,
+    pub(crate) space: LookupSpace,
+    pub(crate) power_model: CpuPowerModel,
+    pub(crate) max_operating: Celsius,
+    pub(crate) workers: NonZeroUsize,
     cache: SettingCache,
 }
 
@@ -472,45 +506,7 @@ impl Simulator {
 
             // Deterministic merge: circulation-index order, independent
             // of how the chunks were scheduled onto threads.
-            let mut teg_sum = 0.0;
-            let mut cpu_sum = 0.0;
-            let mut pump_sum = 0.0;
-            let mut flow_sum = 0.0;
-            let mut inlet_sum = 0.0;
-            let mut outlet_sum = 0.0;
-            let mut util_sum = 0.0;
-            let mut peak = Utilization::IDLE;
-            let mut violations = 0usize;
-            for p in &partials {
-                teg_sum += p.teg;
-                cpu_sum += p.cpu;
-                pump_sum += p.pump;
-                flow_sum += p.flow;
-                inlet_sum += p.inlet_weighted;
-                outlet_sum += p.outlet;
-                util_sum += p.util;
-                peak = peak.max(p.peak);
-                violations += p.violations;
-            }
-
-            let n = servers as f64;
-            let plant_power = self.config.plant.power(PlantLoad {
-                heat: Watts::new(cpu_sum),
-                supply_setpoint: Celsius::new(inlet_sum / n),
-                total_flow: h2p_units::LitersPerHour::new(flow_sum),
-            });
-            steps.push(StepRecord {
-                time,
-                teg_power_per_server: Watts::new(teg_sum / n),
-                cpu_power_per_server: Watts::new(cpu_sum / n),
-                pump_power_per_server: Watts::new(pump_sum / n),
-                cooling_power_per_server: plant_power.total() / n,
-                mean_inlet: Celsius::new(inlet_sum / n),
-                mean_outlet: Celsius::new(outlet_sum / n),
-                mean_utilization: Utilization::saturating(util_sum / n),
-                peak_utilization: peak,
-                thermal_violations: violations,
-            });
+            steps.push(self.fold_step(time, servers, partials.iter().copied()));
         }
 
         Ok(SimulationResult {
@@ -521,11 +517,63 @@ impl Simulator {
         })
     }
 
+    /// Folds per-circulation partials (in circulation-index order) into
+    /// one interval's [`StepRecord`]. Shared by the plan-free and the
+    /// fault-injected engines so that a zero-fault plan reproduces the
+    /// plan-free run *by construction*: both paths execute this exact
+    /// arithmetic in this exact order.
+    pub(crate) fn fold_step(
+        &self,
+        time: Seconds,
+        servers: usize,
+        partials: impl Iterator<Item = CircPartial>,
+    ) -> StepRecord {
+        let mut teg_sum = 0.0;
+        let mut cpu_sum = 0.0;
+        let mut pump_sum = 0.0;
+        let mut flow_sum = 0.0;
+        let mut inlet_sum = 0.0;
+        let mut outlet_sum = 0.0;
+        let mut util_sum = 0.0;
+        let mut peak = Utilization::IDLE;
+        let mut violations = 0usize;
+        for p in partials {
+            teg_sum += p.teg;
+            cpu_sum += p.cpu;
+            pump_sum += p.pump;
+            flow_sum += p.flow;
+            inlet_sum += p.inlet_weighted;
+            outlet_sum += p.outlet;
+            util_sum += p.util;
+            peak = peak.max(p.peak);
+            violations += p.violations;
+        }
+
+        let n = servers as f64;
+        let plant_power = self.config.plant.power(PlantLoad {
+            heat: Watts::new(cpu_sum),
+            supply_setpoint: Celsius::new(inlet_sum / n),
+            total_flow: h2p_units::LitersPerHour::new(flow_sum),
+        });
+        StepRecord {
+            time,
+            teg_power_per_server: Watts::new(teg_sum / n),
+            cpu_power_per_server: Watts::new(cpu_sum / n),
+            pump_power_per_server: Watts::new(pump_sum / n),
+            cooling_power_per_server: plant_power.total() / n,
+            mean_inlet: Celsius::new(inlet_sum / n),
+            mean_outlet: Celsius::new(outlet_sum / n),
+            mean_utilization: Utilization::saturating(util_sum / n),
+            peak_utilization: peak,
+            thermal_violations: violations,
+        }
+    }
+
     /// Simulates one circulation over one control interval: schedule,
     /// pick the cooling setting, evaluate every server under it. Pure
     /// in its inputs (the setting cache only memoizes a deterministic
     /// search), so safe and deterministic from any worker thread.
-    fn simulate_circulation(
+    pub(crate) fn simulate_circulation(
         &self,
         chunk: &[Utilization],
         policy: &dyn SchedulingPolicy,
@@ -568,7 +616,7 @@ impl Simulator {
 
     /// Resolves the cooling setting for a control utilization, through
     /// the shared exact-key cache when enabled.
-    fn optimized_setting(
+    pub(crate) fn optimized_setting(
         &self,
         optimizer: &CoolingOptimizer<'_>,
         u_ctrl: Utilization,

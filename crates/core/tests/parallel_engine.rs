@@ -16,9 +16,10 @@
 
 use h2p_cooling::{CoolingOptimizer, PlantLoad};
 use h2p_core::simulation::{SimulationConfig, Simulator};
+use h2p_faults::{FaultEvent, FaultKind, FaultPlan, HazardRates};
 use h2p_sched::{LoadBalance, Original, SchedulingPolicy};
 use h2p_server::ServerModel;
-use h2p_units::{Celsius, LitersPerHour, Seconds, Utilization, Watts};
+use h2p_units::{Celsius, DegC, LitersPerHour, Seconds, Utilization, Watts};
 use h2p_workload::{ClusterTrace, Trace, TraceGenerator, TraceKind};
 use proptest::prelude::*;
 use std::num::NonZeroUsize;
@@ -82,6 +83,167 @@ fn worker_counts_beyond_circulation_count_are_harmless() {
     for (a, b) in seq.steps().iter().zip(flooded.steps()) {
         assert_eq!(a, b);
     }
+}
+
+/// The zero-fault faulted path must be *bitwise* identical to the
+/// plan-free engine for every trace class and scheduling policy — the
+/// fault layer is provably invisible when no fault is scheduled.
+#[test]
+fn zero_fault_plan_is_bitwise_identical_to_plan_free_engine() {
+    let sim = Simulator::paper_default().unwrap();
+    let plan = FaultPlan::none();
+    for kind in TraceKind::all() {
+        let cluster = ragged_cluster(kind);
+        for policy in [&Original as &dyn SchedulingPolicy, &LoadBalance] {
+            let plain = sim.run(&cluster, policy).unwrap();
+            let faulted = sim.run_with_faults(&cluster, policy, &plan).unwrap();
+            assert_eq!(plain.steps().len(), faulted.result.steps().len());
+            for (a, b) in plain.steps().iter().zip(faulted.result.steps()) {
+                assert_eq!(a, b, "{kind}/{}", plain.policy());
+            }
+            assert_eq!(faulted.ledger.harvest_delta().value(), 0.0);
+            assert_eq!(faulted.ledger.reconciliation_error(), 0.0);
+        }
+    }
+}
+
+/// A mixed explicit fault plan touching every fault class, sized for
+/// the ragged 90-server cluster.
+fn mixed_plan(seed: u64) -> FaultPlan {
+    FaultPlan::from_events(
+        vec![
+            FaultEvent::permanent(
+                FaultKind::TegOpenCircuit {
+                    server: 3,
+                    failed_devices: 4,
+                },
+                2,
+            ),
+            FaultEvent::permanent(
+                FaultKind::TegOpenCircuit {
+                    server: 85,
+                    failed_devices: 12,
+                },
+                0,
+            ),
+            FaultEvent::windowed(FaultKind::PumpOutage { circulation: 2 }, 3, 9),
+            FaultEvent::windowed(
+                FaultKind::PumpDegraded {
+                    circulation: 0,
+                    derate: 0.6,
+                },
+                1,
+                11,
+            ),
+            FaultEvent::windowed(
+                FaultKind::SensorStuck {
+                    circulation: 1,
+                    reading: Celsius::new(80.0),
+                },
+                4,
+                8,
+            ),
+            FaultEvent::windowed(
+                FaultKind::SensorNoise {
+                    circulation: 0,
+                    sigma: DegC::new(2.0),
+                },
+                0,
+                12,
+            ),
+        ],
+        seed,
+    )
+    .unwrap()
+}
+
+/// Sharding a *faulted* run across workers must also be invisible:
+/// same seed, same plan → bit-identical records and identical ledgers
+/// for every worker count.
+#[test]
+fn faulted_runs_are_bit_identical_across_worker_counts() {
+    let sim = Simulator::paper_default().unwrap();
+    let cluster = ragged_cluster(TraceKind::Irregular);
+    let plan = mixed_plan(42);
+    let seq = sim
+        .clone()
+        .with_workers(nz(1))
+        .run_with_faults(&cluster, &LoadBalance, &plan)
+        .unwrap();
+    assert!(seq.ledger.harvest_delta().value() > 0.0);
+    for workers in [2usize, 4, 8] {
+        let par = sim
+            .clone()
+            .with_workers(nz(workers))
+            .run_with_faults(&cluster, &LoadBalance, &plan)
+            .unwrap();
+        for (a, b) in seq.result.steps().iter().zip(par.result.steps()) {
+            assert_eq!(a, b, "{workers} workers");
+        }
+        assert_eq!(seq.ledger, par.ledger, "{workers} workers");
+    }
+}
+
+/// Acceptance run at paper scale: a hazard-sampled fault plan over
+/// 1,000 servers × 288 steps must produce bit-identical results and
+/// ledgers with 1 and 8 workers, and the ledger must reconcile its
+/// per-class attribution against the healthy/faulted harvest delta to
+/// < 1e-9 relative error.
+#[test]
+fn paper_scale_faulted_run_is_deterministic_and_reconciles() {
+    let sim = Simulator::paper_default().unwrap();
+    let cluster = TraceGenerator::paper(TraceKind::Common, 20200530)
+        .with_servers(1000)
+        .with_steps(288)
+        .generate();
+    let circ = sim.config().servers_per_circulation;
+    let plan = FaultPlan::from_hazards(
+        &HazardRates::accelerated_demo(),
+        20200530,
+        cluster.servers(),
+        circ,
+        cluster.steps(),
+        cluster.interval(),
+    )
+    .unwrap();
+    assert!(!plan.is_zero(), "demo hazards must schedule faults");
+
+    let one = sim
+        .clone()
+        .with_workers(nz(1))
+        .run_with_faults(&cluster, &LoadBalance, &plan)
+        .unwrap();
+    let eight = sim
+        .clone()
+        .with_workers(nz(8))
+        .run_with_faults(&cluster, &LoadBalance, &plan)
+        .unwrap();
+
+    assert_eq!(one.result.steps().len(), 288);
+    for (a, b) in one.result.steps().iter().zip(eight.result.steps()) {
+        assert_eq!(a, b);
+    }
+    assert_eq!(one.ledger, eight.ledger);
+
+    // Ledger reconciliation: per-class attribution telescopes to the
+    // healthy-minus-faulted harvest delta.
+    assert!(one.ledger.reconciliation_error() < 1e-9);
+    // And the ledger's healthy world agrees with an independent
+    // plan-free run of the same cluster.
+    let healthy = sim.run(&cluster, &LoadBalance).unwrap();
+    let independent = healthy.total_harvested().value();
+    let ledger_healthy = one.ledger.healthy_harvest().value();
+    assert!(
+        (independent - ledger_healthy).abs() <= independent.abs() * 1e-9,
+        "ledger healthy {ledger_healthy} vs independent {independent}"
+    );
+    let delta = independent - one.result.total_harvested().value();
+    let ledger_delta = one.ledger.harvest_delta().value();
+    let scale = delta.abs().max(ledger_delta.abs()).max(1e-30);
+    assert!(
+        (delta - ledger_delta).abs() / scale < 1e-9,
+        "ledger delta {ledger_delta} vs independent {delta}"
+    );
 }
 
 /// A simulator with 7-server circulations shared across proptest cases

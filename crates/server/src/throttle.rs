@@ -7,6 +7,7 @@
 //! last rung: the largest utilization a server may run at a given
 //! cooling setting without exceeding a temperature limit.
 
+use crate::lookup::LookupSpace;
 use crate::model::ServerModel;
 use crate::ServerError;
 use h2p_units::{Celsius, LitersPerHour, Utilization};
@@ -66,6 +67,47 @@ impl ThrottleController {
     ) -> Result<Utilization, ServerError> {
         let die_at = |u: Utilization| -> Result<Celsius, ServerError> {
             Ok(model.operating_point(u, flow, inlet)?.cpu_temperature)
+        };
+        if die_at(Utilization::FULL)? <= self.limit {
+            return Ok(Utilization::FULL);
+        }
+        if die_at(Utilization::IDLE)? > self.limit {
+            return Ok(Utilization::IDLE);
+        }
+        let mut lo = 0.0_f64;
+        let mut hi = 1.0_f64;
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if die_at(Utilization::saturating(mid))? <= self.limit {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(Utilization::saturating(lo))
+    }
+
+    /// [`max_safe_utilization`](Self::max_safe_utilization) evaluated
+    /// against an interpolated [`LookupSpace`] instead of the raw
+    /// server model — the variant the fault-injected simulation engine
+    /// uses, so that its throttle decisions agree *exactly* with the
+    /// die temperatures the engine itself predicts (the engine reads
+    /// the space, not the model; mixing the two would let a
+    /// model-admitted load register as an interpolation-space thermal
+    /// violation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LookupSpace::cpu_temperature`] failures (the
+    /// `(flow, inlet)` operating point must lie on the sampled grid).
+    pub fn max_safe_utilization_in_space(
+        &self,
+        space: &LookupSpace,
+        flow: LitersPerHour,
+        inlet: Celsius,
+    ) -> Result<Utilization, ServerError> {
+        let die_at = |u: Utilization| -> Result<Celsius, ServerError> {
+            space.cpu_temperature(u, flow, inlet)
         };
         if die_at(Utilization::FULL)? <= self.limit {
             return Ok(Utilization::FULL);
@@ -203,6 +245,50 @@ mod tests {
             .max_safe_utilization(&m, LitersPerHour::new(200.0), inlet)
             .unwrap();
         assert!(fast >= slow);
+    }
+
+    #[test]
+    fn space_throttle_agrees_with_interpolated_die() {
+        // The space-backed cap must be tight against the *space's* die
+        // prediction: at the cap the interpolated die is at or below the
+        // limit, a nudge above it is not.
+        let m = model();
+        let space = crate::lookup::LookupSpace::paper_grid(&m).unwrap();
+        let c = ThrottleController::new(Celsius::new(70.0));
+        let flow = LitersPerHour::new(20.0);
+        let inlet = Celsius::new(54.0);
+        let cap = c
+            .max_safe_utilization_in_space(&space, flow, inlet)
+            .unwrap();
+        assert!(cap > Utilization::IDLE && cap < Utilization::FULL);
+        let at_cap = space.cpu_temperature(cap, flow, inlet).unwrap();
+        assert!(at_cap <= c.limit());
+        let above = space
+            .cpu_temperature(u((cap.value() + 0.01).min(1.0)), flow, inlet)
+            .unwrap();
+        assert!(above > c.limit());
+    }
+
+    #[test]
+    fn space_throttle_extremes() {
+        let m = model();
+        let space = crate::lookup::LookupSpace::paper_grid(&m).unwrap();
+        // Cool water: full load safe.
+        let c = ThrottleController::at_max_operating();
+        let cap = c
+            .max_safe_utilization_in_space(&space, LitersPerHour::new(250.0), Celsius::new(25.0))
+            .unwrap();
+        assert_eq!(cap, Utilization::FULL);
+        // Impossible limit: idle.
+        let strict = ThrottleController::new(Celsius::new(20.0));
+        let cap = strict
+            .max_safe_utilization_in_space(&space, LitersPerHour::new(20.0), Celsius::new(45.0))
+            .unwrap();
+        assert_eq!(cap, Utilization::IDLE);
+        // Off-grid operating point propagates the typed error.
+        assert!(c
+            .max_safe_utilization_in_space(&space, LitersPerHour::new(5.0), Celsius::new(45.0))
+            .is_err());
     }
 
     #[test]

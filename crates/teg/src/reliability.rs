@@ -14,6 +14,43 @@
 
 use crate::TegError;
 
+/// Survival probability of a constant-hazard (exponential) part after
+/// `t` units of life, for a mean time to failure `mttf` in the same
+/// units: `S(t) = exp(−t/mttf)`.
+///
+/// This is the single source of truth for every exponential-lifetime
+/// computation in the workspace — [`ModuleReliability`] and the
+/// `h2p-faults` hazard sampler both call it rather than re-deriving the
+/// formula. Negative times are clamped to zero (survival 1); a
+/// non-positive MTTF degenerates to instant failure (survival 0 for any
+/// positive time).
+#[must_use]
+pub fn exponential_survival(t: f64, mttf: f64) -> f64 {
+    if !(mttf > 0.0) {
+        return if t > 0.0 { 0.0 } else { 1.0 };
+    }
+    (-(t.max(0.0)) / mttf).exp()
+}
+
+/// Inverse of [`exponential_survival`]: the failure time whose CDF
+/// equals `u ∈ [0, 1)`, i.e. `F⁻¹(u) = −mttf·ln(1 − u)`.
+///
+/// Feeding a uniform variate through this quantile is how `h2p-faults`
+/// turns one deterministic `u` into one failure time — the standard
+/// inverse-CDF sampler, kept here so the hazard math is written exactly
+/// once. `u` is clamped into `[0, 1)`; a non-positive MTTF returns 0
+/// (instant failure).
+#[must_use]
+pub fn exponential_failure_time(u: f64, mttf: f64) -> f64 {
+    if !(mttf > 0.0) {
+        return 0.0;
+    }
+    // Clamp just below 1 so ln never sees 0 (u = 1 would be "never
+    // observed to survive", i.e. an unbounded failure time).
+    let u = u.clamp(0.0, 1.0 - 1e-15);
+    -mttf * (1.0 - u).ln()
+}
+
 /// How a module tolerates a device failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WiringTopology {
@@ -85,10 +122,58 @@ impl ModuleReliability {
         }
     }
 
-    /// Probability that one *device* still works after `years`.
+    /// Devices per module.
+    #[must_use]
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Per-device mean time to failure, years.
+    #[must_use]
+    pub fn device_mttf_years(&self) -> f64 {
+        self.device_mttf_years
+    }
+
+    /// The wiring topology.
+    #[must_use]
+    pub fn topology(&self) -> WiringTopology {
+        self.topology
+    }
+
+    /// Probability that one *device* still works after `years`
+    /// (delegates to [`exponential_survival`]).
     #[must_use]
     pub fn device_survival(&self, years: f64) -> f64 {
-        (-(years.max(0.0)) / self.device_mttf_years).exp()
+        exponential_survival(years, self.device_mttf_years)
+    }
+
+    /// Fraction of rated output the module produces when exactly
+    /// `failed` of its devices have gone open-circuit — the *pure*
+    /// degradation map the fault-injection engine applies per server:
+    ///
+    /// * plain series: any open device breaks the chain (0 unless
+    ///   `failed == 0`);
+    /// * with bypass diodes: the surviving `n − k` devices keep
+    ///   producing, output scaling as `(n − k)/n` (Eq. 7 is linear in
+    ///   the series count).
+    ///
+    /// Failure counts beyond the device count saturate at total loss.
+    #[must_use]
+    pub fn output_fraction_with_failed(&self, failed: usize) -> f64 {
+        let failed = failed.min(self.devices);
+        match self.topology {
+            WiringTopology::Series => {
+                if failed == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            WiringTopology::SeriesWithBypass => {
+                // h2p-lint: allow(L3): small device counts -> f64, exact
+                (self.devices - failed) as f64 / self.devices as f64
+            }
+        }
     }
 
     /// Expected fraction of the module's rated output still produced
@@ -217,5 +302,81 @@ mod tests {
     fn validation() {
         assert!(ModuleReliability::new(0, 30.0, WiringTopology::Series).is_err());
         assert!(ModuleReliability::new(12, 0.0, WiringTopology::Series).is_err());
+    }
+
+    #[test]
+    fn exponential_helpers_are_inverse_and_match_survival() {
+        // Quantile inverts survival: S(F⁻¹(u)) = 1 − u.
+        for u in [0.0, 0.1, 0.5, 0.9, 0.999] {
+            let t = exponential_failure_time(u, 30.0);
+            assert!(
+                (exponential_survival(t, 30.0) - (1.0 - u)).abs() < 1e-9,
+                "u = {u}"
+            );
+        }
+        // device_survival is exactly the shared helper.
+        let m = ModuleReliability::paper_default();
+        for years in [0.0, 1.0, 2.5, 30.0] {
+            assert_eq!(m.device_survival(years), exponential_survival(years, 30.0));
+        }
+        // Degenerate parameters.
+        assert_eq!(exponential_survival(1.0, 0.0), 0.0);
+        assert_eq!(exponential_survival(-1.0, 30.0), 1.0);
+        assert_eq!(exponential_failure_time(0.5, 0.0), 0.0);
+        assert!(exponential_failure_time(1.0, 30.0).is_finite());
+    }
+
+    #[test]
+    fn per_failure_fraction_map() {
+        let bypass = ModuleReliability::paper_default();
+        let series = ModuleReliability::paper_plain_series();
+        assert_eq!(bypass.output_fraction_with_failed(0), 1.0);
+        assert_eq!(series.output_fraction_with_failed(0), 1.0);
+        assert!((bypass.output_fraction_with_failed(3) - 9.0 / 12.0).abs() < 1e-12);
+        assert_eq!(series.output_fraction_with_failed(1), 0.0);
+        // Saturation beyond the device count.
+        assert_eq!(bypass.output_fraction_with_failed(40), 0.0);
+        assert_eq!(series.output_fraction_with_failed(40), 0.0);
+    }
+
+    /// Exact binomial expectation of `output_fraction_with_failed(K)`,
+    /// `K ~ Binomial(n, 1 − s)` — the bridge between the per-failure
+    /// degradation map (what fault injection applies) and the closed
+    /// forms (what the TCO reliability story quotes).
+    fn binomial_expected_fraction(m: &ModuleReliability, years: f64) -> f64 {
+        let n = m.devices();
+        let s = m.device_survival(years);
+        let mut total = 0.0;
+        for k in 0..=n {
+            // Binomial coefficient by running product (n <= 12 here).
+            let mut choose = 1.0_f64;
+            for j in 0..k {
+                choose *= (n - j) as f64 / (j + 1) as f64;
+            }
+            let p = choose * (1.0 - s).powi(k as i32) * s.powi((n - k) as i32);
+            total += p * m.output_fraction_with_failed(k);
+        }
+        total
+    }
+
+    #[test]
+    fn bypass_vs_series_expected_yield_matches_closed_form() {
+        // E[fraction] under the binomial failure count must equal the
+        // closed forms expected_output_fraction uses: s for bypass
+        // (linearity), s^n for plain series (all must survive).
+        let bypass = ModuleReliability::paper_default();
+        let series = ModuleReliability::paper_plain_series();
+        for years in [0.5, 1.0, 2.5, 5.0, 10.0, 25.0] {
+            let eb = binomial_expected_fraction(&bypass, years);
+            let es = binomial_expected_fraction(&series, years);
+            assert!(
+                (eb - bypass.expected_output_fraction(years)).abs() < 1e-12,
+                "bypass, years = {years}"
+            );
+            assert!(
+                (es - series.expected_output_fraction(years)).abs() < 1e-12,
+                "series, years = {years}"
+            );
+        }
     }
 }

@@ -6,7 +6,11 @@
 //! Google/Alibaba archives) can be loaded in place of the synthetic
 //! generators.
 
+use crate::repair::{self, RepairPolicy, RepairReport};
 use crate::trace::ClusterTrace;
+use crate::WorkloadError;
+use h2p_units::Seconds;
+use serde::Deserialize;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
@@ -19,6 +23,9 @@ pub enum TraceIoError {
     Io(std::io::Error),
     /// Malformed trace document.
     Format(serde_json::Error),
+    /// The document parsed but its contents violate trace invariants
+    /// (or a repair policy refused to fix them).
+    Invalid(WorkloadError),
 }
 
 impl core::fmt::Display for TraceIoError {
@@ -26,6 +33,7 @@ impl core::fmt::Display for TraceIoError {
         match self {
             TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
             TraceIoError::Format(e) => write!(f, "trace document malformed: {e}"),
+            TraceIoError::Invalid(e) => write!(f, "trace contents invalid: {e}"),
         }
     }
 }
@@ -35,7 +43,14 @@ impl std::error::Error for TraceIoError {
         match self {
             TraceIoError::Io(e) => Some(e),
             TraceIoError::Format(e) => Some(e),
+            TraceIoError::Invalid(e) => Some(e),
         }
+    }
+}
+
+impl From<WorkloadError> for TraceIoError {
+    fn from(e: WorkloadError) -> Self {
+        TraceIoError::Invalid(e)
     }
 }
 
@@ -79,6 +94,55 @@ pub fn load_cluster(path: impl AsRef<Path>) -> Result<ClusterTrace, TraceIoError
     Ok(cluster)
 }
 
+/// Lenient on-disk shape: per-trace records may be `null` (a dropped
+/// record / gap) or out-of-range (a malformed record), both of which
+/// the strict [`load_cluster`] path rejects.
+#[derive(Deserialize)]
+struct RaggedDocument {
+    traces: Vec<RaggedTrace>,
+}
+
+/// One server's raw record series in a [`RaggedDocument`].
+#[derive(Deserialize)]
+struct RaggedTrace {
+    interval_seconds: f64,
+    samples: Vec<Option<f64>>,
+}
+
+/// Reads a possibly-damaged cluster trace, repairing gaps (`null`
+/// records) and malformed samples under `policy`.
+///
+/// The document layout matches [`save_cluster`]'s output, except that
+/// samples may be `null`. Returns the validated cluster together with
+/// a [`RepairReport`] stating how many records were synthesized, so
+/// experiments can bound how much of their input is real.
+///
+/// # Errors
+///
+/// * [`TraceIoError::Io`] / [`TraceIoError::Format`] as for
+///   [`load_cluster`].
+/// * [`TraceIoError::Invalid`] when the repaired contents still violate
+///   trace invariants — including [`RepairPolicy::Error`] refusing
+///   damage, a whole server with no valid record, or servers that
+///   disagree in interval or length.
+pub fn load_cluster_repaired(
+    path: impl AsRef<Path>,
+    policy: RepairPolicy,
+) -> Result<(ClusterTrace, RepairReport), TraceIoError> {
+    let file = File::open(path)?;
+    let doc: RaggedDocument = serde_json::from_reader(BufReader::new(file))?;
+    let mut report = RepairReport::default();
+    let mut traces = Vec::with_capacity(doc.traces.len());
+    for raw in &doc.traces {
+        let (trace, r) =
+            repair::repair_trace(Seconds::new(raw.interval_seconds), &raw.samples, policy)?;
+        report.absorb(r);
+        traces.push(trace);
+    }
+    let cluster = ClusterTrace::new(traces)?;
+    Ok((cluster, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +178,78 @@ mod tests {
         std::fs::write(&path, b"{not json").unwrap();
         let err = load_cluster(&path).unwrap_err();
         assert!(matches!(err, TraceIoError::Format(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn write_doc(name: &str, body: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("h2p_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, body.as_bytes()).unwrap();
+        path
+    }
+
+    #[test]
+    fn repaired_loader_fills_null_records() {
+        let path = write_doc(
+            "gappy.json",
+            r#"{"traces":[{"interval_seconds":300.0,"samples":[0.2,null,0.6]},
+                          {"interval_seconds":300.0,"samples":[null,0.5,9.9]}]}"#,
+        );
+        let (cluster, report) = load_cluster_repaired(&path, RepairPolicy::Interpolate).unwrap();
+        assert_eq!(cluster.servers(), 2);
+        assert!((cluster.trace(0).samples()[1] - 0.4).abs() < 1e-12);
+        assert_eq!(cluster.trace(1).samples(), &[0.5, 0.5, 0.5]);
+        assert_eq!(report.gaps, 2);
+        assert_eq!(report.malformed, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn repaired_loader_error_policy_reports_invalid() {
+        let path = write_doc(
+            "gappy_strict.json",
+            r#"{"traces":[{"interval_seconds":300.0,"samples":[0.2,null,0.6]}]}"#,
+        );
+        let err = load_cluster_repaired(&path, RepairPolicy::Error).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceIoError::Invalid(WorkloadError::InvalidSample { index: 1, .. })
+        ));
+        assert!(err.to_string().contains("invalid"));
+        assert!(std::error::Error::source(&err).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn repaired_loader_rejects_inconsistent_servers() {
+        let path = write_doc(
+            "ragged.json",
+            r#"{"traces":[{"interval_seconds":300.0,"samples":[0.2,0.3]},
+                          {"interval_seconds":300.0,"samples":[0.4]}]}"#,
+        );
+        let err = load_cluster_repaired(&path, RepairPolicy::HoldLast).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceIoError::Invalid(WorkloadError::InconsistentCluster { index: 1 })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn repaired_loader_matches_strict_loader_on_clean_documents() {
+        let cluster = TraceGenerator::paper(TraceKind::Irregular, 7)
+            .with_servers(6)
+            .with_steps(10)
+            .generate();
+        let dir = std::env::temp_dir().join("h2p_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clean_repair.json");
+        save_cluster(&cluster, &path).unwrap();
+        let strict = load_cluster(&path).unwrap();
+        let (lenient, report) = load_cluster_repaired(&path, RepairPolicy::Error).unwrap();
+        assert_eq!(strict, lenient);
+        assert_eq!(report.repaired(), 0);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -47,9 +47,11 @@
 
 mod generators;
 pub mod io;
+pub mod repair;
 mod trace;
 
 pub use generators::{BurstProfile, GeneratorProfile, TraceGenerator, TraceKind};
+pub use repair::{RepairPolicy, RepairReport};
 pub use trace::{Aggregate, ClusterTrace, Trace};
 
 use core::fmt;

@@ -1,0 +1,315 @@
+//! Trace gap and malformed-record repair.
+//!
+//! Real cluster traces (and fault-injected replicas of them) carry two
+//! kinds of damage: *gaps* — steps where the telemetry pipeline dropped
+//! the record entirely — and *malformed records* — values that survived
+//! transport but are non-finite or outside the `[0, 1]` utilization
+//! range. [`Trace::new`] rightly rejects both, so damaged series must be
+//! repaired **before** validation. This module provides the repair
+//! policies and a [`RepairReport`] accounting of what was touched, so an
+//! experiment can state exactly how much of its input was synthesized.
+//!
+//! Determinism: repair is a pure function of the input samples and the
+//! policy — no randomness, no ambient state — so repaired traces are
+//! bit-identical across runs and machines.
+
+use crate::trace::{ClusterTrace, Trace};
+use crate::WorkloadError;
+use h2p_units::Seconds;
+
+/// How damaged samples (gaps or malformed records) are repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RepairPolicy {
+    /// Replace each damaged sample with the last valid sample before
+    /// it (leading damage takes the first valid sample after it).
+    /// Thermally conservative under rising load: holds the plateau.
+    HoldLast,
+    /// Linearly interpolate across each damaged run between its valid
+    /// neighbours; leading/trailing runs extend the nearest valid
+    /// sample. Energy-faithful for short gaps.
+    Interpolate,
+    /// Refuse to repair: surface the first damaged sample as
+    /// [`WorkloadError::InvalidSample`]. Use when damaged input must
+    /// abort the experiment rather than silently degrade it.
+    Error,
+}
+
+/// Accounting of a repair pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairReport {
+    /// Samples that were missing entirely (gaps).
+    pub gaps: usize,
+    /// Samples present but non-finite or outside `[0, 1]`.
+    pub malformed: usize,
+}
+
+impl RepairReport {
+    /// Total repaired samples.
+    #[must_use]
+    pub fn repaired(&self) -> usize {
+        self.gaps + self.malformed
+    }
+
+    /// Merges another report into this one.
+    pub fn absorb(&mut self, other: RepairReport) {
+        self.gaps += other.gaps;
+        self.malformed += other.malformed;
+    }
+}
+
+/// Classifies one raw record: `None` is a gap; `Some(v)` with a
+/// non-finite or out-of-range `v` is malformed; anything else is valid.
+fn classify(record: Option<f64>) -> Option<bool> {
+    match record {
+        None => Some(true),
+        Some(v) if !v.is_finite() || !(0.0..=1.0).contains(&v) => Some(false),
+        Some(_) => None,
+    }
+}
+
+/// Repairs a raw record series (`None` = dropped record) into a clean
+/// sample vector.
+///
+/// # Errors
+///
+/// * [`WorkloadError::EmptyTrace`] if `records` is empty or contains no
+///   valid sample at all (nothing to repair from).
+/// * [`WorkloadError::InvalidSample`] under [`RepairPolicy::Error`] at
+///   the first damaged record (gaps are reported with a NaN value).
+pub fn repair_records(
+    records: &[Option<f64>],
+    policy: RepairPolicy,
+) -> Result<(Vec<f64>, RepairReport), WorkloadError> {
+    if records.is_empty() {
+        return Err(WorkloadError::EmptyTrace);
+    }
+    let mut report = RepairReport::default();
+    for (index, &record) in records.iter().enumerate() {
+        if let Some(is_gap) = classify(record) {
+            if policy == RepairPolicy::Error {
+                return Err(WorkloadError::InvalidSample {
+                    index,
+                    value: record.unwrap_or(f64::NAN),
+                });
+            }
+            if is_gap {
+                report.gaps += 1;
+            } else {
+                report.malformed += 1;
+            }
+        }
+    }
+    if report.repaired() == records.len() {
+        // No valid sample anywhere: there is nothing to repair from.
+        return Err(WorkloadError::EmptyTrace);
+    }
+    if report.repaired() == 0 {
+        let clean: Vec<f64> = records.iter().map(|r| r.unwrap_or(f64::NAN)).collect();
+        return Ok((clean, report));
+    }
+
+    let valid = |r: Option<f64>| classify(r).is_none();
+    let mut out = Vec::with_capacity(records.len());
+    let mut i = 0usize;
+    while i < records.len() {
+        if valid(records[i]) {
+            out.push(records[i].unwrap_or(f64::NAN));
+            i += 1;
+            continue;
+        }
+        // Damaged run [i, j): find its valid neighbours.
+        let mut j = i;
+        while j < records.len() && !valid(records[j]) {
+            j += 1;
+        }
+        let left = i.checked_sub(1).map(|k| out[k]);
+        let right = records
+            .get(j)
+            .copied()
+            .flatten()
+            .filter(|v| v.is_finite() && (0.0..=1.0).contains(v));
+        for (offset, _) in records[i..j].iter().enumerate() {
+            let value = match (policy, left, right) {
+                (RepairPolicy::HoldLast, Some(l), _) => l,
+                (RepairPolicy::HoldLast, None, Some(r)) => r,
+                (RepairPolicy::Interpolate, Some(l), Some(r)) => {
+                    // Linear ramp over the run: left neighbour is step
+                    // i-1, right neighbour is step j.
+                    let span = (j - i + 1) as f64;
+                    let t = (offset + 1) as f64 / span;
+                    l + (r - l) * t
+                }
+                (RepairPolicy::Interpolate, Some(l), None) => l,
+                (RepairPolicy::Interpolate, None, Some(r)) => r,
+                // All-damaged was rejected above; one side must exist.
+                _ => left.or(right).unwrap_or(0.0),
+            };
+            out.push(value);
+        }
+        i = j;
+    }
+    Ok((out, report))
+}
+
+/// Repairs a raw record series directly into a validated [`Trace`].
+///
+/// # Errors
+///
+/// Everything [`repair_records`] can return, plus any [`Trace::new`]
+/// validation error (e.g. a non-positive interval).
+pub fn repair_trace(
+    interval: Seconds,
+    records: &[Option<f64>],
+    policy: RepairPolicy,
+) -> Result<(Trace, RepairReport), WorkloadError> {
+    let (samples, report) = repair_records(records, policy)?;
+    let trace = Trace::new(interval, samples)?;
+    Ok((trace, report))
+}
+
+/// Repairs a cluster of raw per-server record series into a validated
+/// [`ClusterTrace`], accumulating one aggregate [`RepairReport`].
+///
+/// # Errors
+///
+/// Everything [`repair_trace`] can return, plus
+/// [`WorkloadError::InconsistentCluster`] if servers disagree in length.
+pub fn repair_cluster(
+    interval: Seconds,
+    servers: &[Vec<Option<f64>>],
+    policy: RepairPolicy,
+) -> Result<(ClusterTrace, RepairReport), WorkloadError> {
+    let mut report = RepairReport::default();
+    let mut traces = Vec::with_capacity(servers.len());
+    for records in servers {
+        let (trace, r) = repair_trace(interval, records, policy)?;
+        report.absorb(r);
+        traces.push(trace);
+    }
+    let cluster = ClusterTrace::new(traces)?;
+    Ok((cluster, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval() -> Seconds {
+        Seconds::new(300.0)
+    }
+
+    #[test]
+    fn clean_records_pass_through_untouched() {
+        let records: Vec<Option<f64>> = vec![Some(0.2), Some(0.4), Some(0.6)];
+        let (samples, report) = repair_records(&records, RepairPolicy::HoldLast).unwrap();
+        assert_eq!(samples, vec![0.2, 0.4, 0.6]);
+        assert_eq!(report.repaired(), 0);
+    }
+
+    #[test]
+    fn hold_last_fills_gaps_with_previous_value() {
+        let records = vec![Some(0.3), None, None, Some(0.7)];
+        let (samples, report) = repair_records(&records, RepairPolicy::HoldLast).unwrap();
+        assert_eq!(samples, vec![0.3, 0.3, 0.3, 0.7]);
+        assert_eq!(report.gaps, 2);
+        assert_eq!(report.malformed, 0);
+    }
+
+    #[test]
+    fn hold_last_leading_gap_takes_first_valid() {
+        let records = vec![None, Some(0.5), Some(0.6)];
+        let (samples, _) = repair_records(&records, RepairPolicy::HoldLast).unwrap();
+        assert_eq!(samples, vec![0.5, 0.5, 0.6]);
+    }
+
+    #[test]
+    fn interpolate_ramps_across_the_gap() {
+        let records = vec![Some(0.2), None, None, None, Some(1.0)];
+        let (samples, report) = repair_records(&records, RepairPolicy::Interpolate).unwrap();
+        assert!((samples[1] - 0.4).abs() < 1e-12);
+        assert!((samples[2] - 0.6).abs() < 1e-12);
+        assert!((samples[3] - 0.8).abs() < 1e-12);
+        assert_eq!(report.gaps, 3);
+    }
+
+    #[test]
+    fn interpolate_extends_at_the_edges() {
+        let records = vec![None, Some(0.4), None];
+        let (samples, _) = repair_records(&records, RepairPolicy::Interpolate).unwrap();
+        assert_eq!(samples, vec![0.4, 0.4, 0.4]);
+    }
+
+    #[test]
+    fn malformed_records_counted_separately_from_gaps() {
+        let records = vec![Some(0.2), Some(f64::NAN), None, Some(1.7), Some(0.4)];
+        let (samples, report) = repair_records(&records, RepairPolicy::HoldLast).unwrap();
+        assert_eq!(report.gaps, 1);
+        assert_eq!(report.malformed, 2);
+        assert_eq!(samples, vec![0.2, 0.2, 0.2, 0.2, 0.4]);
+    }
+
+    #[test]
+    fn error_policy_surfaces_first_damage() {
+        let records = vec![Some(0.2), None, Some(0.4)];
+        let err = repair_records(&records, RepairPolicy::Error).unwrap_err();
+        assert!(matches!(err, WorkloadError::InvalidSample { index: 1, .. }));
+        let records = vec![Some(0.2), Some(-3.0)];
+        let err = repair_records(&records, RepairPolicy::Error).unwrap_err();
+        assert!(matches!(err, WorkloadError::InvalidSample { index: 1, value } if value == -3.0));
+    }
+
+    #[test]
+    fn empty_or_all_damaged_is_rejected() {
+        assert_eq!(
+            repair_records(&[], RepairPolicy::HoldLast),
+            Err(WorkloadError::EmptyTrace)
+        );
+        let records = vec![None, Some(f64::INFINITY), None];
+        assert_eq!(
+            repair_records(&records, RepairPolicy::Interpolate),
+            Err(WorkloadError::EmptyTrace)
+        );
+    }
+
+    #[test]
+    fn repaired_trace_validates() {
+        let records = vec![Some(0.3), None, Some(0.9)];
+        let (trace, report) =
+            repair_trace(interval(), &records, RepairPolicy::Interpolate).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert!((trace.samples()[1] - 0.6).abs() < 1e-12);
+        assert_eq!(report.repaired(), 1);
+    }
+
+    #[test]
+    fn repaired_cluster_aggregates_reports() {
+        let servers = vec![
+            vec![Some(0.1), None, Some(0.3)],
+            vec![None, Some(0.5), Some(f64::NAN)],
+        ];
+        let (cluster, report) =
+            repair_cluster(interval(), &servers, RepairPolicy::HoldLast).unwrap();
+        assert_eq!(cluster.servers(), 2);
+        assert_eq!(cluster.steps(), 3);
+        assert_eq!(report.gaps, 2);
+        assert_eq!(report.malformed, 1);
+        assert_eq!(cluster.trace(1).samples(), &[0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn ragged_cluster_is_rejected() {
+        let servers = vec![vec![Some(0.1), Some(0.2)], vec![Some(0.3)]];
+        assert!(matches!(
+            repair_cluster(interval(), &servers, RepairPolicy::HoldLast),
+            Err(WorkloadError::InconsistentCluster { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn repair_is_deterministic() {
+        let records = vec![Some(0.2), None, Some(f64::NAN), Some(0.8), None];
+        let a = repair_records(&records, RepairPolicy::Interpolate).unwrap();
+        let b = repair_records(&records, RepairPolicy::Interpolate).unwrap();
+        assert_eq!(a, b);
+    }
+}

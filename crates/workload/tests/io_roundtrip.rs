@@ -1,0 +1,138 @@
+//! Property tests for trace persistence and repair: `save_cluster` →
+//! `load_cluster` must be the identity on every valid cluster, and the
+//! repair policies must turn any partially-damaged record series into a
+//! valid trace.
+
+// Test code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
+use h2p_units::Seconds;
+use h2p_workload::io::{load_cluster, save_cluster};
+use h2p_workload::repair::{repair_records, RepairPolicy};
+use h2p_workload::{ClusterTrace, Trace};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique temp path per proptest case (cases run concurrently).
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join("h2p_io_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}_{}_{n}.json", std::process::id()))
+}
+
+const MAX_SERVERS: usize = 5;
+const MAX_STEPS: usize = 16;
+
+/// Builds a valid cluster from an oversupplied sample pool: `servers`
+/// rows of `steps` samples each, one shared interval.
+fn build_cluster(servers: usize, steps: usize, interval: f64, pool: &[f64]) -> ClusterTrace {
+    let traces: Vec<Trace> = (0..servers)
+        .map(|s| {
+            let samples: Vec<f64> = (0..steps).map(|t| pool[s * MAX_STEPS + t]).collect();
+            Trace::new(Seconds::new(interval), samples).unwrap()
+        })
+        .collect();
+    ClusterTrace::new(traces).unwrap()
+}
+
+fn is_valid_record(r: Option<f64>) -> bool {
+    r.is_some_and(|v| v.is_finite() && (0.0..=1.0).contains(&v))
+}
+
+/// Decodes one damaged record from a pair of generated numbers: the
+/// selector picks the damage mode (valid samples are weighted up), the
+/// payload supplies the value.
+fn decode_record(selector: u8, payload: f64) -> Option<f64> {
+    match selector % 8 {
+        0..=3 => Some(payload),            // valid: payload in [0, 1]
+        4 => None,                         // gap
+        5 => Some(f64::NAN),               // malformed: NaN
+        6 => Some(f64::INFINITY),          // malformed: non-finite
+        _ => Some(payload * 50.0 + 1.001), // malformed: out of range
+    }
+}
+
+/// Decodes a whole series and pins one record valid so every generated
+/// case is repairable (the all-damaged case has its own unit test).
+fn decode_records(selectors: &[u8], payloads: &[f64]) -> Vec<Option<f64>> {
+    let mut records: Vec<Option<f64>> = selectors
+        .iter()
+        .zip(payloads)
+        .map(|(&s, &p)| decode_record(s, p))
+        .collect();
+    if !records.iter().any(|&r| is_valid_record(r)) {
+        let pin = payloads[0].clamp(0.0, 1.0);
+        records[0] = Some(pin);
+    }
+    records
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn save_load_is_identity_on_valid_clusters(
+        servers in 1usize..=MAX_SERVERS,
+        steps in 1usize..=MAX_STEPS,
+        interval in 1.0f64..=3600.0,
+        pool in proptest::collection::vec(
+            0.0f64..=1.0,
+            (MAX_SERVERS * MAX_STEPS)..=(MAX_SERVERS * MAX_STEPS),
+        ),
+    ) {
+        let cluster = build_cluster(servers, steps, interval, &pool);
+        let path = temp_path("rt");
+        save_cluster(&cluster, &path).unwrap();
+        let back = load_cluster(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back, cluster);
+    }
+
+    #[test]
+    fn repair_always_yields_valid_samples(
+        selectors in proptest::collection::vec(0u8..=255, 1..=32),
+        payloads in proptest::collection::vec(0.0f64..=1.0, 32..=32),
+        hold in proptest::bool::ANY,
+    ) {
+        let records = decode_records(&selectors, &payloads);
+        let policy = if hold { RepairPolicy::HoldLast } else { RepairPolicy::Interpolate };
+        let (samples, report) = repair_records(&records, policy).unwrap();
+        prop_assert_eq!(samples.len(), records.len());
+        for v in &samples {
+            prop_assert!(v.is_finite() && (0.0..=1.0).contains(v), "bad repaired sample {v}");
+        }
+        // Valid records are untouched; the report counts exactly the
+        // damaged ones.
+        let damaged = records.iter().filter(|&&r| !is_valid_record(r)).count();
+        prop_assert_eq!(report.repaired(), damaged);
+        for (&r, s) in records.iter().zip(&samples) {
+            if is_valid_record(r) {
+                prop_assert_eq!(r.unwrap(), *s);
+            }
+        }
+        // The repaired trace passes full validation.
+        let trace = Trace::new(Seconds::new(300.0), samples).unwrap();
+        prop_assert_eq!(trace.len(), records.len());
+    }
+
+    #[test]
+    fn error_policy_accepts_exactly_the_undamaged(
+        selectors in proptest::collection::vec(0u8..=255, 1..=32),
+        payloads in proptest::collection::vec(0.0f64..=1.0, 32..=32),
+    ) {
+        let records = decode_records(&selectors, &payloads);
+        let damaged = records.iter().any(|&r| !is_valid_record(r));
+        let outcome = repair_records(&records, RepairPolicy::Error);
+        prop_assert_eq!(outcome.is_err(), damaged);
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`workload`] | `h2p-workload` | synthetic cluster traces |
 //! | [`cooling`] | `h2p-cooling` | chiller, tower, setting optimizer |
 //! | [`sched`] | `h2p-sched` | scheduling policies |
+//! | [`faults`] | `h2p-faults` | deterministic fault injection plans |
 //! | [`core`] | `h2p-core` | simulator, prototype, circulation design |
 //! | [`tco`] | `h2p-tco` | total-cost-of-ownership analysis |
 //! | [`storage`] | `h2p-storage` | hybrid energy buffer, LED budget |
@@ -61,6 +62,7 @@
 pub use h2p_cooling as cooling;
 pub use h2p_core as core;
 pub use h2p_exec as exec;
+pub use h2p_faults as faults;
 pub use h2p_hydraulics as hydraulics;
 pub use h2p_sched as sched;
 pub use h2p_server as server;
@@ -77,7 +79,9 @@ pub mod prelude {
     pub use h2p_cooling::{Chiller, CoolingOptimizer, CoolingTower};
     pub use h2p_core::circulation::CirculationDesign;
     pub use h2p_core::datacenter::{AnnualReport, Datacenter};
+    pub use h2p_core::faulted::FaultedRun;
     pub use h2p_core::simulation::{SimulationConfig, SimulationResult, Simulator};
+    pub use h2p_faults::{FaultClass, FaultLedger, FaultPlan, HazardRates};
     pub use h2p_hydraulics::{Branch, ColdSource, Pump};
     pub use h2p_sched::{BoundedMigration, Consolidate, LoadBalance, Original, SchedulingPolicy};
     pub use h2p_server::{CpuPowerModel, LookupSpace, ServerModel, ThrottleController};

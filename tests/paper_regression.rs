@@ -17,8 +17,10 @@
 )]
 
 use h2p_bench::run_paper_traces;
+use h2p_core::prototype;
 use h2p_tco::TcoAnalysis;
-use h2p_units::Watts;
+use h2p_teg::{TegDevice, TegModule};
+use h2p_units::{DegC, Watts};
 
 /// Runs once at 10 % of paper scale (131/100/100 servers).
 fn runs() -> Vec<h2p_bench::TraceRunSummary> {
@@ -138,6 +140,60 @@ fn tco_headlines_from_simulated_averages() {
     let be = tco.break_even(Watts::new(lb_mean)).to_days();
     // Paper: 920 days. Accept 700-1100.
     assert!((700.0..=1100.0).contains(&be), "break-even {be}");
+}
+
+#[test]
+fn eq3_per_teg_voltage_slope_and_intercept_are_exact() {
+    // Eq. 3: v = 0.0448·ΔT − 0.0051. The slope is the paper's headline
+    // per-device coefficient; lock it exactly (no tolerance band — any
+    // recalibration of the device model must update this test).
+    let device = TegDevice::sp1848_27145();
+    for dt in [2.0, 10.0, 25.0, 40.0] {
+        let v0 = device.open_circuit_voltage(DegC::new(dt)).value();
+        let v1 = device.open_circuit_voltage(DegC::new(dt + 1.0)).value();
+        assert!((v1 - v0 - 0.0448).abs() < 1e-12, "slope at ΔT = {dt}");
+    }
+    let v25 = device.open_circuit_voltage(DegC::new(25.0)).value();
+    assert!((v25 - (0.0448 * 25.0 - 0.0051)).abs() < 1e-12);
+}
+
+#[test]
+fn fig8_twelve_teg_module_power_at_dt25() {
+    // Paper claim: 12 series TEGs deliver "higher than 1.8 W" at
+    // ΔT = 25 °C; our calibrated module lands at 2.173 W (EXPERIMENTS.md
+    // Fig. 8 table). Lock the calibrated value to 1 mW.
+    let module = TegModule::paper_module();
+    assert_eq!(module.count(), 12);
+    let p = module.max_power(DegC::new(25.0)).value();
+    assert!(p > 1.8, "paper floor: {p} W");
+    assert!((p - 2.173).abs() < 1e-3, "calibrated value drifted: {p} W");
+}
+
+#[test]
+fn fig9_outlet_minus_inlet_band() {
+    // ΔT_out−in over the measured load range must stay in the
+    // documented 0.2-3.7 °C band (paper band 1-3.5 °C; our idle floor
+    // is lower — see EXPERIMENTS.md Fig. 9 divergence note), and must
+    // be monotone in utilization at fixed flow and inlet.
+    // The documented band is measured at the prototype's 20 L/H branch
+    // flow (0.2 °C at idle, 3.7 °C at 100 %).
+    let points =
+        prototype::fig9_outlet_campaign(&[0.0, 0.15, 0.3, 0.45, 0.6, 0.8, 1.0], &[20.0], &[30.0])
+            .unwrap();
+    let deltas: Vec<f64> = points.iter().map(|p| p.delta_out_in.value()).collect();
+    for (i, d) in deltas.iter().enumerate() {
+        assert!((0.15..=4.0).contains(d), "point {i}: ΔT_out−in = {d}");
+    }
+    // Non-decreasing everywhere (the 5 W idle-power floor flattens the
+    // first segment), strictly rising over the full range.
+    for pair in deltas.windows(2) {
+        assert!(pair[1] >= pair[0], "ΔT_out−in must not fall with load");
+    }
+    assert!(deltas[deltas.len() - 1] > deltas[0] + 1.0);
+    // Flow shrinks the rise (ṁ·c_p): 250 L/H strictly below 20 L/H.
+    let low = prototype::fig9_outlet_campaign(&[0.6], &[20.0], &[30.0]).unwrap();
+    let high = prototype::fig9_outlet_campaign(&[0.6], &[250.0], &[30.0]).unwrap();
+    assert!(high[0].delta_out_in.value() < low[0].delta_out_in.value());
 }
 
 #[test]
