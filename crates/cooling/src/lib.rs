@@ -53,7 +53,10 @@ pub mod plant;
 mod tower;
 
 pub use chiller::Chiller;
-pub use optimizer::{CoolingOptimizer, OptimizedSetting};
+pub use optimizer::{
+    CoolingOptimizer, OptimizedSetting, OptimizerTelemetry, DECISIONS_COUNTER,
+    FALLBACK_SCANS_COUNTER, SCORE_EVALS_COUNTER,
+};
 pub use plant::{CoolingPlant, PlantLoad, PlantPower};
 pub use tower::CoolingTower;
 

@@ -21,7 +21,85 @@ use crate::CoolingError;
 use h2p_hydraulics::Pump;
 use h2p_server::{CoolingSetting, LookupSpace};
 use h2p_teg::TegModule;
+use h2p_telemetry::{Counter, Registry};
 use h2p_units::{Celsius, DegC, Utilization, Watts};
+
+/// Counter name: decisions taken (one per [`CoolingOptimizer::optimize`] call).
+pub const DECISIONS_COUNTER: &str = "optimizer.decisions";
+
+/// Counter name: candidate settings scored across all decisions — the
+/// search-iteration count of the Sec. V-B procedure.
+pub const SCORE_EVALS_COUNTER: &str = "optimizer.score_evals";
+
+/// Counter name: decisions that missed the safety band entirely and
+/// fell back to a full-grid scan.
+pub const FALLBACK_SCANS_COUNTER: &str = "optimizer.fallback_scans";
+
+/// The optimizer's observation bundle: counters resolved once at
+/// attach time so the per-decision hot path touches no name tables.
+///
+/// Defaults to disabled — a single `None` behind one check, so an
+/// unattached optimizer pays one branch per observation and allocates
+/// nothing. Attach with [`CoolingOptimizer::with_telemetry`].
+#[derive(Debug, Clone, Default)]
+pub struct OptimizerTelemetry {
+    inner: Option<TelemetryInner>,
+}
+
+#[derive(Debug, Clone)]
+struct TelemetryInner {
+    decisions: Counter,
+    score_evals: Counter,
+    fallback_scans: Counter,
+}
+
+impl OptimizerTelemetry {
+    /// Resolves the optimizer counters in `registry`. A disabled
+    /// registry yields a disabled (observation-free) bundle.
+    #[must_use]
+    pub fn from_registry(registry: &Registry) -> Self {
+        if !registry.is_enabled() {
+            return Self::disabled();
+        }
+        OptimizerTelemetry {
+            inner: Some(TelemetryInner {
+                decisions: registry.counter(DECISIONS_COUNTER),
+                score_evals: registry.counter(SCORE_EVALS_COUNTER),
+                fallback_scans: registry.counter(FALLBACK_SCANS_COUNTER),
+            }),
+        }
+    }
+
+    /// The observation-free bundle.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether observations go anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn note_decision(&self) {
+        if let Some(inner) = &self.inner {
+            inner.decisions.incr();
+        }
+    }
+
+    fn note_score_evals(&self, n: usize) {
+        if let Some(inner) = &self.inner {
+            inner.score_evals.add(u64::try_from(n).unwrap_or(u64::MAX));
+        }
+    }
+
+    fn note_fallback_scan(&self) {
+        if let Some(inner) = &self.inner {
+            inner.fallback_scans.incr();
+        }
+    }
+}
 
 /// The setting chosen by the optimizer, with its predicted budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,6 +139,7 @@ pub struct CoolingOptimizer<'a> {
     t_safe: Celsius,
     tolerance: DegC,
     cold_water: Celsius,
+    telemetry: OptimizerTelemetry,
 }
 
 impl<'a> CoolingOptimizer<'a> {
@@ -91,6 +170,7 @@ impl<'a> CoolingOptimizer<'a> {
             t_safe,
             tolerance,
             cold_water,
+            telemetry: OptimizerTelemetry::disabled(),
         })
     }
 
@@ -106,7 +186,18 @@ impl<'a> CoolingOptimizer<'a> {
             t_safe: Celsius::new(62.0),
             tolerance: DegC::new(1.0),
             cold_water: Celsius::new(20.0),
+            telemetry: OptimizerTelemetry::disabled(),
         }
+    }
+
+    /// Attaches the optimizer's decision/search counters to `registry`
+    /// (see [`OptimizerTelemetry`]). A disabled registry leaves the
+    /// optimizer observation-free. Purely additive: the chosen
+    /// settings are bit-identical with or without telemetry.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.telemetry = OptimizerTelemetry::from_registry(registry);
+        self
     }
 
     /// Overrides the cold-water temperature (the cold-source ablation).
@@ -182,10 +273,12 @@ impl<'a> CoolingOptimizer<'a> {
     /// all (cannot happen on the paper grid).
     #[must_use]
     pub fn optimize(&self, u_control: Utilization) -> Option<OptimizedSetting> {
+        self.telemetry.note_decision();
         // Step 2+3: settings in the safety band.
         let banded = self
             .space
             .safe_settings(u_control, self.t_safe, self.tolerance);
+        self.telemetry.note_score_evals(banded.len());
         let best_banded = banded
             .into_iter()
             .filter_map(|s| self.score(u_control, s, true))
@@ -197,6 +290,9 @@ impl<'a> CoolingOptimizer<'a> {
         // Fallback: nothing lands in the band. Scan the whole grid for
         // safe settings (die <= t_safe) and take the best net power; if
         // even that fails, take the globally coolest setting.
+        self.telemetry.note_fallback_scan();
+        self.telemetry
+            .note_score_evals(self.space.flow_axis().len() * self.space.inlet_axis().len());
         let mut best_safe: Option<OptimizedSetting> = None;
         let mut coolest: Option<OptimizedSetting> = None;
         for &f in self.space.flow_axis() {
@@ -243,6 +339,32 @@ mod tests {
 
     fn space() -> LookupSpace {
         LookupSpace::paper_grid(&ServerModel::paper_default()).unwrap()
+    }
+
+    #[test]
+    fn telemetry_counts_the_search_without_changing_the_choice() {
+        let space = space();
+        let registry = h2p_telemetry::Registry::new();
+        let plain = CoolingOptimizer::paper_default(&space);
+        let observed = CoolingOptimizer::paper_default(&space).with_telemetry(&registry);
+        assert!(observed.telemetry.is_enabled());
+
+        for x in [0.1, 0.5, 0.9] {
+            assert_eq!(plain.optimize(u(x)), observed.optimize(u(x)));
+        }
+        let counters: std::collections::BTreeMap<String, u64> =
+            registry.counters().into_iter().collect();
+        assert_eq!(counters[DECISIONS_COUNTER], 3);
+        assert!(
+            counters[SCORE_EVALS_COUNTER] >= counters[DECISIONS_COUNTER],
+            "each decision scores at least one candidate"
+        );
+
+        // A disabled registry attaches a disabled bundle.
+        let unattached =
+            CoolingOptimizer::paper_default(&space).with_telemetry(&Registry::disabled());
+        assert!(!unattached.telemetry.is_enabled());
+        assert!(unattached.optimize(u(0.5)).is_some());
     }
 
     fn u(x: f64) -> Utilization {

@@ -130,6 +130,13 @@ impl Simulator {
     /// bit-identical results across worker counts (see the
     /// [module docs](self)).
     ///
+    /// With a telemetry registry attached
+    /// ([`with_telemetry`](Simulator::with_telemetry)), every per-class
+    /// fault activation and recovery is journaled — one
+    /// [`h2p_faults::FAULT_ACTIVATED_EVENT`] /
+    /// [`h2p_faults::FAULT_RECOVERED_EVENT`] event per transition,
+    /// carrying the class label, circulation, and step.
+    ///
     /// # Errors
     ///
     /// Propagates the same errors as [`run`](Simulator::run) from the
@@ -159,6 +166,7 @@ impl Simulator {
         let n_circs = servers.div_ceil(circ_size);
 
         for step in 0..cluster.steps() {
+            let step_span = self.telemetry.registry.span(&self.telemetry.step_wall);
             let time = Seconds::new(interval.value() * step as f64);
             let cold = self.config.cold_source.temperature(time);
             let cold_bits = cold.value().to_bits();
@@ -185,9 +193,14 @@ impl Simulator {
             let sensed_opts = &sensed_optimizers;
 
             let loads = cluster.utilizations_at(step);
-            let partials =
-                h2p_exec::try_par_chunks(self.workers, &loads, circ_chunk, |circ, chunk| {
-                    self.simulate_circulation_faulted(
+            let partials = h2p_exec::try_par_chunks_observed(
+                &self.telemetry.pool,
+                self.workers,
+                &loads,
+                circ_chunk,
+                |circ, chunk| {
+                    let t0 = self.telemetry.registry.now_nanos();
+                    let partial = self.simulate_circulation_faulted(
                         circ,
                         step,
                         chunk,
@@ -196,8 +209,14 @@ impl Simulator {
                         sensed_opts,
                         cold,
                         &compiled,
-                    )
-                })?;
+                    );
+                    self.telemetry
+                        .circ_wall
+                        .record(self.telemetry.registry.now_nanos().saturating_sub(t0));
+                    partial
+                },
+            )?;
+            compiled.journal_transitions_at(&self.telemetry.registry, step);
 
             // Deterministic merge, circulation-index order. The faulted
             // world goes through the same fold as the plan-free engine;
@@ -237,7 +256,10 @@ impl Simulator {
             ledger.record_attribution(attr);
 
             steps.push(faulted_rec);
+            self.telemetry.note_step();
+            step_span.finish();
         }
+        self.telemetry.note_run();
 
         Ok(FaultedRun {
             result: SimulationResult::from_parts(policy.name(), interval, servers, steps),
@@ -253,7 +275,8 @@ impl Simulator {
             self.config.t_safe,
             self.config.tolerance,
             cold,
-        )?)
+        )?
+        .with_telemetry(&self.telemetry.registry))
     }
 
     /// The clamped fallback setting for implausible sensor readings:
@@ -570,6 +593,59 @@ mod tests {
         let expect = healthy.total_harvested().value();
         let got = ledger.healthy_harvest().value();
         assert!((got - expect).abs() <= expect.abs() * 1e-9);
+    }
+
+    #[test]
+    fn windowed_fault_is_journaled_without_changing_the_run() {
+        let cluster = cluster();
+        let plan = FaultPlan::from_events(
+            vec![FaultEvent::windowed(
+                FaultKind::PumpOutage { circulation: 1 },
+                6,
+                18,
+            )],
+            2,
+        )
+        .unwrap();
+        let plain = sim()
+            .run_with_faults(&cluster, &LoadBalance, &plan)
+            .unwrap();
+
+        let registry = h2p_telemetry::Registry::new();
+        let observed = sim()
+            .with_telemetry(&registry)
+            .run_with_faults(&cluster, &LoadBalance, &plan)
+            .unwrap();
+        assert_bit_identical(&plain.result, &observed.result);
+
+        let journal = registry.journal_events();
+        let transitions: Vec<(String, f64)> = journal
+            .iter()
+            .filter(|e| {
+                e.name == h2p_faults::FAULT_ACTIVATED_EVENT
+                    || e.name == h2p_faults::FAULT_RECOVERED_EVENT
+            })
+            .map(|e| {
+                assert_eq!(e.field("class").and_then(|v| v.as_str()), Some("pump"));
+                assert_eq!(e.field("circulation").and_then(|v| v.as_f64()), Some(1.0));
+                (
+                    e.name.clone(),
+                    e.field("step").and_then(|v| v.as_f64()).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            transitions,
+            vec![
+                (h2p_faults::FAULT_ACTIVATED_EVENT.to_owned(), 6.0),
+                (h2p_faults::FAULT_RECOVERED_EVENT.to_owned(), 18.0),
+            ]
+        );
+        // Engine spans covered the faulted run too.
+        let counters: std::collections::BTreeMap<String, u64> =
+            registry.counters().into_iter().collect();
+        assert_eq!(counters["engine.runs"], 1);
+        assert_eq!(counters["engine.steps"], 24);
     }
 
     #[test]

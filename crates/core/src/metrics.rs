@@ -1,11 +1,22 @@
 //! Energy-reuse metrics: PRE (paper Eq. 19) and ERE (Sec. II-C).
 
+use h2p_telemetry::{Event, Registry};
 use h2p_units::Watts;
+
+/// Counter name under which [`pre_observed`] reports its clamps.
+pub const PRE_CLAMP_COUNTER: &str = "metrics.pre_clamped";
+
+/// Journal event name emitted by [`pre_observed`] on a clamp.
+pub const PRE_CLAMP_EVENT: &str = "pre_clamped";
 
 /// Power reusing efficiency (paper Eq. 19):
 /// `PRE = TEG generation / CPU power consumption`.
 ///
-/// Returns 0 when no CPU power is drawn.
+/// Returns 0 when no CPU power is drawn. Negative generation (a
+/// reversed thermal gradient, or an upstream accounting bug) is
+/// clamped to a PRE of 0 — **silently**; use [`pre_observed`] where a
+/// telemetry registry is available, so the clamp leaves a trace
+/// instead of laundering bad data into a plausible number.
 ///
 /// ```
 /// use h2p_core::metrics::pre;
@@ -20,6 +31,34 @@ pub fn pre(teg_generation: Watts, cpu_power: Watts) -> f64 {
     } else {
         (teg_generation.value() / cpu_power.value()).max(0.0)
     }
+}
+
+/// [`pre`] with the saturation made visible: identical return value,
+/// but when the negative-generation clamp fires it increments the
+/// [`PRE_CLAMP_COUNTER`] counter and journals a [`PRE_CLAMP_EVENT`]
+/// event carrying the offending inputs, via `registry`. On a disabled
+/// registry the value is unchanged and nothing is observed.
+///
+/// The zero-CPU degenerate case (`cpu_power <= 0`) is *not* a clamp:
+/// a PRE over no IT power is undefined, and reporting 0 for it is the
+/// documented contract, not data loss.
+#[must_use]
+pub fn pre_observed(teg_generation: Watts, cpu_power: Watts, registry: &Registry) -> f64 {
+    if cpu_power.value() <= 0.0 {
+        return 0.0;
+    }
+    let ratio = teg_generation.value() / cpu_power.value();
+    if ratio < 0.0 {
+        registry.counter(PRE_CLAMP_COUNTER).incr();
+        registry.record_event(
+            Event::new(PRE_CLAMP_EVENT)
+                .with("teg_w", teg_generation.value())
+                .with("cpu_w", cpu_power.value())
+                .with("raw_pre", ratio),
+        );
+        return 0.0;
+    }
+    ratio
 }
 
 /// Inputs of the Green Grid energy-reuse-effectiveness metric.
@@ -74,6 +113,50 @@ mod tests {
         assert!((v - 0.1421).abs() < 1e-3);
         // Zero CPU power degenerates to 0.
         assert_eq!(pre(Watts::new(1.0), Watts::zero()), 0.0);
+    }
+
+    #[test]
+    fn negative_generation_clamp_is_counted_and_journaled() {
+        let registry = h2p_telemetry::Registry::new();
+        // The clamp path: negative generation over positive CPU power.
+        let v = pre_observed(Watts::new(-2.5), Watts::new(30.0), &registry);
+        assert_eq!(v, 0.0);
+        assert_eq!(
+            v,
+            pre(Watts::new(-2.5), Watts::new(30.0)),
+            "same value as pre()"
+        );
+        let counters: std::collections::BTreeMap<String, u64> =
+            registry.counters().into_iter().collect();
+        assert_eq!(counters[PRE_CLAMP_COUNTER], 1);
+        let events = registry.journal_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, PRE_CLAMP_EVENT);
+        let raw = events[0].field("raw_pre").and_then(|v| v.as_f64()).unwrap();
+        assert!((raw - (-2.5 / 30.0)).abs() < 1e-15);
+
+        // Healthy and degenerate paths observe nothing.
+        let healthy = pre_observed(Watts::new(4.0), Watts::new(30.0), &registry);
+        assert!((healthy - pre(Watts::new(4.0), Watts::new(30.0))).abs() < 1e-15);
+        assert_eq!(pre_observed(Watts::new(1.0), Watts::zero(), &registry), 0.0);
+        assert_eq!(registry.journal_events().len(), 1, "no new events");
+        assert_eq!(
+            registry
+                .counters()
+                .into_iter()
+                .collect::<std::collections::BTreeMap<_, _>>()[PRE_CLAMP_COUNTER],
+            1
+        );
+
+        // Disabled registry: value identical, nothing to observe.
+        assert_eq!(
+            pre_observed(
+                Watts::new(-2.5),
+                Watts::new(30.0),
+                &h2p_telemetry::Registry::disabled()
+            ),
+            0.0
+        );
     }
 
     #[test]

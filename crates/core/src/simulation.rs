@@ -41,10 +41,12 @@
 
 use crate::H2pError;
 use h2p_cooling::{CoolingOptimizer, CoolingPlant, OptimizedSetting, PlantLoad};
+use h2p_exec::PoolTelemetry;
 use h2p_hydraulics::{ColdSource, Pump};
 use h2p_sched::SchedulingPolicy;
 use h2p_server::{CpuPowerModel, LookupSpace, ServerModel};
 use h2p_teg::TegModule;
+use h2p_telemetry::{BucketSpec, Counter, Histogram, Registry};
 use h2p_units::{Celsius, DegC, Joules, Seconds, Utilization, Watts};
 use h2p_workload::ClusterTrace;
 use std::collections::hash_map::Entry;
@@ -293,33 +295,133 @@ impl SettingKey {
     }
 }
 
+/// Bound on the optimizer-setting memo, in entries (see
+/// [`SettingCache`]). Distinct keys are `(u_control, cold)` bit
+/// patterns; a paper-scale run with a drifting cold source produces a
+/// few thousand, so 65 536 entries (a few MiB) is generous headroom
+/// while capping a pathological trace's footprint.
+pub const SETTING_CACHE_CAPACITY: usize = 1 << 16;
+
+/// Always-on statistics of the optimizer-setting cache (see
+/// [`Simulator::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh optimizer search.
+    pub misses: u64,
+    /// Settings written into the memo.
+    pub insertions: u64,
+    /// Entries dropped by capacity flushes.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
 /// Shared memo of optimizer decisions, readable from every worker
 /// thread. Values are pure functions of their exact key, so concurrent
 /// insertion races are benign: whichever thread wins writes the same
 /// bits the loser would have.
-#[derive(Debug, Default)]
+///
+/// # Capacity bound & eviction
+///
+/// The map is bounded at `capacity` entries
+/// ([`SETTING_CACHE_CAPACITY`] by default): an insert that would
+/// exceed the bound first flushes the whole epoch (clears the map).
+/// Epoch flushing is the simplest policy that is *provably* harmless
+/// here — every value is a pure function of its exact-bit key, so
+/// evicting any entry can only cost a recomputation, never change a
+/// result — and it needs no per-entry bookkeeping on the hit path.
+/// Hit/miss/insert/evict counters are always live (they are plain
+/// atomics), so [`Simulator::cache_stats`] works with or without a
+/// telemetry registry attached.
+#[derive(Debug)]
 struct SettingCache {
     map: RwLock<HashMap<SettingKey, OptimizedSetting>>,
+    capacity: usize,
+    hits: Counter,
+    misses: Counter,
+    insertions: Counter,
+    evictions: Counter,
+}
+
+impl Default for SettingCache {
+    fn default() -> Self {
+        SettingCache::with_capacity(SETTING_CACHE_CAPACITY)
+    }
 }
 
 impl SettingCache {
+    fn with_capacity(capacity: usize) -> Self {
+        SettingCache {
+            map: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            insertions: Counter::new(),
+            evictions: Counter::new(),
+        }
+    }
+
     fn get(&self, key: &SettingKey) -> Option<OptimizedSetting> {
-        self.map
+        let found = self
+            .map
             .read()
             .unwrap_or_else(PoisonError::into_inner)
             .get(key)
-            .copied()
+            .copied();
+        match found {
+            Some(_) => self.hits.incr(),
+            None => self.misses.incr(),
+        }
+        found
     }
 
     fn insert(&self, key: SettingKey, setting: OptimizedSetting) {
-        self.map
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(key, setting);
+        let mut map = self.map.write().unwrap_or_else(PoisonError::into_inner);
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            // Epoch flush: drop everything rather than track recency.
+            // Transparent by construction (values are pure functions of
+            // keys), and the counters make it visible.
+            self.evictions
+                .add(u64::try_from(map.len()).unwrap_or(u64::MAX));
+            map.clear();
+        }
+        map.insert(key, setting);
+        self.insertions.incr();
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            insertions: self.insertions.get(),
+            evictions: self.evictions.get(),
+            entries: self
+                .map
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
+        }
+    }
+
+    /// Exposes the counter handles for registration with a telemetry
+    /// registry (shared, not copied).
+    fn counters(&self) -> [(&'static str, &Counter); 4] {
+        [
+            ("cache.hits", &self.hits),
+            ("cache.misses", &self.misses),
+            ("cache.insertions", &self.insertions),
+            ("cache.evictions", &self.evictions),
+        ]
     }
 }
 
 impl Clone for SettingCache {
+    /// A clone keeps the warm memo but starts its own statistics:
+    /// per-[`Simulator`] counters would be misleading if two engines
+    /// shared them.
     fn clone(&self) -> Self {
         SettingCache {
             map: RwLock::new(
@@ -328,6 +430,73 @@ impl Clone for SettingCache {
                     .unwrap_or_else(PoisonError::into_inner)
                     .clone(),
             ),
+            capacity: self.capacity,
+            hits: Counter::new(),
+            misses: Counter::new(),
+            insertions: Counter::new(),
+            evictions: Counter::new(),
+        }
+    }
+}
+
+/// The engine's telemetry handles, resolved once per attachment (see
+/// [`Simulator::with_telemetry`]). The disabled bundle makes every
+/// observation a branch; the engine's numeric path is identical either
+/// way (asserted by `tests/telemetry_transparency.rs`).
+#[derive(Debug, Clone)]
+pub(crate) struct EngineTelemetry {
+    pub(crate) registry: Registry,
+    pub(crate) pool: PoolTelemetry,
+    pub(crate) step_wall: Histogram,
+    pub(crate) circ_wall: Histogram,
+    runs: Counter,
+    steps: Counter,
+}
+
+impl EngineTelemetry {
+    fn disabled() -> Self {
+        EngineTelemetry {
+            registry: Registry::disabled(),
+            pool: PoolTelemetry::disabled(),
+            step_wall: Histogram::disabled(),
+            circ_wall: Histogram::disabled(),
+            runs: Counter::new(),
+            steps: Counter::new(),
+        }
+    }
+
+    fn from_registry(registry: &Registry) -> Self {
+        if !registry.is_enabled() {
+            return EngineTelemetry::disabled();
+        }
+        let durations = BucketSpec::duration_default();
+        // Crate-internal names with one fixed spec can never collide.
+        let hist = |name: &str| {
+            registry
+                .histogram(name, &durations)
+                .unwrap_or_else(|_| Histogram::disabled())
+        };
+        EngineTelemetry {
+            registry: registry.clone(),
+            pool: PoolTelemetry::from_registry(registry),
+            step_wall: hist("engine.step_wall_nanos"),
+            circ_wall: hist("engine.circulation_wall_nanos"),
+            runs: registry.counter("engine.runs"),
+            steps: registry.counter("engine.steps"),
+        }
+    }
+
+    /// Records one finished control interval.
+    pub(crate) fn note_step(&self) {
+        if self.registry.is_enabled() {
+            self.steps.incr();
+        }
+    }
+
+    /// Records one finished run.
+    pub(crate) fn note_run(&self) {
+        if self.registry.is_enabled() {
+            self.runs.incr();
         }
     }
 }
@@ -384,6 +553,7 @@ pub struct Simulator {
     pub(crate) max_operating: Celsius,
     pub(crate) workers: NonZeroUsize,
     cache: SettingCache,
+    pub(crate) telemetry: EngineTelemetry,
 }
 
 impl Simulator {
@@ -404,6 +574,7 @@ impl Simulator {
             max_operating: model.spec().max_operating,
             workers: h2p_exec::worker_count(),
             cache: SettingCache::default(),
+            telemetry: EngineTelemetry::disabled(),
         })
     }
 
@@ -433,6 +604,38 @@ impl Simulator {
     #[must_use]
     pub fn workers(&self) -> NonZeroUsize {
         self.workers
+    }
+
+    /// Attaches a telemetry registry: step and circulation wall-time
+    /// histograms, pool telemetry, run/step counters, and the cache
+    /// counters all become visible through `registry` (and in its
+    /// [`RunReport`](h2p_telemetry::RunReport)). Attaching
+    /// [`Registry::disabled`] detaches. Simulation *results* are
+    /// bit-identical with telemetry attached or not — observation
+    /// never feeds back into the physics.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.telemetry = EngineTelemetry::from_registry(registry);
+        for (name, counter) in self.cache.counters() {
+            registry.register_counter(name, counter);
+        }
+        self
+    }
+
+    /// The attached telemetry registry ([`Registry::disabled`] when
+    /// none was attached).
+    #[must_use]
+    pub fn telemetry_registry(&self) -> &Registry {
+        &self.telemetry.registry
+    }
+
+    /// Always-on statistics of the optimizer-setting cache. Works
+    /// without [`with_telemetry`](Self::with_telemetry): the counters
+    /// behind it are plain atomics that count regardless of
+    /// observation.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// The configuration.
@@ -483,32 +686,51 @@ impl Simulator {
         let mut optimizers: HashMap<u64, CoolingOptimizer<'_>> = HashMap::new();
 
         for step in 0..cluster.steps() {
+            let step_span = self.telemetry.registry.span(&self.telemetry.step_wall);
             let time = Seconds::new(interval.value() * step as f64);
             let cold = self.config.cold_source.temperature(time);
             let optimizer = match optimizers.entry(cold.value().to_bits()) {
                 Entry::Occupied(entry) => entry.into_mut(),
-                Entry::Vacant(entry) => entry.insert(CoolingOptimizer::new(
-                    &self.space,
-                    self.config.module,
-                    self.config.pump,
-                    self.config.t_safe,
-                    self.config.tolerance,
-                    cold,
-                )?),
+                Entry::Vacant(entry) => entry.insert(
+                    CoolingOptimizer::new(
+                        &self.space,
+                        self.config.module,
+                        self.config.pump,
+                        self.config.t_safe,
+                        self.config.tolerance,
+                        cold,
+                    )?
+                    .with_telemetry(&self.telemetry.registry),
+                ),
             };
 
             let loads = cluster.utilizations_at(step);
             // Shard the independent circulations across the worker
             // pool; partials come back in circulation-index order.
-            let partials = h2p_exec::try_par_chunks(workers, &loads, circ_chunk, |_, chunk| {
-                self.simulate_circulation(chunk, policy, optimizer, cold, use_cache)
-            })?;
+            let partials = h2p_exec::try_par_chunks_observed(
+                &self.telemetry.pool,
+                workers,
+                &loads,
+                circ_chunk,
+                |_, chunk| {
+                    let t0 = self.telemetry.registry.now_nanos();
+                    let partial =
+                        self.simulate_circulation(chunk, policy, optimizer, cold, use_cache);
+                    self.telemetry
+                        .circ_wall
+                        .record(self.telemetry.registry.now_nanos().saturating_sub(t0));
+                    partial
+                },
+            )?;
 
             // Deterministic merge: circulation-index order, independent
             // of how the chunks were scheduled onto threads.
             steps.push(self.fold_step(time, servers, partials.iter().copied()));
+            self.telemetry.note_step();
+            step_span.finish();
         }
 
+        self.telemetry.note_run();
         Ok(SimulationResult {
             policy: policy.name(),
             interval,
@@ -887,5 +1109,113 @@ mod tests {
         assert!(sim.workers().get() >= 1);
         let forced = sim.with_workers(NonZeroUsize::new(3).unwrap());
         assert_eq!(forced.workers().get(), 3);
+    }
+
+    fn dummy_setting(flow: f64) -> OptimizedSetting {
+        OptimizedSetting {
+            setting: h2p_server::CoolingSetting {
+                flow: h2p_units::LitersPerHour::new(flow),
+                inlet: Celsius::new(45.0),
+            },
+            teg_power: Watts::new(4.0),
+            pump_power: Watts::new(0.5),
+            net_power: Watts::new(3.5),
+            outlet: Celsius::new(55.0),
+            cpu_temperature: Celsius::new(61.5),
+            in_band: true,
+        }
+    }
+
+    #[test]
+    fn setting_cache_bound_is_enforced_by_epoch_flush() {
+        // Regression test for the unbounded-memo hazard: a long run
+        // with ever-fresh (u, cold) bit patterns must not grow the map
+        // past its capacity.
+        let cache = SettingCache::with_capacity(4);
+        for i in 0..23u32 {
+            let key = SettingKey::new(
+                Utilization::saturating(f64::from(i) / 23.0),
+                Celsius::new(20.0),
+            );
+            cache.insert(key, dummy_setting(f64::from(i)));
+            assert!(
+                cache.stats().entries <= 4,
+                "entries {} exceeded capacity after insert {i}",
+                cache.stats().entries
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 23);
+        // 23 inserts into 4 slots: flush at every 4th fresh key.
+        assert!(stats.evictions >= 16, "evictions = {}", stats.evictions);
+        // Re-inserting a resident key must not flush.
+        let resident_before = cache.stats().entries;
+        let key = SettingKey::new(Utilization::saturating(22.0 / 23.0), Celsius::new(20.0));
+        cache.insert(key, dummy_setting(22.0));
+        assert_eq!(cache.stats().entries, resident_before);
+    }
+
+    #[test]
+    fn cache_stats_work_without_telemetry() {
+        let sim = Simulator::paper_default().unwrap();
+        let zero = sim.cache_stats();
+        assert_eq!((zero.hits, zero.misses, zero.entries), (0, 0, 0));
+        let cluster = small_cluster(TraceKind::Common);
+        let first = sim.run(&cluster, &LoadBalance).unwrap();
+        let cold_stats = sim.cache_stats();
+        assert!(cold_stats.misses > 0, "first run must miss");
+        assert_eq!(cold_stats.insertions, cold_stats.misses);
+        assert_eq!(cold_stats.entries as u64, cold_stats.insertions);
+        assert_eq!(cold_stats.evictions, 0, "paper-scale keys fit the bound");
+        let warm = sim.run(&cluster, &LoadBalance).unwrap();
+        let warm_stats = sim.cache_stats();
+        assert_eq!(
+            warm_stats.misses, cold_stats.misses,
+            "second identical run must be all hits"
+        );
+        assert!(warm_stats.hits > cold_stats.hits);
+        for (a, b) in first.steps().iter().zip(warm.steps()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn attached_telemetry_observes_the_run_without_changing_it() {
+        let registry = h2p_telemetry::Registry::new();
+        let bare = Simulator::paper_default().unwrap();
+        let observed = Simulator::paper_default()
+            .unwrap()
+            .with_telemetry(&registry);
+        assert!(observed.telemetry_registry().is_enabled());
+        let cluster = small_cluster(TraceKind::Drastic);
+        let a = bare.run(&cluster, &LoadBalance).unwrap();
+        let b = observed.run(&cluster, &LoadBalance).unwrap();
+        for (x, y) in a.steps().iter().zip(b.steps()) {
+            assert_eq!(x, y, "telemetry must not perturb results");
+        }
+
+        let counters: std::collections::BTreeMap<String, u64> =
+            registry.counters().into_iter().collect();
+        assert_eq!(counters["engine.runs"], 1);
+        assert_eq!(counters["engine.steps"], 36);
+        assert!(counters["pool.tasks"] > 0);
+        assert_eq!(
+            counters["cache.hits"] + counters["cache.misses"],
+            {
+                let s = observed.cache_stats();
+                s.hits + s.misses
+            },
+            "registered cache counters share the simulator's"
+        );
+
+        let hists: std::collections::BTreeMap<String, h2p_telemetry::Histogram> =
+            registry.histograms().into_iter().collect();
+        assert_eq!(hists["engine.step_wall_nanos"].count(), 36);
+        // 80 servers ÷ 40 per circulation = 2 circulations × 36 steps.
+        assert_eq!(hists["engine.circulation_wall_nanos"].count(), 72);
+
+        let report = h2p_telemetry::RunReport::from_registry(&registry);
+        assert!(!report.is_empty());
+        assert!(report.render().contains("engine.step_wall_nanos"));
     }
 }

@@ -20,6 +20,17 @@
 //! [`try_par_chunks`] report the error of the **lowest-indexed**
 //! failing element, again independent of thread scheduling.
 //!
+//! # Observability
+//!
+//! The `*_observed` variants ([`try_par_map_observed`],
+//! [`try_par_chunks_observed`]) additionally record pool telemetry —
+//! tasks per lane, queue wait, busy/idle time, error and panic counts
+//! — through a [`PoolTelemetry`] bundle resolved from an
+//! `h2p_telemetry::Registry`. Instrumentation is per lane, never per
+//! item, and a disabled bundle reduces every observation to a `None`
+//! check, so results (and panics, and error selection) are identical
+//! with telemetry enabled, disabled, or absent.
+//!
 //! # Examples
 //!
 //! ```
@@ -52,6 +63,10 @@
         clippy::cast_sign_loss
     )
 )]
+
+mod telemetry;
+
+pub use telemetry::PoolTelemetry;
 
 use std::num::NonZeroUsize;
 
@@ -102,12 +117,41 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
+    try_par_map_observed(&PoolTelemetry::disabled(), workers, items, f)
+}
+
+/// [`try_par_map`] with pool telemetry: lane sizes, queue wait,
+/// busy/idle time, and error/panic counts are recorded through `pool`
+/// (see [`PoolTelemetry`]). With a disabled bundle this **is**
+/// [`try_par_map`] — same results, same error selection, same panic
+/// propagation.
+///
+/// # Errors
+///
+/// Returns the first error by item index, if any call of `f` fails.
+pub fn try_par_map_observed<T, R, E, F>(
+    pool: &PoolTelemetry,
+    workers: NonZeroUsize,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
     let n = items.len();
     let lanes = workers.get().min(n);
     if lanes <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let started = pool.now_nanos();
+        let out: Result<Vec<R>, E> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        pool.record_inline(n, started, pool.now_nanos());
+        pool.record_errors(usize::from(out.is_err()));
+        return out;
     }
     let run = n.div_ceil(lanes);
+    let dispatched = pool.now_nanos();
     std::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = items
@@ -115,27 +159,63 @@ where
             .enumerate()
             .map(|(lane, part)| {
                 scope.spawn(move || {
-                    part.iter()
+                    let started = pool.now_nanos();
+                    let results = part
+                        .iter()
                         .enumerate()
                         .map(|(j, t)| f(lane * run + j, t))
-                        .collect::<Vec<Result<R, E>>>()
+                        .collect::<Vec<Result<R, E>>>();
+                    let finished = pool.now_nanos();
+                    if pool.is_enabled() {
+                        pool.record_lane(part.len(), dispatched, started, finished);
+                        pool.record_errors(results.iter().filter(|r| r.is_err()).count());
+                    }
+                    (results, finished)
                 })
             })
             .collect();
         let mut out = Vec::with_capacity(n);
+        let mut first_err: Option<E> = None;
+        let mut finish_times = Vec::with_capacity(if pool.is_enabled() { lanes } else { 0 });
         for handle in handles {
             match handle.join() {
-                Ok(results) => {
-                    for r in results {
-                        out.push(r?);
+                Ok((results, finished)) => {
+                    if pool.is_enabled() {
+                        finish_times.push(finished);
+                    }
+                    if first_err.is_none() {
+                        for r in results {
+                            match r {
+                                Ok(value) => out.push(value),
+                                Err(e) => {
+                                    // Lowest-indexed error: lanes join in
+                                    // order and each lane's results are in
+                                    // item order.
+                                    first_err = Some(e);
+                                    break;
+                                }
+                            }
+                        }
                     }
                 }
                 // A worker panicking means `f` panicked; re-raise on the
                 // caller's thread rather than inventing an error value.
-                Err(payload) => std::panic::resume_unwind(payload),
+                Err(payload) => {
+                    pool.record_panic();
+                    std::panic::resume_unwind(payload);
+                }
             }
         }
-        Ok(out)
+        if pool.is_enabled() {
+            let all_joined = pool.now_nanos();
+            for finished in finish_times {
+                pool.record_lane_idle(finished, all_joined);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     })
 }
 
@@ -161,6 +241,29 @@ where
 {
     let chunks: Vec<&[T]> = items.chunks(chunk_size.get()).collect();
     try_par_map(workers, &chunks, |i, chunk| f(i, chunk))
+}
+
+/// [`try_par_chunks`] with pool telemetry (see
+/// [`try_par_map_observed`] for the observation contract).
+///
+/// # Errors
+///
+/// Returns the first error by chunk index, if any call of `f` fails.
+pub fn try_par_chunks_observed<T, R, E, F>(
+    pool: &PoolTelemetry,
+    workers: NonZeroUsize,
+    items: &[T],
+    chunk_size: NonZeroUsize,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &[T]) -> Result<R, E> + Sync,
+{
+    let chunks: Vec<&[T]> = items.chunks(chunk_size.get()).collect();
+    try_par_map_observed(pool, workers, &chunks, |i, chunk| f(i, chunk))
 }
 
 #[cfg(test)]
@@ -261,5 +364,91 @@ mod tests {
             assert!(x < 6, "boom");
             x
         });
+    }
+
+    #[test]
+    fn observed_map_records_lanes_and_matches_unobserved() {
+        let registry = h2p_telemetry::Registry::new();
+        let pool = PoolTelemetry::from_registry(&registry);
+        assert!(pool.is_enabled());
+        let items: Vec<usize> = (0..103).collect();
+        let plain: Result<Vec<usize>, ()> = try_par_map(nz(4), &items, |_, &x| Ok(x * 2));
+        let observed: Result<Vec<usize>, ()> =
+            try_par_map_observed(&pool, nz(4), &items, |_, &x| Ok(x * 2));
+        assert_eq!(plain, observed, "observation must not change results");
+
+        let counters: std::collections::BTreeMap<String, u64> =
+            registry.counters().into_iter().collect();
+        assert_eq!(counters["pool.tasks"], 103);
+        assert_eq!(counters["pool.lanes_spawned"], 4);
+        assert_eq!(counters["pool.inline_runs"], 0);
+        assert_eq!(counters["pool.task_errors"], 0);
+        assert_eq!(counters["pool.worker_panics"], 0);
+
+        // Inline path: one item runs without spawning.
+        let one: Result<Vec<usize>, ()> = try_par_map_observed(&pool, nz(4), &[7], |_, &x| Ok(x));
+        assert_eq!(one, Ok(vec![7]));
+        let counters: std::collections::BTreeMap<String, u64> =
+            registry.counters().into_iter().collect();
+        assert_eq!(counters["pool.inline_runs"], 1);
+        assert_eq!(counters["pool.tasks"], 104);
+    }
+
+    #[test]
+    fn observed_map_counts_errors_without_changing_selection() {
+        let registry = h2p_telemetry::Registry::new();
+        let pool = PoolTelemetry::from_registry(&registry);
+        let items: Vec<usize> = (0..50).collect();
+        for workers in [1, 2, 5, 8] {
+            let r: Result<Vec<usize>, usize> =
+                try_par_map_observed(&pool, nz(workers), &items, |i, &x| {
+                    if x % 7 == 3 {
+                        Err(i)
+                    } else {
+                        Ok(x)
+                    }
+                });
+            assert_eq!(r, Err(3), "workers = {workers}");
+        }
+        let errors = registry
+            .counters()
+            .into_iter()
+            .find(|(n, _)| n == "pool.task_errors")
+            .map(|(_, v)| v)
+            .unwrap();
+        // Parallel lanes evaluate everything (7 failing items per run ×
+        // 3 parallel runs); the inline run short-circuits at its first
+        // failure, observed as one error.
+        assert_eq!(errors, 7 * 3 + 1);
+    }
+
+    #[test]
+    fn observed_chunks_match_unobserved() {
+        let registry = h2p_telemetry::Registry::new();
+        let pool = PoolTelemetry::from_registry(&registry);
+        let items: Vec<u32> = (1..=10).collect();
+        let sums: Result<Vec<u32>, ()> =
+            try_par_chunks_observed(&pool, nz(4), &items, nz(4), |_, chunk| {
+                Ok(chunk.iter().sum::<u32>())
+            });
+        assert_eq!(sums, Ok(vec![10, 26, 19]));
+        // Chunk-level sharding: 3 chunks become 3 "tasks".
+        let tasks = registry
+            .counters()
+            .into_iter()
+            .find(|(n, _)| n == "pool.tasks")
+            .map(|(_, v)| v)
+            .unwrap();
+        assert_eq!(tasks, 3);
+    }
+
+    #[test]
+    fn disabled_pool_telemetry_observes_nothing() {
+        let pool = PoolTelemetry::from_registry(&h2p_telemetry::Registry::disabled());
+        assert!(!pool.is_enabled());
+        let items: Vec<usize> = (0..20).collect();
+        let r: Result<Vec<usize>, ()> = try_par_map_observed(&pool, nz(3), &items, |_, &x| Ok(x));
+        assert_eq!(r, Ok(items.clone()));
+        assert_eq!(pool.now_nanos(), 0, "no clock behind a disabled bundle");
     }
 }

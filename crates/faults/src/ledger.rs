@@ -45,7 +45,7 @@ impl FaultClass {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             FaultClass::Sensor => 0,
             FaultClass::Pump => 1,

@@ -65,6 +65,7 @@ mod plan;
 pub use ledger::{FaultClass, FaultLedger, StepAttribution, StepPowers};
 pub use plan::{
     ActiveFaults, CompiledFaults, FaultEvent, FaultKind, FaultPlan, HazardRates, SensorFault,
+    FAULT_ACTIVATED_EVENT, FAULT_RECOVERED_EVENT,
 };
 
 use core::fmt;

@@ -26,6 +26,14 @@ const SALT_PUMP: u64 = 0x7075_6d70_5f68_617a; // "pump_haz"
 const SALT_SENSOR: u64 = 0x7365_6e73_5f68_617a; // "sens_haz"
 const SALT_NOISE: u64 = 0x6e6f_6973_655f_6f66; // "noise_of"
 
+/// Journal event name recorded when a fault class becomes active in a
+/// circulation (see [`CompiledFaults::journal_transitions_at`]).
+pub const FAULT_ACTIVATED_EVENT: &str = "fault_activated";
+
+/// Journal event name recorded when a fault class recovers in a
+/// circulation (see [`CompiledFaults::journal_transitions_at`]).
+pub const FAULT_RECOVERED_EVENT: &str = "fault_recovered";
+
 /// One class of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
@@ -633,6 +641,16 @@ impl ActiveFaults {
             None => 1.0,
         }
     }
+
+    /// Whether any fault of `class` is active in this view.
+    #[must_use]
+    pub fn class_active(&self, class: crate::FaultClass) -> bool {
+        match class {
+            crate::FaultClass::Sensor => self.sensor.is_some(),
+            crate::FaultClass::Pump => self.pump_out || self.pump_factor < 1.0,
+            crate::FaultClass::Teg => !self.teg_failures.is_empty(),
+        }
+    }
 }
 
 /// A [`FaultPlan`] bound to one run's geometry.
@@ -737,6 +755,58 @@ impl CompiledFaults {
             sensor,
         })
     }
+
+    /// Per-class active flags for one circulation-step, indexed by
+    /// [`crate::FaultClass::index`]. All-healthy maps to all-`false`.
+    fn classes_active(&self, circulation: usize, step: usize) -> [bool; 3] {
+        let mut out = [false; 3];
+        if let Some(active) = self.active_at(circulation, step) {
+            for class in crate::FaultClass::ALL {
+                out[class.index()] = active.class_active(class);
+            }
+        }
+        out
+    }
+
+    /// Journal the fault-class transitions that happen *at* `step`:
+    /// for every circulation and every [`crate::FaultClass`], compares
+    /// the class's active state at `step` against `step - 1` (a run
+    /// starts all-healthy, so step 0 compares against "nothing
+    /// active") and records one [`FAULT_ACTIVATED_EVENT`] or
+    /// [`FAULT_RECOVERED_EVENT`] event per transition, carrying the
+    /// class label, circulation, and step.
+    ///
+    /// No-op when `registry` is disabled or the plan schedules no
+    /// faults, so the healthy path stays observation-free. Transitions
+    /// are derived from [`active_at`](Self::active_at), a pure function
+    /// of `(plan, circulation, step)`, so the journal is deterministic
+    /// regardless of engine thread count.
+    pub fn journal_transitions_at(&self, registry: &h2p_telemetry::Registry, step: usize) {
+        if !registry.is_enabled() || self.is_empty() {
+            return;
+        }
+        for circ in 0..self.circulations() {
+            let now = self.classes_active(circ, step);
+            let before = if step == 0 {
+                [false; 3]
+            } else {
+                self.classes_active(circ, step - 1)
+            };
+            for class in crate::FaultClass::ALL {
+                let name = match (before[class.index()], now[class.index()]) {
+                    (false, true) => FAULT_ACTIVATED_EVENT,
+                    (true, false) => FAULT_RECOVERED_EVENT,
+                    _ => continue,
+                };
+                registry.record_event(
+                    h2p_telemetry::Event::new(name)
+                        .with("class", class.label())
+                        .with("circulation", u64::try_from(circ).unwrap_or(u64::MAX))
+                        .with("step", u64::try_from(step).unwrap_or(u64::MAX)),
+                );
+            }
+        }
+    }
 }
 
 /// SplitMix64 finalizer — the statistical mixer behind the vendored
@@ -835,6 +905,66 @@ mod tests {
         // Other circulations untouched.
         assert!(compiled.active_at(0, 10).is_none());
         assert!(compiled.active_at(2, 10).is_none());
+    }
+
+    #[test]
+    fn journal_transitions_record_activation_and_recovery() {
+        let events = vec![
+            FaultEvent::windowed(
+                FaultKind::PumpDegraded {
+                    circulation: 1,
+                    derate: 0.5,
+                },
+                3,
+                6,
+            ),
+            teg(7, 2, 5), // server 7 -> circulation 1; permanent from step 5
+        ];
+        let compiled = FaultPlan::from_events(events, 7)
+            .unwrap()
+            .compile(40, 4, 12);
+        let registry = h2p_telemetry::Registry::new();
+        for step in 0..12 {
+            compiled.journal_transitions_at(&registry, step);
+        }
+        let journal = registry.journal_events();
+        let summary: Vec<(String, f64, &'static str)> = journal
+            .iter()
+            .map(|e| {
+                (
+                    e.name.clone(),
+                    e.field("step").and_then(|v| v.as_f64()).unwrap(),
+                    match e.field("class").and_then(|v| v.as_str()).unwrap() {
+                        "pump" => "pump",
+                        "teg" => "teg",
+                        other => panic!("unexpected class {other}"),
+                    },
+                )
+            })
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                (FAULT_ACTIVATED_EVENT.to_owned(), 3.0, "pump"),
+                (FAULT_ACTIVATED_EVENT.to_owned(), 5.0, "teg"),
+                (FAULT_RECOVERED_EVENT.to_owned(), 6.0, "pump"),
+            ],
+            "one event per class transition, none for the permanent fault's tail"
+        );
+        for e in &journal {
+            assert_eq!(e.field("circulation").and_then(|v| v.as_f64()), Some(1.0));
+        }
+
+        // A disabled registry and an empty plan both journal nothing.
+        let disabled = h2p_telemetry::Registry::disabled();
+        compiled.journal_transitions_at(&disabled, 3);
+        assert!(disabled.journal_events().is_empty());
+        let healthy = FaultPlan::none().compile(40, 4, 12);
+        let fresh = h2p_telemetry::Registry::new();
+        for step in 0..12 {
+            healthy.journal_transitions_at(&fresh, step);
+        }
+        assert!(fresh.journal_events().is_empty());
     }
 
     #[test]

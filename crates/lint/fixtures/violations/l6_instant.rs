@@ -1,0 +1,9 @@
+//! L6 fixture: direct wall-clock reads in library code.
+
+pub fn elapsed_wrong() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn stamp_wrong() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -4,7 +4,7 @@
 //! boundary is wrapped in an `h2p-units` newtype, library code never
 //! panics on the paper-model hot paths, and NaN can never leak into
 //! the thermal/TEG solvers. This crate machine-checks that contract
-//! with five rules (run `cargo run -p h2p-lint`, or see
+//! with six rules (run `cargo run -p h2p-lint`, or see
 //! `DESIGN.md` §"Static analysis & invariants"):
 //!
 //! * **L1** — no raw `f64`/`f32` under quantity-like names
@@ -21,6 +21,10 @@
 //! * **L5** — no `==`/`!=` comparisons against float literals in
 //!   physics crates (NaN-unsafe; use tolerances or the `!(x > 0.0)`
 //!   rejection idiom).
+//! * **L6** — no `Instant::now()` / `SystemTime::now()` in library
+//!   code: all timing goes through `h2p_telemetry::Clock` so runs stay
+//!   replayable under a scripted clock. The `Clock` impls in
+//!   `h2p-telemetry` are the sole waived call sites.
 //!
 //! Any finding can be waived in place with a reasoned allow comment,
 //! either trailing the line or on the line directly above:
@@ -69,10 +73,13 @@ pub enum RuleId {
     L4,
     /// Float-literal `==`/`!=` comparison in a physics crate.
     L5,
+    /// Direct wall-clock read (`Instant::now`/`SystemTime::now`) in
+    /// library code, bypassing `h2p_telemetry::Clock`.
+    L6,
 }
 
 impl RuleId {
-    /// Parses `"L1"` .. `"L5"`.
+    /// Parses `"L1"` .. `"L6"`.
     #[must_use]
     pub fn parse(s: &str) -> Option<RuleId> {
         match s {
@@ -81,6 +88,7 @@ impl RuleId {
             "L3" => Some(RuleId::L3),
             "L4" => Some(RuleId::L4),
             "L5" => Some(RuleId::L5),
+            "L6" => Some(RuleId::L6),
             _ => None,
         }
     }
@@ -94,6 +102,7 @@ impl fmt::Display for RuleId {
             RuleId::L3 => "L3",
             RuleId::L4 => "L4",
             RuleId::L5 => "L5",
+            RuleId::L6 => "L6",
         })
     }
 }

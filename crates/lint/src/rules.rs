@@ -1,4 +1,4 @@
-//! The five H2P domain-invariant rules.
+//! The six H2P domain-invariant rules.
 //!
 //! Each rule takes the stripped view of one file (see
 //! [`crate::scanner`]) plus its [`FileClass`] and appends
@@ -11,6 +11,7 @@
 //! | L3 | physics crates | no numeric `as` casts (use `From`/`TryFrom` or allow-list) |
 //! | L4 | every crate's `lib.rs` | `#![forbid(unsafe_code)]` present |
 //! | L5 | physics crates | no `==`/`!=` against float literals |
+//! | L6 | non-test library code | no `Instant::now`/`SystemTime::now`; timing goes through `h2p_telemetry::Clock` |
 
 use crate::scanner::ScannedFile;
 use crate::{Diagnostic, FileClass, RuleId};
@@ -82,6 +83,9 @@ pub fn check_file(
             for finding in l1_raw_quantity_signatures(scanned) {
                 emit(RuleId::L1, finding.0, finding.1);
             }
+        }
+        for finding in l6_wall_clock_reads(scanned) {
+            emit(RuleId::L6, finding.0, finding.1);
         }
     }
     if class.physics {
@@ -332,6 +336,35 @@ fn l3_numeric_casts(scanned: &ScannedFile) -> Vec<Finding> {
     findings
 }
 
+/// L6: direct wall-clock reads in library code. Every timestamp must
+/// come from `h2p_telemetry::Clock` so a scripted [`ManualClock`] can
+/// replay any run; the two `MonotonicClock` call sites in
+/// `crates/telemetry/src/clock.rs` carry the only legal waivers.
+///
+/// [`ManualClock`]: https://docs.rs/h2p-telemetry
+fn l6_wall_clock_reads(scanned: &ScannedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if scanned.test_region[idx] {
+            continue;
+        }
+        for needle in ["Instant::now(", "SystemTime::now("] {
+            if line.contains(needle) {
+                findings.push((
+                    idx + 1,
+                    format!(
+                        "`{}now()` in library code defeats replayable timing — take \
+                         timestamps from `h2p_telemetry::Clock`/`Registry::now_nanos` \
+                         (or justify with `// h2p-lint: allow(L6): <reason>`)",
+                        needle.trim_end_matches("now(")
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
 /// L5: `==` / `!=` against a float literal.
 fn l5_float_literal_eq(scanned: &ScannedFile) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -500,6 +533,19 @@ mod tests {
         let diags = run(src, &physics_lib());
         let l5: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::L5).collect();
         assert_eq!(l5.len(), 2, "{l5:?}");
+    }
+
+    #[test]
+    fn l6_flags_wall_clock_reads_outside_tests() {
+        let src = "fn a() { let t = std::time::Instant::now(); }\n\
+                   fn b() { let t = SystemTime::now(); }\n\
+                   fn c() { let t = Instant::now(); } // h2p-lint: allow(L6): Clock impl\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { let x = Instant::now(); }\n}\n";
+        let diags = run(src, &physics_lib());
+        let l6: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::L6).collect();
+        assert_eq!(l6.len(), 2, "{l6:?}");
+        assert_eq!(l6[0].line, 1);
+        assert_eq!(l6[1].line, 2);
     }
 
     #[test]

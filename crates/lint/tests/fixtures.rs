@@ -53,6 +53,12 @@ fn l5_fires_on_float_eq_fixture() {
 }
 
 #[test]
+fn l6_fires_on_wall_clock_fixture() {
+    let rules = rules_for("l6_instant");
+    assert_eq!(rules, vec![RuleId::L6, RuleId::L6], "{rules:?}");
+}
+
+#[test]
 fn diagnostics_carry_file_and_line() {
     let diags = lint_fixture_dir(&fixtures_dir().join("violations")).unwrap();
     for d in &diags {

@@ -1,0 +1,201 @@
+//! The structured run journal: an ordered list of discrete events
+//! (fault activations, saturation warnings, run milestones) that
+//! serializes to JSON Lines.
+//!
+//! The journal is for *events*, not samples — low-rate, semantically
+//! meaningful state transitions. High-rate measurements belong in
+//! counters and histograms; the journal trades throughput for
+//! structure (every event carries named fields and a clock timestamp).
+
+use serde_json::Value;
+use std::io::Write;
+use std::sync::{Mutex, PoisonError};
+
+/// One journal entry: a named event, its clock timestamp, and ordered
+/// key/value fields.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Event kind, e.g. `"fault_activated"`.
+    pub name: String,
+    /// Timestamp from the registry's [`Clock`](crate::Clock), in
+    /// nanoseconds since the clock's origin.
+    pub t_nanos: u64,
+    /// Ordered event fields (insertion order is serialization order).
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// A fresh event with no fields; the registry stamps `t_nanos`
+    /// when the event is recorded.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Event {
+            name: name.into(),
+            t_nanos: 0,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style). Accepts anything the vendored
+    /// data model can represent (integers, floats, booleans, strings,
+    /// vectors, options, or a prebuilt [`Value`]).
+    #[must_use]
+    pub fn with<T: serde::Serialize>(mut self, key: impl Into<String>, value: T) -> Self {
+        self.fields.push((key.into(), serde_json::to_value(&value)));
+        self
+    }
+
+    /// The value of the first field named `key`, if any.
+    #[must_use]
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// The event as one JSON object:
+    /// `{"event": name, "t_nanos": …, <fields…>}`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut entries = Vec::with_capacity(2 + self.fields.len());
+        entries.push(("event".to_owned(), Value::String(self.name.clone())));
+        entries.push(("t_nanos".to_owned(), serde_json::to_value(&self.t_nanos)));
+        entries.extend(self.fields.iter().cloned());
+        Value::Object(entries)
+    }
+}
+
+/// An append-only, thread-safe event log.
+#[derive(Debug, Default)]
+pub struct Journal {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Journal {
+    /// An empty journal.
+    #[must_use]
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Appends one event (already timestamped by the caller).
+    pub fn push(&self, event: Event) {
+        self.lock().push(event);
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the journal holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// A snapshot of all events, in recording order.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().clone()
+    }
+
+    /// Folds another journal's events into this one, preserving each
+    /// journal's internal order (other's events append after ours).
+    pub fn merge_from(&self, other: &Journal) {
+        let imported = other.events();
+        self.lock().extend(imported);
+    }
+
+    /// The journal as JSON Lines: one compact JSON object per event,
+    /// newline-terminated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`serde_json::Error`] from serialization (infallible
+    /// for tree-shaped events; kept fallible to mirror the API).
+    pub fn to_jsonl(&self) -> Result<String, serde_json::Error> {
+        let mut out = String::new();
+        for event in self.lock().iter() {
+            out.push_str(&serde_json::to_string(&event.to_json())?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Writes the journal as JSON Lines into `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (and serialization errors, infallible
+    /// in practice) as [`serde_json::Error`].
+    pub fn write_jsonl<W: Write>(&self, mut writer: W) -> Result<(), serde_json::Error> {
+        let text = self.to_jsonl()?;
+        writer.write_all(text.as_bytes())?;
+        writer.flush()?;
+        Ok(())
+    }
+
+    /// A journal is observability plumbing: a panicked writer thread
+    /// must not take event reporting down with it, so poisoning is
+    /// ignored and the (always internally consistent) list is used
+    /// as-is.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Event>> {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_build_and_query() {
+        let e = Event::new("fault_activated")
+            .with("class", "pump")
+            .with("circulation", 3u64);
+        assert_eq!(e.name, "fault_activated");
+        assert_eq!(e.field("class"), Some(&Value::String("pump".to_owned())));
+        assert!(e.field("missing").is_none());
+    }
+
+    #[test]
+    fn journal_serializes_to_jsonl() {
+        let journal = Journal::new();
+        assert!(journal.is_empty());
+        let mut e = Event::new("alpha").with("k", 1u64);
+        e.t_nanos = 7;
+        journal.push(e);
+        journal.push(Event::new("beta"));
+        assert_eq!(journal.len(), 2);
+
+        let text = journal.to_jsonl().unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let parsed: Value = serde_json::from_str(lines[0]).unwrap();
+        let entries = parsed.as_object().unwrap();
+        assert_eq!(
+            entries[0],
+            ("event".to_owned(), Value::String("alpha".to_owned()))
+        );
+        assert!(lines[1].contains("\"beta\""));
+
+        let mut sink = Vec::new();
+        journal.write_jsonl(&mut sink).unwrap();
+        assert_eq!(String::from_utf8(sink).unwrap(), text);
+    }
+
+    #[test]
+    fn merge_appends_in_order() {
+        let a = Journal::new();
+        let b = Journal::new();
+        a.push(Event::new("one"));
+        b.push(Event::new("two"));
+        b.push(Event::new("three"));
+        a.merge_from(&b);
+        let names: Vec<String> = a.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["one", "two", "three"]);
+        assert_eq!(b.len(), 2, "source untouched");
+    }
+}

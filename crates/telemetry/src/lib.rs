@@ -1,0 +1,110 @@
+//! Zero-dependency observability for the H2P workspace.
+//!
+//! The engine runs paper-scale simulations in parallel and under
+//! injected faults, but until this crate every hot path was a black
+//! box. `h2p-telemetry` provides the measurement substrate the
+//! ROADMAP's "as fast as the hardware allows" goal needs, with two
+//! non-negotiable contracts:
+//!
+//! 1. **Determinism.** Nothing here reads the wall clock on its own:
+//!    all timestamps come from an injectable [`Clock`] owned by the
+//!    [`Registry`] (`h2p-lint` rule L6 machine-checks that no other
+//!    crate calls `Instant::now`). Install a [`ManualClock`] and every
+//!    histogram, report, and journal timestamp is a pure function of
+//!    the test script.
+//! 2. **Zero cost when off.** [`Registry::disabled()`] is a `None`
+//!    behind one pointer: instrumented paths cost a branch, and the
+//!    engine's results are bit-identical with telemetry on, off, or
+//!    absent (asserted by `crates/core/tests/telemetry_transparency.rs`
+//!    and budgeted by `bench_telemetry`).
+//!
+//! # Pieces
+//!
+//! * [`Counter`] — monotonic, always-live atomic counters; clones
+//!   share the value, merges add.
+//! * [`Histogram`] / [`BucketSpec`] — fixed-bucket integer histograms
+//!   whose merge is exactly associative and order-independent, so
+//!   per-worker recordings fold to the single-threaded truth bit for
+//!   bit (property-tested in `tests/properties.rs`).
+//! * [`Span`] — a guard that records its lifetime into a histogram,
+//!   timed by the registry's clock.
+//! * [`Journal`] / [`Event`] — a structured, low-rate event log
+//!   (fault transitions, saturation warnings) serializing to JSONL
+//!   through the vendored `serde_json`.
+//! * [`Registry`] — the one handle instrumented code holds; cheap to
+//!   clone into `h2p-exec` workers and mergeable across them.
+//! * [`RunReport`] — end-of-run table summarizing all of the above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Test code opts back into panicking asserts/unwraps (see [workspace.lints]).
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::float_cmp,
+        clippy::cast_lossless,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
+
+mod clock;
+mod counter;
+mod histogram;
+mod journal;
+mod registry;
+mod report;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use counter::Counter;
+pub use histogram::{BucketSpec, Histogram};
+pub use journal::{Event, Journal};
+pub use registry::{Registry, Span};
+pub use report::{HistogramRow, RunReport};
+
+use std::fmt;
+
+/// Errors from telemetry construction and merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TelemetryError {
+    /// A bucket layout was empty or not strictly ascending.
+    InvalidBuckets {
+        /// What the layout violated.
+        reason: &'static str,
+    },
+    /// Two histograms (or registries holding them under one name)
+    /// have different bucket layouts and cannot merge.
+    MergeShapeMismatch,
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::InvalidBuckets { reason } => {
+                write!(f, "invalid histogram buckets: {reason}")
+            }
+            TelemetryError::MergeShapeMismatch => {
+                f.write_str("histogram bucket layouts differ; cannot merge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = TelemetryError::InvalidBuckets { reason: "empty" };
+        assert!(e.to_string().contains("empty"));
+        assert!(TelemetryError::MergeShapeMismatch
+            .to_string()
+            .contains("merge"));
+    }
+}

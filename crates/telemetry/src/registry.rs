@@ -1,0 +1,414 @@
+//! The [`Registry`]: the one handle instrumented code holds.
+//!
+//! A registry is either *enabled* — it owns a clock, name tables for
+//! counters and histograms, and a journal — or *disabled*
+//! ([`Registry::disabled`]), in which case it is a single `None` and
+//! every observation call is a branch and a return. Cloning is one
+//! `Arc` bump either way, so the engine hands clones to `h2p-exec`
+//! workers freely.
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::counter::Counter;
+use crate::histogram::{BucketSpec, Histogram};
+use crate::journal::{Event, Journal};
+use crate::TelemetryError;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Interior of an enabled registry.
+#[derive(Debug)]
+struct Inner {
+    clock: Arc<dyn Clock>,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    journal: Journal,
+}
+
+/// A cheap-to-clone observability handle (see the module docs).
+#[derive(Clone, Debug)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Registry {
+    /// An enabled registry timed by the production
+    /// [`MonotonicClock`].
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// An enabled registry timed by an injected clock (a
+    /// [`ManualClock`](crate::ManualClock) makes every recorded
+    /// duration deterministic).
+    #[must_use]
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Registry {
+            inner: Some(Arc::new(Inner {
+                clock,
+                counters: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                journal: Journal::new(),
+            })),
+        }
+    }
+
+    /// The no-op registry: nothing is named, journaled, or timed.
+    /// Counters minted by it still count (they are always live) but
+    /// are invisible to reports; histograms it mints are inert.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether observations are being kept.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The named counter, created at zero on first use. Repeated calls
+    /// with the same name return handles sharing one value. On a
+    /// disabled registry every call mints a fresh, unnamed (but live)
+    /// counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::new();
+        };
+        lock(&inner.counters)
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Registers an existing counter handle under `name`, so
+    /// always-on statistics (e.g. the simulator's cache counters)
+    /// appear in reports. Overwrites any previous counter with that
+    /// name. No-op on a disabled registry.
+    pub fn register_counter(&self, name: &str, counter: &Counter) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.counters).insert(name.to_owned(), counter.clone());
+        }
+    }
+
+    /// The named histogram, created from `spec` on first use. On a
+    /// disabled registry returns [`Histogram::disabled`].
+    ///
+    /// # Errors
+    ///
+    /// [`TelemetryError::MergeShapeMismatch`] if the name already
+    /// exists with a different bucket layout.
+    pub fn histogram(&self, name: &str, spec: &BucketSpec) -> Result<Histogram, TelemetryError> {
+        let Some(inner) = &self.inner else {
+            return Ok(Histogram::disabled());
+        };
+        let mut table = lock(&inner.histograms);
+        if let Some(existing) = table.get(name) {
+            if existing.spec() != Some(spec) {
+                return Err(TelemetryError::MergeShapeMismatch);
+            }
+            return Ok(existing.clone());
+        }
+        let hist = Histogram::with_spec(spec);
+        table.insert(name.to_owned(), hist.clone());
+        Ok(hist)
+    }
+
+    /// The clock reading, or 0 on a disabled registry (no clock is
+    /// consulted, keeping the disabled path free of time syscalls).
+    #[must_use]
+    pub fn now_nanos(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.now_nanos())
+    }
+
+    /// Starts a span against `histogram`; the span records its
+    /// duration there when dropped (or explicitly
+    /// [`finish`](Span::finish)ed). Inert — no clock read, no record —
+    /// when the registry is disabled.
+    #[must_use]
+    pub fn span(&self, histogram: &Histogram) -> Span {
+        if self.inner.is_none() || !histogram.is_enabled() {
+            return Span {
+                registry: Registry::disabled(),
+                histogram: Histogram::disabled(),
+                start_nanos: 0,
+            };
+        }
+        Span {
+            registry: self.clone(),
+            histogram: histogram.clone(),
+            start_nanos: self.now_nanos(),
+        }
+    }
+
+    /// Stamps `event` with the current clock reading and appends it to
+    /// the journal. Dropped on a disabled registry.
+    pub fn record_event(&self, mut event: Event) {
+        if let Some(inner) = &self.inner {
+            event.t_nanos = inner.clock.now_nanos();
+            inner.journal.push(event);
+        }
+    }
+
+    /// Snapshot of all named counters, name-sorted.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner.as_ref().map_or_else(Vec::new, |inner| {
+            lock(&inner.counters)
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect()
+        })
+    }
+
+    /// Snapshot of all named histogram handles, name-sorted. The
+    /// handles share storage with the registry's, so they reflect
+    /// later records too.
+    #[must_use]
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        self.inner.as_ref().map_or_else(Vec::new, |inner| {
+            lock(&inner.histograms)
+                .iter()
+                .map(|(name, h)| (name.clone(), h.clone()))
+                .collect()
+        })
+    }
+
+    /// Snapshot of the journal, in recording order. Empty on a
+    /// disabled registry.
+    #[must_use]
+    pub fn journal_events(&self) -> Vec<Event> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.journal.events())
+    }
+
+    /// The journal as JSON Lines (empty string on a disabled
+    /// registry).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`serde_json::Error`] (infallible for tree-shaped
+    /// events).
+    pub fn journal_jsonl(&self) -> Result<String, serde_json::Error> {
+        match &self.inner {
+            Some(inner) => inner.journal.to_jsonl(),
+            None => Ok(String::new()),
+        }
+    }
+
+    /// Folds another registry's observations into this one: counters
+    /// add by name, histograms merge by name (created here on first
+    /// sight), journals append. Disabled registries merge as empty on
+    /// either side. With integer aggregates throughout, merging
+    /// per-worker registries in any order reproduces a
+    /// single-threaded recording exactly (pinned by the property
+    /// tests).
+    ///
+    /// # Errors
+    ///
+    /// [`TelemetryError::MergeShapeMismatch`] if a histogram name
+    /// collides across different bucket layouts.
+    pub fn merge_from(&self, other: &Registry) -> Result<(), TelemetryError> {
+        let (Some(dst), Some(src)) = (&self.inner, &other.inner) else {
+            return Ok(());
+        };
+        if Arc::ptr_eq(dst, src) {
+            return Ok(()); // self-merge would double every aggregate
+        }
+        {
+            let src_counters = lock(&src.counters).clone();
+            let mut dst_counters = lock(&dst.counters);
+            for (name, counter) in src_counters {
+                dst_counters.entry(name).or_default().merge_from(&counter);
+            }
+        }
+        {
+            let src_hists = lock(&src.histograms).clone();
+            let mut dst_hists = lock(&dst.histograms);
+            for (name, hist) in src_hists {
+                match dst_hists.get(&name) {
+                    Some(existing) => existing.merge_from(&hist)?,
+                    None => {
+                        let fresh = match hist.spec() {
+                            Some(spec) => Histogram::with_spec(spec),
+                            None => continue,
+                        };
+                        fresh.merge_from(&hist)?;
+                        dst_hists.insert(name, fresh);
+                    }
+                }
+            }
+        }
+        dst.journal.merge_from(&src.journal);
+        Ok(())
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::disabled()
+    }
+}
+
+/// A running span: records `now - start` into its histogram when
+/// finished or dropped. Inert if started on a disabled registry.
+#[derive(Debug)]
+pub struct Span {
+    registry: Registry,
+    histogram: Histogram,
+    start_nanos: u64,
+}
+
+impl Span {
+    /// Ends the span now, recording its duration.
+    pub fn finish(self) {
+        // Recording happens in Drop; consuming self is the API.
+        drop(self);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.histogram.is_enabled() {
+            let elapsed = self.registry.now_nanos().saturating_sub(self.start_nanos);
+            self.histogram.record(elapsed);
+        }
+    }
+}
+
+/// Telemetry locks never carry cross-call invariants worth dying for:
+/// take the data through poisoning rather than losing the run's
+/// numbers to an unrelated panic.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ManualClock;
+
+    fn manual() -> (Arc<ManualClock>, Registry) {
+        let clock = Arc::new(ManualClock::new());
+        let registry = Registry::with_clock(clock.clone());
+        (clock, registry)
+    }
+
+    #[test]
+    fn named_counters_share_and_report() {
+        let registry = Registry::new();
+        assert!(registry.is_enabled());
+        let a = registry.counter("engine.steps");
+        let b = registry.counter("engine.steps");
+        assert!(a.same_as(&b));
+        a.add(3);
+        assert_eq!(registry.counters(), vec![("engine.steps".to_owned(), 3)]);
+    }
+
+    #[test]
+    fn disabled_registry_is_observation_free() {
+        let registry = Registry::disabled();
+        assert!(!registry.is_enabled());
+        let c = registry.counter("x");
+        c.incr();
+        assert_eq!(c.get(), 1, "counters stay live");
+        assert!(registry.counters().is_empty(), "but are not observed");
+        let spec = BucketSpec::duration_default();
+        let h = registry.histogram("h", &spec).unwrap();
+        assert!(!h.is_enabled());
+        registry.record_event(Event::new("ignored"));
+        assert!(registry.journal_events().is_empty());
+        assert_eq!(registry.journal_jsonl().unwrap(), "");
+        assert_eq!(registry.now_nanos(), 0);
+    }
+
+    #[test]
+    fn register_counter_exposes_external_handles() {
+        let registry = Registry::new();
+        let external = Counter::new();
+        external.add(7);
+        registry.register_counter("cache.hits", &external);
+        assert_eq!(registry.counters(), vec![("cache.hits".to_owned(), 7)]);
+        external.incr();
+        assert_eq!(registry.counters()[0].1, 8, "handle is shared, not copied");
+    }
+
+    #[test]
+    fn histogram_name_collision_with_new_spec_errors() {
+        let registry = Registry::new();
+        let a = BucketSpec::new(vec![1, 2]).unwrap();
+        let b = BucketSpec::new(vec![1, 3]).unwrap();
+        let h = registry.histogram("lat", &a).unwrap();
+        assert!(registry.histogram("lat", &a).unwrap().same_as(&h));
+        assert!(registry.histogram("lat", &b).is_err());
+    }
+
+    #[test]
+    fn spans_record_scripted_durations() {
+        let (clock, registry) = manual();
+        let hist = registry
+            .histogram("step", &BucketSpec::duration_default())
+            .unwrap();
+        let span = registry.span(&hist);
+        clock.advance_nanos(2_500);
+        span.finish();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), 2_500);
+        {
+            let _implicit = registry.span(&hist);
+            clock.advance_nanos(100);
+        } // drop records too
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.sum(), 2_600);
+    }
+
+    #[test]
+    fn events_are_clock_stamped() {
+        let (clock, registry) = manual();
+        clock.set_nanos(42);
+        registry.record_event(Event::new("fault_activated").with("circulation", 3u64));
+        let events = registry.journal_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].t_nanos, 42);
+        assert!(registry
+            .journal_jsonl()
+            .unwrap()
+            .contains("fault_activated"));
+    }
+
+    #[test]
+    fn merge_combines_all_surfaces() {
+        let (_, a) = manual();
+        let (clock_b, b) = manual();
+        a.counter("tasks").add(2);
+        b.counter("tasks").add(5);
+        b.counter("only_b").incr();
+        let spec = BucketSpec::new(vec![10, 100]).unwrap();
+        a.histogram("lat", &spec).unwrap().record(5);
+        b.histogram("lat", &spec).unwrap().record(50);
+        b.histogram("only_b_lat", &spec).unwrap().record(7);
+        clock_b.set_nanos(9);
+        b.record_event(Event::new("beta"));
+
+        a.merge_from(&b).unwrap();
+        let counters: std::collections::BTreeMap<_, _> = a.counters().into_iter().collect();
+        assert_eq!(counters["tasks"], 7);
+        assert_eq!(counters["only_b"], 1);
+        let hists: std::collections::BTreeMap<_, _> = a.histograms().into_iter().collect();
+        assert_eq!(hists["lat"].count(), 2);
+        assert_eq!(hists["only_b_lat"].count(), 1);
+        assert_eq!(a.journal_events().len(), 1);
+
+        // Merging with disabled sides is a no-op; self-merge is too.
+        a.merge_from(&Registry::disabled()).unwrap();
+        Registry::disabled().merge_from(&a).unwrap();
+        a.merge_from(&a.clone()).unwrap();
+        assert_eq!(
+            a.counters().iter().find(|(n, _)| n == "tasks").unwrap().1,
+            7,
+            "self-merge must not double-count"
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! End-of-run summarization: [`RunReport`] snapshots a
+//! [`Registry`](crate::Registry) and renders a human-readable table.
+
+use crate::histogram::Histogram;
+use crate::registry::Registry;
+use std::fmt;
+
+/// One histogram row of a [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct HistogramRow {
+    /// Registered histogram name.
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Mean recorded value (nanoseconds for span histograms).
+    pub mean: f64,
+    /// Bucket upper-bound estimate of the median.
+    pub p50: u64,
+    /// Bucket upper-bound estimate of the 95th percentile.
+    pub p95: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+/// An immutable end-of-run summary: counters, histogram statistics,
+/// and the journal length, captured at construction time.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Named counter totals, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram summary rows, name-sorted.
+    pub histograms: Vec<HistogramRow>,
+    /// Number of journal events recorded.
+    pub journal_len: usize,
+}
+
+impl RunReport {
+    /// Snapshots `registry` now. A disabled registry yields an empty
+    /// report.
+    #[must_use]
+    pub fn from_registry(registry: &Registry) -> Self {
+        let histograms = registry
+            .histograms()
+            .into_iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(name, h)| HistogramRow {
+                name,
+                count: h.count(),
+                mean: h.mean().unwrap_or(0.0),
+                p50: h.quantile_upper_bound(0.5).unwrap_or(0),
+                p95: h.quantile_upper_bound(0.95).unwrap_or(0),
+                max: h.max().unwrap_or(0),
+            })
+            .collect();
+        RunReport {
+            counters: registry.counters(),
+            histograms,
+            journal_len: registry.journal_events().len(),
+        }
+    }
+
+    /// Whether the report has nothing to show.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.journal_len == 0
+    }
+
+    /// Renders the report as the table `Display` prints.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+/// Renders a histogram statistic: duration histograms (names ending in
+/// `_nanos`, the span-histogram convention) get human time units,
+/// plain value histograms get bare numbers.
+fn fmt_stat(value: f64, duration: bool) -> String {
+    if duration {
+        fmt_nanos(value)
+    } else if value.fract().abs() < 1e-9 {
+        format!("{value:.0}")
+    } else {
+        format!("{value:.1}")
+    }
+}
+
+/// Nanoseconds as a compact human unit (ns/µs/ms/s).
+fn fmt_nanos(nanos: f64) -> String {
+    if nanos < 1e3 {
+        format!("{nanos:.0}ns")
+    } else if nanos < 1e6 {
+        format!("{:.1}us", nanos / 1e3)
+    } else if nanos < 1e9 {
+        format!("{:.2}ms", nanos / 1e6)
+    } else {
+        format!("{:.3}s", nanos / 1e9)
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "telemetry: no observations recorded");
+        }
+        writeln!(f, "=== telemetry run report ===")?;
+        if !self.counters.is_empty() {
+            let width = self
+                .counters
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(0);
+            writeln!(f, "counters:")?;
+            for (name, value) in &self.counters {
+                writeln!(f, "  {name:<width$}  {value}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            let width = self
+                .histograms
+                .iter()
+                .map(|r| r.name.len())
+                .max()
+                .unwrap_or(0)
+                .max("histogram".len());
+            writeln!(
+                f,
+                "  {:<width$}  {:>10}  {:>9}  {:>9}  {:>9}  {:>9}",
+                "histogram", "count", "mean", "p50", "p95", "max"
+            )?;
+            for row in &self.histograms {
+                let duration = row.name.ends_with("_nanos");
+                #[allow(clippy::cast_precision_loss)]
+                writeln!(
+                    f,
+                    "  {:<width$}  {:>10}  {:>9}  {:>9}  {:>9}  {:>9}",
+                    row.name,
+                    row.count,
+                    fmt_stat(row.mean, duration),
+                    fmt_stat(row.p50 as f64, duration),
+                    fmt_stat(row.p95 as f64, duration),
+                    fmt_stat(row.max as f64, duration),
+                )?;
+            }
+        }
+        writeln!(f, "journal events: {}", self.journal_len)
+    }
+}
+
+/// Convenience: summary row straight from a free-standing histogram.
+impl HistogramRow {
+    /// Builds a row from a histogram handle (zeros when empty).
+    #[must_use]
+    pub fn from_histogram(name: impl Into<String>, h: &Histogram) -> Self {
+        HistogramRow {
+            name: name.into(),
+            count: h.count(),
+            mean: h.mean().unwrap_or(0.0),
+            p50: h.quantile_upper_bound(0.5).unwrap_or(0),
+            p95: h.quantile_upper_bound(0.95).unwrap_or(0),
+            max: h.max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::BucketSpec;
+    use crate::{Event, ManualClock};
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_report_says_so() {
+        let report = RunReport::from_registry(&Registry::disabled());
+        assert!(report.is_empty());
+        assert!(report.render().contains("no observations"));
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let clock = Arc::new(ManualClock::new());
+        let registry = Registry::with_clock(clock.clone());
+        registry.counter("cache.hits").add(12);
+        let hist = registry
+            .histogram("step_wall_nanos", &BucketSpec::duration_default())
+            .unwrap();
+        let span = registry.span(&hist);
+        clock.advance_nanos(1_500_000);
+        span.finish();
+        registry.record_event(Event::new("milestone"));
+
+        let report = RunReport::from_registry(&registry);
+        assert_eq!(report.counters, vec![("cache.hits".to_owned(), 12)]);
+        assert_eq!(report.histograms.len(), 1);
+        assert_eq!(report.histograms[0].count, 1);
+        assert_eq!(report.journal_len, 1);
+
+        let text = report.render();
+        assert!(text.contains("cache.hits"));
+        assert!(text.contains("step_wall_nanos"));
+        assert!(text.contains("journal events: 1"));
+        // 1.5e6 ns mean renders in milliseconds.
+        assert!(text.contains("ms"), "got: {text}");
+    }
+
+    #[test]
+    fn non_duration_histograms_render_bare_numbers() {
+        let registry = Registry::new();
+        let hist = registry
+            .histogram(
+                "pool.tasks_per_lane",
+                &BucketSpec::exponential(1, 8).unwrap(),
+            )
+            .unwrap();
+        hist.record(5);
+        hist.record(6);
+        let text = RunReport::from_registry(&registry).render();
+        assert!(text.contains("5.5"), "mean renders bare: {text}");
+        assert!(!text.contains("ns"), "no time units on counts: {text}");
+    }
+
+    #[test]
+    fn nanos_formatting_scales() {
+        assert_eq!(fmt_nanos(500.0), "500ns");
+        assert_eq!(fmt_nanos(2_500.0), "2.5us");
+        assert_eq!(fmt_nanos(3_250_000.0), "3.25ms");
+        assert_eq!(fmt_nanos(1.25e9), "1.250s");
+    }
+
+    #[test]
+    fn empty_histograms_are_skipped() {
+        let registry = Registry::new();
+        let _ = registry
+            .histogram("never_hit", &BucketSpec::duration_default())
+            .unwrap();
+        let report = RunReport::from_registry(&registry);
+        assert!(report.histograms.is_empty());
+        let row = HistogramRow::from_histogram("h", &Histogram::disabled());
+        assert_eq!(row.count, 0);
+    }
+}

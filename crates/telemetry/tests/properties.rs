@@ -1,0 +1,203 @@
+//! Property tests for the merge algebra (ISSUE 4 satellite): merging
+//! per-worker registries is associative and order-independent, and
+//! reproduces a single-threaded reference recording exactly.
+//!
+//! This is what makes the engine's "record per worker, fold at the
+//! end" instrumentation honest — the fold cannot smear the numbers no
+//! matter how the scheduler partitions the work.
+
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
+use h2p_telemetry::{BucketSpec, Counter, Histogram, ManualClock, Registry};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The bucket layout every generated histogram uses (merges require
+/// matching specs; spec mismatch is covered by unit tests).
+fn spec() -> BucketSpec {
+    BucketSpec::exponential(4, 10).unwrap()
+}
+
+/// Full observable state of a histogram, for exact comparison.
+fn hist_state(h: &Histogram) -> (Vec<u64>, u64, u64, Option<u64>, Option<u64>) {
+    (h.bucket_counts(), h.count(), h.sum(), h.min(), h.max())
+}
+
+/// Records every value of every partition into one fresh histogram —
+/// the single-threaded reference.
+fn reference_histogram(partitions: &[Vec<u64>]) -> Histogram {
+    let h = Histogram::with_spec(&spec());
+    for part in partitions {
+        for &v in part {
+            h.record(v);
+        }
+    }
+    h
+}
+
+/// One "worker" histogram per partition.
+fn worker_histograms(partitions: &[Vec<u64>]) -> Vec<Histogram> {
+    partitions
+        .iter()
+        .map(|part| {
+            let h = Histogram::with_spec(&spec());
+            for &v in part {
+                h.record(v);
+            }
+            h
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_matches_single_threaded_reference(
+        partitions in proptest::collection::vec(
+            proptest::collection::vec(0u64..10_000, 0..40),
+            1..6,
+        ),
+    ) {
+        let reference = reference_histogram(&partitions);
+        let target = Histogram::with_spec(&spec());
+        for worker in worker_histograms(&partitions) {
+            target.merge_from(&worker).unwrap();
+        }
+        prop_assert_eq!(hist_state(&target), hist_state(&reference));
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent(
+        partitions in proptest::collection::vec(
+            proptest::collection::vec(0u64..10_000, 0..40),
+            2..6,
+        ),
+        rotation in 0usize..6,
+    ) {
+        let workers = worker_histograms(&partitions);
+        let forward = Histogram::with_spec(&spec());
+        for w in &workers {
+            forward.merge_from(w).unwrap();
+        }
+        // Any permutation must agree; a rotation exercises the claim
+        // without a permutation generator.
+        let shift = rotation % workers.len();
+        let rotated = Histogram::with_spec(&spec());
+        for i in 0..workers.len() {
+            rotated.merge_from(&workers[(i + shift) % workers.len()]).unwrap();
+        }
+        prop_assert_eq!(hist_state(&forward), hist_state(&rotated));
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(0u64..10_000, 0..40),
+        b in proptest::collection::vec(0u64..10_000, 0..40),
+        c in proptest::collection::vec(0u64..10_000, 0..40),
+    ) {
+        let parts = [a, b, c];
+        // (a <- b) <- c
+        let left = worker_histograms(&parts);
+        left[0].merge_from(&left[1]).unwrap();
+        left[0].merge_from(&left[2]).unwrap();
+        // a <- (b <- c)
+        let right = worker_histograms(&parts);
+        right[1].merge_from(&right[2]).unwrap();
+        right[0].merge_from(&right[1]).unwrap();
+        prop_assert_eq!(hist_state(&left[0]), hist_state(&right[0]));
+    }
+
+    #[test]
+    fn counter_merge_is_associative_and_total_preserving(
+        adds in proptest::collection::vec(0u64..1_000_000, 1..8),
+    ) {
+        let total: u64 = adds.iter().sum();
+        let counters: Vec<Counter> = adds
+            .iter()
+            .map(|&n| {
+                let c = Counter::new();
+                c.add(n);
+                c
+            })
+            .collect();
+        // Fold left-to-right and right-to-left into fresh targets.
+        let fwd = Counter::new();
+        for c in &counters {
+            fwd.merge_from(c);
+        }
+        let rev = Counter::new();
+        for c in counters.iter().rev() {
+            rev.merge_from(c);
+        }
+        prop_assert_eq!(fwd.get(), total);
+        prop_assert_eq!(rev.get(), total);
+    }
+
+    #[test]
+    fn registry_merge_matches_single_threaded_reference(
+        // Per-worker: counter bumps for two names and histogram values
+        // for one name — the shape the engine's per-worker registries
+        // take.
+        workers in proptest::collection::vec(
+            (0u64..1_000, 0u64..1_000, proptest::collection::vec(0u64..10_000, 0..20)),
+            1..5,
+        ),
+        rotation in 0usize..5,
+    ) {
+        let clock = Arc::new(ManualClock::new());
+
+        // Single-threaded reference: one registry sees everything.
+        let reference = Registry::with_clock(clock.clone());
+        for (hits, misses, values) in &workers {
+            reference.counter("hits").add(*hits);
+            reference.counter("misses").add(*misses);
+            let h = reference.histogram("lat", &spec()).unwrap();
+            for &v in values {
+                h.record(v);
+            }
+        }
+
+        // Per-worker registries, merged in two different orders.
+        let per_worker: Vec<Registry> = workers
+            .iter()
+            .map(|(hits, misses, values)| {
+                let r = Registry::with_clock(clock.clone());
+                r.counter("hits").add(*hits);
+                r.counter("misses").add(*misses);
+                let h = r.histogram("lat", &spec()).unwrap();
+                for &v in values {
+                    h.record(v);
+                }
+                r
+            })
+            .collect();
+
+        let merged = Registry::with_clock(clock.clone());
+        for r in &per_worker {
+            merged.merge_from(r).unwrap();
+        }
+        let shift = rotation % per_worker.len();
+        let rotated = Registry::with_clock(clock);
+        for i in 0..per_worker.len() {
+            rotated.merge_from(&per_worker[(i + shift) % per_worker.len()]).unwrap();
+        }
+
+        for target in [&merged, &rotated] {
+            prop_assert_eq!(target.counters(), reference.counters());
+            let got = &target.histograms();
+            let want = &reference.histograms();
+            prop_assert_eq!(got.len(), want.len());
+            for ((gn, gh), (wn, wh)) in got.iter().zip(want.iter()) {
+                prop_assert_eq!(gn, wn);
+                prop_assert_eq!(hist_state(gh), hist_state(wh));
+            }
+        }
+    }
+}

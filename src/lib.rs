@@ -23,6 +23,7 @@
 //! | [`core`] | `h2p-core` | simulator, prototype, circulation design |
 //! | [`tco`] | `h2p-tco` | total-cost-of-ownership analysis |
 //! | [`storage`] | `h2p-storage` | hybrid energy buffer, LED budget |
+//! | [`telemetry`] | `h2p-telemetry` | counters, histograms, spans, run journal |
 //!
 //! ## Quickstart
 //!
@@ -70,6 +71,7 @@ pub use h2p_stats as stats;
 pub use h2p_storage as storage;
 pub use h2p_tco as tco;
 pub use h2p_teg as teg;
+pub use h2p_telemetry as telemetry;
 pub use h2p_thermal as thermal;
 pub use h2p_units as units;
 pub use h2p_workload as workload;
@@ -88,6 +90,7 @@ pub mod prelude {
     pub use h2p_storage::HybridBuffer;
     pub use h2p_tco::{TcoAnalysis, TcoParameters};
     pub use h2p_teg::{TegDevice, TegModule};
+    pub use h2p_telemetry::{Registry, RunReport};
     pub use h2p_units::{
         Celsius, DegC, Dollars, Joules, KilowattHours, LitersPerHour, Seconds, Utilization, Volts,
         Watts,
