@@ -1,0 +1,27 @@
+//! L7 fixture: unbounded queue/channel construction in library code.
+
+use std::collections::VecDeque;
+
+pub struct Mailbox {
+    jobs: VecDeque<u64>,
+}
+
+impl Mailbox {
+    pub fn open() -> Mailbox {
+        Mailbox {
+            jobs: VecDeque::new(),
+        }
+    }
+
+    pub fn open_sized() -> Mailbox {
+        Mailbox {
+            // h2p-lint: allow(L7): bounded by the admission check in push()
+            jobs: VecDeque::with_capacity(8),
+        }
+    }
+
+    pub fn wire() -> std::sync::mpsc::Sender<u64> {
+        let (tx, _rx) = std::sync::mpsc::channel();
+        tx
+    }
+}

@@ -4,7 +4,7 @@
 //! boundary is wrapped in an `h2p-units` newtype, library code never
 //! panics on the paper-model hot paths, and NaN can never leak into
 //! the thermal/TEG solvers. This crate machine-checks that contract
-//! with six rules (run `cargo run -p h2p-lint`, or see
+//! with seven rules (run `cargo run -p h2p-lint`, or see
 //! `DESIGN.md` §"Static analysis & invariants"):
 //!
 //! * **L1** — no raw `f64`/`f32` under quantity-like names
@@ -25,6 +25,13 @@
 //!   code: all timing goes through `h2p_telemetry::Clock` so runs stay
 //!   replayable under a scripted clock. The `Clock` impls in
 //!   `h2p-telemetry` are the sole waived call sites.
+//! * **L7** — no unbounded queue/channel construction
+//!   (`VecDeque::new`, `VecDeque::with_capacity`, `LinkedList::new`,
+//!   `mpsc::channel`) in library code: queues admit work through
+//!   `h2p_serve::BoundedQueue` (or another capacity-checked wrapper)
+//!   so backpressure is typed instead of implied. The lane storage
+//!   inside `h2p-serve`'s bounded wrapper carries the only legal
+//!   waivers.
 //!
 //! Any finding can be waived in place with a reasoned allow comment,
 //! either trailing the line or on the line directly above:
@@ -76,10 +83,13 @@ pub enum RuleId {
     /// Direct wall-clock read (`Instant::now`/`SystemTime::now`) in
     /// library code, bypassing `h2p_telemetry::Clock`.
     L6,
+    /// Unbounded queue/channel construction in library code,
+    /// bypassing the capacity-checked wrappers (backpressure charter).
+    L7,
 }
 
 impl RuleId {
-    /// Parses `"L1"` .. `"L6"`.
+    /// Parses `"L1"` .. `"L7"`.
     #[must_use]
     pub fn parse(s: &str) -> Option<RuleId> {
         match s {
@@ -89,6 +99,7 @@ impl RuleId {
             "L4" => Some(RuleId::L4),
             "L5" => Some(RuleId::L5),
             "L6" => Some(RuleId::L6),
+            "L7" => Some(RuleId::L7),
             _ => None,
         }
     }
@@ -103,6 +114,7 @@ impl fmt::Display for RuleId {
             RuleId::L4 => "L4",
             RuleId::L5 => "L5",
             RuleId::L6 => "L6",
+            RuleId::L7 => "L7",
         })
     }
 }

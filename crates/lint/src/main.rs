@@ -26,7 +26,7 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "h2p-lint: H2P domain-invariant checks (L1-L6)\n\
+                    "h2p-lint: H2P domain-invariant checks (L1-L7)\n\
                      usage: h2p-lint [--root DIR | --fixtures DIR]"
                 );
                 return ExitCode::SUCCESS;
@@ -59,7 +59,7 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
         Ok(diagnostics) if diagnostics.is_empty() => {
-            println!("h2p-lint: clean (rules L1-L6)");
+            println!("h2p-lint: clean (rules L1-L7)");
             ExitCode::SUCCESS
         }
         Ok(diagnostics) => {

@@ -1,4 +1,4 @@
-//! The six H2P domain-invariant rules.
+//! The seven H2P domain-invariant rules.
 //!
 //! Each rule takes the stripped view of one file (see
 //! [`crate::scanner`]) plus its [`FileClass`] and appends
@@ -12,6 +12,7 @@
 //! | L4 | every crate's `lib.rs` | `#![forbid(unsafe_code)]` present |
 //! | L5 | physics crates | no `==`/`!=` against float literals |
 //! | L6 | non-test library code | no `Instant::now`/`SystemTime::now`; timing goes through `h2p_telemetry::Clock` |
+//! | L7 | non-test library code | no unbounded queue/channel construction; admission goes through `h2p_serve::BoundedQueue` |
 
 use crate::scanner::ScannedFile;
 use crate::{Diagnostic, FileClass, RuleId};
@@ -86,6 +87,9 @@ pub fn check_file(
         }
         for finding in l6_wall_clock_reads(scanned) {
             emit(RuleId::L6, finding.0, finding.1);
+        }
+        for finding in l7_unbounded_queues(scanned) {
+            emit(RuleId::L7, finding.0, finding.1);
         }
     }
     if class.physics {
@@ -365,6 +369,50 @@ fn l6_wall_clock_reads(scanned: &ScannedFile) -> Vec<Finding> {
     findings
 }
 
+/// L7: unbounded queue/channel construction in library code. A queue
+/// without an admission bound turns overload into silent memory growth
+/// instead of a typed `Rejected` response; the serving charter
+/// (DESIGN.md §"Scenario serving") requires every producer-facing
+/// queue to go through `h2p_serve::BoundedQueue` or an equivalently
+/// capacity-checked wrapper. The lane storage inside that wrapper
+/// carries the only legal waivers. `VecDeque::with_capacity` is flagged
+/// too: capacity is an allocation hint, not an admission limit.
+fn l7_unbounded_queues(scanned: &ScannedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if scanned.test_region[idx] {
+            continue;
+        }
+        for (needle, label) in [
+            ("VecDeque::new", "`VecDeque::new()`"),
+            ("VecDeque::with_capacity", "`VecDeque::with_capacity()`"),
+            ("LinkedList::new", "`LinkedList::new()`"),
+            ("mpsc::channel", "`mpsc::channel()`"),
+        ] {
+            // Constructor paths may continue with `(` or a turbofish
+            // `::<T>(`, but never with another identifier character
+            // (`mpsc::channel_pair` is not `mpsc::channel`).
+            let called = line.find(needle).is_some_and(|at| {
+                !line[at + needle.len()..]
+                    .chars()
+                    .next()
+                    .is_some_and(is_ident_char)
+            });
+            if called {
+                findings.push((
+                    idx + 1,
+                    format!(
+                        "{label} builds an unbounded queue in library code — admit work \
+                         through `h2p_serve::BoundedQueue` (or another capacity-checked \
+                         wrapper), or justify with `// h2p-lint: allow(L7): <reason>`"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
 /// L5: `==` / `!=` against a float literal.
 fn l5_float_literal_eq(scanned: &ScannedFile) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -546,6 +594,23 @@ mod tests {
         assert_eq!(l6.len(), 2, "{l6:?}");
         assert_eq!(l6[0].line, 1);
         assert_eq!(l6[1].line, 2);
+    }
+
+    #[test]
+    fn l7_flags_unbounded_queue_construction() {
+        let src = "fn a() { let q: VecDeque<u8> = VecDeque::new(); }\n\
+                   fn b() { let q: VecDeque<u8> = VecDeque::with_capacity(8); }\n\
+                   fn c() { let (tx, rx) = std::sync::mpsc::channel::<u8>(); }\n\
+                   // h2p-lint: allow(L7): bounded by the admission check\n\
+                   fn d() { let q: VecDeque<u8> = VecDeque::new(); }\n\
+                   fn e() { let (tx, rx) = std::sync::mpsc::sync_channel::<u8>(4); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { let q: VecDeque<u8> = VecDeque::new(); }\n}\n";
+        let diags = run(src, &physics_lib());
+        let l7: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::L7).collect();
+        assert_eq!(l7.len(), 3, "{l7:?}");
+        assert_eq!(l7[0].line, 1);
+        assert_eq!(l7[1].line, 2);
+        assert_eq!(l7[2].line, 3);
     }
 
     #[test]

@@ -59,6 +59,12 @@ fn l6_fires_on_wall_clock_fixture() {
 }
 
 #[test]
+fn l7_fires_on_unbounded_queue_fixture_and_respects_the_waiver() {
+    let rules = rules_for("l7_unbounded_queue");
+    assert_eq!(rules, vec![RuleId::L7, RuleId::L7], "{rules:?}");
+}
+
+#[test]
 fn diagnostics_carry_file_and_line() {
     let diags = lint_fixture_dir(&fixtures_dir().join("violations")).unwrap();
     for d in &diags {

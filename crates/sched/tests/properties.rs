@@ -1,0 +1,145 @@
+//! Property-based tests of the extension policies: `BoundedMigration`
+//! keeps its control utilization within the paper's two anchors and
+//! degrades to `Original`/`LoadBalance` at its budget extremes, and
+//! `Consolidate` packs without creating or losing load.
+
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
+use h2p_sched::{BoundedMigration, Consolidate, LoadBalance, Original, SchedulingPolicy};
+use h2p_units::Utilization;
+use proptest::prelude::*;
+
+fn utilizations(raw: &[f64]) -> Vec<Utilization> {
+    raw.iter().map(|&v| Utilization::new(v).unwrap()).collect()
+}
+
+fn total(us: &[Utilization]) -> f64 {
+    us.iter().map(|u| u.value()).sum()
+}
+
+proptest! {
+    #[test]
+    fn bounded_migration_conserves_load_and_respects_the_budget(
+        raw in proptest::collection::vec(0.0..=1.0f64, 1..40),
+        budget in 0.0..=1.0f64,
+    ) {
+        let loads = utilizations(&raw);
+        let policy = BoundedMigration::new(budget);
+        let after = policy.schedule(&loads);
+        prop_assert_eq!(after.len(), loads.len());
+        // Total load conserved, entries stay in [0, 1].
+        prop_assert!((total(&after) - total(&loads)).abs() <= 1e-9 * loads.len() as f64);
+        for (before, now) in loads.iter().zip(&after) {
+            prop_assert!((0.0..=1.0).contains(&now.value()));
+            // No server moves by more than the migration budget.
+            prop_assert!((now.value() - before.value()).abs() <= budget + 1e-12);
+        }
+    }
+
+    #[test]
+    fn bounded_migration_control_sits_between_the_paper_anchors(
+        raw in proptest::collection::vec(0.0..=1.0f64, 1..40),
+        budget in 0.0..=1.0f64,
+    ) {
+        let loads = utilizations(&raw);
+        let control = BoundedMigration::new(budget)
+            .control_utilization(&loads)
+            .value();
+        // LoadBalance's U_avg is the best any conserving policy can do;
+        // Original's U_max is the worst a budget-capped balancer can do.
+        let mean = LoadBalance.control_utilization(&loads).value();
+        let max = Original.control_utilization(&loads).value();
+        prop_assert!(control >= mean - 1e-9, "{control} < mean {mean}");
+        prop_assert!(control <= max + 1e-9, "{control} > max {max}");
+    }
+
+    #[test]
+    fn zero_budget_degenerates_to_original(
+        raw in proptest::collection::vec(0.0..=1.0f64, 1..40),
+    ) {
+        let loads = utilizations(&raw);
+        let frozen = BoundedMigration::new(0.0);
+        prop_assert_eq!(frozen.schedule(&loads), Original.schedule(&loads));
+        prop_assert!(
+            (frozen.control_utilization(&loads).value()
+                - Original.control_utilization(&loads).value())
+            .abs()
+                <= 1e-12
+        );
+    }
+
+    #[test]
+    fn full_budget_converges_to_load_balance(
+        raw in proptest::collection::vec(0.0..=1.0f64, 2..40),
+    ) {
+        let loads = utilizations(&raw);
+        // A budget of 1.0 covers any |u - mean| (both are in [0, 1]),
+        // so one interval reaches the balanced plane exactly.
+        let after = BoundedMigration::new(1.0).schedule(&loads);
+        let mean = LoadBalance.control_utilization(&loads).value();
+        for u in &after {
+            prop_assert!((u.value() - mean).abs() <= 1e-12, "{} vs {mean}", u.value());
+        }
+        prop_assert!(
+            (BoundedMigration::new(1.0).control_utilization(&loads).value() - mean).abs() <= 1e-12
+        );
+    }
+
+    #[test]
+    fn budgets_shrink_the_peak_monotonically_toward_the_mean(
+        raw in proptest::collection::vec(0.0..=1.0f64, 2..40),
+        budget in 0.0..=1.0f64,
+    ) {
+        let loads = utilizations(&raw);
+        // Any budget can only improve (lower) the control plane
+        // relative to no scheduling at all.
+        let bounded = BoundedMigration::new(budget).control_utilization(&loads).value();
+        let frozen = Original.control_utilization(&loads).value();
+        prop_assert!(bounded <= frozen + 1e-12);
+    }
+
+    #[test]
+    fn consolidate_conserves_load_and_packs_left(
+        raw in proptest::collection::vec(0.0..=1.0f64, 1..40),
+    ) {
+        let loads = utilizations(&raw);
+        let after = Consolidate.schedule(&loads);
+        prop_assert_eq!(after.len(), loads.len());
+        prop_assert!((total(&after) - total(&loads)).abs() <= 1e-9 * loads.len() as f64);
+        // Packed: entries are non-increasing, each in [0, 1], and at
+        // most one server sits strictly between empty and full.
+        let mut fractional = 0usize;
+        for pair in after.windows(2) {
+            prop_assert!(pair[0].value() >= pair[1].value() - 1e-12);
+        }
+        for u in &after {
+            prop_assert!((0.0..=1.0).contains(&u.value()));
+            if u.value() > 1e-12 && u.value() < 1.0 - 1e-12 {
+                fractional += 1;
+            }
+        }
+        prop_assert!(fractional <= 1, "{fractional} partially-loaded servers");
+    }
+
+    #[test]
+    fn consolidate_control_is_the_packed_peak(
+        raw in proptest::collection::vec(0.0..=1.0f64, 1..40),
+    ) {
+        let loads = utilizations(&raw);
+        let control = Consolidate.control_utilization(&loads).value();
+        let packed_peak = Utilization::max_of(&Consolidate.schedule(&loads)).value();
+        prop_assert!((control - packed_peak).abs() <= 1e-12);
+        // Packing can never beat balancing's plane and never exceeds
+        // a full server.
+        prop_assert!(control >= LoadBalance.control_utilization(&loads).value() - 1e-9);
+        prop_assert!(control <= 1.0);
+    }
+}

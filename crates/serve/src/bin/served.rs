@@ -1,0 +1,126 @@
+//! `h2p-served`: the scenario daemon — JSONL request/response over
+//! stdin/stdout (protocol in [`h2p_serve::protocol`]).
+//!
+//! ```text
+//! cargo run -p h2p-serve --bin h2p-served              # default tuning
+//! h2p-served --queue 64 --cache 32 --dispatch 4        # explicit tuning
+//! ```
+//!
+//! Every input line is answered by at least one output line; malformed
+//! lines get an `{"event":"error",...}` line and the daemon keeps
+//! going. EOF performs a final drain (so piped scripts never lose
+//! queued work), prints a `bye` line, and exits 0. Diagnostics go to
+//! stderr; stdout carries only protocol lines.
+
+use h2p_serve::protocol::{admission_json, parse_line, response_json, stats_json, Command};
+use h2p_serve::{ScenarioService, ServiceConfig};
+use h2p_telemetry::Registry;
+use std::io::{BufRead, Write};
+use std::num::NonZeroUsize;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut config = ServiceConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let take_usize =
+            |i: usize| -> Option<usize> { args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) };
+        match flag {
+            "--queue" => match take_usize(i) {
+                Some(n) => {
+                    config.queue_capacity = n;
+                    i += 2;
+                }
+                None => return usage(flag),
+            },
+            "--cache" => match take_usize(i) {
+                Some(n) => {
+                    config.cache_capacity = n;
+                    i += 2;
+                }
+                None => return usage(flag),
+            },
+            "--dispatch" => match take_usize(i).and_then(NonZeroUsize::new) {
+                Some(n) => {
+                    config.dispatch_workers = n;
+                    i += 2;
+                }
+                None => return usage(flag),
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "h2p-served: JSONL scenario daemon\n\
+                     usage: h2p-served [--queue N] [--cache N] [--dispatch N]\n\
+                     protocol: one JSON object per stdin line; see h2p_serve::protocol"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(other),
+        }
+    }
+
+    let registry = Registry::new();
+    let service = ScenarioService::new(config).with_telemetry(&registry);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut served = 0u64;
+
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("h2p-served: stdin read failed: {e}");
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply_ok = match parse_line(&line) {
+            Ok(Command::Run(request)) => emit(&mut out, &admission_json(&service.submit(*request))),
+            Ok(Command::Drain) => {
+                let mut ok = true;
+                for response in service.drain() {
+                    served += 1;
+                    ok &= emit(&mut out, &response_json(&response));
+                }
+                ok
+            }
+            Ok(Command::Stats) => emit(&mut out, &stats_json(&service.stats())),
+            Err(reason) => emit(
+                &mut out,
+                &serde_json::json!({"event": "error", "error": reason}),
+            ),
+        };
+        if !reply_ok {
+            // Downstream is gone (broken pipe); stop quietly.
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    // EOF: never strand queued work.
+    for response in service.drain() {
+        served += 1;
+        if !emit(&mut out, &response_json(&response)) {
+            return ExitCode::SUCCESS;
+        }
+    }
+    let _ = emit(
+        &mut out,
+        &serde_json::json!({"event": "bye", "served": served}),
+    );
+    ExitCode::SUCCESS
+}
+
+/// Writes one protocol line; false when stdout is closed.
+fn emit(out: &mut impl Write, value: &serde_json::Value) -> bool {
+    writeln!(out, "{value}").and_then(|()| out.flush()).is_ok()
+}
+
+fn usage(flag: &str) -> ExitCode {
+    eprintln!("h2p-served: bad or incomplete flag {flag:?} (see --help)");
+    ExitCode::from(2)
+}

@@ -1,0 +1,428 @@
+//! Typed scenario requests and their canonical content-addressed keys.
+//!
+//! A [`ScenarioRequest`] names everything that determines a simulation
+//! result — trace slice, policy, fault seed, circulation size, worker
+//! budget — and nothing else. Its [`canonical key`](ScenarioKey) is a
+//! pure function of those inputs, so two requests with equal keys are
+//! guaranteed (by the engine's determinism contract, DESIGN.md §8/§11)
+//! to produce bit-identical [`SimulationResult`]s — which is what lets
+//! the scheduler coalesce duplicates and the result cache replay
+//! responses without ever changing observable bits.
+//!
+//! [`SimulationResult`]: h2p_core::simulation::SimulationResult
+
+use h2p_faults::{FaultError, FaultPlan, HazardRates};
+use h2p_sched::{BoundedMigration, Consolidate, LoadBalance, Original, SchedulingPolicy};
+use h2p_workload::{ClusterTrace, TraceGenerator, TraceKind};
+use std::fmt;
+use std::num::NonZeroUsize;
+
+/// The scheduling policy a scenario runs under, in data form (so it can
+/// be keyed, compared, and parsed off the wire).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// `TEG_Original`: no scheduling.
+    Original,
+    /// `TEG_LoadBalance`: perfect balancing.
+    LoadBalance,
+    /// `TEG_Consolidate`: energy-proportionality packing.
+    Consolidate,
+    /// `TEG_BoundedMigration`: balancing under a migration budget.
+    BoundedMigration {
+        /// Per-server per-interval load budget (fraction of capacity).
+        max_step: f64,
+    },
+}
+
+/// A [`PolicyKind`] materialized into a concrete policy value. Holding
+/// the concrete variants (rather than a `Box<dyn ...>`) keeps request
+/// handling allocation-free and `Copy`.
+#[derive(Debug, Clone, Copy)]
+pub enum BuiltPolicy {
+    /// See [`Original`].
+    Original(Original),
+    /// See [`LoadBalance`].
+    LoadBalance(LoadBalance),
+    /// See [`Consolidate`].
+    Consolidate(Consolidate),
+    /// See [`BoundedMigration`].
+    BoundedMigration(BoundedMigration),
+}
+
+impl BuiltPolicy {
+    /// The policy as the trait object the engine consumes.
+    #[must_use]
+    pub fn as_dyn(&self) -> &dyn SchedulingPolicy {
+        match self {
+            BuiltPolicy::Original(p) => p,
+            BuiltPolicy::LoadBalance(p) => p,
+            BuiltPolicy::Consolidate(p) => p,
+            BuiltPolicy::BoundedMigration(p) => p,
+        }
+    }
+}
+
+impl PolicyKind {
+    /// Builds the concrete policy. The caller must have validated the
+    /// kind first (see [`PolicyKind::validate`]): `BoundedMigration`
+    /// with a negative or NaN budget has no meaning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invalid `BoundedMigration` budget slipped past
+    /// validation ([`BoundedMigration::new`]'s contract).
+    #[must_use]
+    pub fn build(&self) -> BuiltPolicy {
+        match *self {
+            PolicyKind::Original => BuiltPolicy::Original(Original),
+            PolicyKind::LoadBalance => BuiltPolicy::LoadBalance(LoadBalance),
+            PolicyKind::Consolidate => BuiltPolicy::Consolidate(Consolidate),
+            PolicyKind::BoundedMigration { max_step } => {
+                BuiltPolicy::BoundedMigration(BoundedMigration::new(max_step))
+            }
+        }
+    }
+
+    /// Checks the kind is meaningful; returns the offending detail
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the policy parameters are out of
+    /// domain.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            PolicyKind::BoundedMigration { max_step } => {
+                if max_step.is_finite() && max_step >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "bounded_migration max_step must be finite and >= 0, got {max_step}"
+                    ))
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The wire/key spelling. `BoundedMigration` embeds the exact bit
+    /// pattern of its budget so that two budgets that print alike but
+    /// differ in the last ulp never share a key.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        match *self {
+            PolicyKind::Original => "original".to_owned(),
+            PolicyKind::LoadBalance => "load_balance".to_owned(),
+            PolicyKind::Consolidate => "consolidate".to_owned(),
+            PolicyKind::BoundedMigration { max_step } => {
+                format!("bounded_migration[{:016x}]", max_step.to_bits())
+            }
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+/// The trace slice a scenario simulates: a deterministic synthetic
+/// trace, fully named by generator inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Which paper workload shape to generate.
+    pub kind: TraceKind,
+    /// Generator seed.
+    pub seed: u64,
+    /// Cluster size in servers.
+    pub servers: usize,
+    /// Number of control intervals.
+    pub steps: usize,
+}
+
+impl TraceSpec {
+    /// Materializes the trace (deterministic in the spec).
+    #[must_use]
+    pub fn generate(&self) -> ClusterTrace {
+        TraceGenerator::paper(self.kind, self.seed)
+            .with_servers(self.servers)
+            .with_steps(self.steps)
+            .generate()
+    }
+}
+
+/// Admission priority class. Within one drain, higher classes are
+/// popped (and therefore executed) first; within a class, order is
+/// FIFO. The class is deliberately *not* part of the scenario key:
+/// the same scenario submitted at two priorities still coalesces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Latency-sensitive, served first.
+    Interactive,
+    /// Normal work.
+    #[default]
+    Batch,
+    /// Soak/backfill work, served last.
+    Background,
+}
+
+impl Priority {
+    /// All classes, highest first (the queue's lane order).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Batch, Priority::Background];
+
+    /// Lane index, 0 = highest priority.
+    #[must_use]
+    pub fn lane(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+            Priority::Background => 2,
+        }
+    }
+
+    /// The wire spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+            Priority::Background => "background",
+        }
+    }
+}
+
+/// One scenario query: everything the engine needs, nothing more.
+///
+/// Fault semantics: `fault_seed = None` runs the plan-free engine
+/// (`Simulator::run`); `Some(seed)` runs `Simulator::run_with_faults`
+/// under a hazard-sampled plan
+/// ([`HazardRates::accelerated_demo`](h2p_faults::HazardRates::accelerated_demo)
+/// compiled for the request's exact geometry), so a fault scenario is
+/// as reproducible as a healthy one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRequest {
+    /// The trace slice to simulate.
+    pub trace: TraceSpec,
+    /// The scheduling policy.
+    pub policy: PolicyKind,
+    /// Fault-plan seed (`None` = healthy run).
+    pub fault_seed: Option<u64>,
+    /// Servers per water circulation (the CDU granularity).
+    pub servers_per_circulation: usize,
+    /// Engine worker budget for this scenario.
+    pub workers: NonZeroUsize,
+    /// Admission class (not part of the scenario key).
+    pub priority: Priority,
+}
+
+impl ScenarioRequest {
+    /// A paper-default request shape: 40-server circulations, one
+    /// worker, batch priority, healthy.
+    #[must_use]
+    pub fn new(trace: TraceSpec, policy: PolicyKind) -> Self {
+        ScenarioRequest {
+            trace,
+            policy,
+            fault_seed: None,
+            servers_per_circulation: 40,
+            workers: NonZeroUsize::MIN,
+            priority: Priority::Batch,
+        }
+    }
+
+    /// The deterministic fault plan this request names, compiled for
+    /// the cluster's exact geometry — `None` for a healthy request.
+    /// This is the *single* construction point for served fault plans:
+    /// the service and the transparency tests both call it, so a
+    /// served fault scenario is bit-reproducible from the request
+    /// alone.
+    ///
+    /// # Errors
+    ///
+    /// The inner result propagates [`FaultError`] from hazard
+    /// validation.
+    #[must_use]
+    pub fn fault_plan(&self, cluster: &ClusterTrace) -> Option<Result<FaultPlan, FaultError>> {
+        let seed = self.fault_seed?;
+        let circ = self.servers_per_circulation.min(cluster.servers()).max(1);
+        Some(FaultPlan::from_hazards(
+            &HazardRates::accelerated_demo(),
+            seed,
+            cluster.servers(),
+            circ,
+            cluster.steps(),
+            cluster.interval(),
+        ))
+    }
+
+    /// The canonical content-addressed key (see [`ScenarioKey`]).
+    #[must_use]
+    pub fn key(&self) -> ScenarioKey {
+        let faults = match self.fault_seed {
+            None => "none".to_owned(),
+            Some(seed) => format!("hazard[{seed}]"),
+        };
+        ScenarioKey::from_canonical(format!(
+            "trace={kind}:seed={seed}:srv={srv}:steps={steps};policy={policy};faults={faults};circ={circ};workers={workers}",
+            kind = self.trace.kind.name(),
+            seed = self.trace.seed,
+            srv = self.trace.servers,
+            steps = self.trace.steps,
+            policy = self.policy.canonical(),
+            circ = self.servers_per_circulation,
+            workers = self.workers.get(),
+        ))
+    }
+}
+
+/// The canonical content address of a scenario: a stable string naming
+/// every result-determining input, plus an FNV-1a fingerprint for
+/// compact display. Equality and hashing use the *full* canonical
+/// string — the fingerprint is never trusted for identity, so hash
+/// collisions cannot alias two scenarios.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScenarioKey {
+    canonical: String,
+}
+
+impl ScenarioKey {
+    fn from_canonical(canonical: String) -> Self {
+        ScenarioKey { canonical }
+    }
+
+    /// The canonical string form.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.canonical
+    }
+
+    /// 64-bit FNV-1a fingerprint of the canonical form (display only).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for byte in self.canonical.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+}
+
+impl fmt::Display for ScenarioKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.fingerprint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_request() -> ScenarioRequest {
+        ScenarioRequest::new(
+            TraceSpec {
+                kind: TraceKind::Common,
+                seed: 7,
+                servers: 80,
+                steps: 12,
+            },
+            PolicyKind::LoadBalance,
+        )
+    }
+
+    #[test]
+    fn equal_requests_share_a_key() {
+        assert_eq!(base_request().key(), base_request().key());
+        assert_eq!(
+            base_request().key().fingerprint(),
+            base_request().key().fingerprint()
+        );
+    }
+
+    #[test]
+    fn every_result_determining_field_splits_the_key() {
+        let base = base_request();
+        let mut variants = Vec::new();
+        let mut v = base.clone();
+        v.trace.kind = TraceKind::Drastic;
+        variants.push(v);
+        let mut v = base.clone();
+        v.trace.seed = 8;
+        variants.push(v);
+        let mut v = base.clone();
+        v.trace.servers = 81;
+        variants.push(v);
+        let mut v = base.clone();
+        v.trace.steps = 13;
+        variants.push(v);
+        let mut v = base.clone();
+        v.policy = PolicyKind::Original;
+        variants.push(v);
+        let mut v = base.clone();
+        v.fault_seed = Some(1);
+        variants.push(v);
+        let mut v = base.clone();
+        v.servers_per_circulation = 20;
+        variants.push(v);
+        let mut v = base.clone();
+        v.workers = NonZeroUsize::new(2).unwrap();
+        variants.push(v);
+        for variant in variants {
+            assert_ne!(variant.key(), base.key(), "{:?}", variant);
+        }
+    }
+
+    #[test]
+    fn priority_does_not_split_the_key() {
+        let mut urgent = base_request();
+        urgent.priority = Priority::Interactive;
+        assert_eq!(urgent.key(), base_request().key());
+    }
+
+    #[test]
+    fn bounded_migration_key_is_bit_exact() {
+        let a = PolicyKind::BoundedMigration { max_step: 0.2 };
+        let b = PolicyKind::BoundedMigration {
+            max_step: 0.2 + f64::EPSILON,
+        };
+        assert_ne!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn policy_validation_rejects_nonsense_budgets() {
+        assert!(PolicyKind::BoundedMigration { max_step: -0.1 }
+            .validate()
+            .is_err());
+        assert!(PolicyKind::BoundedMigration { max_step: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(PolicyKind::BoundedMigration { max_step: 0.3 }
+            .validate()
+            .is_ok());
+        assert!(PolicyKind::Original.validate().is_ok());
+    }
+
+    #[test]
+    fn built_policies_match_their_kinds() {
+        assert_eq!(PolicyKind::Original.build().as_dyn().name(), "TEG_Original");
+        assert_eq!(
+            PolicyKind::BoundedMigration { max_step: 0.25 }
+                .build()
+                .as_dyn()
+                .name(),
+            "TEG_BoundedMigration"
+        );
+    }
+
+    #[test]
+    fn priority_lanes_are_ordered() {
+        assert!(Priority::Interactive < Priority::Batch);
+        assert!(Priority::Batch < Priority::Background);
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.lane(), i);
+        }
+    }
+}

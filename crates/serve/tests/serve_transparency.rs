@@ -1,0 +1,337 @@
+//! The serving invariant, pinned: a scenario served through
+//! `h2p-serve` returns **bit-identical** results to a direct engine
+//! call with the same inputs — across every trace kind, worker count,
+//! and cache temperature — duplicate in-flight requests coalesce onto
+//! one engine run, and backpressure is typed, counted, and journaled.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+
+use h2p_core::simulation::{SimulationConfig, SimulationResult, Simulator};
+use h2p_sched::LoadBalance;
+use h2p_serve::{
+    Admission, PolicyKind, Priority, Provenance, RejectReason, ScenarioRequest, ScenarioService,
+    ServiceConfig, TraceSpec, SERVE_REJECTED_EVENT,
+};
+use h2p_server::ServerModel;
+use h2p_telemetry::Registry;
+use h2p_workload::TraceKind;
+use std::num::NonZeroUsize;
+
+const CIRC: usize = 40;
+
+fn request(kind: TraceKind, workers: usize) -> ScenarioRequest {
+    let mut req = ScenarioRequest::new(
+        TraceSpec {
+            kind,
+            seed: 7,
+            servers: 80,
+            steps: 12,
+        },
+        PolicyKind::LoadBalance,
+    );
+    req.workers = NonZeroUsize::new(workers).unwrap();
+    req.servers_per_circulation = CIRC;
+    req
+}
+
+/// The serving contract's reference implementation: the paper
+/// simulator with the request's circulation size and worker budget,
+/// run directly.
+fn direct_engine(workers: usize) -> Simulator {
+    let mut config = SimulationConfig::paper_default();
+    config.servers_per_circulation = CIRC;
+    Simulator::new(&ServerModel::paper_default(), config)
+        .unwrap()
+        .with_workers(NonZeroUsize::new(workers).unwrap())
+}
+
+fn assert_bit_identical(served: &SimulationResult, direct: &SimulationResult, label: &str) {
+    assert_eq!(served.policy(), direct.policy(), "{label}: policy");
+    assert_eq!(served.servers(), direct.servers(), "{label}: servers");
+    assert_eq!(
+        served.steps().len(),
+        direct.steps().len(),
+        "{label}: step count"
+    );
+    for (i, (a, b)) in served.steps().iter().zip(direct.steps()).enumerate() {
+        assert_eq!(a, b, "{label}: step {i} diverged");
+    }
+}
+
+#[test]
+fn served_results_are_bit_identical_to_direct_runs() {
+    // All trace kinds × {1, 2, 5} workers × {cold cache, warm cache}.
+    let service = ScenarioService::with_defaults();
+    for kind in TraceKind::all() {
+        for workers in [1usize, 2, 5] {
+            let req = request(kind, workers);
+            let direct = direct_engine(workers)
+                .run(&req.trace.generate(), &LoadBalance)
+                .unwrap();
+
+            // Cold: first sight of this scenario computes it.
+            assert!(matches!(
+                service.submit(req.clone()),
+                Admission::Enqueued { .. }
+            ));
+            let cold = service.drain();
+            assert_eq!(cold.len(), 1);
+            let served = cold[0].served.as_ref().unwrap();
+            assert_eq!(served.provenance, Provenance::Computed);
+            assert_bit_identical(
+                &served.output.result,
+                &direct,
+                &format!("{kind}/{workers}w/cold"),
+            );
+
+            // Warm: the second sight replays from the result cache.
+            assert!(matches!(
+                service.submit(req.clone()),
+                Admission::Enqueued { .. }
+            ));
+            let warm = service.drain();
+            assert_eq!(warm.len(), 1);
+            let cached = warm[0].served.as_ref().unwrap();
+            assert_eq!(cached.provenance, Provenance::Cached);
+            assert_bit_identical(
+                &cached.output.result,
+                &direct,
+                &format!("{kind}/{workers}w/warm"),
+            );
+        }
+    }
+    let stats = service.stats();
+    // 9 distinct scenarios: each computed once, replayed once.
+    assert_eq!(stats.runs_executed, 9);
+    assert_eq!(stats.cache.hits, 9);
+}
+
+#[test]
+fn faulted_scenarios_are_bit_identical_and_carry_the_ledger() {
+    let mut req = request(TraceKind::Irregular, 2);
+    req.fault_seed = Some(11);
+
+    let cluster = req.trace.generate();
+    let plan = req.fault_plan(&cluster).unwrap().unwrap();
+    let direct = direct_engine(2)
+        .run_with_faults(&cluster, &LoadBalance, &plan)
+        .unwrap();
+
+    let service = ScenarioService::with_defaults();
+    assert!(matches!(service.submit(req), Admission::Enqueued { .. }));
+    let responses = service.drain();
+    assert_eq!(responses.len(), 1);
+    let served = responses[0].served.as_ref().unwrap();
+    assert_bit_identical(&served.output.result, &direct.result, "faulted");
+    let ledger = served.output.ledger.as_ref().expect("fault ledger");
+    assert_eq!(
+        ledger.faulted_circulation_steps(),
+        direct.ledger.faulted_circulation_steps(),
+        "ledger must ride along unchanged"
+    );
+    assert_eq!(
+        ledger.faulted_harvest().value(),
+        direct.ledger.faulted_harvest().value(),
+        "harvest accounting must ride along unchanged"
+    );
+}
+
+#[test]
+fn duplicate_in_flight_requests_coalesce_onto_one_engine_run() {
+    let registry = Registry::new();
+    let service = ScenarioService::with_defaults().with_telemetry(&registry);
+    let req = request(TraceKind::Common, 2);
+
+    // Four concurrent submitters, same scenario (different priorities —
+    // priority is not part of the identity).
+    std::thread::scope(|scope| {
+        for priority in [
+            Priority::Interactive,
+            Priority::Batch,
+            Priority::Batch,
+            Priority::Background,
+        ] {
+            let mut dup = req.clone();
+            dup.priority = priority;
+            let service = &service;
+            scope.spawn(move || {
+                assert!(matches!(service.submit(dup), Admission::Enqueued { .. }));
+            });
+        }
+    });
+
+    let responses = service.drain();
+    assert_eq!(responses.len(), 4);
+    let engine_runs = registry
+        .counters()
+        .into_iter()
+        .find(|(name, _)| name == "engine.runs")
+        .map(|(_, v)| v)
+        .unwrap_or(0);
+    assert_eq!(engine_runs, 1, "four duplicates must cost one engine run");
+
+    let stats = service.stats();
+    assert_eq!(stats.runs_executed, 1);
+    assert_eq!(stats.coalesced, 3);
+    let computed = responses
+        .iter()
+        .filter(|r| r.served.as_ref().unwrap().provenance == Provenance::Computed)
+        .count();
+    assert_eq!(computed, 1, "exactly one ticket carries the run");
+    // All four see the same bits (the same shared outcome).
+    let reference = &responses[0].served.as_ref().unwrap().output.result;
+    for r in &responses[1..] {
+        assert_bit_identical(
+            &r.served.as_ref().unwrap().output.result,
+            reference,
+            "coalesced",
+        );
+    }
+}
+
+#[test]
+fn full_queue_rejects_with_typed_reason_counter_and_journal_event() {
+    let registry = Registry::new();
+    let config = ServiceConfig {
+        queue_capacity: 2,
+        ..ServiceConfig::default()
+    };
+    let service = ScenarioService::new(config).with_telemetry(&registry);
+
+    let mut admitted = 0;
+    let mut rejected = 0;
+    for seed in 0..5u64 {
+        let mut req = request(TraceKind::Common, 1);
+        req.trace.seed = seed;
+        req.trace.steps = 2;
+        match service.submit(req) {
+            Admission::Enqueued { .. } => admitted += 1,
+            Admission::Rejected {
+                reason: RejectReason::QueueFull { capacity },
+            } => {
+                assert_eq!(capacity, 2);
+                rejected += 1;
+            }
+            Admission::Rejected { reason } => panic!("unexpected reason: {reason}"),
+        }
+    }
+    assert_eq!((admitted, rejected), (2, 3), "bounded means bounded");
+    assert_eq!(service.stats().queue_depth, 2, "queue never grew past cap");
+    assert_eq!(service.stats().rejected_full, 3);
+
+    // Rejections are visible in the named counters and the journal.
+    let counters: std::collections::BTreeMap<String, u64> =
+        registry.counters().into_iter().collect();
+    assert_eq!(counters["serve.rejected_full"], 3);
+    let events = registry.journal_events();
+    let rejections: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == SERVE_REJECTED_EVENT)
+        .collect();
+    assert_eq!(rejections.len(), 3);
+    assert_eq!(
+        rejections[0].field("reason").and_then(|v| v.as_str()),
+        Some("queue_full")
+    );
+
+    // Draining frees capacity; service recovers.
+    let responses = service.drain();
+    assert_eq!(responses.len(), 2);
+    assert!(matches!(
+        service.submit(request(TraceKind::Common, 1)),
+        Admission::Enqueued { .. }
+    ));
+}
+
+#[test]
+fn invalid_requests_reject_with_detail_instead_of_panicking() {
+    let service = ScenarioService::with_defaults();
+    let mut zero_servers = request(TraceKind::Common, 1);
+    zero_servers.trace.servers = 0;
+    let mut nan_budget = request(TraceKind::Common, 1);
+    nan_budget.policy = PolicyKind::BoundedMigration { max_step: f64::NAN };
+    let mut over_budget = request(TraceKind::Common, 1);
+    over_budget.workers = NonZeroUsize::new(10_000).unwrap();
+    for (req, needle) in [
+        (zero_servers, "trace.servers"),
+        (nan_budget, "max_step"),
+        (over_budget, "workers"),
+    ] {
+        match service.submit(req) {
+            Admission::Rejected {
+                reason: RejectReason::InvalidRequest { reason },
+            } => assert!(reason.contains(needle), "{reason}"),
+            other => panic!("expected invalid-request rejection, got {other:?}"),
+        }
+    }
+    assert_eq!(service.stats().rejected_invalid, 3);
+    assert_eq!(service.stats().queue_depth, 0);
+}
+
+#[test]
+fn mixed_batches_share_engines_by_shape_without_cross_talk() {
+    // Two scenarios per engine shape, two shapes — plus a duplicate.
+    // Everything lands in one drain; every response must match its own
+    // direct run.
+    let registry = Registry::new();
+    let service = ScenarioService::with_defaults().with_telemetry(&registry);
+    let a1 = request(TraceKind::Common, 1);
+    let mut a2 = request(TraceKind::Drastic, 1);
+    a2.trace.seed = 9;
+    let b1 = request(TraceKind::Irregular, 2);
+    for req in [a1.clone(), a2.clone(), b1.clone(), a1.clone()] {
+        assert!(matches!(service.submit(req), Admission::Enqueued { .. }));
+    }
+    let responses = service.drain();
+    assert_eq!(responses.len(), 4);
+    for (req, workers) in [(&a1, 1), (&a2, 1), (&b1, 2)] {
+        let direct = direct_engine(workers)
+            .run(&req.trace.generate(), &LoadBalance)
+            .unwrap();
+        let served = responses
+            .iter()
+            .find(|r| {
+                r.key == req.key() && {
+                    r.served.as_ref().unwrap().provenance != Provenance::Coalesced
+                }
+            })
+            .unwrap();
+        assert_bit_identical(
+            &served.served.as_ref().unwrap().output.result,
+            &direct,
+            req.key().as_str(),
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.runs_executed, 3, "three distinct scenarios");
+    assert_eq!(stats.coalesced, 1);
+    assert_eq!(stats.engine_builds, 2, "one engine per shape");
+    assert_eq!(stats.batches, 2);
+}
+
+#[test]
+fn responses_come_back_in_ticket_order_with_priority_execution() {
+    let service = ScenarioService::with_defaults();
+    let mut low = request(TraceKind::Common, 1);
+    low.priority = Priority::Background;
+    low.trace.steps = 2;
+    let mut high = request(TraceKind::Drastic, 1);
+    high.priority = Priority::Interactive;
+    high.trace.steps = 2;
+    let Admission::Enqueued { ticket: t0, .. } = service.submit(low) else {
+        panic!("admit low");
+    };
+    let Admission::Enqueued { ticket: t1, .. } = service.submit(high) else {
+        panic!("admit high");
+    };
+    let responses = service.drain();
+    assert_eq!(responses.len(), 2);
+    // Responses are ticket-sorted regardless of execution order.
+    assert_eq!(responses[0].ticket, t0);
+    assert_eq!(responses[1].ticket, t1);
+}

@@ -16,6 +16,11 @@ pub struct DispatchPlan {
     pub served: Vec<Watts>,
     /// Portion of `served` that came out of the buffer, per step.
     pub from_buffer: Vec<Watts>,
+    /// Generation absorbed into the buffer, measured at the source
+    /// side (before charge losses). Together with the direct deliveries
+    /// and `spilled` this closes the source-side energy balance
+    /// exactly: `generation = direct + buffered + spilled`.
+    pub buffered: Joules,
     /// Generation that could be neither used nor stored.
     pub spilled: Joules,
     /// Demand that could not be met.
@@ -75,6 +80,7 @@ pub fn greedy_dispatch(
     }
     let mut served = Vec::with_capacity(demand.len());
     let mut from_buffer = Vec::with_capacity(demand.len());
+    let mut buffered = Joules::zero();
     let mut spilled = Joules::zero();
     let mut unmet = Joules::zero();
     let mut total_demand = Joules::zero();
@@ -89,6 +95,7 @@ pub fn greedy_dispatch(
         let mut step_buffer = Watts::zero();
         if surplus.value() > 0.0 {
             let stored = buffer.offer(surplus, interval);
+            buffered += stored;
             spilled += surplus.energy_over(interval) - stored;
         } else if deficit.value() > 0.0 {
             let drawn = buffer.demand(deficit, interval);
@@ -102,6 +109,7 @@ pub fn greedy_dispatch(
     Ok(DispatchPlan {
         served,
         from_buffer,
+        buffered,
         spilled,
         unmet,
         total_demand,
@@ -186,6 +194,89 @@ mod tests {
             .map(|(s, b)| (s.value() - b.value()) * dt.value())
             .sum();
         assert!(direct_total <= plan.total_generation.value() - plan.spilled.value() + 1e-6);
+    }
+
+    /// Source-side: generation = direct deliveries + buffered + spilled.
+    /// Load-side: demand = served + unmet. Both must close exactly.
+    fn assert_conservation(plan: &DispatchPlan, dt: Seconds) {
+        let direct: f64 = plan
+            .served
+            .iter()
+            .zip(&plan.from_buffer)
+            .map(|(s, b)| (s.value() - b.value()) * dt.value())
+            .sum();
+        let source_side = direct + plan.buffered.value() + plan.spilled.value();
+        assert!(
+            (source_side - plan.total_generation.value()).abs() < 1e-9,
+            "generation {} != direct {direct} + buffered {} + spilled {}",
+            plan.total_generation.value(),
+            plan.buffered.value(),
+            plan.spilled.value(),
+        );
+        let served: f64 = plan.served.iter().map(|w| w.value() * dt.value()).sum();
+        assert!(
+            (served + plan.unmet.value() - plan.total_demand.value()).abs() < 1e-9,
+            "demand {} != served {served} + unmet {}",
+            plan.total_demand.value(),
+            plan.unmet.value(),
+        );
+    }
+
+    #[test]
+    fn zero_length_series_is_rejected_not_divided_by() {
+        let mut buffer = HybridBuffer::paper_default();
+        let err = greedy_dispatch(&mut buffer, &[], &[], Seconds::hours(1.0)).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::BadParameter {
+                name: "series length",
+                ..
+            }
+        ));
+        // The buffer is untouched by a rejected dispatch.
+        assert_eq!(buffer.stored(), Joules::zero());
+    }
+
+    #[test]
+    fn all_surplus_buffers_then_spills_and_conserves() {
+        let mut buffer = HybridBuffer::paper_default();
+        let gen = watts(&[50.0; 12]);
+        let demand = watts(&[0.0; 12]);
+        let dt = Seconds::hours(1.0);
+        let plan = greedy_dispatch(&mut buffer, &gen, &demand, dt).unwrap();
+        assert_eq!(plan.unmet, Joules::zero());
+        assert!(plan.served.iter().all(|w| w.value() == 0.0));
+        assert!(plan.buffered.value() > 0.0, "early steps charge");
+        assert!(plan.spilled.value() > 0.0, "late steps overflow");
+        assert_eq!(plan.coverage(), 1.0, "zero demand is fully covered");
+        assert_conservation(&plan, dt);
+    }
+
+    #[test]
+    fn all_deficit_drains_the_buffer_then_starves_and_conserves() {
+        let mut buffer = HybridBuffer::paper_default();
+        // Pre-charge so the first deficit steps are partially served.
+        buffer.offer(Watts::new(30.0), Seconds::hours(1.0));
+        let gen = watts(&[0.0; 12]);
+        let demand = watts(&[10.0; 12]);
+        let dt = Seconds::hours(1.0);
+        let plan = greedy_dispatch(&mut buffer, &gen, &demand, dt).unwrap();
+        assert_eq!(plan.spilled, Joules::zero());
+        assert_eq!(plan.buffered, Joules::zero());
+        assert!(plan.from_buffer[0].value() > 0.0, "buffer serves first");
+        assert!(plan.unmet.value() > 0.0, "then starves");
+        assert!(plan.coverage() > 0.0 && plan.coverage() < 1.0);
+        assert_conservation(&plan, dt);
+    }
+
+    #[test]
+    fn mixed_series_conserve_on_both_sides() {
+        let mut buffer = HybridBuffer::paper_default();
+        let gen = watts(&[5.0, 8.0, 2.0, 0.0, 6.0, 1.0, 120.0, 0.0]);
+        let demand = watts(&[3.0, 3.0, 3.0, 3.0, 3.0, 3.0, 0.5, 40.0]);
+        let dt = Seconds::minutes(5.0);
+        let plan = greedy_dispatch(&mut buffer, &gen, &demand, dt).unwrap();
+        assert_conservation(&plan, dt);
     }
 
     #[test]

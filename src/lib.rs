@@ -24,6 +24,7 @@
 //! | [`tco`] | `h2p-tco` | total-cost-of-ownership analysis |
 //! | [`storage`] | `h2p-storage` | hybrid energy buffer, LED budget |
 //! | [`telemetry`] | `h2p-telemetry` | counters, histograms, spans, run journal |
+//! | [`serve`] | `h2p-serve` | batching scenario service, bounded queue, JSONL daemon |
 //!
 //! ## Quickstart
 //!
@@ -66,6 +67,7 @@ pub use h2p_exec as exec;
 pub use h2p_faults as faults;
 pub use h2p_hydraulics as hydraulics;
 pub use h2p_sched as sched;
+pub use h2p_serve as serve;
 pub use h2p_server as server;
 pub use h2p_stats as stats;
 pub use h2p_storage as storage;
@@ -86,6 +88,9 @@ pub mod prelude {
     pub use h2p_faults::{FaultClass, FaultLedger, FaultPlan, HazardRates};
     pub use h2p_hydraulics::{Branch, ColdSource, Pump};
     pub use h2p_sched::{BoundedMigration, Consolidate, LoadBalance, Original, SchedulingPolicy};
+    pub use h2p_serve::{
+        Admission, PolicyKind, Priority, ScenarioRequest, ScenarioService, ServiceConfig, TraceSpec,
+    };
     pub use h2p_server::{CpuPowerModel, LookupSpace, ServerModel, ThrottleController};
     pub use h2p_storage::HybridBuffer;
     pub use h2p_tco::{TcoAnalysis, TcoParameters};
