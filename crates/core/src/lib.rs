@@ -42,6 +42,10 @@
 // `!(x > 0.0)` is used as a deliberate NaN-rejecting validation idiom
 // throughout (NaN fails the guard, unlike `x <= 0.0`).
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Lock-order manifest (h2p-lint L10). The setting cache's `map` is
+// the crate's only lock, and it is a leaf: no engine code acquires
+// anything while holding it.
+// h2p-lint: lock-order: map
 // Test code opts back into panicking asserts/unwraps (see [workspace.lints]).
 #![cfg_attr(
     test,

@@ -1,0 +1,46 @@
+//! Deliberate L10 violations: lock acquisitions outside (or against)
+//! the file's lock-order manifest.
+// h2p-lint: lock-order: ledger, journal
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct State {
+    ledger: Mutex<Vec<u64>>,
+    journal: Mutex<Vec<String>>,
+    rogue: Mutex<u64>,
+}
+
+impl State {
+    /// Nested in manifest order: fine.
+    pub fn record(&self) {
+        let mut ledger = self.ledger.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut journal = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
+        ledger.push(1);
+        journal.push(String::from("ok"));
+    }
+
+    /// Violation: `ledger` is acquired while `journal` is held —
+    /// against manifest order, the deadlock shape.
+    pub fn backwards(&self) {
+        let mut journal = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut ledger = self.ledger.lock().unwrap_or_else(PoisonError::into_inner);
+        journal.push(String::from("no"));
+        ledger.push(2);
+    }
+
+    /// Violation: `rogue` is in no manifest at all.
+    pub fn unmanifested(&self) -> u64 {
+        *self.rogue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Sequential (not nested) out-of-order acquisition: fine — the
+    /// first guard is dropped before the second lock is taken.
+    pub fn sequential(&self) {
+        {
+            let mut journal = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
+            journal.push(String::from("first"));
+        }
+        let mut ledger = self.ledger.lock().unwrap_or_else(PoisonError::into_inner);
+        ledger.push(3);
+    }
+}

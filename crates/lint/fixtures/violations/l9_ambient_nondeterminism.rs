@@ -1,0 +1,42 @@
+//! Deliberate L9 violations: ambient nondeterminism sources that make
+//! a run depend on state outside the scenario key.
+
+/// Violation: unseeded RNG draws from OS entropy.
+pub fn jitter() -> f64 {
+    thread_rng().gen_range(0.0..1.0)
+}
+
+/// Violation: per-process random hash state.
+pub fn fresh_state() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new()
+}
+
+/// Violation: result depends on the process environment.
+pub fn configured_servers() -> usize {
+    std::env::var("H2P_SERVERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
+}
+
+/// Violation: directory entries arrive in filesystem order.
+pub fn first_trace(dir: &std::path::Path) -> Option<std::path::PathBuf> {
+    std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .next()
+}
+
+/// Waived: the listing is sorted before use, which pins the order.
+pub fn sorted_traces(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    // h2p-lint: allow(L9): entries are path-sorted before any caller sees them
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    paths.sort();
+    paths
+}

@@ -1,0 +1,618 @@
+//! A hand-rolled, zero-dependency lexer for Rust source text.
+//!
+//! This is the token engine beneath the lint pass (DESIGN.md §12). It
+//! turns a source file into a flat stream of [`Token`]s whose byte
+//! spans **tile the input exactly** — concatenating every token's text
+//! reproduces the file byte-for-byte, with no gaps and no overlaps
+//! (pinned by the property test in `tests/lexer_props.rs`). That
+//! invariant is what lets rules reason about spans instead of stripped
+//! strings.
+//!
+//! The lexer resolves the parts of Rust's surface syntax that defeat
+//! line-oriented scanning:
+//!
+//! * **Raw strings** — `r"…"`, `r#"…"#` with any hash depth, and the
+//!   byte variants `br…`; their contents are one opaque token, so a
+//!   `panic!(` inside a raw string can never reach a rule.
+//! * **Nested block comments** — `/* a /* b */ c */` tracked by depth,
+//!   across lines.
+//! * **Char literals vs. lifetimes** — `'}'` is a literal (its brace
+//!   must not unbalance region tracking); `'a` in `<'a>` is a
+//!   lifetime; `b'x'` is a byte literal.
+//! * **Float literals vs. paths** — `1.5` is one [`TokenKind::Float`];
+//!   `self.0` is a dot and an integer; `1..n` is an integer and a
+//!   range; `1.max(2)` is an integer and a method call.
+//! * **Raw identifiers** — `r#match` is an identifier, not the start
+//!   of a raw string.
+//!
+//! The lexer never fails: any byte sequence lexes (unknown characters
+//! become single-char [`TokenKind::Punct`] tokens), so malformed
+//! fixtures and mid-edit files still get diagnostics.
+
+use std::fmt;
+
+/// The classes of token the lint rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Horizontal/vertical whitespace (kept so spans tile the source).
+    Whitespace,
+    /// `// …` to end of line, including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* … */`, nested, possibly spanning lines; includes `/** … */`.
+    BlockComment,
+    /// Identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// A lifetime or loop label such as `'a` or `'static`.
+    Lifetime,
+    /// `'x'`, `'\n'`, `'\u{1F600}'`, or a byte literal `b'x'`.
+    Char,
+    /// `"…"` or `b"…"` with escapes, possibly spanning lines.
+    Str,
+    /// `r"…"` / `r#"…"#` / `br#"…"#` raw (byte) string literals.
+    RawStr,
+    /// Integer literal in any radix, with optional suffix (`42u64`).
+    Int,
+    /// Float literal (`1.5`, `1.`, `2e-3`, `1.0f32`, `7f64`).
+    Float,
+    /// One operator or delimiter, maximal-munch (`::`, `==`, `{`, …).
+    Punct,
+}
+
+impl TokenKind {
+    /// Whether rules should look at this token (comments and
+    /// whitespace are trivia).
+    #[must_use]
+    pub fn is_code(self) -> bool {
+        !matches!(
+            self,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// One lexed token with its byte span and 1-based line/column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based character column of the token's first character.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's text within its source.
+    #[must_use]
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}@{}:{}", self.kind, self.line, self.col)
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch is a
+/// straight prefix scan.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Whether `c` can continue an identifier.
+#[must_use]
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into a token stream whose spans tile the input.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut cur = Cursor {
+        src: source,
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    while cur.pos < source.len() {
+        let start = cur.pos;
+        let line = cur.line;
+        let col = cur.col;
+        let kind = cur.next_token();
+        debug_assert!(cur.pos > start, "lexer must always advance");
+        tokens.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+struct Cursor<'s> {
+    src: &'s str,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Cursor<'_> {
+    fn rest(&self) -> &str {
+        &self.src[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.rest().chars().nth(n)
+    }
+
+    /// Advances by one char, maintaining line/col.
+    fn bump(&mut self) {
+        if let Some(c) = self.peek() {
+            self.pos += c.len_utf8();
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    /// Advances while `pred` holds.
+    fn bump_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&pred) {
+            self.bump();
+        }
+    }
+
+    /// Lexes one token starting at the cursor, advancing past it.
+    fn next_token(&mut self) -> TokenKind {
+        let Some(c) = self.peek() else {
+            return TokenKind::Whitespace; // unreachable: caller checks pos < len
+        };
+
+        if c.is_whitespace() {
+            self.bump_while(char::is_whitespace);
+            return TokenKind::Whitespace;
+        }
+        if c == '/' {
+            match self.peek_at(1) {
+                Some('/') => {
+                    self.bump_while(|ch| ch != '\n');
+                    return TokenKind::LineComment;
+                }
+                Some('*') => return self.block_comment(),
+                _ => {}
+            }
+        }
+        if c == 'r' || c == 'b' {
+            if let Some(kind) = self.raw_or_byte_prefixed() {
+                return kind;
+            }
+        }
+        if c == '"' {
+            return self.string();
+        }
+        if c == '\'' {
+            return self.char_or_lifetime();
+        }
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+        if is_ident_start(c) {
+            self.bump_while(is_ident_char);
+            return TokenKind::Ident;
+        }
+        self.operator()
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // At `/*`: track nesting until depth returns to zero or EOF.
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (None, _) => break,
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Handles every `r…`/`b…` form: raw strings (`r"`, `r#"`, `br"`,
+    /// `br#"`), byte strings (`b"`), byte chars (`b'x'`), and raw
+    /// identifiers (`r#ident`). Returns `None` when the `r`/`b` is
+    /// just the start of a plain identifier.
+    fn raw_or_byte_prefixed(&mut self) -> Option<TokenKind> {
+        let text = self.rest();
+        let mut after_b = text;
+        let mut prefix = 0usize;
+        if let Some(stripped) = text.strip_prefix('b') {
+            after_b = stripped;
+            prefix = 1;
+        }
+        if let Some(after_r) = after_b.strip_prefix('r') {
+            let hashes = after_r.len() - after_r.trim_start_matches('#').len();
+            let past_hashes = &after_r[hashes..];
+            if past_hashes.starts_with('"') {
+                // Raw (byte) string: r"…", r#"…"#, br##"…"##, …
+                for _ in 0..prefix + 1 + hashes + 1 {
+                    self.bump();
+                }
+                self.raw_string_body(hashes);
+                return Some(TokenKind::RawStr);
+            }
+            if prefix == 0 && hashes == 1 && past_hashes.chars().next().is_some_and(is_ident_start)
+            {
+                // Raw identifier: r#match
+                self.bump();
+                self.bump();
+                self.bump_while(is_ident_char);
+                return Some(TokenKind::Ident);
+            }
+        }
+        if prefix == 1 {
+            if after_b.starts_with('"') {
+                self.bump(); // the b
+                return Some(self.string());
+            }
+            if after_b.starts_with('\'') {
+                self.bump(); // the b
+                return Some(self.char_literal_after_quote());
+            }
+        }
+        None
+    }
+
+    /// Consumes a raw-string body up to `"` + `hashes` trailing `#`s.
+    fn raw_string_body(&mut self, hashes: usize) {
+        loop {
+            match self.peek() {
+                None => return,
+                Some('"') => {
+                    let tail = &self.rest()[1..];
+                    let got = tail.len() - tail.trim_start_matches('#').len();
+                    if got >= hashes {
+                        for _ in 0..1 + hashes {
+                            self.bump();
+                        }
+                        return;
+                    }
+                    self.bump();
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes `"…"` with escapes (cursor on the opening quote).
+    fn string(&mut self) -> TokenKind {
+        self.bump();
+        loop {
+            match self.peek() {
+                None => return TokenKind::Str,
+                Some('\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some('"') => {
+                    self.bump();
+                    return TokenKind::Str;
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// Disambiguates `'x'` / `'\n'` (char literals) from `'a` /
+    /// `'static` (lifetimes). Cursor is on the quote.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        match self.peek_at(1) {
+            Some('\\') => self.char_literal_after_quote(),
+            Some(c) if is_ident_start(c) => {
+                // `'a'` is a char; `'a` (no closing quote) a lifetime.
+                if self.peek_at(2) == Some('\'') && !is_ident_char_at(self, 3) {
+                    self.char_literal_after_quote()
+                } else {
+                    self.bump();
+                    self.bump_while(is_ident_char);
+                    TokenKind::Lifetime
+                }
+            }
+            Some(_) if self.peek_at(2) == Some('\'') => self.char_literal_after_quote(),
+            _ => {
+                // A stray quote: emit it alone so spans still tile.
+                self.bump();
+                TokenKind::Punct
+            }
+        }
+    }
+
+    /// Consumes a char literal starting at its opening quote.
+    fn char_literal_after_quote(&mut self) -> TokenKind {
+        self.bump(); // opening '
+        if self.peek() == Some('\\') {
+            self.bump();
+            self.bump(); // the escaped char (may be u of \u{…})
+                         // \u{1F600}: consume through the closing brace.
+            if self.peek() == Some('{') {
+                self.bump_while(|c| c != '}');
+                self.bump();
+            }
+        } else {
+            self.bump();
+        }
+        if self.peek() == Some('\'') {
+            self.bump();
+        }
+        TokenKind::Char
+    }
+
+    /// Lexes a numeric literal, deciding Int vs Float (see module
+    /// docs for the `.`-disambiguation rules).
+    fn number(&mut self) -> TokenKind {
+        let radix_prefixed = self.peek() == Some('0')
+            && matches!(self.peek_at(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+        if radix_prefixed {
+            // Hex/octal/binary: digits, `_`, and any suffix are all
+            // ident chars; no dot or exponent applies.
+            self.bump();
+            self.bump();
+            self.bump_while(is_ident_char);
+            return TokenKind::Int;
+        }
+        self.bump_while(|c| c.is_ascii_digit() || c == '_');
+        let mut float = false;
+        if self.peek() == Some('.') {
+            match self.peek_at(1) {
+                // `1.5`: fraction digits follow.
+                Some(c) if c.is_ascii_digit() => {
+                    float = true;
+                    self.bump();
+                    self.bump_while(|ch| ch.is_ascii_digit() || ch == '_');
+                }
+                // `1..n` is a range, `1.max(2)` a method call — the
+                // dot belongs to the next token.
+                Some('.') => {}
+                Some(c) if is_ident_start(c) => {}
+                // `1.` trailed by `)`, `,`, whitespace, EOF…: a float.
+                _ => {
+                    float = true;
+                    self.bump();
+                }
+            }
+        }
+        // Exponent: `1e3`, `2.5E-7` (but not `1e` followed by an
+        // identifier continuation that is not a digit).
+        if matches!(self.peek(), Some('e' | 'E')) {
+            let (sign, first_digit) = match self.peek_at(1) {
+                Some('+' | '-') => (1, self.peek_at(2)),
+                other => (0, other),
+            };
+            if first_digit.is_some_and(|c| c.is_ascii_digit()) {
+                float = true;
+                self.bump(); // e
+                for _ in 0..sign {
+                    self.bump();
+                }
+                self.bump_while(|c| c.is_ascii_digit() || c == '_');
+            }
+        }
+        // Type suffix (`u64`, `f32`, or `1_000usize`); a float suffix
+        // on a bare integer (`7f64`) makes it a float.
+        let suffix_start = self.pos;
+        self.bump_while(is_ident_char);
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix == "f32" || suffix == "f64" {
+            float = true;
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+
+    /// Maximal-munch operator, falling back to a single char.
+    fn operator(&mut self) -> TokenKind {
+        for op in OPERATORS {
+            if self.rest().starts_with(op) {
+                for _ in 0..op.chars().count() {
+                    self.bump();
+                }
+                return TokenKind::Punct;
+            }
+        }
+        self.bump();
+        TokenKind::Punct
+    }
+}
+
+fn is_ident_char_at(cur: &Cursor<'_>, n: usize) -> bool {
+    cur.peek_at(n).is_some_and(is_ident_char)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind.is_code())
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn spans_tile_simple_source() {
+        let src = "fn main() { let x = 1.5; }\n";
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap/overlap at {t}");
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len());
+    }
+
+    #[test]
+    fn float_vs_path_vs_range() {
+        assert_eq!(
+            kinds("1.5 self.0 1..n 1.max(2) 1. 2e-3 7f64 0x1e3"),
+            vec![
+                (TokenKind::Float, "1.5"),
+                (TokenKind::Ident, "self"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Int, "0"),
+                (TokenKind::Int, "1"),
+                (TokenKind::Punct, ".."),
+                (TokenKind::Ident, "n"),
+                (TokenKind::Int, "1"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "max"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Int, "2"),
+                (TokenKind::Punct, ")"),
+                (TokenKind::Float, "1."),
+                (TokenKind::Float, "2e-3"),
+                (TokenKind::Float, "7f64"),
+                (TokenKind::Int, "0x1e3"),
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        assert_eq!(
+            kinds("<'a> '}' '\\n' 'static b'x' '\\u{1F600}'"),
+            vec![
+                (TokenKind::Punct, "<"),
+                (TokenKind::Lifetime, "'a"),
+                (TokenKind::Punct, ">"),
+                (TokenKind::Char, "'}'"),
+                (TokenKind::Char, "'\\n'"),
+                (TokenKind::Lifetime, "'static"),
+                (TokenKind::Char, "b'x'"),
+                (TokenKind::Char, "'\\u{1F600}'"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let src = "r#\"panic!(\"inner\")\"# r#match br##\"x\"## b\"bytes\"";
+        assert_eq!(
+            kinds(src),
+            vec![
+                (TokenKind::RawStr, "r#\"panic!(\"inner\")\"#"),
+                (TokenKind::Ident, "r#match"),
+                (TokenKind::RawStr, "br##\"x\"##"),
+                (TokenKind::Str, "b\"bytes\""),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "a /* one /* two */ three */ b";
+        let toks = kinds(src);
+        assert_eq!(toks, vec![(TokenKind::Ident, "a"), (TokenKind::Ident, "b")]);
+        let all = lex(src);
+        let comment: Vec<_> = all
+            .iter()
+            .filter(|t| t.kind == TokenKind::BlockComment)
+            .collect();
+        assert_eq!(comment.len(), 1);
+        assert_eq!(comment[0].text(src), "/* one /* two */ three */");
+    }
+
+    #[test]
+    fn strings_span_lines_and_escape_quotes() {
+        let src = "let s = \"a \\\" } {\nunwrap()\"; done";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap") && t.contains('\n')));
+        assert_eq!(toks.last(), Some(&(TokenKind::Ident, "done")));
+    }
+
+    #[test]
+    fn line_and_column_are_tracked_across_multibyte_text() {
+        let src = "let t°mp = 1;\nlet 温度 = 2;";
+        let toks = lex(src);
+        let second_let = toks
+            .iter()
+            .find(|t| t.line == 2 && t.kind == TokenKind::Ident)
+            .expect("ident on line 2");
+        assert_eq!(second_let.text(src), "let");
+        assert_eq!(second_let.col, 1);
+        let ident = toks
+            .iter()
+            .find(|t| t.line == 2 && t.text(src) == "温度")
+            .expect("CJK ident");
+        assert_eq!(ident.col, 5);
+    }
+
+    #[test]
+    fn operators_maximal_munch() {
+        assert_eq!(
+            kinds("a::b != c ..= d >>= e -> f"),
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::Punct, "::"),
+                (TokenKind::Ident, "b"),
+                (TokenKind::Punct, "!="),
+                (TokenKind::Ident, "c"),
+                (TokenKind::Punct, "..="),
+                (TokenKind::Ident, "d"),
+                (TokenKind::Punct, ">>="),
+                (TokenKind::Ident, "e"),
+                (TokenKind::Punct, "->"),
+                (TokenKind::Ident, "f"),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexer_never_fails_on_garbage() {
+        for src in ["\"unterminated", "r#\"open", "'", "/* open", "\u{0}\u{7f}é"] {
+            let toks = lex(src);
+            let mut pos = 0;
+            for t in &toks {
+                assert_eq!(t.start, pos, "{src:?}");
+                pos = t.end;
+            }
+            assert_eq!(pos, src.len(), "{src:?}");
+        }
+    }
+}

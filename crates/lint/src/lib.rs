@@ -2,18 +2,21 @@
 //!
 //! The H2P design contract says every physical value crossing a module
 //! boundary is wrapped in an `h2p-units` newtype, library code never
-//! panics on the paper-model hot paths, and NaN can never leak into
-//! the thermal/TEG solvers. This crate machine-checks that contract
-//! with seven rules (run `cargo run -p h2p-lint`, or see
-//! `DESIGN.md` §"Static analysis & invariants"):
+//! panics on the paper-model hot paths, NaN can never leak into the
+//! thermal/TEG solvers, and — since the transparency charter of PRs
+//! 2–5 — every engine result is bit-identical across worker counts,
+//! cache states, and process restarts. This crate machine-checks that
+//! contract with ten rules (run `cargo run -p h2p-lint`, or see
+//! `DESIGN.md` §"Static analysis & invariants" and §"Token-level
+//! determinism analysis"):
 //!
 //! * **L1** — no raw `f64`/`f32` under quantity-like names
 //!   (`*temp*`, `*celsius*`, `*watts*`, `*flow*`, `*pressure*`,
 //!   `*kwh*`, `*usd*`) in `pub fn` signatures of library crates.
 //!   `h2p-units` itself is exempt: it *is* the newtype boundary.
 //! * **L2** — no `unwrap()` / `expect()` / `panic!` in non-test
-//!   library code (benches, binaries, examples and `#[cfg(test)]`
-//!   regions exempt).
+//!   library code (benches, binaries and `#[cfg(test)]` regions
+//!   exempt; examples carry reasoned allow comments instead).
 //! * **L3** — no numeric `as` casts in the physics crates
 //!   (`units`, `thermal`, `hydraulics`, `teg`, `cooling`).
 //! * **L4** — every crate's `lib.rs` carries
@@ -32,6 +35,22 @@
 //!   so backpressure is typed instead of implied. The lane storage
 //!   inside `h2p-serve`'s bounded wrapper carries the only legal
 //!   waivers.
+//! * **L8** — no iteration over `HashMap`/`HashSet` in
+//!   result-affecting library code: hash iteration order is
+//!   per-process random, so a fold over it silently breaks the
+//!   bit-identity bar. Hold ordered data in `BTreeMap`/`BTreeSet` or
+//!   sort before folding.
+//! * **L9** — no ambient nondeterminism sources (`thread_rng`,
+//!   `RandomState::new`, `std::env` reads, unsorted `read_dir`)
+//!   outside the designated seed-plumbing modules
+//!   ([`rules::SEED_PLUMBING_MODULES`]); randomness flows from
+//!   explicit caller-provided seeds only.
+//! * **L10** — every `Mutex`/`RwLock` acquisition in library code
+//!   names a lock from the crate's lock-order manifest — a
+//!   `// h2p-lint: lock-order: a, b, c` comment in `lib.rs` listing
+//!   the crate's locks in global acquisition order — and nested
+//!   acquisitions must follow that order (out-of-order nesting is the
+//!   deadlock shape; in-order nesting is safe by construction).
 //!
 //! Any finding can be waived in place with a reasoned allow comment,
 //! either trailing the line or on the line directly above:
@@ -40,11 +59,17 @@
 //! let n = samples.len() as f64; // h2p-lint: allow(L3): exact for n < 2^53
 //! ```
 //!
-//! The pass runs offline with no dependencies: a hand-rolled lexical
-//! scanner (comments/strings stripped, `#[cfg(test)]` regions tracked)
-//! feeds line-anchored rules. That trades full syntactic precision for
-//! zero-dependency reproducibility; the companion clippy deny-set in
-//! `[workspace.lints]` covers the type-aware versions of these checks.
+//! The pass runs offline with no dependencies: a hand-rolled Rust
+//! lexer ([`lexer`]) produces a token stream with line/column spans
+//! (raw strings, nested block comments, char-vs-lifetime and
+//! float-vs-path disambiguation all handled), a scan layer
+//! ([`scanner`]) marks `#[cfg(test)]` regions and collects waiver /
+//! lock-order directives, and the rules ([`rules`]) are token
+//! patterns — so they cannot fire inside string literals or comments
+//! and cannot miss multi-line signatures. That trades full type-aware
+//! precision for zero-dependency reproducibility; the companion
+//! clippy deny-set in `[workspace.lints]` covers the type-aware
+//! versions of these checks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,6 +86,7 @@
     )
 )]
 
+pub mod lexer;
 pub mod rules;
 pub mod scanner;
 
@@ -86,10 +112,19 @@ pub enum RuleId {
     /// Unbounded queue/channel construction in library code,
     /// bypassing the capacity-checked wrappers (backpressure charter).
     L7,
+    /// Iteration over `HashMap`/`HashSet` in library code — hash
+    /// order is per-process random and breaks bit-identity.
+    L8,
+    /// Ambient nondeterminism source (`thread_rng`, `RandomState`,
+    /// `std::env` reads, unsorted `read_dir`) outside seed plumbing.
+    L9,
+    /// `Mutex`/`RwLock` acquisition outside the crate's lock-order
+    /// manifest, or nested against manifest order.
+    L10,
 }
 
 impl RuleId {
-    /// Parses `"L1"` .. `"L7"`.
+    /// Parses `"L1"` .. `"L10"`.
     #[must_use]
     pub fn parse(s: &str) -> Option<RuleId> {
         match s {
@@ -100,6 +135,9 @@ impl RuleId {
             "L5" => Some(RuleId::L5),
             "L6" => Some(RuleId::L6),
             "L7" => Some(RuleId::L7),
+            "L8" => Some(RuleId::L8),
+            "L9" => Some(RuleId::L9),
+            "L10" => Some(RuleId::L10),
             _ => None,
         }
     }
@@ -115,11 +153,14 @@ impl fmt::Display for RuleId {
             RuleId::L5 => "L5",
             RuleId::L6 => "L6",
             RuleId::L7 => "L7",
+            RuleId::L8 => "L8",
+            RuleId::L9 => "L9",
+            RuleId::L10 => "L10",
         })
     }
 }
 
-/// One lint finding, `rule file:line: message`.
+/// One lint finding, `rule file:line:col: message`.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
     /// Which rule fired.
@@ -128,6 +169,8 @@ pub struct Diagnostic {
     pub file: PathBuf,
     /// 1-based line.
     pub line: usize,
+    /// 1-based column (in characters) of the offending token.
+    pub col: usize,
     /// Human-readable explanation with the suggested fix.
     pub message: String,
 }
@@ -136,10 +179,11 @@ impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} {}:{}: {}",
+            "{} {}:{}:{}: {}",
             self.rule,
             self.file.display(),
             self.line,
+            self.col,
             self.message
         )
     }
@@ -148,12 +192,13 @@ impl fmt::Display for Diagnostic {
 /// How the rules apply to one source file.
 #[derive(Debug, Clone)]
 pub struct FileClass {
-    /// Library code: L1/L2 candidate (false for bins, benches,
-    /// examples, integration tests).
+    /// Library code: panic/determinism rules apply (false for bins,
+    /// benches, integration tests).
     pub library: bool,
     /// Physics crate: L3/L5 apply.
     pub physics: bool,
-    /// L1 applies (false inside `h2p-units`, which is the boundary).
+    /// L1 applies (false inside `h2p-units`, which is the boundary,
+    /// and in examples, which demonstrate rather than export APIs).
     pub l1_applies: bool,
 }
 
@@ -206,8 +251,9 @@ pub fn find_workspace_root(start: &Path) -> Result<PathBuf, LintError> {
     Err(LintError::NoWorkspaceRoot(start.to_path_buf()))
 }
 
-/// Recursively collects `.rs` files under `dir`.
+/// Recursively collects `.rs` files under `dir`, sorted by path.
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    // h2p-lint: allow(L9): entries are path-sorted below before any caller sees them
     let entries = std::fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
     for entry in entries {
         let entry = entry.map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
@@ -235,10 +281,31 @@ fn classify(rel: &Path, crate_name: &str) -> FileClass {
     }
 }
 
+/// Lints one source file and appends findings (paths reported
+/// relative to `root`).
+fn lint_file(
+    root: &Path,
+    file: &Path,
+    class: &FileClass,
+    crate_locks: &[String],
+    out: &mut Vec<Diagnostic>,
+) -> Result<(), LintError> {
+    let source = std::fs::read_to_string(file).map_err(|e| LintError::Io(file.to_path_buf(), e))?;
+    let scanned = scanner::scan(&source);
+    let rel_to_root = file.strip_prefix(root).unwrap_or(file);
+    rules::check_file(rel_to_root, &scanned, class, crate_locks, out);
+    Ok(())
+}
+
 /// Lints the whole workspace rooted at `root`. Scope: the root `src/`
-/// library plus every `crates/*` member. `vendor/` (offline stubs of
+/// library facade, every `crates/*` member, and every `examples/`
+/// directory (root and per-crate). `vendor/` (offline stubs of
 /// external crates) and `crates/lint/fixtures/` (deliberate
 /// violations for the lint's own tests) are out of scope.
+///
+/// Each crate's lock-order manifest — `// h2p-lint: lock-order: …`
+/// directives in its `lib.rs` — is parsed first and applied to every
+/// file of that crate (files may extend it with local directives).
 ///
 /// # Errors
 ///
@@ -246,12 +313,13 @@ fn classify(rel: &Path, crate_name: &str) -> FileClass {
 pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
     let mut diagnostics = Vec::new();
 
-    // Crate roots: (dir, crate_name, has_lib).
+    // Crate roots: (dir, crate_name).
     let mut crate_dirs: Vec<(PathBuf, String)> = vec![(root.to_path_buf(), "h2p".to_string())];
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
-        let entries =
-            std::fs::read_dir(&crates_dir).map_err(|e| LintError::Io(crates_dir.clone(), e))?;
+        // h2p-lint: allow(L9): crate dirs are path-sorted below before linting
+        let entries = std::fs::read_dir(&crates_dir);
+        let entries = entries.map_err(|e| LintError::Io(crates_dir.clone(), e))?;
         for entry in entries {
             let entry = entry.map_err(|e| LintError::Io(crates_dir.clone(), e))?;
             let path = entry.path();
@@ -264,7 +332,8 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
     crate_dirs.sort();
 
     for (crate_dir, crate_name) in &crate_dirs {
-        // L4 on the crate root.
+        // L4 on the crate root, plus the crate's lock-order manifest.
+        let mut crate_locks: Vec<String> = Vec::new();
         let lib_rs = crate_dir.join("src").join("lib.rs");
         if lib_rs.is_file() {
             let source =
@@ -274,38 +343,53 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
                     rule: RuleId::L4,
                     file: lib_rs.strip_prefix(root).unwrap_or(&lib_rs).to_path_buf(),
                     line: 1,
+                    col: 1,
                     message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
                 });
             }
+            crate_locks = scanner::scan(&source).lock_order;
         }
 
-        // Line rules over src/ only (tests/, benches/, examples/ are
-        // exempt by charter).
+        // Token rules over src/.
         let src_dir = crate_dir.join("src");
-        if !src_dir.is_dir() {
-            continue;
-        }
-        let mut files = Vec::new();
-        collect_rs_files(&src_dir, &mut files)?;
-        for file in files {
-            if file.components().any(|c| c.as_os_str() == "fixtures") {
-                continue;
+        if src_dir.is_dir() {
+            let mut files = Vec::new();
+            collect_rs_files(&src_dir, &mut files)?;
+            for file in files {
+                if file.components().any(|c| c.as_os_str() == "fixtures") {
+                    continue;
+                }
+                let rel = file.strip_prefix(crate_dir).unwrap_or(&file);
+                let class = classify(rel, crate_name);
+                lint_file(root, &file, &class, &crate_locks, &mut diagnostics)?;
             }
-            let rel = file.strip_prefix(crate_dir).unwrap_or(&file);
-            let class = classify(rel, crate_name);
-            let source =
-                std::fs::read_to_string(&file).map_err(|e| LintError::Io(file.clone(), e))?;
-            let scanned = scanner::scan(&source);
-            let rel_to_root = file.strip_prefix(root).unwrap_or(&file);
-            rules::check_file(rel_to_root, &scanned, &class, &mut diagnostics);
+        }
+
+        // examples/ are library-grade demo code: the determinism and
+        // panic rules apply (waive deliberate panics with allow
+        // comments), but they demonstrate rather than export APIs, so
+        // L1 signature discipline and physics-cast rules stay off.
+        let examples_dir = crate_dir.join("examples");
+        if examples_dir.is_dir() {
+            let class = FileClass {
+                library: true,
+                physics: false,
+                l1_applies: false,
+            };
+            let mut files = Vec::new();
+            collect_rs_files(&examples_dir, &mut files)?;
+            for file in files {
+                lint_file(root, &file, &class, &crate_locks, &mut diagnostics)?;
+            }
         }
     }
     Ok(diagnostics)
 }
 
 /// Lints a loose directory of `.rs` files as if each were non-test
-/// library code of a physics crate — every rule armed. Used by the
-/// fixture tests and by `--fixtures` on the CLI.
+/// library code of a physics crate — every rule armed. Lock-order
+/// manifests come from each file's own `lock-order` directives. Used
+/// by the fixture tests and by `--fixtures` on the CLI.
 ///
 /// # Errors
 ///
@@ -322,12 +406,13 @@ pub fn lint_fixture_dir(dir: &Path) -> Result<Vec<Diagnostic>, LintError> {
     for file in files {
         let source = std::fs::read_to_string(&file).map_err(|e| LintError::Io(file.clone(), e))?;
         let scanned = scanner::scan(&source);
-        rules::check_file(&file, &scanned, &class, &mut diagnostics);
+        rules::check_file(&file, &scanned, &class, &[], &mut diagnostics);
         if file.file_name().is_some_and(|n| n == "lib.rs") && !rules::l4_forbids_unsafe(&source) {
             diagnostics.push(Diagnostic {
                 rule: RuleId::L4,
                 file: file.clone(),
                 line: 1,
+                col: 1,
                 message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
             });
         }

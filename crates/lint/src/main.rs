@@ -4,15 +4,37 @@
 //! cargo run -p h2p-lint                 # lint the workspace, exit 1 on findings
 //! cargo run -p h2p-lint -- --root DIR   # lint a different checkout
 //! cargo run -p h2p-lint -- --fixtures DIR  # arm all rules over a bare dir
+//! cargo run -p h2p-lint -- --json       # one JSON object per finding, for CI
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Escapes `s` for a JSON string literal (quotes, backslashes,
+/// control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
     let mut fixtures: Option<PathBuf> = None;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -24,10 +46,18 @@ fn main() -> ExitCode {
                 fixtures = Some(PathBuf::from(&args[i + 1]));
                 i += 2;
             }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "h2p-lint: H2P domain-invariant checks (L1-L7)\n\
-                     usage: h2p-lint [--root DIR | --fixtures DIR]"
+                    "h2p-lint: H2P domain-invariant checks (L1-L10)\n\
+                     usage: h2p-lint [--root DIR | --fixtures DIR] [--json]\n\
+                     \n\
+                     --json emits one diagnostic per line as\n\
+                     {{\"rule\":…,\"file\":…,\"line\":…,\"col\":…,\"message\":…}}\n\
+                     exit codes: 0 clean, 1 findings, 2 error"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -59,18 +89,33 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
         Ok(diagnostics) if diagnostics.is_empty() => {
-            println!("h2p-lint: clean (rules L1-L7)");
+            if !json {
+                println!("h2p-lint: clean (rules L1-L10)");
+            }
             ExitCode::SUCCESS
         }
         Ok(diagnostics) => {
             for d in &diagnostics {
-                println!("{d}");
+                if json {
+                    println!(
+                        "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+                        d.rule,
+                        json_escape(&d.file.display().to_string()),
+                        d.line,
+                        d.col,
+                        json_escape(&d.message)
+                    );
+                } else {
+                    println!("{d}");
+                }
             }
-            println!(
-                "h2p-lint: {} violation(s) — see DESIGN.md \
-                 \"Static analysis & invariants\" for rule docs and allow syntax",
-                diagnostics.len()
-            );
+            if !json {
+                println!(
+                    "h2p-lint: {} violation(s) — see DESIGN.md \
+                     \"Static analysis & invariants\" for rule docs and allow syntax",
+                    diagnostics.len()
+                );
+            }
             ExitCode::FAILURE
         }
     }

@@ -1,8 +1,8 @@
-//! The seven H2P domain-invariant rules.
+//! The ten H2P domain-invariant rules, as token-pattern checks.
 //!
-//! Each rule takes the stripped view of one file (see
-//! [`crate::scanner`]) plus its [`FileClass`] and appends
-//! [`Diagnostic`]s. Rules fire only where their scope applies:
+//! Each rule consumes the token view of one file (see
+//! [`crate::scanner`] and [`crate::lexer`]) plus its [`FileClass`] and
+//! appends [`Diagnostic`]s. Rules fire only where their scope applies:
 //!
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
@@ -13,9 +13,20 @@
 //! | L5 | physics crates | no `==`/`!=` against float literals |
 //! | L6 | non-test library code | no `Instant::now`/`SystemTime::now`; timing goes through `h2p_telemetry::Clock` |
 //! | L7 | non-test library code | no unbounded queue/channel construction; admission goes through `h2p_serve::BoundedQueue` |
+//! | L8 | non-test library code | no iteration over `HashMap`/`HashSet` (iteration order varies run to run); hold ordered data in `BTreeMap`/`BTreeSet` or sort before folding |
+//! | L9 | non-test library code outside [`SEED_PLUMBING_MODULES`] | no ambient nondeterminism: `thread_rng`, `RandomState::new`, `std::env` reads, unsorted `read_dir` |
+//! | L10 | non-test library code | every `Mutex`/`RwLock` acquisition names a lock from the crate's `lock-order` manifest, and nested acquisitions follow manifest order |
+//!
+//! L8–L10 are the determinism charter: every engine result must be
+//! bit-identical across worker counts, cache states, and process
+//! restarts (the transparency-test bar from PRs 2–5), and hash-order
+//! iteration, ambient entropy, and ad-hoc locking are the three ways
+//! library code silently breaks that.
 
+use crate::lexer::TokenKind;
 use crate::scanner::ScannedFile;
 use crate::{Diagnostic, FileClass, RuleId};
+use std::collections::BTreeSet;
 use std::path::Path;
 
 /// Names that mark a parameter or function as carrying a physical
@@ -27,24 +38,54 @@ const NUMERIC_TYPES: &[&str] = &[
     "f64", "f32", "usize", "isize", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
 ];
 
-fn is_ident_char(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
+/// `HashMap`/`HashSet` methods whose visit order is the hasher's.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
 
-/// Whether `needle` occurs in `haystack` as a whole word.
-fn word_match(haystack: &str, needle: &str) -> Option<usize> {
+/// Modules designated as the workspace's seed plumbing: the only
+/// library code allowed to construct randomness, because they do it
+/// from explicit caller-provided seeds. L9 does not scan them.
+pub const SEED_PLUMBING_MODULES: &[&str] = &["crates/faults/src/plan.rs", "crates/workload/src/"];
+
+/// Whether `needle` occurs in `haystack` as a whole word, returning
+/// the byte span of the first such occurrence.
+///
+/// "Word" means the match is not flanked by identifier characters
+/// (Unicode alphanumerics or `_`), so `temp` matches in `set temp` but
+/// not in `attempt` or `tempéré`. The boundary checks decode the
+/// actual neighboring characters, which is safe at any UTF-8 boundary
+/// because `str::find` only returns char-aligned offsets.
+#[must_use]
+pub fn word_match(haystack: &str, needle: &str) -> Option<(usize, usize)> {
+    if needle.is_empty() {
+        return None;
+    }
     let mut from = 0;
     while let Some(rel) = haystack[from..].find(needle) {
-        let at = from + rel;
-        let before_ok =
-            at == 0 || !is_ident_char(haystack[..at].chars().next_back().unwrap_or(' '));
-        let after = at + needle.len();
-        let after_ok = after >= haystack.len()
-            || !is_ident_char(haystack[after..].chars().next().unwrap_or(' '));
+        let start = from + rel;
+        let end = start + needle.len();
+        let before_ok = haystack[..start]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !crate::lexer::is_ident_char(c));
+        let after_ok = haystack[end..]
+            .chars()
+            .next()
+            .is_none_or(|c| !crate::lexer::is_ident_char(c));
         if before_ok && after_ok {
-            return Some(at);
+            return Some((start, end));
         }
-        from = at + needle.len();
+        from = end;
     }
     None
 }
@@ -54,14 +95,21 @@ fn quantity_named(ident: &str) -> bool {
     QUANTITY_MARKERS.iter().any(|m| lower.contains(m))
 }
 
-/// Runs every line-anchored rule over one file.
+/// One rule hit: 1-based line, 1-based column, message.
+type Finding = (usize, usize, String);
+
+/// Runs every token-pattern rule over one file. `crate_locks` is the
+/// lock-order manifest parsed from the crate root (the file's own
+/// `lock-order` directives extend it).
 pub fn check_file(
     path: &Path,
     scanned: &ScannedFile,
     class: &FileClass,
+    crate_locks: &[String],
     out: &mut Vec<Diagnostic>,
 ) {
-    let mut emit = |rule: RuleId, line: usize, message: String| {
+    let mut emit = |rule: RuleId, finding: Finding| {
+        let (line, col, message) = finding;
         let allowed = scanned
             .allows
             .get(&line)
@@ -71,6 +119,7 @@ pub fn check_file(
                 rule,
                 file: path.to_path_buf(),
                 line,
+                col,
                 message,
             });
         }
@@ -78,261 +127,351 @@ pub fn check_file(
 
     if class.library {
         for finding in l2_no_panics(scanned) {
-            emit(RuleId::L2, finding.0, finding.1);
+            emit(RuleId::L2, finding);
         }
         if class.l1_applies {
             for finding in l1_raw_quantity_signatures(scanned) {
-                emit(RuleId::L1, finding.0, finding.1);
+                emit(RuleId::L1, finding);
             }
         }
         for finding in l6_wall_clock_reads(scanned) {
-            emit(RuleId::L6, finding.0, finding.1);
+            emit(RuleId::L6, finding);
         }
         for finding in l7_unbounded_queues(scanned) {
-            emit(RuleId::L7, finding.0, finding.1);
+            emit(RuleId::L7, finding);
+        }
+        for finding in l8_hash_iteration(scanned) {
+            emit(RuleId::L8, finding);
+        }
+        if !in_seed_plumbing(path) {
+            for finding in l9_ambient_nondeterminism(scanned) {
+                emit(RuleId::L9, finding);
+            }
+        }
+        for finding in l10_lock_order(scanned, crate_locks) {
+            emit(RuleId::L10, finding);
         }
     }
     if class.physics {
         for finding in l3_numeric_casts(scanned) {
-            emit(RuleId::L3, finding.0, finding.1);
+            emit(RuleId::L3, finding);
         }
         for finding in l5_float_literal_eq(scanned) {
-            emit(RuleId::L5, finding.0, finding.1);
+            emit(RuleId::L5, finding);
         }
     }
 }
 
-/// L4: `lib.rs` must forbid unsafe code. Checked per crate root, not
-/// per line, so it lives outside [`check_file`].
-#[must_use]
-pub fn l4_forbids_unsafe(lib_rs_source: &str) -> bool {
-    lib_rs_source
-        .lines()
-        .any(|l| l.replace(' ', "").starts_with("#![forbid(unsafe_code)]"))
+fn in_seed_plumbing(path: &Path) -> bool {
+    let normalized = path.to_string_lossy().replace('\\', "/");
+    SEED_PLUMBING_MODULES.iter().any(|m| normalized.contains(m))
 }
 
-type Finding = (usize, String);
+/// L4: `lib.rs` must forbid unsafe code — token-checked, so the
+/// attribute is found regardless of spacing and never inside a string.
+#[must_use]
+pub fn l4_forbids_unsafe(lib_rs_source: &str) -> bool {
+    let s = crate::scanner::scan(lib_rs_source);
+    (0..s.code.len()).any(|i| {
+        s.is_punct(i, "#")
+            && s.is_punct(i + 1, "!")
+            && s.is_punct(i + 2, "[")
+            && s.is_ident(i + 3, "forbid")
+            && s.is_punct(i + 4, "(")
+            && {
+                let mut j = i + 5;
+                let mut hit = false;
+                while j < s.code.len() && !s.is_punct(j, ")") {
+                    hit |= s.is_ident(j, "unsafe_code");
+                    j += 1;
+                }
+                hit
+            }
+    })
+}
+
+/// Code index just past the delimiter that matches the opener at
+/// `open` (whose text must be `(`, `[`, or `{`).
+fn matching_close(s: &ScannedFile, open: usize) -> usize {
+    let (inc, dec) = match s.text(open) {
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => ("(", ")"),
+    };
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < s.code.len() {
+        if s.is_punct(i, inc) {
+            depth += 1;
+        } else if s.is_punct(i, dec) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    s.code.len().saturating_sub(1)
+}
+
+fn at(s: &ScannedFile, i: usize) -> (usize, usize) {
+    let t = s.tok(i);
+    (t.line, t.col)
+}
 
 /// L2: `unwrap()` / `expect(` / `panic!` / `unimplemented!` / `todo!`
-/// outside test regions.
-fn l2_no_panics(scanned: &ScannedFile) -> Vec<Finding> {
+/// outside test regions. `debug_assert!` is fine (stripped in
+/// release); `assert!` is a documented contract covered by clippy's
+/// `missing_panics_doc`, so L2 focuses on silent aborts on the
+/// paper-model hot paths.
+fn l2_no_panics(s: &ScannedFile) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for (idx, line) in scanned.lines.iter().enumerate() {
-        if scanned.test_region[idx] {
+    for i in 0..s.code.len() {
+        if s.in_test(i) {
             continue;
         }
-        // `debug_assert!` is fine (stripped in release); `assert!` is a
-        // documented contract and clippy's missing_panics_doc covers
-        // it, so L2 focuses on the paper-model hot paths' silent
-        // aborts.
-        for (needle, label) in [
-            (".unwrap()", "`unwrap()`"),
-            (".expect(", "`expect()`"),
-            ("panic!(", "`panic!`"),
-            ("unimplemented!(", "`unimplemented!`"),
-            ("todo!(", "`todo!`"),
-        ] {
-            if let Some(at) = line.find(needle) {
-                // `debug_assert!`'s internal panic and idents like
-                // `no_panic!` must not match `panic!(`.
-                if needle == "panic!(" {
-                    let before = line[..at].chars().next_back();
-                    if before.is_some_and(is_ident_char) {
-                        continue;
-                    }
-                }
-                findings.push((
-                    idx + 1,
-                    format!(
-                        "{label} in library code: return the crate's typed error \
-                         (or justify with `// h2p-lint: allow(L2): <reason>`)"
-                    ),
-                ));
+        let label = if s.is_punct(i, ".") && s.is_punct(i + 2, "(") {
+            if s.is_ident(i + 1, "unwrap") && s.is_punct(i + 3, ")") {
+                Some((i + 1, "`unwrap()`"))
+            } else if s.is_ident(i + 1, "expect") {
+                Some((i + 1, "`expect()`"))
+            } else {
+                None
             }
+        } else if s.is_punct(i + 1, "!") && s.is_punct(i + 2, "(") {
+            if s.is_ident(i, "panic") {
+                Some((i, "`panic!`"))
+            } else if s.is_ident(i, "unimplemented") {
+                Some((i, "`unimplemented!`"))
+            } else if s.is_ident(i, "todo") {
+                Some((i, "`todo!`"))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        if let Some((anchor, label)) = label {
+            let (line, col) = at(s, anchor);
+            findings.push((
+                line,
+                col,
+                format!(
+                    "{label} in library code: return the crate's typed error \
+                     (or justify with `// h2p-lint: allow(L2): <reason>`)"
+                ),
+            ));
         }
     }
     findings
 }
 
 /// L1: raw `f64`/`f32` crossing `pub fn` boundaries under a
-/// quantity-like name.
-fn l1_raw_quantity_signatures(scanned: &ScannedFile) -> Vec<Finding> {
+/// quantity-like name. Token-accurate over multi-line signatures.
+fn l1_raw_quantity_signatures(s: &ScannedFile) -> Vec<Finding> {
     let mut findings = Vec::new();
-    let mut idx = 0;
-    while idx < scanned.lines.len() {
-        if scanned.test_region[idx] {
-            idx += 1;
+    let mut i = 0;
+    while i < s.code.len() {
+        if !s.is_ident(i, "pub") || s.in_test(i) {
+            i += 1;
             continue;
         }
-        let line = &scanned.lines[idx];
-        let Some(fn_at) = find_pub_fn(line) else {
-            idx += 1;
+        // Optional restriction: pub(crate), pub(in …).
+        let mut j = i + 1;
+        if s.is_punct(j, "(") {
+            j = matching_close(s, j) + 1;
+        }
+        if !s.is_ident(j, "fn") {
+            i += 1;
+            continue;
+        }
+        let name_idx = j + 1;
+        let Some(TokenKind::Ident) = s.kind(name_idx) else {
+            i = j + 1;
             continue;
         };
-        // Join lines until the signature terminates.
-        let mut signature = line[fn_at..].to_string();
-        let mut end = idx;
-        while !signature.contains('{') && !signature.contains(';') && end + 1 < scanned.lines.len()
-        {
-            end += 1;
-            signature.push(' ');
-            signature.push_str(&scanned.lines[end]);
-        }
-        let sig_line = idx + 1;
-        for finding in check_signature(&signature, sig_line) {
-            findings.push(finding);
-        }
-        idx = end + 1;
-    }
-    findings
-}
-
-/// Position right after `pub ` / `pub(...) ` if the line declares a
-/// public function.
-fn find_pub_fn(line: &str) -> Option<usize> {
-    let pub_at = word_match(line, "pub")?;
-    let rest = &line[pub_at + 3..];
-    let rest_trim = rest.trim_start();
-    let skipped = rest.len() - rest_trim.len();
-    let after_vis = if rest_trim.starts_with('(') {
-        let close = rest_trim.find(')')?;
-        rest_trim[close + 1..].trim_start()
-    } else {
-        rest_trim
-    };
-    if after_vis.starts_with("fn ") {
-        // Offset only used to slice the signature's tail; recompute
-        // conservatively from the `fn` keyword.
-        let fn_rel = line[pub_at..].find("fn ")?;
-        let _ = skipped;
-        Some(pub_at + fn_rel)
-    } else {
-        None
-    }
-}
-
-/// Splits `args` on commas at angle/paren/bracket depth zero.
-fn split_top_level(args: &str) -> Vec<&str> {
-    let mut parts = Vec::new();
-    let mut depth = 0i32;
-    let mut start = 0;
-    for (i, c) in args.char_indices() {
-        match c {
-            '<' | '(' | '[' => depth += 1,
-            '>' | ')' | ']' => depth -= 1,
-            ',' if depth == 0 => {
-                parts.push(&args[start..i]);
-                start = i + 1;
-            }
-            _ => {}
-        }
-    }
-    parts.push(&args[start..]);
-    parts
-}
-
-/// Whether a type text is a bare raw float (`f64`, `f32`, `&f64`, ...).
-fn is_raw_float_type(ty: &str) -> bool {
-    let t = ty
-        .trim()
-        .trim_start_matches('&')
-        .trim_start_matches("mut ")
-        .trim();
-    t == "f64" || t == "f32"
-}
-
-fn check_signature(signature: &str, line: usize) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    // `fn name(params) -> ret`
-    let Some(open) = signature.find('(') else {
-        return findings;
-    };
-    let name = signature["fn ".len()..open]
-        .trim()
-        .trim_end_matches(|c: char| !is_ident_char(c))
-        .to_string();
-    let name = name.split('<').next().unwrap_or("").trim().to_string();
-
-    // Find the matching close paren of the parameter list.
-    let mut depth = 0i32;
-    let mut close = open;
-    for (i, c) in signature[open..].char_indices() {
-        match c {
-            '(' => depth += 1,
-            ')' => {
-                depth -= 1;
-                if depth == 0 {
-                    close = open + i;
+        let fn_name = s.text(name_idx).to_string();
+        let mut k = name_idx + 1;
+        // Skip generics `<…>` (angle counting; `->` in Fn bounds is
+        // its own token and never miscounted).
+        if s.is_punct(k, "<") {
+            let mut angle = 0i64;
+            while k < s.code.len() {
+                angle += angle_delta(s.text(k));
+                k += 1;
+                if angle <= 0 {
                     break;
                 }
             }
-            _ => {}
         }
-    }
-    let params = &signature[open + 1..close];
-    for param in split_top_level(params) {
-        let Some((pname, ptype)) = param.split_once(':') else {
-            continue; // self, _ or malformed
-        };
-        let pname = pname.trim().trim_start_matches("mut ").trim();
-        if quantity_named(pname) && is_raw_float_type(ptype) {
-            findings.push((
-                line,
-                format!(
-                    "pub fn `{name}` takes quantity-named parameter `{pname}` as raw \
-                     `{}` — use an `h2p-units` newtype",
-                    ptype.trim()
-                ),
-            ));
+        if !s.is_punct(k, "(") {
+            i = name_idx;
+            continue;
         }
-    }
-
-    // Return type: the function name carries the quantity.
-    if let Some(arrow) = signature.find("->") {
-        let ret_end = signature.find(['{', ';']).unwrap_or(signature.len());
-        if ret_end > arrow + 2 {
-            let ret = signature[arrow + 2..ret_end].trim();
-            let ret = ret.split("where").next().unwrap_or(ret).trim();
-            if quantity_named(&name) && is_raw_float_type(ret) {
+        let close = matching_close(s, k);
+        for finding in check_params(s, k + 1, close, &fn_name) {
+            findings.push(finding);
+        }
+        // Return type: the function name carries the quantity.
+        if s.is_punct(close + 1, "->") {
+            let mut end = close + 2;
+            while end < s.code.len()
+                && !s.is_punct(end, "{")
+                && !s.is_punct(end, ";")
+                && !s.is_ident(end, "where")
+            {
+                end += 1;
+            }
+            if quantity_named(&fn_name) && is_raw_float_type(s, close + 2, end) {
+                let (line, col) = at(s, name_idx);
                 findings.push((
                     line,
+                    col,
                     format!(
-                        "pub fn `{name}` returns raw `{ret}` for a quantity-named \
+                        "pub fn `{fn_name}` returns a raw float for a quantity-named \
                          API — use an `h2p-units` newtype"
                     ),
                 ));
             }
         }
+        i = close + 1;
     }
     findings
 }
 
-/// L3: `expr as <numeric>` casts.
-fn l3_numeric_casts(scanned: &ScannedFile) -> Vec<Finding> {
+/// Net angle-bracket depth change contributed by one punct token.
+fn angle_delta(text: &str) -> i64 {
+    match text {
+        "<" => 1,
+        "<<" => 2,
+        ">" => -1,
+        ">>" => -2,
+        _ => 0,
+    }
+}
+
+/// Checks the parameter list between code indices `from..close`.
+fn check_params(s: &ScannedFile, from: usize, close: usize, fn_name: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for (idx, line) in scanned.lines.iter().enumerate() {
-        if scanned.test_region[idx] {
+    let mut start = from;
+    let mut depth = 0i64;
+    let mut angle = 0i64;
+    let mut k = from;
+    while k <= close {
+        let end_of_param = k == close || (depth == 0 && angle == 0 && s.is_punct(k, ","));
+        if end_of_param {
+            if let Some(f) = check_one_param(s, start, k, fn_name) {
+                findings.push(f);
+            }
+            start = k + 1;
+        } else {
+            match s.text(k) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                t => angle += angle_delta(t),
+            }
+        }
+        k += 1;
+    }
+    findings
+}
+
+/// One parameter (code range `[from, to)`): flags `name: f64` under a
+/// quantity name.
+fn check_one_param(s: &ScannedFile, from: usize, to: usize, fn_name: &str) -> Option<Finding> {
+    let colon = (from..to).find(|&k| s.is_punct(k, ":"))?;
+    if colon == from || s.kind(colon - 1) != Some(TokenKind::Ident) {
+        return None; // destructuring or `self: …`-less patterns
+    }
+    let pname = s.text(colon - 1);
+    if !quantity_named(pname) || !is_raw_float_type(s, colon + 1, to) {
+        return None;
+    }
+    let (line, col) = at(s, colon - 1);
+    Some((
+        line,
+        col,
+        format!(
+            "pub fn `{fn_name}` takes quantity-named parameter `{pname}` as a raw \
+             float — use an `h2p-units` newtype"
+        ),
+    ))
+}
+
+/// Whether code range `[from, to)` is a bare raw float type: `f64`,
+/// `&f32`, `&'a mut f64`, … (references and lifetimes stripped).
+fn is_raw_float_type(s: &ScannedFile, from: usize, to: usize) -> bool {
+    let mut core = None;
+    for k in from..to.min(s.code.len()) {
+        if s.is_punct(k, "&") || s.is_ident(k, "mut") || s.kind(k) == Some(TokenKind::Lifetime) {
             continue;
         }
-        let mut search_from = 0;
-        while let Some(rel) = line[search_from..].find(" as ") {
-            let at = search_from + rel;
-            let after = line[at + 4..].trim_start();
-            let target: String = after.chars().take_while(|&c| is_ident_char(c)).collect();
-            search_from = at + 4;
-            if !NUMERIC_TYPES.contains(&target.as_str()) {
-                continue;
-            }
-            // `as` must follow an expression, not `use x as y`.
-            let before = line[..at].trim_end();
-            if before.ends_with("use") || before.is_empty() {
-                continue;
-            }
+        if core.is_some() {
+            return false; // more than one substantive token
+        }
+        core = Some(k);
+    }
+    core.is_some_and(|k| s.is_ident(k, "f64") || s.is_ident(k, "f32"))
+}
+
+/// L3: `expr as <numeric>` casts (never `use x as y` renames).
+fn l3_numeric_casts(s: &ScannedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut stmt_start = 0;
+    for i in 0..s.code.len() {
+        if s.is_punct(i, ";") || s.is_punct(i, "{") || s.is_punct(i, "}") {
+            stmt_start = i + 1;
+            continue;
+        }
+        if !s.is_ident(i, "as") || i == 0 || s.in_test(i) {
+            continue;
+        }
+        if s.is_ident(stmt_start, "use") {
+            continue;
+        }
+        let target = if s.kind(i + 1) == Some(TokenKind::Ident) {
+            s.text(i + 1)
+        } else {
+            continue;
+        };
+        if !NUMERIC_TYPES.contains(&target) {
+            continue;
+        }
+        let (line, col) = at(s, i);
+        findings.push((
+            line,
+            col,
+            format!(
+                "numeric `as {target}` cast in physics crate — use `From`/`TryFrom` \
+                 conversions (or justify with `// h2p-lint: allow(L3): <reason>`)"
+            ),
+        ));
+    }
+    findings
+}
+
+/// L5: `==` / `!=` against a float literal. The lexer distinguishes
+/// `1.5` from `self.0` and `0..n`, so tuple fields and ranges can no
+/// longer false-positive.
+fn l5_float_literal_eq(s: &ScannedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for i in 0..s.code.len() {
+        if s.in_test(i) || !(s.is_punct(i, "==") || s.is_punct(i, "!=")) {
+            continue;
+        }
+        let rhs_float = s.kind(i + 1) == Some(TokenKind::Float)
+            || (s.is_punct(i + 1, "-") && s.kind(i + 2) == Some(TokenKind::Float));
+        let lhs_float = i > 0 && s.kind(i - 1) == Some(TokenKind::Float);
+        if rhs_float || lhs_float {
+            let (line, col) = at(s, i);
             findings.push((
-                idx + 1,
+                line,
+                col,
                 format!(
-                    "numeric `as {target}` cast in physics crate — use `From`/`TryFrom` \
-                     conversions (or justify with `// h2p-lint: allow(L3): <reason>`)"
+                    "float-literal `{}` comparison is NaN-unsafe — compare \
+                     with a tolerance or use the `!(x > 0.0)` rejection idiom \
+                     (or justify with `// h2p-lint: allow(L5): <reason>`)",
+                    s.text(i)
                 ),
             ));
         }
@@ -341,26 +480,29 @@ fn l3_numeric_casts(scanned: &ScannedFile) -> Vec<Finding> {
 }
 
 /// L6: direct wall-clock reads in library code. Every timestamp must
-/// come from `h2p_telemetry::Clock` so a scripted [`ManualClock`] can
-/// replay any run; the two `MonotonicClock` call sites in
+/// come from `h2p_telemetry::Clock` so a scripted `ManualClock` can
+/// replay any run; the `MonotonicClock` call sites in
 /// `crates/telemetry/src/clock.rs` carry the only legal waivers.
-///
-/// [`ManualClock`]: https://docs.rs/h2p-telemetry
-fn l6_wall_clock_reads(scanned: &ScannedFile) -> Vec<Finding> {
+fn l6_wall_clock_reads(s: &ScannedFile) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for (idx, line) in scanned.lines.iter().enumerate() {
-        if scanned.test_region[idx] {
+    for i in 0..s.code.len() {
+        if s.in_test(i) {
             continue;
         }
-        for needle in ["Instant::now(", "SystemTime::now("] {
-            if line.contains(needle) {
+        for source in ["Instant", "SystemTime"] {
+            if s.is_ident(i, source)
+                && s.is_punct(i + 1, "::")
+                && s.is_ident(i + 2, "now")
+                && s.is_punct(i + 3, "(")
+            {
+                let (line, col) = at(s, i);
                 findings.push((
-                    idx + 1,
+                    line,
+                    col,
                     format!(
-                        "`{}now()` in library code defeats replayable timing — take \
+                        "`{source}::now()` in library code defeats replayable timing — take \
                          timestamps from `h2p_telemetry::Clock`/`Registry::now_nanos` \
-                         (or justify with `// h2p-lint: allow(L6): <reason>`)",
-                        needle.trim_end_matches("now(")
+                         (or justify with `// h2p-lint: allow(L6): <reason>`)"
                     ),
                 ));
             }
@@ -374,37 +516,36 @@ fn l6_wall_clock_reads(scanned: &ScannedFile) -> Vec<Finding> {
 /// instead of a typed `Rejected` response; the serving charter
 /// (DESIGN.md §"Scenario serving") requires every producer-facing
 /// queue to go through `h2p_serve::BoundedQueue` or an equivalently
-/// capacity-checked wrapper. The lane storage inside that wrapper
-/// carries the only legal waivers. `VecDeque::with_capacity` is flagged
-/// too: capacity is an allocation hint, not an admission limit.
-fn l7_unbounded_queues(scanned: &ScannedFile) -> Vec<Finding> {
+/// capacity-checked wrapper. `VecDeque::with_capacity` is flagged too:
+/// capacity is an allocation hint, not an admission limit.
+fn l7_unbounded_queues(s: &ScannedFile) -> Vec<Finding> {
+    const CONSTRUCTORS: &[(&str, &[&str])] = &[
+        ("VecDeque", &["new", "with_capacity"]),
+        ("LinkedList", &["new"]),
+        ("mpsc", &["channel"]),
+    ];
     let mut findings = Vec::new();
-    for (idx, line) in scanned.lines.iter().enumerate() {
-        if scanned.test_region[idx] {
+    for i in 0..s.code.len() {
+        if s.in_test(i) {
             continue;
         }
-        for (needle, label) in [
-            ("VecDeque::new", "`VecDeque::new()`"),
-            ("VecDeque::with_capacity", "`VecDeque::with_capacity()`"),
-            ("LinkedList::new", "`LinkedList::new()`"),
-            ("mpsc::channel", "`mpsc::channel()`"),
-        ] {
-            // Constructor paths may continue with `(` or a turbofish
-            // `::<T>(`, but never with another identifier character
-            // (`mpsc::channel_pair` is not `mpsc::channel`).
-            let called = line.find(needle).is_some_and(|at| {
-                !line[at + needle.len()..]
-                    .chars()
-                    .next()
-                    .is_some_and(is_ident_char)
-            });
+        for (base, methods) in CONSTRUCTORS {
+            if !s.is_ident(i, base) || !s.is_punct(i + 1, "::") {
+                continue;
+            }
+            let called = methods.iter().any(|m| s.is_ident(i + 2, m))
+                && (s.is_punct(i + 3, "(") || s.is_punct(i + 3, "::"));
             if called {
+                let (line, col) = at(s, i);
                 findings.push((
-                    idx + 1,
+                    line,
+                    col,
                     format!(
-                        "{label} builds an unbounded queue in library code — admit work \
+                        "`{}::{}()` builds an unbounded queue in library code — admit work \
                          through `h2p_serve::BoundedQueue` (or another capacity-checked \
-                         wrapper), or justify with `// h2p-lint: allow(L7): <reason>`"
+                         wrapper), or justify with `// h2p-lint: allow(L7): <reason>`",
+                        base,
+                        s.text(i + 2)
                     ),
                 ));
             }
@@ -413,37 +554,123 @@ fn l7_unbounded_queues(scanned: &ScannedFile) -> Vec<Finding> {
     findings
 }
 
-/// L5: `==` / `!=` against a float literal.
-fn l5_float_literal_eq(scanned: &ScannedFile) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for (idx, line) in scanned.lines.iter().enumerate() {
-        if scanned.test_region[idx] {
+/// Names in this file declared (or initialized) with any of the given
+/// type names: `name: HashMap<…>` fields/params/lets, struct-literal
+/// inits `name: Mutex::new(…)`, and `let name = HashMap::new()`.
+fn names_typed_as(s: &ScannedFile, type_names: &[&str]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    // `name : …Type…` — scan the annotation/initializer up to a
+    // top-level terminator.
+    for i in 1..s.code.len() {
+        if !s.is_punct(i, ":") || s.kind(i - 1) != Some(TokenKind::Ident) {
             continue;
         }
-        for op in ["==", "!="] {
-            let mut from = 0;
-            while let Some(rel) = line[from..].find(op) {
-                let at = from + rel;
-                from = at + op.len();
-                // Skip `<=`, `>=`, `!=` handled directly; ensure not
-                // part of `===`-like or `<=`/`>=` sequences.
-                if op == "==" {
-                    let prev = line[..at].chars().next_back();
-                    if matches!(prev, Some('<' | '>' | '!' | '=')) {
-                        continue;
-                    }
+        let name = s.text(i - 1);
+        let mut depth = 0i64;
+        let mut angle = 0i64;
+        let mut k = i + 1;
+        let mut hit = false;
+        while k < s.code.len() && k < i + 200 {
+            let t = s.text(k);
+            if depth == 0 && angle <= 0 && matches!(t, "," | ";" | ")" | "{" | "}" | "=") {
+                break;
+            }
+            match t {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                _ => angle += angle_delta(t),
+            }
+            if s.kind(k) == Some(TokenKind::Ident) && type_names.contains(&t) {
+                hit = true;
+            }
+            k += 1;
+        }
+        if hit {
+            names.insert(name.to_string());
+        }
+    }
+    // `let [mut] name = …Type::…`
+    for i in 0..s.code.len() {
+        if !s.is_ident(i, "let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if s.is_ident(j, "mut") {
+            j += 1;
+        }
+        if s.kind(j) != Some(TokenKind::Ident) || !s.is_punct(j + 1, "=") {
+            continue;
+        }
+        let mut k = j + 2;
+        while k < s.code.len() && k < j + 200 && !s.is_punct(k, ";") {
+            if s.kind(k) == Some(TokenKind::Ident)
+                && type_names.contains(&s.text(k))
+                && s.is_punct(k + 1, "::")
+            {
+                names.insert(s.text(j).to_string());
+                break;
+            }
+            k += 1;
+        }
+    }
+    names
+}
+
+/// L8: iteration over `HashMap`/`HashSet` in result-affecting library
+/// code. Hash iteration order depends on the hasher's per-process
+/// random state, so any fold over it breaks bit-identity across runs
+/// and worker counts (the Eq. 3 / Fig. 9 golden-number bar). Hold
+/// ordered data in `BTreeMap`/`BTreeSet`, or collect and sort before
+/// folding.
+fn l8_hash_iteration(s: &ScannedFile) -> Vec<Finding> {
+    let hash_names = names_typed_as(s, &["HashMap", "HashSet"]);
+    if hash_names.is_empty() {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    let flag =
+        |findings: &mut Vec<Finding>, s: &ScannedFile, anchor: usize, name: &str, how: &str| {
+            let (line, col) = at(s, anchor);
+            findings.push((
+                line,
+                col,
+                format!(
+                    "{how} over hash-ordered `{name}` is nondeterministic — use \
+                 `BTreeMap`/`BTreeSet` or sort before folding \
+                 (or justify with `// h2p-lint: allow(L8): <reason>`)"
+                ),
+            ));
+        };
+    for i in 0..s.code.len() {
+        if s.in_test(i) {
+            continue;
+        }
+        // `name.iter()`, `.keys()`, `.values()`, `.drain()`, …
+        if s.kind(i) == Some(TokenKind::Ident)
+            && hash_names.contains(s.text(i))
+            && s.is_punct(i + 1, ".")
+            && s.is_punct(i + 3, "(")
+            && HASH_ITER_METHODS.iter().any(|m| s.is_ident(i + 2, m))
+        {
+            let name = s.text(i).to_string();
+            let how = format!("`.{}()`", s.text(i + 2));
+            flag(&mut findings, s, i + 2, &name, &how);
+        }
+        // `for … in [&][mut] path.to.name {` — follow the dotted path
+        // and check the final segment; a `(` after it means a method
+        // call, which the patterns above already cover.
+        if s.is_ident(i, "in") {
+            let mut j = i + 1;
+            while s.is_punct(j, "&") || s.is_ident(j, "mut") {
+                j += 1;
+            }
+            if s.kind(j) == Some(TokenKind::Ident) {
+                while s.is_punct(j + 1, ".") && s.kind(j + 2) == Some(TokenKind::Ident) {
+                    j += 2;
                 }
-                let rhs = line[at + op.len()..].trim_start();
-                let lhs = line[..at].trim_end();
-                if is_float_literal_start(rhs) || is_float_literal_end(lhs) {
-                    findings.push((
-                        idx + 1,
-                        format!(
-                            "float-literal `{op}` comparison is NaN-unsafe — compare \
-                             with a tolerance or use the `!(x > 0.0)` rejection idiom \
-                             (or justify with `// h2p-lint: allow(L5): <reason>`)"
-                        ),
-                    ));
+                if hash_names.contains(s.text(j)) && s.is_punct(j + 1, "{") {
+                    let name = s.text(j).to_string();
+                    flag(&mut findings, s, j, &name, "`for … in`");
                 }
             }
         }
@@ -451,61 +678,252 @@ fn l5_float_literal_eq(scanned: &ScannedFile) -> Vec<Finding> {
     findings
 }
 
-/// Whether text begins with a float literal like `0.0`, `-1.5e3`, `1.`.
-fn is_float_literal_start(text: &str) -> bool {
-    let t = text.strip_prefix('-').unwrap_or(text);
-    let mut chars = t.chars();
-    let Some(first) = chars.next() else {
-        return false;
+/// L9: ambient nondeterminism sources in library code. Unseeded RNGs,
+/// hasher random state, environment reads, and filesystem-order
+/// directory walks all make a run depend on state outside the
+/// scenario key. Randomness must flow from explicit seeds through the
+/// designated seed-plumbing modules ([`SEED_PLUMBING_MODULES`]);
+/// `read_dir` results must be sorted before use (waive the call site
+/// with `allow(L9)` stating that).
+fn l9_ambient_nondeterminism(s: &ScannedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut push = |s: &ScannedFile, anchor: usize, what: &str, why: &str| {
+        let (line, col) = at(s, anchor);
+        findings.push((
+            line,
+            col,
+            format!(
+                "{what} in library code {why} — plumb explicit seeds/inputs instead \
+                 (or justify with `// h2p-lint: allow(L9): <reason>`)"
+            ),
+        ));
     };
-    if !first.is_ascii_digit() {
-        return false;
-    }
-    let mut seen_dot = false;
-    for c in chars {
-        match c {
-            '0'..='9' | '_' => {}
-            '.' => {
-                seen_dot = true;
-                break;
-            }
-            _ => return false,
+    for i in 0..s.code.len() {
+        if s.in_test(i) {
+            continue;
+        }
+        if s.is_ident(i, "thread_rng") && s.is_punct(i + 1, "(") {
+            push(s, i, "`thread_rng()`", "draws from ambient OS entropy");
+        }
+        if s.is_ident(i, "RandomState")
+            && s.is_punct(i + 1, "::")
+            && (s.is_ident(i + 2, "new") || s.is_ident(i + 2, "default"))
+        {
+            push(
+                s,
+                i,
+                "`RandomState::new()`",
+                "randomizes hash order per process",
+            );
+        }
+        if s.is_ident(i, "env")
+            && s.is_punct(i + 1, "::")
+            && ["var", "vars", "var_os", "vars_os"]
+                .iter()
+                .any(|m| s.is_ident(i + 2, m))
+        {
+            push(
+                s,
+                i,
+                "`std::env` read",
+                "couples results to the process environment",
+            );
+        }
+        if s.is_ident(i, "read_dir") && s.is_punct(i + 1, "(") {
+            push(
+                s,
+                i,
+                "`read_dir()`",
+                "yields entries in filesystem order, which varies across hosts",
+            );
         }
     }
-    seen_dot
+    findings
 }
 
-/// Whether text ends with a float literal.
-fn is_float_literal_end(text: &str) -> bool {
-    let mut rev: Vec<char> = text.chars().rev().collect();
-    // Allow a f64/f32 suffix.
-    for suffix in ["f64", "f32"] {
-        if let Some(stripped) = text.strip_suffix(suffix) {
-            rev = stripped.chars().rev().collect();
-            break;
+/// Chain methods that forward a lock guard rather than consuming it.
+const GUARD_PRESERVING: &[&str] = &["unwrap_or_else", "unwrap", "expect"];
+
+/// L10: lock-order discipline. Every `Mutex`/`RwLock` acquisition in
+/// library code must name a lock from the crate's manifest — a
+/// `// h2p-lint: lock-order: a, b, c` comment in `lib.rs` (or the
+/// file itself) listing locks in their global acquisition order — and
+/// an acquisition nested inside a held guard must come *later* in the
+/// manifest than every lock already held. The walk is token-level:
+/// `let`-bound guards live to the end of their block, temporaries to
+/// the end of their statement, and `drop(guard)` releases early.
+fn l10_lock_order(s: &ScannedFile, crate_locks: &[String]) -> Vec<Finding> {
+    let lock_names = names_typed_as(s, &["Mutex", "RwLock"]);
+    if lock_names.is_empty() {
+        return Vec::new();
+    }
+    let mut manifest: Vec<String> = crate_locks.to_vec();
+    for name in &s.lock_order {
+        if !manifest.contains(name) {
+            manifest.push(name.clone());
         }
     }
-    let mut seen_digit = false;
-    let mut seen_dot_at = None;
-    for (i, &c) in rev.iter().enumerate() {
-        match c {
-            '0'..='9' | '_' => seen_digit = true,
-            '.' => {
-                seen_dot_at = Some(i);
+    let order = |name: &str| manifest.iter().position(|m| m == name);
+
+    struct Guard {
+        lock: String,
+        binding: Option<String>,
+        depth: i64,
+        temp: bool,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut findings = Vec::new();
+    let mut depth = 0i64;
+    let mut stmt_start = 0usize;
+    let mut i = 0;
+    while i < s.code.len() {
+        let text = s.text(i);
+        match text {
+            "{" => {
+                depth += 1;
+                guards.retain(|g| !g.temp);
+                stmt_start = i + 1;
+                i += 1;
+                continue;
+            }
+            "}" => {
+                depth -= 1;
+                guards.retain(|g| !g.temp && g.depth <= depth);
+                stmt_start = i + 1;
+                i += 1;
+                continue;
+            }
+            ";" => {
+                guards.retain(|g| !g.temp);
+                stmt_start = i + 1;
+                i += 1;
+                continue;
+            }
+            "drop"
+                if s.is_punct(i + 1, "(")
+                    && s.kind(i + 2) == Some(TokenKind::Ident)
+                    && s.is_punct(i + 3, ")") =>
+            {
+                let released = s.text(i + 2).to_string();
+                guards.retain(|g| g.binding.as_deref() != Some(released.as_str()));
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+
+        // Acquisition site?
+        let acquired = if s.kind(i) == Some(TokenKind::Ident)
+            && lock_names.contains(s.text(i))
+            && s.is_punct(i + 1, ".")
+            && ["lock", "read", "write"]
+                .iter()
+                .any(|m| s.is_ident(i + 2, m))
+            && s.is_punct(i + 3, "(")
+        {
+            Some((s.text(i).to_string(), i + 2, i + 3))
+        } else if s.is_ident(i, "lock")
+            && s.is_punct(i + 1, "(")
+            && (i == 0
+                || !(s.is_punct(i - 1, ".") || s.is_punct(i - 1, "::") || s.is_ident(i - 1, "fn")))
+        {
+            // Free-function poison-tolerant helper: `lock(&self.cache)`.
+            let close = matching_close(s, i + 1);
+            let mut lock = None;
+            for k in i + 2..close {
+                if s.kind(k) == Some(TokenKind::Ident) && lock_names.contains(s.text(k)) {
+                    lock = Some(s.text(k).to_string());
+                }
+            }
+            lock.map(|l| (l, i, i + 1))
+        } else {
+            None
+        };
+
+        let Some((lock, anchor, open)) = acquired else {
+            i += 1;
+            continue;
+        };
+        if s.in_test(anchor) {
+            i += 1;
+            continue;
+        }
+        let (line, col) = at(s, anchor);
+        match order(&lock) {
+            None => findings.push((
+                line,
+                col,
+                format!(
+                    "lock `{lock}` is not in the crate's lock-order manifest — declare \
+                     `// h2p-lint: lock-order: …` in lib.rs naming every lock in \
+                     acquisition order (or justify with `// h2p-lint: allow(L10): <reason>`)"
+                ),
+            )),
+            Some(rank) => {
+                for g in &guards {
+                    match order(&g.lock) {
+                        Some(_) if g.lock == lock => findings.push((
+                            line,
+                            col,
+                            format!(
+                                "lock `{lock}` re-acquired while already held \
+                                 (self-deadlock) — drop the first guard before \
+                                 re-locking",
+                            ),
+                        )),
+                        Some(held) if held > rank => findings.push((
+                            line,
+                            col,
+                            format!(
+                                "lock `{lock}` acquired while `{}` is held, against \
+                                 manifest order ({} before {}) — acquire in manifest \
+                                 order or release first",
+                                g.lock, lock, g.lock
+                            ),
+                        )),
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        // Guard lifetime: `let g = …lock()…;` chains of
+        // guard-preserving adapters bind a guard for the block; any
+        // other continuation is a temporary for the statement.
+        let close = matching_close(s, open);
+        let mut k = close + 1;
+        let mut preserved = true;
+        while s.is_punct(k, ".") {
+            if s.kind(k + 1) == Some(TokenKind::Ident)
+                && GUARD_PRESERVING.iter().any(|m| s.is_ident(k + 1, m))
+                && s.is_punct(k + 2, "(")
+            {
+                k = matching_close(s, k + 2) + 1;
+            } else {
+                preserved = false;
                 break;
             }
-            _ => break,
         }
+        let is_let = s.is_ident(stmt_start, "let");
+        let bound = is_let && preserved && s.is_punct(k, ";");
+        let binding = if bound {
+            let mut b = stmt_start + 1;
+            if s.is_ident(b, "mut") {
+                b += 1;
+            }
+            (s.kind(b) == Some(TokenKind::Ident)).then(|| s.text(b).to_string())
+        } else {
+            None
+        };
+        guards.push(Guard {
+            lock,
+            binding,
+            depth,
+            temp: !bound,
+        });
+        i = close + 1;
     }
-    let Some(dot) = seen_dot_at else {
-        return false;
-    };
-    // Distinguish the literal `1.5` from the tuple-field access
-    // `self.0`: a literal has a digit (or nothing) before the dot.
-    match rev.get(dot + 1) {
-        None => false, // a bare `.5` never appears as a literal here
-        Some(c) => seen_digit && c.is_ascii_digit(),
-    }
+    findings
 }
 
 #[cfg(test)]
@@ -515,11 +933,16 @@ mod tests {
     use crate::FileClass;
     use std::path::PathBuf;
 
-    fn run(source: &str, class: &FileClass) -> Vec<Diagnostic> {
+    fn run_with_locks(source: &str, class: &FileClass, locks: &[&str]) -> Vec<Diagnostic> {
         let scanned = scan(source);
+        let locks: Vec<String> = locks.iter().map(|s| (*s).to_string()).collect();
         let mut out = Vec::new();
-        check_file(&PathBuf::from("test.rs"), &scanned, class, &mut out);
+        check_file(&PathBuf::from("test.rs"), &scanned, class, &locks, &mut out);
         out
+    }
+
+    fn run(source: &str, class: &FileClass) -> Vec<Diagnostic> {
+        run_with_locks(source, class, &[])
     }
 
     fn physics_lib() -> FileClass {
@@ -530,6 +953,33 @@ mod tests {
         }
     }
 
+    fn only(diags: &[Diagnostic], rule: RuleId) -> Vec<&Diagnostic> {
+        diags.iter().filter(|d| d.rule == rule).collect()
+    }
+
+    #[test]
+    fn word_match_returns_spans_and_respects_boundaries() {
+        assert_eq!(word_match("set temp here", "temp"), Some((4, 8)));
+        assert_eq!(word_match("attempt", "temp"), None);
+        assert_eq!(word_match("temp", "temp"), Some((0, 4)));
+        assert_eq!(word_match("", "temp"), None);
+        assert_eq!(word_match("x", ""), None);
+    }
+
+    #[test]
+    fn word_match_is_safe_and_correct_at_utf8_boundaries() {
+        // Multibyte neighbors are identifier characters: no match.
+        assert_eq!(word_match("tempéré", "temp"), None);
+        assert_eq!(word_match("étemp", "temp"), None);
+        assert_eq!(word_match("温度temp", "temp"), None);
+        // Multibyte non-identifier neighbors are word boundaries.
+        assert_eq!(word_match("«temp»", "temp"), Some((2, 6)));
+        let hay = "t°mp temp";
+        assert_eq!(word_match(hay, "temp"), Some((6, 10)));
+        // A rejected first hit must not prevent a later match.
+        assert_eq!(word_match("tempo temp", "temp"), Some((6, 10)));
+    }
+
     #[test]
     fn l1_flags_raw_quantity_params_and_returns() {
         let src = "pub fn set_inlet_temp(inlet_temp_c: f64) {}\n\
@@ -537,10 +987,30 @@ mod tests {
                    pub fn count(&self) -> usize { 0 }\n\
                    pub fn inlet(&self) -> Celsius { self.t }\n";
         let diags = run(src, &physics_lib());
-        let l1: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::L1).collect();
+        let l1 = only(&diags, RuleId::L1);
         assert_eq!(l1.len(), 2, "{l1:?}");
         assert_eq!(l1[0].line, 1);
         assert_eq!(l1[1].line, 2);
+    }
+
+    #[test]
+    fn l1_handles_multiline_signatures_and_generics() {
+        let src = "pub fn blend<F: Fn(usize) -> f64>(\n\
+                       weights: &[f64],\n\
+                       inlet_temp_c: f64,\n\
+                   ) -> Celsius { Celsius::new(0.0) }\n";
+        let diags = run(src, &physics_lib());
+        let l1 = only(&diags, RuleId::L1);
+        assert_eq!(l1.len(), 1, "{l1:?}");
+        assert_eq!(l1[0].line, 3, "{l1:?}");
+    }
+
+    #[test]
+    fn l1_ignores_pub_fn_inside_strings_and_comments() {
+        let src = "const DOC: &str = \"pub fn set_temp(temp_c: f64)\";\n\
+                   // pub fn flow_rate(flow_lpm: f64) -> f64\n";
+        let diags = run(src, &physics_lib());
+        assert!(only(&diags, RuleId::L1).is_empty(), "{diags:?}");
     }
 
     #[test]
@@ -549,15 +1019,18 @@ mod tests {
                    fn b() { y.expect(\"ok\"); } // h2p-lint: allow(L2): infallible\n\
                    #[cfg(test)]\nmod tests {\n    fn t() { z.unwrap(); panic!(\"no\"); }\n}\n";
         let diags = run(src, &physics_lib());
-        let l2: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::L2).collect();
+        let l2 = only(&diags, RuleId::L2);
         assert_eq!(l2.len(), 1, "{l2:?}");
         assert_eq!(l2[0].line, 1);
     }
 
     #[test]
-    fn l2_does_not_flag_debug_assert() {
-        let diags = run("fn a() { debug_assert!(x > 0.0); }\n", &physics_lib());
-        assert!(diags.iter().all(|d| d.rule != RuleId::L2), "{diags:?}");
+    fn l2_does_not_flag_debug_assert_or_strings() {
+        let src = "fn a() { debug_assert!(x > 0.0); }\n\
+                   const MSG: &str = \"never panic!(here)\";\n\
+                   fn b() { let s = r#\"x.unwrap()\"#; }\n";
+        let diags = run(src, &physics_lib());
+        assert!(only(&diags, RuleId::L2).is_empty(), "{diags:?}");
     }
 
     #[test]
@@ -573,13 +1046,20 @@ mod tests {
     }
 
     #[test]
+    fn l3_skips_use_renames() {
+        let src = "use std::f64 as flt;\n";
+        assert!(run(src, &physics_lib()).is_empty());
+    }
+
+    #[test]
     fn l5_flags_float_literal_comparisons() {
         let src = "fn a(x: f64) -> bool { x == 0.0 }\n\
                    fn b(x: f64) -> bool { 1.5 != x }\n\
                    fn c(x: f64) -> bool { !(x > 0.0) }\n\
-                   fn d(n: usize) -> bool { n == 0 }\n";
+                   fn d(n: usize) -> bool { n == 0 }\n\
+                   fn e(t: &(f64, u8)) -> bool { t.1 == self.0 }\n";
         let diags = run(src, &physics_lib());
-        let l5: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::L5).collect();
+        let l5 = only(&diags, RuleId::L5);
         assert_eq!(l5.len(), 2, "{l5:?}");
     }
 
@@ -590,7 +1070,7 @@ mod tests {
                    fn c() { let t = Instant::now(); } // h2p-lint: allow(L6): Clock impl\n\
                    #[cfg(test)]\nmod tests {\n    fn t() { let x = Instant::now(); }\n}\n";
         let diags = run(src, &physics_lib());
-        let l6: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::L6).collect();
+        let l6 = only(&diags, RuleId::L6);
         assert_eq!(l6.len(), 2, "{l6:?}");
         assert_eq!(l6[0].line, 1);
         assert_eq!(l6[1].line, 2);
@@ -606,7 +1086,7 @@ mod tests {
                    fn e() { let (tx, rx) = std::sync::mpsc::sync_channel::<u8>(4); }\n\
                    #[cfg(test)]\nmod tests {\n    fn t() { let q: VecDeque<u8> = VecDeque::new(); }\n}\n";
         let diags = run(src, &physics_lib());
-        let l7: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::L7).collect();
+        let l7 = only(&diags, RuleId::L7);
         assert_eq!(l7.len(), 3, "{l7:?}");
         assert_eq!(l7[0].line, 1);
         assert_eq!(l7[1].line, 2);
@@ -616,6 +1096,136 @@ mod tests {
     #[test]
     fn l4_detects_forbid_attribute() {
         assert!(l4_forbids_unsafe("//! docs\n#![forbid(unsafe_code)]\n"));
+        assert!(l4_forbids_unsafe("#! [ forbid ( unsafe_code ) ]\n"));
         assert!(!l4_forbids_unsafe("//! docs\n#![warn(missing_docs)]\n"));
+        assert!(!l4_forbids_unsafe(
+            "const S: &str = \"#![forbid(unsafe_code)]\";\n"
+        ));
+    }
+
+    #[test]
+    fn l8_flags_hash_map_iteration_not_lookup() {
+        let src = "struct C { map: HashMap<K, V> }\n\
+                   fn a(c: &C) -> Option<&V> { c.map.get(&k) }\n\
+                   fn b(c: &C) -> usize { c.map.iter().count() }\n\
+                   fn c(c: &C) { for (k, v) in &c.map { touch(k, v); } }\n\
+                   fn d(set: &HashSet<u64>) -> Vec<u64> { set.iter().copied().collect() }\n\
+                   fn e(m: &BTreeMap<K, V>) { for v in m.values() {} }\n";
+        let diags = run(src, &physics_lib());
+        let l8 = only(&diags, RuleId::L8);
+        assert_eq!(l8.len(), 3, "{l8:?}");
+        assert_eq!(l8[0].line, 3);
+        assert_eq!(l8[1].line, 4);
+        assert_eq!(l8[2].line, 5);
+    }
+
+    #[test]
+    fn l8_respects_allow_and_tests() {
+        let src = "fn a(m: &HashMap<K, V>) {\n\
+                       for k in m.keys() {} // h2p-lint: allow(L8): keys re-sorted below\n\
+                   }\n\
+                   #[cfg(test)]\nmod t {\n    fn x(m: &HashMap<K, V>) { m.iter(); }\n}\n";
+        let diags = run(src, &physics_lib());
+        assert!(only(&diags, RuleId::L8).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn l9_flags_ambient_nondeterminism_sources() {
+        let src = "fn a() -> f64 { thread_rng().gen() }\n\
+                   fn b() -> RandomState { RandomState::new() }\n\
+                   fn c() -> String { std::env::var(\"SEED\").unwrap_or_default() }\n\
+                   fn d(p: &Path) { for e in std::fs::read_dir(p) {} }\n\
+                   fn e(p: &Path) { let entries = std::fs::read_dir(p); } // h2p-lint: allow(L9): sorted below\n";
+        let diags = run(src, &physics_lib());
+        let l9 = only(&diags, RuleId::L9);
+        assert_eq!(l9.len(), 4, "{l9:?}");
+    }
+
+    #[test]
+    fn l10_requires_manifest_membership() {
+        let src = "struct S { state: Mutex<u64> }\n\
+                   fn a(s: &S) { let g = s.state.lock().unwrap_or_else(PoisonError::into_inner); }\n";
+        let diags = run(src, &physics_lib());
+        let l10 = only(&diags, RuleId::L10);
+        assert_eq!(l10.len(), 1, "{l10:?}");
+        assert!(l10[0].message.contains("manifest"), "{l10:?}");
+        // Same file, with the lock declared: clean.
+        let with_manifest = run_with_locks(src, &physics_lib(), &["state"]);
+        assert!(
+            only(&with_manifest, RuleId::L10).is_empty(),
+            "{with_manifest:?}"
+        );
+    }
+
+    #[test]
+    fn l10_flags_nested_acquisition_against_manifest_order() {
+        let src = "// h2p-lint: lock-order: first, second\n\
+                   struct S { first: Mutex<u64>, second: Mutex<u64> }\n\
+                   fn good(s: &S) {\n\
+                       let a = s.first.lock();\n\
+                       let b = s.second.lock();\n\
+                   }\n\
+                   fn bad(s: &S) {\n\
+                       let b = s.second.lock();\n\
+                       let a = s.first.lock();\n\
+                   }\n\
+                   fn sequential(s: &S) {\n\
+                       { let b = s.second.lock(); }\n\
+                       let a = s.first.lock();\n\
+                   }\n";
+        let diags = run(src, &physics_lib());
+        let l10 = only(&diags, RuleId::L10);
+        assert_eq!(l10.len(), 1, "{l10:?}");
+        assert_eq!(l10[0].line, 9, "{l10:?}");
+        assert!(l10[0].message.contains("manifest order"), "{l10:?}");
+    }
+
+    #[test]
+    fn l10_temporary_guards_die_at_statement_end() {
+        let src = "// h2p-lint: lock-order: a_lock, b_lock\n\
+                   struct S { a_lock: Mutex<u64>, b_lock: Mutex<u64> }\n\
+                   fn f(s: &S) {\n\
+                       let n = s.b_lock.lock().unwrap_or_else(PoisonError::into_inner).clone();\n\
+                       let g = s.a_lock.lock();\n\
+                   }\n";
+        let diags = run(src, &physics_lib());
+        assert!(only(&diags, RuleId::L10).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn l10_detects_free_helper_acquisitions_and_reacquisition() {
+        let src = "// h2p-lint: lock-order: cache\n\
+                   struct S { cache: Mutex<u64> }\n\
+                   fn f(s: &S) {\n\
+                       let g = lock(&s.cache);\n\
+                       let h = lock(&s.cache);\n\
+                   }\n";
+        let diags = run(src, &physics_lib());
+        let l10 = only(&diags, RuleId::L10);
+        assert_eq!(l10.len(), 1, "{l10:?}");
+        assert!(l10[0].message.contains("re-acquired"), "{l10:?}");
+    }
+
+    #[test]
+    fn l10_drop_releases_a_guard_early() {
+        let src = "// h2p-lint: lock-order: first, second\n\
+                   struct S { first: Mutex<u64>, second: Mutex<u64> }\n\
+                   fn f(s: &S) {\n\
+                       let b = s.second.lock();\n\
+                       drop(b);\n\
+                       let a = s.first.lock();\n\
+                   }\n";
+        let diags = run(src, &physics_lib());
+        assert!(only(&diags, RuleId::L10).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn diagnostics_carry_columns() {
+        let src = "fn a() {     x.unwrap(); }\n";
+        let diags = run(src, &physics_lib());
+        let l2 = only(&diags, RuleId::L2);
+        assert_eq!(l2.len(), 1);
+        assert_eq!(l2[0].line, 1);
+        assert_eq!(l2[0].col, 16, "{l2:?}");
     }
 }

@@ -1,222 +1,196 @@
-//! Lexical preprocessing of Rust sources.
+//! Structural analysis of one lexed source file.
 //!
-//! The lint pass runs in an offline sandbox with no `syn`, so rules
-//! operate on a *stripped* view of each file: comment and string
-//! contents are blanked (preserving line structure and delimiters) and
-//! a few structural facts are recovered — `#[cfg(test)]` regions via
-//! brace tracking, and `h2p-lint: allow(...)` directives from the
-//! comments before they are blanked. This is deliberately simpler than
-//! a full parse; the rules it feeds are line-anchored pattern checks
-//! for which token-accurate text is sufficient.
+//! The [`lexer`](crate::lexer) turns bytes into tokens; this module
+//! recovers the file-level structure the rules need:
+//!
+//! * the **code token stream** (comments and whitespace filtered out),
+//! * `#[cfg(test)]` **regions** via token-accurate brace tracking
+//!   (braces inside strings and char literals are opaque to it),
+//! * `h2p-lint: allow(…)` **waiver directives** from comment tokens,
+//! * each file's `h2p-lint: lock-order: …` **manifest** entries
+//!   (see rule L10 in [`crate::rules`]).
+//!
+//! Because rules consume tokens rather than stripped lines, a
+//! `panic!(` inside a string, a `pub fn` in a doc comment, or a brace
+//! in a char literal can no longer confuse them — the failure modes
+//! of the earlier stripped-line scanner.
 
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::word_match;
 use crate::RuleId;
 use std::collections::HashMap;
 
-/// One preprocessed source file.
+/// One scanned source file: the token stream plus recovered structure.
 pub struct ScannedFile {
-    /// Per-line stripped text (comments/strings blanked, delimiters kept).
-    pub lines: Vec<String>,
-    /// 1-based lines inside `#[cfg(test)]` items.
+    /// The source text the token spans index into.
+    pub source: String,
+    /// Every token, in order, spans tiling `source`.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of code tokens (not comments/whitespace).
+    pub code: Vec<usize>,
+    /// `test_region[line - 1]` is true for lines inside
+    /// `#[cfg(test)]` items.
     pub test_region: Vec<bool>,
-    /// 1-based line -> rules allow-listed for that line.
+    /// 1-based line → rules waived on that line.
     pub allows: HashMap<usize, Vec<RuleId>>,
+    /// Lock names declared by this file's `lock-order` directives, in
+    /// manifest order (usually only present in `lib.rs`).
+    pub lock_order: Vec<String>,
 }
 
-/// Lexer state that survives line boundaries.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Mode {
-    Code,
-    /// Inside `/* ... */`, tracking nesting depth.
-    BlockComment(u32),
-    /// Inside a `"..."` string.
-    Str,
-    /// Inside a raw string with `hashes` trailing `#` marks.
-    RawStr {
-        hashes: u8,
-    },
+impl ScannedFile {
+    /// The text of code token `i` (an index into [`Self::code`]).
+    #[must_use]
+    pub fn text(&self, i: usize) -> &str {
+        self.tokens[self.code[i]].text(&self.source)
+    }
+
+    /// The token behind code index `i`.
+    #[must_use]
+    pub fn tok(&self, i: usize) -> &Token {
+        &self.tokens[self.code[i]]
+    }
+
+    /// Whether code token `i` is the punctuation `op`.
+    #[must_use]
+    pub fn is_punct(&self, i: usize, op: &str) -> bool {
+        i < self.code.len() && self.tok(i).kind == TokenKind::Punct && self.text(i) == op
+    }
+
+    /// Whether code token `i` is the identifier `word`.
+    #[must_use]
+    pub fn is_ident(&self, i: usize, word: &str) -> bool {
+        i < self.code.len() && self.tok(i).kind == TokenKind::Ident && self.text(i) == word
+    }
+
+    /// The kind of code token `i`, if it exists.
+    #[must_use]
+    pub fn kind(&self, i: usize) -> Option<TokenKind> {
+        (i < self.code.len()).then(|| self.tok(i).kind)
+    }
+
+    /// Whether code token `i` sits inside a `#[cfg(test)]` region.
+    #[must_use]
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_region
+            .get(self.tok(i).line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
 }
 
-/// Strips one line, returning the stripped text, any comment text
-/// encountered, and the updated carry-over mode.
-fn strip_line(line: &str, mode: Mode) -> (String, String, Mode) {
-    let mut out = String::with_capacity(line.len());
-    let mut comments = String::new();
-    let bytes: Vec<char> = line.chars().collect();
-    let mut i = 0;
-    let mut mode = mode;
+/// Scans a whole file (see module docs).
+#[must_use]
+pub fn scan(source: &str) -> ScannedFile {
+    let tokens = lex(source);
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.kind.is_code().then_some(i))
+        .collect();
+    let nlines = source.lines().count().max(1);
 
-    while i < bytes.len() {
-        let c = bytes[i];
-        let next = bytes.get(i + 1).copied();
-        match mode {
-            Mode::BlockComment(depth) => {
-                comments.push(c);
-                if c == '*' && next == Some('/') {
-                    comments.push('/');
-                    i += 2;
-                    mode = if depth == 1 {
-                        Mode::Code
-                    } else {
-                        Mode::BlockComment(depth - 1)
-                    };
-                    continue;
-                }
-                if c == '/' && next == Some('*') {
-                    comments.push('*');
-                    i += 2;
-                    mode = Mode::BlockComment(depth + 1);
-                    continue;
-                }
-                i += 1;
-            }
-            Mode::Str => {
-                if c == '\\' {
-                    i += 2; // escape: skip escaped char (may end the line)
-                    out.push(' ');
-                    out.push(' ');
-                    continue;
-                }
-                if c == '"' {
-                    out.push('"');
-                    mode = Mode::Code;
-                } else {
-                    out.push(' ');
-                }
-                i += 1;
-            }
-            Mode::RawStr { hashes } => {
-                if c == '"' {
-                    let needed = hashes as usize;
-                    let tail: String = bytes[i + 1..].iter().take(needed).collect();
-                    if tail.chars().filter(|&h| h == '#').count() == needed {
-                        out.push('"');
-                        for _ in 0..needed {
-                            out.push('#');
-                        }
-                        i += 1 + needed;
-                        mode = Mode::Code;
-                        continue;
-                    }
-                }
-                out.push(' ');
-                i += 1;
-            }
-            Mode::Code => {
-                match c {
-                    '/' if next == Some('/') => {
-                        // Line comment: capture for directives, drop
-                        // from code view.
-                        comments.push_str(&bytes[i..].iter().collect::<String>());
-                        i = bytes.len();
-                    }
-                    '/' if next == Some('*') => {
-                        comments.push_str("/*");
-                        i += 2;
-                        mode = Mode::BlockComment(1);
-                    }
-                    '"' => {
-                        out.push('"');
-                        i += 1;
-                        mode = Mode::Str;
-                    }
-                    'r' | 'b' if starts_raw_string(&bytes, i) => {
-                        let (prefix_len, hashes) = raw_string_shape(&bytes, i);
-                        for _ in 0..prefix_len {
-                            out.push(' ');
-                        }
-                        out.push('"');
-                        i += prefix_len + 1;
-                        mode = Mode::RawStr { hashes };
-                    }
-                    'b' if next == Some('"') => {
-                        out.push(' ');
-                        out.push('"');
-                        i += 2;
-                        mode = Mode::Str;
-                    }
-                    '\'' => {
-                        // Char literal vs lifetime. A literal closes
-                        // with a quote after one (possibly escaped)
-                        // character; a lifetime does not.
-                        if let Some(advance) = char_literal_len(&bytes, i) {
-                            out.push('\'');
-                            for _ in 1..advance {
-                                out.push(' ');
-                            }
-                            i += advance;
-                        } else {
-                            out.push('\'');
-                            i += 1;
-                        }
-                    }
-                    _ => {
-                        out.push(c);
-                        i += 1;
-                    }
-                }
-            }
+    let (allows, lock_order) = collect_directives(source, &tokens, &code);
+    let test_region = mark_test_regions(source, &tokens, &code, nlines);
+
+    ScannedFile {
+        source: source.to_string(),
+        tokens,
+        code,
+        test_region,
+        allows,
+        lock_order,
+    }
+}
+
+/// Parses `h2p-lint:` directives out of comment tokens: `allow(L…)`
+/// waivers (same line, or the line above skipping attribute-only
+/// lines) and `lock-order:` manifest entries.
+fn collect_directives(
+    source: &str,
+    tokens: &[Token],
+    code: &[usize],
+) -> (HashMap<usize, Vec<RuleId>>, Vec<String>) {
+    let mut allows: HashMap<usize, Vec<RuleId>> = HashMap::new();
+    let mut lock_order: Vec<String> = Vec::new();
+
+    // Per-line code presence, and whether the line is attribute-only
+    // (`#[…]` / `#![…]`), which an allow comment above may skip.
+    let mut line_first: HashMap<usize, usize> = HashMap::new();
+    let mut line_last: HashMap<usize, usize> = HashMap::new();
+    for &ti in code {
+        let line = tokens[ti].line;
+        line_first.entry(line).or_insert(ti);
+        line_last.insert(line, ti);
+    }
+    let attribute_only = |line: usize| -> bool {
+        match (line_first.get(&line), line_last.get(&line)) {
+            (Some(&f), Some(&l)) => tokens[f].text(source) == "#" && tokens[l].text(source) == "]",
+            _ => false,
         }
-    }
-    (out, comments, mode)
-}
-
-/// Whether position `i` starts `r"`, `r#"`, `br"`, `br#"`, ...
-fn starts_raw_string(bytes: &[char], i: usize) -> bool {
-    let mut j = i;
-    if bytes[j] == 'b' {
-        j += 1;
-    }
-    if bytes.get(j) != Some(&'r') {
-        return false;
-    }
-    j += 1;
-    while bytes.get(j) == Some(&'#') {
-        j += 1;
-    }
-    bytes.get(j) == Some(&'"')
-}
-
-/// Length of the `r##` prefix (before the quote) and its hash count.
-fn raw_string_shape(bytes: &[char], i: usize) -> (usize, u8) {
-    let mut j = i;
-    if bytes[j] == 'b' {
-        j += 1;
-    }
-    j += 1; // the `r`
-    let mut hashes = 0u8;
-    while bytes.get(j) == Some(&'#') {
-        hashes += 1;
-        j += 1;
-    }
-    (j - i, hashes)
-}
-
-/// If a char literal starts at `i`, its total length; `None` for
-/// lifetimes.
-fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
-    match bytes.get(i + 1)? {
-        '\\' => {
-            // Escaped: find the closing quote within a few chars
-            // (\n, \u{..} and friends).
-            let mut j = i + 2;
-            while j < bytes.len() && j - i < 12 {
-                if bytes[j] == '\'' {
-                    return Some(j - i + 1);
-                }
-                j += 1;
-            }
-            None
-        }
-        _ => (bytes.get(i + 2) == Some(&'\'')).then_some(3),
-    }
-}
-
-/// Parses `h2p-lint: allow(L1)` / `allow(L2, L5)` out of comment text.
-fn parse_allow_directive(comment: &str) -> Vec<RuleId> {
-    let Some(at) = comment.find("h2p-lint:") else {
-        return Vec::new();
     };
-    let rest = &comment[at + "h2p-lint:".len()..];
+    let has_code = |line: usize| line_first.contains_key(&line);
+
+    let mut pending: Vec<(usize, Vec<RuleId>)> = Vec::new();
+    for t in tokens {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = t.text(source);
+        let Some(at) = word_match(text, "h2p-lint").map(|(s, _)| s) else {
+            continue;
+        };
+        let rest = &text[at..];
+        if let Some(open) = rest.find("lock-order:") {
+            let names = &rest[open + "lock-order:".len()..];
+            let names = names.lines().next().unwrap_or(names);
+            for name in names.split(',') {
+                let name: String = name
+                    .trim()
+                    .chars()
+                    .take_while(|&c| crate::lexer::is_ident_char(c))
+                    .collect();
+                if !name.is_empty() && !lock_order.contains(&name) {
+                    lock_order.push(name);
+                }
+            }
+            continue;
+        }
+        let rules = parse_allow(rest);
+        if rules.is_empty() {
+            continue;
+        }
+        if has_code(t.line) {
+            // Trailing comment: waives its own line.
+            allows.entry(t.line).or_default().extend(rules);
+        } else {
+            pending.push((t.line, rules));
+        }
+    }
+
+    // Standalone allow comments attach to the next code line beneath
+    // them, skipping attribute-only lines (a stacked clippy allow
+    // cannot itself violate a rule).
+    let max_line = tokens.last().map_or(1, |t| t.line);
+    for (comment_line, rules) in pending {
+        let mut line = comment_line + 1;
+        while line <= max_line {
+            if has_code(line) {
+                if attribute_only(line) {
+                    line += 1;
+                    continue;
+                }
+                allows.entry(line).or_default().extend(rules);
+                break;
+            }
+            line += 1;
+        }
+    }
+    (allows, lock_order)
+}
+
+/// Parses `allow(L2)` / `allow(L3, L5)` after an `h2p-lint` marker.
+fn parse_allow(rest: &str) -> Vec<RuleId> {
     let Some(open) = rest.find("allow(") else {
         return Vec::new();
     };
@@ -230,92 +204,100 @@ fn parse_allow_directive(comment: &str) -> Vec<RuleId> {
         .collect()
 }
 
-/// Preprocesses a whole file.
-#[must_use]
-pub fn scan(source: &str) -> ScannedFile {
-    let raw_lines: Vec<&str> = source.lines().collect();
-    let mut lines = Vec::with_capacity(raw_lines.len());
-    let mut allows: HashMap<usize, Vec<RuleId>> = HashMap::new();
-    let mut mode = Mode::Code;
-    let mut pending_allow: Vec<RuleId> = Vec::new();
-
-    for (idx, raw) in raw_lines.iter().enumerate() {
-        let lineno = idx + 1;
-        let (stripped, comments, next_mode) = strip_line(raw, mode);
-        mode = next_mode;
-
-        let directive = parse_allow_directive(&comments);
-        let code_is_blank = stripped.trim().is_empty();
-        if !directive.is_empty() {
-            if code_is_blank {
-                // Standalone comment: applies to the next code line.
-                pending_allow = directive;
-            } else {
-                allows.entry(lineno).or_default().extend(directive);
-            }
-        } else if !code_is_blank && !pending_allow.is_empty() {
-            // Attribute-only lines (e.g. a clippy `#[allow(...)]`
-            // stacked under the h2p-lint comment) cannot themselves
-            // violate a rule; carry the pending allow through to the
-            // code line beneath them.
-            let trimmed = stripped.trim();
-            if !(trimmed.starts_with("#[") && trimmed.ends_with(']')) {
-                allows.entry(lineno).or_default().append(&mut pending_allow);
-            }
-        }
-        lines.push(stripped);
-    }
-
-    let test_region = mark_test_regions(&lines);
-    ScannedFile {
-        lines,
-        test_region,
-        allows,
-    }
-}
-
-/// Marks lines covered by `#[cfg(test)]` items (modules or functions)
-/// by tracking brace depth from the attribute's opening brace to its
-/// matching close.
-fn mark_test_regions(lines: &[String]) -> Vec<bool> {
-    let mut region = vec![false; lines.len()];
+/// Marks lines covered by `#[cfg(test)]` (and `#[cfg(all(test, …))]`)
+/// items by brace tracking over code tokens. String/char contents are
+/// whole tokens, so their braces cannot unbalance the walk.
+fn mark_test_regions(source: &str, tokens: &[Token], code: &[usize], nlines: usize) -> Vec<bool> {
+    let mut region = vec![false; nlines];
     let mut depth: i64 = 0;
-    // Depth at which each active test region opened.
+    // Brace depths at which an armed `#[cfg(test)]` item opened.
     let mut open_regions: Vec<i64> = Vec::new();
     let mut armed = false;
+    let mut mark_from: Option<usize> = None;
 
-    for (idx, line) in lines.iter().enumerate() {
-        if !open_regions.is_empty() {
-            region[idx] = true;
-        }
-        if line.contains("#[cfg(test)]") || line.contains("#[cfg(all(test") {
-            armed = true;
-            region[idx] = true;
-        }
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    if armed {
-                        open_regions.push(depth);
-                        armed = false;
-                        region[idx] = true;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if open_regions.last() == Some(&depth) {
-                        open_regions.pop();
-                        region[idx] = true;
-                    }
-                }
-                _ => {}
+    let text = |k: usize| tokens[code[k]].text(source);
+    let line = |k: usize| tokens[code[k]].line;
+    let mark = |from: usize, to: usize, region: &mut Vec<bool>| {
+        for l in from..=to.min(nlines) {
+            if l >= 1 {
+                region[l - 1] = true;
             }
         }
-        if armed {
-            // Attribute line(s) before the item body opens.
-            region[idx] = true;
+    };
+
+    let mut i = 0;
+    while i < code.len() {
+        match text(i) {
+            "#" if matches!(code.get(i + 1).map(|_| text(i + 1)), Some("[")) => {
+                // Scan the attribute to its matching `]`.
+                let attr_start_line = line(i);
+                let mut j = i + 2;
+                let mut bracket = 1i64;
+                let mut is_cfg_test = false;
+                // Detect `cfg(test…` or `cfg(all(test…` prefixes.
+                if j + 2 < code.len() && text(j) == "cfg" && text(j + 1) == "(" {
+                    is_cfg_test = text(j + 2) == "test"
+                        || (j + 4 < code.len()
+                            && text(j + 2) == "all"
+                            && text(j + 3) == "("
+                            && text(j + 4) == "test");
+                }
+                while j < code.len() && bracket > 0 {
+                    match text(j) {
+                        "[" => bracket += 1,
+                        "]" => bracket -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if is_cfg_test {
+                    armed = true;
+                    mark_from = Some(attr_start_line);
+                    mark(
+                        attr_start_line,
+                        line(j.saturating_sub(1).min(code.len() - 1)),
+                        &mut region,
+                    );
+                }
+                i = j;
+                continue;
+            }
+            "{" => {
+                if armed {
+                    open_regions.push(depth);
+                    armed = false;
+                }
+                depth += 1;
+                if !open_regions.is_empty() {
+                    if let Some(from) = mark_from.take() {
+                        mark(from, line(i), &mut region);
+                    }
+                    region[line(i) - 1] = true;
+                }
+            }
+            "}" => {
+                depth -= 1;
+                if open_regions.last() == Some(&depth) {
+                    open_regions.pop();
+                    region[line(i) - 1] = true;
+                }
+            }
+            ";" if armed && open_regions.is_empty() => {
+                // `#[cfg(test)] use …;` — an item with no body.
+                if let Some(from) = mark_from.take() {
+                    mark(from, line(i), &mut region);
+                }
+                armed = false;
+            }
+            _ => {}
         }
+        if !open_regions.is_empty() || armed {
+            let l = line(i);
+            if l >= 1 && l <= nlines {
+                region[l - 1] = true;
+            }
+        }
+        i += 1;
     }
     region
 }
@@ -325,34 +307,30 @@ mod tests {
     use super::*;
 
     #[test]
-    fn strings_and_comments_blanked() {
+    fn strings_and_comments_are_not_code() {
         let s = scan("let x = \"a } b { unwrap()\"; // trailing unwrap()\nlet y = 2;");
-        assert!(!s.lines[0].contains("unwrap"));
-        assert!(s.lines[0].contains("let x ="));
-        assert_eq!(s.lines[1], "let y = 2;");
+        assert!(!(0..s.code.len()).any(|i| s.is_ident(i, "unwrap")));
+        assert!((0..s.code.len()).any(|i| s.is_ident(i, "y")));
     }
 
     #[test]
-    fn block_comments_span_lines() {
-        let s = scan("a /* one\ntwo unwrap()\nthree */ b");
-        assert!(s.lines[1].trim().is_empty());
-        assert!(s.lines[2].contains('b'));
-    }
-
-    #[test]
-    fn char_literals_and_lifetimes() {
-        let s = scan("fn f<'a>(x: &'a str) { let c = '}'; let d = '\\n'; }");
-        // The brace inside the char literal must not unbalance depth.
-        let opens = s.lines[0].matches('{').count();
-        let closes = s.lines[0].matches('}').count();
-        assert_eq!(opens, closes);
-    }
-
-    #[test]
-    fn raw_strings_blanked() {
+    fn raw_string_contents_are_opaque() {
         let s = scan("let x = r#\"panic!(\"boom\")\"#; let y = 1;");
-        assert!(!s.lines[0].contains("panic"));
-        assert!(s.lines[0].contains("let y = 1;"));
+        assert!(!(0..s.code.len()).any(|i| s.is_ident(i, "panic")));
+        assert!((0..s.code.len()).any(|i| s.is_ident(i, "y")));
+    }
+
+    #[test]
+    fn char_literal_braces_do_not_unbalance_regions() {
+        let src =
+            "fn f() { let c = '}'; }\n#[cfg(test)]\nmod t {\n    fn g() {}\n}\nfn after() {}\n";
+        let s = scan(src);
+        assert!(!s.test_region[0], "{:?}", s.test_region);
+        assert!(s.test_region[1]);
+        assert!(s.test_region[2]);
+        assert!(s.test_region[3]);
+        assert!(s.test_region[4]);
+        assert!(!s.test_region[5]);
     }
 
     #[test]
@@ -366,6 +344,31 @@ mod tests {
         assert!(s.test_region[5]);
         assert!(s.test_region[6]);
         assert!(!s.test_region[7]);
+    }
+
+    #[test]
+    fn cfg_all_test_region_tracked() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t {\n    fn g() {}\n}\nfn real() {}\n";
+        let s = scan(src);
+        assert!(s.test_region[0]);
+        assert!(s.test_region[2]);
+        assert!(!s.test_region[4]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn real() {\n    body();\n}\n";
+        let s = scan(src);
+        assert!(!s.test_region[1], "{:?}", s.test_region);
+    }
+
+    #[test]
+    fn cfg_test_on_bodyless_item_disarms_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn real() {\n    body();\n}\n";
+        let s = scan(src);
+        assert!(s.test_region[1]);
+        assert!(!s.test_region[2], "{:?}", s.test_region);
+        assert!(!s.test_region[3]);
     }
 
     #[test]
@@ -383,5 +386,19 @@ mod tests {
         let s = scan(src);
         assert_eq!(s.allows.get(&2), None);
         assert_eq!(s.allows.get(&3), Some(&vec![RuleId::L3]));
+    }
+
+    #[test]
+    fn allow_inside_string_is_inert() {
+        let src = "let s = \"h2p-lint: allow(L2)\";\nlet a = x.unwrap();\n";
+        let s = scan(src);
+        assert!(s.allows.is_empty(), "{:?}", s.allows);
+    }
+
+    #[test]
+    fn lock_order_manifest_parsed_in_order() {
+        let src = "//! Crate docs.\n// h2p-lint: lock-order: drain_gate, cache, engines\nfn f() {}\n// h2p-lint: lock-order: extra\n";
+        let s = scan(src);
+        assert_eq!(s.lock_order, ["drain_gate", "cache", "engines", "extra"]);
     }
 }

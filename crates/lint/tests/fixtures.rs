@@ -65,12 +65,43 @@ fn l7_fires_on_unbounded_queue_fixture_and_respects_the_waiver() {
 }
 
 #[test]
-fn diagnostics_carry_file_and_line() {
+fn l8_fires_on_hash_iteration_fixture_and_respects_the_waiver() {
+    let rules = rules_for("l8_hash_iteration");
+    assert_eq!(rules, vec![RuleId::L8; 3], "{rules:?}");
+}
+
+#[test]
+fn l9_fires_on_ambient_nondeterminism_fixture_and_respects_the_waiver() {
+    let rules = rules_for("l9_ambient_nondeterminism");
+    assert_eq!(rules, vec![RuleId::L9; 4], "{rules:?}");
+}
+
+#[test]
+fn l10_fires_on_unordered_locks_fixture() {
+    let diags = lint_fixture_dir(&fixtures_dir().join("violations")).unwrap();
+    let l10: Vec<_> = diags
+        .iter()
+        .filter(|d| d.file.to_string_lossy().contains("l10_unordered_locks"))
+        .collect();
+    assert_eq!(l10.len(), 2, "{l10:?}");
+    assert!(l10[0].message.contains("manifest order"), "{l10:?}");
+    assert!(
+        l10[1]
+            .message
+            .contains("not in the crate's lock-order manifest"),
+        "{l10:?}"
+    );
+}
+
+#[test]
+fn diagnostics_carry_file_line_and_column() {
     let diags = lint_fixture_dir(&fixtures_dir().join("violations")).unwrap();
     for d in &diags {
         assert!(d.line >= 1, "{d}");
+        assert!(d.col >= 1, "{d}");
         let text = d.to_string();
         assert!(text.contains(&format!("{}:", d.file.display())), "{text}");
+        assert!(text.contains(&format!(":{}:{}:", d.line, d.col)), "{text}");
     }
 }
 
@@ -103,4 +134,45 @@ fn cli_exits_nonzero_on_violations_and_zero_on_clean() {
         .output()
         .expect("run h2p-lint on clean fixtures");
     assert_eq!(good.status.code(), Some(0), "{good:?}");
+}
+
+#[test]
+fn json_mode_emits_one_parseable_object_per_finding_and_exits_nonzero() {
+    let bin = env!("CARGO_BIN_EXE_h2p-lint");
+    let out = Command::new(bin)
+        .args(["--json", "--fixtures"])
+        .arg(fixtures_dir().join("violations"))
+        .output()
+        .expect("run h2p-lint --json on violations");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    let expected = lint_fixture_dir(&fixtures_dir().join("violations")).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), expected.len(), "{stdout}");
+    for (line, diag) in lines.iter().zip(&expected) {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(
+            line.contains(&format!("\"rule\":\"{}\"", diag.rule)),
+            "{line}"
+        );
+        assert!(line.contains("\"file\":\""), "{line}");
+        assert!(
+            line.contains(&format!("\"line\":{},\"col\":{},", diag.line, diag.col)),
+            "{line}"
+        );
+        assert!(line.contains("\"message\":\""), "{line}");
+        // The free text is the only field that can carry quotes or
+        // backslashes; everything up to it must parse as-is.
+        assert!(!line.contains("\n"), "{line}");
+    }
+
+    // JSON mode on a clean tree: silent success.
+    let good = Command::new(bin)
+        .args(["--json", "--fixtures"])
+        .arg(fixtures_dir().join("clean"))
+        .output()
+        .expect("run h2p-lint --json on clean fixtures");
+    assert_eq!(good.status.code(), Some(0), "{good:?}");
+    assert!(good.stdout.is_empty(), "{good:?}");
 }

@@ -1,0 +1,157 @@
+//! Property and round-trip tests of the lint lexer.
+//!
+//! The load-bearing invariant is **tiling**: every byte of the source
+//! belongs to exactly one token, in order, with no gaps and no
+//! overlaps — `concat(token texts) == source`. Every rule's span
+//! reporting and the scanner's string/comment opacity rest on it, and
+//! it must hold on garbage input too (the lexer never fails; it emits
+//! single-char punct tokens instead).
+
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use h2p_lint::lexer::{lex, TokenKind};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Source fragments chosen to stress every lexer state: raw/byte
+/// strings, nested comments, char-vs-lifetime, float-vs-path dots,
+/// multibyte identifiers, and plain operator soup. Concatenations of
+/// these in any order must still tile.
+const FRAGMENTS: &[&str] = &[
+    "fn f() {}",
+    "let x = 1.5e-3;",
+    "self.0",
+    "0..n",
+    "1.max(2)",
+    "0x1f_u32",
+    "7f64",
+    "r\"raw\"",
+    "r#\"raw \" inner\"#",
+    "br#\"bytes \"# \"##",
+    "b\"bytes\"",
+    "b'x'",
+    "'}'",
+    "'\\u{1F600}'",
+    "'a",
+    "<'a, 'static>",
+    "/* outer /* nested */ back */",
+    "// line comment\n",
+    "/// doc with \"quote\n",
+    "\"str with \\\" escape\"",
+    "\"multi\nline\"",
+    "r#match",
+    "température",
+    "温度.計測()",
+    "a<<=b>>=c..=d...e",
+    "::->=>==!=<=>=&&||",
+    "#![forbid(unsafe_code)]",
+    "m!{ ( [ { } ] ) }",
+    "\\ ` $ @ ~",
+    "\t \u{a0}\n",
+];
+
+/// Asserts the tiling invariant plus line/col bookkeeping on `source`.
+fn assert_tiles(source: &str) -> Result<(), TestCaseError> {
+    let tokens = lex(source);
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut rebuilt = String::with_capacity(source.len());
+    for t in &tokens {
+        prop_assert_eq!(t.start, pos, "gap/overlap before {:?} in {:?}", t, source);
+        prop_assert!(t.end > t.start, "empty token {:?} in {:?}", t, source);
+        prop_assert!(
+            source.is_char_boundary(t.start) && source.is_char_boundary(t.end),
+            "span not char-aligned: {:?} in {:?}",
+            t,
+            source
+        );
+        prop_assert_eq!(t.line, line, "line drift at {:?} in {:?}", t, source);
+        prop_assert_eq!(t.col, col, "col drift at {:?} in {:?}", t, source);
+        for c in t.text(source).chars() {
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        rebuilt.push_str(t.text(source));
+        pos = t.end;
+    }
+    prop_assert_eq!(pos, source.len(), "trailing bytes unlexed in {:?}", source);
+    prop_assert_eq!(rebuilt, source);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn token_spans_tile_fragment_concatenations(
+        picks in vec((0..FRAGMENTS.len(), 0..3usize), 0..24usize),
+    ) {
+        let mut source = String::new();
+        for (idx, sep) in picks {
+            source.push_str(FRAGMENTS[idx]);
+            source.push_str([" ", "\n", ""][sep]);
+        }
+        assert_tiles(&source)?;
+    }
+
+    #[test]
+    fn token_spans_tile_arbitrary_bytes(
+        chars in vec(0..128u32, 0..64usize),
+    ) {
+        // Printable-ish ASCII soup, including unbalanced quotes and
+        // half-open comments: the lexer must still tile, never panic.
+        let source: String = chars
+            .into_iter()
+            .filter_map(|c| char::from_u32(c % 127))
+            .collect();
+        assert_tiles(&source)?;
+    }
+}
+
+/// Edge-case round trips: each input tiles and lexes to the expected
+/// coarse shape (the kind of its first non-trivia token).
+#[test]
+fn raw_string_and_comment_round_trips() {
+    let cases: &[(&str, TokenKind)] = &[
+        ("r#\"a \" b\"# rest", TokenKind::RawStr),
+        ("r##\"sharp \"# inside\"## x", TokenKind::RawStr),
+        ("br#\"raw bytes\"#", TokenKind::RawStr),
+        ("r\"no hash\"", TokenKind::RawStr),
+        ("r#match + 1", TokenKind::Ident),
+        ("/* a /* b */ c */ d", TokenKind::BlockComment),
+        ("/* unterminated /* nest", TokenKind::BlockComment),
+        ("\"multi\nline \\\" esc\"", TokenKind::Str),
+        ("'\\u{1F600}' x", TokenKind::Char),
+        ("'a>", TokenKind::Lifetime),
+        ("1.5.to_string()", TokenKind::Float),
+        ("1..2", TokenKind::Int),
+    ];
+    for (source, expected) in cases {
+        assert_tiles(source).unwrap();
+        let first = lex(source)
+            .into_iter()
+            .find(|t| t.kind != TokenKind::Whitespace)
+            .unwrap_or_else(|| panic!("no tokens in {source:?}"));
+        assert_eq!(
+            first.kind, *expected,
+            "first token of {source:?}: {first:?}"
+        );
+    }
+}
+
+/// The whole lint crate's own sources must tile — real-world Rust
+/// with every construct the workspace actually uses.
+#[test]
+fn lexer_tiles_its_own_crate_sources() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    for name in ["lexer.rs", "scanner.rs", "rules.rs", "lib.rs", "main.rs"] {
+        let source = std::fs::read_to_string(dir.join(name)).unwrap();
+        assert_tiles(&source).unwrap();
+    }
+}

@@ -10,7 +10,7 @@
 
 use crate::request::ScenarioKey;
 use h2p_telemetry::Counter;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Always-on statistics of the result cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,12 +38,16 @@ struct Entry<V> {
 /// A strict-LRU map bounded at `capacity` entries (see module docs).
 ///
 /// Recency is tracked with a monotone stamp per entry and a lazy
-/// sweep on eviction: O(1) hits, O(n) only when an insert actually
-/// evicts — the right trade for a cache whose values each cost an
-/// engine run.
+/// sweep on eviction: O(log n) hits, O(n) only when an insert
+/// actually evicts — the right trade for a cache whose values each
+/// cost an engine run. The map is a `BTreeMap` (L8): the eviction
+/// sweep folds over it, and hash iteration order would make the
+/// victim — and therefore every downstream hit/miss pattern — vary
+/// per process. Key order breaks recency-stamp ties, so eviction is a
+/// pure function of the request history.
 #[derive(Debug)]
 pub struct ResultCache<V> {
-    map: HashMap<ScenarioKey, Entry<V>>,
+    map: BTreeMap<ScenarioKey, Entry<V>>,
     capacity: usize,
     tick: u64,
     hits: Counter,
@@ -57,7 +61,7 @@ impl<V: Clone> ResultCache<V> {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         ResultCache {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             capacity: capacity.max(1),
             tick: 0,
             hits: Counter::new(),

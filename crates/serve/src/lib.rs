@@ -40,6 +40,11 @@
 #![warn(missing_docs)]
 // `!(x > 0.0)`-style NaN-rejecting guards are idiomatic here.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Lock-order manifest (h2p-lint L10). `drain_gate` serializes drains
+// and is held across the engine/cache critical sections; the queue
+// lanes (`inner`), the engine map and the result cache are leaf
+// locks, never held while acquiring another.
+// h2p-lint: lock-order: drain_gate, inner, engines, cache
 // Test code opts back into panicking asserts/unwraps (see [workspace.lints]).
 #![cfg_attr(
     test,

@@ -278,10 +278,12 @@ impl ScenarioRequest {
 
 /// The canonical content address of a scenario: a stable string naming
 /// every result-determining input, plus an FNV-1a fingerprint for
-/// compact display. Equality and hashing use the *full* canonical
-/// string — the fingerprint is never trusted for identity, so hash
-/// collisions cannot alias two scenarios.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// compact display. Equality, ordering, and hashing use the *full*
+/// canonical string — the fingerprint is never trusted for identity,
+/// so hash collisions cannot alias two scenarios. The `Ord` instance
+/// (byte order of the canonical string) is what makes keyed
+/// containers like the result cache iterate deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ScenarioKey {
     canonical: String,
 }

@@ -709,5 +709,6 @@ impl ScenarioService {
 
 /// Cache locks never carry cross-call invariants worth dying for.
 fn lock<V>(mutex: &Mutex<ResultCache<V>>) -> MutexGuard<'_, ResultCache<V>> {
+    // h2p-lint: allow(L10): generic poison-tolerant helper; every call site carries the manifest order
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }

@@ -37,6 +37,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Lock-order manifest (h2p-lint L10). All three registry/journal
+// tables are leaf locks: `merge_from` clones the source table out
+// before locking the destination, so no two are ever held at once.
+// h2p-lint: lock-order: counters, histograms, events
 // Test code opts back into panicking asserts/unwraps (see [workspace.lints]).
 #![cfg_attr(
     test,

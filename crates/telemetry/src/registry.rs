@@ -282,6 +282,7 @@ impl Drop for Span {
 /// take the data through poisoning rather than losing the run's
 /// numbers to an unrelated panic.
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // h2p-lint: allow(L10): generic poison-tolerant helper; every call site carries the manifest order
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 

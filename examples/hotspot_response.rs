@@ -65,6 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // cooling setting for the new load.
     let space = LookupSpace::paper_grid(&server)?;
     let optimizer = CoolingOptimizer::paper_default(&space);
+    // h2p-lint: allow(L2): demo shorthand — the paper grid always admits this load
     let new_setting = optimizer.optimize(spike).expect("paper grid is feasible");
     println!(
         "\nnext interval: optimizer drops inlet to {:.1} at {:.0} (die {:.1}), TEGs fall to {:.2} W",
