@@ -47,7 +47,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("BENCH_faults.json"));
+        .unwrap_or_else(|| h2p_bench::bench_output_path("BENCH_faults.json"));
 
     let (servers, steps) = if smoke { (200, 24) } else { (1000, 288) };
     let cluster = TraceGenerator::paper(TraceKind::Irregular, h2p_bench::EXPERIMENT_SEED)

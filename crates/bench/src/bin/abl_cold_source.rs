@@ -33,7 +33,7 @@ fn main() {
         cfg.cold_source = ColdSource::Constant(Celsius::new(cold));
         let sim = Simulator::new(&model, cfg).expect("paper grid builds");
         let r = sim.run(&cluster, &LoadBalance).expect("feasible");
-        let avg = r.average_teg_power().value();
+        let avg = r.average_teg_power().expect("trace is non-empty").value();
         rows.push(vec![
             format!("{cold:.1}"),
             format!("{avg:.3}"),

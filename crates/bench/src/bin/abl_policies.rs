@@ -38,14 +38,17 @@ fn main() {
             rows.push(vec![
                 kind.name().to_string(),
                 label.clone(),
-                format!("{:.3}", r.average_teg_power().value()),
+                format!(
+                    "{:.3}",
+                    r.average_teg_power().expect("trace is non-empty").value()
+                ),
                 format!("{:.1}", r.pre() * 100.0),
             ]);
             emit_json(&serde_json::json!({
                 "experiment": "abl_policies",
                 "trace": kind.name(),
                 "policy": label,
-                "avg_w": r.average_teg_power().value(),
+                "avg_w": r.average_teg_power().expect("trace is non-empty").value(),
             }));
         }
     }

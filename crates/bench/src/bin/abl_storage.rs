@@ -24,7 +24,7 @@ fn main() {
     let mut rows = Vec::new();
     for run in runs.iter().filter(|r| r.policy == "TEG_Original") {
         let interval = run.result.interval();
-        let demand = run.result.average_teg_power(); // steady draw at the mean
+        let demand = run.result.average_teg_power().expect("trace is non-empty"); // steady draw at the mean
         let mut direct = Joules::zero();
         let mut buffered = Joules::zero();
         let mut offered = Joules::zero();

@@ -35,7 +35,7 @@ fn main() {
         cfg.module = TegModule::new(TegDevice::sp1848_27145(), count).expect("count > 0");
         let sim = Simulator::new(&model, cfg).expect("paper grid builds");
         let r = sim.run(&cluster, &LoadBalance).expect("feasible");
-        let avg = r.average_teg_power();
+        let avg = r.average_teg_power().expect("trace is non-empty");
 
         let mut params = TcoParameters::paper_table1();
         params.tegs_per_server = count;

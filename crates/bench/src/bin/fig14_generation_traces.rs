@@ -44,7 +44,11 @@ fn main() {
     let mut originals = Vec::new();
     let mut balanced = Vec::new();
     for run in &runs {
-        let avg = run.result.average_teg_power().value();
+        let avg = run
+            .result
+            .average_teg_power()
+            .expect("paper traces are non-empty")
+            .value();
         let peak = run.result.peak_teg_power().value();
         let (paper_avg, paper_peak) = paper
             .iter()

@@ -53,8 +53,20 @@ fn main() {
         rows.push(vec![
             run.kind.name().to_string(),
             run.policy.to_string(),
-            format!("{:.2}", run.result.average_teg_power().value()),
-            format!("{:.1}", run.result.average_cpu_power().value()),
+            format!(
+                "{:.2}",
+                run.result
+                    .average_teg_power()
+                    .expect("paper traces are non-empty")
+                    .value()
+            ),
+            format!(
+                "{:.1}",
+                run.result
+                    .average_cpu_power()
+                    .expect("paper traces are non-empty")
+                    .value()
+            ),
             format!("{pre:.1}"),
             format!("{paper_pre:.1}"),
         ]);

@@ -57,6 +57,22 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// The canonical location of a `BENCH_*.json` report: the workspace
+/// root, regardless of the invoking directory.
+///
+/// `cargo bench` runs bench binaries from the workspace root, but the
+/// path is resolved from this crate's manifest directory at compile
+/// time so the reports land in one deterministic place (where the CI
+/// artifact step collects them) even when a bench is invoked from
+/// somewhere else.
+#[must_use]
+pub fn bench_output_path(file_name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join(file_name)
+}
+
 /// Whether the process was invoked with `--json`.
 #[must_use]
 pub fn json_mode() -> bool {
@@ -128,7 +144,7 @@ mod tests {
         let runs = run_paper_traces(0.02);
         assert_eq!(runs.len(), 6);
         for r in &runs {
-            assert!(r.result.average_teg_power().value() > 1.0);
+            assert!(r.result.average_teg_power().unwrap().value() > 1.0);
             assert_eq!(r.result.total_violations(), 0);
         }
     }

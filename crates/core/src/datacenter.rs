@@ -121,7 +121,7 @@ impl Datacenter {
         policy: &dyn SchedulingPolicy,
     ) -> Result<AnnualReport, H2pError> {
         let result = self.simulator.run(cluster, policy)?;
-        let average_generation = result.average_teg_power();
+        let average_generation = result.average_teg_power()?;
         Ok(AnnualReport {
             average_generation,
             pre: result.pre(),

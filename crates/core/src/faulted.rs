@@ -53,6 +53,7 @@
 //! the plan-free engine bit-for-bit (both paths share
 //! `Simulator::fold_step` and `Simulator::simulate_circulation`).
 
+use crate::kernel::ChangeKernel;
 use crate::simulation::{CircPartial, SimulationResult, Simulator};
 use crate::H2pError;
 use h2p_cooling::CoolingOptimizer;
@@ -78,6 +79,7 @@ pub struct FaultedRun {
 }
 
 /// One circulation's contribution to a fault-injected interval.
+#[derive(Clone, Copy)]
 struct FaultedPartial {
     /// The world as simulated (faults applied) — feeds the result.
     faulted: CircPartial,
@@ -164,9 +166,20 @@ impl Simulator {
         // circulations take the clamped fallback instead.
         let mut sensed_optimizers: HashMap<u64, Option<CoolingOptimizer<'_>>> = HashMap::new();
         let n_circs = servers.div_ceil(circ_size);
+        // With a kernel configured, the fault plan's activation and
+        // recovery edges become forced re-evaluation events; a live
+        // fault additionally pins its circulation dirty every step and
+        // its evaluation is never committed as a hold, so degradation
+        // can neither be skipped nor replayed after recovery.
+        let mut kernel = self.kernel.map(|tolerance| {
+            ChangeKernel::new(tolerance, n_circs).with_forced_events(compiled.evaluation_events())
+        });
+        let mut dirty: Vec<usize> = Vec::with_capacity(n_circs);
+        let mut u_ctrls: Vec<f64> = vec![0.0; n_circs];
 
         for step in 0..cluster.steps() {
             let step_span = self.telemetry.registry.span(&self.telemetry.step_wall);
+            let t0 = self.telemetry.registry.now_nanos();
             let time = Seconds::new(interval.value() * step as f64);
             let cold = self.config.cold_source.temperature(time);
             let cold_bits = cold.value().to_bits();
@@ -193,29 +206,108 @@ impl Simulator {
             let sensed_opts = &sensed_optimizers;
 
             let loads = cluster.utilizations_at(step);
-            let partials = h2p_exec::try_par_chunks_observed(
-                &self.telemetry.pool,
-                self.workers,
-                &loads,
-                circ_chunk,
-                |circ, chunk| {
-                    let t0 = self.telemetry.registry.now_nanos();
-                    let partial = self.simulate_circulation_faulted(
-                        circ,
-                        step,
-                        chunk,
-                        policy,
-                        optimizer,
-                        sensed_opts,
-                        cold,
-                        &compiled,
+            let evaluate = |circ: usize, chunk: &[Utilization]| {
+                let t0 = self.telemetry.registry.now_nanos();
+                let partial = self.simulate_circulation_faulted(
+                    circ,
+                    step,
+                    chunk,
+                    policy,
+                    optimizer,
+                    sensed_opts,
+                    cold,
+                    &compiled,
+                );
+                self.telemetry
+                    .circ_wall
+                    .record(self.telemetry.registry.now_nanos().saturating_sub(t0));
+                partial
+            };
+            let partials: Vec<FaultedPartial> = match kernel.as_mut() {
+                None => h2p_exec::try_par_chunks_observed(
+                    &self.telemetry.pool,
+                    self.workers,
+                    &loads,
+                    circ_chunk,
+                    evaluate,
+                )?,
+                Some(kernel) => {
+                    // Classify sequentially in circulation-index order:
+                    // fault-touched circulations are forced dirty (and
+                    // their holds discarded), the rest go through the
+                    // change rule.
+                    kernel.begin_step(step);
+                    dirty.clear();
+                    let mut forced = 0usize;
+                    for (circ, chunk) in loads.chunks(circ_size).enumerate() {
+                        let u_ctrl = policy.control_utilization(chunk).value();
+                        u_ctrls[circ] = u_ctrl;
+                        if kernel.is_forced(circ) || compiled.active_at(circ, step).is_some() {
+                            kernel.force(circ);
+                            forced += 1;
+                            dirty.push(circ);
+                        } else if kernel.is_dirty(circ, chunk, u_ctrl, cold.value()) {
+                            dirty.push(circ);
+                        }
+                    }
+                    // Small dirty sets run inline — same dispatch rule
+                    // as the fault-free kernel path; lane count never
+                    // changes results.
+                    let lanes = NonZeroUsize::new(
+                        (dirty.len() / Simulator::MIN_DIRTY_PER_LANE).clamp(1, self.workers.get()),
+                    )
+                    .unwrap_or(NonZeroUsize::MIN);
+                    let fresh = h2p_exec::try_par_sparse_chunks_observed(
+                        &self.telemetry.pool,
+                        lanes,
+                        &loads,
+                        circ_chunk,
+                        &dirty,
+                        evaluate,
+                    )?;
+                    // Merge: clean circulations replay their held
+                    // *healthy* partial through the same passthrough a
+                    // dense fault-free evaluation takes.
+                    let mut merged: Vec<FaultedPartial> = (0..n_circs)
+                        .map(|circ| {
+                            FaultedPartial::healthy_passthrough(
+                                kernel
+                                    .held_partial(circ)
+                                    .unwrap_or_else(CircPartial::offline),
+                            )
+                        })
+                        .collect();
+                    debug_assert_eq!(fresh.len(), dirty.len());
+                    for (&circ, partial) in dirty.iter().zip(&fresh) {
+                        merged[circ] = *partial;
+                    }
+                    // Commit only fault-free evaluations: a partial
+                    // computed under an active fault must never replay
+                    // after recovery.
+                    for (&circ, partial) in dirty.iter().zip(&fresh) {
+                        if !partial.faulted_active {
+                            let start = circ * circ_size;
+                            let end = start.saturating_add(circ_size).min(loads.len());
+                            kernel.commit(
+                                circ,
+                                &loads[start..end],
+                                u_ctrls[circ],
+                                cold.value(),
+                                partial.faulted,
+                            );
+                        }
+                    }
+                    kernel.note_step(dirty.len(), n_circs - dirty.len());
+                    let elapsed = self.telemetry.registry.now_nanos().saturating_sub(t0);
+                    self.telemetry.note_kernel_step(
+                        dirty.len(),
+                        n_circs - dirty.len(),
+                        forced,
+                        elapsed,
                     );
-                    self.telemetry
-                        .circ_wall
-                        .record(self.telemetry.registry.now_nanos().saturating_sub(t0));
-                    partial
-                },
-            )?;
+                    merged
+                }
+            };
             compiled.journal_transitions_at(&self.telemetry.registry, step);
 
             // Deterministic merge, circulation-index order. The faulted
@@ -330,6 +422,24 @@ impl Simulator {
         let Some(active) = compiled.active_at(circ, step) else {
             return Ok(FaultedPartial::healthy_passthrough(healthy));
         };
+
+        if active.cdu_out {
+            // CDU outage: the circulation is isolated offline for the
+            // whole window — zero load, zero harvest, zero flow. The
+            // entire healthy harvest is attributed to the pump class
+            // (the CDU's pump/exchanger subsystem is what failed).
+            return Ok(FaultedPartial {
+                faulted: CircPartial::offline(),
+                healthy,
+                attr_sensor: 0.0,
+                attr_pump: healthy.teg,
+                attr_teg: 0.0,
+                throttled: 0,
+                fallback: false,
+                offline: true,
+                faulted_active: true,
+            });
+        }
 
         let scheduled = policy.schedule(chunk);
         let u_ctrl = policy.control_utilization(chunk);
@@ -463,6 +573,7 @@ impl Simulator {
             util: 0.0,
             peak: Utilization::IDLE,
             violations: 0,
+            online: scheduled.len(),
         };
         let mut teg_p = 0.0;
         let mut throttled = 0u64;

@@ -33,7 +33,7 @@
 //!     .generate();
 //! let sim = Simulator::paper_default()?;
 //! let result = sim.run(&cluster, &LoadBalance)?;
-//! assert!(result.average_teg_power().value() > 2.0);
+//! assert!(result.average_teg_power()?.value() > 2.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -44,7 +44,10 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 // Lock-order manifest (h2p-lint L10). The setting cache's `map` is
 // the crate's only lock, and it is a leaf: no engine code acquires
-// anything while holding it.
+// anything while holding it. The change-detection kernel ([`kernel`])
+// is deliberately lock-free — its held-decision table and forced-event
+// queue are owned by the single-threaded step loop (BTreeMap/Vec, per
+// L8), so it adds nothing to this manifest.
 // h2p-lint: lock-order: map
 // Test code opts back into panicking asserts/unwraps (see [workspace.lints]).
 #![cfg_attr(
@@ -63,6 +66,7 @@ pub mod circulation;
 pub mod datacenter;
 pub mod facility;
 pub mod faulted;
+pub mod kernel;
 pub mod metrics;
 pub mod prototype;
 pub mod simulation;
@@ -100,6 +104,13 @@ pub enum H2pError {
     /// An aggregate (partial PUE/ERE) was requested over a simulation
     /// run that recorded no IT power.
     EmptyRun,
+    /// A kernel change tolerance was negative or non-finite.
+    InvalidTolerance {
+        /// Name of the offending tolerance axis.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for H2pError {
@@ -124,6 +135,12 @@ impl fmt::Display for H2pError {
                 f,
                 "simulation run recorded no IT power; partial PUE/ERE are undefined"
             ),
+            H2pError::InvalidTolerance { name, value } => {
+                write!(
+                    f,
+                    "kernel tolerance {name} must be finite and non-negative, got {value}"
+                )
+            }
         }
     }
 }

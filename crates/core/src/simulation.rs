@@ -39,6 +39,7 @@
 //!   silently replayed settings optimized for one cold temperature at
 //!   another as the source drifted.)
 
+use crate::kernel::{ChangeKernel, KernelTolerance};
 use crate::H2pError;
 use h2p_cooling::{CoolingOptimizer, CoolingPlant, OptimizedSetting, PlantLoad};
 use h2p_exec::PoolTelemetry;
@@ -112,10 +113,14 @@ pub struct StepRecord {
     /// Mean per-server cooling-plant power (tower + chiller + FWS
     /// pumps).
     pub cooling_power_per_server: Watts,
-    /// Server-weighted mean of the chosen inlet temperatures: each
-    /// circulation's inlet counts once per server it cools, so a ragged
-    /// final circulation (cluster size not divisible by the circulation
-    /// size) contributes proportionally to its size.
+    /// Server-weighted mean of the chosen inlet temperatures over the
+    /// *online* servers: each circulation's inlet counts once per
+    /// server it cools, so a ragged final circulation (cluster size not
+    /// divisible by the circulation size) contributes proportionally to
+    /// its size, and circulations isolated offline by faults don't
+    /// count at all (they cool nothing). With every server offline this
+    /// falls back to the configured `t_safe` (the plant sees zero heat
+    /// and zero flow then, so the value is inert).
     pub mean_inlet: Celsius,
     /// Mean coolant outlet temperature across servers.
     pub mean_outlet: Celsius,
@@ -178,18 +183,33 @@ impl SimulationResult {
         &self.steps
     }
 
-    /// Time-average per-server TEG output (the headline Fig. 14 number).
-    #[must_use]
-    pub fn average_teg_power(&self) -> Watts {
-        let total: f64 = self
-            .steps
-            .iter()
-            .map(|s| s.teg_power_per_server.value())
-            .sum();
-        Watts::new(total / self.steps.len().max(1) as f64)
+    /// Mean of `field` over the recorded steps, or
+    /// [`H2pError::EmptyRun`] when no step was recorded. An earlier
+    /// revision divided by `len().max(1)`, silently laundering an
+    /// empty run into a plausible 0 W that downstream TCO math would
+    /// happily consume; the typed error matches
+    /// [`partial_pue`](Self::partial_pue)/[`partial_ere`](Self::partial_ere).
+    fn average_over_steps(&self, field: impl Fn(&StepRecord) -> f64) -> Result<Watts, H2pError> {
+        if self.steps.is_empty() {
+            return Err(H2pError::EmptyRun);
+        }
+        let total: f64 = self.steps.iter().map(field).sum();
+        Ok(Watts::new(total / self.steps.len() as f64))
     }
 
-    /// Peak per-server TEG output over the run.
+    /// Time-average per-server TEG output (the headline Fig. 14 number).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`H2pError::EmptyRun`] on a run with no recorded steps,
+    /// where the average is undefined.
+    pub fn average_teg_power(&self) -> Result<Watts, H2pError> {
+        self.average_over_steps(|s| s.teg_power_per_server.value())
+    }
+
+    /// Peak per-server TEG output over the run (zero on an empty run —
+    /// a maximum over nothing, not an average, so no value is being
+    /// fabricated).
     #[must_use]
     pub fn peak_teg_power(&self) -> Watts {
         self.steps
@@ -199,25 +219,23 @@ impl SimulationResult {
     }
 
     /// Time-average per-server CPU power.
-    #[must_use]
-    pub fn average_cpu_power(&self) -> Watts {
-        let total: f64 = self
-            .steps
-            .iter()
-            .map(|s| s.cpu_power_per_server.value())
-            .sum();
-        Watts::new(total / self.steps.len().max(1) as f64)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`H2pError::EmptyRun`] on a run with no recorded steps,
+    /// where the average is undefined.
+    pub fn average_cpu_power(&self) -> Result<Watts, H2pError> {
+        self.average_over_steps(|s| s.cpu_power_per_server.value())
     }
 
     /// Time-average per-server cooling-plant power.
-    #[must_use]
-    pub fn average_cooling_power(&self) -> Watts {
-        let total: f64 = self
-            .steps
-            .iter()
-            .map(|s| s.cooling_power_per_server.value())
-            .sum();
-        Watts::new(total / self.steps.len().max(1) as f64)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`H2pError::EmptyRun`] on a run with no recorded steps,
+    /// where the average is undefined.
+    pub fn average_cooling_power(&self) -> Result<Watts, H2pError> {
+        self.average_over_steps(|s| s.cooling_power_per_server.value())
     }
 
     /// Partial PUE over CPU + cooling + TCS pumps (lighting and power
@@ -229,17 +247,14 @@ impl SimulationResult {
     /// Returns [`H2pError::EmptyRun`] on a run that recorded no IT
     /// power (an empty step list), where the ratio is undefined.
     pub fn partial_pue(&self) -> Result<f64, H2pError> {
-        let it = self.average_cpu_power().value();
+        let it = self.average_cpu_power()?.value();
         if !(it > 0.0) {
             return Err(H2pError::EmptyRun);
         }
-        let pumps: f64 = self
-            .steps
-            .iter()
-            .map(|s| s.pump_power_per_server.value())
-            .sum::<f64>()
-            / self.steps.len().max(1) as f64;
-        Ok((it + self.average_cooling_power().value() + pumps) / it)
+        let pumps = self
+            .average_over_steps(|s| s.pump_power_per_server.value())?
+            .value();
+        Ok((it + self.average_cooling_power()?.value() + pumps) / it)
     }
 
     /// Partial ERE (Sec. II-C): the partial PUE numerator minus the TEG
@@ -254,9 +269,23 @@ impl SimulationResult {
     }
 
     /// Power reusing efficiency over the run (paper Eq. 19, Fig. 15).
+    /// An empty run reuses nothing: this stays infallible through
+    /// [`crate::metrics::pre`]'s documented zero-CPU contract (0 when
+    /// no CPU power was recorded).
     #[must_use]
     pub fn pre(&self) -> f64 {
-        crate::metrics::pre(self.average_teg_power(), self.average_cpu_power())
+        let n = self.steps.len().max(1) as f64;
+        let teg: f64 = self
+            .steps
+            .iter()
+            .map(|s| s.teg_power_per_server.value())
+            .sum();
+        let cpu: f64 = self
+            .steps
+            .iter()
+            .map(|s| s.cpu_power_per_server.value())
+            .sum();
+        crate::metrics::pre(Watts::new(teg / n), Watts::new(cpu / n))
     }
 
     /// Total electrical energy harvested by all TEGs over the run.
@@ -449,8 +478,16 @@ pub(crate) struct EngineTelemetry {
     pub(crate) pool: PoolTelemetry,
     pub(crate) step_wall: Histogram,
     pub(crate) circ_wall: Histogram,
+    /// Circulation-evaluations per wall second of kernel steps (the
+    /// events/sec surface of the bench suite).
+    events_per_sec: Histogram,
     runs: Counter,
     steps: Counter,
+    /// Kernel accounting: circulation-steps re-simulated vs. answered
+    /// from held decisions, and the forced (fault-demanded) subset.
+    circs_evaluated: Counter,
+    circs_held: Counter,
+    kernel_forced: Counter,
 }
 
 impl EngineTelemetry {
@@ -460,8 +497,12 @@ impl EngineTelemetry {
             pool: PoolTelemetry::disabled(),
             step_wall: Histogram::disabled(),
             circ_wall: Histogram::disabled(),
+            events_per_sec: Histogram::disabled(),
             runs: Counter::new(),
             steps: Counter::new(),
+            circs_evaluated: Counter::new(),
+            circs_held: Counter::new(),
+            kernel_forced: Counter::new(),
         }
     }
 
@@ -481,8 +522,14 @@ impl EngineTelemetry {
             pool: PoolTelemetry::from_registry(registry),
             step_wall: hist("engine.step_wall_nanos"),
             circ_wall: hist("engine.circulation_wall_nanos"),
+            events_per_sec: registry
+                .histogram("engine.events_per_sec", &BucketSpec::rate_default())
+                .unwrap_or_else(|_| Histogram::disabled()),
             runs: registry.counter("engine.runs"),
             steps: registry.counter("engine.steps"),
+            circs_evaluated: registry.counter("engine.circulations_evaluated"),
+            circs_held: registry.counter("engine.circulations_held"),
+            kernel_forced: registry.counter("engine.kernel_forced"),
         }
     }
 
@@ -497,6 +544,30 @@ impl EngineTelemetry {
     pub(crate) fn note_run(&self) {
         if self.registry.is_enabled() {
             self.runs.incr();
+        }
+    }
+
+    /// Records one kernel step's evaluated/held split and its
+    /// evaluation rate (`evaluated` circulations over `elapsed_nanos`
+    /// of step wall time).
+    pub(crate) fn note_kernel_step(
+        &self,
+        evaluated: usize,
+        held: usize,
+        forced: usize,
+        elapsed_nanos: u64,
+    ) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        let as_u64 = |v: usize| u64::try_from(v).unwrap_or(u64::MAX);
+        self.circs_evaluated.add(as_u64(evaluated));
+        self.circs_held.add(as_u64(held));
+        self.kernel_forced.add(as_u64(forced));
+        if elapsed_nanos > 0 && evaluated > 0 {
+            // Integer rate is plenty for the doubling rate buckets.
+            let rate = (as_u64(evaluated)).saturating_mul(1_000_000_000) / elapsed_nanos;
+            self.events_per_sec.record(rate);
         }
     }
 }
@@ -519,11 +590,17 @@ pub(crate) struct CircPartial {
     pub(crate) util: f64,
     pub(crate) peak: Utilization,
     pub(crate) violations: usize,
+    /// Servers this circulation actually cooled this interval — the
+    /// circulation size normally, `0` when isolated offline. The
+    /// supply-setpoint mean divides by this, not the cluster size, so
+    /// offline circulations (whose `inlet_weighted` is 0) cannot drag
+    /// the setpoint toward 0 °C.
+    pub(crate) online: usize,
 }
 
 impl CircPartial {
     /// The all-zero partial an *isolated* (offline) circulation
-    /// contributes: no load, no harvest, no flow.
+    /// contributes: no load, no harvest, no flow, no online servers.
     pub(crate) fn offline() -> Self {
         CircPartial {
             teg: 0.0,
@@ -535,6 +612,7 @@ impl CircPartial {
             util: 0.0,
             peak: Utilization::IDLE,
             violations: 0,
+            online: 0,
         }
     }
 }
@@ -554,6 +632,9 @@ pub struct Simulator {
     pub(crate) workers: NonZeroUsize,
     cache: SettingCache,
     pub(crate) telemetry: EngineTelemetry,
+    /// `None` runs the legacy dense stepper (the bit-identity oracle);
+    /// `Some` routes runs through the change-detection kernel.
+    pub(crate) kernel: Option<KernelTolerance>,
 }
 
 impl Simulator {
@@ -575,6 +656,7 @@ impl Simulator {
             workers: h2p_exec::worker_count(),
             cache: SettingCache::default(),
             telemetry: EngineTelemetry::disabled(),
+            kernel: None,
         })
     }
 
@@ -604,6 +686,37 @@ impl Simulator {
     #[must_use]
     pub fn workers(&self) -> NonZeroUsize {
         self.workers
+    }
+
+    /// Routes runs through the change-detection event kernel (see
+    /// [`crate::kernel`]): a circulation is re-simulated only when its
+    /// control utilization or the cold-source temperature moved beyond
+    /// `tolerance` since its last evaluation, when a fault event
+    /// touches it, or when it has no held decision yet.
+    ///
+    /// [`KernelTolerance::exact`] degenerates to the exact stepper —
+    /// bit-identical to the default dense engine for every trace,
+    /// policy, worker count, and fault plan (the transparency
+    /// contract); non-zero tolerances trade a bounded accuracy delta
+    /// for skipping unchanged circulations.
+    #[must_use]
+    pub fn with_kernel_tolerance(mut self, tolerance: KernelTolerance) -> Self {
+        self.kernel = Some(tolerance);
+        self
+    }
+
+    /// Reverts [`with_kernel_tolerance`](Self::with_kernel_tolerance):
+    /// runs use the legacy dense stepper again.
+    #[must_use]
+    pub fn without_kernel(mut self) -> Self {
+        self.kernel = None;
+        self
+    }
+
+    /// The configured kernel tolerance (`None` = dense stepper).
+    #[must_use]
+    pub fn kernel_tolerance(&self) -> Option<KernelTolerance> {
+        self.kernel
     }
 
     /// Attaches a telemetry registry: step and circulation wall-time
@@ -668,7 +781,25 @@ impl Simulator {
     /// The engine behind [`run`](Self::run), with the worker count and
     /// the setting cache controllable (the cache-free path exists so
     /// tests can assert the cache is observationally transparent).
+    /// Dispatches on the configured kernel: the dense stepper is the
+    /// oracle, the kernel path re-simulates only dirty circulations.
     fn run_inner(
+        &self,
+        cluster: &ClusterTrace,
+        policy: &dyn SchedulingPolicy,
+        workers: NonZeroUsize,
+        use_cache: bool,
+    ) -> Result<SimulationResult, H2pError> {
+        match self.kernel {
+            Some(tolerance) => self.run_kernel(cluster, policy, workers, use_cache, tolerance),
+            None => self.run_dense(cluster, policy, workers, use_cache),
+        }
+    }
+
+    /// The legacy dense stepper: every circulation is re-simulated
+    /// every control interval. Kept verbatim as the bit-identity
+    /// oracle for the kernel path (`tests/kernel_transparency.rs`).
+    fn run_dense(
         &self,
         cluster: &ClusterTrace,
         policy: &dyn SchedulingPolicy,
@@ -739,6 +870,147 @@ impl Simulator {
         })
     }
 
+    /// The change-detection kernel path (see [`crate::kernel`]): per
+    /// step, circulations are classified sequentially in index order
+    /// against their held decisions, only the *dirty* set is sharded
+    /// across the worker pool, and held partials replay for the rest.
+    /// Classification, merge, and commit all walk circulation-index
+    /// order, so results stay bit-identical across worker counts.
+    /// Minimum dirty circulations per worker lane before the kernel
+    /// shards an evaluation batch instead of running it inline (a
+    /// scoped-thread spawn costs about as much as evaluating a few
+    /// 40-server circulations).
+    pub(crate) const MIN_DIRTY_PER_LANE: usize = 4;
+
+    fn run_kernel(
+        &self,
+        cluster: &ClusterTrace,
+        policy: &dyn SchedulingPolicy,
+        workers: NonZeroUsize,
+        use_cache: bool,
+        tolerance: KernelTolerance,
+    ) -> Result<SimulationResult, H2pError> {
+        let servers = cluster.servers();
+        let circ_size = self.config.servers_per_circulation.min(servers).max(1);
+        let circ_chunk = NonZeroUsize::new(circ_size).unwrap_or(NonZeroUsize::MIN);
+        let interval = cluster.interval();
+        let n_circs = servers.div_ceil(circ_size);
+        let mut steps = Vec::with_capacity(cluster.steps());
+        let mut optimizers: HashMap<u64, CoolingOptimizer<'_>> = HashMap::new();
+        let mut kernel = ChangeKernel::new(tolerance, n_circs);
+        let mut dirty: Vec<usize> = Vec::with_capacity(n_circs);
+        let mut u_ctrls: Vec<f64> = vec![0.0; n_circs];
+        let mut partials: Vec<CircPartial> = Vec::with_capacity(n_circs);
+
+        for step in 0..cluster.steps() {
+            let step_span = self.telemetry.registry.span(&self.telemetry.step_wall);
+            let t0 = self.telemetry.registry.now_nanos();
+            let time = Seconds::new(interval.value() * step as f64);
+            let cold = self.config.cold_source.temperature(time);
+            let optimizer = match optimizers.entry(cold.value().to_bits()) {
+                Entry::Occupied(entry) => entry.into_mut(),
+                Entry::Vacant(entry) => entry.insert(
+                    CoolingOptimizer::new(
+                        &self.space,
+                        self.config.module,
+                        self.config.pump,
+                        self.config.t_safe,
+                        self.config.tolerance,
+                        cold,
+                    )?
+                    .with_telemetry(&self.telemetry.registry),
+                ),
+            };
+
+            let loads = cluster.utilizations_at(step);
+            // Classify sequentially, circulation-index order.
+            kernel.begin_step(step);
+            dirty.clear();
+            for (circ, chunk) in loads.chunks(circ_size).enumerate() {
+                let u_ctrl = policy.control_utilization(chunk).value();
+                u_ctrls[circ] = u_ctrl;
+                if kernel.is_dirty(circ, chunk, u_ctrl, cold.value()) {
+                    dirty.push(circ);
+                }
+            }
+
+            // Evaluate only the dirty set, sharded across the pool.
+            // Spawning a lane costs about as much as evaluating a few
+            // circulations, so small dirty sets run inline: lane count
+            // never exceeds dirty/MIN_DIRTY_PER_LANE. Results are
+            // bit-identical for every lane count, so this is purely a
+            // dispatch decision.
+            let lanes =
+                NonZeroUsize::new((dirty.len() / Self::MIN_DIRTY_PER_LANE).clamp(1, workers.get()))
+                    .unwrap_or(NonZeroUsize::MIN);
+            let fresh = h2p_exec::try_par_sparse_chunks_observed(
+                &self.telemetry.pool,
+                lanes,
+                &loads,
+                circ_chunk,
+                &dirty,
+                |_, chunk| {
+                    let t0 = self.telemetry.registry.now_nanos();
+                    let partial =
+                        self.simulate_circulation(chunk, policy, optimizer, cold, use_cache);
+                    self.telemetry
+                        .circ_wall
+                        .record(self.telemetry.registry.now_nanos().saturating_sub(t0));
+                    partial
+                },
+            )?;
+
+            // Merge: held decisions replay for clean circulations,
+            // fresh evaluations overwrite their slots — both walks in
+            // circulation-index order.
+            partials.clear();
+            for circ in 0..n_circs {
+                partials.push(
+                    kernel
+                        .held_partial(circ)
+                        .unwrap_or_else(CircPartial::offline),
+                );
+            }
+            debug_assert_eq!(fresh.len(), dirty.len());
+            for (&circ, partial) in dirty.iter().zip(&fresh) {
+                partials[circ] = *partial;
+            }
+            // Commit the fresh decisions as the new anchors.
+            for (&circ, partial) in dirty.iter().zip(&fresh) {
+                let start = circ * circ_size;
+                let end = start.saturating_add(circ_size).min(loads.len());
+                kernel.commit(
+                    circ,
+                    &loads[start..end],
+                    u_ctrls[circ],
+                    cold.value(),
+                    *partial,
+                );
+            }
+            kernel.note_step(dirty.len(), n_circs - dirty.len());
+
+            steps.push(self.fold_step(time, servers, partials.iter().copied()));
+            let elapsed = self.telemetry.registry.now_nanos().saturating_sub(t0);
+            self.telemetry
+                .note_kernel_step(dirty.len(), n_circs - dirty.len(), 0, elapsed);
+            self.telemetry.note_step();
+            step_span.finish();
+        }
+
+        // Every circulation-step was either evaluated or held.
+        debug_assert_eq!(
+            kernel.stats().evaluated + kernel.stats().held,
+            (n_circs * cluster.steps()) as u64
+        );
+        self.telemetry.note_run();
+        Ok(SimulationResult {
+            policy: policy.name(),
+            interval,
+            servers,
+            steps,
+        })
+    }
+
     /// Folds per-circulation partials (in circulation-index order) into
     /// one interval's [`StepRecord`]. Shared by the plan-free and the
     /// fault-injected engines so that a zero-fault plan reproduces the
@@ -759,6 +1031,7 @@ impl Simulator {
         let mut util_sum = 0.0;
         let mut peak = Utilization::IDLE;
         let mut violations = 0usize;
+        let mut online = 0usize;
         for p in partials {
             teg_sum += p.teg;
             cpu_sum += p.cpu;
@@ -769,12 +1042,25 @@ impl Simulator {
             util_sum += p.util;
             peak = peak.max(p.peak);
             violations += p.violations;
+            online += p.online;
         }
 
         let n = servers as f64;
+        // The supply setpoint averages over *online* servers only:
+        // offline circulations contribute `inlet_weighted = 0`, and
+        // dividing by the cluster size would drag the setpoint toward
+        // 0 °C and mis-price chiller energy under heavy faults. With
+        // every server offline there is no supply water to set at all
+        // (heat and flow are both zero, so the plant draws nothing);
+        // `t_safe` stands in as an inert, physically sane placeholder.
+        let setpoint = if online > 0 {
+            Celsius::new(inlet_sum / online as f64)
+        } else {
+            self.config.t_safe
+        };
         let plant_power = self.config.plant.power(PlantLoad {
             heat: Watts::new(cpu_sum),
-            supply_setpoint: Celsius::new(inlet_sum / n),
+            supply_setpoint: setpoint,
             total_flow: h2p_units::LitersPerHour::new(flow_sum),
         });
         StepRecord {
@@ -783,7 +1069,7 @@ impl Simulator {
             cpu_power_per_server: Watts::new(cpu_sum / n),
             pump_power_per_server: Watts::new(pump_sum / n),
             cooling_power_per_server: plant_power.total() / n,
-            mean_inlet: Celsius::new(inlet_sum / n),
+            mean_inlet: setpoint,
             mean_outlet: Celsius::new(outlet_sum / n),
             mean_utilization: Utilization::saturating(util_sum / n),
             peak_utilization: peak,
@@ -816,6 +1102,7 @@ impl Simulator {
             util: 0.0,
             peak: Utilization::IDLE,
             violations: 0,
+            online: scheduled.len(),
         };
         for &u in &scheduled {
             let outlet =
@@ -883,10 +1170,10 @@ mod tests {
         let orig = sim.run(&cluster, &Original).unwrap();
         let lb = sim.run(&cluster, &LoadBalance).unwrap();
         assert!(
-            lb.average_teg_power() > orig.average_teg_power(),
+            lb.average_teg_power().unwrap() > orig.average_teg_power().unwrap(),
             "lb {} vs orig {}",
-            lb.average_teg_power(),
-            orig.average_teg_power()
+            lb.average_teg_power().unwrap(),
+            orig.average_teg_power().unwrap()
         );
     }
 
@@ -896,7 +1183,7 @@ mod tests {
         let sim = Simulator::paper_default().unwrap();
         let cluster = small_cluster(TraceKind::Common);
         let lb = sim.run(&cluster, &LoadBalance).unwrap();
-        let avg = lb.average_teg_power().value();
+        let avg = lb.average_teg_power().unwrap().value();
         assert!((3.0..=5.5).contains(&avg), "avg = {avg}");
     }
 
@@ -929,9 +1216,9 @@ mod tests {
         assert_eq!(r.steps().len(), 36);
         assert_eq!(r.servers(), 80);
         assert_eq!(r.policy(), "TEG_LoadBalance");
-        assert!(r.peak_teg_power() >= r.average_teg_power());
+        assert!(r.peak_teg_power() >= r.average_teg_power().unwrap());
         // total harvested == avg power × servers × duration.
-        let expect = r.average_teg_power().value() * 80.0 * r.interval().value() * 36.0;
+        let expect = r.average_teg_power().unwrap().value() * 80.0 * r.interval().value() * 36.0;
         assert!((r.total_harvested().value() - expect).abs() < expect * 1e-9);
     }
 
@@ -967,7 +1254,7 @@ mod tests {
         let ere = r.partial_ere().unwrap();
         assert!(ere < pue, "reuse must push ERE below PUE");
         assert!(ere > 0.5, "sanity: ere = {ere}");
-        assert!(r.average_cooling_power().value() > 0.0);
+        assert!(r.average_cooling_power().unwrap().value() > 0.0);
     }
 
     #[test]
@@ -982,8 +1269,16 @@ mod tests {
         cfg_large.servers_per_circulation = 80;
         let small = Simulator::new(&model, cfg_small).unwrap();
         let large = Simulator::new(&model, cfg_large).unwrap();
-        let p_small = small.run(&cluster, &Original).unwrap().average_teg_power();
-        let p_large = large.run(&cluster, &Original).unwrap().average_teg_power();
+        let p_small = small
+            .run(&cluster, &Original)
+            .unwrap()
+            .average_teg_power()
+            .unwrap();
+        let p_large = large
+            .run(&cluster, &Original)
+            .unwrap()
+            .average_teg_power()
+            .unwrap();
         assert!(p_small > p_large, "small {p_small} vs large {p_large}");
     }
 
@@ -1016,7 +1311,10 @@ mod tests {
             .unwrap()
             .run(&cluster, &LoadBalance)
             .unwrap();
-        assert_ne!(cached.average_teg_power(), constant.average_teg_power());
+        assert_ne!(
+            cached.average_teg_power().unwrap(),
+            constant.average_teg_power().unwrap()
+        );
     }
 
     #[test]
@@ -1101,6 +1399,19 @@ mod tests {
         };
         assert!(matches!(empty.partial_pue(), Err(H2pError::EmptyRun)));
         assert!(matches!(empty.partial_ere(), Err(H2pError::EmptyRun)));
+        // ISSUE 7 regression: the averages used to return a plausible
+        // 0 W on an empty run (`len().max(1)`), which TCO math happily
+        // consumed. They now fail typed like the ratios.
+        assert!(matches!(empty.average_teg_power(), Err(H2pError::EmptyRun)));
+        assert!(matches!(empty.average_cpu_power(), Err(H2pError::EmptyRun)));
+        assert!(matches!(
+            empty.average_cooling_power(),
+            Err(H2pError::EmptyRun)
+        ));
+        // `pre` and `peak_teg_power` keep their documented infallible
+        // contracts: zero CPU power → PRE 0, max over nothing → 0 W.
+        assert_eq!(empty.pre(), 0.0);
+        assert_eq!(empty.peak_teg_power().value(), 0.0);
     }
 
     #[test]

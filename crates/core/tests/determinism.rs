@@ -43,8 +43,8 @@ fn different_seeds_differ() {
     let a = sim.run(&cluster(1), &Original).unwrap();
     let b = sim.run(&cluster(2), &Original).unwrap();
     assert_ne!(
-        a.average_teg_power(),
-        b.average_teg_power(),
+        a.average_teg_power().unwrap(),
+        b.average_teg_power().unwrap(),
         "distinct seeds should not collide exactly"
     );
 }

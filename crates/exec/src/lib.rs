@@ -266,6 +266,80 @@ where
     try_par_map_observed(pool, workers, &chunks, |i, chunk| f(i, chunk))
 }
 
+/// Sparse [`try_par_chunks`]: shards only the chunks whose indices
+/// appear in `indices` (the *dirty set* of the simulation kernel),
+/// calling `f` once per selected chunk with the chunk's index and
+/// slice. Results come back **in `indices` order**, so for a sorted
+/// dirty set the merge stays deterministic for every worker count.
+/// Out-of-range indices yield empty slices (`f` sees them as such)
+/// rather than panicking on a worker thread.
+///
+/// An empty `indices` set returns `Ok(vec![])` without spawning — the
+/// all-held fast path of a change-tolerant kernel costs no threads.
+///
+/// # Errors
+///
+/// Returns the first error by position in `indices`, if any call of
+/// `f` fails.
+pub fn try_par_sparse_chunks<T, R, E, F>(
+    workers: NonZeroUsize,
+    items: &[T],
+    chunk_size: NonZeroUsize,
+    indices: &[usize],
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &[T]) -> Result<R, E> + Sync,
+{
+    try_par_sparse_chunks_observed(
+        &PoolTelemetry::disabled(),
+        workers,
+        items,
+        chunk_size,
+        indices,
+        f,
+    )
+}
+
+/// [`try_par_sparse_chunks`] with pool telemetry (see
+/// [`try_par_map_observed`] for the observation contract).
+///
+/// # Errors
+///
+/// Returns the first error by position in `indices`, if any call of
+/// `f` fails.
+pub fn try_par_sparse_chunks_observed<T, R, E, F>(
+    pool: &PoolTelemetry,
+    workers: NonZeroUsize,
+    items: &[T],
+    chunk_size: NonZeroUsize,
+    indices: &[usize],
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &[T]) -> Result<R, E> + Sync,
+{
+    if indices.is_empty() {
+        return Ok(Vec::new());
+    }
+    let size = chunk_size.get();
+    let selected: Vec<(usize, &[T])> = indices
+        .iter()
+        .map(|&i| {
+            let start = i.saturating_mul(size).min(items.len());
+            let end = start.saturating_add(size).min(items.len());
+            (i, &items[start..end])
+        })
+        .collect();
+    try_par_map_observed(pool, workers, &selected, |_, &(i, chunk)| f(i, chunk))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +438,61 @@ mod tests {
             assert!(x < 6, "boom");
             x
         });
+    }
+
+    #[test]
+    fn sparse_chunks_cover_only_the_dirty_set_in_order() {
+        let items: Vec<u32> = (1..=10).collect();
+        for workers in [1, 2, 4, 8] {
+            let sums: Result<Vec<(usize, u32)>, ()> =
+                try_par_sparse_chunks(nz(workers), &items, nz(4), &[0, 2], |i, chunk| {
+                    Ok((i, chunk.iter().sum::<u32>()))
+                });
+            // Chunk 1 ([5..8]) is held: never evaluated. The ragged tail
+            // (chunk 2) keeps its own extent.
+            assert_eq!(sums, Ok(vec![(0, 10), (2, 19)]), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn sparse_chunks_empty_set_and_out_of_range() {
+        let items: Vec<u32> = (1..=10).collect();
+        let none: Result<Vec<u32>, ()> =
+            try_par_sparse_chunks(nz(4), &items, nz(4), &[], |_, _| Ok(0));
+        assert_eq!(none, Ok(vec![]));
+        // An out-of-range index maps to an empty slice, not a panic.
+        let oob: Result<Vec<usize>, ()> =
+            try_par_sparse_chunks(nz(4), &items, nz(4), &[1, 99], |_, chunk| Ok(chunk.len()));
+        assert_eq!(oob, Ok(vec![4, 0]));
+    }
+
+    #[test]
+    fn sparse_chunks_error_is_first_by_position() {
+        let items: Vec<u32> = (0..40).collect();
+        for workers in [1, 3, 8] {
+            let r: Result<Vec<u32>, usize> =
+                try_par_sparse_chunks(nz(workers), &items, nz(4), &[7, 3, 5], |i, _| {
+                    if i != 7 {
+                        Err(i)
+                    } else {
+                        Ok(0)
+                    }
+                });
+            // Position order (7 first), not index order: 3 is the first
+            // failing *position*.
+            assert_eq!(r, Err(3), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn sparse_chunks_agree_with_dense_chunks_on_the_full_set() {
+        let items: Vec<f64> = (0..57).map(|i| f64::from(i) * 0.3).collect();
+        let all: Vec<usize> = (0..items.len().div_ceil(5)).collect();
+        let dense: Result<Vec<f64>, ()> =
+            try_par_chunks(nz(4), &items, nz(5), |_, c| Ok(c.iter().sum()));
+        let sparse: Result<Vec<f64>, ()> =
+            try_par_sparse_chunks(nz(4), &items, nz(5), &all, |_, c| Ok(c.iter().sum()));
+        assert_eq!(dense, sparse);
     }
 
     #[test]

@@ -62,6 +62,15 @@ pub enum FaultKind {
         /// Circulation index.
         circulation: usize,
     },
+    /// The circulation's whole CDU is down (maintenance, emergency
+    /// stop): no coolant moves at all, so its servers cannot run and
+    /// the circulation is **isolated offline** for the window — zero
+    /// load, zero harvest, zero flow. Attributed to the pump class
+    /// (the CDU's pump/exchanger subsystem is what failed).
+    CduOutage {
+        /// Circulation index.
+        circulation: usize,
+    },
     /// The circulation's cold-source sensor is frozen at `reading`
     /// (the optimizer sees it; the physics keeps the true value).
     SensorStuck {
@@ -276,6 +285,7 @@ impl FaultPlan {
                 }
                 FaultKind::TegOpenCircuit { .. }
                 | FaultKind::PumpOutage { .. }
+                | FaultKind::CduOutage { .. }
                 | FaultKind::SensorStuck { .. } => {}
             }
         }
@@ -506,6 +516,12 @@ impl FaultPlan {
                         end,
                     });
                 }
+                FaultKind::CduOutage { circulation } => {
+                    if circulation >= circulations {
+                        continue;
+                    }
+                    tracks[circulation].cdu.push((start, end));
+                }
                 FaultKind::SensorStuck {
                     circulation,
                     reading,
@@ -531,9 +547,9 @@ impl FaultPlan {
                 }
             }
         }
-        let any = tracks
-            .iter()
-            .any(|t| !(t.teg.is_empty() && t.pump.is_empty() && t.sensor.is_empty()));
+        let any = tracks.iter().any(|t| {
+            !(t.teg.is_empty() && t.pump.is_empty() && t.sensor.is_empty() && t.cdu.is_empty())
+        });
         CompiledFaults {
             seed: self.seed,
             plausible_lo: self.plausible_lo,
@@ -591,6 +607,9 @@ struct CircTrack {
     teg: Vec<TegWindow>,
     pump: Vec<PumpWindow>,
     sensor: Vec<SensorWindow>,
+    /// CDU-outage `[start, end)` windows: the circulation is isolated
+    /// offline while any is live.
+    cdu: Vec<(usize, usize)>,
 }
 
 /// The corruption applied to one circulation's cold-source reading at
@@ -626,6 +645,9 @@ pub struct ActiveFaults {
     pub pump_factor: f64,
     /// Whether the pump is fully out (draws no pump power).
     pub pump_out: bool,
+    /// Whether the whole CDU is out: the circulation is isolated
+    /// offline (zero load, zero harvest, zero flow) for the window.
+    pub cdu_out: bool,
     /// Cold-source sensor corruption, if any.
     pub sensor: Option<SensorFault>,
 }
@@ -647,7 +669,7 @@ impl ActiveFaults {
     pub fn class_active(&self, class: crate::FaultClass) -> bool {
         match class {
             crate::FaultClass::Sensor => self.sensor.is_some(),
-            crate::FaultClass::Pump => self.pump_out || self.pump_factor < 1.0,
+            crate::FaultClass::Pump => self.pump_out || self.cdu_out || self.pump_factor < 1.0,
             crate::FaultClass::Teg => !self.teg_failures.is_empty(),
         }
     }
@@ -745,13 +767,16 @@ impl CompiledFaults {
             }
         }
 
-        if teg_failures.is_empty() && !pump_active && sensor.is_none() {
+        let cdu_out = track.cdu.iter().any(|&(s, e)| live(s, e));
+
+        if teg_failures.is_empty() && !pump_active && !cdu_out && sensor.is_none() {
             return None;
         }
         Some(ActiveFaults {
             teg_failures,
             pump_factor,
             pump_out,
+            cdu_out,
             sensor,
         })
     }
@@ -766,6 +791,63 @@ impl CompiledFaults {
             }
         }
         out
+    }
+
+    /// Every step at which some circulation's fault picture *changes*
+    /// (a window opens or closes), mapped to the sorted, deduplicated
+    /// circulations affected at that step.
+    ///
+    /// This is the event feed a change-tolerant engine kernel consumes:
+    /// a circulation listed under a step must be re-evaluated at that
+    /// step (and its held state discarded) even if its load and cold
+    /// source look unchanged, so fault activation and recovery are
+    /// never skipped. Sensor-noise windows re-draw their offset every
+    /// step, so each step inside a noise window is an event, not just
+    /// its edges. A `BTreeMap` keyed by step keeps replay order
+    /// deterministic (h2p-lint L8).
+    #[must_use]
+    pub fn evaluation_events(&self) -> std::collections::BTreeMap<usize, Vec<usize>> {
+        let mut events: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        let mut note = |step: usize, circ: usize| {
+            events.entry(step).or_default().push(circ);
+        };
+        for (circ, track) in self.tracks.iter().enumerate() {
+            for w in &track.teg {
+                note(w.start, circ);
+                note(w.end, circ);
+            }
+            for w in &track.pump {
+                note(w.start, circ);
+                note(w.end, circ);
+            }
+            for w in &track.sensor {
+                match w.spec {
+                    // Stuck readings are constant inside the window:
+                    // only the edges change the picture.
+                    SensorSpec::Stuck(_) => {
+                        note(w.start, circ);
+                        note(w.end, circ);
+                    }
+                    // Noise re-draws every step: the whole window plus
+                    // the recovery edge are events.
+                    SensorSpec::Noisy(_) => {
+                        for step in w.start..=w.end {
+                            note(step, circ);
+                        }
+                    }
+                }
+            }
+            for &(start, end) in &track.cdu {
+                note(start, circ);
+                note(end, circ);
+            }
+        }
+        for circs in events.values_mut() {
+            circs.sort_unstable();
+            circs.dedup();
+        }
+        events
     }
 
     /// Journal the fault-class transitions that happen *at* `step`:
@@ -1113,11 +1195,84 @@ mod tests {
         for e in a.events() {
             match e.kind {
                 FaultKind::TegOpenCircuit { .. } => saw[0] = true,
-                FaultKind::PumpDegraded { .. } | FaultKind::PumpOutage { .. } => saw[1] = true,
+                FaultKind::PumpDegraded { .. }
+                | FaultKind::PumpOutage { .. }
+                | FaultKind::CduOutage { .. } => saw[1] = true,
                 FaultKind::SensorStuck { .. } | FaultKind::SensorNoise { .. } => saw[2] = true,
             }
         }
         assert_eq!(saw, [true, true, true]);
+    }
+
+    #[test]
+    fn cdu_outage_isolates_its_window() {
+        let events = vec![FaultEvent::windowed(
+            FaultKind::CduOutage { circulation: 1 },
+            4,
+            9,
+        )];
+        let compiled = FaultPlan::from_events(events, 0)
+            .unwrap()
+            .compile(30, 10, 20);
+        assert!(!compiled.is_empty());
+        assert!(compiled.active_at(1, 3).is_none());
+        let a = compiled.active_at(1, 4).unwrap();
+        assert!(a.cdu_out);
+        assert!(!a.pump_out, "CDU outage is not a pump outage");
+        assert_eq!(a.pump_factor, 1.0);
+        assert!(a.class_active(crate::FaultClass::Pump));
+        assert!(!a.class_active(crate::FaultClass::Teg));
+        assert!(compiled.active_at(1, 9).is_none());
+        assert!(compiled.active_at(0, 5).is_none());
+    }
+
+    #[test]
+    fn evaluation_events_cover_window_edges_and_noise_interiors() {
+        let events = vec![
+            teg(13, 2, 5), // circulation 1, permanent: edges at 5 and 288
+            FaultEvent::windowed(FaultKind::PumpOutage { circulation: 0 }, 2, 4),
+            FaultEvent::windowed(FaultKind::CduOutage { circulation: 2 }, 2, 6),
+            FaultEvent::windowed(
+                FaultKind::SensorStuck {
+                    circulation: 3,
+                    reading: Celsius::new(20.0),
+                },
+                7,
+                9,
+            ),
+            FaultEvent::windowed(
+                FaultKind::SensorNoise {
+                    circulation: 4,
+                    sigma: DegC::new(1.0),
+                },
+                10,
+                12,
+            ),
+        ];
+        let compiled = FaultPlan::from_events(events, 0)
+            .unwrap()
+            .compile(100, 10, 288);
+        let events = compiled.evaluation_events();
+        assert_eq!(events.get(&2), Some(&vec![0, 2]));
+        assert_eq!(events.get(&4), Some(&vec![0]));
+        assert_eq!(events.get(&5), Some(&vec![1]));
+        assert_eq!(events.get(&6), Some(&vec![2]));
+        assert_eq!(events.get(&7), Some(&vec![3]));
+        assert_eq!(events.get(&9), Some(&vec![3]));
+        // Noise windows are events at every interior step plus the
+        // recovery edge.
+        for step in 10..=12 {
+            assert_eq!(events.get(&step), Some(&vec![4]), "step {step}");
+        }
+        // The permanent TEG window closes at the run horizon.
+        assert_eq!(events.get(&288), Some(&vec![1]));
+        assert!(!events.contains_key(&3));
+        // Every listed step/circulation pair is a real transition or a
+        // live noise step; the empty plan has no events at all.
+        assert!(FaultPlan::none()
+            .compile(100, 10, 288)
+            .evaluation_events()
+            .is_empty());
     }
 
     #[test]

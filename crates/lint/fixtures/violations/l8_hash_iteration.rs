@@ -41,3 +41,22 @@ pub fn sorted_ids(seen: &HashSet<u64>) -> Vec<u64> {
     ids.sort_unstable();
     ids
 }
+
+/// Violation: a kernel-style forced-event queue held in a `HashMap`.
+/// Draining `step → circulations` in hash order would make the
+/// re-evaluation schedule (and hence every downstream fold) differ
+/// run to run; the engine's queue must be a `BTreeMap` (or a sorted
+/// `Vec`), as in `h2p_core::kernel::ChangeKernel`.
+pub struct EventQueue {
+    forced: HashMap<usize, Vec<usize>>,
+}
+
+impl EventQueue {
+    /// Violation: steps visit in the hasher's per-process order.
+    pub fn drain_schedule(&self) -> Vec<(usize, Vec<usize>)> {
+        self.forced
+            .iter()
+            .map(|(step, circs)| (*step, circs.clone()))
+            .collect()
+    }
+}

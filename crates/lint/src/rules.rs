@@ -1120,6 +1120,25 @@ mod tests {
     }
 
     #[test]
+    fn l8_pins_the_kernel_event_queue_to_ordered_containers() {
+        // ISSUE 7: the change-detection kernel's forced-event queue
+        // (`step → circulations`) feeds the re-evaluation schedule, so
+        // it is result-affecting and must live in a BTreeMap/Vec, never
+        // a HashMap. The violating shape fires; the kernel's actual
+        // shape does not.
+        let bad = "struct Q { forced: HashMap<usize, Vec<usize>> }\n\
+                   fn drain(q: &Q) -> Vec<usize> { q.forced.keys().copied().collect() }\n";
+        let diags = run(bad, &physics_lib());
+        assert_eq!(only(&diags, RuleId::L8).len(), 1, "{diags:?}");
+
+        let good = "struct Q { forced: BTreeMap<usize, Vec<usize>>, current: Vec<usize> }\n\
+                    fn drain(q: &Q) -> Vec<usize> { q.forced.keys().copied().collect() }\n\
+                    fn is_forced(q: &Q, c: usize) -> bool { q.current.binary_search(&c).is_ok() }\n";
+        let diags = run(good, &physics_lib());
+        assert!(only(&diags, RuleId::L8).is_empty(), "{diags:?}");
+    }
+
+    #[test]
     fn l8_respects_allow_and_tests() {
         let src = "fn a(m: &HashMap<K, V>) {\n\
                        for k in m.keys() {} // h2p-lint: allow(L8): keys re-sorted below\n\

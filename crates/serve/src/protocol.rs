@@ -161,7 +161,7 @@ pub fn response_json(response: &TicketResponse) -> Value {
                 "policy": result.policy(),
                 "servers": result.servers(),
                 "steps": result.steps().len(),
-                "avg_teg_w_per_server": result.average_teg_power().value(),
+                "avg_teg_w_per_server": result.average_teg_power().ok().map(|w| w.value()),
                 "pre": result.pre(),
                 "partial_pue": result.partial_pue().ok(),
                 "partial_ere": result.partial_ere().ok(),

@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "{:<10} {:<17} {:>8.3} {:>8.3} {:>7.1}",
                 kind.name(),
                 r.policy(),
-                r.average_teg_power().value(),
+                r.average_teg_power()?.value(),
                 r.peak_teg_power().value(),
                 r.pre() * 100.0
             );

@@ -16,11 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = Simulator::paper_default()?;
     let run = sim.run(&cluster, &LoadBalance)?;
     let interval = run.interval();
-    let demand = run.average_teg_power(); // steady draw at the mean
+    let demand = run.average_teg_power()?; // steady draw at the mean
 
     println!(
         "per-CPU TEG output: avg {:.2} W, serving a constant {:.2} W lighting load",
-        run.average_teg_power().value(),
+        demand.value(),
         demand.value()
     );
 
@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // What does ~4 W per CPU buy in lighting?
-    let per_cpu = run.average_teg_power();
+    let per_cpu = run.average_teg_power()?;
     println!(
         "\nlighting budget per CPU: {} ordinary 0.05 W LEDs or {} one-watt LEDs",
         leds_powered(per_cpu, Watts::new(0.05)),

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "\n{}: avg {:.3} W/CPU, peak {:.3} W/CPU, PRE {:.1} %",
             result.policy(),
-            result.average_teg_power().value(),
+            result.average_teg_power()?.value(),
             result.peak_teg_power().value(),
             result.pre() * 100.0
         );
@@ -46,11 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. What is that worth at datacenter scale?
     let tco = TcoAnalysis::paper_default();
     let lb = sim.run(&cluster, &LoadBalance)?;
+    let lb_avg = lb.average_teg_power()?;
     println!(
         "\nat 100,000 CPUs: ${:.0}/day revenue, TCO −{:.2} %, break-even {:.0} days",
-        tco.daily_revenue(lb.average_teg_power()).value(),
-        tco.reduction(lb.average_teg_power()) * 100.0,
-        tco.break_even(lb.average_teg_power()).to_days()
+        tco.daily_revenue(lb_avg).value(),
+        tco.reduction(lb_avg) * 100.0,
+        tco.break_even(lb_avg).to_days()
     );
     Ok(())
 }

@@ -15,8 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .generate();
     let sim = Simulator::paper_default()?;
     let run = sim.run(&cluster, &LoadBalance)?;
-    let teg_power = run.average_teg_power();
-    let server_heat = run.average_cpu_power(); // all CPU heat enters the loop
+    let teg_power = run.average_teg_power()?;
+    let server_heat = run.average_cpu_power()?; // all CPU heat enters the loop
     println!(
         "simulated operating point: {:.2} W electric harvested from {:.1} W of heat per CPU\n",
         teg_power.value(),

@@ -42,7 +42,7 @@
 //! let sim = Simulator::paper_default()?;
 //! let baseline = sim.run(&cluster, &Original)?;
 //! let balanced = sim.run(&cluster, &LoadBalance)?;
-//! assert!(balanced.average_teg_power() >= baseline.average_teg_power());
+//! assert!(balanced.average_teg_power()? >= baseline.average_teg_power()?);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

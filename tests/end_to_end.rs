@@ -32,12 +32,12 @@ fn full_pipeline_produces_consistent_report() {
     assert_eq!(result.total_violations(), 0);
 
     // Metrics consistency.
-    let avg = result.average_teg_power();
+    let avg = result.average_teg_power().unwrap();
     assert!(result.peak_teg_power() >= avg);
     let pre = result.pre();
     assert!(pre > 0.0 && pre < 1.0);
     assert!(
-        (pre - avg.value() / result.average_cpu_power().value()).abs() < 1e-12,
+        (pre - avg.value() / result.average_cpu_power().unwrap().value()).abs() < 1e-12,
         "PRE must equal the power ratio"
     );
 
@@ -60,10 +60,11 @@ fn policies_agree_on_cpu_power_but_not_generation() {
     let orig = sim.run(&cluster, &Original).expect("run succeeds");
     let lb = sim.run(&cluster, &LoadBalance).expect("run succeeds");
 
-    let cpu_rel = (orig.average_cpu_power().value() - lb.average_cpu_power().value()).abs()
-        / orig.average_cpu_power().value();
+    let cpu_rel =
+        (orig.average_cpu_power().unwrap().value() - lb.average_cpu_power().unwrap().value()).abs()
+            / orig.average_cpu_power().unwrap().value();
     assert!(cpu_rel < 0.05, "CPU power diverged by {cpu_rel}");
-    assert!(lb.average_teg_power() > orig.average_teg_power());
+    assert!(lb.average_teg_power().unwrap() > orig.average_teg_power().unwrap());
 }
 
 #[test]
@@ -73,15 +74,18 @@ fn bounded_migration_sits_between_policies() {
     let orig = sim
         .run(&cluster, &Original)
         .expect("run succeeds")
-        .average_teg_power();
+        .average_teg_power()
+        .unwrap();
     let lb = sim
         .run(&cluster, &LoadBalance)
         .expect("run succeeds")
-        .average_teg_power();
+        .average_teg_power()
+        .unwrap();
     let bounded = sim
         .run(&cluster, &BoundedMigration::new(0.05))
         .expect("run succeeds")
-        .average_teg_power();
+        .average_teg_power()
+        .unwrap();
     assert!(
         bounded >= orig - Watts::new(0.05) && bounded <= lb + Watts::new(0.05),
         "orig {orig}, bounded {bounded}, lb {lb}"
@@ -104,6 +108,7 @@ fn seasonal_cold_source_modulates_generation() {
             .run(&cluster, &LoadBalance)
             .expect("runs")
             .average_teg_power()
+            .unwrap()
     };
     let cold = run_at(15.0);
     let warm = run_at(25.0);
@@ -155,13 +160,13 @@ fn ere_improves_with_h2p_reuse() {
     let sim = Simulator::paper_default().expect("simulator builds");
     let run = sim.run(&cluster, &LoadBalance).expect("run succeeds");
 
-    let it = run.average_cpu_power() * run.servers() as f64;
+    let it = run.average_cpu_power().unwrap() * run.servers() as f64;
     let breakdown = EnergyBreakdown {
         it,
         cooling: it * 0.2,
         power: it * 0.08,
         lighting: it * 0.01,
-        reuse: run.average_teg_power() * run.servers() as f64,
+        reuse: run.average_teg_power().unwrap() * run.servers() as f64,
     };
     assert!(breakdown.ere() < breakdown.pue());
 }

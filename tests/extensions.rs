@@ -87,7 +87,7 @@ fn conditioned_harvest_close_to_reported() {
     assert!(delivered <= available);
     // And the reconstructed available power matches the simulator's
     // reported average within the utilization spread.
-    assert!((available.value() - run.average_teg_power().value()).abs() < 0.7);
+    assert!((available.value() - run.average_teg_power().unwrap().value()).abs() < 0.7);
 }
 
 #[test]
@@ -101,7 +101,7 @@ fn dispatch_over_simulated_series_covers_steady_lighting() {
     let run = sim.run(&cluster, &Original).unwrap();
     let generation: Vec<Watts> = run.steps().iter().map(|s| s.teg_power_per_server).collect();
     // A steady lighting load at 90 % of the mean harvest.
-    let demand_level = run.average_teg_power() * 0.9;
+    let demand_level = run.average_teg_power().unwrap() * 0.9;
     let demand = vec![demand_level; generation.len()];
     let mut buffer = HybridBuffer::paper_default();
     let plan = greedy_dispatch(&mut buffer, &generation, &demand, run.interval()).unwrap();

@@ -34,7 +34,7 @@ fn fig14_policy_averages_in_band() {
         let vals: Vec<f64> = runs
             .iter()
             .filter(|r| r.policy == policy)
-            .map(|r| r.result.average_teg_power().value())
+            .map(|r| r.result.average_teg_power().unwrap().value())
             .collect();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
@@ -60,6 +60,7 @@ fn fig14_per_trace_orderings_match_paper() {
             .expect("all six runs present")
             .result
             .average_teg_power()
+            .unwrap()
             .value()
     };
     // LoadBalance ordering: drastic > irregular > common (paper
@@ -127,7 +128,7 @@ fn tco_headlines_from_simulated_averages() {
         let vals: Vec<f64> = runs
             .iter()
             .filter(|r| r.policy == "TEG_LoadBalance")
-            .map(|r| r.result.average_teg_power().value())
+            .map(|r| r.result.average_teg_power().unwrap().value())
             .collect();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
