@@ -143,7 +143,12 @@ fn main() {
 
     let dense_identical = bit_identical(&seq, &par);
     let exact_identical = bit_identical(&seq, &exact.result);
-    let speedup = sequential_seconds / parallel_seconds;
+    // A parallel-vs-sequential "speedup" measured on a single-core host
+    // is pure scheduling overhead, not a property of the engine — on
+    // such hosts the ratio is recorded as null with an explicit skip
+    // marker instead of a misleading sub-1.0 figure.
+    let single_core = available == 1;
+    let speedup = (!single_core).then(|| sequential_seconds / parallel_seconds);
 
     let total_events = exact.evaluated + exact.held;
     let eval_ratio = tolerant.evaluated as f64 / total_events.max(1) as f64;
@@ -166,6 +171,7 @@ fn main() {
         "workers": workers,
         "available_parallelism": available,
         "speedup": speedup,
+        "speedup_skipped_single_core": single_core,
         "bit_identical": dense_identical,
         "kernel_exact_seconds": exact.seconds,
         "kernel_exact_bit_identical": exact_identical,
@@ -191,7 +197,14 @@ fn main() {
         seq.policy()
     );
     println!("  dense sequential (1 worker):   {sequential_seconds:.3} s");
-    println!("  dense parallel   ({workers} workers): {parallel_seconds:.3} s  ({speedup:.2}x, {available} cores available)");
+    match speedup {
+        Some(s) => println!(
+            "  dense parallel   ({workers} workers): {parallel_seconds:.3} s  ({s:.2}x, {available} cores available)"
+        ),
+        None => println!(
+            "  dense parallel   ({workers} workers): {parallel_seconds:.3} s  (speedup skipped: single-core host)"
+        ),
+    }
     println!(
         "  kernel tol=0     ({workers} workers): {:.3} s  (bit-identical: {exact_identical})",
         exact.seconds

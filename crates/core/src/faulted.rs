@@ -359,18 +359,6 @@ impl Simulator {
         })
     }
 
-    fn new_optimizer(&self, cold: Celsius) -> Result<CoolingOptimizer<'_>, H2pError> {
-        Ok(CoolingOptimizer::new(
-            &self.space,
-            self.config.module,
-            self.config.pump,
-            self.config.t_safe,
-            self.config.tolerance,
-            cold,
-        )?
-        .with_telemetry(&self.telemetry.registry))
-    }
-
     /// The clamped fallback setting for implausible sensor readings:
     /// maximum flow at the coolest grid inlet — the most conservative
     /// corner of the paper grid, safe for any load.

@@ -14,6 +14,9 @@
 //! * [`circulation`] — the analytical water-circulation design study of
 //!   Sec. V-A (order statistics → chiller energy → cost versus servers
 //!   per circulation);
+//! * [`fleet`] — the column-major (struct-of-arrays) state behind the
+//!   engine's hot path and the streaming fleet-scale runner
+//!   (`Simulator::run_fleet`);
 //! * [`metrics`] — PRE (Eq. 19), ERE and series summaries;
 //! * [`datacenter`] — the one-stop facade: simulator + TCO + hydraulic
 //!   feasibility, consolidated into an annual report;
@@ -66,6 +69,7 @@ pub mod circulation;
 pub mod datacenter;
 pub mod facility;
 pub mod faulted;
+pub mod fleet;
 pub mod kernel;
 pub mod metrics;
 pub mod prototype;
@@ -111,6 +115,16 @@ pub enum H2pError {
         /// Offending value.
         value: f64,
     },
+    /// A fleet run's chunk plan disagreed with the trace generator or
+    /// the simulator configuration (server count or circulation size).
+    FleetPlanMismatch {
+        /// Which quantity disagreed.
+        what: &'static str,
+        /// The value the run requires.
+        expected: usize,
+        /// The value the plan carries.
+        got: usize,
+    },
 }
 
 impl fmt::Display for H2pError {
@@ -139,6 +153,16 @@ impl fmt::Display for H2pError {
                 write!(
                     f,
                     "kernel tolerance {name} must be finite and non-negative, got {value}"
+                )
+            }
+            H2pError::FleetPlanMismatch {
+                what,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "fleet chunk plan disagrees on {what}: run requires {expected}, plan has {got}"
                 )
             }
         }

@@ -39,17 +39,19 @@
 //!   silently replayed settings optimized for one cold temperature at
 //!   another as the source drifted.)
 
+use crate::fleet::{EngineLayout, FleetColumns};
 use crate::kernel::{ChangeKernel, KernelTolerance};
 use crate::H2pError;
 use h2p_cooling::{CoolingOptimizer, CoolingPlant, OptimizedSetting, PlantLoad};
-use h2p_exec::PoolTelemetry;
+use h2p_exec::{ChunkPlan, PoolTelemetry};
 use h2p_hydraulics::{ColdSource, Pump};
 use h2p_sched::SchedulingPolicy;
 use h2p_server::{CpuPowerModel, LookupSpace, ServerModel};
 use h2p_teg::TegModule;
 use h2p_telemetry::{BucketSpec, Counter, Histogram, Registry};
 use h2p_units::{Celsius, DegC, Joules, Seconds, Utilization, Watts};
-use h2p_workload::ClusterTrace;
+use h2p_workload::{ClusterTrace, TraceGenerator};
+use std::cell::RefCell;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
@@ -617,6 +619,61 @@ impl CircPartial {
     }
 }
 
+/// Running reduction of one control interval's [`CircPartial`]s — the
+/// single accumulator both the per-step engines (`fold_step`, which
+/// sees a whole interval's partials at once) and the chunk-streaming
+/// fleet engine (`run_fleet`, which feeds each interval's accumulator
+/// one chunk at a time) share. Each field is one f64 accumulator whose
+/// additions happen in circulation-index order, so both feeding
+/// patterns execute the exact same addition sequence — the bit-identity
+/// contract between `run` and `run_fleet` rests on this type being the
+/// only fold implementation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StepFold {
+    teg_sum: f64,
+    cpu_sum: f64,
+    pump_sum: f64,
+    flow_sum: f64,
+    inlet_sum: f64,
+    outlet_sum: f64,
+    util_sum: f64,
+    peak: Utilization,
+    violations: usize,
+    online: usize,
+}
+
+impl StepFold {
+    pub(crate) fn new() -> Self {
+        StepFold {
+            teg_sum: 0.0,
+            cpu_sum: 0.0,
+            pump_sum: 0.0,
+            flow_sum: 0.0,
+            inlet_sum: 0.0,
+            outlet_sum: 0.0,
+            util_sum: 0.0,
+            peak: Utilization::IDLE,
+            violations: 0,
+            online: 0,
+        }
+    }
+
+    /// Absorbs one circulation's partial. Callers must add partials in
+    /// circulation-index order (f64 addition is not associative).
+    pub(crate) fn add(&mut self, p: CircPartial) {
+        self.teg_sum += p.teg;
+        self.cpu_sum += p.cpu;
+        self.pump_sum += p.pump;
+        self.flow_sum += p.flow;
+        self.inlet_sum += p.inlet_weighted;
+        self.outlet_sum += p.outlet;
+        self.util_sum += p.util;
+        self.peak = self.peak.max(p.peak);
+        self.violations += p.violations;
+        self.online += p.online;
+    }
+}
+
 /// The trace-driven H2P simulator.
 ///
 /// Building a simulator runs the measurement campaign that fits the
@@ -635,6 +692,9 @@ pub struct Simulator {
     /// `None` runs the legacy dense stepper (the bit-identity oracle);
     /// `Some` routes runs through the change-detection kernel.
     pub(crate) kernel: Option<KernelTolerance>,
+    /// Which inner-loop layout evaluates circulations: the column-major
+    /// hot path (default) or the retained scalar reference.
+    pub(crate) layout: EngineLayout,
 }
 
 impl Simulator {
@@ -657,6 +717,7 @@ impl Simulator {
             cache: SettingCache::default(),
             telemetry: EngineTelemetry::disabled(),
             kernel: None,
+            layout: EngineLayout::default(),
         })
     }
 
@@ -717,6 +778,24 @@ impl Simulator {
     #[must_use]
     pub fn kernel_tolerance(&self) -> Option<KernelTolerance> {
         self.kernel
+    }
+
+    /// Selects the inner-loop layout (see [`EngineLayout`]). The
+    /// column-major default and the retained scalar reference are
+    /// bit-identical for every trace, policy, worker count, kernel
+    /// tolerance, and fault plan — `tests/fleet_transparency.rs` is the
+    /// differential oracle guarding that contract, so the layout is
+    /// purely a performance knob.
+    #[must_use]
+    pub fn with_layout(mut self, layout: EngineLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// The inner-loop layout runs evaluate under.
+    #[must_use]
+    pub fn layout(&self) -> EngineLayout {
+        self.layout
     }
 
     /// Attaches a telemetry registry: step and circulation wall-time
@@ -822,17 +901,7 @@ impl Simulator {
             let cold = self.config.cold_source.temperature(time);
             let optimizer = match optimizers.entry(cold.value().to_bits()) {
                 Entry::Occupied(entry) => entry.into_mut(),
-                Entry::Vacant(entry) => entry.insert(
-                    CoolingOptimizer::new(
-                        &self.space,
-                        self.config.module,
-                        self.config.pump,
-                        self.config.t_safe,
-                        self.config.tolerance,
-                        cold,
-                    )?
-                    .with_telemetry(&self.telemetry.registry),
-                ),
+                Entry::Vacant(entry) => entry.insert(self.new_optimizer(cold)?),
             };
 
             let loads = cluster.utilizations_at(step);
@@ -909,17 +978,7 @@ impl Simulator {
             let cold = self.config.cold_source.temperature(time);
             let optimizer = match optimizers.entry(cold.value().to_bits()) {
                 Entry::Occupied(entry) => entry.into_mut(),
-                Entry::Vacant(entry) => entry.insert(
-                    CoolingOptimizer::new(
-                        &self.space,
-                        self.config.module,
-                        self.config.pump,
-                        self.config.t_safe,
-                        self.config.tolerance,
-                        cold,
-                    )?
-                    .with_telemetry(&self.telemetry.registry),
-                ),
+                Entry::Vacant(entry) => entry.insert(self.new_optimizer(cold)?),
             };
 
             let loads = cluster.utilizations_at(step);
@@ -1011,6 +1070,142 @@ impl Simulator {
         })
     }
 
+    /// Streams a fleet-scale run without ever materializing the full
+    /// trace: shards are generated on demand, one resident chunk at a
+    /// time, following the [`ChunkPlan`]'s circulation → chunk → lane
+    /// hierarchy. Within a chunk, circulations shard across the worker
+    /// pool (each lane walks all control intervals of its circulation);
+    /// per-step accumulators merge chunk results in circulation-index
+    /// order, so the result is **bit-identical** to materializing the
+    /// trace with [`TraceGenerator::generate`] and calling
+    /// [`run`](Self::run) with the kernel disabled
+    /// (`tests/fleet_transparency.rs` is the oracle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`H2pError::FleetPlanMismatch`] when the plan's server
+    /// count or circulation size disagrees with the generator or the
+    /// simulator configuration, and otherwise the same errors as
+    /// [`run`](Self::run).
+    pub fn run_fleet(
+        &self,
+        generator: &TraceGenerator,
+        policy: &dyn SchedulingPolicy,
+        plan: &ChunkPlan,
+    ) -> Result<SimulationResult, H2pError> {
+        let servers = generator.servers();
+        let n_steps = generator.steps();
+        let interval = generator.interval();
+        let circ_size = self.config.servers_per_circulation.min(servers).max(1);
+        if plan.servers() != servers {
+            return Err(H2pError::FleetPlanMismatch {
+                what: "server count",
+                expected: servers,
+                got: plan.servers(),
+            });
+        }
+        if plan.circulation_size().get() != circ_size {
+            return Err(H2pError::FleetPlanMismatch {
+                what: "circulation size",
+                expected: circ_size,
+                got: plan.circulation_size().get(),
+            });
+        }
+
+        // Every chunk replays all control intervals, so resolve the
+        // cold-source series and its optimizers (one per distinct cold
+        // reading, as in the materialized drivers) once, up front.
+        let mut colds = Vec::with_capacity(n_steps);
+        let mut optimizers: HashMap<u64, CoolingOptimizer<'_>> = HashMap::new();
+        for step in 0..n_steps {
+            let time = Seconds::new(interval.value() * step as f64);
+            let cold = self.config.cold_source.temperature(time);
+            if let Entry::Vacant(entry) = optimizers.entry(cold.value().to_bits()) {
+                entry.insert(self.new_optimizer(cold)?);
+            }
+            colds.push(cold);
+        }
+
+        // One running fold per control interval. Chunks arrive in index
+        // order and each chunk merges its circulations in index order,
+        // so every fold sees its additions in global circulation-index
+        // order — the exact sequence `fold_step` executes over a
+        // materialized run.
+        let mut folds: Vec<StepFold> = (0..n_steps).map(|_| StepFold::new()).collect();
+        let mut shards = generator.shards(plan.max_chunk_servers());
+        for chunk in plan.chunks() {
+            let shard = shards.next().ok_or(H2pError::FleetPlanMismatch {
+                what: "shard count",
+                expected: chunk.index + 1,
+                got: chunk.index,
+            })?;
+            debug_assert_eq!(shard.start_server(), chunk.servers.start);
+            let trace = shard.cluster();
+            // Chunk-local server ranges, one per circulation: the plan
+            // never splits a circulation, so these are exactly the
+            // scalar driver's chunk boundaries shifted into the shard.
+            let local: Vec<std::ops::Range<usize>> = chunk
+                .circulations
+                .clone()
+                .map(|c| {
+                    let start = (c - chunk.circulations.start) * circ_size;
+                    let end = start.saturating_add(circ_size).min(trace.servers());
+                    start..end
+                })
+                .collect();
+            // Lane unit: one circulation across *all* steps (amortizes
+            // lane spawn over the whole interval axis). Results come
+            // back in circulation-index order regardless of scheduling.
+            let per_circ: Vec<Vec<CircPartial>> = h2p_exec::try_par_map_observed(
+                &self.telemetry.pool,
+                self.workers,
+                &local,
+                |_, range| {
+                    let mut partials = Vec::with_capacity(n_steps);
+                    let mut loads: Vec<Utilization> = Vec::with_capacity(range.len());
+                    for (step, &cold) in colds.iter().enumerate() {
+                        loads.clear();
+                        for s in range.clone() {
+                            loads.push(trace.trace(s).get(step));
+                        }
+                        let optimizer = optimizers
+                            .get(&cold.value().to_bits())
+                            // h2p-lint: allow(L2): populated for every
+                            // step's cold reading in the loop above.
+                            .expect("optimizer resolved for every cold reading");
+                        let t0 = self.telemetry.registry.now_nanos();
+                        let partial =
+                            self.simulate_circulation(&loads, policy, optimizer, cold, true);
+                        self.telemetry
+                            .circ_wall
+                            .record(self.telemetry.registry.now_nanos().saturating_sub(t0));
+                        partials.push(partial?);
+                    }
+                    Ok::<Vec<CircPartial>, H2pError>(partials)
+                },
+            )?;
+            for circ_steps in &per_circ {
+                for (fold, partial) in folds.iter_mut().zip(circ_steps) {
+                    fold.add(*partial);
+                }
+            }
+        }
+
+        let mut steps = Vec::with_capacity(n_steps);
+        for (step, fold) in folds.iter().enumerate() {
+            let time = Seconds::new(interval.value() * step as f64);
+            steps.push(self.finish_step(time, servers, fold));
+            self.telemetry.note_step();
+        }
+        self.telemetry.note_run();
+        Ok(SimulationResult {
+            policy: policy.name(),
+            interval,
+            servers,
+            steps,
+        })
+    }
+
     /// Folds per-circulation partials (in circulation-index order) into
     /// one interval's [`StepRecord`]. Shared by the plan-free and the
     /// fault-injected engines so that a zero-fault plan reproduces the
@@ -1022,29 +1217,29 @@ impl Simulator {
         servers: usize,
         partials: impl Iterator<Item = CircPartial>,
     ) -> StepRecord {
-        let mut teg_sum = 0.0;
-        let mut cpu_sum = 0.0;
-        let mut pump_sum = 0.0;
-        let mut flow_sum = 0.0;
-        let mut inlet_sum = 0.0;
-        let mut outlet_sum = 0.0;
-        let mut util_sum = 0.0;
-        let mut peak = Utilization::IDLE;
-        let mut violations = 0usize;
-        let mut online = 0usize;
+        let mut fold = StepFold::new();
         for p in partials {
-            teg_sum += p.teg;
-            cpu_sum += p.cpu;
-            pump_sum += p.pump;
-            flow_sum += p.flow;
-            inlet_sum += p.inlet_weighted;
-            outlet_sum += p.outlet;
-            util_sum += p.util;
-            peak = peak.max(p.peak);
-            violations += p.violations;
-            online += p.online;
+            fold.add(p);
         }
+        self.finish_step(time, servers, &fold)
+    }
 
+    /// Turns a completed [`StepFold`] into the interval's
+    /// [`StepRecord`] (shared tail of `fold_step` and the fleet
+    /// engine's chunk-streamed accumulation).
+    pub(crate) fn finish_step(&self, time: Seconds, servers: usize, fold: &StepFold) -> StepRecord {
+        let StepFold {
+            teg_sum,
+            cpu_sum,
+            pump_sum,
+            flow_sum,
+            inlet_sum,
+            outlet_sum,
+            util_sum,
+            peak,
+            violations,
+            online,
+        } = *fold;
         let n = servers as f64;
         // The supply setpoint averages over *online* servers only:
         // offline circulations contribute `inlet_weighted = 0`, and
@@ -1081,7 +1276,35 @@ impl Simulator {
     /// pick the cooling setting, evaluate every server under it. Pure
     /// in its inputs (the setting cache only memoizes a deterministic
     /// search), so safe and deterministic from any worker thread.
+    ///
+    /// Dispatches on the configured [`EngineLayout`]: the column-major
+    /// hot path by default, the retained scalar reference on request.
+    /// The two are bit-identical (see [`crate::fleet`] and
+    /// `tests/fleet_transparency.rs`); every engine mode — dense,
+    /// kernel, faulted (healthy layer) — funnels through this
+    /// dispatcher, so the layout choice composes with all of them.
     pub(crate) fn simulate_circulation(
+        &self,
+        chunk: &[Utilization],
+        policy: &dyn SchedulingPolicy,
+        optimizer: &CoolingOptimizer<'_>,
+        cold: Celsius,
+        use_cache: bool,
+    ) -> Result<CircPartial, H2pError> {
+        match self.layout {
+            EngineLayout::Scalar => {
+                self.simulate_circulation_scalar(chunk, policy, optimizer, cold, use_cache)
+            }
+            EngineLayout::Columns => {
+                self.simulate_circulation_columns(chunk, policy, optimizer, cold, use_cache)
+            }
+        }
+    }
+
+    /// The retained per-server scalar reference path — kept verbatim as
+    /// the bit-identity oracle for the column engine, exactly as the
+    /// dense stepper is kept as the oracle for the kernel path.
+    pub(crate) fn simulate_circulation_scalar(
         &self,
         chunk: &[Utilization],
         policy: &dyn SchedulingPolicy,
@@ -1121,6 +1344,147 @@ impl Simulator {
             partial.peak = partial.peak.max(u);
         }
         Ok(partial)
+    }
+
+    /// The column-major hot path: the same per-element physics as the
+    /// scalar reference, restructured into per-column passes over a
+    /// thread-local [`FleetColumns`] scratch so the pure-arithmetic
+    /// passes (TEG ΔT, Eq. 6 harvest) run as autovectorizable slice
+    /// loops.
+    ///
+    /// Bit-identity argument: every per-element function call is
+    /// identical to the scalar path's (`outlet - cold` on `Celsius` is
+    /// `DegC(a.value() - b.value())`, recomputed here from the stored
+    /// column values), and every accumulator (`teg`, `cpu`, `outlet`,
+    /// `util`) is reduced in server order — splitting one interleaved
+    /// loop into per-accumulator loops never reorders any individual
+    /// accumulator's additions. `peak` (a max) and `violations` (a
+    /// count) are order-insensitive anyway.
+    pub(crate) fn simulate_circulation_columns(
+        &self,
+        chunk: &[Utilization],
+        policy: &dyn SchedulingPolicy,
+        optimizer: &CoolingOptimizer<'_>,
+        cold: Celsius,
+        use_cache: bool,
+    ) -> Result<CircPartial, H2pError> {
+        thread_local! {
+            // Per-thread scratch so worker lanes never contend and the
+            // columns' allocations are reused across circulation-steps.
+            static SCRATCH: RefCell<FleetColumns> = RefCell::new(FleetColumns::new());
+        }
+        let scheduled = policy.schedule(chunk);
+        let u_ctrl = policy.control_utilization(chunk);
+        let chosen = self.optimized_setting(optimizer, u_ctrl, cold, use_cache)?;
+        SCRATCH.with(|cell| {
+            let mut columns = cell.borrow_mut();
+            self.evaluate_columns(&scheduled, &chosen, cold, &mut columns)
+        })
+    }
+
+    /// The column passes behind
+    /// [`simulate_circulation_columns`](Self::simulate_circulation_columns).
+    fn evaluate_columns(
+        &self,
+        scheduled: &[Utilization],
+        chosen: &OptimizedSetting,
+        cold: Celsius,
+        columns: &mut FleetColumns,
+    ) -> Result<CircPartial, H2pError> {
+        let n = scheduled.len();
+        columns.begin(n);
+        let flow = chosen.setting.flow;
+        let inlet = chosen.setting.inlet;
+
+        // Fill the input columns: utilization, plus the per-circulation
+        // uniform inlet and pump-share columns (uniform here, but real
+        // columns so the struct view stays complete).
+        for (slot, &u) in columns.utilization.iter_mut().zip(scheduled) {
+            *slot = u.value();
+        }
+        columns.inlet.fill(inlet.value());
+        columns.cooling_power.fill(chosen.pump_power.value());
+
+        // Lookup pass: outlet temperature and the die-temperature
+        // violation count (the interpolations share their operands, so
+        // one pass keeps both surfaces hot in cache). Errors propagate
+        // at the first failing server, like the scalar path.
+        let mut violations = 0usize;
+        for (slot, &u) in columns.outlet.iter_mut().zip(scheduled) {
+            let outlet = self.space.outlet_temperature(u, flow, inlet)?;
+            let die = self.space.cpu_temperature(u, flow, inlet)?;
+            if die > self.max_operating {
+                violations += 1;
+            }
+            *slot = outlet.value();
+        }
+
+        // TEG ΔT: a pure slice subtraction (autovectorizes).
+        let cold_value = cold.value();
+        for (delta, &outlet) in columns.teg_delta.iter_mut().zip(columns.outlet.iter()) {
+            *delta = outlet - cold_value;
+        }
+
+        // Eq. 6 harvest over the ΔT column: the clamped quadratic is
+        // branch-light and vectorizes well.
+        for (harvest, &delta) in columns
+            .harvest_power
+            .iter_mut()
+            .zip(columns.teg_delta.iter())
+        {
+            *harvest = self.config.module.max_power(DegC::new(delta)).value();
+        }
+
+        // Eq. 20 CPU power over the utilization column.
+        for (power, &u) in columns.cpu_power.iter_mut().zip(scheduled) {
+            *power = self.power_model.base_power(u).value();
+        }
+
+        // Reduce, one accumulator per column, each in server order.
+        let mut partial = CircPartial {
+            teg: 0.0,
+            cpu: 0.0,
+            pump: chosen.pump_power.value() * n as f64,
+            flow: flow.value() * n as f64,
+            inlet_weighted: inlet.value() * n as f64,
+            outlet: 0.0,
+            util: 0.0,
+            peak: Utilization::IDLE,
+            violations,
+            online: n,
+        };
+        for &w in &columns.harvest_power {
+            partial.teg += w;
+        }
+        for &w in &columns.cpu_power {
+            partial.cpu += w;
+        }
+        for &t in &columns.outlet {
+            partial.outlet += t;
+        }
+        for &u in &columns.utilization {
+            partial.util += u;
+        }
+        for &u in scheduled {
+            partial.peak = partial.peak.max(u);
+        }
+        Ok(partial)
+    }
+
+    /// Builds a cooling optimizer against the engine's lookup space for
+    /// one cold-side temperature, wired into the engine's telemetry.
+    /// Shared by the dense, kernel, fleet, and faulted drivers (one
+    /// optimizer per distinct cold-source reading).
+    pub(crate) fn new_optimizer(&self, cold: Celsius) -> Result<CoolingOptimizer<'_>, H2pError> {
+        Ok(CoolingOptimizer::new(
+            &self.space,
+            self.config.module,
+            self.config.pump,
+            self.config.t_safe,
+            self.config.tolerance,
+            cold,
+        )?
+        .with_telemetry(&self.telemetry.registry))
     }
 
     /// Resolves the cooling setting for a control utilization, through

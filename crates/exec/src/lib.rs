@@ -9,6 +9,11 @@
 //! built on [`std::thread::scope`] — the workspace builds fully
 //! offline, so no rayon.
 //!
+//! For fleet-scale runs the pool composes with a [`ChunkPlan`]
+//! (circulation → chunk → lane): the plan groups whole circulations
+//! into memory-bounded chunks, and the pool shards each chunk's
+//! circulations across lanes.
+//!
 //! # Determinism contract
 //!
 //! [`par_map`], [`try_par_map`] and [`try_par_chunks`] return results
@@ -64,8 +69,10 @@
     )
 )]
 
+mod plan;
 mod telemetry;
 
+pub use plan::{ChunkPlan, ChunkSpec, PlanError};
 pub use telemetry::PoolTelemetry;
 
 use std::num::NonZeroUsize;

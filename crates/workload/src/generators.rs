@@ -15,6 +15,7 @@ use crate::trace::{ClusterTrace, Trace};
 use h2p_units::Seconds;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::num::NonZeroUsize;
 
 /// Which paper workload class to synthesize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -237,18 +238,117 @@ impl TraceGenerator {
         self.kind
     }
 
-    /// Generates the cluster trace.
+    /// Number of servers the generator will synthesize.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Number of time steps per server series.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The sampling interval.
+    #[must_use]
+    pub fn interval(&self) -> Seconds {
+        self.interval
+    }
+
+    /// Generates the cluster trace (one shard covering every server).
     #[must_use]
     pub fn generate(&self) -> ClusterTrace {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ hash_kind(self.kind));
-        let steps_per_day = Seconds::days(1.0).value() / self.interval.value();
-        let p = &self.profile;
+        let per_shard = NonZeroUsize::new(self.servers).unwrap_or(NonZeroUsize::MIN);
+        let mut stream = self.shards(per_shard);
+        // h2p-lint: allow(L2): servers > 0 is a construction invariant
+        let shard = stream.next().expect("a generator always has servers");
+        debug_assert!(stream.next().is_none(), "one shard covers the fleet");
+        shard.into_cluster()
+    }
+
+    /// Streams the trace in per-server shards of at most
+    /// `servers_per_shard` servers each, **bit-identical** to
+    /// [`generate`](Self::generate): the shared cluster-wide component
+    /// is drawn once at stream construction and every per-server series
+    /// continues the same RNG sequentially, so concatenating the shards
+    /// in index order reproduces the materialized trace exactly
+    /// (`tests/shard_stream.rs` asserts this byte-for-byte for every
+    /// class). This is how fleet-scale runs keep only one chunk of
+    /// trace resident at a time.
+    #[must_use]
+    pub fn shards(&self, servers_per_shard: NonZeroUsize) -> ShardStream {
+        ShardStream::new(self, servers_per_shard)
+    }
+}
+
+/// One piece of a streamed cluster trace: a contiguous run of servers
+/// starting at [`start_server`](Self::start_server), in generation
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceShard {
+    index: usize,
+    start_server: usize,
+    cluster: ClusterTrace,
+}
+
+impl TraceShard {
+    /// Shard index, `0..`, in stream order.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Global index of the shard's first server.
+    #[must_use]
+    pub fn start_server(&self) -> usize {
+        self.start_server
+    }
+
+    /// The shard's servers as a (smaller) cluster trace.
+    #[must_use]
+    pub fn cluster(&self) -> &ClusterTrace {
+        &self.cluster
+    }
+
+    /// Consumes the shard, returning its cluster trace.
+    #[must_use]
+    pub fn into_cluster(self) -> ClusterTrace {
+        self.cluster
+    }
+}
+
+/// Streaming shard generator behind [`TraceGenerator::shards`]. Holds
+/// the RNG and the shared cluster-wide component; each
+/// [`next`](Iterator::next) synthesizes the following run of servers on
+/// demand.
+#[derive(Debug, Clone)]
+pub struct ShardStream {
+    rng: StdRng,
+    shared: Vec<f64>,
+    steps_per_day: f64,
+    profile: GeneratorProfile,
+    interval: Seconds,
+    steps: usize,
+    servers: usize,
+    per_shard: usize,
+    next_server: usize,
+    next_index: usize,
+}
+
+impl ShardStream {
+    fn new(generator: &TraceGenerator, servers_per_shard: NonZeroUsize) -> Self {
+        let mut rng = StdRng::seed_from_u64(generator.seed ^ hash_kind(generator.kind));
+        let steps_per_day = Seconds::days(1.0).value() / generator.interval.value();
+        let p = &generator.profile;
         // The shared cluster-wide component, drawn once: an OU series
-        // plus a common-phase diurnal.
+        // plus a common-phase diurnal. Drawing it here — before any
+        // per-server series — keeps the RNG sequence identical to the
+        // original single-shot generator.
         let shared: Vec<f64> = {
             let phase = rng.gen_range(0.0..core::f64::consts::TAU);
             let mut level = 0.0_f64;
-            (0..self.steps)
+            (0..generator.steps)
                 .map(|step| {
                     level += -p.reversion * level + p.shared_sigma * gaussian(&mut rng);
                     let day_angle = core::f64::consts::TAU * step as f64 / steps_per_day + phase;
@@ -256,41 +356,89 @@ impl TraceGenerator {
                 })
                 .collect()
         };
-        let traces: Vec<Trace> = (0..self.servers)
-            .map(|_| {
-                let mean = rng.gen_range(p.mean.0..=p.mean.1);
-                let amplitude = rng.gen_range(p.diurnal_amplitude.0..=p.diurnal_amplitude.1);
-                let phase = rng.gen_range(0.0..core::f64::consts::TAU);
-                let mut noise = 0.0_f64;
-                let mut burst_level = 0.0_f64;
-                let samples: Vec<f64> = (0..self.steps)
-                    .map(|step| {
-                        let day_angle =
-                            core::f64::consts::TAU * step as f64 / steps_per_day + phase;
-                        let baseline = mean + amplitude * day_angle.sin();
-                        // OU update.
-                        noise += -p.reversion * noise + p.sigma * gaussian(&mut rng);
-                        // Burst state machine.
-                        if let Some(b) = &p.bursts {
-                            if burst_level > 0.0 {
-                                if rng.gen_bool(b.end_probability) {
-                                    burst_level = 0.0;
-                                }
-                            } else if rng.gen_bool(b.start_probability) {
-                                burst_level = rng.gen_range(b.height.0..=b.height.1);
-                            }
+        ShardStream {
+            rng,
+            shared,
+            steps_per_day,
+            profile: generator.profile,
+            interval: generator.interval,
+            steps: generator.steps,
+            servers: generator.servers,
+            per_shard: servers_per_shard.get(),
+            next_server: 0,
+            next_index: 0,
+        }
+    }
+
+    /// Servers not yet yielded.
+    #[must_use]
+    pub fn remaining_servers(&self) -> usize {
+        self.servers - self.next_server
+    }
+
+    /// Synthesizes the next server's series (the per-server body of the
+    /// original generator, verbatim — the RNG advances identically).
+    fn next_trace(&mut self) -> Trace {
+        let p = &self.profile;
+        let mean = self.rng.gen_range(p.mean.0..=p.mean.1);
+        let amplitude = self
+            .rng
+            .gen_range(p.diurnal_amplitude.0..=p.diurnal_amplitude.1);
+        let phase = self.rng.gen_range(0.0..core::f64::consts::TAU);
+        let mut noise = 0.0_f64;
+        let mut burst_level = 0.0_f64;
+        let samples: Vec<f64> = (0..self.steps)
+            .map(|step| {
+                let day_angle = core::f64::consts::TAU * step as f64 / self.steps_per_day + phase;
+                let baseline = mean + amplitude * day_angle.sin();
+                // OU update.
+                noise += -p.reversion * noise + p.sigma * gaussian(&mut self.rng);
+                // Burst state machine.
+                if let Some(b) = &p.bursts {
+                    if burst_level > 0.0 {
+                        if self.rng.gen_bool(b.end_probability) {
+                            burst_level = 0.0;
                         }
-                        (baseline + shared[step] + noise + burst_level).clamp(0.0, 1.0)
-                    })
-                    .collect();
-                // h2p-lint: allow(L2): samples clamped to [0, 1], interval validated
-                Trace::new(self.interval, samples).expect("generator output is valid")
+                    } else if self.rng.gen_bool(b.start_probability) {
+                        burst_level = self.rng.gen_range(b.height.0..=b.height.1);
+                    }
+                }
+                (baseline + self.shared[step] + noise + burst_level).clamp(0.0, 1.0)
             })
             .collect();
-        // h2p-lint: allow(L2): all traces share interval and length
-        ClusterTrace::new(traces).expect("generator output is consistent")
+        // h2p-lint: allow(L2): samples clamped to [0, 1], interval validated
+        Trace::new(self.interval, samples).expect("generator output is valid")
     }
 }
+
+impl Iterator for ShardStream {
+    type Item = TraceShard;
+
+    fn next(&mut self) -> Option<TraceShard> {
+        if self.next_server >= self.servers {
+            return None;
+        }
+        let start_server = self.next_server;
+        let count = self.per_shard.min(self.servers - start_server);
+        let traces: Vec<Trace> = (0..count).map(|_| self.next_trace()).collect();
+        self.next_server += count;
+        let index = self.next_index;
+        self.next_index += 1;
+        Some(TraceShard {
+            index,
+            start_server,
+            // h2p-lint: allow(L2): all traces share interval and length
+            cluster: ClusterTrace::new(traces).expect("generator output is consistent"),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let shards = self.remaining_servers().div_ceil(self.per_shard);
+        (shards, Some(shards))
+    }
+}
+
+impl ExactSizeIterator for ShardStream {}
 
 /// Stable per-kind salt so the same seed gives distinct classes.
 fn hash_kind(kind: TraceKind) -> u64 {

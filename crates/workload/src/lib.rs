@@ -50,7 +50,9 @@ pub mod io;
 pub mod repair;
 mod trace;
 
-pub use generators::{BurstProfile, GeneratorProfile, TraceGenerator, TraceKind};
+pub use generators::{
+    BurstProfile, GeneratorProfile, ShardStream, TraceGenerator, TraceKind, TraceShard,
+};
 pub use repair::{RepairPolicy, RepairReport};
 pub use trace::{Aggregate, ClusterTrace, Trace};
 
