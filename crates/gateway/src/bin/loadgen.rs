@@ -1,0 +1,182 @@
+//! `h2p-loadgen`: open-loop load generator against an `h2p-gatewayd`.
+//!
+//! ```text
+//! h2p-loadgen --addr 127.0.0.1:8472 --requests 1000 --rate 200 \
+//!             --connections 8 --scenarios 64 --zipf 1.1
+//! ```
+//!
+//! Prints one `{"event":"load_report",...}` JSON line with achieved
+//! throughput and p50/p99/p999 latency. With `--verify-direct`, also
+//! fetches scenario rank 0 once over HTTP and asserts the body is
+//! byte-identical to a direct in-process engine run (exit 1 on
+//! mismatch) — the end-to-end transparency check CI leans on.
+
+use h2p_gateway::direct_canonical_body;
+use h2p_gateway::loadgen::{fetch_once, run, LoadPlan};
+use h2p_serve::protocol::Command;
+use std::num::NonZeroUsize;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut plan = LoadPlan::default();
+    let mut verify_direct = false;
+    let mut require_ok = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1);
+        let take_usize = || value.and_then(|v| v.parse::<usize>().ok());
+        let take_f64 = || value.and_then(|v| v.parse::<f64>().ok());
+        let take_u64 = || value.and_then(|v| v.parse::<u64>().ok());
+        match flag {
+            "--addr" => match value {
+                Some(v) => {
+                    plan.addr = v.clone();
+                    i += 2;
+                }
+                None => return usage(flag),
+            },
+            "--requests" => match take_usize() {
+                Some(n) => {
+                    plan.requests = n;
+                    i += 2;
+                }
+                None => return usage(flag),
+            },
+            "--rate" => match take_f64() {
+                Some(r) if r > 0.0 => {
+                    plan.rate = r;
+                    i += 2;
+                }
+                _ => return usage(flag),
+            },
+            "--connections" => match take_usize().and_then(NonZeroUsize::new) {
+                Some(n) => {
+                    plan.connections = n;
+                    i += 2;
+                }
+                None => return usage(flag),
+            },
+            "--scenarios" => match take_usize().and_then(NonZeroUsize::new) {
+                Some(n) => {
+                    plan.scenarios = n;
+                    i += 2;
+                }
+                None => return usage(flag),
+            },
+            "--zipf" => match take_f64() {
+                Some(s) if s >= 0.0 => {
+                    plan.zipf_s = s;
+                    i += 2;
+                }
+                _ => return usage(flag),
+            },
+            "--seed" => match take_u64() {
+                Some(s) => {
+                    plan.seed = s;
+                    i += 2;
+                }
+                None => return usage(flag),
+            },
+            "--servers" => match take_usize() {
+                Some(n) => {
+                    plan.servers = n;
+                    i += 2;
+                }
+                None => return usage(flag),
+            },
+            "--steps" => match take_usize() {
+                Some(n) => {
+                    plan.steps = n;
+                    i += 2;
+                }
+                None => return usage(flag),
+            },
+            "--tenant" => match value {
+                Some(v) => {
+                    plan.tenant = Some(v.clone());
+                    i += 2;
+                }
+                None => return usage(flag),
+            },
+            "--verify-direct" => {
+                verify_direct = true;
+                i += 1;
+            }
+            "--require-ok" => {
+                require_ok = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "h2p-loadgen: open-loop load generator for h2p-gatewayd\n\
+                     usage: h2p-loadgen --addr HOST:PORT [--requests N] [--rate RPS]\n\
+                     \x20                [--connections N] [--scenarios N] [--zipf S] [--seed N]\n\
+                     \x20                [--servers N] [--steps N] [--tenant NAME]\n\
+                     \x20                [--verify-direct] [--require-ok]\n\
+                     omit --rate for closed-loop saturation"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(other),
+        }
+    }
+    if plan.addr.is_empty() {
+        eprintln!("h2p-loadgen: --addr is required (see --help)");
+        return ExitCode::from(2);
+    }
+
+    if verify_direct {
+        let body = plan.body_for(0);
+        let Some((status, served)) = fetch_once(&plan.addr, &body) else {
+            eprintln!("h2p-loadgen: verify: no response from {}", plan.addr);
+            return ExitCode::FAILURE;
+        };
+        if status != 200 {
+            eprintln!("h2p-loadgen: verify: status {status}, want 200");
+            return ExitCode::FAILURE;
+        }
+        let request = match h2p_serve::protocol::parse_line(&body) {
+            Ok(Command::Run(request)) => *request,
+            _ => {
+                eprintln!("h2p-loadgen: verify: internal body not a run request");
+                return ExitCode::FAILURE;
+            }
+        };
+        let direct = match direct_canonical_body(&request) {
+            Ok(direct) => direct,
+            Err(e) => {
+                eprintln!("h2p-loadgen: verify: direct run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if served != direct.as_bytes() {
+            eprintln!(
+                "h2p-loadgen: verify: served body differs from direct run\n served: {}\n direct: {direct}",
+                String::from_utf8_lossy(&served),
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "h2p-loadgen: verify: served == direct ({} bytes)",
+            direct.len()
+        );
+    }
+
+    let report = run(&plan);
+    println!("{}", report.to_json());
+    if require_ok && (report.ok != report.sent) {
+        eprintln!(
+            "h2p-loadgen: --require-ok: {}/{} responses were 200",
+            report.ok, report.sent
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(flag: &str) -> ExitCode {
+    eprintln!("h2p-loadgen: bad or incomplete flag {flag:?} (see --help)");
+    ExitCode::from(2)
+}

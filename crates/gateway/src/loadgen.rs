@@ -1,0 +1,516 @@
+//! Open-loop, heavy-tailed HTTP load generation (the
+//! "millions-of-users" harness).
+//!
+//! # Open loop, not closed loop
+//!
+//! A closed-loop client waits for each response before sending the
+//! next request, so a slow server *slows the load down* and the
+//! measured latencies dodge exactly the queueing the SLO cares about
+//! (coordinated omission). This generator instead fixes the arrival
+//! schedule up front — request *i* is due at `i/rate` — and measures
+//! each latency **from the scheduled arrival**, so a response that
+//! left late because the server was busy is charged all the time it
+//! spent displaced. `rate = f64::INFINITY` degenerates to closed-loop
+//! saturation mode (arrival = send time), which is what the replica
+//! scaling curve uses.
+//!
+//! # Heavy tail
+//!
+//! Scenario popularity follows a Zipf distribution over a universe of
+//! `scenarios` distinct scenarios (seed-varied copies of one shape):
+//! rank *k* is drawn with probability ∝ `1/k^zipf_s`. A skewed mix
+//! (`s ≈ 1`) concentrates traffic on few hot scenarios — the regime
+//! where shard-local caching and coalescing pay — while `s = 0` is a
+//! uniform worst case.
+
+use h2p_telemetry::{BucketSpec, Histogram, Registry};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::num::NonZeroUsize;
+use std::time::Duration;
+
+/// SplitMix64 step: the generator's only randomness (seeded, no
+/// ambient entropy — runs are reproducible).
+fn splitmix64_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded Zipf sampler over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative unnormalized weights; last entry is the total.
+    cumulative: Vec<f64>,
+    state: u64,
+}
+
+impl ZipfSampler {
+    /// A sampler over `n` ranks with exponent `s` (`s = 0` uniform,
+    /// larger = heavier head), seeded for reproducibility.
+    #[must_use]
+    pub fn new(n: NonZeroUsize, s: f64, seed: u64) -> Self {
+        let s = if s.is_finite() && s >= 0.0 { s } else { 0.0 };
+        let mut cumulative = Vec::with_capacity(n.get());
+        let mut total = 0.0_f64;
+        for rank in 0..n.get() {
+            #[allow(clippy::cast_precision_loss)] // ranks ≪ 2^53
+            let weight = 1.0 / ((rank + 1) as f64).powf(s);
+            total += weight;
+            cumulative.push(total);
+        }
+        ZipfSampler {
+            cumulative,
+            state: seed,
+        }
+    }
+
+    /// Draws the next rank.
+    pub fn sample(&mut self) -> usize {
+        let total = self.cumulative.last().copied().unwrap_or(1.0);
+        #[allow(clippy::cast_precision_loss)] // 53-bit mantissa target
+        let u = (splitmix64_next(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64;
+        let needle = u * total;
+        self.cumulative.partition_point(|&c| c <= needle)
+    }
+}
+
+/// One load run's parameters.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// Gateway address, e.g. `127.0.0.1:8472`.
+    pub addr: String,
+    /// Total requests to send.
+    pub requests: usize,
+    /// Open-loop arrival rate in requests/second;
+    /// [`f64::INFINITY`] = closed-loop saturation.
+    pub rate: f64,
+    /// Concurrent keep-alive connections (requests are round-robined
+    /// across them up front, preserving the open-loop schedule).
+    pub connections: NonZeroUsize,
+    /// Distinct scenarios in the universe (Zipf support).
+    pub scenarios: NonZeroUsize,
+    /// Zipf exponent (0 = uniform; ~1 = heavy-tailed web-like mix).
+    pub zipf_s: f64,
+    /// PRNG seed for the arrival mix.
+    pub seed: u64,
+    /// Servers per scenario (request `servers` field).
+    pub servers: usize,
+    /// Steps per scenario (request `steps` field).
+    pub steps: usize,
+    /// Tenant attribution for every request (`None` = unattributed).
+    pub tenant: Option<String>,
+}
+
+impl Default for LoadPlan {
+    fn default() -> Self {
+        LoadPlan {
+            addr: String::new(),
+            requests: 100,
+            rate: f64::INFINITY,
+            connections: NonZeroUsize::MIN,
+            scenarios: NonZeroUsize::new(8).unwrap_or(NonZeroUsize::MIN),
+            zipf_s: 1.0,
+            seed: 42,
+            servers: 20,
+            steps: 2,
+            tenant: None,
+        }
+    }
+}
+
+impl LoadPlan {
+    /// The request body for scenario rank `rank`: one shape,
+    /// seed-varied, so distinct ranks are distinct scenario keys.
+    #[must_use]
+    pub fn body_for(&self, rank: usize) -> String {
+        let mut body = json!({
+            "cmd": "run",
+            "trace": "common",
+            "seed": u64::try_from(rank).unwrap_or(u64::MAX),
+            "servers": self.servers,
+            "steps": self.steps,
+            "circulation": self.servers.max(1),
+            "workers": 1,
+        });
+        if let (Value::Object(entries), Some(tenant)) = (&mut body, &self.tenant) {
+            entries.push(("tenant".to_owned(), Value::String(tenant.clone())));
+        }
+        body.to_string()
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: usize,
+    /// 200 responses.
+    pub ok: usize,
+    /// Non-200 responses by status code.
+    pub failures: BTreeMap<u16, usize>,
+    /// Transport errors (connect/read/write failures).
+    pub transport_errors: usize,
+    /// Wall-clock nanoseconds for the whole run.
+    pub wall_nanos: u64,
+    /// Latency from *scheduled arrival* to response completion.
+    pub latency: Histogram,
+}
+
+impl LoadReport {
+    /// Achieved throughput over the wall clock, in responses/second.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)] // counts ≪ 2^53
+        {
+            (self.ok + self.failures.values().sum::<usize>()) as f64
+                / (self.wall_nanos as f64 / 1e9)
+        }
+    }
+
+    /// `(p50, p99, p999)` latency upper bounds in nanoseconds.
+    #[must_use]
+    pub fn latency_slo_nanos(&self) -> (u64, u64, u64) {
+        let q = |q: f64| self.latency.quantile_upper_bound(q).unwrap_or(0);
+        (q(0.50), q(0.99), q(0.999))
+    }
+
+    /// The report as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let (p50, p99, p999) = self.latency_slo_nanos();
+        let failures: Vec<Value> = self
+            .failures
+            .iter()
+            .map(|(status, count)| json!({"status": *status, "count": *count}))
+            .collect();
+        json!({
+            "event": "load_report",
+            "sent": self.sent,
+            "ok": self.ok,
+            "failures": Value::Array(failures),
+            "transport_errors": self.transport_errors,
+            "wall_nanos": self.wall_nanos,
+            "throughput_rps": self.throughput_rps(),
+            "p50_nanos": p50,
+            "p99_nanos": p99,
+            "p999_nanos": p999,
+        })
+    }
+}
+
+/// One scheduled request.
+#[derive(Debug, Clone, Copy)]
+struct Shot {
+    arrival_nanos: u64,
+    rank: usize,
+}
+
+/// What one connection thread measured.
+struct LaneOutcome {
+    ok: usize,
+    failures: BTreeMap<u16, usize>,
+    transport_errors: usize,
+    latency: Histogram,
+}
+
+/// Replays `plan` against the gateway and reports tail latency.
+/// Fully deterministic request *mix*; timing is, of course, live.
+#[must_use]
+pub fn run(plan: &LoadPlan) -> LoadReport {
+    // Precompute the arrival schedule and scenario mix up front so
+    // the hot loop only does I/O and clock reads.
+    let mut sampler = ZipfSampler::new(plan.scenarios, plan.zipf_s, plan.seed);
+    let lanes = plan.connections.get();
+    // h2p-lint: allow(L7): bounded by plan.requests
+    let mut schedules: Vec<Vec<Shot>> = (0..lanes).map(|_| Vec::new()).collect();
+    for i in 0..plan.requests {
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let arrival_nanos = if plan.rate.is_finite() && plan.rate > 0.0 {
+            (i as f64 / plan.rate * 1e9) as u64
+        } else {
+            0
+        };
+        if let Some(lane) = schedules.get_mut(i % lanes) {
+            lane.push(Shot {
+                arrival_nanos,
+                rank: sampler.sample(),
+            });
+        }
+    }
+    let bodies: Vec<String> = (0..plan.scenarios.get())
+        .map(|r| plan.body_for(r))
+        .collect();
+
+    // One registry = one clock origin shared by every lane, so
+    // scheduled arrivals and completions are on the same axis.
+    let clock = Registry::new();
+    let open_loop = plan.rate.is_finite();
+    let t0 = clock.now_nanos();
+    let outcomes: Vec<LaneOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = schedules
+            .iter()
+            .map(|schedule| {
+                let clock = clock.clone();
+                let addr = plan.addr.clone();
+                let bodies = &bodies;
+                scope.spawn(move || run_lane(&addr, schedule, bodies, &clock, t0, open_loop))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(outcome) => outcome,
+                Err(_) => LaneOutcome {
+                    ok: 0,
+                    failures: BTreeMap::new(),
+                    transport_errors: 0,
+                    latency: latency_histogram(),
+                },
+            })
+            .collect()
+    });
+    let wall_nanos = clock.now_nanos().saturating_sub(t0);
+
+    let latency = latency_histogram();
+    let mut ok = 0;
+    let mut transport_errors = 0;
+    let mut failures: BTreeMap<u16, usize> = BTreeMap::new();
+    for outcome in outcomes {
+        ok += outcome.ok;
+        transport_errors += outcome.transport_errors;
+        for (status, count) in outcome.failures {
+            *failures.entry(status).or_insert(0) += count;
+        }
+        let _ = latency.merge_from(&outcome.latency);
+    }
+    LoadReport {
+        sent: plan.requests,
+        ok,
+        failures,
+        transport_errors,
+        wall_nanos,
+        latency,
+    }
+}
+
+fn latency_histogram() -> Histogram {
+    // 1µs .. ~1000s exponential buckets: plenty of p999 resolution
+    // without unbounded memory.
+    match BucketSpec::exponential(1_000, 30) {
+        Ok(spec) => Histogram::with_spec(&spec),
+        Err(_) => Histogram::disabled(),
+    }
+}
+
+/// One connection's replay loop.
+fn run_lane(
+    addr: &str,
+    schedule: &[Shot],
+    bodies: &[String],
+    clock: &Registry,
+    t0: u64,
+    open_loop: bool,
+) -> LaneOutcome {
+    let mut outcome = LaneOutcome {
+        ok: 0,
+        failures: BTreeMap::new(),
+        transport_errors: 0,
+        latency: latency_histogram(),
+    };
+    let mut conn: Option<TcpStream> = None;
+    for shot in schedule {
+        // Hold to the arrival schedule (open loop): sleep until the
+        // shot is due, but never artificially delay a late shot.
+        let due = t0.saturating_add(shot.arrival_nanos);
+        if open_loop {
+            let now = clock.now_nanos();
+            if now < due {
+                std::thread::sleep(Duration::from_nanos(due - now));
+            }
+        }
+        let arrival = if open_loop { due } else { clock.now_nanos() };
+        let Some(body) = bodies.get(shot.rank) else {
+            continue;
+        };
+        let status = request_once(&mut conn, addr, body);
+        match status {
+            Some(code) => {
+                outcome
+                    .latency
+                    .record(clock.now_nanos().saturating_sub(arrival));
+                if code == 200 {
+                    outcome.ok += 1;
+                } else {
+                    *outcome.failures.entry(code).or_insert(0) += 1;
+                }
+            }
+            None => outcome.transport_errors += 1,
+        }
+    }
+    outcome
+}
+
+/// Sends one POST /run over the (re)usable connection; returns the
+/// status code, reconnecting once on a stale keep-alive socket.
+fn request_once(conn: &mut Option<TcpStream>, addr: &str, body: &str) -> Option<u16> {
+    for attempt in 0..2 {
+        if conn.is_none() {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+                    *conn = Some(stream);
+                }
+                Err(_) => return None,
+            }
+        }
+        if let Some(stream) = conn {
+            match send_and_read(stream, body) {
+                Some(status) => return Some(status),
+                None => {
+                    // Stale keep-alive socket (server idled us out):
+                    // reconnect once, then give up.
+                    *conn = None;
+                    if attempt == 1 {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Writes the request and reads exactly one response off the socket.
+fn send_and_read(stream: &mut TcpStream, body: &str) -> Option<u16> {
+    let request = format!(
+        "POST /run HTTP/1.1\r\nhost: h2p\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(request.as_bytes()).ok()?;
+    stream.flush().ok()?;
+    read_response(stream).map(|(status, _)| status)
+}
+
+/// Reads one HTTP/1.1 response (status + content-length framed body).
+/// Public-in-crate so the verify path can compare bodies byte-wise.
+pub(crate) fn read_response(stream: &mut TcpStream) -> Option<(u16, Vec<u8>)> {
+    // h2p-lint: allow(L7): bounded by the gateway's own response sizes
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(at) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break at + 4;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(chunk.get(..n)?),
+            Err(_) => return None,
+        }
+    };
+    let head = std::str::from_utf8(buf.get(..head_end)?).ok()?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines.next()?.split(' ').nth(1)?.parse().ok()?;
+    let content_length: usize = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(name, _)| name.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())?;
+    let mut body: Vec<u8> = buf.get(head_end..)?.to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => body.extend_from_slice(chunk.get(..n)?),
+            Err(_) => return None,
+        }
+    }
+    body.truncate(content_length);
+    Some((status, body))
+}
+
+/// Fetches one scenario's body over HTTP (fresh connection), for
+/// byte-identity verification against [`direct_canonical_body`].
+///
+/// [`direct_canonical_body`]: crate::gateway::direct_canonical_body
+#[must_use]
+pub fn fetch_once(addr: &str, body: &str) -> Option<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let request = format!(
+        "POST /run HTTP/1.1\r\nhost: h2p\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(request.as_bytes()).ok()?;
+    stream.flush().ok()?;
+    read_response(&mut stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_seeded_and_head_heavy() {
+        let n = NonZeroUsize::new(100).unwrap();
+        let mut a = ZipfSampler::new(n, 1.2, 7);
+        let mut b = ZipfSampler::new(n, 1.2, 7);
+        let draws_a: Vec<usize> = (0..1000).map(|_| a.sample()).collect();
+        let draws_b: Vec<usize> = (0..1000).map(|_| b.sample()).collect();
+        assert_eq!(draws_a, draws_b, "same seed, same mix");
+        let head = draws_a.iter().filter(|&&r| r < 10).count();
+        assert!(head > 500, "rank<10 should dominate at s=1.2, got {head}");
+        assert!(draws_a.iter().all(|&r| r < 100));
+    }
+
+    #[test]
+    fn uniform_zipf_spreads() {
+        let n = NonZeroUsize::new(10).unwrap();
+        let mut z = ZipfSampler::new(n, 0.0, 3);
+        let mut seen = [0usize; 10];
+        for _ in 0..2000 {
+            seen[z.sample().min(9)] += 1;
+        }
+        assert!(seen.iter().all(|&c| c > 100), "uniform-ish: {seen:?}");
+    }
+
+    #[test]
+    fn schedules_space_arrivals_by_rate() {
+        let plan = LoadPlan {
+            rate: 1000.0,
+            ..LoadPlan::default()
+        };
+        // 1000 rps → 1ms spacing.
+        assert!(plan.rate.is_finite());
+        let spacing = 1e9 / plan.rate;
+        #[allow(clippy::float_cmp)]
+        {
+            assert_eq!(spacing, 1_000_000.0);
+        }
+    }
+
+    #[test]
+    fn bodies_vary_by_rank_and_carry_tenant() {
+        let plan = LoadPlan {
+            tenant: Some("acme".to_owned()),
+            ..LoadPlan::default()
+        };
+        let b0 = plan.body_for(0);
+        let b1 = plan.body_for(1);
+        assert_ne!(b0, b1);
+        assert!(b0.contains("\"tenant\":\"acme\""));
+        assert!(b0.contains("\"seed\":0"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Seeded consistent-hash ring over service replicas.
+//!
+//! Each replica contributes `vnodes` points to a ring of 64-bit hash
+//! positions; a key routes to the owner of the first point at or
+//! after the key's own hash (wrapping). The construction is fully
+//! deterministic in `(seed, replica ids, vnodes)` — two gateways
+//! configured alike route every key identically — and has the
+//! consistent-hashing *minimal movement* contract:
+//!
+//! * adding a replica only moves keys **onto** the new replica;
+//! * removing a replica only moves keys that lived **on** it;
+//! * on a balanced ring the expected movement is `≈1/N` of keys,
+//!   bounded well under `2/N` with enough vnodes.
+//!
+//! Both properties are pinned by `tests/ring_stability.rs` (the
+//! structural ones under proptest over arbitrary churn).
+
+use std::num::NonZeroUsize;
+
+/// SplitMix64 finalizer: a fast, well-mixed 64-bit permutation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over bytes, seeded; finalized through SplitMix64 so nearby
+/// inputs land far apart on the ring.
+fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64 ^ splitmix64(seed);
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(h)
+}
+
+/// The ring (see module docs).
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    seed: u64,
+    vnodes: NonZeroUsize,
+    /// Ring points sorted by position; ties broken by replica id so
+    /// rebuilds are order-independent.
+    points: Vec<(u64, u32)>,
+    /// Member replica ids, sorted.
+    replicas: Vec<u32>,
+}
+
+impl HashRing {
+    /// A ring over replica ids `0..count`.
+    #[must_use]
+    pub fn new(seed: u64, count: NonZeroUsize, vnodes: NonZeroUsize) -> Self {
+        #[allow(clippy::cast_possible_truncation)] // replica counts are small
+        let ids: Vec<u32> = (0..count.get() as u32).collect();
+        HashRing::with_members(seed, &ids, vnodes)
+    }
+
+    /// A ring over explicit replica ids (duplicates ignored).
+    #[must_use]
+    pub fn with_members(seed: u64, ids: &[u32], vnodes: NonZeroUsize) -> Self {
+        let mut replicas: Vec<u32> = ids.to_vec();
+        replicas.sort_unstable();
+        replicas.dedup();
+        let mut ring = HashRing {
+            seed,
+            vnodes,
+            points: Vec::with_capacity(replicas.len() * vnodes.get()),
+            replicas: Vec::new(),
+        };
+        for id in replicas {
+            ring.insert_points(id);
+            ring.replicas.push(id);
+        }
+        ring.points.sort_unstable();
+        ring
+    }
+
+    fn insert_points(&mut self, id: u32) {
+        for vnode in 0..u64::try_from(self.vnodes.get()).unwrap_or(u64::MAX) {
+            let mut label = [0u8; 12];
+            label[..4].copy_from_slice(&id.to_le_bytes());
+            label[4..].copy_from_slice(&vnode.to_le_bytes());
+            self.points.push((hash_bytes(self.seed, &label), id));
+        }
+    }
+
+    /// Member replica ids, ascending.
+    #[must_use]
+    pub fn replicas(&self) -> &[u32] {
+        &self.replicas
+    }
+
+    /// Number of member replicas.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the ring has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Routes a key to its owning replica (`None` on an empty ring).
+    /// Deterministic in the ring configuration and the key bytes.
+    #[must_use]
+    pub fn route(&self, key: &[u8]) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = hash_bytes(self.seed ^ 0x6b79_5f68_6173_6821, key);
+        let at = self.points.partition_point(|&(pos, _)| pos < h);
+        let (_, id) = self.points.get(at).or_else(|| self.points.first())?;
+        Some(*id)
+    }
+
+    /// Adds a replica (no-op if already a member). Only keys whose
+    /// new owner *is* `id` change owners.
+    pub fn add_replica(&mut self, id: u32) {
+        if self.replicas.contains(&id) {
+            return;
+        }
+        self.insert_points(id);
+        self.points.sort_unstable();
+        self.replicas.push(id);
+        self.replicas.sort_unstable();
+    }
+
+    /// Removes a replica (no-op if absent). Only keys whose old owner
+    /// *was* `id` change owners.
+    pub fn remove_replica(&mut self, id: u32) {
+        self.points.retain(|&(_, owner)| owner != id);
+        self.replicas.retain(|&member| member != id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nz(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).expect("nonzero")
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = HashRing::new(7, nz(4), nz(64));
+        let again = HashRing::new(7, nz(4), nz(64));
+        for i in 0..1000u32 {
+            let key = format!("scenario-{i}");
+            let owner = ring.route(key.as_bytes()).expect("non-empty ring");
+            assert!(owner < 4);
+            assert_eq!(again.route(key.as_bytes()), Some(owner), "rebuild differs");
+        }
+    }
+
+    #[test]
+    fn different_seeds_shuffle_ownership() {
+        let a = HashRing::new(1, nz(4), nz(64));
+        let b = HashRing::new(2, nz(4), nz(64));
+        let moved = (0..1000u32)
+            .filter(|i| {
+                let key = format!("k{i}");
+                a.route(key.as_bytes()) != b.route(key.as_bytes())
+            })
+            .count();
+        assert!(moved > 250, "seed should reshuffle the ring, moved {moved}");
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = HashRing::with_members(0, &[], nz(8));
+        assert!(ring.is_empty());
+        assert_eq!(ring.route(b"anything"), None);
+    }
+}

@@ -1,0 +1,163 @@
+//! Consistent-hash ring contract under replica churn.
+//!
+//! Two layers of pinning:
+//!
+//! * **Structural minimal movement** (proptest, arbitrary configs):
+//!   adding a replica only moves keys *onto* it; removing one only
+//!   moves keys that lived *on* it. These are exact invariants of
+//!   consistent hashing — no tolerance, no flake.
+//! * **Quantitative ≤2/N movement** (fixed configs): with production
+//!   vnode counts the moved fraction on a churn event stays under
+//!   2/N of keys (expectation is ~1/N).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use h2p_gateway::HashRing;
+use proptest::prelude::*;
+use std::num::NonZeroUsize;
+
+fn nz(n: usize) -> NonZeroUsize {
+    NonZeroUsize::new(n).expect("nonzero")
+}
+
+fn keys(count: usize) -> Vec<String> {
+    (0..count).map(|i| format!("scenario-key-{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Adding a replica: every key either keeps its owner or moves to
+    // exactly the new replica.
+    #[test]
+    fn adding_a_replica_only_moves_keys_onto_it(
+        seed in 0u64..=1_000_000,
+        replicas in 1usize..=6,
+        vnodes in 1usize..=96,
+        new_id in 100u32..=200,
+    ) {
+        let before = HashRing::new(seed, nz(replicas), nz(vnodes));
+        let mut after = before.clone();
+        after.add_replica(new_id);
+        for key in keys(200) {
+            let old = before.route(key.as_bytes()).expect("non-empty");
+            let new = after.route(key.as_bytes()).expect("non-empty");
+            prop_assert!(
+                new == old || new == new_id,
+                "key {} moved {} -> {} (not the new replica {})",
+                key, old, new, new_id
+            );
+        }
+    }
+
+    // Removing a replica: keys it didn't own are untouched.
+    #[test]
+    fn removing_a_replica_only_moves_its_own_keys(
+        seed in 0u64..=1_000_000,
+        replicas in 2usize..=6,
+        vnodes in 1usize..=96,
+        victim_index in 0usize..=5,
+    ) {
+        let before = HashRing::new(seed, nz(replicas), nz(vnodes));
+        let victim = before.replicas()[victim_index % before.len()];
+        let mut after = before.clone();
+        after.remove_replica(victim);
+        prop_assert_eq!(after.len(), replicas - 1);
+        for key in keys(200) {
+            let old = before.route(key.as_bytes()).expect("non-empty");
+            let new = after.route(key.as_bytes()).expect("non-empty");
+            prop_assert!(new != victim, "key {} routed to removed replica", key);
+            if old != victim {
+                prop_assert_eq!(old, new, "unaffected key {} moved", key);
+            }
+        }
+    }
+
+    // Churn round-trip: add then remove the same replica restores
+    // every assignment exactly.
+    #[test]
+    fn churn_round_trip_is_identity(
+        seed in 0u64..=1_000_000,
+        replicas in 1usize..=5,
+        vnodes in 1usize..=64,
+    ) {
+        let ring = HashRing::new(seed, nz(replicas), nz(vnodes));
+        let mut churned = ring.clone();
+        churned.add_replica(77);
+        churned.remove_replica(77);
+        for key in keys(200) {
+            prop_assert_eq!(ring.route(key.as_bytes()), churned.route(key.as_bytes()));
+        }
+    }
+}
+
+#[test]
+fn movement_on_add_stays_under_two_over_n() {
+    // Production-shaped configs; expectation is 1/(N+1) of keys, the
+    // 2/(N+1) ceiling leaves ~2x headroom for vnode imbalance.
+    let all_keys = keys(10_000);
+    for n in [2usize, 4, 8] {
+        let before = HashRing::new(0x6832_7067, nz(n), nz(64));
+        let mut after = before.clone();
+        #[allow(clippy::cast_possible_truncation)]
+        after.add_replica(n as u32);
+        let moved = all_keys
+            .iter()
+            .filter(|k| before.route(k.as_bytes()) != after.route(k.as_bytes()))
+            .count();
+        #[allow(clippy::cast_precision_loss)]
+        let fraction = moved as f64 / all_keys.len() as f64;
+        let bound = 2.0 / (n + 1) as f64;
+        assert!(
+            fraction < bound,
+            "N={n}: moved {fraction:.3} of keys, bound {bound:.3}"
+        );
+        assert!(fraction > 0.0, "N={n}: a new replica must take some keys");
+    }
+}
+
+#[test]
+fn movement_on_remove_stays_under_two_over_n() {
+    let all_keys = keys(10_000);
+    for n in [3usize, 5, 9] {
+        let before = HashRing::new(0x6832_7067, nz(n), nz(64));
+        let mut after = before.clone();
+        after.remove_replica(0);
+        let moved = all_keys
+            .iter()
+            .filter(|k| before.route(k.as_bytes()) != after.route(k.as_bytes()))
+            .count();
+        #[allow(clippy::cast_precision_loss)]
+        let fraction = moved as f64 / all_keys.len() as f64;
+        let bound = 2.0 / n as f64;
+        assert!(
+            fraction < bound,
+            "N={n}: moved {fraction:.3} of keys, bound {bound:.3}"
+        );
+    }
+}
+
+#[test]
+fn shard_balance_is_reasonable_at_production_vnodes() {
+    let ring = HashRing::new(0x6832_7067, nz(4), nz(64));
+    let mut counts = [0usize; 4];
+    for key in keys(10_000) {
+        counts[ring.route(key.as_bytes()).unwrap() as usize] += 1;
+    }
+    let (min, max) = (
+        counts.iter().copied().min().unwrap(),
+        counts.iter().copied().max().unwrap(),
+    );
+    // Perfect balance is 2500 per shard; 64 vnodes keeps skew modest.
+    assert!(min > 1500, "under-loaded shard: {counts:?}");
+    assert!(max < 3500, "over-loaded shard: {counts:?}");
+}
+
+#[test]
+fn rings_with_equal_config_route_equally_across_instances() {
+    let a = HashRing::new(9, nz(5), nz(32));
+    let b = HashRing::with_members(9, &[4, 2, 0, 1, 3], nz(32));
+    for key in keys(500) {
+        assert_eq!(a.route(key.as_bytes()), b.route(key.as_bytes()));
+    }
+}

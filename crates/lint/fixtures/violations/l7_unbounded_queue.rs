@@ -1,6 +1,8 @@
-//! L7 fixture: unbounded queue/channel construction in library code.
+//! L7 fixture: unbounded queue/channel construction in library code,
+//! and its concurrency twin — a thread per accepted connection.
 
 use std::collections::VecDeque;
+use std::net::TcpListener;
 
 pub struct Mailbox {
     jobs: VecDeque<u64>,
@@ -24,4 +26,22 @@ impl Mailbox {
         let (tx, _rx) = std::sync::mpsc::channel();
         tx
     }
+}
+
+/// A thread per accepted connection: an unbounded queue of stacks.
+pub fn accept_loop(listener: &TcpListener) {
+    loop {
+        if let Ok((conn, _peer)) = listener.accept() {
+            std::thread::spawn(move || drop(conn));
+        }
+    }
+}
+
+/// A fixed scoped pool over the connections is the accepted shape.
+pub fn pooled(conns: &[u64]) {
+    std::thread::scope(|scope| {
+        for conn in conns {
+            scope.spawn(move || drop(conn));
+        }
+    });
 }

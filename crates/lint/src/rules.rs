@@ -12,7 +12,7 @@
 //! | L4 | every crate's `lib.rs` | `#![forbid(unsafe_code)]` present |
 //! | L5 | physics crates | no `==`/`!=` against float literals |
 //! | L6 | non-test library code | no `Instant::now`/`SystemTime::now`; timing goes through `h2p_telemetry::Clock` |
-//! | L7 | non-test library code | no unbounded queue/channel construction; admission goes through `h2p_serve::BoundedQueue` |
+//! | L7 | non-test library code | no unbounded queue/channel construction (admission goes through `h2p_serve::BoundedQueue`) and no `thread::spawn` inside loop bodies (connection/accept loops use a fixed `thread::scope` worker pool over a bounded handoff) |
 //! | L8 | non-test library code | no iteration over `HashMap`/`HashSet` (iteration order varies run to run); hold ordered data in `BTreeMap`/`BTreeSet` or sort before folding |
 //! | L9 | non-test library code outside [`SEED_PLUMBING_MODULES`] | no ambient nondeterminism: `thread_rng`, `RandomState::new`, `std::env` reads, unsorted `read_dir` |
 //! | L10 | non-test library code | every `Mutex`/`RwLock` acquisition names a lock from the crate's `lock-order` manifest, and nested acquisitions follow manifest order |
@@ -511,19 +511,28 @@ fn l6_wall_clock_reads(s: &ScannedFile) -> Vec<Finding> {
     findings
 }
 
-/// L7: unbounded queue/channel construction in library code. A queue
+/// L7: unbounded queue/channel construction in library code, and its
+/// concurrency twin, `thread::spawn` inside a loop body. A queue
 /// without an admission bound turns overload into silent memory growth
 /// instead of a typed `Rejected` response; the serving charter
 /// (DESIGN.md §"Scenario serving") requires every producer-facing
 /// queue to go through `h2p_serve::BoundedQueue` or an equivalently
 /// capacity-checked wrapper. `VecDeque::with_capacity` is flagged too:
 /// capacity is an allocation hint, not an admission limit.
+///
+/// The spawn-in-loop check covers connection/accept structures
+/// (DESIGN.md §15): a thread per accepted connection is an unbounded
+/// queue of stacks, with the same overload behavior a `VecDeque::new`
+/// backlog has. Serve loops use a fixed `thread::scope` worker pool
+/// popping a bounded handoff queue instead; scoped `scope.spawn`
+/// pools (a method call, not a `thread::spawn` path) stay clean.
 fn l7_unbounded_queues(s: &ScannedFile) -> Vec<Finding> {
     const CONSTRUCTORS: &[(&str, &[&str])] = &[
         ("VecDeque", &["new", "with_capacity"]),
         ("LinkedList", &["new"]),
         ("mpsc", &["channel"]),
     ];
+    let loop_bodies = loop_body_ranges(s);
     let mut findings = Vec::new();
     for i in 0..s.code.len() {
         if s.in_test(i) {
@@ -550,8 +559,55 @@ fn l7_unbounded_queues(s: &ScannedFile) -> Vec<Finding> {
                 ));
             }
         }
+        if s.is_ident(i, "thread")
+            && s.is_punct(i + 1, "::")
+            && s.is_ident(i + 2, "spawn")
+            && s.is_punct(i + 3, "(")
+            && loop_bodies
+                .iter()
+                .any(|&(open, close)| open < i && i < close)
+        {
+            let (line, col) = at(s, i);
+            findings.push((
+                line,
+                col,
+                "`thread::spawn` inside a loop grows threads without bound — serve the \
+                 loop from a fixed `std::thread::scope` worker pool over a bounded \
+                 handoff queue (or justify with `// h2p-lint: allow(L7): <reason>`)"
+                    .to_string(),
+            ));
+        }
     }
     findings
+}
+
+/// Code-index spans `(open, close)` of every `loop`/`while`/`for`
+/// body's braces. The body opener is the first `{` after the keyword
+/// at zero paren/bracket depth; a `;` there means the keyword wasn't
+/// heading a loop after all (e.g. a `for` inside a macro fragment).
+fn loop_body_ranges(s: &ScannedFile) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    for i in 0..s.code.len() {
+        if !(s.is_ident(i, "loop") || s.is_ident(i, "while") || s.is_ident(i, "for")) {
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut j = i + 1;
+        while j < s.code.len() {
+            match s.text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    ranges.push((j, matching_close(s, j)));
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    ranges
 }
 
 /// Names in this file declared (or initialized) with any of the given
@@ -1091,6 +1147,39 @@ mod tests {
         assert_eq!(l7[0].line, 1);
         assert_eq!(l7[1].line, 2);
         assert_eq!(l7[2].line, 3);
+    }
+
+    #[test]
+    fn l7_flags_thread_spawn_inside_loops_only() {
+        // The gateway shapes (DESIGN.md §15): a thread per accepted
+        // connection fires; a fixed scoped worker pool and a one-shot
+        // background spawn do not.
+        let src = "fn per_conn(l: &TcpListener) {\n\
+                       loop {\n\
+                           let (conn, _) = l.accept().unwrap();\n\
+                           std::thread::spawn(move || handle(conn));\n\
+                       }\n\
+                   }\n\
+                   fn per_item(items: &[u8]) {\n\
+                       for _ in items { thread::spawn(|| work()); }\n\
+                   }\n\
+                   fn waived(l: &TcpListener) {\n\
+                       while running() {\n\
+                           thread::spawn(step); // h2p-lint: allow(L7): joined each iteration\n\
+                       }\n\
+                   }\n\
+                   fn pool(queue: &Handoff) {\n\
+                       std::thread::scope(|scope| {\n\
+                           for _ in 0..4 { scope.spawn(|| drain(queue)); }\n\
+                       });\n\
+                   }\n\
+                   fn one_shot() { let h = thread::spawn(bg); h.join(); }\n";
+        let diags = run(src, &physics_lib());
+        let l7 = only(&diags, RuleId::L7);
+        assert_eq!(l7.len(), 2, "{l7:?}");
+        assert_eq!(l7[0].line, 4);
+        assert_eq!(l7[1].line, 8);
+        assert!(l7[0].message.contains("worker pool"), "{l7:?}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run -p h2p-serve --bin h2p-served              # default tuning
 //! h2p-served --queue 64 --cache 32 --dispatch 4        # explicit tuning
+//! h2p-served --tenant-quota 8                          # per-tenant cap
 //! ```
 //!
 //! Every input line is answered by at least one output line; malformed
@@ -11,11 +12,18 @@
 //! going. EOF performs a final drain (so piped scripts never lose
 //! queued work), prints a `bye` line, and exits 0. Diagnostics go to
 //! stderr; stdout carries only protocol lines.
+//!
+//! A closed downstream (the reader of our stdout went away — the
+//! EPIPE-equivalent; Rust never raises SIGPIPE, it surfaces as a
+//! [`BrokenPipe`](std::io::ErrorKind::BrokenPipe) write error) is a
+//! normal way for a pipeline to end: the daemon stops quietly with
+//! exit 0. Any *other* stdout write failure is a real I/O error and
+//! exits 1 with a diagnostic on stderr.
 
 use h2p_serve::protocol::{admission_json, parse_line, response_json, stats_json, Command};
 use h2p_serve::{ScenarioService, ServiceConfig};
 use h2p_telemetry::Registry;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, ErrorKind, Write};
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
 
@@ -49,10 +57,17 @@ fn main() -> ExitCode {
                 }
                 None => return usage(flag),
             },
+            "--tenant-quota" => match take_usize(i) {
+                Some(n) => {
+                    config.tenant_quota = Some(n);
+                    i += 2;
+                }
+                None => return usage(flag),
+            },
             "--help" | "-h" => {
                 eprintln!(
                     "h2p-served: JSONL scenario daemon\n\
-                     usage: h2p-served [--queue N] [--cache N] [--dispatch N]\n\
+                     usage: h2p-served [--queue N] [--cache N] [--dispatch N] [--tenant-quota N]\n\
                      protocol: one JSON object per stdin line; see h2p_serve::protocol"
                 );
                 return ExitCode::SUCCESS;
@@ -79,15 +94,17 @@ fn main() -> ExitCode {
         if line.trim().is_empty() {
             continue;
         }
-        let reply_ok = match parse_line(&line) {
+        let reply = match parse_line(&line) {
             Ok(Command::Run(request)) => emit(&mut out, &admission_json(&service.submit(*request))),
             Ok(Command::Drain) => {
-                let mut ok = true;
+                let mut reply = Ok(());
                 for response in service.drain() {
                     served += 1;
-                    ok &= emit(&mut out, &response_json(&response));
+                    if reply.is_ok() {
+                        reply = emit(&mut out, &response_json(&response));
+                    }
                 }
-                ok
+                reply
             }
             Ok(Command::Stats) => emit(&mut out, &stats_json(&service.stats())),
             Err(reason) => emit(
@@ -95,29 +112,42 @@ fn main() -> ExitCode {
                 &serde_json::json!({"event": "error", "error": reason}),
             ),
         };
-        if !reply_ok {
-            // Downstream is gone (broken pipe); stop quietly.
-            return ExitCode::SUCCESS;
+        if let Err(e) = reply {
+            return stdout_gone(&e);
         }
     }
 
     // EOF: never strand queued work.
     for response in service.drain() {
         served += 1;
-        if !emit(&mut out, &response_json(&response)) {
-            return ExitCode::SUCCESS;
+        if let Err(e) = emit(&mut out, &response_json(&response)) {
+            return stdout_gone(&e);
         }
     }
-    let _ = emit(
+    if let Err(e) = emit(
         &mut out,
         &serde_json::json!({"event": "bye", "served": served}),
-    );
+    ) {
+        return stdout_gone(&e);
+    }
     ExitCode::SUCCESS
 }
 
-/// Writes one protocol line; false when stdout is closed.
-fn emit(out: &mut impl Write, value: &serde_json::Value) -> bool {
-    writeln!(out, "{value}").and_then(|()| out.flush()).is_ok()
+/// Writes one protocol line.
+fn emit(out: &mut impl Write, value: &serde_json::Value) -> std::io::Result<()> {
+    writeln!(out, "{value}")?;
+    out.flush()
+}
+
+/// Maps a stdout write failure to the process exit code: a closed
+/// downstream (EPIPE-equivalent) is a normal pipeline shutdown, exit
+/// 0; anything else is a real fault, exit 1 with a diagnostic.
+fn stdout_gone(e: &std::io::Error) -> ExitCode {
+    if e.kind() == ErrorKind::BrokenPipe {
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("h2p-served: stdout write failed: {e}");
+    ExitCode::FAILURE
 }
 
 fn usage(flag: &str) -> ExitCode {

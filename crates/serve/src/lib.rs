@@ -44,7 +44,7 @@
 // and is held across the engine/cache critical sections; the queue
 // lanes (`inner`), the engine map and the result cache are leaf
 // locks, never held while acquiring another.
-// h2p-lint: lock-order: drain_gate, inner, engines, cache
+// h2p-lint: lock-order: drain_gate, tenants, inner, engines, cache
 // Test code opts back into panicking asserts/unwraps (see [workspace.lints]).
 #![cfg_attr(
     test,

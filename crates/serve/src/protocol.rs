@@ -6,7 +6,7 @@
 //! ```text
 //! {"cmd":"run","trace":"common","seed":7,"servers":80,"steps":24,
 //!  "policy":"load_balance","circulation":40,"workers":2,
-//!  "priority":"interactive","faults":11}
+//!  "priority":"interactive","faults":11,"tenant":"acme"}
 //! {"cmd":"drain"}
 //! {"cmd":"stats"}
 //! ```
@@ -106,6 +106,11 @@ fn parse_request(v: &Value) -> Result<ScenarioRequest, String> {
             ))
         }
     };
+    let tenant = match v.get("tenant") {
+        None | Some(Value::Null) => None,
+        Some(Value::String(name)) => Some(name.clone()),
+        Some(_) => return Err("field \"tenant\": expected a string".to_owned()),
+    };
     Ok(ScenarioRequest {
         trace,
         policy,
@@ -113,6 +118,7 @@ fn parse_request(v: &Value) -> Result<ScenarioRequest, String> {
         servers_per_circulation: usize_field(v, "circulation", 40)?,
         workers: NonZeroUsize::new(workers).ok_or_else(|| "\"workers\" must be >= 1".to_owned())?,
         priority,
+        tenant,
     })
 }
 
@@ -187,6 +193,7 @@ pub fn stats_json(stats: &ServeStats) -> Value {
         "admitted": stats.admitted,
         "rejected_full": stats.rejected_full,
         "rejected_invalid": stats.rejected_invalid,
+        "quota_rejected": stats.quota_rejected,
         "coalesced": stats.coalesced,
         "batches": stats.batches,
         "runs_executed": stats.runs_executed,
@@ -240,6 +247,18 @@ mod tests {
     }
 
     #[test]
+    fn tenant_field_parses_and_defaults_to_unattributed() {
+        let Command::Run(req) = parse_line(r#"{"trace":"common","tenant":"acme"}"#).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(req.tenant.as_deref(), Some("acme"));
+        let Command::Run(req) = parse_line(r#"{"trace":"common"}"#).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(req.tenant, None);
+    }
+
+    #[test]
     fn control_lines_parse() {
         assert_eq!(parse_line(r#"{"cmd":"drain"}"#).unwrap(), Command::Drain);
         assert_eq!(parse_line(r#"{"cmd":"stats"}"#).unwrap(), Command::Stats);
@@ -263,6 +282,7 @@ mod tests {
                 r#"{"trace":"common","priority":"urgent"}"#,
                 "unknown priority",
             ),
+            (r#"{"trace":"common","tenant":7}"#, "tenant"),
         ] {
             let err = parse_line(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");

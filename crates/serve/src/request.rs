@@ -214,6 +214,12 @@ pub struct ScenarioRequest {
     pub workers: NonZeroUsize,
     /// Admission class (not part of the scenario key).
     pub priority: Priority,
+    /// Submitting tenant, for per-tenant admission quotas (`None` =
+    /// unattributed, never quota-limited). Like [`Priority`], the
+    /// tenant is deliberately *not* part of the scenario key: the same
+    /// scenario submitted by two tenants still coalesces onto one
+    /// engine run.
+    pub tenant: Option<String>,
 }
 
 impl ScenarioRequest {
@@ -228,7 +234,16 @@ impl ScenarioRequest {
             servers_per_circulation: 40,
             workers: NonZeroUsize::MIN,
             priority: Priority::Batch,
+            tenant: None,
         }
+    }
+
+    /// Attributes the request to a tenant (builder style; see
+    /// [`ScenarioRequest::tenant`]).
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
     }
 
     /// The deterministic fault plan this request names, compiled for
@@ -382,6 +397,15 @@ mod tests {
         let mut urgent = base_request();
         urgent.priority = Priority::Interactive;
         assert_eq!(urgent.key(), base_request().key());
+    }
+
+    #[test]
+    fn tenant_does_not_split_the_key() {
+        // Two tenants asking the same question share one engine run;
+        // quotas act at admission, not on result identity.
+        let attributed = base_request().with_tenant("acme");
+        assert_eq!(attributed.key(), base_request().key());
+        assert_eq!(attributed.tenant.as_deref(), Some("acme"));
     }
 
     #[test]

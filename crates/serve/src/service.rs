@@ -41,7 +41,7 @@ use h2p_core::H2pError;
 use h2p_faults::{FaultError, FaultLedger};
 use h2p_server::ServerModel;
 use h2p_telemetry::{BucketSpec, Counter, Event, Histogram, Registry};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -109,6 +109,18 @@ pub enum RejectReason {
         /// Human-readable detail.
         reason: String,
     },
+    /// The submitting tenant already has its full quota of requests
+    /// queued; retry after a drain. Distinct from [`QueueFull`]: the
+    /// shared queue may have room, but this tenant's share of it is
+    /// spent.
+    ///
+    /// [`QueueFull`]: RejectReason::QueueFull
+    QuotaExceeded {
+        /// The tenant that hit its quota.
+        tenant: String,
+        /// The configured per-tenant limit on queued requests.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for RejectReason {
@@ -119,6 +131,9 @@ impl fmt::Display for RejectReason {
             }
             RejectReason::InvalidRequest { reason } => {
                 write!(f, "invalid request: {reason}")
+            }
+            RejectReason::QuotaExceeded { tenant, limit } => {
+                write!(f, "tenant {tenant:?} quota exceeded (limit {limit} queued)")
             }
         }
     }
@@ -216,6 +231,14 @@ pub struct ServiceConfig {
     pub max_steps: usize,
     /// Admission limit on a request's engine worker budget.
     pub max_workers: usize,
+    /// Per-tenant admission quota: the most requests one tenant may
+    /// have queued at once (`None` = unlimited). The quota bounds each
+    /// tenant's *share of the admission queue*, so one chatty tenant
+    /// cannot starve the others out of the shared capacity; it frees
+    /// up as drains answer the tenant's tickets. Unattributed requests
+    /// (`tenant: None`) are never quota-limited. A limit of zero
+    /// rejects every attributed request.
+    pub tenant_quota: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -227,6 +250,7 @@ impl Default for ServiceConfig {
             max_servers: 4096,
             max_steps: 8192,
             max_workers: 64,
+            tenant_quota: None,
         }
     }
 }
@@ -243,6 +267,8 @@ pub struct ServeStats {
     pub rejected_full: u64,
     /// Requests refused by validation.
     pub rejected_invalid: u64,
+    /// Requests refused because their tenant hit its admission quota.
+    pub quota_rejected: u64,
     /// Tickets answered by another in-flight ticket's run.
     pub coalesced: u64,
     /// Engine batches executed (distinct engine shapes across drains).
@@ -271,6 +297,7 @@ struct ServeCounters {
     admitted: Counter,
     rejected_full: Counter,
     rejected_invalid: Counter,
+    quota_rejected: Counter,
     coalesced: Counter,
     batches: Counter,
     runs_executed: Counter,
@@ -286,6 +313,7 @@ impl ServeCounters {
             admitted: Counter::new(),
             rejected_full: Counter::new(),
             rejected_invalid: Counter::new(),
+            quota_rejected: Counter::new(),
             coalesced: Counter::new(),
             batches: Counter::new(),
             runs_executed: Counter::new(),
@@ -295,12 +323,13 @@ impl ServeCounters {
         }
     }
 
-    fn handles(&self) -> [(&'static str, &Counter); 10] {
+    fn handles(&self) -> [(&'static str, &Counter); 11] {
         [
             ("serve.submitted", &self.submitted),
             ("serve.admitted", &self.admitted),
             ("serve.rejected_full", &self.rejected_full),
             ("serve.rejected_invalid", &self.rejected_invalid),
+            ("serve.quota_rejected", &self.quota_rejected),
             ("serve.coalesced", &self.coalesced),
             ("serve.batches", &self.batches),
             ("serve.runs_executed", &self.runs_executed),
@@ -356,6 +385,7 @@ struct Job {
     ticket: TicketId,
     request: ScenarioRequest,
     key: ScenarioKey,
+    tenant: Option<String>,
     enqueued_nanos: u64,
 }
 
@@ -387,6 +417,11 @@ pub struct ScenarioService {
     /// Serializes drains; submits stay concurrent with a running
     /// drain (they land in the next one).
     drain_gate: Mutex<()>,
+    /// Queued-request count per attributed tenant, for admission
+    /// quotas. Held across the queue push in `submit` so a quota check
+    /// and the admission it authorizes cannot interleave with another
+    /// submitter's (no over-admission race).
+    tenants: Mutex<BTreeMap<String, usize>>,
     counters: ServeCounters,
     telemetry: ServeTelemetry,
 }
@@ -401,6 +436,7 @@ impl ScenarioService {
             engines: Mutex::new(HashMap::new()),
             next_ticket: AtomicU64::new(0),
             drain_gate: Mutex::new(()),
+            tenants: Mutex::new(BTreeMap::new()),
             counters: ServeCounters::new(),
             telemetry: ServeTelemetry::disabled(),
             config,
@@ -452,6 +488,7 @@ impl ScenarioService {
             admitted: self.counters.admitted.get(),
             rejected_full: self.counters.rejected_full.get(),
             rejected_invalid: self.counters.rejected_invalid.get(),
+            quota_rejected: self.counters.quota_rejected.get(),
             coalesced: self.counters.coalesced.get(),
             batches: self.counters.batches.get(),
             runs_executed: self.counters.runs_executed.get(),
@@ -485,19 +522,49 @@ impl ScenarioService {
         let key = request.key();
         let ticket = TicketId(self.next_ticket.fetch_add(1, Ordering::Relaxed));
         let priority = request.priority;
+        let tenant = request.tenant.clone();
         let job = Job {
             ticket,
             request,
             key: key.clone(),
+            tenant: tenant.clone(),
             enqueued_nanos: self.telemetry.registry.now_nanos(),
         };
+        // The tenants lock is held across the queue push so the quota
+        // check and the admission it authorizes are one atomic step —
+        // two racing submitters cannot both pass a last-slot check.
+        let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        if let (Some(limit), Some(name)) = (self.config.tenant_quota, tenant.as_deref()) {
+            let queued = tenants.get(name).copied().unwrap_or(0);
+            if queued >= limit {
+                drop(tenants);
+                self.counters.quota_rejected.incr();
+                self.telemetry.registry.record_event(
+                    Event::new(SERVE_REJECTED_EVENT)
+                        .with("reason", "quota_exceeded")
+                        .with("tenant", name)
+                        .with("limit", limit as u64),
+                );
+                return Admission::Rejected {
+                    reason: RejectReason::QuotaExceeded {
+                        tenant: name.to_owned(),
+                        limit,
+                    },
+                };
+            }
+        }
         match self.queue.push(priority, job) {
             Ok(depth) => {
+                if let Some(name) = tenant {
+                    *tenants.entry(name).or_insert(0) += 1;
+                }
+                drop(tenants);
                 self.counters.admitted.incr();
                 self.telemetry.depth.record(depth as u64);
                 Admission::Enqueued { ticket, key, depth }
             }
             Err(QueueFull { capacity }) => {
+                drop(tenants);
                 self.counters.rejected_full.incr();
                 self.telemetry.registry.record_event(
                     Event::new(SERVE_REJECTED_EVENT)
@@ -525,6 +592,20 @@ impl ScenarioService {
         let jobs = self.queue.pop_all();
         if jobs.is_empty() {
             return Vec::new();
+        }
+        // Popped jobs no longer occupy their tenant's quota slots.
+        {
+            let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+            for job in &jobs {
+                if let Some(name) = &job.tenant {
+                    if let Some(count) = tenants.get_mut(name) {
+                        *count = count.saturating_sub(1);
+                        if *count == 0 {
+                            tenants.remove(name);
+                        }
+                    }
+                }
+            }
         }
         self.counters.drains.incr();
         let drain_start = self.telemetry.registry.now_nanos();

@@ -335,3 +335,122 @@ fn responses_come_back_in_ticket_order_with_priority_execution() {
     assert_eq!(responses[0].ticket, t0);
     assert_eq!(responses[1].ticket, t1);
 }
+
+#[test]
+fn tenant_quota_rejections_are_distinct_from_queue_full() {
+    let registry = Registry::new();
+    let config = ServiceConfig {
+        queue_capacity: 8,
+        tenant_quota: Some(2),
+        ..ServiceConfig::default()
+    };
+    let service = ScenarioService::new(config).with_telemetry(&registry);
+    let cheap = |seed: u64, tenant: Option<&str>| {
+        let mut req = request(TraceKind::Common, 1);
+        req.trace.seed = seed;
+        req.trace.steps = 2;
+        req.tenant = tenant.map(str::to_owned);
+        req
+    };
+
+    // One tenant's quota bounds only that tenant.
+    for seed in 0..2 {
+        assert!(matches!(
+            service.submit(cheap(seed, Some("acme"))),
+            Admission::Enqueued { .. }
+        ));
+    }
+    for seed in 2..4 {
+        match service.submit(cheap(seed, Some("acme"))) {
+            Admission::Rejected {
+                reason: RejectReason::QuotaExceeded { tenant, limit },
+            } => {
+                assert_eq!(tenant, "acme");
+                assert_eq!(limit, 2);
+            }
+            other => panic!("expected quota rejection, got {other:?}"),
+        }
+    }
+    // A different tenant and unattributed requests are unaffected.
+    for seed in 4..6 {
+        assert!(matches!(
+            service.submit(cheap(seed, Some("zen"))),
+            Admission::Enqueued { .. }
+        ));
+    }
+    for seed in 6..10 {
+        assert!(matches!(
+            service.submit(cheap(seed, None)),
+            Admission::Enqueued { .. }
+        ));
+    }
+    // The queue is now at capacity (2 + 2 + 4 = 8): an attributed
+    // request over quota still reports the quota, while an
+    // unattributed one reports the full queue — two typed paths.
+    assert!(matches!(
+        service.submit(cheap(10, Some("acme"))),
+        Admission::Rejected {
+            reason: RejectReason::QuotaExceeded { .. }
+        }
+    ));
+    assert!(matches!(
+        service.submit(cheap(11, None)),
+        Admission::Rejected {
+            reason: RejectReason::QueueFull { capacity: 8 }
+        }
+    ));
+
+    let stats = service.stats();
+    assert_eq!(stats.quota_rejected, 3);
+    assert_eq!(stats.rejected_full, 1);
+    let counters: std::collections::BTreeMap<String, u64> =
+        registry.counters().into_iter().collect();
+    assert_eq!(counters["serve.quota_rejected"], 3);
+    assert_eq!(counters["serve.rejected_full"], 1);
+    let events = registry.journal_events();
+    let quota_events: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == SERVE_REJECTED_EVENT)
+        .filter(|e| e.field("reason").and_then(|v| v.as_str()) == Some("quota_exceeded"))
+        .collect();
+    assert_eq!(quota_events.len(), 3);
+    assert_eq!(
+        quota_events[0].field("tenant").and_then(|v| v.as_str()),
+        Some("acme")
+    );
+    assert_eq!(
+        quota_events[0].field("limit").and_then(|v| v.as_f64()),
+        Some(2.0)
+    );
+
+    // Draining releases quota slots; the tenant can submit again.
+    let responses = service.drain();
+    assert_eq!(responses.len(), 8);
+    assert!(matches!(
+        service.submit(cheap(12, Some("acme"))),
+        Admission::Enqueued { .. }
+    ));
+}
+
+#[test]
+fn zero_quota_rejects_every_attributed_request_but_not_unattributed() {
+    let service = ScenarioService::new(ServiceConfig {
+        tenant_quota: Some(0),
+        ..ServiceConfig::default()
+    });
+    let mut attributed = request(TraceKind::Common, 1);
+    attributed.trace.steps = 2;
+    attributed.tenant = Some("acme".to_owned());
+    assert!(matches!(
+        service.submit(attributed),
+        Admission::Rejected {
+            reason: RejectReason::QuotaExceeded { limit: 0, .. }
+        }
+    ));
+    let mut unattributed = request(TraceKind::Common, 1);
+    unattributed.trace.steps = 2;
+    assert!(matches!(
+        service.submit(unattributed),
+        Admission::Enqueued { .. }
+    ));
+}

@@ -25,6 +25,7 @@
 //! | [`storage`] | `h2p-storage` | hybrid energy buffer, LED budget |
 //! | [`telemetry`] | `h2p-telemetry` | counters, histograms, spans, run journal |
 //! | [`serve`] | `h2p-serve` | batching scenario service, bounded queue, JSONL daemon |
+//! | [`gateway`] | `h2p-gateway` | HTTP front door, consistent-hash sharding, load generator |
 //!
 //! ## Quickstart
 //!
@@ -65,6 +66,7 @@ pub use h2p_cooling as cooling;
 pub use h2p_core as core;
 pub use h2p_exec as exec;
 pub use h2p_faults as faults;
+pub use h2p_gateway as gateway;
 pub use h2p_hydraulics as hydraulics;
 pub use h2p_sched as sched;
 pub use h2p_serve as serve;
@@ -86,6 +88,7 @@ pub mod prelude {
     pub use h2p_core::faulted::FaultedRun;
     pub use h2p_core::simulation::{SimulationConfig, SimulationResult, Simulator};
     pub use h2p_faults::{FaultClass, FaultLedger, FaultPlan, HazardRates};
+    pub use h2p_gateway::{Gateway, GatewayConfig, HashRing, LoadPlan};
     pub use h2p_hydraulics::{Branch, ColdSource, Pump};
     pub use h2p_sched::{BoundedMigration, Consolidate, LoadBalance, Original, SchedulingPolicy};
     pub use h2p_serve::{
