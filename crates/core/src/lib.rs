@@ -74,6 +74,7 @@ pub mod kernel;
 pub mod metrics;
 pub mod prototype;
 pub mod simulation;
+pub mod source;
 
 use core::fmt;
 

@@ -41,6 +41,7 @@
 
 use crate::fleet::{EngineLayout, FleetColumns};
 use crate::kernel::{ChangeKernel, KernelTolerance};
+use crate::source::UtilizationSource;
 use crate::H2pError;
 use h2p_cooling::{CoolingOptimizer, CoolingPlant, OptimizedSetting, PlantLoad};
 use h2p_exec::{ChunkPlan, PoolTelemetry};
@@ -857,6 +858,22 @@ impl Simulator {
         self.run_inner(cluster, policy, self.workers, true)
     }
 
+    /// Runs a policy over any [`UtilizationSource`] — the seam behind
+    /// [`run`](Self::run). A materialized [`ClusterTrace`] and a
+    /// placement-synthesized source with bit-identical columns produce
+    /// bit-identical results, on every driver and worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`run`](Self::run).
+    pub fn run_source(
+        &self,
+        source: &dyn UtilizationSource,
+        policy: &dyn SchedulingPolicy,
+    ) -> Result<SimulationResult, H2pError> {
+        self.run_inner(source, policy, self.workers, true)
+    }
+
     /// The engine behind [`run`](Self::run), with the worker count and
     /// the setting cache controllable (the cache-free path exists so
     /// tests can assert the cache is observationally transparent).
@@ -864,14 +881,14 @@ impl Simulator {
     /// oracle, the kernel path re-simulates only dirty circulations.
     fn run_inner(
         &self,
-        cluster: &ClusterTrace,
+        source: &dyn UtilizationSource,
         policy: &dyn SchedulingPolicy,
         workers: NonZeroUsize,
         use_cache: bool,
     ) -> Result<SimulationResult, H2pError> {
         match self.kernel {
-            Some(tolerance) => self.run_kernel(cluster, policy, workers, use_cache, tolerance),
-            None => self.run_dense(cluster, policy, workers, use_cache),
+            Some(tolerance) => self.run_kernel(source, policy, workers, use_cache, tolerance),
+            None => self.run_dense(source, policy, workers, use_cache),
         }
     }
 
@@ -880,22 +897,22 @@ impl Simulator {
     /// oracle for the kernel path (`tests/kernel_transparency.rs`).
     fn run_dense(
         &self,
-        cluster: &ClusterTrace,
+        source: &dyn UtilizationSource,
         policy: &dyn SchedulingPolicy,
         workers: NonZeroUsize,
         use_cache: bool,
     ) -> Result<SimulationResult, H2pError> {
-        let servers = cluster.servers();
+        let servers = source.servers();
         let circ_size = self.config.servers_per_circulation.min(servers).max(1);
         let circ_chunk = NonZeroUsize::new(circ_size).unwrap_or(NonZeroUsize::MIN);
-        let interval = cluster.interval();
-        let mut steps = Vec::with_capacity(cluster.steps());
+        let interval = source.interval();
+        let mut steps = Vec::with_capacity(source.steps());
         // The optimizer depends only on the cold-source temperature:
         // construct one per distinct cold value over the whole run (a
         // constant source gets exactly one), not one per step.
         let mut optimizers: HashMap<u64, CoolingOptimizer<'_>> = HashMap::new();
 
-        for step in 0..cluster.steps() {
+        for step in 0..source.steps() {
             let step_span = self.telemetry.registry.span(&self.telemetry.step_wall);
             let time = Seconds::new(interval.value() * step as f64);
             let cold = self.config.cold_source.temperature(time);
@@ -904,7 +921,7 @@ impl Simulator {
                 Entry::Vacant(entry) => entry.insert(self.new_optimizer(cold)?),
             };
 
-            let loads = cluster.utilizations_at(step);
+            let loads = source.column(step);
             // Shard the independent circulations across the worker
             // pool; partials come back in circulation-index order.
             let partials = h2p_exec::try_par_chunks_observed(
@@ -953,25 +970,25 @@ impl Simulator {
 
     fn run_kernel(
         &self,
-        cluster: &ClusterTrace,
+        source: &dyn UtilizationSource,
         policy: &dyn SchedulingPolicy,
         workers: NonZeroUsize,
         use_cache: bool,
         tolerance: KernelTolerance,
     ) -> Result<SimulationResult, H2pError> {
-        let servers = cluster.servers();
+        let servers = source.servers();
         let circ_size = self.config.servers_per_circulation.min(servers).max(1);
         let circ_chunk = NonZeroUsize::new(circ_size).unwrap_or(NonZeroUsize::MIN);
-        let interval = cluster.interval();
+        let interval = source.interval();
         let n_circs = servers.div_ceil(circ_size);
-        let mut steps = Vec::with_capacity(cluster.steps());
+        let mut steps = Vec::with_capacity(source.steps());
         let mut optimizers: HashMap<u64, CoolingOptimizer<'_>> = HashMap::new();
         let mut kernel = ChangeKernel::new(tolerance, n_circs);
         let mut dirty: Vec<usize> = Vec::with_capacity(n_circs);
         let mut u_ctrls: Vec<f64> = vec![0.0; n_circs];
         let mut partials: Vec<CircPartial> = Vec::with_capacity(n_circs);
 
-        for step in 0..cluster.steps() {
+        for step in 0..source.steps() {
             let step_span = self.telemetry.registry.span(&self.telemetry.step_wall);
             let t0 = self.telemetry.registry.now_nanos();
             let time = Seconds::new(interval.value() * step as f64);
@@ -981,7 +998,7 @@ impl Simulator {
                 Entry::Vacant(entry) => entry.insert(self.new_optimizer(cold)?),
             };
 
-            let loads = cluster.utilizations_at(step);
+            let loads = source.column(step);
             // Classify sequentially, circulation-index order.
             kernel.begin_step(step);
             dirty.clear();
@@ -1059,7 +1076,7 @@ impl Simulator {
         // Every circulation-step was either evaluated or held.
         debug_assert_eq!(
             kernel.stats().evaluated + kernel.stats().held,
-            (n_circs * cluster.steps()) as u64
+            (n_circs * source.steps()) as u64
         );
         self.telemetry.note_run();
         Ok(SimulationResult {

@@ -1,0 +1,91 @@
+//! The utilization seam: where engine drivers read per-server load.
+//!
+//! Every engine mode (dense oracle, change-detection kernel) consumes
+//! the workload through exactly one interface — a per-step *column* of
+//! per-server utilizations plus the trace geometry. [`UtilizationSource`]
+//! names that seam so workloads other than a materialized
+//! [`ClusterTrace`] can drive the engine: the closed-loop job-placement
+//! engine (`h2p-jobs`) synthesizes its columns from placement decisions,
+//! and future adapters can stream columns from disk or a wire format.
+//!
+//! # Determinism contract
+//!
+//! [`column`](UtilizationSource::column) must be a **pure function of
+//! `step`**: the engine may read columns once, in step order, but the
+//! bit-identity guarantees (across worker counts, kernel vs. dense,
+//! cache on/off) only hold when the same step always yields the same
+//! column. Sources must not consult ambient state (clocks, RNGs,
+//! previous reads) when answering.
+
+use h2p_units::{Seconds, Utilization};
+use h2p_workload::ClusterTrace;
+
+/// A per-step supplier of per-server utilization columns.
+///
+/// This is the seam where traces are read today: `Simulator::run`
+/// forwards a [`ClusterTrace`] through this trait, and
+/// [`Simulator::run_source`](crate::simulation::Simulator::run_source)
+/// accepts any implementation directly.
+pub trait UtilizationSource: Sync {
+    /// Number of servers (the length of every column).
+    fn servers(&self) -> usize;
+
+    /// Number of control intervals (valid `step` values are `0..steps`).
+    fn steps(&self) -> usize;
+
+    /// Wall-clock length of one control interval.
+    fn interval(&self) -> Seconds;
+
+    /// The per-server utilization column at `step`.
+    ///
+    /// Must return exactly [`servers`](Self::servers) entries and be a
+    /// pure function of `step` (see the module docs).
+    fn column(&self, step: usize) -> Vec<Utilization>;
+}
+
+impl UtilizationSource for ClusterTrace {
+    fn servers(&self) -> usize {
+        ClusterTrace::servers(self)
+    }
+
+    fn steps(&self) -> usize {
+        ClusterTrace::steps(self)
+    }
+
+    fn interval(&self) -> Seconds {
+        ClusterTrace::interval(self)
+    }
+
+    fn column(&self, step: usize) -> Vec<Utilization> {
+        self.utilizations_at(step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2p_workload::Trace;
+
+    #[test]
+    fn cluster_trace_column_matches_direct_read() {
+        let trace = |samples: &[f64]| Trace::new(Seconds::minutes(5.0), samples.to_vec());
+        let cluster = ClusterTrace::new(vec![
+            trace(&[0.1, 0.2, 0.3]).unwrap(),
+            trace(&[0.4, 0.5, 0.6]).unwrap(),
+        ])
+        .unwrap();
+
+        let source: &dyn UtilizationSource = &cluster;
+        assert_eq!(source.servers(), 2);
+        assert_eq!(source.steps(), 3);
+        assert_eq!(source.interval().value(), cluster.interval().value());
+        for step in 0..3 {
+            let col = source.column(step);
+            let direct = cluster.utilizations_at(step);
+            assert_eq!(col.len(), direct.len());
+            for (a, b) in col.iter().zip(&direct) {
+                assert_eq!(a.value().to_bits(), b.value().to_bits());
+            }
+        }
+    }
+}

@@ -539,7 +539,7 @@ pub fn direct_canonical_body(request: &ScenarioRequest) -> Result<String, ServeE
     config.servers_per_circulation = request.servers_per_circulation;
     let engine =
         Simulator::new(&ServerModel::paper_default(), config)?.with_workers(request.workers);
-    let cluster = request.trace.generate();
+    let cluster = request.materialize(&engine)?;
     let policy = request.policy.build();
     let output = match request.fault_plan(&cluster) {
         None => RunOutput {

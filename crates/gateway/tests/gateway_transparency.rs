@@ -118,6 +118,18 @@ fn faulted_scenarios_round_trip_byte_identically_too() {
 }
 
 #[test]
+fn placement_scenarios_round_trip_byte_identically_too() {
+    // A placement request flows through the same parse → serve →
+    // render pipeline; the body must equal the direct materialization.
+    let body = r#"{"cmd":"run","trace":"common","seed":5,"servers":20,"steps":3,"circulation":10,"placement":"harvest_aware"}"#;
+    let direct = direct_canonical_body(&parsed(body)).expect("direct placement run");
+    let gw = gateway(2);
+    let served = gw.handle(&post_run(body));
+    assert_eq!(served.status, 200);
+    assert_eq!(std::str::from_utf8(&served.body).unwrap(), direct);
+}
+
+#[test]
 fn same_scenario_routes_to_the_same_replica_and_stays_shard_local() {
     let gw = gateway(4);
     let key = parsed(&run_body(7)).key();

@@ -1,0 +1,201 @@
+//! The job (invocation) model.
+
+use crate::JobsError;
+use h2p_units::{Seconds, Utilization};
+use h2p_workload::JobTrace;
+
+/// One schedulable job: an arrival time, a runtime, and a per-server
+/// utilization demand while running, optionally tagged with a tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    id: u64,
+    arrival: Seconds,
+    duration: Seconds,
+    demand: Utilization,
+    tenant: Option<String>,
+}
+
+impl Job {
+    /// Builds a job, validating its invariants: arrival finite and
+    /// non-negative, duration finite and strictly positive.
+    ///
+    /// # Errors
+    ///
+    /// [`JobsError::InvalidJob`] naming the offending field.
+    pub fn new(
+        id: u64,
+        arrival: Seconds,
+        duration: Seconds,
+        demand: Utilization,
+    ) -> Result<Self, JobsError> {
+        if !arrival.value().is_finite() || arrival.value() < 0.0 {
+            return Err(JobsError::InvalidJob {
+                id,
+                field: "arrival",
+                value: arrival.value(),
+            });
+        }
+        if !duration.value().is_finite() || !(duration.value() > 0.0) {
+            return Err(JobsError::InvalidJob {
+                id,
+                field: "duration",
+                value: duration.value(),
+            });
+        }
+        Ok(Job {
+            id,
+            arrival,
+            duration,
+            demand,
+            tenant: None,
+        })
+    }
+
+    /// Tags the job with an owning tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Unique id; ties in admission order break on it.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Arrival time from the start of the run.
+    #[must_use]
+    pub fn arrival(&self) -> Seconds {
+        self.arrival
+    }
+
+    /// Requested runtime.
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        self.duration
+    }
+
+    /// Per-server utilization demand while running.
+    #[must_use]
+    pub fn demand(&self) -> Utilization {
+        self.demand
+    }
+
+    /// Owning tenant, when tagged.
+    #[must_use]
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
+    }
+
+    /// The control interval the job arrives in.
+    #[must_use]
+    pub fn arrival_step(&self, interval: Seconds) -> usize {
+        // Validation pins arrival finite and >= 0; a floored
+        // non-negative finite f64 fits usize on every supported target.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let step = (self.arrival.value() / interval.value()).floor() as usize;
+        step
+    }
+
+    /// How many control intervals the job occupies (at least one).
+    #[must_use]
+    pub fn duration_steps(&self, interval: Seconds) -> usize {
+        // Validation pins duration finite and > 0 (see `arrival_step`).
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let steps = (self.duration.value() / interval.value()).ceil() as usize;
+        steps.max(1)
+    }
+}
+
+/// Converts an ingested [`JobTrace`] (`h2p-workload`) into placement
+/// jobs; ids are the record indices, so admission order is the stable
+/// file order.
+///
+/// # Errors
+///
+/// [`JobsError::InvalidJob`] if a record slips past the trace
+/// validation (defensive; `JobTrace` enforces the same invariants).
+pub fn jobs_from_trace(trace: &JobTrace) -> Result<Vec<Job>, JobsError> {
+    trace
+        .records()
+        .iter()
+        .enumerate()
+        .map(|(index, r)| {
+            let job = Job::new(
+                index as u64,
+                Seconds::new(r.arrival_s),
+                Seconds::new(r.duration_s),
+                Utilization::saturating(r.utilization),
+            )?;
+            Ok(match &r.tenant {
+                Some(tenant) => job.with_tenant(tenant.clone()),
+                None => job,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2p_workload::jobs::JobRecord;
+
+    #[test]
+    fn job_validation_rejects_bad_fields() {
+        let demand = Utilization::saturating(0.5);
+        assert!(Job::new(0, Seconds::new(-1.0), Seconds::new(60.0), demand).is_err());
+        assert!(Job::new(0, Seconds::new(0.0), Seconds::new(0.0), demand).is_err());
+        // NaN never reaches `Job::new`: the `Seconds` newtype already
+        // rejects it at construction.
+        assert!(Job::new(0, Seconds::new(0.0), Seconds::new(60.0), demand).is_ok());
+    }
+
+    #[test]
+    fn step_geometry_rounds_as_documented() {
+        let interval = Seconds::minutes(5.0);
+        let job = Job::new(
+            3,
+            Seconds::new(601.0),
+            Seconds::new(301.0),
+            Utilization::saturating(0.2),
+        )
+        .unwrap();
+        assert_eq!(job.arrival_step(interval), 2);
+        assert_eq!(job.duration_steps(interval), 2);
+        // A sub-interval job still occupies one full step.
+        let short = Job::new(
+            4,
+            Seconds::new(0.0),
+            Seconds::new(1.0),
+            Utilization::saturating(0.2),
+        )
+        .unwrap();
+        assert_eq!(short.duration_steps(interval), 1);
+    }
+
+    #[test]
+    fn trace_conversion_preserves_order_and_tenants() {
+        let records = vec![
+            JobRecord {
+                arrival_s: 0.0,
+                duration_s: 600.0,
+                utilization: 0.25,
+                tenant: Some("acme".to_string()),
+            },
+            JobRecord {
+                arrival_s: 30.0,
+                duration_s: 300.0,
+                utilization: 0.5,
+                tenant: None,
+            },
+        ];
+        let trace = JobTrace::new(records).unwrap();
+        let jobs = jobs_from_trace(&trace).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id(), 0);
+        assert_eq!(jobs[0].tenant(), Some("acme"));
+        assert_eq!(jobs[1].id(), 1);
+        assert_eq!(jobs[1].tenant(), None);
+    }
+}

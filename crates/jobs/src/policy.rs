@@ -1,0 +1,331 @@
+//! Placement policies.
+//!
+//! A policy maps one arriving [`Job`] onto a server, seeing only the
+//! [`ClusterView`] the engine hands it (previous-step thermals plus
+//! demand already committed this step). Returning a server the job
+//! does not fit on — or `None` — defers the job to the admission
+//! queue.
+//!
+//! All score comparisons use [`f64::total_cmp`]: placement scores flow
+//! through optimizer lookups that can legitimately produce non-finite
+//! sentinels, and a `partial_cmp().unwrap()` there would turn a NaN
+//! into a panic inside the simulation loop (h2p-lint rule L11 rejects
+//! that pattern in library policy impls).
+
+use crate::engine::ClusterView;
+use crate::Job;
+use core::fmt;
+use std::cmp::Ordering;
+
+/// Maps arriving jobs onto servers. Implementations may keep state
+/// (cursors, histories) — the engine calls them sequentially in a
+/// deterministic admission order, so stateful policies stay
+/// reproducible.
+pub trait PlacementPolicy {
+    /// The policy's stable display name.
+    fn name(&self) -> &'static str;
+
+    /// Chooses a server for `job`, or `None` to defer it to the
+    /// admission queue. A choice the job does not fit on is treated as
+    /// a deferral too.
+    fn place(&mut self, job: &Job, view: &ClusterView<'_>) -> Option<usize>;
+}
+
+/// The load-oblivious oracle baseline: sweeps a cursor over the
+/// servers and takes the first one with capacity. Because it never
+/// reads thermal state, a `RoundRobin` run over jobs that reproduce a
+/// generated trace's demands is bit-identical to running that trace
+/// directly — which is what makes it the transparency baseline.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// A fresh cursor at server 0.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundRobin { cursor: 0 }
+    }
+}
+
+impl PlacementPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn place(&mut self, job: &Job, view: &ClusterView<'_>) -> Option<usize> {
+        let n = view.servers();
+        for offset in 0..n {
+            let server = (self.cursor + offset) % n;
+            if view.fits(server, job.demand()) {
+                self.cursor = (server + 1) % n;
+                return Some(server);
+            }
+        }
+        None
+    }
+}
+
+/// Places on the server with the lowest previous-step coolant outlet
+/// temperature among those with capacity (ties break on the lower
+/// index). Outlet tracks the server's heat directly, so this is the
+/// classic thermal-aware greedy baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoolestFirst;
+
+impl CoolestFirst {
+    /// The (stateless) policy.
+    #[must_use]
+    pub fn new() -> Self {
+        CoolestFirst
+    }
+}
+
+impl PlacementPolicy for CoolestFirst {
+    fn name(&self) -> &'static str {
+        "coolest_first"
+    }
+
+    fn place(&mut self, job: &Job, view: &ClusterView<'_>) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        for server in 0..view.servers() {
+            if !view.fits(server, job.demand()) {
+                continue;
+            }
+            let outlet = view.state(server).outlet.value();
+            let better = match best {
+                None => true,
+                Some((incumbent, _)) => outlet.total_cmp(&incumbent) == Ordering::Less,
+            };
+            if better {
+                best = Some((outlet, server));
+            }
+        }
+        best.map(|(_, server)| server)
+    }
+}
+
+/// Scores candidates by the marginal Eq. 3 TEG harvest of committing
+/// the job there, minus a throttle-risk penalty when the tentative
+/// demand would exceed the previous step's safety cap. Ties break on
+/// the lower committed demand, then the lower index, so the policy
+/// degenerates gracefully to load balancing when the harvest landscape
+/// is flat.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HarvestAware;
+
+impl HarvestAware {
+    /// Weight of the throttle-risk penalty: watts of forgone score per
+    /// unit of demand above the safety cap. Large enough that any risk
+    /// dominates any realistic harvest delta.
+    const THROTTLE_PENALTY: f64 = 1000.0;
+
+    /// The (stateless) policy.
+    #[must_use]
+    pub fn new() -> Self {
+        HarvestAware
+    }
+}
+
+impl PlacementPolicy for HarvestAware {
+    fn name(&self) -> &'static str {
+        "harvest_aware"
+    }
+
+    fn place(&mut self, job: &Job, view: &ClusterView<'_>) -> Option<usize> {
+        let mut best: Option<(f64, f64, usize)> = None;
+        for server in 0..view.servers() {
+            if !view.fits(server, job.demand()) {
+                continue;
+            }
+            let committed = view.committed(server);
+            let tentative = committed + job.demand().value();
+            let risk = (tentative - view.state(server).safe_cap.value()).max(0.0);
+            let raw = view.harvest_delta(server, job.demand()) - Self::THROTTLE_PENALTY * risk;
+            // `total_cmp` ranks NaN above +inf; map it to the bottom so
+            // a poisoned score can never win a placement.
+            let score = if raw.is_nan() { f64::NEG_INFINITY } else { raw };
+            let better = match best {
+                None => true,
+                Some((incumbent, incumbent_committed, _)) => match score.total_cmp(&incumbent) {
+                    Ordering::Greater => true,
+                    Ordering::Equal => committed.total_cmp(&incumbent_committed) == Ordering::Less,
+                    Ordering::Less => false,
+                },
+            };
+            if better {
+                best = Some((score, committed, server));
+            }
+        }
+        best.map(|(_, _, server)| server)
+    }
+}
+
+/// The named placement policies, for CLI/serve plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementPolicyKind {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`CoolestFirst`].
+    CoolestFirst,
+    /// [`HarvestAware`].
+    HarvestAware,
+}
+
+impl PlacementPolicyKind {
+    /// Every kind, in canonical order.
+    pub const ALL: [PlacementPolicyKind; 3] = [
+        PlacementPolicyKind::RoundRobin,
+        PlacementPolicyKind::CoolestFirst,
+        PlacementPolicyKind::HarvestAware,
+    ];
+
+    /// The canonical (snake_case) name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementPolicyKind::RoundRobin => "round_robin",
+            PlacementPolicyKind::CoolestFirst => "coolest_first",
+            PlacementPolicyKind::HarvestAware => "harvest_aware",
+        }
+    }
+
+    /// Parses a canonical name (case-insensitive; `-` and `_` are
+    /// interchangeable).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        let canon = name.trim().to_ascii_lowercase().replace('-', "_");
+        PlacementPolicyKind::ALL
+            .into_iter()
+            .find(|kind| kind.name() == canon)
+    }
+
+    /// Builds a fresh policy instance.
+    #[must_use]
+    pub fn build(self) -> Box<dyn PlacementPolicy> {
+        match self {
+            PlacementPolicyKind::RoundRobin => Box::new(RoundRobin::new()),
+            PlacementPolicyKind::CoolestFirst => Box::new(CoolestFirst::new()),
+            PlacementPolicyKind::HarvestAware => Box::new(HarvestAware::new()),
+        }
+    }
+}
+
+impl fmt::Display for PlacementPolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::tests::{states_with_outlets, FixedScorer};
+    use crate::engine::view;
+    use h2p_units::{Seconds, Utilization};
+
+    fn job(demand: f64) -> Job {
+        Job::new(
+            0,
+            Seconds::new(0.0),
+            Seconds::new(300.0),
+            Utilization::saturating(demand),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_robin_sweeps_and_skips_full_servers() {
+        let states = states_with_outlets(&[50.0; 3]);
+        let scorer = FixedScorer(vec![0.0; 3]);
+        let mut policy = RoundRobin::new();
+
+        let committed = [0.0, 0.0, 0.0];
+        let view1 = view(&states, &committed, 3, &scorer);
+        assert_eq!(policy.place(&job(0.5), &view1), Some(0));
+
+        let committed = [0.5, 0.9, 0.0];
+        let view2 = view(&states, &committed, 3, &scorer);
+        // Cursor is at 1, which cannot take 0.5 — sweeps on to 2.
+        assert_eq!(policy.place(&job(0.5), &view2), Some(2));
+
+        let committed = [1.0, 1.0, 1.0];
+        let view3 = view(&states, &committed, 3, &scorer);
+        assert_eq!(policy.place(&job(0.5), &view3), None);
+    }
+
+    #[test]
+    fn coolest_first_prefers_the_lowest_outlet_with_capacity() {
+        let states = states_with_outlets(&[47.0, 41.0, 44.0]);
+        let scorer = FixedScorer(vec![0.0; 3]);
+        let mut policy = CoolestFirst::new();
+
+        let committed = [0.0, 0.0, 0.0];
+        let view1 = view(&states, &committed, 3, &scorer);
+        assert_eq!(policy.place(&job(0.5), &view1), Some(1));
+
+        // The coolest server is full: next-coolest wins.
+        let committed = [0.0, 0.9, 0.0];
+        let view2 = view(&states, &committed, 3, &scorer);
+        assert_eq!(policy.place(&job(0.5), &view2), Some(2));
+    }
+
+    #[test]
+    fn coolest_first_breaks_outlet_ties_on_the_lower_index() {
+        let states = states_with_outlets(&[44.0, 44.0, 44.0]);
+        let scorer = FixedScorer(vec![0.0; 3]);
+        let mut policy = CoolestFirst::new();
+        let committed = [0.0, 0.0, 0.0];
+        let view1 = view(&states, &committed, 3, &scorer);
+        assert_eq!(policy.place(&job(0.2), &view1), Some(0));
+    }
+
+    #[test]
+    fn harvest_aware_maximizes_marginal_harvest() {
+        let states = states_with_outlets(&[50.0, 50.0, 50.0]);
+        let scorer = FixedScorer(vec![0.5, 2.0, 1.0]);
+        let mut policy = HarvestAware::new();
+        let committed = [0.0, 0.0, 0.0];
+        let view1 = view(&states, &committed, 3, &scorer);
+        assert_eq!(policy.place(&job(0.3), &view1), Some(1));
+    }
+
+    #[test]
+    fn harvest_aware_penalizes_throttle_risk_and_balances_ties() {
+        // Equal harvest everywhere; server 1 would exceed its safety
+        // cap, server 2 carries less than server 0.
+        let mut states = states_with_outlets(&[50.0, 50.0, 50.0]);
+        states[1].safe_cap = Utilization::saturating(0.4);
+        let scorer = FixedScorer(vec![1.0, 1.0, 1.0]);
+        let mut policy = HarvestAware::new();
+        let committed = [0.3, 0.3, 0.1];
+        let view1 = view(&states, &committed, 3, &scorer);
+        assert_eq!(policy.place(&job(0.3), &view1), Some(2));
+    }
+
+    #[test]
+    fn harvest_aware_survives_nan_scores() {
+        // A NaN score must neither panic nor win.
+        let states = states_with_outlets(&[50.0, 50.0]);
+        let scorer = FixedScorer(vec![f64::NAN, 0.5]);
+        let mut policy = HarvestAware::new();
+        let committed = [0.0, 0.0];
+        let view1 = view(&states, &committed, 2, &scorer);
+        assert_eq!(policy.place(&job(0.3), &view1), Some(1));
+    }
+
+    #[test]
+    fn kind_round_trips_names_and_builds() {
+        for kind in PlacementPolicyKind::ALL {
+            assert_eq!(PlacementPolicyKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.build().name(), kind.name());
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(
+            PlacementPolicyKind::parse("Harvest-Aware"),
+            Some(PlacementPolicyKind::HarvestAware)
+        );
+        assert_eq!(PlacementPolicyKind::parse("nope"), None);
+    }
+}

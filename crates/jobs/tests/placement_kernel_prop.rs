@@ -1,0 +1,94 @@
+//! Property test (ISSUE 10 satellite): for *arbitrary* job sets and
+//! any placement policy, the trace the placement engine synthesizes
+//! runs bit-identically through the change-detection kernel at
+//! tolerance zero and the dense oracle. Placement-driven columns are
+//! exactly the adversarial input for the kernel's hold/replay logic —
+//! jobs arriving and releasing produce step-to-step deltas right at
+//! the "did anything change?" boundary.
+
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::float_cmp,
+    clippy::cast_precision_loss
+)]
+
+use h2p_core::kernel::KernelTolerance;
+use h2p_core::simulation::{SimulationConfig, Simulator};
+use h2p_jobs::{Job, PlacementEngine, PlacementPolicyKind};
+use h2p_sched::Original;
+use h2p_server::ServerModel;
+use h2p_units::{Seconds, Utilization};
+use proptest::prelude::*;
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+const SERVERS: usize = 12;
+const STEPS: usize = 10;
+
+fn base_sim() -> &'static Simulator {
+    static SIM: OnceLock<Simulator> = OnceLock::new();
+    SIM.get_or_init(|| {
+        let mut config = SimulationConfig::paper_default();
+        config.servers_per_circulation = 8;
+        Simulator::new(&ServerModel::paper_default(), config).unwrap()
+    })
+}
+
+/// A raw job draft: arrival step (deliberately allowed past the
+/// horizon), duration in steps, and demand.
+fn job_strategy() -> impl Strategy<Value = (usize, usize, f64)> {
+    (0..STEPS + 2, 1..5usize, 0.05..0.95f64)
+}
+
+fn build_jobs(drafts: &[(usize, usize, f64)], interval: Seconds) -> Vec<Job> {
+    drafts
+        .iter()
+        .enumerate()
+        .map(|(id, &(arrival_step, duration_steps, demand))| {
+            Job::new(
+                id as u64,
+                Seconds::new(interval.value() * arrival_step as f64),
+                Seconds::new(interval.value() * duration_steps as f64),
+                Utilization::saturating(demand),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn kernel_at_tolerance_zero_matches_dense_on_placed_columns(
+        drafts in proptest::collection::vec(job_strategy(), 1..30),
+        policy_index in 0..3usize,
+        workers in 1..4usize,
+    ) {
+        let sim = base_sim();
+        let engine = PlacementEngine::new(sim, &Original, SERVERS, STEPS).unwrap();
+        let jobs = build_jobs(&drafts, engine.interval());
+        let kind = PlacementPolicyKind::ALL[policy_index];
+        let run = engine.place(&jobs, &mut *kind.build()).unwrap();
+
+        let workers = NonZeroUsize::new(workers).unwrap();
+        let dense = sim
+            .clone()
+            .with_workers(workers)
+            .run(&run.trace, &Original)
+            .unwrap();
+        let kernel = sim
+            .clone()
+            .with_workers(workers)
+            .with_kernel_tolerance(KernelTolerance::exact())
+            .run(&run.trace, &Original)
+            .unwrap();
+
+        prop_assert_eq!(dense.steps().len(), kernel.steps().len());
+        for (i, (a, b)) in dense.steps().iter().zip(kernel.steps()).enumerate() {
+            prop_assert_eq!(a, b, "step {} diverged under {}", i, kind);
+        }
+    }
+}

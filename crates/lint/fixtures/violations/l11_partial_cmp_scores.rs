@@ -1,0 +1,59 @@
+//! Deliberate L11 violations: policy score comparisons that unwrap
+//! `partial_cmp` instead of ranking with `f64::total_cmp`. The bare
+//! panics are waived for L2 so the fixture isolates L11.
+
+use std::cmp::Ordering;
+
+pub trait PlacementPolicy {
+    fn place(&mut self, scores: &[f64]) -> Option<usize>;
+}
+
+pub trait SchedulingPolicy {
+    fn schedule(&self, chunk: &[f64]) -> f64;
+}
+
+pub struct Greedy;
+
+impl PlacementPolicy for Greedy {
+    /// Violation: a NaN score panics mid-simulation.
+    fn place(&mut self, scores: &[f64]) -> Option<usize> {
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap()) // h2p-lint: allow(L2): fixture isolates L11
+            .map(|(index, _)| index)
+    }
+}
+
+pub struct Peak;
+
+impl SchedulingPolicy for Peak {
+    /// Violation: `.expect(..)` is the same panic with a banner.
+    fn schedule(&self, chunk: &[f64]) -> f64 {
+        let mut peak = 0.0f64;
+        for value in chunk {
+            let ord = value.partial_cmp(&peak).expect("ordered"); // h2p-lint: allow(L2): fixture isolates L11
+            if ord == Ordering::Greater {
+                peak = *value;
+            }
+        }
+        peak
+    }
+}
+
+pub struct Sane;
+
+impl PlacementPolicy for Sane {
+    /// Clean: `total_cmp` is total over NaN, and `unwrap_or` gives
+    /// the comparison an explicit NaN answer instead of a panic.
+    fn place(&mut self, scores: &[f64]) -> Option<usize> {
+        let _ = scores
+            .first()
+            .map(|a| a.partial_cmp(&0.5).unwrap_or(Ordering::Less));
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(index, _)| index)
+    }
+}

@@ -51,6 +51,10 @@
 //!   the crate's locks in global acquisition order — and nested
 //!   acquisitions must follow that order (out-of-order nesting is the
 //!   deadlock shape; in-order nesting is safe by construction).
+//! * **L11** — placement/scheduling policy impls in library code must
+//!   not compare scores via `partial_cmp(..).unwrap()` (or
+//!   `.expect(..)`): a NaN score would panic mid-simulation. Use
+//!   `f64::total_cmp`, which is total over every float.
 //!
 //! Any finding can be waived in place with a reasoned allow comment,
 //! either trailing the line or on the line directly above:
@@ -121,10 +125,14 @@ pub enum RuleId {
     /// `Mutex`/`RwLock` acquisition outside the crate's lock-order
     /// manifest, or nested against manifest order.
     L10,
+    /// `partial_cmp(..).unwrap()`/`.expect(..)` inside a
+    /// `PlacementPolicy`/`SchedulingPolicy` impl in library code —
+    /// score comparisons must use `total_cmp`.
+    L11,
 }
 
 impl RuleId {
-    /// Parses `"L1"` .. `"L10"`.
+    /// Parses `"L1"` .. `"L11"`.
     #[must_use]
     pub fn parse(s: &str) -> Option<RuleId> {
         match s {
@@ -138,6 +146,7 @@ impl RuleId {
             "L8" => Some(RuleId::L8),
             "L9" => Some(RuleId::L9),
             "L10" => Some(RuleId::L10),
+            "L11" => Some(RuleId::L11),
             _ => None,
         }
     }
@@ -156,6 +165,7 @@ impl fmt::Display for RuleId {
             RuleId::L8 => "L8",
             RuleId::L9 => "L9",
             RuleId::L10 => "L10",
+            RuleId::L11 => "L11",
         })
     }
 }

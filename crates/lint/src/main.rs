@@ -52,7 +52,7 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "h2p-lint: H2P domain-invariant checks (L1-L10)\n\
+                    "h2p-lint: H2P domain-invariant checks (L1-L11)\n\
                      usage: h2p-lint [--root DIR | --fixtures DIR] [--json]\n\
                      \n\
                      --json emits one diagnostic per line as\n\
@@ -90,7 +90,7 @@ fn main() -> ExitCode {
         }
         Ok(diagnostics) if diagnostics.is_empty() => {
             if !json {
-                println!("h2p-lint: clean (rules L1-L10)");
+                println!("h2p-lint: clean (rules L1-L11)");
             }
             ExitCode::SUCCESS
         }

@@ -16,6 +16,7 @@
 //! | L8 | non-test library code | no iteration over `HashMap`/`HashSet` (iteration order varies run to run); hold ordered data in `BTreeMap`/`BTreeSet` or sort before folding |
 //! | L9 | non-test library code outside [`SEED_PLUMBING_MODULES`] | no ambient nondeterminism: `thread_rng`, `RandomState::new`, `std::env` reads, unsorted `read_dir` |
 //! | L10 | non-test library code | every `Mutex`/`RwLock` acquisition names a lock from the crate's `lock-order` manifest, and nested acquisitions follow manifest order |
+//! | L11 | non-test library code | no `partial_cmp(..).unwrap()`/`.expect(..)` on scores inside `PlacementPolicy`/`SchedulingPolicy` impls — compare with `f64::total_cmp` |
 //!
 //! L8–L10 are the determinism charter: every engine result must be
 //! bit-identical across worker counts, cache states, and process
@@ -150,6 +151,9 @@ pub fn check_file(
         }
         for finding in l10_lock_order(scanned, crate_locks) {
             emit(RuleId::L10, finding);
+        }
+        for finding in l11_partial_cmp_scores(scanned) {
+            emit(RuleId::L11, finding);
         }
     }
     if class.physics {
@@ -982,6 +986,77 @@ fn l10_lock_order(s: &ScannedFile, crate_locks: &[String]) -> Vec<Finding> {
     findings
 }
 
+/// L11: `partial_cmp(..)` chained into `.unwrap()` / `.expect(..)`
+/// inside a `PlacementPolicy` or `SchedulingPolicy` impl. Policy
+/// score comparisons run on every placement decision of every
+/// simulated step; a single NaN score (e.g. an infeasible harvest
+/// estimate) would panic mid-simulation. `f64::total_cmp` is total
+/// over NaN and is the workspace idiom for ranking scores — policies
+/// must use it (sanitizing NaN explicitly if it must lose ties).
+fn l11_partial_cmp_scores(s: &ScannedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < s.code.len() {
+        if !s.is_ident(i, "impl") {
+            i += 1;
+            continue;
+        }
+        // The impl header runs to the body's `{` — generics and trait
+        // paths contain no braces, so the first `{` opens the body.
+        let mut open = i + 1;
+        while open < s.code.len() && !s.is_punct(open, "{") {
+            open += 1;
+        }
+        if open >= s.code.len() {
+            break;
+        }
+        // A policy *trait* impl names the trait before `for`; an
+        // inherent impl (no `for`) is out of scope.
+        let policy_impl = (i + 1..open).any(|j| {
+            (s.is_ident(j, "PlacementPolicy") || s.is_ident(j, "SchedulingPolicy"))
+                && (j + 1..open).any(|k| s.is_ident(k, "for"))
+        });
+        if !policy_impl {
+            // Keep scanning from inside the body: a nested policy
+            // impl (e.g. inside a function) must still be caught.
+            i = open + 1;
+            continue;
+        }
+        let close = matching_close(s, open);
+        let mut j = open + 1;
+        while j < close {
+            if !s.in_test(j)
+                && s.is_punct(j, ".")
+                && s.is_ident(j + 1, "partial_cmp")
+                && s.is_punct(j + 2, "(")
+            {
+                let args_close = matching_close(s, j + 2);
+                if s.is_punct(args_close + 1, ".")
+                    && (s.is_ident(args_close + 2, "unwrap")
+                        || s.is_ident(args_close + 2, "expect"))
+                    && s.is_punct(args_close + 3, "(")
+                {
+                    let (line, col) = at(s, j + 1);
+                    findings.push((
+                        line,
+                        col,
+                        "`partial_cmp(..)` unwrapped inside a placement/scheduling policy: \
+                         a NaN score panics mid-simulation — rank scores with \
+                         `f64::total_cmp` \
+                         (or justify with `// h2p-lint: allow(L11): <reason>`)"
+                            .to_owned(),
+                    ));
+                }
+                j = args_close + 1;
+                continue;
+            }
+            j += 1;
+        }
+        i = close + 1;
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1325,6 +1400,68 @@ mod tests {
                    }\n";
         let diags = run(src, &physics_lib());
         assert!(only(&diags, RuleId::L10).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn l11_flags_unwrapped_partial_cmp_in_policy_impls() {
+        let src = "impl PlacementPolicy for Greedy {\n\
+                       fn place(&mut self, job: &Job, view: &ClusterView<'_>) -> Option<usize> {\n\
+                           scores.iter().max_by(|a, b| a.partial_cmp(b).unwrap())\n\
+                       }\n\
+                   }\n\
+                   impl SchedulingPolicy for Greedy {\n\
+                       fn schedule(&self, chunk: &[Utilization]) -> Utilization {\n\
+                           let _ = a.partial_cmp(&b).expect(\"ordered\");\n\
+                           chunk[0]\n\
+                       }\n\
+                   }\n";
+        let diags = run(src, &physics_lib());
+        let l11 = only(&diags, RuleId::L11);
+        assert_eq!(l11.len(), 2, "{l11:?}");
+        assert_eq!(l11[0].line, 3);
+        assert_eq!(l11[1].line, 8);
+        assert!(l11[0].message.contains("total_cmp"), "{l11:?}");
+    }
+
+    #[test]
+    fn l11_ignores_total_cmp_handled_options_and_other_impls() {
+        let src = "impl PlacementPolicy for Safe {\n\
+                       fn place(&mut self) -> Option<usize> {\n\
+                           scores.iter().max_by(|a, b| a.total_cmp(b));\n\
+                           let ord = a.partial_cmp(&b).unwrap_or(Ordering::Less);\n\
+                           None\n\
+                       }\n\
+                   }\n\
+                   impl Display for Other {\n\
+                       fn fmt(&self) { let _ = a.partial_cmp(&b).unwrap(); }\n\
+                   }\n\
+                   impl PlacementPolicyKind {\n\
+                       fn inherent() { let _ = a.partial_cmp(&b).unwrap(); }\n\
+                   }\n";
+        let diags = run(src, &physics_lib());
+        assert!(only(&diags, RuleId::L11).is_empty(), "{diags:?}");
+        // ...but L2 still owns the bare unwraps outside policy impls.
+        assert!(!only(&diags, RuleId::L2).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn l11_respects_waivers_and_test_regions() {
+        let src = "impl PlacementPolicy for Waived {\n\
+                       fn place(&mut self) -> Option<usize> {\n\
+                           a.partial_cmp(&b).unwrap(); // h2p-lint: allow(L11): scores proven finite\n\
+                           None\n\
+                       }\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests {\n\
+                       impl PlacementPolicy for T {\n\
+                           fn place(&mut self) -> Option<usize> {\n\
+                               a.partial_cmp(&b).unwrap();\n\
+                               None\n\
+                           }\n\
+                       }\n\
+                   }\n";
+        let diags = run(src, &physics_lib());
+        assert!(only(&diags, RuleId::L11).is_empty(), "{diags:?}");
     }
 
     #[test]

@@ -99,6 +99,12 @@ fn l10_fires_on_unordered_locks_fixture() {
 }
 
 #[test]
+fn l11_fires_on_partial_cmp_scores_fixture() {
+    let rules = rules_for("l11_partial_cmp_scores");
+    assert_eq!(rules, vec![RuleId::L11, RuleId::L11], "{rules:?}");
+}
+
+#[test]
 fn diagnostics_carry_file_line_and_column() {
     let diags = lint_fixture_dir(&fixtures_dir().join("violations")).unwrap();
     for d in &diags {

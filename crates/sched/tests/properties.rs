@@ -143,3 +143,38 @@ proptest! {
         prop_assert!(control <= 1.0);
     }
 }
+
+// The placement interplay contract (`h2p-jobs`): `HarvestAware` scores
+// a candidate server by re-evaluating the circulation's control
+// utilization with the job's demand added. That marginal score only
+// points the right way because the anchor policies' control planes are
+// *monotone* in each server's demand — committing more load to any one
+// server never lowers the plane the cooling optimizer must serve.
+// `BoundedMigration` is deliberately excluded: its budget-capped
+// migration plan can re-route around a bump and lower the plane by a
+// hair, so placement scores under it are heuristic, not a bound.
+proptest! {
+    #[test]
+    fn control_utilization_is_monotone_in_each_server_demand(
+        raw in proptest::collection::vec(0.0..=1.0f64, 1..40),
+        index in 0..40usize,
+        extra in 0.0..=1.0f64,
+    ) {
+        let index = index % raw.len();
+        let loads = utilizations(&raw);
+        let mut bumped = raw.clone();
+        bumped[index] = (bumped[index] + extra).min(1.0);
+        let bumped = utilizations(&bumped);
+
+        let policies: [&dyn SchedulingPolicy; 3] = [&Original, &LoadBalance, &Consolidate];
+        for policy in policies {
+            let before = policy.control_utilization(&loads).value();
+            let after = policy.control_utilization(&bumped).value();
+            prop_assert!(
+                after >= before - 1e-12,
+                "{}: control fell from {before} to {after}",
+                policy.name()
+            );
+        }
+    }
+}

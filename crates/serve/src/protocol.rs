@@ -6,7 +6,8 @@
 //! ```text
 //! {"cmd":"run","trace":"common","seed":7,"servers":80,"steps":24,
 //!  "policy":"load_balance","circulation":40,"workers":2,
-//!  "priority":"interactive","faults":11,"tenant":"acme"}
+//!  "priority":"interactive","faults":11,"tenant":"acme",
+//!  "placement":"harvest_aware"}
 //! {"cmd":"drain"}
 //! {"cmd":"stats"}
 //! ```
@@ -19,6 +20,7 @@
 
 use crate::request::{PolicyKind, Priority, ScenarioRequest, TraceSpec};
 use crate::service::{Admission, ServeStats, TicketResponse};
+use h2p_jobs::PlacementPolicyKind;
 use h2p_workload::TraceKind;
 use serde::Deserialize as _;
 use serde_json::{json, Value};
@@ -95,6 +97,13 @@ fn parse_request(v: &Value) -> Result<ScenarioRequest, String> {
         None | Some(Value::Null) => None,
         Some(val) => Some(u64::from_content(val).map_err(|e| format!("field \"faults\": {e}"))?),
     };
+    let placement = match v.get("placement") {
+        None | Some(Value::Null) => None,
+        Some(Value::String(name)) => Some(PlacementPolicyKind::parse(name).ok_or_else(|| {
+            format!("unknown placement {name:?} (round_robin|coolest_first|harvest_aware)")
+        })?),
+        Some(_) => return Err("field \"placement\": expected a string".to_owned()),
+    };
     let workers = usize_field(v, "workers", 1)?;
     let priority = match v.get("priority").and_then(Value::as_str).unwrap_or("batch") {
         "interactive" => Priority::Interactive,
@@ -115,6 +124,7 @@ fn parse_request(v: &Value) -> Result<ScenarioRequest, String> {
         trace,
         policy,
         fault_seed,
+        placement,
         servers_per_circulation: usize_field(v, "circulation", 40)?,
         workers: NonZeroUsize::new(workers).ok_or_else(|| "\"workers\" must be >= 1".to_owned())?,
         priority,

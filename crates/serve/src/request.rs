@@ -11,7 +11,9 @@
 //!
 //! [`SimulationResult`]: h2p_core::simulation::SimulationResult
 
+use h2p_core::simulation::Simulator;
 use h2p_faults::{FaultError, FaultPlan, HazardRates};
+use h2p_jobs::{synthetic_jobs, JobsError, PlacementEngine, PlacementPolicyKind};
 use h2p_sched::{BoundedMigration, Consolidate, LoadBalance, Original, SchedulingPolicy};
 use h2p_workload::{ClusterTrace, TraceGenerator, TraceKind};
 use std::fmt;
@@ -208,6 +210,13 @@ pub struct ScenarioRequest {
     pub policy: PolicyKind,
     /// Fault-plan seed (`None` = healthy run).
     pub fault_seed: Option<u64>,
+    /// Placement scenario: `None` simulates the generated trace
+    /// directly; `Some(kind)` synthesizes shaped jobs from the trace
+    /// spec (same kind/seed/geometry) and simulates the trace the
+    /// placement engine materializes under that placement policy (see
+    /// [`ScenarioRequest::materialize`]). Part of the scenario key —
+    /// placement changes the simulated bits.
+    pub placement: Option<PlacementPolicyKind>,
     /// Servers per water circulation (the CDU granularity).
     pub servers_per_circulation: usize,
     /// Engine worker budget for this scenario.
@@ -231,6 +240,7 @@ impl ScenarioRequest {
             trace,
             policy,
             fault_seed: None,
+            placement: None,
             servers_per_circulation: 40,
             workers: NonZeroUsize::MIN,
             priority: Priority::Batch,
@@ -244,6 +254,49 @@ impl ScenarioRequest {
     pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
         self.tenant = Some(tenant.into());
         self
+    }
+
+    /// Turns the request into a placement scenario (builder style; see
+    /// [`ScenarioRequest::placement`]).
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementPolicyKind) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// Materializes the cluster trace this request simulates: the
+    /// named generator trace, or — for placement requests — the trace
+    /// the placement engine synthesizes from shaped synthetic jobs on
+    /// the given engine. This is the *single* construction point for
+    /// served traces (the service and the transparency tests both call
+    /// it), so a served placement scenario is bit-reproducible from
+    /// the request plus the engine shape alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JobsError`] from the placement engine (cannot
+    /// happen for a validated request on the paper grid).
+    pub fn materialize(&self, engine: &Simulator) -> Result<ClusterTrace, JobsError> {
+        match self.placement {
+            None => Ok(self.trace.generate()),
+            Some(kind) => {
+                let policy = self.policy.build();
+                let placer = PlacementEngine::new(
+                    engine,
+                    policy.as_dyn(),
+                    self.trace.servers,
+                    self.trace.steps,
+                )?;
+                let jobs = synthetic_jobs(
+                    self.trace.kind,
+                    self.trace.seed,
+                    self.trace.servers,
+                    self.trace.steps,
+                    placer.interval(),
+                );
+                Ok(placer.place(&jobs, &mut *kind.build())?.trace)
+            }
+        }
     }
 
     /// The deterministic fault plan this request names, compiled for
@@ -278,8 +331,12 @@ impl ScenarioRequest {
             None => "none".to_owned(),
             Some(seed) => format!("hazard[{seed}]"),
         };
+        let placement = match self.placement {
+            None => "none",
+            Some(kind) => kind.name(),
+        };
         ScenarioKey::from_canonical(format!(
-            "trace={kind}:seed={seed}:srv={srv}:steps={steps};policy={policy};faults={faults};circ={circ};workers={workers}",
+            "trace={kind}:seed={seed}:srv={srv}:steps={steps};policy={policy};placement={placement};faults={faults};circ={circ};workers={workers}",
             kind = self.trace.kind.name(),
             seed = self.trace.seed,
             srv = self.trace.servers,
@@ -380,6 +437,9 @@ mod tests {
         variants.push(v);
         let mut v = base.clone();
         v.fault_seed = Some(1);
+        variants.push(v);
+        let mut v = base.clone();
+        v.placement = Some(h2p_jobs::PlacementPolicyKind::HarvestAware);
         variants.push(v);
         let mut v = base.clone();
         v.servers_per_circulation = 20;

@@ -58,6 +58,9 @@ pub enum ServeError {
     Engine(H2pError),
     /// The request's fault plan failed hazard validation.
     Faults(FaultError),
+    /// The request's placement run failed (see
+    /// [`ScenarioRequest::materialize`]).
+    Placement(h2p_jobs::JobsError),
 }
 
 impl fmt::Display for ServeError {
@@ -65,6 +68,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
             ServeError::Faults(e) => write!(f, "fault plan error: {e}"),
+            ServeError::Placement(e) => write!(f, "placement error: {e}"),
         }
     }
 }
@@ -80,6 +84,12 @@ impl From<H2pError> for ServeError {
 impl From<FaultError> for ServeError {
     fn from(e: FaultError) -> Self {
         ServeError::Faults(e)
+    }
+}
+
+impl From<h2p_jobs::JobsError> for ServeError {
+    fn from(e: h2p_jobs::JobsError) -> Self {
+        ServeError::Placement(e)
     }
 }
 
@@ -767,7 +777,7 @@ impl ScenarioService {
 
     /// Runs one distinct scenario on its shared engine.
     fn execute(&self, engine: &Simulator, group: &PendingGroup) -> Result<RunOutput, ServeError> {
-        let cluster = group.request.trace.generate();
+        let cluster = group.request.materialize(engine)?;
         let policy = group.request.policy.build();
         match group.request.fault_plan(&cluster) {
             None => {

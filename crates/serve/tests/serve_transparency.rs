@@ -454,3 +454,40 @@ fn zero_quota_rejects_every_attributed_request_but_not_unattributed() {
         Admission::Enqueued { .. }
     ));
 }
+
+#[test]
+fn served_placement_scenarios_are_bit_identical_to_direct_materialization() {
+    // A placement request is served exactly like any other scenario:
+    // the service materializes the placement-synthesized trace through
+    // `ScenarioRequest::materialize` and runs it on the shared engine,
+    // so a direct call through the same seam must match to the bit.
+    let service = ScenarioService::with_defaults();
+    for placement in h2p_jobs::PlacementPolicyKind::ALL {
+        let mut req = request(TraceKind::Common, 1);
+        req.trace.servers = 20;
+        req.placement = Some(placement);
+
+        let engine = direct_engine(1);
+        let cluster = req.materialize(&engine).unwrap();
+        let direct = engine.run(&cluster, &LoadBalance).unwrap();
+
+        assert!(matches!(
+            service.submit(req.clone()),
+            Admission::Enqueued { .. }
+        ));
+        let responses = service.drain();
+        assert_eq!(responses.len(), 1);
+        let served = responses[0].served.as_ref().unwrap();
+        assert_bit_identical(
+            &served.output.result,
+            &direct,
+            &format!("placement/{placement}"),
+        );
+
+        // Placement is result-determining: the same request without it
+        // must not share a key (and so must not coalesce).
+        let mut plain = req.clone();
+        plain.placement = None;
+        assert_ne!(req.key(), plain.key());
+    }
+}

@@ -15,6 +15,35 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 
+/// Where in a source document an invalid record came from.
+///
+/// Multi-shard loads (many servers per document, many jobs per trace)
+/// used to surface bare [`WorkloadError`]s whose `index` fields count
+/// *within one record series*, losing which series — and which source
+/// line — was damaged. Loaders attach this context so a repair refusal
+/// points back at the offending input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordContext {
+    /// The path handed to the loader, as given by the caller.
+    pub file: String,
+    /// 0-based index of the offending record series within the
+    /// document: the server trace for cluster documents, the job
+    /// record for job traces.
+    pub record: usize,
+    /// 1-based source line, when the format is line-oriented
+    /// (CSV/JSONL). `None` for single-document JSON.
+    pub line: Option<usize>,
+}
+
+impl core::fmt::Display for RecordContext {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "{}:{} (record {})", self.file, line, self.record),
+            None => write!(f, "{} (record {})", self.file, self.record),
+        }
+    }
+}
+
 /// Errors from trace I/O.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -23,9 +52,46 @@ pub enum TraceIoError {
     Io(std::io::Error),
     /// Malformed trace document.
     Format(serde_json::Error),
+    /// A line-oriented job-trace document failed to parse.
+    Parse {
+        /// Source file path.
+        file: String,
+        /// 1-based line number of the unparseable line.
+        line: usize,
+        /// What was wrong with the line.
+        message: String,
+    },
     /// The document parsed but its contents violate trace invariants
     /// (or a repair policy refused to fix them).
-    Invalid(WorkloadError),
+    Invalid {
+        /// The violated invariant.
+        error: WorkloadError,
+        /// Where the offending record came from, when the loader can
+        /// attribute it. `None` only for errors that concern the
+        /// document as a whole.
+        context: Option<RecordContext>,
+    },
+}
+
+impl TraceIoError {
+    /// An [`Invalid`](Self::Invalid) error attributed to a source
+    /// location.
+    #[must_use]
+    pub fn invalid_at(
+        error: WorkloadError,
+        file: impl Into<String>,
+        record: usize,
+        line: Option<usize>,
+    ) -> Self {
+        TraceIoError::Invalid {
+            error,
+            context: Some(RecordContext {
+                file: file.into(),
+                record,
+                line,
+            }),
+        }
+    }
 }
 
 impl core::fmt::Display for TraceIoError {
@@ -33,7 +99,19 @@ impl core::fmt::Display for TraceIoError {
         match self {
             TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
             TraceIoError::Format(e) => write!(f, "trace document malformed: {e}"),
-            TraceIoError::Invalid(e) => write!(f, "trace contents invalid: {e}"),
+            TraceIoError::Parse {
+                file,
+                line,
+                message,
+            } => write!(f, "trace record malformed at {file}:{line}: {message}"),
+            TraceIoError::Invalid {
+                error,
+                context: Some(ctx),
+            } => write!(f, "trace contents invalid at {ctx}: {error}"),
+            TraceIoError::Invalid {
+                error,
+                context: None,
+            } => write!(f, "trace contents invalid: {error}"),
         }
     }
 }
@@ -43,14 +121,18 @@ impl std::error::Error for TraceIoError {
         match self {
             TraceIoError::Io(e) => Some(e),
             TraceIoError::Format(e) => Some(e),
-            TraceIoError::Invalid(e) => Some(e),
+            TraceIoError::Parse { .. } => None,
+            TraceIoError::Invalid { error, .. } => Some(error),
         }
     }
 }
 
 impl From<WorkloadError> for TraceIoError {
     fn from(e: WorkloadError) -> Self {
-        TraceIoError::Invalid(e)
+        TraceIoError::Invalid {
+            error: e,
+            context: None,
+        }
     }
 }
 
@@ -124,22 +206,37 @@ struct RaggedTrace {
 /// * [`TraceIoError::Invalid`] when the repaired contents still violate
 ///   trace invariants — including [`RepairPolicy::Error`] refusing
 ///   damage, a whole server with no valid record, or servers that
-///   disagree in interval or length.
+///   disagree in interval or length. The error's [`RecordContext`]
+///   names the file and the offending server-trace index, so multi-
+///   shard loads no longer lose which series was damaged.
 pub fn load_cluster_repaired(
     path: impl AsRef<Path>,
     policy: RepairPolicy,
 ) -> Result<(ClusterTrace, RepairReport), TraceIoError> {
+    let path = path.as_ref();
     let file = File::open(path)?;
     let doc: RaggedDocument = serde_json::from_reader(BufReader::new(file))?;
     let mut report = RepairReport::default();
     let mut traces = Vec::with_capacity(doc.traces.len());
-    for raw in &doc.traces {
+    for (index, raw) in doc.traces.iter().enumerate() {
         let (trace, r) =
-            repair::repair_trace(Seconds::new(raw.interval_seconds), &raw.samples, policy)?;
+            repair::repair_trace(Seconds::new(raw.interval_seconds), &raw.samples, policy)
+                .map_err(|e| {
+                    TraceIoError::invalid_at(e, path.display().to_string(), index, None)
+                })?;
         report.absorb(r);
         traces.push(trace);
     }
-    let cluster = ClusterTrace::new(traces)?;
+    let cluster = ClusterTrace::new(traces).map_err(|e| {
+        let record = match &e {
+            WorkloadError::InconsistentCluster { index } => Some(*index),
+            _ => None,
+        };
+        match record {
+            Some(index) => TraceIoError::invalid_at(e, path.display().to_string(), index, None),
+            None => TraceIoError::from(e),
+        }
+    })?;
     Ok((cluster, report))
 }
 
@@ -214,10 +311,42 @@ mod tests {
         let err = load_cluster_repaired(&path, RepairPolicy::Error).unwrap_err();
         assert!(matches!(
             err,
-            TraceIoError::Invalid(WorkloadError::InvalidSample { index: 1, .. })
+            TraceIoError::Invalid {
+                error: WorkloadError::InvalidSample { index: 1, .. },
+                ..
+            }
         ));
         assert!(err.to_string().contains("invalid"));
         assert!(std::error::Error::source(&err).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn repaired_loader_reports_which_shard_was_damaged() {
+        // Regression: with several server shards in one document, a
+        // repair refusal must name the originating trace index and
+        // file, not just the within-series sample index.
+        let path = write_doc(
+            "multi_shard_strict.json",
+            r#"{"traces":[{"interval_seconds":300.0,"samples":[0.2,0.3]},
+                          {"interval_seconds":300.0,"samples":[0.4,0.5]},
+                          {"interval_seconds":300.0,"samples":[0.6,null]}]}"#,
+        );
+        let err = load_cluster_repaired(&path, RepairPolicy::Error).unwrap_err();
+        match &err {
+            TraceIoError::Invalid {
+                error: WorkloadError::InvalidSample { index: 1, .. },
+                context: Some(ctx),
+            } => {
+                assert_eq!(ctx.record, 2, "{ctx:?}");
+                assert!(ctx.file.contains("multi_shard_strict.json"), "{ctx:?}");
+                assert_eq!(ctx.line, None, "{ctx:?}");
+            }
+            other => panic!("unexpected error shape: {other:?}"),
+        }
+        let text = err.to_string();
+        assert!(text.contains("multi_shard_strict.json"), "{text}");
+        assert!(text.contains("record 2"), "{text}");
         std::fs::remove_file(&path).ok();
     }
 
@@ -229,10 +358,13 @@ mod tests {
                           {"interval_seconds":300.0,"samples":[0.4]}]}"#,
         );
         let err = load_cluster_repaired(&path, RepairPolicy::HoldLast).unwrap_err();
-        assert!(matches!(
-            err,
-            TraceIoError::Invalid(WorkloadError::InconsistentCluster { index: 1 })
-        ));
+        match &err {
+            TraceIoError::Invalid {
+                error: WorkloadError::InconsistentCluster { index: 1 },
+                context: Some(ctx),
+            } => assert_eq!(ctx.record, 1, "{ctx:?}"),
+            other => panic!("unexpected error shape: {other:?}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 

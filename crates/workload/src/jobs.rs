@@ -1,0 +1,483 @@
+//! Job-trace ingestion: OpenDC-style invocation records.
+//!
+//! The synthetic generators ([`crate::TraceGenerator`]) produce
+//! per-server utilization *series*; real datacenter archives instead
+//! publish per-**job** records — an arrival time, a runtime, and a
+//! resource demand, optionally tagged with a tenant (the shape of the
+//! OpenDC/dslab `opendc_trace` format). This module reads and writes
+//! that shape so the placement engine (`h2p-jobs`) can consume real
+//! traces, not just generated ones.
+//!
+//! Two line-oriented encodings are accepted, sniffed from the first
+//! non-blank line:
+//!
+//! * **CSV** — header `arrival_s,duration_s,utilization,tenant`
+//!   (tenant column optional), one record per row;
+//! * **JSONL** — one object per line:
+//!   `{"arrival_s":0.0,"duration_s":900.0,"utilization":0.35,"tenant":"a"}`.
+//!
+//! Damaged `utilization` fields (empty, `null`, non-numeric, NaN, or
+//! outside `[0, 1]`) are routed through the [`crate::repair`]
+//! machinery exactly like damaged trace samples: [`RepairPolicy`]
+//! decides whether to interpolate across neighboring records, hold the
+//! last valid demand, or refuse the file. Damaged *structural* fields
+//! (arrival, duration) cannot be synthesized and always fail, carrying
+//! the file and line in the error.
+
+use crate::io::TraceIoError;
+use crate::repair::{self, RepairPolicy, RepairReport};
+use crate::WorkloadError;
+use serde::Serialize;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// One job (invocation) record: when it arrives, how long it runs, and
+/// how much of one server it demands while running.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JobRecord {
+    /// Arrival time, seconds from the start of the trace.
+    pub arrival_s: f64,
+    /// Requested runtime in seconds.
+    pub duration_s: f64,
+    /// Per-server utilization demand in `[0, 1]` while the job runs.
+    pub utilization: f64,
+    /// Owning tenant, when the source records one (serialized as
+    /// `null` when absent; the loader treats missing and `null` alike).
+    pub tenant: Option<String>,
+}
+
+/// A validated sequence of job records, in file order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JobTrace {
+    records: Vec<JobRecord>,
+}
+
+impl JobTrace {
+    /// Builds a job trace, validating every record: arrivals must be
+    /// finite and non-negative, durations finite and strictly
+    /// positive, demands in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidJob`] (or
+    /// [`WorkloadError::InvalidSample`] for the demand field) naming
+    /// the first offending record.
+    pub fn new(records: Vec<JobRecord>) -> Result<Self, WorkloadError> {
+        for (index, r) in records.iter().enumerate() {
+            if !r.arrival_s.is_finite() || r.arrival_s < 0.0 {
+                return Err(WorkloadError::InvalidJob {
+                    index,
+                    field: "arrival_s",
+                    value: r.arrival_s,
+                });
+            }
+            if !r.duration_s.is_finite() || !(r.duration_s > 0.0) {
+                return Err(WorkloadError::InvalidJob {
+                    index,
+                    field: "duration_s",
+                    value: r.duration_s,
+                });
+            }
+            if !r.utilization.is_finite() || !(0.0..=1.0).contains(&r.utilization) {
+                return Err(WorkloadError::InvalidSample {
+                    index,
+                    value: r.utilization,
+                });
+            }
+        }
+        Ok(JobTrace { records })
+    }
+
+    /// The records, in file order.
+    #[must_use]
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// A parsed line: the structural fields, the raw demand, and the
+/// 1-based source line it came from.
+struct RawJob {
+    arrival_s: f64,
+    duration_s: f64,
+    utilization: Option<f64>,
+    tenant: Option<String>,
+    line: usize,
+}
+
+fn parse_error(file: &str, line: usize, message: impl Into<String>) -> TraceIoError {
+    TraceIoError::Parse {
+        file: file.to_string(),
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses one CSV data row. A missing or non-numeric utilization field
+/// is a *gap* (repairable), but arrival/duration must parse.
+fn parse_csv_row(
+    file: &str,
+    line: usize,
+    row: &str,
+    columns: &[usize; 4],
+) -> Result<RawJob, TraceIoError> {
+    let fields: Vec<&str> = row.split(',').map(str::trim).collect();
+    let field = |col: usize| fields.get(col).copied().unwrap_or("");
+    let numeric = |col: usize, name: &str| -> Result<f64, TraceIoError> {
+        field(col).parse::<f64>().map_err(|_| {
+            parse_error(
+                file,
+                line,
+                format!("{name} field {:?} is not a number", field(col)),
+            )
+        })
+    };
+    let utilization = match field(columns[2]) {
+        "" | "null" => None,
+        text => text.parse::<f64>().ok().or(Some(f64::NAN)),
+    };
+    let tenant = match columns[3] {
+        usize::MAX => None,
+        col => match field(col) {
+            "" => None,
+            text => Some(text.to_string()),
+        },
+    };
+    Ok(RawJob {
+        arrival_s: numeric(columns[0], "arrival_s")?,
+        duration_s: numeric(columns[1], "duration_s")?,
+        utilization,
+        tenant,
+        line,
+    })
+}
+
+/// Resolves the CSV header into column positions for
+/// `[arrival_s, duration_s, utilization, tenant]` (`usize::MAX` marks
+/// an absent tenant column).
+fn parse_csv_header(file: &str, header: &str) -> Result<[usize; 4], TraceIoError> {
+    let mut columns = [usize::MAX; 4];
+    for (col, name) in header.split(',').map(str::trim).enumerate() {
+        match name {
+            "arrival_s" => columns[0] = col,
+            "duration_s" => columns[1] = col,
+            "utilization" => columns[2] = col,
+            "tenant" => columns[3] = col,
+            other => {
+                return Err(parse_error(
+                    file,
+                    1,
+                    format!("unknown column {other:?} in header"),
+                ))
+            }
+        }
+    }
+    for (slot, name) in [(0, "arrival_s"), (1, "duration_s"), (2, "utilization")] {
+        if columns[slot] == usize::MAX {
+            return Err(parse_error(
+                file,
+                1,
+                format!("header missing column {name:?}"),
+            ));
+        }
+    }
+    Ok(columns)
+}
+
+fn parse_jsonl_line(file: &str, line: usize, text: &str) -> Result<RawJob, TraceIoError> {
+    let value: serde::Value =
+        serde_json::from_str(text).map_err(|e| parse_error(file, line, e.to_string()))?;
+    let object = value
+        .as_object()
+        .ok_or_else(|| parse_error(file, line, "expected a JSON object"))?;
+    let field = |name: &str| object.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let numeric = |name: &str| -> Result<f64, TraceIoError> {
+        field(name)
+            .and_then(serde::Value::as_f64)
+            .ok_or_else(|| parse_error(file, line, format!("field {name:?} must be a number")))
+    };
+    // A missing or null demand is a gap; a non-numeric one is
+    // malformed — both go to the repair machinery as `None`/NaN.
+    let utilization = match field("utilization") {
+        None | Some(serde::Value::Null) => None,
+        Some(v) => v.as_f64().or(Some(f64::NAN)),
+    };
+    let tenant = match field("tenant") {
+        None | Some(serde::Value::Null) => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| parse_error(file, line, "field \"tenant\" must be a string"))?
+                .to_string(),
+        ),
+    };
+    Ok(RawJob {
+        arrival_s: numeric("arrival_s")?,
+        duration_s: numeric("duration_s")?,
+        utilization,
+        tenant,
+        line,
+    })
+}
+
+fn parse_document(file: &str, contents: &str) -> Result<Vec<RawJob>, TraceIoError> {
+    let mut lines = contents
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .filter(|(_, l)| !l.trim().is_empty());
+    let Some((first_no, first)) = lines.next() else {
+        return Ok(Vec::new());
+    };
+    let mut raw = Vec::new();
+    if first.trim_start().starts_with('{') {
+        raw.push(parse_jsonl_line(file, first_no, first)?);
+        for (line, text) in lines {
+            raw.push(parse_jsonl_line(file, line, text)?);
+        }
+    } else {
+        let columns = parse_csv_header(file, first)?;
+        for (line, text) in lines {
+            raw.push(parse_csv_row(file, line, text, &columns)?);
+        }
+    }
+    Ok(raw)
+}
+
+/// Loads a job trace from a CSV or JSONL file (format sniffed from the
+/// first non-blank line), repairing damaged demand fields under
+/// `policy`.
+///
+/// Returns the validated trace with the [`RepairReport`] stating how
+/// many demands were synthesized.
+///
+/// # Errors
+///
+/// * [`TraceIoError::Io`] on filesystem failure.
+/// * [`TraceIoError::Parse`] (with file and line) on unparseable rows
+///   or structural fields.
+/// * [`TraceIoError::Invalid`] when repair refuses the damage
+///   ([`RepairPolicy::Error`]) or a structural invariant fails; the
+///   error's context carries the file and the originating source line.
+pub fn load_jobs(
+    path: impl AsRef<Path>,
+    policy: RepairPolicy,
+) -> Result<(JobTrace, RepairReport), TraceIoError> {
+    let path = path.as_ref();
+    let file = path.display().to_string();
+    let contents = std::fs::read_to_string(path)?;
+    let raw = parse_document(&file, &contents)?;
+    if raw.is_empty() {
+        return Ok((JobTrace::default(), RepairReport::default()));
+    }
+
+    // Route the demand column through the repair machinery, then map
+    // any refusal back to the originating source line.
+    let demands: Vec<Option<f64>> = raw.iter().map(|r| r.utilization).collect();
+    let (repaired, report) = repair::repair_records(&demands, policy).map_err(|e| {
+        let record = match &e {
+            WorkloadError::InvalidSample { index, .. } => Some(*index),
+            _ => None,
+        };
+        match record {
+            Some(index) => {
+                let line = raw.get(index).map(|r| r.line);
+                TraceIoError::invalid_at(e, file.clone(), index, line)
+            }
+            None => TraceIoError::from(e),
+        }
+    })?;
+
+    let records: Vec<JobRecord> = raw
+        .iter()
+        .zip(&repaired)
+        .map(|(r, &utilization)| JobRecord {
+            arrival_s: r.arrival_s,
+            duration_s: r.duration_s,
+            utilization,
+            tenant: r.tenant.clone(),
+        })
+        .collect();
+    let trace = JobTrace::new(records).map_err(|e| {
+        let record = match &e {
+            WorkloadError::InvalidJob { index, .. }
+            | WorkloadError::InvalidSample { index, .. } => Some(*index),
+            _ => None,
+        };
+        match record {
+            Some(index) => {
+                let line = raw.get(index).map(|r| r.line);
+                TraceIoError::invalid_at(e, file.clone(), index, line)
+            }
+            None => TraceIoError::from(e),
+        }
+    })?;
+    Ok((trace, report))
+}
+
+/// Writes a job trace as JSONL (one record per line), the richer of
+/// the two accepted encodings: a trace loaded from CSV round-trips
+/// through this writer and [`load_jobs`] unchanged.
+///
+/// # Errors
+///
+/// [`TraceIoError::Io`] / [`TraceIoError::Format`] on filesystem or
+/// serialization failure (the final flush is explicit so buffered
+/// write errors surface).
+pub fn save_jobs(trace: &JobTrace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    for record in trace.records() {
+        serde_json::to_writer(&mut writer, record)?;
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_doc(name: &str, body: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("h2p_job_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, body.as_bytes()).unwrap();
+        path
+    }
+
+    #[test]
+    fn csv_and_jsonl_parse_to_the_same_records() {
+        let csv = write_doc(
+            "pair.csv",
+            "arrival_s,duration_s,utilization,tenant\n0,600,0.25,acme\n300,900,0.5,\n",
+        );
+        let jsonl = write_doc(
+            "pair.jsonl",
+            concat!(
+                "{\"arrival_s\":0.0,\"duration_s\":600.0,\"utilization\":0.25,\"tenant\":\"acme\"}\n",
+                "{\"arrival_s\":300.0,\"duration_s\":900.0,\"utilization\":0.5}\n",
+            ),
+        );
+        let (a, ra) = load_jobs(&csv, RepairPolicy::Error).unwrap();
+        let (b, rb) = load_jobs(&jsonl, RepairPolicy::Error).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.records()[0].tenant.as_deref(), Some("acme"));
+        assert_eq!(ra.repaired() + rb.repaired(), 0);
+    }
+
+    #[test]
+    fn damaged_demands_route_through_repair() {
+        let path = write_doc(
+            "gappy.csv",
+            "arrival_s,duration_s,utilization\n0,600,0.2\n60,600,\n120,600,1.8\n180,600,0.6\n",
+        );
+        let (trace, report) = load_jobs(&path, RepairPolicy::Interpolate).unwrap();
+        assert_eq!(report.gaps, 1);
+        assert_eq!(report.malformed, 1);
+        let demands: Vec<f64> = trace.records().iter().map(|r| r.utilization).collect();
+        assert!(
+            (demands[1] - 0.2 - (0.6 - 0.2) / 3.0).abs() < 1e-12,
+            "{demands:?}"
+        );
+        assert!(demands.iter().all(|d| (0.0..=1.0).contains(d)));
+    }
+
+    #[test]
+    fn error_policy_names_the_file_and_line() {
+        let path = write_doc(
+            "strict.csv",
+            "arrival_s,duration_s,utilization\n0,600,0.2\n60,600,nope\n",
+        );
+        let err = load_jobs(&path, RepairPolicy::Error).unwrap_err();
+        match &err {
+            TraceIoError::Invalid {
+                error: WorkloadError::InvalidSample { index: 1, .. },
+                context: Some(ctx),
+            } => {
+                assert!(ctx.file.contains("strict.csv"), "{ctx:?}");
+                assert_eq!(ctx.record, 1, "{ctx:?}");
+                assert_eq!(ctx.line, Some(3), "{ctx:?}");
+            }
+            other => panic!("unexpected error shape: {other:?}"),
+        }
+        let text = err.to_string();
+        assert!(text.contains("strict.csv:3"), "{text}");
+    }
+
+    #[test]
+    fn structural_damage_is_not_repairable() {
+        let path = write_doc(
+            "bad_duration.jsonl",
+            "{\"arrival_s\":0.0,\"duration_s\":-5.0,\"utilization\":0.2}\n",
+        );
+        let err = load_jobs(&path, RepairPolicy::Interpolate).unwrap_err();
+        match &err {
+            TraceIoError::Invalid {
+                error:
+                    WorkloadError::InvalidJob {
+                        index: 0,
+                        field: "duration_s",
+                        ..
+                    },
+                context: Some(ctx),
+            } => assert_eq!(ctx.line, Some(1), "{ctx:?}"),
+            other => panic!("unexpected error shape: {other:?}"),
+        }
+
+        let path = write_doc(
+            "bad_row.csv",
+            "arrival_s,duration_s,utilization\nzero,600,0.2\n",
+        );
+        let err = load_jobs(&path, RepairPolicy::Interpolate).unwrap_err();
+        assert!(
+            matches!(err, TraceIoError::Parse { line: 2, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let records = vec![
+            JobRecord {
+                arrival_s: 0.0,
+                duration_s: 600.0,
+                utilization: 0.25,
+                tenant: Some("acme".to_string()),
+            },
+            JobRecord {
+                arrival_s: 42.5,
+                duration_s: 1800.0,
+                utilization: 0.7,
+                tenant: None,
+            },
+        ];
+        let trace = JobTrace::new(records).unwrap();
+        let path = write_doc("roundtrip.jsonl", "");
+        save_jobs(&trace, &path).unwrap();
+        let (back, report) = load_jobs(&path, RepairPolicy::Error).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(report.repaired(), 0);
+    }
+
+    #[test]
+    fn empty_document_is_an_empty_trace() {
+        let path = write_doc("empty.csv", "\n\n");
+        let (trace, report) = load_jobs(&path, RepairPolicy::Error).unwrap();
+        assert!(trace.is_empty());
+        assert_eq!(report.repaired(), 0);
+    }
+}

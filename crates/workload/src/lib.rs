@@ -47,12 +47,14 @@
 
 mod generators;
 pub mod io;
+pub mod jobs;
 pub mod repair;
 mod trace;
 
 pub use generators::{
     BurstProfile, GeneratorProfile, ShardStream, TraceGenerator, TraceKind, TraceShard,
 };
+pub use jobs::{JobRecord, JobTrace};
 pub use repair::{RepairPolicy, RepairReport};
 pub use trace::{Aggregate, ClusterTrace, Trace};
 
@@ -81,6 +83,16 @@ pub enum WorkloadError {
         /// Index of the first offending member.
         index: usize,
     },
+    /// A job record violated the job-trace invariants (non-finite or
+    /// negative arrival, non-positive duration).
+    InvalidJob {
+        /// Index of the bad record.
+        index: usize,
+        /// Which field was bad.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -95,6 +107,13 @@ impl fmt::Display for WorkloadError {
             }
             WorkloadError::InconsistentCluster { index } => {
                 write!(f, "cluster member {index} disagrees in length or interval")
+            }
+            WorkloadError::InvalidJob {
+                index,
+                field,
+                value,
+            } => {
+                write!(f, "job record {index}: {field} = {value} is invalid")
             }
         }
     }

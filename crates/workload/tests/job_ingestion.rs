@@ -1,0 +1,67 @@
+//! Ingestion round trip on the committed 100-row sample job trace.
+//!
+//! The fixture (`fixtures/sample_jobs.csv`) is the OpenDC-style shape
+//! the loaders accept: this suite pins down that it parses cleanly,
+//! that no demand needs repair, and that the CSV → JSONL → CSV-shape
+//! round trip is lossless.
+
+// Test/bench code opts back into panicking unwraps (see [workspace.lints]).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+
+use h2p_workload::jobs::{load_jobs, save_jobs};
+use h2p_workload::RepairPolicy;
+use std::path::{Path, PathBuf};
+
+fn fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("sample_jobs.csv")
+}
+
+#[test]
+fn sample_fixture_loads_cleanly_under_the_strict_policy() {
+    let (trace, report) = load_jobs(fixture(), RepairPolicy::Error).unwrap();
+    assert_eq!(trace.len(), 100);
+    assert_eq!(report.repaired(), 0);
+
+    // The fixture is arrival-ordered with sane geometry throughout.
+    let records = trace.records();
+    for pair in records.windows(2) {
+        assert!(pair[0].arrival_s <= pair[1].arrival_s);
+    }
+    for r in records {
+        assert!(r.duration_s >= 300.0 && r.duration_s <= 5400.0, "{r:?}");
+        assert!((0.0..=1.0).contains(&r.utilization), "{r:?}");
+    }
+    // All three named tenants plus untagged records appear.
+    let tenants: std::collections::BTreeSet<_> = records
+        .iter()
+        .map(|r| r.tenant.clone().unwrap_or_default())
+        .collect();
+    assert_eq!(tenants.len(), 4, "{tenants:?}");
+}
+
+#[test]
+fn sample_fixture_round_trips_through_jsonl() {
+    let (original, _) = load_jobs(fixture(), RepairPolicy::Error).unwrap();
+
+    let dir = std::env::temp_dir().join("h2p_job_ingestion_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sample_jobs_roundtrip.jsonl");
+    save_jobs(&original, &path).unwrap();
+    let (back, report) = load_jobs(&path, RepairPolicy::Error).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(back, original);
+    assert_eq!(report.repaired(), 0);
+}
+
+#[test]
+fn repair_policies_agree_on_the_undamaged_fixture() {
+    let (strict, _) = load_jobs(fixture(), RepairPolicy::Error).unwrap();
+    let (hold, r_hold) = load_jobs(fixture(), RepairPolicy::HoldLast).unwrap();
+    let (interp, r_interp) = load_jobs(fixture(), RepairPolicy::Interpolate).unwrap();
+    assert_eq!(strict, hold);
+    assert_eq!(strict, interp);
+    assert_eq!(r_hold.repaired() + r_interp.repaired(), 0);
+}

@@ -21,6 +21,7 @@
 //! | [`sched`] | `h2p-sched` | scheduling policies |
 //! | [`faults`] | `h2p-faults` | deterministic fault injection plans |
 //! | [`core`] | `h2p-core` | simulator, prototype, circulation design |
+//! | [`jobs`] | `h2p-jobs` | closed-loop thermal-aware job placement |
 //! | [`tco`] | `h2p-tco` | total-cost-of-ownership analysis |
 //! | [`storage`] | `h2p-storage` | hybrid energy buffer, LED budget |
 //! | [`telemetry`] | `h2p-telemetry` | counters, histograms, spans, run journal |
@@ -68,6 +69,7 @@ pub use h2p_exec as exec;
 pub use h2p_faults as faults;
 pub use h2p_gateway as gateway;
 pub use h2p_hydraulics as hydraulics;
+pub use h2p_jobs as jobs;
 pub use h2p_sched as sched;
 pub use h2p_serve as serve;
 pub use h2p_server as server;
@@ -90,6 +92,7 @@ pub mod prelude {
     pub use h2p_faults::{FaultClass, FaultLedger, FaultPlan, HazardRates};
     pub use h2p_gateway::{Gateway, GatewayConfig, HashRing, LoadPlan};
     pub use h2p_hydraulics::{Branch, ColdSource, Pump};
+    pub use h2p_jobs::{Job, PlacementEngine, PlacementPolicy, PlacementPolicyKind, PlacementRun};
     pub use h2p_sched::{BoundedMigration, Consolidate, LoadBalance, Original, SchedulingPolicy};
     pub use h2p_serve::{
         Admission, PolicyKind, Priority, ScenarioRequest, ScenarioService, ServiceConfig, TraceSpec,
